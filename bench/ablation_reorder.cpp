@@ -1,0 +1,74 @@
+// Ablation: row sorting as a substitute for fine-grained (intra-bin)
+// binning. Sorting rows by length makes adjacent rows similar, so the
+// paper's coarse-grained virtual-row binning discriminates as sharply as
+// the fine-grained scheme while keeping its O(rows/U) storage — at the
+// price of a one-time permutation and a result scatter per SpMV.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sparse/reorder.hpp"
+
+using namespace spmv;
+using namespace spmv::bench;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto rows = static_cast<index_t>(cli.get_int("rows", 300000));
+  const auto pools = bench_pools(false);
+
+  struct Input {
+    const char* name;
+    CsrMatrix<float> a;
+  };
+  Input inputs[] = {
+      {"power-law graph", gen::power_law<float>(rows, rows, 2.0, 2000, 51)},
+      {"mixed-regime (interleaved)",
+       gen::mixed_regime<float>(rows, rows, 0.4, 0.35, 3, 40, 400,
+                                /*run=*/1, 52)},
+      {"mixed-regime (blocked)",
+       gen::mixed_regime<float>(rows, rows, 0.4, 0.35, 3, 40, 400,
+                                /*run=*/100, 53)},
+  };
+
+  std::printf("=== bench ablation_reorder (rows=%d) ===\n\n", rows);
+  std::printf("%-28s %14s %14s %12s %16s\n", "input", "original[ms]",
+              "sorted[ms]", "speedup", "occupied bins");
+  rule(90);
+
+  for (auto& in : inputs) {
+    const auto x = random_x(static_cast<std::size_t>(in.a.cols()));
+    std::vector<float> y(static_cast<std::size_t>(in.a.rows()));
+
+    const auto plan_orig = oracle_plan(in.a, x, pools);
+    const auto bins_orig = core::bins_for_plan(in.a, plan_orig);
+    const double t_orig = time_spmv([&] {
+      core::execute_plan(clsim::default_engine(), in.a,
+                         std::span<const float>(x), std::span<float>(y),
+                         bins_orig, plan_orig);
+    });
+
+    const auto perm = sort_rows_by_length(in.a);
+    const auto sorted = permute_rows(in.a, perm);
+    std::vector<float> y_perm(static_cast<std::size_t>(sorted.rows()));
+    const auto plan_sorted = oracle_plan(sorted, x, pools);
+    const auto bins_sorted = core::bins_for_plan(sorted, plan_sorted);
+    // Sorted pipeline includes the per-SpMV scatter back to original order.
+    const double t_sorted = time_spmv([&] {
+      core::execute_plan(clsim::default_engine(), sorted,
+                         std::span<const float>(x), std::span<float>(y_perm),
+                         bins_sorted, plan_sorted);
+      unpermute(std::span<const float>(y_perm), perm, std::span<float>(y));
+    });
+
+    std::printf("%-28s %14.3f %14.3f %11.2fx %7zu -> %-6zu\n", in.name,
+                1e3 * t_orig, 1e3 * t_sorted, t_orig / t_sorted,
+                bins_orig.occupied_bins().size(),
+                bins_sorted.occupied_bins().size());
+  }
+  rule(90);
+  std::printf(
+      "expected shape: interleaved regimes gain from sorting (virtual rows "
+      "become homogeneous);\nblocked regimes gain little (the paper's "
+      "adjustable U already captures them).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the paper-reproduction bench binaries: input vectors,
+// strategy timing, and aligned table printing. Every bench prints the rows/
+// series of its paper figure, plus the seeds/scales used, so EXPERIMENTS.md
+// entries can be regenerated with a single command.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autospmv.hpp"
+
+namespace spmv::bench {
+
+inline std::vector<float> random_x(std::size_t n, std::uint64_t seed = 4242) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.5, 1.5));
+  return x;
+}
+
+/// Measure one SpMV strategy (best-of-reps wall clock).
+inline double time_spmv(const std::function<void()>& run,
+                        const util::MeasureOptions& opts = {
+                            .warmup = 1, .reps = 5, .max_total_s = 2.0}) {
+  return util::measure(run, opts).best_s;
+}
+
+/// GFLOP/s for an SpMV of `nnz` non-zeros (2 flops per non-zero).
+inline double gflops(offset_t nnz, double seconds) {
+  return 2.0 * static_cast<double>(nnz) / seconds * 1e-9;
+}
+
+/// Print a horizontal rule sized for `width` characters.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// The bench-sized candidate pools: the full nine-kernel pool with a
+/// five-point granularity ladder (the full 16-point ladder multiplies bench
+/// time ~3x without changing any figure's shape; override with --full-pool).
+inline core::CandidatePools bench_pools(bool full = false) {
+  if (full) return core::default_pools();
+  core::CandidatePools pools;
+  pools.units = {10, 100, 1000, 10000, 100000};
+  pools.kernel_pool = kernels::all_kernels();
+  return pools;
+}
+
+/// Exhaustively tuned "kernel-auto" plan (the oracle the paper's trained
+/// model approximates; see EXPERIMENTS.md on the auto strategy used).
+inline core::Plan oracle_plan(const CsrMatrix<float>& a,
+                              std::span<const float> x,
+                              const core::CandidatePools& pools) {
+  core::ExhaustiveOptions opts;
+  opts.measure = {.warmup = 1, .reps = 5, .max_total_s = 0.5};
+  return core::exhaustive_tune(clsim::default_engine(), a, x, pools, opts)
+      .best_plan;
+}
+
+}  // namespace spmv::bench

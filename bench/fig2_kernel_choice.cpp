@@ -1,0 +1,115 @@
+// Figure 2 reproduction: kernel choice matters per input (2a) and per bin
+// (2b).
+//
+// 2a: five pool kernels over two structurally different matrices, all rows
+//     in a single bin — the best kernel flips between the matrices.
+// 2b: the same five kernels over the four most occupied bins of a mixed
+//     matrix — the best kernel differs across bins of the same input.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace spmv;
+using namespace spmv::bench;
+
+namespace {
+
+const std::vector<kernels::KernelId> kFive = {
+    kernels::KernelId::Serial, kernels::KernelId::Sub4,
+    kernels::KernelId::Sub32, kernels::KernelId::Sub128,
+    kernels::KernelId::Vector};
+
+void figure_2a(index_t rows) {
+  std::printf("Figure 2a: five kernels, two inputs, single bin\n");
+  std::printf("(normalized execution time; 1.00 = best kernel per input)\n");
+
+  struct Input {
+    const char* name;
+    CsrMatrix<float> a;
+  };
+  Input inputs[] = {
+      {"short-row graph (avg ~3 nnz/row)",
+       gen::fixed_degree<float>(rows, rows, 3, 11)},
+      {"long-row FEM (avg ~200 nnz/row)",
+       gen::fem_blocks<float>(rows / 16, 32, 200, 0.25, 12)},
+  };
+
+  std::printf("%-36s", "input \\ kernel");
+  for (auto id : kFive) std::printf("%14s", kernels::kernel_name(id).c_str());
+  std::printf("\n");
+  rule(36 + 14 * static_cast<int>(kFive.size()));
+
+  for (auto& in : inputs) {
+    const auto x = random_x(static_cast<std::size_t>(in.a.cols()));
+    std::vector<float> y(static_cast<std::size_t>(in.a.rows()));
+    std::vector<double> times;
+    for (auto id : kFive) {
+      times.push_back(time_spmv([&] {
+        kernels::run_full(id, clsim::default_engine(), in.a,
+                          std::span<const float>(x), std::span<float>(y));
+      }));
+    }
+    const double best = *std::min_element(times.begin(), times.end());
+    std::printf("%-36s", in.name);
+    for (double t : times) std::printf("%14.2f", t / best);
+    std::printf("\n");
+  }
+}
+
+void figure_2b(index_t rows) {
+  std::printf("\nFigure 2b: five kernels across four bins of one input\n");
+  std::printf("(normalized execution time; 1.00 = best kernel per bin)\n");
+
+  const auto a =
+      gen::mixed_regime<float>(rows, rows, 0.35, 0.35, 3, 40, 400, 100, 13);
+  const auto x = random_x(static_cast<std::size_t>(a.cols()));
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  const index_t unit = 100;
+  const auto bins = binning::bin_matrix(a, unit);
+
+  // The four bins covering the most rows.
+  auto occupied = bins.occupied_bins();
+  std::sort(occupied.begin(), occupied.end(), [&](int l, int r) {
+    return bins.rows_in_bin(l) > bins.rows_in_bin(r);
+  });
+  occupied.resize(std::min<std::size_t>(occupied.size(), 4));
+  std::sort(occupied.begin(), occupied.end());
+
+  std::printf("%-36s", "bin \\ kernel");
+  for (auto id : kFive) std::printf("%14s", kernels::kernel_name(id).c_str());
+  std::printf("%14s\n", "best kernel");
+  rule(36 + 14 * static_cast<int>(kFive.size() + 1));
+
+  for (int b : occupied) {
+    std::vector<double> times;
+    for (auto id : kFive) {
+      times.push_back(time_spmv([&] {
+        kernels::run_binned(id, clsim::default_engine(), a,
+                            std::span<const float>(x), std::span<float>(y),
+                            bins.bin(b), unit);
+      }));
+    }
+    const double best = *std::min_element(times.begin(), times.end());
+    const auto best_id =
+        kFive[static_cast<std::size_t>(std::min_element(times.begin(),
+                                                        times.end()) -
+                                       times.begin())];
+    char label[64];
+    std::snprintf(label, sizeof label, "bin %d (%d rows, ~%d nnz/row)", b,
+                  bins.rows_in_bin(b), b);
+    std::printf("%-36s", label);
+    for (double t : times) std::printf("%14.2f", t / best);
+    std::printf("%14s\n", kernels::kernel_name(best_id).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto rows = static_cast<index_t>(cli.get_int("rows", 400000));
+  std::printf("=== bench fig2_kernel_choice (rows=%d) ===\n\n", rows);
+  figure_2a(rows);
+  figure_2b(rows / 4);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 6 reproduction: kernel-auto vs the single-kernel defaults
+// (kernel-serial, kernel-vector) over the 16 Table-II matrices.
+//
+// The paper reports execution time normalized to kernel-auto: speedups of
+// 1.7x-11.9x over kernel-serial and 1.2x-52.0x over kernel-vector, with
+// kernel-serial usually the stronger single kernel (most matrices are
+// short-row) but kernel-vector winning on 5 long-row matrices.
+//
+// "kernel-auto" here is the exhaustively tuned plan (the oracle the
+// paper's C5.0 model approximates; run bench/train_accuracy for the model
+// itself, or pass --model=<file> to use a trained model's predictions).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace spmv;
+using namespace spmv::bench;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double extra_scale = cli.get_double("scale", 1.0);
+  const auto pools = bench_pools(cli.get_bool("full-pool", false));
+  const std::string model_path = cli.get("model");
+
+  std::unique_ptr<core::ModelPredictor> model_pred;
+  if (!model_path.empty()) {
+    model_pred = std::make_unique<core::ModelPredictor>(
+        core::load_model_file(model_path));
+  }
+
+  std::printf("=== bench fig6_auto_vs_single (scale=%.3f, auto=%s) ===\n\n",
+              extra_scale, model_pred ? "trained model" : "oracle");
+  std::printf("%-16s %12s %12s %12s %14s %14s   %s\n", "matrix", "auto[ms]",
+              "serial[ms]", "vector[ms]", "serial/auto", "vector/auto",
+              "auto plan");
+  rule(120);
+
+  std::vector<double> serial_speedups, vector_speedups;
+  for (const auto& base_info : gen::representative_catalogue()) {
+    auto info = base_info;
+    info.scale *= extra_scale;
+    const auto a = gen::make_representative<float>(info);
+    const auto x = random_x(static_cast<std::size_t>(a.cols()));
+    std::vector<float> y(static_cast<std::size_t>(a.rows()));
+
+    // kernel-auto.
+    core::Plan plan;
+    if (model_pred) {
+      core::AutoSpmv<float> spmv(a, *model_pred);
+      plan = spmv.plan();
+    } else {
+      plan = oracle_plan(a, x, pools);
+    }
+    const auto bins = core::bins_for_plan(a, plan);
+    const double t_auto = time_spmv([&] {
+      core::execute_plan(clsim::default_engine(), a, std::span<const float>(x),
+                         std::span<float>(y), bins, plan);
+    });
+
+    // The two single-kernel defaults.
+    const double t_serial = time_spmv([&] {
+      kernels::run_full(kernels::KernelId::Serial, clsim::default_engine(), a,
+                        std::span<const float>(x), std::span<float>(y));
+    });
+    const double t_vector = time_spmv([&] {
+      kernels::run_full(kernels::KernelId::Vector, clsim::default_engine(), a,
+                        std::span<const float>(x), std::span<float>(y));
+    });
+
+    serial_speedups.push_back(t_serial / t_auto);
+    vector_speedups.push_back(t_vector / t_auto);
+    std::printf("%-16s %12.3f %12.3f %12.3f %13.2fx %13.2fx   %s\n",
+                info.name.c_str(), 1e3 * t_auto, 1e3 * t_serial,
+                1e3 * t_vector, t_serial / t_auto, t_vector / t_auto,
+                plan.to_string().c_str());
+  }
+
+  rule(120);
+  auto mm = [](const std::vector<double>& v) {
+    return std::pair(*std::min_element(v.begin(), v.end()),
+                     *std::max_element(v.begin(), v.end()));
+  };
+  const auto [s_lo, s_hi] = mm(serial_speedups);
+  const auto [v_lo, v_hi] = mm(vector_speedups);
+  std::printf(
+      "speedup of kernel-auto:  over kernel-serial %.1fx..%.1fx (geomean "
+      "%.1fx; paper 1.7x..11.9x)\n",
+      s_lo, s_hi, util::geometric_mean(serial_speedups));
+  std::printf(
+      "                         over kernel-vector %.1fx..%.1fx (geomean "
+      "%.1fx; paper 1.2x..52.0x)\n",
+      v_lo, v_hi, util::geometric_mean(vector_speedups));
+  int vector_wins = 0;
+  for (std::size_t i = 0; i < serial_speedups.size(); ++i) {
+    if (vector_speedups[i] < serial_speedups[i]) ++vector_wins;
+  }
+  std::printf(
+      "matrices where kernel-vector beats kernel-serial: %d of 16 (paper: "
+      "5)\n",
+      vector_wins);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the individual SpMV kernels across
+// row-length regimes — the raw per-kernel throughput data underlying the
+// Figure-2/6 comparisons, with bytes/items counters for roofline analysis.
+#include <benchmark/benchmark.h>
+
+#include "autospmv.hpp"
+
+using namespace spmv;
+
+namespace {
+
+struct Fixture {
+  CsrMatrix<float> a;
+  std::vector<float> x;
+  std::vector<float> y;
+};
+
+Fixture build_fixture(int regime) {
+  constexpr index_t kRows = 100000;
+  CsrMatrix<float> a = [&] {
+    switch (regime) {
+      case 0: return gen::fixed_degree<float>(kRows, kRows, 3, 7);  // short
+      case 1:
+        return gen::random_uniform<float>(kRows, kRows, 30.0, 0.2, 10, 60,
+                                          8);  // medium
+      default:
+        return gen::fem_blocks<float>(kRows / 8, 32, 200, 0.2, 9);  // long
+    }
+  }();
+  util::Xoshiro256 rng(1);
+  std::vector<float> x(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.5, 1.5));
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  return {std::move(a), std::move(x), std::move(y)};
+}
+
+/// Fixtures are shared across benchmark registrations (generation is much
+/// slower than one benchmark repetition).
+Fixture& make_fixture(int regime) {
+  static Fixture fixtures[3] = {build_fixture(0), build_fixture(1),
+                                build_fixture(2)};
+  return fixtures[regime];
+}
+
+const char* regime_name(int regime) {
+  return regime == 0 ? "short3" : regime == 1 ? "medium30" : "long200";
+}
+
+void bench_pool_kernel(benchmark::State& state) {
+  const auto id = static_cast<kernels::KernelId>(state.range(0));
+  auto fixture = make_fixture(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    kernels::run_full(id, clsim::default_engine(), fixture.a,
+                      std::span<const float>(fixture.x),
+                      std::span<float>(fixture.y));
+    benchmark::DoNotOptimize(fixture.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.a.nnz());
+  state.SetBytesProcessed(state.iterations() * fixture.a.nnz() *
+                          (sizeof(float) + sizeof(index_t)));
+  state.SetLabel(kernels::kernel_name(id) + "/" +
+                 regime_name(static_cast<int>(state.range(1))));
+}
+
+void bench_csr_adaptive(benchmark::State& state) {
+  auto fixture = make_fixture(static_cast<int>(state.range(0)));
+  baseline::CsrAdaptive<float> adaptive(fixture.a, clsim::default_engine());
+  for (auto _ : state) {
+    adaptive.run(std::span<const float>(fixture.x),
+                 std::span<float>(fixture.y));
+    benchmark::DoNotOptimize(fixture.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.a.nnz());
+  state.SetLabel(std::string("csr-adaptive/") +
+                 regime_name(static_cast<int>(state.range(0))));
+}
+
+void bench_merge(benchmark::State& state) {
+  auto fixture = make_fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    baseline::spmv_merge(fixture.a, std::span<const float>(fixture.x),
+                         std::span<float>(fixture.y));
+    benchmark::DoNotOptimize(fixture.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.a.nnz());
+  state.SetLabel(std::string("merge/") +
+                 regime_name(static_cast<int>(state.range(0))));
+}
+
+void bench_binning(benchmark::State& state) {
+  const auto unit = static_cast<index_t>(state.range(0));
+  auto fixture = make_fixture(1);
+  for (auto _ : state) {
+    auto bins = binning::bin_matrix(fixture.a, unit);
+    benchmark::DoNotOptimize(bins.bin_count());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.a.rows());
+  state.SetLabel("bin_matrix/U" + std::to_string(unit));
+}
+
+}  // namespace
+
+BENCHMARK(bench_pool_kernel)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_csr_adaptive)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_merge)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(bench_binning)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

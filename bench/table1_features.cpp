@@ -1,0 +1,34 @@
+// Table I reproduction: the extracted feature parameters for each
+// representative matrix — the attribute vector the two-stage model
+// consumes ({M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ}).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace spmv;
+using namespace spmv::bench;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double extra_scale = cli.get_double("scale", 1.0);
+
+  std::printf("=== bench table1_features (scale=%.3f) ===\n\n", extra_scale);
+  std::printf("%-16s %10s %10s %12s %12s %9s %8s %8s\n", "matrix", "M", "N",
+              "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ");
+  rule(92);
+
+  for (const auto& base_info : gen::representative_catalogue()) {
+    auto info = base_info;
+    info.scale *= extra_scale;
+    const auto a = gen::make_representative<float>(info);
+    const auto stats = compute_row_stats(a);
+    const auto f = ml::stage1_features(stats);
+    std::printf("%-16s %10.0f %10.0f %12.0f %12.1f %9.2f %8.0f %8.0f\n",
+                info.name.c_str(), f[0], f[1], f[2], f[3], f[4], f[5], f[6]);
+  }
+  rule(92);
+  std::printf("attribute order matches Table I: %s", "");
+  for (const auto& name : ml::stage1_attr_names()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  return 0;
+}

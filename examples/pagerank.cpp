@@ -1,0 +1,103 @@
+// PageRank on a synthetic web-like graph — the "real-world applications"
+// workload class from the paper's introduction (graph analytics over
+// short-row, power-law matrices).
+//
+// Each iteration is rank' = d * A^T * (rank / outdeg) + (1-d)/n, computed
+// with an auto-tuned SpMV over the transposed adjacency matrix. Compares
+// the auto-tuned kernel against the plain OpenMP CSR kernel.
+//
+// Usage: pagerank [--nodes N] [--iters K] [--damping D]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+
+#include "autospmv.hpp"
+
+using namespace spmv;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto nodes = static_cast<index_t>(cli.get_int("nodes", 200000));
+  const int iters = static_cast<int>(cli.get_int("iters", 20));
+  const auto damping = static_cast<float>(cli.get_double("damping", 0.85));
+
+  // Web-like directed graph: power-law out-degrees.
+  const auto adjacency =
+      gen::power_law<float>(nodes, nodes, 2.1, 2000, /*seed=*/7);
+  // PageRank pulls rank along *incoming* edges: iterate over A^T.
+  const auto at = transpose(adjacency);
+  std::printf("graph: %d nodes, %lld edges\n", nodes,
+              static_cast<long long>(adjacency.nnz()));
+
+  // Out-degree normalization (dangling nodes get uniform redistribution
+  // folded into the teleport term for simplicity).
+  std::vector<float> inv_outdeg(static_cast<std::size_t>(nodes), 0.0f);
+  for (index_t v = 0; v < nodes; ++v) {
+    const auto deg = adjacency.row_nnz(v);
+    if (deg > 0) inv_outdeg[static_cast<std::size_t>(v)] =
+        1.0f / static_cast<float>(deg);
+  }
+
+  core::HeuristicPredictor predictor;
+  core::AutoSpmv<float> spmv(at, predictor);
+  std::printf("auto plan over A^T: %s\n", spmv.plan().to_string().c_str());
+
+  auto run_pagerank = [&](const std::function<void(std::span<const float>,
+                                                   std::span<float>)>& mv) {
+    std::vector<float> rank(static_cast<std::size_t>(nodes),
+                            1.0f / static_cast<float>(nodes));
+    std::vector<float> scaled(static_cast<std::size_t>(nodes));
+    std::vector<float> next(static_cast<std::size_t>(nodes));
+    for (int it = 0; it < iters; ++it) {
+      for (std::size_t v = 0; v < scaled.size(); ++v)
+        scaled[v] = rank[v] * inv_outdeg[v];
+      mv(scaled, next);
+      const float teleport = (1.0f - damping) / static_cast<float>(nodes);
+      for (std::size_t v = 0; v < next.size(); ++v)
+        next[v] = teleport + damping * next[v];
+      rank.swap(next);
+    }
+    return rank;
+  };
+
+  util::Timer t_auto;
+  const auto rank_auto = run_pagerank(
+      [&](std::span<const float> in, std::span<float> out) {
+        spmv.run(in, out);
+      });
+  const double s_auto = t_auto.elapsed_s();
+
+  util::Timer t_omp;
+  const auto rank_omp = run_pagerank(
+      [&](std::span<const float> in, std::span<float> out) {
+        kernels::spmv_omp_rows(at, in, out);
+      });
+  const double s_omp = t_omp.elapsed_s();
+
+  // The two kernels must agree.
+  double max_diff = 0.0;
+  for (std::size_t v = 0; v < rank_auto.size(); ++v)
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(rank_auto[v]) -
+                                 static_cast<double>(rank_omp[v])));
+  std::printf("agreement: max |rank_auto - rank_omp| = %.3g\n", max_diff);
+
+  // Top-5 ranked nodes.
+  std::vector<index_t> order(static_cast<std::size_t>(nodes));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](index_t l, index_t r) {
+                      return rank_auto[static_cast<std::size_t>(l)] >
+                             rank_auto[static_cast<std::size_t>(r)];
+                    });
+  std::printf("top nodes:");
+  for (int k = 0; k < 5; ++k)
+    std::printf(" %d(%.3g)", order[static_cast<std::size_t>(k)],
+                rank_auto[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])]);
+  std::printf("\n%d iterations: auto-tuned %.3f s vs OpenMP-CSR %.3f s "
+              "(%.2fx)\n",
+              iters, s_auto, s_omp, s_omp / s_auto);
+  return 0;
+}

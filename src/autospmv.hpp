@@ -1,0 +1,44 @@
+// Umbrella header: the full public API of the autospmv library.
+//
+// autospmv reproduces "Auto-Tuning Strategies for Parallelizing Sparse
+// Matrix-Vector (SpMV) Multiplication on Multi- and Many-Core Processors"
+// (Hou, Feng, Che — IPDPSW 2017). See README.md for a tour and DESIGN.md
+// for the architecture.
+#pragma once
+
+#include "baseline/csr_adaptive.hpp"    // CSR-Adaptive baseline
+#include "baseline/merge_spmv.hpp"      // merge-based SpMV extension
+#include "binning/binning.hpp"          // Algorithm-2 virtual-row binning
+#include "binning/schemes.hpp"          // fine/hybrid/single-bin schemes
+#include "clsim/device.hpp"             // simulated device description
+#include "clsim/engine.hpp"             // work-group execution engine
+#include "core/auto_spmv.hpp"           // the auto-tuned SpMV runtime
+#include "core/candidates.hpp"          // U / kernel candidate pools
+#include "core/exhaustive.hpp"          // oracle tuner
+#include "core/hetero.hpp"              // heterogeneous bin scheduling
+#include "core/model_io.hpp"            // model persistence
+#include "core/plan.hpp"                // parallelization plans
+#include "core/predictor.hpp"           // model & heuristic predictors
+#include "core/trainer.hpp"             // offline training pipeline
+#include "gen/corpus.hpp"               // UF-like training corpus
+#include "gen/generators.hpp"           // synthetic matrix generators
+#include "gen/representative.hpp"       // the 16 Table-II matrices
+#include "kernels/reference.hpp"        // Algorithm-1 reference kernels
+#include "kernels/registry.hpp"         // the nine-kernel pool
+#include "ml/boosting.hpp"              // C5.0-style boosting trials
+#include "ml/dataset.hpp"               // ML dataset container
+#include "ml/decision_tree.hpp"         // C4.5/C5.0-style tree learner
+#include "ml/features.hpp"              // Table-I feature extraction
+#include "ml/ruleset.hpp"               // if-then rule sets
+#include "sparse/convert.hpp"           // COO<->CSR, transpose
+#include "sparse/coo.hpp"               // COO container
+#include "sparse/csr.hpp"               // CSR container
+#include "sparse/ell.hpp"               // ELLPACK (format-overhead study)
+#include "sparse/matrix_stats.hpp"      // row-length statistics
+#include "sparse/mm_io.hpp"             // Matrix Market I/O
+#include "sparse/reorder.hpp"           // row permutation utilities
+#include "util/cli.hpp"                 // flag parsing for tools
+#include "util/log.hpp"                 // leveled logging
+#include "util/rng.hpp"                 // deterministic RNG
+#include "util/stats.hpp"               // statistics helpers
+#include "util/timer.hpp"               // timing / measurement

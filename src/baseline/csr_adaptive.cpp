@@ -1,0 +1,134 @@
+#include "baseline/csr_adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv::baseline {
+
+namespace {
+constexpr int kGroupSize = 256;
+}
+
+template <typename T>
+CsrAdaptive<T>::CsrAdaptive(const CsrMatrix<T>& a, const clsim::Engine& engine)
+    : a_(a), engine_(engine) {
+  // Greedy packing (the original's rowBlocks construction): extend the
+  // current block while its NNZ stays within the buffer and its row count
+  // within the lane count; an oversized single row gets its own block.
+  const index_t m = a.rows();
+  row_blocks_.push_back(0);
+  offset_t block_nnz = 0;
+  index_t block_rows = 0;
+  for (index_t r = 0; r < m; ++r) {
+    const offset_t len = a.row_nnz(r);
+    if (block_rows > 0 &&
+        (block_nnz + len > kBlockNnz || block_rows + 1 > kMaxRowsPerBlock)) {
+      row_blocks_.push_back(r);
+      block_nnz = 0;
+      block_rows = 0;
+    }
+    block_nnz += len;
+    block_rows += 1;
+    if (block_rows == 1 && len > kBlockNnz) {
+      // Oversized row: close it immediately as a CSR-Vector block.
+      row_blocks_.push_back(r + 1);
+      block_nnz = 0;
+      block_rows = 0;
+    }
+  }
+  if (row_blocks_.back() != m) row_blocks_.push_back(m);
+}
+
+template <typename T>
+void CsrAdaptive<T>::run(std::span<const T> x, std::span<T> y) const {
+  if (x.size() != static_cast<std::size_t>(a_.cols()))
+    throw std::invalid_argument("CsrAdaptive::run: x size != cols");
+  if (y.size() != static_cast<std::size_t>(a_.rows()))
+    throw std::invalid_argument("CsrAdaptive::run: y size != rows");
+
+  const auto row_ptr = a_.row_ptr();
+  const auto col_idx = a_.col_idx();
+  const auto vals = a_.vals();
+  const auto& blocks = row_blocks_;
+
+  clsim::LaunchParams lp;
+  lp.num_groups = block_count();
+  lp.group_size = kGroupSize;
+  lp.chunk = 4;
+
+  engine_.launch(lp, [&](clsim::WorkGroup& wg) {
+    auto buf = wg.local_array<T>(static_cast<std::size_t>(kBlockNnz));
+    const auto b = wg.group_id();
+    const index_t row_begin = blocks[b];
+    const index_t row_end = blocks[b + 1];
+    const offset_t nnz_begin = row_ptr[static_cast<std::size_t>(row_begin)];
+    const offset_t nnz_end = row_ptr[static_cast<std::size_t>(row_end)];
+    const offset_t block_nnz = nnz_end - nnz_begin;
+
+    if (row_end - row_begin > 1 || block_nnz <= kBlockNnz) {
+      // CSR-Stream: stage every product of the block with one coalesced
+      // sweep, then reduce one row per lane from local memory. The reduce
+      // phase runs in lockstep 64-lane wavefronts, exactly like
+      // Kernel-Serial's emulation: a wavefront works until its longest row
+      // is done, so divergent row lengths inside a block waste lane-steps
+      // (the cost CSR-Adaptive pays on irregular inputs).
+      for (offset_t j = nnz_begin; j < nnz_end; ++j) {
+        buf[static_cast<std::size_t>(j - nnz_begin)] =
+            vals[static_cast<std::size_t>(j)] *
+            x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+      }
+      constexpr int kWavefront = 64;
+      offset_t pos[kWavefront];
+      offset_t end[kWavefront];
+      T acc[kWavefront];
+      for (index_t wave = row_begin; wave < row_end; wave += kWavefront) {
+        const int lanes =
+            static_cast<int>(std::min<index_t>(kWavefront, row_end - wave));
+        for (int t = 0; t < lanes; ++t) {
+          const auto r = static_cast<std::size_t>(wave + t);
+          pos[t] = row_ptr[r] - nnz_begin;
+          end[t] = row_ptr[r + 1] - nnz_begin;
+          acc[t] = T{};
+        }
+        bool active = true;
+        while (active) {
+          active = false;
+          for (int t = 0; t < lanes; ++t) {
+            if (pos[t] < end[t]) {
+              acc[t] += buf[static_cast<std::size_t>(pos[t])];
+              ++pos[t];
+              active = true;
+            }
+          }
+        }
+        for (int t = 0; t < lanes; ++t) {
+          y[static_cast<std::size_t>(wave + t)] = acc[t];
+        }
+      }
+    } else {
+      // CSR-Vector: one long row, whole group, chunked through the buffer
+      // with a full-width tree reduction per chunk.
+      T sum{};
+      for (offset_t base = nnz_begin; base < nnz_end; base += kBlockNnz) {
+        const auto len = static_cast<std::size_t>(
+            std::min<offset_t>(kBlockNnz, nnz_end - base));
+        for (std::size_t k = 0; k < len; ++k) {
+          const auto j = static_cast<std::size_t>(base) + k;
+          buf[k] = vals[j] * x[static_cast<std::size_t>(col_idx[j])];
+        }
+        for (std::size_t k = len; k < static_cast<std::size_t>(kBlockNnz); ++k)
+          buf[k] = T{};
+        for (std::size_t stride = kBlockNnz / 2; stride >= 1; stride /= 2) {
+          for (std::size_t k = 0; k < stride; ++k) buf[k] += buf[k + stride];
+        }
+        sum += buf[0];
+      }
+      y[static_cast<std::size_t>(row_begin)] = sum;
+    }
+  });
+}
+
+template class CsrAdaptive<float>;
+template class CsrAdaptive<double>;
+
+}  // namespace spmv::baseline

@@ -1,0 +1,61 @@
+// CSR-Adaptive (Greathouse & Daga, SC'14) — the paper's state-of-the-art
+// baseline (Figure 7). Reimplemented on the clsim engine, mirroring the
+// SNACK port the paper compares against.
+//
+// CSR-Adaptive achieves *inter-bin* load balance: consecutive rows are
+// greedily packed into row blocks whose total NNZ fits the local-memory
+// buffer; each block is processed by one work-group. Multi-row blocks use
+// CSR-Stream (cooperatively stage all products into local memory with
+// coalesced loads, then reduce one row per lane); a single row too long for
+// the buffer falls back to CSR-Vector (whole group on the row). The
+// strategy parameters are fixed ("hard-coded") as in the original.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "clsim/engine.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::baseline {
+
+/// One-time-planned CSR-Adaptive SpMV executor for a fixed matrix.
+template <typename T>
+class CsrAdaptive {
+ public:
+  /// Local-memory product buffer per work-group, in elements. Blocks are
+  /// packed so block NNZ <= kBlockNnz (one stream pass per block).
+  static constexpr offset_t kBlockNnz = 1024;
+  /// CSR-Stream reduces one row per lane, so blocks hold at most the
+  /// work-group's lane count of rows.
+  static constexpr index_t kMaxRowsPerBlock = 256;
+
+  /// Build the row-block table for `a`. The matrix must outlive this
+  /// object (only a reference is kept).
+  CsrAdaptive(const CsrMatrix<T>& a, const clsim::Engine& engine);
+
+  /// y = A*x using the planned blocks.
+  void run(std::span<const T> x, std::span<T> y) const;
+
+  /// Number of row blocks (work-groups launched per run).
+  [[nodiscard]] std::size_t block_count() const {
+    return row_blocks_.size() - 1;
+  }
+
+  /// Block boundary rows: block b covers rows
+  /// [row_blocks()[b], row_blocks()[b+1]).
+  [[nodiscard]] const std::vector<index_t>& row_blocks() const {
+    return row_blocks_;
+  }
+
+ private:
+  const CsrMatrix<T>& a_;
+  const clsim::Engine& engine_;
+  std::vector<index_t> row_blocks_;
+};
+
+extern template class CsrAdaptive<float>;
+extern template class CsrAdaptive<double>;
+
+}  // namespace spmv::baseline

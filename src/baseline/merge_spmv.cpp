@@ -1,0 +1,105 @@
+#include "baseline/merge_spmv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <omp.h>
+
+namespace spmv::baseline {
+
+MergeCoord merge_path_search(std::int64_t diagonal,
+                             std::span<const offset_t> row_end,
+                             std::int64_t nnz) {
+  const auto m = static_cast<std::int64_t>(row_end.size());
+  std::int64_t lo = std::max<std::int64_t>(diagonal - nnz, 0);
+  std::int64_t hi = std::min<std::int64_t>(diagonal, m);
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (row_end[static_cast<std::size_t>(mid)] <= diagonal - mid - 1) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, diagonal - lo};
+}
+
+template <typename T>
+void spmv_merge(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
+                int threads) {
+  if (x.size() != static_cast<std::size_t>(a.cols()))
+    throw std::invalid_argument("spmv_merge: x size != cols");
+  if (y.size() != static_cast<std::size_t>(a.rows()))
+    throw std::invalid_argument("spmv_merge: y size != rows");
+
+  const auto m = static_cast<std::int64_t>(a.rows());
+  const auto nnz = static_cast<std::int64_t>(a.nnz());
+  if (m == 0) return;
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  const std::span<const offset_t> row_end = row_ptr.subspan(1);
+
+  if (threads <= 0)
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  const std::int64_t total = m + nnz;
+  threads = static_cast<int>(
+      std::min<std::int64_t>(threads, std::max<std::int64_t>(1, total)));
+
+  // Per-thread carry-out for rows split across thread boundaries.
+  std::vector<std::int64_t> carry_row(static_cast<std::size_t>(threads));
+  std::vector<T> carry_val(static_cast<std::size_t>(threads));
+
+#pragma omp parallel num_threads(threads)
+  {
+    const int tid = omp_get_thread_num();
+    const std::int64_t d0 = total * tid / threads;
+    const std::int64_t d1 = total * (tid + 1) / threads;
+    MergeCoord begin = merge_path_search(d0, row_end, nnz);
+    const MergeCoord end = merge_path_search(d1, row_end, nnz);
+
+    T running{};
+    std::int64_t r = begin.row;
+    std::int64_t j = begin.nnz;
+    for (; r < end.row; ++r) {
+      for (; j < row_end[static_cast<std::size_t>(r)]; ++j) {
+        running += vals[static_cast<std::size_t>(j)] *
+                   x[static_cast<std::size_t>(
+                       col_idx[static_cast<std::size_t>(j)])];
+      }
+      y[static_cast<std::size_t>(r)] = running;
+      running = T{};
+    }
+    for (; j < end.nnz; ++j) {
+      running += vals[static_cast<std::size_t>(j)] *
+                 x[static_cast<std::size_t>(
+                     col_idx[static_cast<std::size_t>(j)])];
+    }
+    carry_row[static_cast<std::size_t>(tid)] = r;
+    carry_val[static_cast<std::size_t>(tid)] = running;
+  }
+
+  // Fix-up: a row split across threads gets its "=" write from the thread
+  // that consumes its row-boundary item; every earlier thread that touched
+  // the row adds its partial sum here.
+  for (int t = 0; t < threads; ++t) {
+    const auto r = carry_row[static_cast<std::size_t>(t)];
+    if (r < m) {
+      // The owning "=" write happens in the thread that finishes row r; if
+      // every later thread also only saw part of it, row r is finished by
+      // the loop below adding all carries; initialise on first touch.
+      y[static_cast<std::size_t>(r)] += carry_val[static_cast<std::size_t>(t)];
+    }
+  }
+}
+
+template void spmv_merge(const CsrMatrix<float>&, std::span<const float>,
+                         std::span<float>, int);
+template void spmv_merge(const CsrMatrix<double>&, std::span<const double>,
+                         std::span<double>, int);
+
+}  // namespace spmv::baseline

@@ -1,0 +1,41 @@
+// Merge-based SpMV (Merrill & Garland, SC'16) — the paper lists this as a
+// future-work kernel candidate (§V); we implement it as the extension and
+// study it in bench/ablation_merge_kernel.
+//
+// The merge-path formulation assigns every thread an equal share of the
+// combined (row boundaries + non-zeros) work sequence located by a
+// two-dimensional diagonal binary search, giving perfect load balance
+// regardless of the row-length distribution.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace spmv::baseline {
+
+/// y = A*x via merge-path partitioning across OpenMP threads.
+/// `threads` <= 0 means "all hardware threads".
+template <typename T>
+void spmv_merge(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
+                int threads = 0);
+
+/// Coordinate on the merge path (exposed for tests).
+struct MergeCoord {
+  std::int64_t row;  ///< index into the row-end list
+  std::int64_t nnz;  ///< index into the non-zero list
+};
+
+/// Diagonal search: the merge-path coordinate where diagonal `d` crosses
+/// the path defined by row_end (ascending) and the natural numbers.
+MergeCoord merge_path_search(std::int64_t diagonal,
+                             std::span<const offset_t> row_end,
+                             std::int64_t nnz);
+
+extern template void spmv_merge(const CsrMatrix<float>&,
+                                std::span<const float>, std::span<float>, int);
+extern template void spmv_merge(const CsrMatrix<double>&,
+                                std::span<const double>, std::span<double>,
+                                int);
+
+}  // namespace spmv::baseline

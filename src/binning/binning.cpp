@@ -1,0 +1,86 @@
+#include "binning/binning.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include <omp.h>
+
+namespace spmv::binning {
+
+const std::vector<index_t>& default_granularity_pool() {
+  static const std::vector<index_t> pool = {
+      10,     20,     50,     100,    200,    500,    1000,   2000,
+      5000,   10000,  20000,  50000,  100000, 200000, 500000, 1000000};
+  return pool;
+}
+
+std::vector<int> BinSet::occupied_bins() const {
+  std::vector<int> ids;
+  for (int b = 0; b < bin_count(); ++b) {
+    if (!bins_[static_cast<std::size_t>(b)].empty()) ids.push_back(b);
+  }
+  return ids;
+}
+
+std::size_t BinSet::stored_virtual_rows() const {
+  return std::accumulate(bins_.begin(), bins_.end(), std::size_t{0},
+                         [](std::size_t acc, const std::vector<index_t>& b) {
+                           return acc + b.size();
+                         });
+}
+
+index_t BinSet::rows_in_bin(int b) const {
+  index_t total = 0;
+  for (index_t v : bins_[static_cast<std::size_t>(b)]) {
+    total += std::min<index_t>(unit_, rows_ - v * unit_);
+  }
+  return total;
+}
+
+template <typename T>
+BinSet bin_matrix(const CsrMatrix<T>& a, index_t unit) {
+  if (unit <= 0) throw std::invalid_argument("bin_matrix: unit must be > 0");
+  const index_t m = a.rows();
+  const index_t vrows = (m + unit - 1) / unit;
+  const auto row_ptr = a.row_ptr();
+
+  // Step 1: workload of every virtual row = NNZ of its U adjacent rows,
+  // read as a row_ptr difference (Algorithm 2, line 3).
+  std::vector<offset_t> wl(static_cast<std::size_t>(vrows));
+#pragma omp parallel for schedule(static) if (vrows > (1 << 16))
+  for (index_t i = 0; i < vrows; ++i) {
+    const auto lo = static_cast<std::size_t>(i) * static_cast<std::size_t>(unit);
+    const auto hi = std::min<std::size_t>(lo + static_cast<std::size_t>(unit),
+                                          static_cast<std::size_t>(m));
+    wl[static_cast<std::size_t>(i)] = row_ptr[hi] - row_ptr[lo];
+  }
+
+  // Step 2: binId = workload / U, overflow into the last bin (lines 7-11).
+  std::vector<std::vector<index_t>> bins(kMaxBins);
+  for (index_t i = 0; i < vrows; ++i) {
+    auto bin_id = static_cast<std::size_t>(
+        wl[static_cast<std::size_t>(i)] / static_cast<offset_t>(unit));
+    bin_id = std::min<std::size_t>(bin_id, kMaxBins - 1);
+    bins[bin_id].push_back(i);
+  }
+  return BinSet(m, unit, std::move(bins));
+}
+
+template <typename T>
+BinSet single_bin(const CsrMatrix<T>& a, index_t unit) {
+  if (unit <= 0) throw std::invalid_argument("single_bin: unit must be > 0");
+  const index_t m = a.rows();
+  const index_t vrows = (m + unit - 1) / unit;
+  std::vector<std::vector<index_t>> bins(1);
+  bins[0].resize(static_cast<std::size_t>(vrows));
+  std::iota(bins[0].begin(), bins[0].end(), index_t{0});
+  return BinSet(m, unit, std::move(bins));
+}
+
+template BinSet bin_matrix(const CsrMatrix<float>&, index_t);
+template BinSet bin_matrix(const CsrMatrix<double>&, index_t);
+template BinSet single_bin(const CsrMatrix<float>&, index_t);
+template BinSet single_bin(const CsrMatrix<double>&, index_t);
+
+}  // namespace spmv::binning

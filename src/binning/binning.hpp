@@ -1,0 +1,78 @@
+// Coarse-grained virtual-row binning — Algorithm 2 of the paper.
+//
+// Every `U` adjacent rows form one "virtual" row; the virtual row's
+// workload is its total NNZ (computed from two row_ptr reads, step 1); the
+// bin id is workload / U, clamped to the last bin (step 2). Only the
+// virtual-row index is stored, so a bin entry represents U adjacent rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmv::binning {
+
+/// Up to 100 bins, as in the paper ("there are up to 100 bins").
+inline constexpr int kMaxBins = 100;
+
+/// The granularity pool the paper presets: "U is preset to be 10, 20, 50,
+/// 100, ..., 10^6" — a 1-2-5 decade ladder from 10 to 10^6.
+const std::vector<index_t>& default_granularity_pool();
+
+/// Result of binning one matrix at granularity `unit`.
+///
+/// bins[b] holds virtual-row indices i whose workload w satisfies
+/// unit*b <= w < unit*(b+1) (overflow in the last bin). Virtual row i
+/// covers matrix rows [i*unit, min((i+1)*unit, rows)).
+class BinSet {
+ public:
+  BinSet() = default;
+  BinSet(index_t rows, index_t unit, std::vector<std::vector<index_t>> bins)
+      : rows_(rows), unit_(unit), bins_(std::move(bins)) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t unit() const { return unit_; }
+  [[nodiscard]] int bin_count() const { return static_cast<int>(bins_.size()); }
+  [[nodiscard]] const std::vector<index_t>& bin(int b) const { return bins_[static_cast<std::size_t>(b)]; }
+  [[nodiscard]] const std::vector<std::vector<index_t>>& bins() const { return bins_; }
+
+  /// Number of virtual rows in the matrix: ceil(rows / unit).
+  [[nodiscard]] index_t virtual_rows() const {
+    return (rows_ + unit_ - 1) / unit_;
+  }
+
+  /// Ids of non-empty bins, ascending.
+  [[nodiscard]] std::vector<int> occupied_bins() const;
+
+  /// Total virtual rows stored across bins (== virtual_rows() when the
+  /// BinSet covers the whole matrix).
+  [[nodiscard]] std::size_t stored_virtual_rows() const;
+
+  /// Actual matrix rows covered by bin b (expanding virtual rows, clipped
+  /// at the matrix end).
+  [[nodiscard]] index_t rows_in_bin(int b) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t unit_ = 1;
+  std::vector<std::vector<index_t>> bins_;
+};
+
+/// Algorithm 2 (steps 1 + 2): bin `a` at granularity `unit`.
+/// Workload collection (step 1) is trivially parallel; it runs with OpenMP
+/// when the matrix is large.
+template <typename T>
+BinSet bin_matrix(const CsrMatrix<T>& a, index_t unit);
+
+/// All rows into one bin (the §IV-C "single-bin strategy"): bin 0 holds
+/// every virtual row of granularity `unit`.
+template <typename T>
+BinSet single_bin(const CsrMatrix<T>& a, index_t unit = 1);
+
+extern template BinSet bin_matrix(const CsrMatrix<float>&, index_t);
+extern template BinSet bin_matrix(const CsrMatrix<double>&, index_t);
+extern template BinSet single_bin(const CsrMatrix<float>&, index_t);
+extern template BinSet single_bin(const CsrMatrix<double>&, index_t);
+
+}  // namespace spmv::binning

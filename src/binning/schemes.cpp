@@ -1,0 +1,91 @@
+#include "binning/schemes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv::binning {
+
+std::string scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::Coarse: return "coarse";
+    case SchemeKind::Fine: return "fine";
+    case SchemeKind::Hybrid: return "hybrid";
+    case SchemeKind::SingleBin: return "single-bin";
+  }
+  throw std::invalid_argument("scheme_name: bad kind");
+}
+
+namespace {
+
+/// Hybrid: a virtual row of `unit` adjacent rows stays coarse only when all
+/// of its rows are long (>= short_threshold non-zeros); otherwise its rows
+/// are stored individually in the fine part. Every matrix row is covered
+/// exactly once across the two parts.
+template <typename T>
+BinnedMatrix hybrid_scheme(const CsrMatrix<T>& a, index_t unit,
+                           offset_t short_threshold) {
+  const index_t m = a.rows();
+  const index_t vrows = (m + unit - 1) / unit;
+
+  std::vector<std::vector<index_t>> fine_bins(kMaxBins);
+  std::vector<std::vector<index_t>> coarse_bins(kMaxBins);
+
+  for (index_t v = 0; v < vrows; ++v) {
+    const index_t lo = v * unit;
+    const index_t hi = std::min<index_t>(lo + unit, m);
+    bool all_long = true;
+    offset_t workload = 0;
+    for (index_t r = lo; r < hi; ++r) {
+      const offset_t len = a.row_nnz(r);
+      workload += len;
+      all_long = all_long && len >= short_threshold;
+    }
+    if (all_long) {
+      auto bin_id = static_cast<std::size_t>(workload / unit);
+      bin_id = std::min<std::size_t>(bin_id, kMaxBins - 1);
+      coarse_bins[bin_id].push_back(v);
+    } else {
+      for (index_t r = lo; r < hi; ++r) {
+        auto bin_id = static_cast<std::size_t>(a.row_nnz(r));
+        bin_id = std::min<std::size_t>(bin_id, kMaxBins - 1);
+        fine_bins[bin_id].push_back(r);
+      }
+    }
+  }
+
+  BinnedMatrix result;
+  result.kind = SchemeKind::Hybrid;
+  result.parts.emplace_back(m, index_t{1}, std::move(fine_bins));
+  result.parts.emplace_back(m, unit, std::move(coarse_bins));
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+BinnedMatrix apply_scheme(const CsrMatrix<T>& a, SchemeKind kind,
+                          index_t unit, offset_t short_threshold) {
+  BinnedMatrix result;
+  result.kind = kind;
+  switch (kind) {
+    case SchemeKind::Coarse:
+      result.parts.push_back(bin_matrix(a, unit));
+      return result;
+    case SchemeKind::Fine:
+      result.parts.push_back(bin_matrix(a, index_t{1}));
+      return result;
+    case SchemeKind::Hybrid:
+      return hybrid_scheme(a, unit, short_threshold);
+    case SchemeKind::SingleBin:
+      result.parts.push_back(single_bin(a, unit));
+      return result;
+  }
+  throw std::invalid_argument("apply_scheme: bad kind");
+}
+
+template BinnedMatrix apply_scheme(const CsrMatrix<float>&, SchemeKind,
+                                   index_t, offset_t);
+template BinnedMatrix apply_scheme(const CsrMatrix<double>&, SchemeKind,
+                                   index_t, offset_t);
+
+}  // namespace spmv::binning

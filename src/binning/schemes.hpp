@@ -1,0 +1,51 @@
+// Alternative binning schemes (paper §II-C / §III-B): besides the default
+// coarse-grained virtual-row scheme, the framework "can be easily extended"
+// with a fine-grained scheme (every single row index stored) and a hybrid
+// scheme (fine-grained over short rows, coarse-grained over long rows).
+// These power the ablation bench and the Figure-8 overhead study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "binning/binning.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::binning {
+
+enum class SchemeKind : int {
+  Coarse = 0,   ///< Algorithm 2 at granularity U (the paper's default)
+  Fine,         ///< granularity 1: every row stored individually
+  Hybrid,       ///< fine for short rows, coarse for long rows
+  SingleBin,    ///< all rows into one bin (paper §IV-C discussion)
+};
+
+std::string scheme_name(SchemeKind kind);
+
+/// A binned matrix under some scheme: one or more BinSet parts, each with
+/// its own granularity. Kernels run per (part, bin).
+struct BinnedMatrix {
+  SchemeKind kind = SchemeKind::Coarse;
+  std::vector<BinSet> parts;
+
+  /// Total virtual-row entries stored (the scheme's space overhead).
+  [[nodiscard]] std::size_t stored_entries() const {
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.stored_virtual_rows();
+    return total;
+  }
+};
+
+/// Apply a scheme. `unit` is the coarse granularity (ignored by Fine);
+/// `short_threshold` is the Hybrid row-length cutoff: rows with fewer
+/// non-zeros are binned individually, the rest as virtual rows of `unit`.
+template <typename T>
+BinnedMatrix apply_scheme(const CsrMatrix<T>& a, SchemeKind kind,
+                          index_t unit, offset_t short_threshold = 64);
+
+extern template BinnedMatrix apply_scheme(const CsrMatrix<float>&, SchemeKind,
+                                          index_t, offset_t);
+extern template BinnedMatrix apply_scheme(const CsrMatrix<double>&,
+                                          SchemeKind, index_t, offset_t);
+
+}  // namespace spmv::binning

@@ -1,0 +1,22 @@
+#include "clsim/device.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace spmv::clsim {
+
+int Device::resolved_compute_units() const {
+  if (compute_units > 0) return compute_units;
+  // hardware_concurrency() reads procfs on glibc — far too slow to query
+  // per launch, so resolve it once per process.
+  static const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return hw;
+}
+
+const Device& default_device() {
+  static const Device device{};
+  return device;
+}
+
+}  // namespace spmv::clsim

@@ -1,0 +1,10 @@
+#include "clsim/engine.hpp"
+
+namespace spmv::clsim {
+
+const Engine& default_engine() {
+  static const Engine engine{};
+  return engine;
+}
+
+}  // namespace spmv::clsim

@@ -1,0 +1,176 @@
+// NDRange work-group execution engine.
+//
+// This is the OpenCL/HSA stand-in: a kernel is a callable invoked once per
+// work-group; lanes (work-items) are expressed inside the kernel as lockstep
+// loops between logical barrier points, exactly the standard technique for
+// executing barrier-synchronised SPMD code on CPUs. Work-groups are the
+// scheduling unit and are distributed across host threads with dynamic
+// scheduling, so inter-group load imbalance costs wall-clock time just as it
+// costs a GPU.
+//
+// Local memory: each work-group gets a bump-allocated arena (the LDS
+// analogue) that is reset between groups; allocation beyond the device's
+// LDS capacity throws, which keeps kernels honest about the paper's
+// hardware limits.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "clsim/device.hpp"
+#include "clsim/thread_pool.hpp"
+
+namespace spmv::clsim {
+
+/// Kernel launch geometry.
+struct LaunchParams {
+  std::size_t num_groups = 0;
+  int group_size = 256;
+  /// Groups handed to a host thread at a time; small values give fine
+  /// balancing for heavy groups, larger values amortize scheduling for
+  /// cheap groups.
+  int chunk = 4;
+};
+
+/// Per-work-group local-memory arena (the LDS model). The backing buffer
+/// may exceed the modeled device's LDS (it is reused across launches); the
+/// logical `limit` set at each reset enforces the device capacity.
+class LocalArena {
+ public:
+  explicit LocalArena(std::size_t capacity_bytes)
+      : buffer_(capacity_bytes), used_(0), limit_(capacity_bytes) {}
+
+  /// Bump-allocate `count` elements of T, aligned to alignof(T). Contents
+  /// are uninitialized, matching OpenCL __local semantics. Throws
+  /// std::bad_alloc past the device's local-memory limit.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) & ~(align - 1);
+    const std::size_t bytes = count * sizeof(T);
+    if (offset + bytes > limit_) throw std::bad_alloc();
+    used_ = offset + bytes;
+    return {reinterpret_cast<T*>(buffer_.data() + offset), count};
+  }
+
+  /// Start a new work-group: empty arena, optionally with a tighter
+  /// logical limit (clamped to the physical buffer).
+  void reset() { used_ = 0; }
+  void reset(std::size_t limit_bytes) {
+    used_ = 0;
+    limit_ = std::min(limit_bytes, buffer_.size());
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t used_;
+  std::size_t limit_;
+};
+
+/// Context handed to the kernel callable, one per executing work-group.
+class WorkGroup {
+ public:
+  WorkGroup(std::size_t group_id, int group_size, LocalArena& arena)
+      : group_id_(group_id), group_size_(group_size), arena_(arena) {}
+
+  /// get_group_id(0) analogue.
+  [[nodiscard]] std::size_t group_id() const { return group_id_; }
+  /// get_local_size(0) analogue.
+  [[nodiscard]] int group_size() const { return group_size_; }
+
+  /// __local array allocation; lifetime ends with the group.
+  template <typename T>
+  std::span<T> local_array(std::size_t count) {
+    return arena_.alloc<T>(count);
+  }
+
+ private:
+  std::size_t group_id_;
+  int group_size_;
+  LocalArena& arena_;
+};
+
+/// The engine: owns the device description and launches NDRanges.
+class Engine {
+ public:
+  explicit Engine(Device device = default_device()) : device_(device) {}
+
+  [[nodiscard]] const Device& device() const { return device_; }
+
+  /// Launch `lp.num_groups` work-groups of `kernel`. Blocks until all
+  /// groups complete (like a clFinish'd enqueue). `kernel` is invoked as
+  /// kernel(WorkGroup&). Exceptions from kernels propagate to the caller.
+  ///
+  /// Launches with at most two groups run inline on the caller — the
+  /// small-dispatch fast path every GPU driver has; parallelism could not
+  /// have exceeded the group count anyway.
+  template <typename F>
+  void launch(const LaunchParams& lp, F&& kernel) const {
+    if (lp.num_groups == 0) return;
+    if (lp.group_size <= 0 || lp.group_size > device_.max_group_size)
+      throw std::invalid_argument("Engine::launch: bad group size");
+
+    const auto n = static_cast<std::int64_t>(lp.num_groups);
+    const int threads = device_.resolved_compute_units();
+
+    if (n <= 2 || threads == 1) {
+      LocalArena& arena = thread_arena();
+      for (std::int64_t g = 0; g < n; ++g) {
+        arena.reset(device_.local_mem_bytes);
+        WorkGroup wg(static_cast<std::size_t>(g), lp.group_size, arena);
+        kernel(wg);
+      }
+      return;
+    }
+
+    // Dispatch through the persistent pool (GPU-queue-like enqueue cost).
+    struct LaunchCtx {
+      const Engine* engine;
+      std::remove_reference_t<F>* kernel;
+      int group_size;
+
+      static void run_group(void* vctx, std::int64_t g) {
+        auto* ctx = static_cast<LaunchCtx*>(vctx);
+        LocalArena& arena = ctx->engine->thread_arena();
+        arena.reset(ctx->engine->device_.local_mem_bytes);
+        WorkGroup wg(static_cast<std::size_t>(g), ctx->group_size, arena);
+        (*ctx->kernel)(wg);
+      }
+    };
+    LaunchCtx ctx{this, &kernel, lp.group_size};
+    ThreadPool::instance().parallel_for(n, lp.chunk, threads, &ctx,
+                                        &LaunchCtx::run_group);
+  }
+
+ private:
+  /// Per-host-thread arena reused across launches (an LDS is hardware, not
+  /// an allocation — re-allocating 32 KiB per enqueue would charge the
+  /// kernels a cost the modeled device does not have). Grows to the
+  /// largest local_mem_bytes any engine on this thread requests.
+  [[nodiscard]] LocalArena& thread_arena() const {
+    thread_local LocalArena arena(0);
+    if (arena.capacity() < device_.local_mem_bytes)
+      arena = LocalArena(device_.local_mem_bytes);
+    return arena;
+  }
+
+  Device device_;
+};
+
+/// The process-wide default engine on default_device().
+const Engine& default_engine();
+
+/// ceil(a / b) for positive integers.
+constexpr std::size_t div_up(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace spmv::clsim

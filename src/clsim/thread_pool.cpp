@@ -1,0 +1,173 @@
+#include "clsim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spmv::clsim {
+
+namespace {
+/// True while the current thread is executing pool work (nested
+/// parallel_for calls must not re-enter the job machinery).
+thread_local bool t_in_pool_region = false;
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> stop{false};
+
+  // Current job. Plain fields are written before the release-store of
+  // `generation` and read after an acquire-load of it; the caller never
+  // publishes a new job before the previous one fully drains.
+  std::atomic<std::uint64_t> generation{0};
+  std::int64_t n = 0;
+  int chunk = 1;
+  int participants = 0;  // workers expected on this job
+  void* ctx = nullptr;
+  GroupFn fn = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<int> remaining{0};  // workers yet to finish this job
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void run_share() {
+    const bool was_in_region = t_in_pool_region;
+    t_in_pool_region = true;
+    for (;;) {
+      const std::int64_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      const std::int64_t end = std::min<std::int64_t>(begin + chunk, n);
+      try {
+        for (std::int64_t g = begin; g < end; ++g) fn(ctx, g);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+    t_in_pool_region = was_in_region;
+  }
+
+  void worker_loop(int worker_index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      // Spin briefly before sleeping: kernels typically come in bursts
+      // (one launch per bin), and a hot wake costs ~1us vs ~30us through
+      // the condition variable.
+      bool woke = false;
+      for (int s = 0; s < 20000; ++s) {
+        if (stop.load(std::memory_order_acquire)) return;
+        if (generation.load(std::memory_order_acquire) != seen) {
+          woke = true;
+          break;
+        }
+        cpu_relax();
+      }
+      if (!woke) {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+          return stop.load(std::memory_order_relaxed) ||
+                 generation.load(std::memory_order_relaxed) != seen;
+        });
+        if (stop.load(std::memory_order_relaxed)) return;
+      }
+      seen = generation.load(std::memory_order_acquire);
+      if (worker_index < participants) {
+        run_share();
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  impl_->workers.reserve(hw - 1);
+  for (unsigned i = 0; i + 1 < hw; ++i) {
+    impl_->workers.emplace_back(
+        [this, i] { impl_->worker_loop(static_cast<int>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop.store(true);
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::parallel_for(std::int64_t n, int chunk, int max_threads,
+                              void* ctx, GroupFn fn) {
+  if (n <= 0) return;
+  chunk = std::max(1, chunk);
+
+  const int helpers = std::min<int>(
+      static_cast<int>(impl_->workers.size()), std::max(0, max_threads - 1));
+  // Serial paths: nested call, single thread requested, or a loop so small
+  // that waking workers costs more than the work.
+  if (t_in_pool_region || helpers == 0 || n <= chunk) {
+    const bool was_in_region = t_in_pool_region;
+    t_in_pool_region = true;
+    std::exception_ptr local_error;
+    try {
+      for (std::int64_t g = 0; g < n; ++g) fn(ctx, g);
+    } catch (...) {
+      local_error = std::current_exception();
+    }
+    t_in_pool_region = was_in_region;
+    if (local_error) std::rethrow_exception(local_error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->n = n;
+    impl_->chunk = chunk;
+    impl_->participants = helpers;
+    impl_->ctx = ctx;
+    impl_->fn = fn;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->remaining.store(helpers, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->generation.fetch_add(1, std::memory_order_release);
+  }
+  impl_->cv.notify_all();
+
+  impl_->run_share();
+
+  // Join: spin briefly (launches are short), then yield.
+  int spins = 0;
+  while (impl_->remaining.load(std::memory_order_acquire) != 0) {
+    if (++spins < 4096) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+}  // namespace spmv::clsim

@@ -1,0 +1,44 @@
+// Persistent worker pool backing the clsim engine.
+//
+// A GPU runtime keeps its compute units hot: enqueueing an NDRange costs
+// microseconds, not a thread fork. This pool gives Engine::launch the same
+// property — workers are created once per process and woken per launch, so
+// a plan that dispatches one kernel per bin (up to 100 launches per SpMV)
+// pays dispatch costs comparable to the paper's HSA queues rather than an
+// OpenMP parallel-region fork per bin.
+#pragma once
+
+#include <cstdint>
+
+namespace spmv::clsim {
+
+class ThreadPool {
+ public:
+  /// Per-group callback: fn(ctx, g) executes group g.
+  using GroupFn = void (*)(void* ctx, std::int64_t g);
+
+  /// The process-wide pool (hardware_concurrency - 1 workers).
+  static ThreadPool& instance();
+
+  /// Run fn(ctx, g) for every g in [0, n), distributing `chunk`-sized
+  /// batches dynamically over at most `max_threads` threads (the caller
+  /// participates and counts toward the limit). Blocks until all groups
+  /// finish; the first exception thrown by any group is rethrown.
+  ///
+  /// Re-entrant calls (fn itself calling parallel_for) degrade to serial
+  /// execution of the nested loop.
+  void parallel_for(std::int64_t n, int chunk, int max_threads, void* ctx,
+                    GroupFn fn);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace spmv::clsim

@@ -1,0 +1,36 @@
+#include "core/auto_spmv.hpp"
+
+namespace spmv::core {
+
+template <typename T>
+AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
+                      const clsim::Engine& engine)
+    : a_(a), engine_(engine), stats_(compute_row_stats(a)) {
+  const auto choice = predictor.predict_unit(stats_);
+  plan_.unit = choice.unit;
+  plan_.single_bin = choice.single_bin;
+  bins_ = bins_for_plan(a, plan_);
+  for (int b : bins_.occupied_bins()) {
+    plan_.bin_kernels.push_back(
+        {b, predictor.predict_kernel(stats_, plan_.unit, b)});
+  }
+}
+
+template <typename T>
+AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan,
+                      const clsim::Engine& engine)
+    : a_(a),
+      engine_(engine),
+      stats_(compute_row_stats(a)),
+      plan_(std::move(plan)),
+      bins_(bins_for_plan(a, plan_)) {}
+
+template <typename T>
+void AutoSpmv<T>::run(std::span<const T> x, std::span<T> y) const {
+  execute_plan(engine_, a_, x, y, bins_, plan_);
+}
+
+template class AutoSpmv<float>;
+template class AutoSpmv<double>;
+
+}  // namespace spmv::core

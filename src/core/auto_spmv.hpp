@@ -1,0 +1,57 @@
+// AutoSpmv — the library's headline runtime type (paper Figure 3, black
+// arrows): given a CSR matrix and a predictor, it extracts the Table-I
+// features, selects a binning granularity, bins the matrix, selects a
+// kernel per occupied bin, and executes SpMV through the plan.
+//
+// Typical use:
+//   auto model = spmv::core::load_model("model.txt");
+//   spmv::core::ModelPredictor pred(std::move(model));
+//   spmv::core::AutoSpmv<float> spmv(a, pred);
+//   spmv.run(x, y);  // repeatedly; the plan is built once
+#pragma once
+
+#include <span>
+
+#include "binning/binning.hpp"
+#include "clsim/engine.hpp"
+#include "core/exhaustive.hpp"
+#include "core/plan.hpp"
+#include "core/predictor.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/matrix_stats.hpp"
+
+namespace spmv::core {
+
+template <typename T>
+class AutoSpmv {
+ public:
+  /// Plan SpMV for `a`: feature extraction + stage-1/stage-2 prediction +
+  /// binning. `a` must outlive this object; `predictor` and `engine` are
+  /// only used during construction and run() respectively.
+  AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
+           const clsim::Engine& engine = clsim::default_engine());
+
+  /// Build an AutoSpmv around an externally produced plan (e.g. the
+  /// exhaustive tuner's oracle plan).
+  AutoSpmv(const CsrMatrix<T>& a, Plan plan,
+           const clsim::Engine& engine = clsim::default_engine());
+
+  /// y = A*x through the planned per-bin kernels.
+  void run(std::span<const T> x, std::span<T> y) const;
+
+  [[nodiscard]] const Plan& plan() const { return plan_; }
+  [[nodiscard]] const binning::BinSet& bins() const { return bins_; }
+  [[nodiscard]] const RowStats& stats() const { return stats_; }
+
+ private:
+  const CsrMatrix<T>& a_;
+  const clsim::Engine& engine_;
+  RowStats stats_;
+  Plan plan_;
+  binning::BinSet bins_;
+};
+
+extern template class AutoSpmv<float>;
+extern template class AutoSpmv<double>;
+
+}  // namespace spmv::core

@@ -1,0 +1,40 @@
+// Candidate pools (paper §III-A): the binning granularities U and the nine
+// kernels the auto-tuner searches and the ML model selects from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "sparse/types.hpp"
+
+namespace spmv::core {
+
+struct CandidatePools {
+  /// Binning granularities U (paper: 10, 20, 50, ..., 10^6).
+  std::vector<index_t> units;
+  /// Kernel pool (paper: the nine kernels of §III-B).
+  std::vector<kernels::KernelId> kernel_pool;
+  /// Extension (paper §IV-C "Grouping to Single Bin"): also consider the
+  /// single-bin strategy — all rows in one bin, one kernel.
+  bool include_single_bin = false;
+
+  /// Index of `unit` within `units`; -1 if absent.
+  [[nodiscard]] int unit_index(index_t unit) const;
+  /// Index of `id` within `kernel_pool`; -1 if absent.
+  [[nodiscard]] int kernel_index(kernels::KernelId id) const;
+
+  /// Class names for the stage-1 model: one per U (plus "single-bin" when
+  /// enabled, encoded as the last class).
+  [[nodiscard]] std::vector<std::string> unit_class_names() const;
+  /// Class names for the stage-2 model: one per kernel.
+  [[nodiscard]] std::vector<std::string> kernel_class_names() const;
+};
+
+/// The paper's configuration: full U ladder, all nine kernels.
+CandidatePools default_pools();
+
+/// A reduced pool for fast tests/CI: 5 granularities, 4 kernels.
+CandidatePools small_pools();
+
+}  // namespace spmv::core

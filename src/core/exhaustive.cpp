@@ -1,0 +1,132 @@
+#include "core/exhaustive.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace spmv::core {
+
+template <typename T>
+binning::BinSet bins_for_plan(const CsrMatrix<T>& a, const Plan& plan) {
+  return plan.single_bin ? binning::single_bin(a, plan.unit)
+                         : binning::bin_matrix(a, plan.unit);
+}
+
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan) {
+  if (bins.unit() != plan.unit)
+    throw std::invalid_argument("execute_plan: bins/plan unit mismatch");
+  for (const BinPlan& bp : plan.bin_kernels) {
+    const auto& vrows = bins.bin(bp.bin_id);
+    if (vrows.empty()) continue;
+    kernels::run_binned(bp.kernel, engine, a, x, y, vrows, bins.unit());
+  }
+}
+
+namespace {
+
+/// Measure the best kernel for each occupied bin of `bins`.
+template <typename T>
+UnitResult tune_bins(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                     std::span<const T> x, std::span<T> y,
+                     const binning::BinSet& bins, bool single_bin,
+                     const CandidatePools& pools,
+                     const ExhaustiveOptions& opts) {
+  UnitResult result;
+  result.unit = bins.unit();
+  result.single_bin = single_bin;
+  for (int b : bins.occupied_bins()) {
+    const auto& vrows = bins.bin(b);
+    std::vector<double> times;
+    times.reserve(pools.kernel_pool.size());
+    double best_s = std::numeric_limits<double>::infinity();
+    for (kernels::KernelId id : pools.kernel_pool) {
+      const auto m = util::measure(
+          [&] { kernels::run_binned(id, engine, a, x, y, vrows, bins.unit()); },
+          opts.measure);
+      times.push_back(m.best_s);
+      best_s = std::min(best_s, m.best_s);
+    }
+    // Tie-break: first kernel (pool order = narrowest lanes) within
+    // tolerance of the best.
+    std::size_t pick = 0;
+    while (times[pick] > best_s * (1.0 + opts.tie_tolerance)) ++pick;
+    result.bin_kernels.push_back({b, pools.kernel_pool[pick]});
+    result.bin_times_s.push_back(times[pick]);
+    result.total_s += times[pick];
+  }
+  return result;
+}
+
+}  // namespace
+
+template <typename T>
+TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                           std::span<const T> x, const CandidatePools& pools,
+                           const ExhaustiveOptions& opts) {
+  if (pools.units.empty() || pools.kernel_pool.empty())
+    throw std::invalid_argument("exhaustive_tune: empty candidate pool");
+  std::vector<T> y(static_cast<std::size_t>(a.rows()));
+
+  TuneResult result;
+  for (index_t unit : pools.units) {
+    const auto bins = binning::bin_matrix(a, unit);
+    result.per_unit.push_back(
+        tune_bins(engine, a, x, std::span<T>(y), bins, false, pools, opts));
+  }
+  if (pools.include_single_bin) {
+    const auto bins = binning::single_bin(a, index_t{1});
+    result.per_unit.push_back(
+        tune_bins(engine, a, x, std::span<T>(y), bins, true, pools, opts));
+  }
+
+  // Select the winner with deterministic tie-breaking: among candidates
+  // within tolerance of the fastest, prefer the coarsest granularity
+  // (cheapest binning); the single-bin strategy only wins outright.
+  double best_total = std::numeric_limits<double>::infinity();
+  for (const UnitResult& ur : result.per_unit)
+    best_total = std::min(best_total, ur.total_s);
+  const UnitResult* winner = nullptr;
+  for (const UnitResult& ur : result.per_unit) {
+    if (ur.total_s > best_total * (1.0 + opts.tie_tolerance)) continue;
+    if (winner == nullptr) {
+      winner = &ur;
+      continue;
+    }
+    const bool prefer = (winner->single_bin && !ur.single_bin) ||
+                        (!winner->single_bin && !ur.single_bin &&
+                         ur.unit > winner->unit);
+    if (prefer) winner = &ur;
+  }
+  result.best_plan.unit = winner->unit;
+  result.best_plan.single_bin = winner->single_bin;
+  result.best_plan.bin_kernels = winner->bin_kernels;
+
+  // End-to-end time of the winning plan (per-bin sums ignore launch
+  // overlap; the reported number is a real full execution).
+  const auto bins = bins_for_plan(a, result.best_plan);
+  const auto m = util::measure(
+      [&] {
+        execute_plan(engine, a, x, std::span<T>(y), bins, result.best_plan);
+      },
+      opts.measure);
+  result.best_s = m.best_s;
+  return result;
+}
+
+#define SPMV_EXHAUSTIVE_INSTANTIATE(T)                                       \
+  template binning::BinSet bins_for_plan(const CsrMatrix<T>&, const Plan&);  \
+  template void execute_plan(const clsim::Engine&, const CsrMatrix<T>&,      \
+                             std::span<const T>, std::span<T>,               \
+                             const binning::BinSet&, const Plan&);           \
+  template TuneResult exhaustive_tune(const clsim::Engine&,                  \
+                                      const CsrMatrix<T>&,                   \
+                                      std::span<const T>,                    \
+                                      const CandidatePools&,                 \
+                                      const ExhaustiveOptions&);
+SPMV_EXHAUSTIVE_INSTANTIATE(float)
+SPMV_EXHAUSTIVE_INSTANTIATE(double)
+#undef SPMV_EXHAUSTIVE_INSTANTIATE
+
+}  // namespace spmv::core

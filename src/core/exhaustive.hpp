@@ -1,0 +1,78 @@
+// Exhaustive auto-tuning: measure every (binning granularity, per-bin
+// kernel) candidate and report the best plan. This is the ground-truth
+// oracle that (a) labels the training corpus and (b) bounds the achievable
+// performance in the benches — exactly the measurement the paper's offline
+// training stage performs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "binning/binning.hpp"
+#include "clsim/engine.hpp"
+#include "core/candidates.hpp"
+#include "core/plan.hpp"
+#include "sparse/csr.hpp"
+#include "util/timer.hpp"
+
+namespace spmv::core {
+
+/// Build the BinSet a plan executes over.
+template <typename T>
+binning::BinSet bins_for_plan(const CsrMatrix<T>& a, const Plan& plan);
+
+/// Execute `plan` (bins must come from bins_for_plan / match plan.unit):
+/// per occupied bin, launch the planned kernel over that bin's rows.
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan);
+
+/// Tuning result for one candidate granularity.
+struct UnitResult {
+  index_t unit = 1;
+  bool single_bin = false;
+  /// Best kernel per occupied bin and the summed best per-bin times.
+  std::vector<BinPlan> bin_kernels;
+  std::vector<double> bin_times_s;  ///< parallel to bin_kernels
+  double total_s = 0.0;
+};
+
+struct TuneResult {
+  Plan best_plan;
+  double best_s = 0.0;             ///< end-to-end measured time of best_plan
+  std::vector<UnitResult> per_unit;
+};
+
+struct ExhaustiveOptions {
+  util::MeasureOptions measure{.warmup = 1, .reps = 3, .max_total_s = 1.0};
+  /// Candidates within (1 + tie_tolerance) of the best measured time are
+  /// treated as ties and broken deterministically: per bin, the
+  /// narrowest-lane kernel wins; across granularities, the largest U wins
+  /// (cheapest binning). Without this, near-equivalent candidates make the
+  /// training labels measurement noise — on uniform matrices *every* U
+  /// performs identically — and the model learns nothing.
+  double tie_tolerance = 0.05;
+};
+
+/// Measure every candidate in `pools` for matrix `a` with input vector `x`.
+template <typename T>
+TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                           std::span<const T> x, const CandidatePools& pools,
+                           const ExhaustiveOptions& opts = {});
+
+#define SPMV_EXHAUSTIVE_EXTERN(T)                                            \
+  extern template binning::BinSet bins_for_plan(const CsrMatrix<T>&,         \
+                                                const Plan&);                \
+  extern template void execute_plan(const clsim::Engine&,                    \
+                                    const CsrMatrix<T>&, std::span<const T>, \
+                                    std::span<T>, const binning::BinSet&,    \
+                                    const Plan&);                            \
+  extern template TuneResult exhaustive_tune(                                \
+      const clsim::Engine&, const CsrMatrix<T>&, std::span<const T>,         \
+      const CandidatePools&, const ExhaustiveOptions&);
+SPMV_EXHAUSTIVE_EXTERN(float)
+SPMV_EXHAUSTIVE_EXTERN(double)
+#undef SPMV_EXHAUSTIVE_EXTERN
+
+}  // namespace spmv::core

@@ -1,0 +1,79 @@
+#include "core/hetero.hpp"
+
+#include <omp.h>
+
+namespace spmv::core {
+
+template <typename T>
+void spmv_cpu_binned(const CsrMatrix<T>& a, std::span<const T> x,
+                     std::span<T> y, std::span<const index_t> vrows,
+                     index_t unit, int threads) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  const index_t m = a.rows();
+  const auto count = static_cast<std::int64_t>(vrows.size());
+
+#pragma omp parallel for schedule(dynamic, 8) if (count > 8) \
+    num_threads(threads > 0 ? threads : omp_get_max_threads())
+  for (std::int64_t v = 0; v < count; ++v) {
+    const index_t lo = vrows[static_cast<std::size_t>(v)] * unit;
+    const index_t hi = std::min<index_t>(lo + unit, m);
+    for (index_t r = lo; r < hi; ++r) {
+      T sum{};
+      for (offset_t j = row_ptr[static_cast<std::size_t>(r)];
+           j < row_ptr[static_cast<std::size_t>(r) + 1]; ++j) {
+        sum += vals[static_cast<std::size_t>(j)] *
+               x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+      }
+      y[static_cast<std::size_t>(r)] = sum;
+    }
+  }
+}
+
+template <typename T>
+HeteroAutoSpmv<T>::HeteroAutoSpmv(const CsrMatrix<T>& a,
+                                  const Predictor& predictor,
+                                  const HeteroOptions& options,
+                                  const clsim::Engine& engine)
+    : a_(a), engine_(engine), options_(options) {
+  const auto stats = compute_row_stats(a);
+  const auto choice = predictor.predict_unit(stats);
+  plan_.unit = choice.unit;
+  plan_.single_bin = choice.single_bin;
+  bins_ = bins_for_plan(a, plan_);
+  for (int b : bins_.occupied_bins()) {
+    plan_.bin_kernels.push_back(
+        {b, predictor.predict_kernel(stats, plan_.unit, b)});
+    // bin_id approximates the average row length of the bin's virtual rows
+    // (workload / U); long-row bins go to the latency executor.
+    if (b >= options_.gpu_row_threshold) {
+      cpu_bins_.push_back(b);
+    } else {
+      gpu_bins_.push_back(b);
+    }
+  }
+}
+
+template <typename T>
+void HeteroAutoSpmv<T>::run(std::span<const T> x, std::span<T> y) const {
+  for (int b : gpu_bins_) {
+    kernels::run_binned(plan_.kernel_for(b), engine_, a_, x, y, bins_.bin(b),
+                        bins_.unit());
+  }
+  for (int b : cpu_bins_) {
+    spmv_cpu_binned(a_, x, y, bins_.bin(b), bins_.unit(),
+                    options_.cpu_threads);
+  }
+}
+
+template class HeteroAutoSpmv<float>;
+template class HeteroAutoSpmv<double>;
+template void spmv_cpu_binned(const CsrMatrix<float>&, std::span<const float>,
+                              std::span<float>, std::span<const index_t>,
+                              index_t, int);
+template void spmv_cpu_binned(const CsrMatrix<double>&,
+                              std::span<const double>, std::span<double>,
+                              std::span<const index_t>, index_t, int);
+
+}  // namespace spmv::core

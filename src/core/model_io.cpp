@@ -1,0 +1,80 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace spmv::core {
+
+void save_model(std::ostream& out, const TrainedModel& model) {
+  out << "AutoSpmvModel v1\n";
+  out << "units " << model.pools.units.size();
+  for (index_t u : model.pools.units) out << ' ' << u;
+  out << "\nkernels " << model.pools.kernel_pool.size();
+  for (kernels::KernelId id : model.pools.kernel_pool)
+    out << ' ' << kernels::kernel_name(id);
+  out << "\nsingle_bin " << (model.pools.include_single_bin ? 1 : 0) << '\n';
+  out << "use_rulesets " << (model.use_rulesets ? 1 : 0) << '\n';
+  model.stage1.save(out);
+  model.stage2.save(out);
+  model.rules1.save(out);
+  model.rules2.save(out);
+}
+
+TrainedModel load_model(std::istream& in) {
+  auto fail = [](const char* msg) -> void {
+    throw std::runtime_error(std::string("load_model: ") + msg);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != "AutoSpmvModel v1")
+    fail("bad header");
+
+  TrainedModel model;
+  std::string token;
+  std::size_t count = 0;
+  in >> token >> count;
+  if (token != "units") fail("expected units");
+  model.pools.units.resize(count);
+  for (auto& u : model.pools.units) in >> u;
+  in >> token >> count;
+  if (token != "kernels") fail("expected kernels");
+  model.pools.kernel_pool.resize(count);
+  for (auto& id : model.pools.kernel_pool) {
+    std::string name;
+    in >> name;
+    id = kernels::kernel_from_name(name);
+  }
+  int flag = 0;
+  in >> token >> flag;
+  if (token != "single_bin") fail("expected single_bin");
+  model.pools.include_single_bin = flag != 0;
+  in >> token >> flag;
+  if (token != "use_rulesets") fail("expected use_rulesets");
+  model.use_rulesets = flag != 0;
+  in.ignore();  // consume the newline before the tree blocks
+
+  model.stage1 = ml::DecisionTree::load(in);
+  in.ignore();
+  model.stage2 = ml::DecisionTree::load(in);
+  in.ignore();
+  model.rules1 = ml::RuleSet::load(in);
+  in.ignore();
+  model.rules2 = ml::RuleSet::load(in);
+  if (!in) fail("truncated stream");
+  return model;
+}
+
+void save_model_file(const std::string& path, const TrainedModel& model) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_model_file: cannot write " + path);
+  save_model(out, model);
+}
+
+TrainedModel load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace spmv::core

@@ -1,0 +1,21 @@
+// Persistence for the trained two-stage model: a single text file holding
+// the candidate pools, both decision trees, and both rule sets, so a model
+// trained offline (bench/train_accuracy or examples) can be shipped with
+// an application and loaded at run time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/predictor.hpp"
+
+namespace spmv::core {
+
+void save_model(std::ostream& out, const TrainedModel& model);
+TrainedModel load_model(std::istream& in);
+
+/// File wrappers; throw std::runtime_error on I/O failure.
+void save_model_file(const std::string& path, const TrainedModel& model);
+TrainedModel load_model_file(const std::string& path);
+
+}  // namespace spmv::core

@@ -1,0 +1,57 @@
+// A parallelization plan: the auto-tuner's decision for one matrix — the
+// binning scheme (granularity U, or the single-bin strategy) and the kernel
+// chosen for each occupied bin.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "sparse/types.hpp"
+
+namespace spmv::core {
+
+/// Kernel choice for one occupied bin.
+struct BinPlan {
+  int bin_id = 0;
+  kernels::KernelId kernel = kernels::KernelId::Serial;
+};
+
+struct Plan {
+  /// Binning granularity U. For the single-bin strategy this is the
+  /// granularity used to form virtual rows inside the single bin (1 keeps
+  /// per-row dispatch).
+  index_t unit = 1;
+  /// True = all rows in one bin with one kernel (paper §IV-C).
+  bool single_bin = false;
+  /// Kernel per occupied bin, ascending bin_id. For single_bin plans this
+  /// has exactly one entry with bin_id 0.
+  std::vector<BinPlan> bin_kernels;
+
+  /// Kernel for `bin_id`; throws std::out_of_range when the plan has no
+  /// entry for it (i.e. the bin was empty at planning time).
+  [[nodiscard]] kernels::KernelId kernel_for(int bin_id) const {
+    for (const BinPlan& bp : bin_kernels) {
+      if (bp.bin_id == bin_id) return bp.kernel;
+    }
+    throw std::out_of_range("Plan: no kernel for bin " +
+                            std::to_string(bin_id));
+  }
+
+  /// One-line human-readable summary, e.g.
+  /// "U=100 {bin0:serial, bin3:subvector16}".
+  [[nodiscard]] std::string to_string() const {
+    std::string s = single_bin ? "single-bin" : "U=" + std::to_string(unit);
+    s += " {";
+    for (std::size_t i = 0; i < bin_kernels.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += "bin" + std::to_string(bin_kernels[i].bin_id) + ":" +
+           kernels::kernel_name(bin_kernels[i].kernel);
+    }
+    s += "}";
+    return s;
+  }
+};
+
+}  // namespace spmv::core

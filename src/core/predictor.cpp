@@ -1,0 +1,80 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/features.hpp"
+
+namespace spmv::core {
+
+Predictor::UnitChoice ModelPredictor::predict_unit(
+    const RowStats& stats) const {
+  const auto features = ml::stage1_features(stats);
+  const int cls = model_.predict_unit_class(features);
+  const auto unit_count = static_cast<int>(model_.pools.units.size());
+  if (cls < 0 || cls > unit_count ||
+      (cls == unit_count && !model_.pools.include_single_bin))
+    throw std::out_of_range("ModelPredictor: stage-1 class out of range");
+  if (cls == unit_count) return {1, true};  // the single-bin class
+  return {model_.pools.units[static_cast<std::size_t>(cls)], false};
+}
+
+kernels::KernelId ModelPredictor::predict_kernel(const RowStats& stats,
+                                                 index_t unit,
+                                                 int bin_id) const {
+  const auto features = ml::stage2_features(stats, unit, bin_id);
+  const int cls = model_.predict_kernel_class(features);
+  if (cls < 0 || cls >= static_cast<int>(model_.pools.kernel_pool.size()))
+    throw std::out_of_range("ModelPredictor: stage-2 class out of range");
+  return model_.pools.kernel_pool[static_cast<std::size_t>(cls)];
+}
+
+Predictor::UnitChoice HeuristicPredictor::predict_unit(
+    const RowStats& stats) const {
+  // Keep binning + per-bin launch overhead negligible: target ~2k virtual
+  // rows (the Figure-8 regime where collection cost vanishes), but never
+  // leave the pool.
+  const double target =
+      std::max(10.0, static_cast<double>(stats.rows) / 2000.0);
+  index_t best = pools_.units.front();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (index_t u : pools_.units) {
+    const double d = std::abs(std::log(static_cast<double>(u)) -
+                              std::log(target));
+    if (d < best_dist) {
+      best_dist = d;
+      best = u;
+    }
+  }
+  return {best, false};
+}
+
+kernels::KernelId HeuristicPredictor::predict_kernel(const RowStats& stats,
+                                                     index_t unit,
+                                                     int bin_id) const {
+  // binId == virtual-row workload / U, i.e. approximately the average row
+  // length inside the bin (independent of U). Choose the kernel whose
+  // chunk (4 lanes' worth of products per pass) matches that length.
+  double est_len = static_cast<double>(bin_id);
+  if (bin_id <= 0) est_len = std::min(1.0, stats.avg_nnz);
+  if (bin_id >= 99) est_len = std::max(est_len, stats.avg_nnz);
+  (void)unit;
+
+  kernels::KernelId best = pools_.kernel_pool.front();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (kernels::KernelId id : pools_.kernel_pool) {
+    // A kernel with L lanes/row is "sized" for rows of ~4*L non-zeros
+    // (factor 4 staging); serial is sized for very short rows.
+    const double sized_for = 4.0 * kernels::lanes_per_row(id);
+    const double d =
+        std::abs(std::log(sized_for) - std::log(std::max(est_len, 1.0)));
+    if (d < best_dist) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace spmv::core

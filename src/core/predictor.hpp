@@ -1,0 +1,90 @@
+// Predictors: map matrix features to a parallelization plan.
+//
+// ModelPredictor wraps the two-stage trained model (the paper's predict
+// path, Figure 3 black arrows); HeuristicPredictor is a hand-written
+// fallback used before a model exists and as a comparison point.
+#pragma once
+
+#include <memory>
+
+#include "core/candidates.hpp"
+#include "core/plan.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/ruleset.hpp"
+#include "sparse/matrix_stats.hpp"
+
+namespace spmv::core {
+
+/// The two-stage trained model: stage 1 picks the granularity class, stage
+/// 2 picks a kernel per (U, binId). Classification can go through the
+/// trees directly or through the extracted rule sets (the paper's C5.0
+/// artifact); both are kept so model_io round-trips either.
+struct TrainedModel {
+  CandidatePools pools;
+  ml::DecisionTree stage1;
+  ml::DecisionTree stage2;
+  ml::RuleSet rules1;
+  ml::RuleSet rules2;
+  bool use_rulesets = true;
+
+  /// Stage-1 class index for a feature vector.
+  [[nodiscard]] int predict_unit_class(std::span<const double> f) const {
+    return use_rulesets ? rules1.classify(f) : stage1.predict(f);
+  }
+  /// Stage-2 class index for a feature vector.
+  [[nodiscard]] int predict_kernel_class(std::span<const double> f) const {
+    return use_rulesets ? rules2.classify(f) : stage2.predict(f);
+  }
+};
+
+/// Abstract strategy selector.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Select the binning granularity for a matrix. Returns {unit,
+  /// single_bin}: single_bin true selects the single-bin strategy.
+  struct UnitChoice {
+    index_t unit = 1;
+    bool single_bin = false;
+  };
+  [[nodiscard]] virtual UnitChoice predict_unit(const RowStats& stats) const = 0;
+
+  /// Select the kernel for bin `bin_id` under granularity `unit`.
+  [[nodiscard]] virtual kernels::KernelId predict_kernel(
+      const RowStats& stats, index_t unit, int bin_id) const = 0;
+};
+
+/// Predictor backed by a TrainedModel.
+class ModelPredictor final : public Predictor {
+ public:
+  explicit ModelPredictor(TrainedModel model) : model_(std::move(model)) {}
+
+  [[nodiscard]] UnitChoice predict_unit(const RowStats& stats) const override;
+  [[nodiscard]] kernels::KernelId predict_kernel(const RowStats& stats,
+                                                 index_t unit,
+                                                 int bin_id) const override;
+  [[nodiscard]] const TrainedModel& model() const { return model_; }
+
+ private:
+  TrainedModel model_;
+};
+
+/// Hand-written input-aware heuristic: picks U near the average virtual
+/// workload scale and a kernel whose lanes-per-row matches each bin's
+/// average row length. No training required.
+class HeuristicPredictor final : public Predictor {
+ public:
+  explicit HeuristicPredictor(CandidatePools pools = default_pools())
+      : pools_(std::move(pools)) {}
+
+  [[nodiscard]] UnitChoice predict_unit(const RowStats& stats) const override;
+  [[nodiscard]] kernels::KernelId predict_kernel(const RowStats& stats,
+                                                 index_t unit,
+                                                 int bin_id) const override;
+
+ private:
+  CandidatePools pools_;
+};
+
+}  // namespace spmv::core

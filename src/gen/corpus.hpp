@@ -1,0 +1,66 @@
+// UF-collection-like training corpus sampler.
+//
+// The paper trains its C5.0 model on 2000+ UF matrices (75% train / 25%
+// test) and reports the Figure-5 row-length histogram over 2760 matrices.
+// This module samples synthetic matrices across the same structural
+// families with family weights chosen so the collection-wide row-length
+// histogram matches the paper's (~98.7% of rows with <= 100 non-zeros).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmv::gen {
+
+/// The structural families the sampler draws from.
+enum class Family : int {
+  Banded = 0,
+  FixedDegree,
+  RandomUniform,
+  PowerLaw,
+  RoadNetwork,
+  MeshDual,
+  FemBlocks,
+  CfdLongRow,
+  Chemistry,
+  MixedRegime,
+  kCount
+};
+
+/// Human-readable family name (for reports).
+std::string family_name(Family f);
+
+/// Description of one sampled corpus matrix (generation is lazy so a large
+/// corpus does not need to be resident at once).
+struct CorpusSpec {
+  Family family = Family::Banded;
+  index_t rows = 0;
+  index_t cols = 0;
+  std::uint64_t seed = 0;
+  /// Free generator knob, meaning depends on family (degree / avg nnz).
+  index_t param = 0;
+};
+
+/// Options for corpus sampling. Row counts stay modest by default so the
+/// exhaustive trainer can measure every candidate in reasonable time.
+struct CorpusOptions {
+  int count = 300;               ///< number of matrices
+  index_t min_rows = 2000;
+  index_t max_rows = 40000;
+  std::uint64_t seed = 2017;     ///< master seed (paper year)
+};
+
+/// Sample `opts.count` corpus specs deterministically.
+std::vector<CorpusSpec> sample_corpus(const CorpusOptions& opts = {});
+
+/// Instantiate one spec.
+template <typename T>
+CsrMatrix<T> make_corpus_matrix(const CorpusSpec& spec);
+
+extern template CsrMatrix<float> make_corpus_matrix(const CorpusSpec&);
+extern template CsrMatrix<double> make_corpus_matrix(const CorpusSpec&);
+
+}  // namespace spmv::gen

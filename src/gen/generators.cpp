@@ -1,0 +1,419 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spmv::gen {
+
+namespace {
+
+using util::Xoshiro256;
+
+/// Build a CSR matrix from per-row degree targets and a column sampler.
+/// `fill_row(rng, row, degree, out)` must append exactly `degree` distinct,
+/// in-range column indices to `out` (order irrelevant; sorted afterwards).
+template <typename T, typename FillRow>
+CsrMatrix<T> build_from_degrees(index_t rows, index_t cols,
+                                const std::vector<index_t>& degrees,
+                                std::uint64_t seed, FillRow&& fill_row) {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (index_t i = 0; i < rows; ++i)
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] +
+        degrees[static_cast<std::size_t>(i)];
+  const auto nnz = static_cast<std::size_t>(row_ptr.back());
+  std::vector<index_t> col_idx(nnz);
+  std::vector<T> vals(nnz);
+
+  Xoshiro256 rng(seed);
+  std::vector<index_t> scratch;
+  for (index_t i = 0; i < rows; ++i) {
+    const auto deg = degrees[static_cast<std::size_t>(i)];
+    scratch.clear();
+    fill_row(rng, i, deg, scratch);
+    std::sort(scratch.begin(), scratch.end());
+    auto base = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+    for (index_t k = 0; k < deg; ++k) {
+      col_idx[base + static_cast<std::size_t>(k)] =
+          scratch[static_cast<std::size_t>(k)];
+      // Values in (0.5, 1.5): nonzero, well-conditioned for solver examples.
+      vals[base + static_cast<std::size_t>(k)] =
+          static_cast<T>(0.5 + rng.uniform());
+    }
+  }
+  return CsrMatrix<T>(rows, cols, std::move(row_ptr), std::move(col_idx),
+                      std::move(vals));
+}
+
+/// Append `deg` distinct uniform columns from [0, cols) to `out`.
+void sample_distinct_uniform(Xoshiro256& rng, index_t cols, index_t deg,
+                             std::vector<index_t>& out) {
+  const std::size_t start = out.size();
+  if (deg > 32 && deg * 4 >= cols) {
+    // Dense row relative to the column count: partial Fisher-Yates over the
+    // whole range is O(cols) and duplicate-free by construction.
+    std::vector<index_t> all(static_cast<std::size_t>(cols));
+    for (index_t c = 0; c < cols; ++c) all[static_cast<std::size_t>(c)] = c;
+    for (index_t k = 0; k < deg; ++k) {
+      const auto j = k + static_cast<index_t>(rng.bounded(
+                             static_cast<std::uint64_t>(cols - k)));
+      std::swap(all[static_cast<std::size_t>(k)],
+                all[static_cast<std::size_t>(j)]);
+    }
+    out.insert(out.end(), all.begin(), all.begin() + deg);
+    return;
+  }
+  if (deg > 32) {
+    // Rejection sampling with a sorted-window membership check would still
+    // be O(deg^2); use a hash-free approach: sample with slack, sort,
+    // unique, top up with linear probing of gaps.
+    while (out.size() - start < static_cast<std::size_t>(deg)) {
+      const std::size_t need = static_cast<std::size_t>(deg) -
+                               (out.size() - start);
+      for (std::size_t k = 0; k < need + need / 8 + 4; ++k) {
+        out.push_back(static_cast<index_t>(
+            rng.bounded(static_cast<std::uint64_t>(cols))));
+      }
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+      out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(start),
+                            out.end()),
+                out.end());
+      if (out.size() - start > static_cast<std::size_t>(deg))
+        out.resize(start + static_cast<std::size_t>(deg));
+    }
+    return;
+  }
+  // Short rows: plain rejection with a linear duplicate scan.
+  while (out.size() - start < static_cast<std::size_t>(deg)) {
+    const auto c = static_cast<index_t>(
+        rng.bounded(static_cast<std::uint64_t>(cols)));
+    bool dup = false;
+    for (std::size_t k = start; k < out.size(); ++k) {
+      if (out[k] == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(c);
+  }
+}
+
+/// Append `deg` distinct columns clustered within `spread` of `center`.
+void sample_distinct_near(Xoshiro256& rng, index_t cols, index_t center,
+                          index_t spread, index_t deg,
+                          std::vector<index_t>& out) {
+  const index_t lo = std::max<index_t>(0, center - spread);
+  const index_t hi = std::min<index_t>(cols - 1, center + spread);
+  const index_t width = hi - lo + 1;
+  const std::size_t start = out.size();
+  if (width <= deg) {
+    for (index_t c = lo; c <= hi; ++c) out.push_back(c);
+    // Window narrower than the degree: top up with uniform columns so the
+    // degree target is met exactly.
+    while (out.size() - start < static_cast<std::size_t>(deg)) {
+      const auto c = static_cast<index_t>(
+          rng.bounded(static_cast<std::uint64_t>(cols)));
+      if (std::find(out.begin() + static_cast<std::ptrdiff_t>(start),
+                    out.end(), c) == out.end())
+        out.push_back(c);
+    }
+    return;
+  }
+  if (deg > 32) {
+    // Long rows: partial Fisher-Yates over the window, O(width).
+    std::vector<index_t> window(static_cast<std::size_t>(width));
+    for (index_t k = 0; k < width; ++k)
+      window[static_cast<std::size_t>(k)] = lo + k;
+    for (index_t k = 0; k < deg; ++k) {
+      const auto j = k + static_cast<index_t>(rng.bounded(
+                             static_cast<std::uint64_t>(width - k)));
+      std::swap(window[static_cast<std::size_t>(k)],
+                window[static_cast<std::size_t>(j)]);
+    }
+    out.insert(out.end(), window.begin(), window.begin() + deg);
+    return;
+  }
+  while (out.size() - start < static_cast<std::size_t>(deg)) {
+    const auto c = static_cast<index_t>(
+        lo + static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(width))));
+    bool dup = false;
+    for (std::size_t k = start; k < out.size(); ++k) {
+      if (out[k] == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(c);
+  }
+}
+
+void check_dims(index_t rows, index_t cols) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("generator: non-positive dimensions");
+}
+
+}  // namespace
+
+template <typename T>
+CsrMatrix<T> diagonal(index_t n) {
+  check_dims(n, n);
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> col_idx(static_cast<std::size_t>(n));
+  std::vector<T> vals(static_cast<std::size_t>(n), T(1));
+  for (index_t i = 0; i <= n; ++i) row_ptr[static_cast<std::size_t>(i)] = i;
+  for (index_t i = 0; i < n; ++i) col_idx[static_cast<std::size_t>(i)] = i;
+  return CsrMatrix<T>(n, n, std::move(row_ptr), std::move(col_idx),
+                      std::move(vals));
+}
+
+template <typename T>
+CsrMatrix<T> banded(index_t n, index_t half_band, double fill,
+                    std::uint64_t seed) {
+  check_dims(n, n);
+  Xoshiro256 deg_rng(seed ^ 0x9e37u);
+  std::vector<index_t> degrees(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> row_seeds(static_cast<std::size_t>(n));
+  util::SplitMix64 sm(seed);
+  for (index_t i = 0; i < n; ++i) row_seeds[static_cast<std::size_t>(i)] = sm.next();
+
+  // First pass: decide, per row, which in-band columns are present.
+  // Degree = 1 (diagonal, always kept) + Binomial(band_width-1, fill).
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = std::max<index_t>(0, i - half_band);
+    const index_t hi = std::min<index_t>(n - 1, i + half_band);
+    index_t deg = 1;
+    Xoshiro256 rng(row_seeds[static_cast<std::size_t>(i)]);
+    for (index_t c = lo; c <= hi; ++c) {
+      if (c != i && rng.uniform() < fill) ++deg;
+    }
+    degrees[static_cast<std::size_t>(i)] = deg;
+  }
+  return build_from_degrees<T>(
+      n, n, degrees, seed,
+      [&](Xoshiro256&, index_t i, index_t, std::vector<index_t>& out) {
+        const index_t lo = std::max<index_t>(0, i - half_band);
+        const index_t hi = std::min<index_t>(n - 1, i + half_band);
+        // Replay the same per-row stream as the degree pass so membership
+        // decisions match the counted degree exactly.
+        Xoshiro256 rng(row_seeds[static_cast<std::size_t>(i)]);
+        out.push_back(i);
+        for (index_t c = lo; c <= hi; ++c) {
+          if (c != i && rng.uniform() < fill) out.push_back(c);
+        }
+      });
+}
+
+template <typename T>
+CsrMatrix<T> fixed_degree(index_t rows, index_t cols, index_t degree,
+                          std::uint64_t seed) {
+  check_dims(rows, cols);
+  if (degree > cols)
+    throw std::invalid_argument("fixed_degree: degree > cols");
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows), degree);
+  return build_from_degrees<T>(
+      rows, cols, degrees, seed,
+      [cols](Xoshiro256& rng, index_t, index_t deg, std::vector<index_t>& out) {
+        sample_distinct_uniform(rng, cols, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> random_uniform(index_t rows, index_t cols, double avg_deg,
+                            double jitter, index_t min_deg, index_t max_deg,
+                            std::uint64_t seed) {
+  check_dims(rows, cols);
+  max_deg = std::min<index_t>(max_deg, cols);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  for (auto& d : degrees) {
+    const double g = avg_deg + rng.normal() * avg_deg * jitter;
+    d = std::clamp(static_cast<index_t>(std::lround(g)), min_deg, max_deg);
+  }
+  return build_from_degrees<T>(
+      rows, cols, degrees, seed + 1,
+      [cols](Xoshiro256& r, index_t, index_t deg, std::vector<index_t>& out) {
+        sample_distinct_uniform(r, cols, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> power_law(index_t rows, index_t cols, double alpha,
+                       index_t max_deg, std::uint64_t seed) {
+  check_dims(rows, cols);
+  max_deg = std::min<index_t>(max_deg, cols);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  for (auto& d : degrees) {
+    d = static_cast<index_t>(
+        rng.zipf(static_cast<std::uint64_t>(max_deg), alpha));
+  }
+  return build_from_degrees<T>(
+      rows, cols, degrees, seed + 1,
+      [cols](Xoshiro256& r, index_t, index_t deg, std::vector<index_t>& out) {
+        sample_distinct_uniform(r, cols, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> road_network(index_t n, std::uint64_t seed) {
+  check_dims(n, n);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(n));
+  for (auto& d : degrees) {
+    // Road junction degrees: mostly 2-3, some 1 and 4.
+    const double u = rng.uniform();
+    d = u < 0.08 ? 1 : u < 0.55 ? 2 : u < 0.92 ? 3 : 4;
+  }
+  return build_from_degrees<T>(
+      n, n, degrees, seed + 1,
+      [n](Xoshiro256& r, index_t i, index_t deg, std::vector<index_t>& out) {
+        // Spatial locality: neighbours are near in the node ordering.
+        sample_distinct_near(r, n, i, /*spread=*/1024, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> mesh_dual(index_t n, std::uint64_t seed) {
+  check_dims(n, n);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(n));
+  for (auto& d : degrees) {
+    const double u = rng.uniform();
+    d = u < 0.05 ? 2 : 3;  // triangle dual: degree 3 except boundary
+  }
+  return build_from_degrees<T>(
+      n, n, degrees, seed + 1,
+      [n](Xoshiro256& r, index_t i, index_t deg, std::vector<index_t>& out) {
+        sample_distinct_near(r, n, i, /*spread=*/256, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> fem_blocks(index_t n, index_t block, index_t row_nnz,
+                        double jitter, std::uint64_t seed) {
+  check_dims(n, n);
+  block = std::max<index_t>(1, block);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(n));
+  // All rows in one block share a degree target (FEM nodes of one element
+  // patch have near-identical stencils).
+  for (index_t b = 0; b * block < n; ++b) {
+    const double g = row_nnz * (1.0 + rng.normal() * jitter);
+    const auto deg = std::clamp<index_t>(static_cast<index_t>(std::lround(g)),
+                                         1, std::min<index_t>(n, 4 * row_nnz));
+    for (index_t i = b * block; i < std::min<index_t>(n, (b + 1) * block); ++i)
+      degrees[static_cast<std::size_t>(i)] = deg;
+  }
+  const index_t spread = std::max<index_t>(64, 4 * row_nnz);
+  return build_from_degrees<T>(
+      n, n, degrees, seed + 1,
+      [n, spread](Xoshiro256& r, index_t i, index_t deg,
+                  std::vector<index_t>& out) {
+        sample_distinct_near(r, n, i, spread, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> cfd_longrow(index_t n, index_t row_nnz, std::uint64_t seed) {
+  check_dims(n, n);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(n));
+  for (auto& d : degrees) {
+    const double g = row_nnz * (1.0 + rng.normal() * 0.1);
+    d = std::clamp<index_t>(static_cast<index_t>(std::lround(g)), 1, n);
+  }
+  const index_t spread = std::max<index_t>(64, 2 * row_nnz);
+  return build_from_degrees<T>(
+      n, n, degrees, seed + 1,
+      [n, spread](Xoshiro256& r, index_t i, index_t deg,
+                  std::vector<index_t>& out) {
+        sample_distinct_near(r, n, i, spread, deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> chemistry(index_t n, index_t avg_nnz, std::uint64_t seed) {
+  check_dims(n, n);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(n));
+  for (auto& d : degrees) {
+    const double u = rng.uniform();
+    if (u < 0.02) {
+      // A few very long interaction rows (up to ~8x the average).
+      d = static_cast<index_t>(avg_nnz * (4.0 + 4.0 * rng.uniform()));
+    } else {
+      const double g = avg_nnz * (0.6 + 0.8 * rng.uniform());
+      d = std::max<index_t>(1, static_cast<index_t>(std::lround(g)));
+    }
+    d = std::min<index_t>(d, n);
+  }
+  return build_from_degrees<T>(
+      n, n, degrees, seed + 1,
+      [n](Xoshiro256& r, index_t i, index_t deg, std::vector<index_t>& out) {
+        sample_distinct_near(r, n, i, /*spread=*/std::max<index_t>(512, 8 * deg),
+                             deg, out);
+      });
+}
+
+template <typename T>
+CsrMatrix<T> mixed_regime(index_t rows, index_t cols, double short_frac,
+                          double mid_frac, index_t short_deg, index_t mid_deg,
+                          index_t long_deg, index_t run, std::uint64_t seed) {
+  check_dims(rows, cols);
+  run = std::max<index_t>(1, run);
+  Xoshiro256 rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  // Regimes are assigned per run of `run` adjacent rows so virtual rows of
+  // matching granularity are homogeneous (the situation the paper's
+  // coarse-grained binning exploits).
+  for (index_t b = 0; b * run < rows; ++b) {
+    const double u = rng.uniform();
+    index_t base = u < short_frac            ? short_deg
+                   : u < short_frac + mid_frac ? mid_deg
+                                               : long_deg;
+    for (index_t i = b * run; i < std::min<index_t>(rows, (b + 1) * run); ++i) {
+      const double g = base * (0.8 + 0.4 * rng.uniform());
+      degrees[static_cast<std::size_t>(i)] = std::clamp<index_t>(
+          static_cast<index_t>(std::lround(g)), 1, cols);
+    }
+  }
+  return build_from_degrees<T>(
+      rows, cols, degrees, seed + 1,
+      [cols](Xoshiro256& r, index_t, index_t deg, std::vector<index_t>& out) {
+        if (deg > 64) {
+          sample_distinct_near(r, cols, static_cast<index_t>(r.bounded(
+                                            static_cast<std::uint64_t>(cols))),
+                               4 * deg, deg, out);
+        } else {
+          sample_distinct_uniform(r, cols, deg, out);
+        }
+      });
+}
+
+#define SPMV_GEN_INSTANTIATE(T)                                              \
+  template CsrMatrix<T> diagonal(index_t);                                   \
+  template CsrMatrix<T> banded(index_t, index_t, double, std::uint64_t);     \
+  template CsrMatrix<T> fixed_degree(index_t, index_t, index_t,              \
+                                     std::uint64_t);                         \
+  template CsrMatrix<T> random_uniform(index_t, index_t, double, double,     \
+                                       index_t, index_t, std::uint64_t);     \
+  template CsrMatrix<T> power_law(index_t, index_t, double, index_t,         \
+                                  std::uint64_t);                            \
+  template CsrMatrix<T> road_network(index_t, std::uint64_t);                \
+  template CsrMatrix<T> mesh_dual(index_t, std::uint64_t);                   \
+  template CsrMatrix<T> fem_blocks(index_t, index_t, index_t, double,        \
+                                   std::uint64_t);                           \
+  template CsrMatrix<T> cfd_longrow(index_t, index_t, std::uint64_t);        \
+  template CsrMatrix<T> chemistry(index_t, index_t, std::uint64_t);          \
+  template CsrMatrix<T> mixed_regime(index_t, index_t, double, double,       \
+                                     index_t, index_t, index_t, index_t,     \
+                                     std::uint64_t);
+SPMV_GEN_INSTANTIATE(float)
+SPMV_GEN_INSTANTIATE(double)
+#undef SPMV_GEN_INSTANTIATE
+
+}  // namespace spmv::gen

@@ -1,0 +1,105 @@
+// Parameterized synthetic sparse-matrix generators.
+//
+// These stand in for the UF/SuiteSparse collection (see DESIGN.md §2): each
+// generator produces a structural family found in the collection, with
+// deterministic seeded sampling so every experiment is reproducible. All
+// generators return canonical CSR (sorted rows, no duplicates).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/convert.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::gen {
+
+/// Pure diagonal matrix (1 non-zero per row) — the Figure-8 overhead
+/// workload and the "materials" regime.
+template <typename T>
+CsrMatrix<T> diagonal(index_t n);
+
+/// Banded matrix: each row has non-zeros in [i-half_band, i+half_band]
+/// present with probability `fill`. Models FEM/structural stencils
+/// (apache1, cryg10000).
+template <typename T>
+CsrMatrix<T> banded(index_t n, index_t half_band, double fill,
+                    std::uint64_t seed);
+
+/// Every row has exactly `degree` non-zeros at uniform-random columns.
+/// Models combinatorial incidence matrices (ch7-9-b3, shar_te2-b2).
+template <typename T>
+CsrMatrix<T> fixed_degree(index_t rows, index_t cols, index_t degree,
+                          std::uint64_t seed);
+
+/// Row degrees ~ N(avg, avg*jitter) clamped to [min_deg, max_deg], columns
+/// uniform. Models quasi-regular matrices (denormal).
+template <typename T>
+CsrMatrix<T> random_uniform(index_t rows, index_t cols, double avg_deg,
+                            double jitter, index_t min_deg, index_t max_deg,
+                            std::uint64_t seed);
+
+/// Power-law (Zipf) row degrees with exponent `alpha`, degrees in
+/// [1, max_deg]. Models scale-free graphs (dictionary28, bfly).
+template <typename T>
+CsrMatrix<T> power_law(index_t rows, index_t cols, double alpha,
+                       index_t max_deg, std::uint64_t seed);
+
+/// Road-network-like: degrees 1..4 concentrated at 2-3, columns near the
+/// diagonal (spatial locality). Models europe_osm / roadNet-CA.
+template <typename T>
+CsrMatrix<T> road_network(index_t n, std::uint64_t seed);
+
+/// Planar-mesh dual: degree ~3 with near-diagonal columns
+/// (whitaker3_dual-like 2D/3D meshes).
+template <typename T>
+CsrMatrix<T> mesh_dual(index_t n, std::uint64_t seed);
+
+/// Block-structured FEM: rows come in blocks of `block` sharing a column
+/// footprint of `row_nnz` entries near the diagonal. Models long-row
+/// structural problems (crankseg_2, pkustk14, pcrystk02).
+template <typename T>
+CsrMatrix<T> fem_blocks(index_t n, index_t block, index_t row_nnz,
+                        double jitter, std::uint64_t seed);
+
+/// CFD-style: banded long rows (avg `row_nnz`, small variance) — HV15R.
+template <typename T>
+CsrMatrix<T> cfd_longrow(index_t n, index_t row_nnz, std::uint64_t seed);
+
+/// Quantum-chemistry-style: a dense-ish core of long rows plus a power-law
+/// tail with a few very long rows (Ga3As3H12).
+template <typename T>
+CsrMatrix<T> chemistry(index_t n, index_t avg_nnz, std::uint64_t seed);
+
+/// Mixed-regime: fractions of short (≈short_deg), medium (≈mid_deg), and
+/// long (≈long_deg) rows interleaved in blocks of `run`. Exercises multiple
+/// bins at once (the Figure-2b workload).
+template <typename T>
+CsrMatrix<T> mixed_regime(index_t rows, index_t cols, double short_frac,
+                          double mid_frac, index_t short_deg, index_t mid_deg,
+                          index_t long_deg, index_t run, std::uint64_t seed);
+
+#define SPMV_GEN_EXTERN(T)                                                    \
+  extern template CsrMatrix<T> diagonal(index_t);                             \
+  extern template CsrMatrix<T> banded(index_t, index_t, double,               \
+                                      std::uint64_t);                         \
+  extern template CsrMatrix<T> fixed_degree(index_t, index_t, index_t,        \
+                                            std::uint64_t);                   \
+  extern template CsrMatrix<T> random_uniform(index_t, index_t, double,       \
+                                              double, index_t, index_t,       \
+                                              std::uint64_t);                 \
+  extern template CsrMatrix<T> power_law(index_t, index_t, double, index_t,   \
+                                         std::uint64_t);                      \
+  extern template CsrMatrix<T> road_network(index_t, std::uint64_t);          \
+  extern template CsrMatrix<T> mesh_dual(index_t, std::uint64_t);             \
+  extern template CsrMatrix<T> fem_blocks(index_t, index_t, index_t, double,  \
+                                          std::uint64_t);                     \
+  extern template CsrMatrix<T> cfd_longrow(index_t, index_t, std::uint64_t);  \
+  extern template CsrMatrix<T> chemistry(index_t, index_t, std::uint64_t);    \
+  extern template CsrMatrix<T> mixed_regime(index_t, index_t, double, double, \
+                                            index_t, index_t, index_t,        \
+                                            index_t, std::uint64_t);
+SPMV_GEN_EXTERN(float)
+SPMV_GEN_EXTERN(double)
+#undef SPMV_GEN_EXTERN
+
+}  // namespace spmv::gen

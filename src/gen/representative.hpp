@@ -1,0 +1,50 @@
+// The 16 representative matrices of the paper's Table II, reproduced as
+// synthetic analogues (see DESIGN.md §2). Each entry records the paper's
+// dimensions/NNZ, the structural kind, and the scale factor we apply to the
+// three matrices that exceed laptop-class memory/time budgets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmv::gen {
+
+/// Catalogue entry for one Table-II matrix.
+struct RepresentativeInfo {
+  std::string name;        ///< UF name, e.g. "crankseg_2"
+  std::string kind;        ///< Table-II "Kind" column
+  index_t paper_rows;      ///< dimensions reported in the paper
+  index_t paper_cols;
+  std::int64_t paper_nnz;  ///< NNZ reported in the paper (approximate, as printed)
+  double scale;            ///< 1.0 = full size; <1 = linear row scale-down
+};
+
+/// The 16 Table-II entries in the paper's order.
+const std::vector<RepresentativeInfo>& representative_catalogue();
+
+/// Generate the synthetic analogue of catalogue entry `info`.
+/// The generated matrix has ~info.paper_rows*scale rows and a row-length
+/// distribution matching the matrix's kind; `seed` varies the instance.
+template <typename T>
+CsrMatrix<T> make_representative(const RepresentativeInfo& info,
+                                 std::uint64_t seed = 42);
+
+/// Lookup + generate by name. Throws std::invalid_argument for an unknown
+/// name.
+template <typename T>
+CsrMatrix<T> make_representative(const std::string& name,
+                                 std::uint64_t seed = 42);
+
+extern template CsrMatrix<float> make_representative(
+    const RepresentativeInfo&, std::uint64_t);
+extern template CsrMatrix<double> make_representative(
+    const RepresentativeInfo&, std::uint64_t);
+extern template CsrMatrix<float> make_representative(const std::string&,
+                                                     std::uint64_t);
+extern template CsrMatrix<double> make_representative(const std::string&,
+                                                      std::uint64_t);
+
+}  // namespace spmv::gen

@@ -1,0 +1,38 @@
+// Shared helpers for the binned SpMV kernels.
+//
+// A bin stores *virtual-row* indices at granularity `unit`: virtual row v
+// covers actual matrix rows [v*unit, min((v+1)*unit, m)). Kernels address
+// work by "slot": slot s maps to the (s % unit)-th actual row of the
+// (s / unit)-th virtual row in the bin. Slots pointing past the end of the
+// matrix (only possible in the matrix's final virtual row) are idle — the
+// same idle-lane behaviour a GPU launch rounded up to the group size has.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace spmv::kernels {
+
+/// Maps bin slots to actual matrix rows.
+struct RowMap {
+  std::span<const index_t> vrows;  ///< virtual-row indices in the bin
+  index_t unit = 1;                ///< granularity U
+  index_t m = 0;                   ///< matrix row count
+
+  /// Total slots = virtual rows in bin x unit (some may be idle).
+  [[nodiscard]] std::int64_t total_slots() const {
+    return static_cast<std::int64_t>(vrows.size()) *
+           static_cast<std::int64_t>(unit);
+  }
+
+  /// Actual row for slot s, or -1 when the slot is idle.
+  [[nodiscard]] index_t slot_to_row(std::int64_t s) const {
+    const auto vi = static_cast<std::size_t>(s / unit);
+    const auto r = static_cast<std::int64_t>(vrows[vi]) * unit + (s % unit);
+    return r < m ? static_cast<index_t>(r) : index_t{-1};
+  }
+};
+
+}  // namespace spmv::kernels

@@ -1,0 +1,90 @@
+// Kernel-Serial (paper Algorithm 3): one work-item per row.
+//
+// Faithful SIMT emulation: each 64-lane wavefront advances its lanes in
+// lockstep, one non-zero per lane per step, until the longest row in the
+// wavefront is exhausted. This reproduces the kernel's two GPU performance
+// signatures on the CPU substrate: (1) per-step memory accesses are
+// scattered across 64 different rows (the uncoalesced pattern), and (2) a
+// wavefront runs as long as its longest row, so divergent row lengths waste
+// lane-steps.
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+
+#include "kernels/binned_common.hpp"
+
+namespace spmv::kernels {
+
+namespace {
+constexpr int kGroupSize = 256;  // paper: fixed 256-thread work-groups
+constexpr int kWavefront = 64;   // GCN wavefront width
+}  // namespace
+
+template <typename T>
+void kernel_serial(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                   std::span<const T> x, std::span<T> y,
+                   std::span<const index_t> vrows, index_t unit) {
+  const RowMap map{vrows, unit, a.rows()};
+  const std::int64_t slots = map.total_slots();
+  if (slots == 0) return;
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+  clsim::LaunchParams lp;
+  lp.num_groups = clsim::div_up(static_cast<std::size_t>(slots), kGroupSize);
+  lp.group_size = kGroupSize;
+  lp.chunk = 16;  // cheap groups: amortize scheduling
+
+  engine.launch(lp, [&](clsim::WorkGroup& wg) {
+    auto pos = wg.local_array<offset_t>(kWavefront);
+    auto end = wg.local_array<offset_t>(kWavefront);
+    auto row = wg.local_array<index_t>(kWavefront);
+    auto acc = wg.local_array<T>(kWavefront);
+
+    const std::int64_t group_base =
+        static_cast<std::int64_t>(wg.group_id()) * kGroupSize;
+    for (int wave = 0; wave < kGroupSize / kWavefront; ++wave) {
+      const std::int64_t wave_base = group_base + wave * kWavefront;
+      // Lane setup.
+      for (int t = 0; t < kWavefront; ++t) {
+        const std::int64_t s = wave_base + t;
+        const index_t r = s < slots ? map.slot_to_row(s) : index_t{-1};
+        row[t] = r;
+        if (r >= 0) {
+          pos[t] = row_ptr[static_cast<std::size_t>(r)];
+          end[t] = row_ptr[static_cast<std::size_t>(r) + 1];
+        } else {
+          pos[t] = end[t] = 0;
+        }
+        acc[t] = T{};
+      }
+      // Lockstep execution: all lanes advance one element per step.
+      bool active = true;
+      while (active) {
+        active = false;
+        for (int t = 0; t < kWavefront; ++t) {
+          if (pos[t] < end[t]) {
+            const auto j = static_cast<std::size_t>(pos[t]);
+            acc[t] += vals[j] * x[static_cast<std::size_t>(col_idx[j])];
+            ++pos[t];
+            active = true;
+          }
+        }
+      }
+      for (int t = 0; t < kWavefront; ++t) {
+        if (row[t] >= 0) y[static_cast<std::size_t>(row[t])] = acc[t];
+      }
+    }
+  });
+}
+
+template void kernel_serial(const clsim::Engine&, const CsrMatrix<float>&,
+                            std::span<const float>, std::span<float>,
+                            std::span<const index_t>, index_t);
+template void kernel_serial(const clsim::Engine&, const CsrMatrix<double>&,
+                            std::span<const double>, std::span<double>,
+                            std::span<const index_t>, index_t);
+
+}  // namespace spmv::kernels

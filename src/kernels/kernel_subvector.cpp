@@ -1,0 +1,121 @@
+// Kernel-SubvectorX (paper Algorithm 4): X lanes cooperate on one row.
+//
+// Each 256-lane work-group holds 256/X subgroups, each assigned one row.
+// A row is consumed in chunks of factor*X non-zeros: the X lanes stage the
+// chunk's products into local memory with coalesced (contiguous) loads,
+// then combine them with a segmented parallel reduction; the subgroup's
+// lane 0 accumulates chunk results (Algorithm 4 lines 10-21).
+//
+// Emulation notes: subgroups of one group execute sequentially on the host
+// thread (they share no data, so this is semantics-preserving), and the
+// reduction always runs over the full zero-padded chunk — on the GPU, idle
+// lanes in a partially-filled chunk still burn cycles, which is exactly the
+// cost that makes wide subvectors a poor match for short rows.
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+
+#include "kernels/binned_common.hpp"
+
+namespace spmv::kernels {
+
+namespace {
+constexpr int kGroupSize = 256;
+constexpr int kFactor = 4;  // local buffer = factor * X products (paper: 4)
+}  // namespace
+
+template <typename T, int X>
+void kernel_subvector(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                      std::span<const T> x, std::span<T> y,
+                      std::span<const index_t> vrows, index_t unit) {
+  static_assert(X >= 2 && X <= 128 && (X & (X - 1)) == 0,
+                "subvector width must be a power of two in [2, 128]");
+  const RowMap map{vrows, unit, a.rows()};
+  const std::int64_t slots = map.total_slots();
+  if (slots == 0) return;
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+  constexpr int kRowsPerGroup = kGroupSize / X;
+  constexpr int kChunk = kFactor * X;
+
+  clsim::LaunchParams lp;
+  lp.num_groups =
+      clsim::div_up(static_cast<std::size_t>(slots), kRowsPerGroup);
+  lp.group_size = kGroupSize;
+  lp.chunk = X >= 32 ? 4 : 8;
+
+  engine.launch(lp, [&](clsim::WorkGroup& wg) {
+    // One local buffer sized for the whole group (kRowsPerGroup subgroups x
+    // factor*X each), as in the paper; subgroups use disjoint slices.
+    auto local_mem = wg.local_array<T>(kFactor * kGroupSize);
+
+    const std::int64_t group_base =
+        static_cast<std::int64_t>(wg.group_id()) * kRowsPerGroup;
+    for (int s = 0; s < kRowsPerGroup; ++s) {
+      const std::int64_t slot = group_base + s;
+      if (slot >= slots) break;
+      const index_t r = map.slot_to_row(slot);
+      if (r < 0) continue;
+
+      T* buf = local_mem.data() + static_cast<std::size_t>(s) * kChunk;
+      const offset_t row_start = row_ptr[static_cast<std::size_t>(r)];
+      const offset_t row_end = row_ptr[static_cast<std::size_t>(r) + 1];
+
+      T sum{};
+      for (offset_t base = row_start; base < row_end; base += kChunk) {
+        const int len =
+            static_cast<int>(std::min<offset_t>(kChunk, row_end - base));
+        // Coalesced stage: lanes load a contiguous run of non-zeros.
+        for (int k = 0; k < len; ++k) {
+          const auto j = static_cast<std::size_t>(base + k);
+          buf[k] = vals[j] * x[static_cast<std::size_t>(col_idx[j])];
+        }
+        for (int k = len; k < kChunk; ++k) buf[k] = T{};  // idle lanes
+        // Segmented parallel reduction over the padded chunk.
+        for (int stride = kChunk / 2; stride >= 1; stride /= 2) {
+          for (int k = 0; k < stride; ++k) buf[k] += buf[k + stride];
+        }
+        sum += buf[0];
+      }
+      y[static_cast<std::size_t>(r)] = sum;
+    }
+  });
+}
+
+#define SPMV_SUBVECTOR_INSTANTIATE(T)                                       \
+  template void kernel_subvector<T, 2>(const clsim::Engine&,                \
+                                       const CsrMatrix<T>&,                 \
+                                       std::span<const T>, std::span<T>,    \
+                                       std::span<const index_t>, index_t);  \
+  template void kernel_subvector<T, 4>(const clsim::Engine&,                \
+                                       const CsrMatrix<T>&,                 \
+                                       std::span<const T>, std::span<T>,    \
+                                       std::span<const index_t>, index_t);  \
+  template void kernel_subvector<T, 8>(const clsim::Engine&,                \
+                                       const CsrMatrix<T>&,                 \
+                                       std::span<const T>, std::span<T>,    \
+                                       std::span<const index_t>, index_t);  \
+  template void kernel_subvector<T, 16>(const clsim::Engine&,               \
+                                        const CsrMatrix<T>&,                \
+                                        std::span<const T>, std::span<T>,   \
+                                        std::span<const index_t>, index_t); \
+  template void kernel_subvector<T, 32>(const clsim::Engine&,               \
+                                        const CsrMatrix<T>&,                \
+                                        std::span<const T>, std::span<T>,   \
+                                        std::span<const index_t>, index_t); \
+  template void kernel_subvector<T, 64>(const clsim::Engine&,               \
+                                        const CsrMatrix<T>&,                \
+                                        std::span<const T>, std::span<T>,   \
+                                        std::span<const index_t>, index_t); \
+  template void kernel_subvector<T, 128>(const clsim::Engine&,              \
+                                         const CsrMatrix<T>&,               \
+                                         std::span<const T>, std::span<T>,  \
+                                         std::span<const index_t>, index_t);
+SPMV_SUBVECTOR_INSTANTIATE(float)
+SPMV_SUBVECTOR_INSTANTIATE(double)
+#undef SPMV_SUBVECTOR_INSTANTIATE
+
+}  // namespace spmv::kernels

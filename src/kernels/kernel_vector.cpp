@@ -1,0 +1,77 @@
+// Kernel-Vector (paper Algorithm 5): a full 256-lane work-group per row.
+//
+// A row is consumed in chunks of factor*256 non-zeros staged into local
+// memory with coalesced loads, then reduced with a full-width parallel
+// reduction. As in kernel_subvector.cpp, the reduction always runs over
+// the zero-padded chunk: a work-group burning 1024 lane-slots on a 3-NNZ
+// row is precisely why this kernel loses by up to 52x on short-row
+// matrices (paper Figure 6) while winning on long rows.
+#include "kernels/registry.hpp"
+
+#include <algorithm>
+
+#include "kernels/binned_common.hpp"
+
+namespace spmv::kernels {
+
+namespace {
+constexpr int kGroupSize = 256;
+constexpr int kFactor = 4;
+constexpr int kChunk = kFactor * kGroupSize;
+}  // namespace
+
+template <typename T>
+void kernel_vector(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                   std::span<const T> x, std::span<T> y,
+                   std::span<const index_t> vrows, index_t unit) {
+  const RowMap map{vrows, unit, a.rows()};
+  const std::int64_t slots = map.total_slots();
+  if (slots == 0) return;
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+  clsim::LaunchParams lp;
+  lp.num_groups = static_cast<std::size_t>(slots);  // one group per row
+  lp.group_size = kGroupSize;
+  lp.chunk = 1;  // heavy groups: finest balancing
+
+  engine.launch(lp, [&](clsim::WorkGroup& wg) {
+    auto buf = wg.local_array<T>(kChunk);
+    const auto slot = static_cast<std::int64_t>(wg.group_id());
+    const index_t r = map.slot_to_row(slot);
+    if (r < 0) return;
+
+    const offset_t row_start = row_ptr[static_cast<std::size_t>(r)];
+    const offset_t row_end = row_ptr[static_cast<std::size_t>(r) + 1];
+
+    T sum{};
+    for (offset_t base = row_start; base < row_end; base += kChunk) {
+      const int len =
+          static_cast<int>(std::min<offset_t>(kChunk, row_end - base));
+      for (int k = 0; k < len; ++k) {
+        const auto j = static_cast<std::size_t>(base + k);
+        buf[static_cast<std::size_t>(k)] =
+            vals[j] * x[static_cast<std::size_t>(col_idx[j])];
+      }
+      for (int k = len; k < kChunk; ++k) buf[static_cast<std::size_t>(k)] = T{};
+      for (int stride = kChunk / 2; stride >= 1; stride /= 2) {
+        for (int k = 0; k < stride; ++k)
+          buf[static_cast<std::size_t>(k)] +=
+              buf[static_cast<std::size_t>(k + stride)];
+      }
+      sum += buf[0];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  });
+}
+
+template void kernel_vector(const clsim::Engine&, const CsrMatrix<float>&,
+                            std::span<const float>, std::span<float>,
+                            std::span<const index_t>, index_t);
+template void kernel_vector(const clsim::Engine&, const CsrMatrix<double>&,
+                            std::span<const double>, std::span<double>,
+                            std::span<const index_t>, index_t);
+
+}  // namespace spmv::kernels

@@ -1,0 +1,93 @@
+#include "kernels/reference.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include <omp.h>
+
+namespace spmv::kernels {
+
+namespace {
+template <typename T>
+void check_shapes(const CsrMatrix<T>& a, std::span<const T> x,
+                  std::span<T> y) {
+  if (x.size() != static_cast<std::size_t>(a.cols()))
+    throw std::invalid_argument("spmv: x size != cols");
+  if (y.size() != static_cast<std::size_t>(a.rows()))
+    throw std::invalid_argument("spmv: y size != rows");
+}
+}  // namespace
+
+template <typename T>
+void spmv_sequential(const CsrMatrix<T>& a, std::span<const T> x,
+                     std::span<T> y) {
+  check_shapes(a, x, y);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    T sum{};
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += vals[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+template <typename T>
+void spmv_omp_rows(const CsrMatrix<T>& a, std::span<const T> x,
+                   std::span<T> y) {
+  check_shapes(a, x, y);
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  const index_t m = a.rows();
+#pragma omp parallel for schedule(dynamic, 256)
+  for (index_t i = 0; i < m; ++i) {
+    T sum{};
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += vals[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+template <typename T>
+std::vector<double> spmv_exact(const CsrMatrix<T>& a, std::span<const T> x) {
+  if (x.size() != static_cast<std::size_t>(a.cols()))
+    throw std::invalid_argument("spmv_exact: x size != cols");
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      sum += static_cast<double>(vals[static_cast<std::size_t>(j)]) *
+             static_cast<double>(
+                 x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])]);
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+  return y;
+}
+
+template void spmv_sequential(const CsrMatrix<float>&, std::span<const float>,
+                              std::span<float>);
+template void spmv_sequential(const CsrMatrix<double>&,
+                              std::span<const double>, std::span<double>);
+template void spmv_omp_rows(const CsrMatrix<float>&, std::span<const float>,
+                            std::span<float>);
+template void spmv_omp_rows(const CsrMatrix<double>&, std::span<const double>,
+                            std::span<double>);
+template std::vector<double> spmv_exact(const CsrMatrix<float>&,
+                                        std::span<const float>);
+template std::vector<double> spmv_exact(const CsrMatrix<double>&,
+                                        std::span<const double>);
+
+}  // namespace spmv::kernels

@@ -1,0 +1,44 @@
+// Reference SpMV implementations: the paper's Algorithm 1 (sequential) and
+// a plain OpenMP row-parallel CPU kernel. These define correct output for
+// every other kernel in the library and serve as the multicore-CPU
+// comparison point in the examples.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace spmv::kernels {
+
+/// Algorithm 1: sequential CSR SpMV, y = A*x. y must have a.rows()
+/// elements and x must have a.cols() elements (checked).
+template <typename T>
+void spmv_sequential(const CsrMatrix<T>& a, std::span<const T> x,
+                     std::span<T> y);
+
+/// Row-parallel OpenMP CSR SpMV with dynamic scheduling — the standard
+/// multicore CPU kernel.
+template <typename T>
+void spmv_omp_rows(const CsrMatrix<T>& a, std::span<const T> x,
+                   std::span<T> y);
+
+/// Double-precision ground truth of A*x regardless of T (used by tests to
+/// bound kernel rounding error).
+template <typename T>
+std::vector<double> spmv_exact(const CsrMatrix<T>& a, std::span<const T> x);
+
+extern template void spmv_sequential(const CsrMatrix<float>&,
+                                     std::span<const float>, std::span<float>);
+extern template void spmv_sequential(const CsrMatrix<double>&,
+                                     std::span<const double>,
+                                     std::span<double>);
+extern template void spmv_omp_rows(const CsrMatrix<float>&,
+                                   std::span<const float>, std::span<float>);
+extern template void spmv_omp_rows(const CsrMatrix<double>&,
+                                   std::span<const double>, std::span<double>);
+extern template std::vector<double> spmv_exact(const CsrMatrix<float>&,
+                                               std::span<const float>);
+extern template std::vector<double> spmv_exact(const CsrMatrix<double>&,
+                                               std::span<const double>);
+
+}  // namespace spmv::kernels

@@ -1,0 +1,101 @@
+#include "kernels/registry.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "binning/binning.hpp"
+
+namespace spmv::kernels {
+
+const std::vector<KernelId>& all_kernels() {
+  static const std::vector<KernelId> ids = {
+      KernelId::Serial, KernelId::Sub2,  KernelId::Sub4,
+      KernelId::Sub8,   KernelId::Sub16, KernelId::Sub32,
+      KernelId::Sub64,  KernelId::Sub128, KernelId::Vector};
+  return ids;
+}
+
+std::string kernel_name(KernelId id) {
+  switch (id) {
+    case KernelId::Serial: return "serial";
+    case KernelId::Sub2: return "subvector2";
+    case KernelId::Sub4: return "subvector4";
+    case KernelId::Sub8: return "subvector8";
+    case KernelId::Sub16: return "subvector16";
+    case KernelId::Sub32: return "subvector32";
+    case KernelId::Sub64: return "subvector64";
+    case KernelId::Sub128: return "subvector128";
+    case KernelId::Vector: return "vector";
+  }
+  throw std::invalid_argument("kernel_name: bad id");
+}
+
+KernelId kernel_from_name(const std::string& name) {
+  for (KernelId id : all_kernels()) {
+    if (kernel_name(id) == name) return id;
+  }
+  throw std::invalid_argument("kernel_from_name: unknown kernel " + name);
+}
+
+int lanes_per_row(KernelId id) {
+  switch (id) {
+    case KernelId::Serial: return 1;
+    case KernelId::Sub2: return 2;
+    case KernelId::Sub4: return 4;
+    case KernelId::Sub8: return 8;
+    case KernelId::Sub16: return 16;
+    case KernelId::Sub32: return 32;
+    case KernelId::Sub64: return 64;
+    case KernelId::Sub128: return 128;
+    case KernelId::Vector: return 256;
+  }
+  throw std::invalid_argument("lanes_per_row: bad id");
+}
+
+template <typename T>
+void run_binned(KernelId id, const clsim::Engine& engine,
+                const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
+                std::span<const index_t> vrows, index_t unit) {
+  switch (id) {
+    case KernelId::Serial:
+      return kernel_serial(engine, a, x, y, vrows, unit);
+    case KernelId::Sub2:
+      return kernel_subvector<T, 2>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub4:
+      return kernel_subvector<T, 4>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub8:
+      return kernel_subvector<T, 8>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub16:
+      return kernel_subvector<T, 16>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub32:
+      return kernel_subvector<T, 32>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub64:
+      return kernel_subvector<T, 64>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub128:
+      return kernel_subvector<T, 128>(engine, a, x, y, vrows, unit);
+    case KernelId::Vector:
+      return kernel_vector(engine, a, x, y, vrows, unit);
+  }
+  throw std::invalid_argument("run_binned: bad kernel id");
+}
+
+template <typename T>
+void run_full(KernelId id, const clsim::Engine& engine, const CsrMatrix<T>& a,
+              std::span<const T> x, std::span<T> y) {
+  // The whole matrix as one bin of granularity 1: virtual row i == row i.
+  std::vector<index_t> vrows(static_cast<std::size_t>(a.rows()));
+  std::iota(vrows.begin(), vrows.end(), index_t{0});
+  run_binned(id, engine, a, x, y, vrows, 1);
+}
+
+#define SPMV_REGISTRY_INSTANTIATE(T)                                         \
+  template void run_binned(KernelId, const clsim::Engine&,                   \
+                           const CsrMatrix<T>&, std::span<const T>,          \
+                           std::span<T>, std::span<const index_t>, index_t); \
+  template void run_full(KernelId, const clsim::Engine&, const CsrMatrix<T>&,\
+                         std::span<const T>, std::span<T>);
+SPMV_REGISTRY_INSTANTIATE(float)
+SPMV_REGISTRY_INSTANTIATE(double)
+#undef SPMV_REGISTRY_INSTANTIATE
+
+}  // namespace spmv::kernels

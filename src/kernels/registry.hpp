@@ -1,0 +1,100 @@
+// The kernel candidate pool: nine SpMV kernels with identical semantics but
+// different thread organizations (paper §III-B, Algorithms 3-5), plus the
+// registry used by the auto-tuner to enumerate, name, and dispatch them.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clsim/engine.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::kernels {
+
+/// The nine pool kernels. Sub<X> assigns X cooperating lanes per row;
+/// Serial assigns one lane per row; Vector assigns a whole 256-lane
+/// work-group per row.
+enum class KernelId : int {
+  Serial = 0,
+  Sub2,
+  Sub4,
+  Sub8,
+  Sub16,
+  Sub32,
+  Sub64,
+  Sub128,
+  Vector,
+};
+
+inline constexpr int kKernelCount = 9;
+
+/// All pool kernels in enum order.
+const std::vector<KernelId>& all_kernels();
+
+/// Stable display name, e.g. "serial", "subvector16", "vector".
+std::string kernel_name(KernelId id);
+
+/// Inverse of kernel_name(). Throws std::invalid_argument on unknown names.
+KernelId kernel_from_name(const std::string& name);
+
+/// Lanes cooperating on one row: 1 for Serial, X for Sub<X>, 256 for Vector.
+int lanes_per_row(KernelId id);
+
+/// Execute pool kernel `id` over the actual rows covered by the virtual
+/// rows `vrows` at granularity `unit`, writing only those entries of y.
+/// Rows not covered by `vrows` are untouched, so the caller can compose a
+/// full SpMV from per-bin launches.
+template <typename T>
+void run_binned(KernelId id, const clsim::Engine& engine,
+                const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
+                std::span<const index_t> vrows, index_t unit);
+
+/// Convenience: run pool kernel `id` over the whole matrix (all rows in a
+/// single implicit bin of granularity 1).
+template <typename T>
+void run_full(KernelId id, const clsim::Engine& engine, const CsrMatrix<T>& a,
+              std::span<const T> x, std::span<T> y);
+
+// --- individual kernels (implemented in kernel_*.cpp) -----------------
+
+/// Algorithm 3: one lane per row, lockstep within each 64-lane wavefront.
+template <typename T>
+void kernel_serial(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                   std::span<const T> x, std::span<T> y,
+                   std::span<const index_t> vrows, index_t unit);
+
+/// Algorithm 4: X lanes per row; products staged through a factor*X-wide
+/// local buffer and combined with a segmented parallel reduction.
+template <typename T, int X>
+void kernel_subvector(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                      std::span<const T> x, std::span<T> y,
+                      std::span<const index_t> vrows, index_t unit);
+
+/// Algorithm 5: the whole 256-lane work-group on one row.
+template <typename T>
+void kernel_vector(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                   std::span<const T> x, std::span<T> y,
+                   std::span<const index_t> vrows, index_t unit);
+
+#define SPMV_KERNELS_EXTERN(T)                                               \
+  extern template void run_binned(KernelId, const clsim::Engine&,            \
+                                  const CsrMatrix<T>&, std::span<const T>,   \
+                                  std::span<T>, std::span<const index_t>,    \
+                                  index_t);                                  \
+  extern template void run_full(KernelId, const clsim::Engine&,              \
+                                const CsrMatrix<T>&, std::span<const T>,     \
+                                std::span<T>);                               \
+  extern template void kernel_serial(const clsim::Engine&,                   \
+                                     const CsrMatrix<T>&, std::span<const T>,\
+                                     std::span<T>, std::span<const index_t>, \
+                                     index_t);                               \
+  extern template void kernel_vector(const clsim::Engine&,                   \
+                                     const CsrMatrix<T>&, std::span<const T>,\
+                                     std::span<T>, std::span<const index_t>, \
+                                     index_t);
+SPMV_KERNELS_EXTERN(float)
+SPMV_KERNELS_EXTERN(double)
+#undef SPMV_KERNELS_EXTERN
+
+}  // namespace spmv::kernels

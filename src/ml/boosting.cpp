@@ -1,0 +1,83 @@
+#include "ml/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spmv::ml {
+
+void BoostedTrees::train(const Dataset& data, int trials,
+                         const TreeParams& params) {
+  if (data.empty()) throw std::invalid_argument("BoostedTrees: empty dataset");
+  if (trials < 1) throw std::invalid_argument("BoostedTrees: trials < 1");
+  trees_.clear();
+  alphas_.clear();
+  class_count_ = data.class_count();
+
+  const std::size_t n = data.size();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  const double k = static_cast<double>(class_count_);
+
+  for (int t = 0; t < trials; ++t) {
+    DecisionTree tree;
+    tree.train(data, params, weights);
+
+    double err = 0.0;
+    std::vector<bool> wrong(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wrong[i] = tree.predict(data.features(i)) != data.label(i);
+      if (wrong[i]) err += weights[i];
+    }
+
+    if (err <= 1e-12) {
+      // Perfect trial: keep it with a large vote and stop.
+      trees_.push_back(std::move(tree));
+      alphas_.push_back(10.0);
+      break;
+    }
+    if (err >= 1.0 - 1.0 / k) break;  // no better than chance: stop
+
+    // SAMME: alpha includes log(K-1) so multi-class stays well-posed.
+    const double alpha = std::log((1.0 - err) / err) + std::log(k - 1.0);
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wrong[i]) weights[i] *= std::exp(alpha);
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+  }
+
+  if (trees_.empty()) {
+    // Even trial 1 was no better than chance; keep a single unboosted tree
+    // so prediction still works.
+    DecisionTree tree;
+    tree.train(data, params);
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(1.0);
+  }
+}
+
+int BoostedTrees::predict(std::span<const double> features) const {
+  if (trees_.empty()) throw std::logic_error("BoostedTrees: not trained");
+  std::vector<double> votes(static_cast<std::size_t>(class_count_), 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    votes[static_cast<std::size_t>(trees_[t].predict(features))] +=
+        alphas_[t];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+double BoostedTrees::error_rate(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.features(i)) != data.label(i)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(data.size());
+}
+
+}  // namespace spmv::ml

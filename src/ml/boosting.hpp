@@ -1,0 +1,38 @@
+// Boosted decision trees — C5.0's "trials" option (AdaBoost-style
+// reweighting with the SAMME multi-class weight update). Optional: the
+// default framework uses a single tree, matching the paper; boosting is an
+// accuracy extension evaluated in bench/train_accuracy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace spmv::ml {
+
+class BoostedTrees {
+ public:
+  /// Train `trials` boosted trees. Stops early if a trial's weighted error
+  /// reaches 0 (dataset fit) or >= 1 - 1/K (no better than chance).
+  void train(const Dataset& data, int trials, const TreeParams& params = {});
+
+  /// Weighted-vote prediction.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  [[nodiscard]] double error_rate(const Dataset& data) const;
+
+  [[nodiscard]] std::size_t trial_count() const { return trees_.size(); }
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const {
+    return trees_;
+  }
+  [[nodiscard]] int class_count() const { return class_count_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+  int class_count_ = 0;
+};
+
+}  // namespace spmv::ml

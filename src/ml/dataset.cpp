@@ -1,0 +1,56 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace spmv::ml {
+
+Dataset::Dataset(std::vector<std::string> attr_names,
+                 std::vector<std::string> class_names)
+    : attr_names_(std::move(attr_names)),
+      class_names_(std::move(class_names)) {
+  if (attr_names_.empty())
+    throw std::invalid_argument("Dataset: no attributes");
+  if (class_names_.empty()) throw std::invalid_argument("Dataset: no classes");
+}
+
+void Dataset::add(std::vector<double> features, int label) {
+  if (features.size() != attr_names_.size())
+    throw std::invalid_argument("Dataset::add: feature count mismatch");
+  if (label < 0 || label >= class_count())
+    throw std::invalid_argument("Dataset::add: label out of range");
+  rows_.push_back(std::move(features));
+  labels_.push_back(label);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double frac,
+                                           std::uint64_t seed) const {
+  if (frac < 0.0 || frac > 1.0)
+    throw std::invalid_argument("Dataset::split: frac out of [0,1]");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::Xoshiro256 rng(seed);
+  // Fisher-Yates with our deterministic generator.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  const auto cut = static_cast<std::size_t>(frac * static_cast<double>(size()));
+  Dataset train(attr_names_, class_names_);
+  Dataset test(attr_names_, class_names_);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    auto& dst = k < cut ? train : test;
+    dst.add(rows_[order[k]], labels_[order[k]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(class_count()), 0);
+  for (int label : labels_) ++hist[static_cast<std::size_t>(label)];
+  return hist;
+}
+
+}  // namespace spmv::ml

@@ -1,0 +1,57 @@
+// Labeled dataset for the decision-tree learner: continuous attributes,
+// categorical class labels (the shape C5.0 consumes in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spmv::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> attr_names,
+                   std::vector<std::string> class_names);
+
+  [[nodiscard]] int attr_count() const {
+    return static_cast<int>(attr_names_.size());
+  }
+  [[nodiscard]] int class_count() const {
+    return static_cast<int>(class_names_.size());
+  }
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+
+  [[nodiscard]] const std::vector<std::string>& attr_names() const {
+    return attr_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+  /// Add one instance. `features.size()` must equal attr_count() and
+  /// `label` must be in [0, class_count()); throws otherwise.
+  void add(std::vector<double> features, int label);
+
+  [[nodiscard]] const std::vector<double>& features(std::size_t i) const {
+    return rows_[i];
+  }
+  [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+
+  /// Deterministic shuffled split: ~frac of instances into the first
+  /// dataset, the rest into the second (the paper's 75/25 split).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double frac,
+                                                  std::uint64_t seed) const;
+
+  /// Count of instances per class label.
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+ private:
+  std::vector<std::string> attr_names_;
+  std::vector<std::string> class_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+}  // namespace spmv::ml

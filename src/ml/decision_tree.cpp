@@ -1,0 +1,363 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spmv::ml {
+
+double entropy(std::span<const double> class_weights) {
+  double total = 0.0;
+  for (double w : class_weights) total += w;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : class_weights) {
+    if (w > 0.0) {
+      const double p = w / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+double pessimistic_errors(double n, double e, double cf) {
+  // C4.5's AddErrs (Quinlan): upper confidence limit of a binomial at
+  // confidence factor cf, via the normal-deviate table C4.5 ships.
+  if (cf >= 1.0 || n <= 0.0) return 0.0;
+  static constexpr double kVal[] = {0.0,  0.001, 0.005, 0.01, 0.05,
+                                    0.10, 0.20,  0.40,  1.00};
+  static constexpr double kDev[] = {4.0,  3.09, 2.58, 2.33, 1.65,
+                                    1.28, 0.84, 0.25, 0.00};
+  int i = 0;
+  while (cf > kVal[i]) ++i;
+  const double coeff_raw =
+      kDev[i - 1] + (kDev[i] - kDev[i - 1]) * (cf - kVal[i - 1]) /
+                        (kVal[i] - kVal[i - 1]);
+  const double coeff = coeff_raw * coeff_raw;
+
+  if (e < 1e-6) {
+    return n * (1.0 - std::exp(std::log(cf) / n));
+  }
+  if (e < 0.9999) {
+    const double v0 = n * (1.0 - std::exp(std::log(cf) / n));
+    return v0 + e * (pessimistic_errors(n, 1.0, cf) - v0);
+  }
+  if (e + 0.5 >= n) {
+    return 0.67 * (n - e);
+  }
+  const double pr =
+      (e + 0.5 + coeff / 2.0 +
+       std::sqrt(coeff * (coeff / 4.0 + (e + 0.5) * (1.0 - (e + 0.5) / n)))) /
+      (n + coeff);
+  return n * pr - e;
+}
+
+namespace {
+
+struct SplitChoice {
+  int attr = -1;
+  double threshold = 0.0;
+  double gain_ratio = -1.0;
+};
+
+}  // namespace
+
+void DecisionTree::train(const Dataset& data, const TreeParams& params,
+                         std::span<const double> weights) {
+  if (data.empty()) throw std::invalid_argument("DecisionTree: empty dataset");
+  if (!weights.empty() && weights.size() != data.size())
+    throw std::invalid_argument("DecisionTree: weight count mismatch");
+  nodes_.clear();
+  attr_names_ = data.attr_names();
+  class_names_ = data.class_names();
+
+  // Normalize weights to mean 1 so min_split keeps its instance-count
+  // meaning regardless of the caller's weight scale (boosting passes
+  // weights summing to 1).
+  std::vector<double> scaled;
+  std::span<const double> effective = weights;
+  if (!weights.empty()) {
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    if (sum <= 0.0)
+      throw std::invalid_argument("DecisionTree: non-positive weight sum");
+    scaled.assign(weights.begin(), weights.end());
+    const double scale = static_cast<double>(weights.size()) / sum;
+    for (double& w : scaled) w *= scale;
+    effective = scaled;
+  }
+
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  build(data, idx, effective, params, 0);
+  if (params.pruning_cf < 1.0) prune(0, params);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& idx,
+                        std::span<const double> weights,
+                        const TreeParams& params, int depth) {
+  auto weight_of = [&](std::size_t i) {
+    return weights.empty() ? 1.0 : weights[i];
+  };
+
+  // Class distribution at this node.
+  std::vector<double> dist(static_cast<std::size_t>(data.class_count()), 0.0);
+  for (std::size_t i : idx) dist[static_cast<std::size_t>(data.label(i))] += weight_of(i);
+  const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+  const int majority = static_cast<int>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].label = majority;
+  nodes_[static_cast<std::size_t>(node_id)].count = total;
+  nodes_[static_cast<std::size_t>(node_id)].errors =
+      total - dist[static_cast<std::size_t>(majority)];
+
+  const bool pure =
+      dist[static_cast<std::size_t>(majority)] >= total - 1e-12;
+  if (pure || depth >= params.max_depth ||
+      total < 2.0 * params.min_split) {
+    return node_id;
+  }
+
+  // Find the best gain-ratio split over all continuous attributes.
+  const double base_entropy = entropy(dist);
+  SplitChoice best;
+  std::vector<std::size_t> sorted(idx);
+  std::vector<double> left_dist(dist.size());
+
+  for (int attr = 0; attr < data.attr_count(); ++attr) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return data.features(a)[static_cast<std::size_t>(attr)] <
+             data.features(b)[static_cast<std::size_t>(attr)];
+    });
+    std::fill(left_dist.begin(), left_dist.end(), 0.0);
+    double left_total = 0.0;
+
+    // Count distinct candidate thresholds for the MDL penalty.
+    int candidates = 0;
+    for (std::size_t k = 1; k < sorted.size(); ++k) {
+      if (data.features(sorted[k])[static_cast<std::size_t>(attr)] >
+          data.features(sorted[k - 1])[static_cast<std::size_t>(attr)])
+        ++candidates;
+    }
+    if (candidates == 0) continue;
+    const double penalty =
+        params.mdl_penalty
+            ? std::log2(static_cast<double>(candidates)) / total
+            : 0.0;
+
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t i = sorted[k];
+      left_dist[static_cast<std::size_t>(data.label(i))] += weight_of(i);
+      left_total += weight_of(i);
+      const double v0 = data.features(i)[static_cast<std::size_t>(attr)];
+      const double v1 =
+          data.features(sorted[k + 1])[static_cast<std::size_t>(attr)];
+      if (v1 <= v0) continue;  // not a value boundary
+
+      const double right_total = total - left_total;
+      if (left_total < params.min_split || right_total < params.min_split)
+        continue;
+
+      // Info gain of this binary split.
+      std::vector<double> right_dist(dist.size());
+      for (std::size_t c = 0; c < dist.size(); ++c)
+        right_dist[c] = dist[c] - left_dist[c];
+      const double split_entropy =
+          (left_total / total) * entropy(left_dist) +
+          (right_total / total) * entropy(right_dist);
+      const double gain = base_entropy - split_entropy - penalty;
+      if (gain <= 1e-9) continue;
+
+      const double pl = left_total / total;
+      const double split_info = -(pl * std::log2(pl) +
+                                  (1.0 - pl) * std::log2(1.0 - pl));
+      const double ratio = gain / std::max(split_info, 1e-9);
+      if (ratio > best.gain_ratio) {
+        // C4.5 splits at the midpoint of the boundary values.
+        best = {attr, 0.5 * (v0 + v1), ratio};
+      }
+    }
+  }
+
+  if (best.attr < 0) return node_id;  // no useful split: stay a leaf
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : idx) {
+    if (data.features(i)[static_cast<std::size_t>(best.attr)] <=
+        best.threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[static_cast<std::size_t>(node_id)].attr = best.attr;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best.threshold;
+  const int left = build(data, left_idx, weights, params, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  const int right = build(data, right_idx, weights, params, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::prune(int node_id, const TreeParams& params) {
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  const double leaf_estimate =
+      node.errors + pessimistic_errors(node.count, node.errors,
+                                       params.pruning_cf);
+  if (node.attr < 0) return leaf_estimate;
+
+  const double subtree_estimate =
+      prune(node.left, params) + prune(node.right, params);
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    // Collapse: the pruned-leaf pessimistic error is no worse.
+    node.attr = -1;
+    node.left = node.right = -1;
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not trained");
+  int cur = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.attr < 0) return node.label;
+    cur = features[static_cast<std::size_t>(node.attr)] <= node.threshold
+              ? node.left
+              : node.right;
+  }
+}
+
+double DecisionTree::error_rate(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.features(i)) != data.label(i)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(data.size());
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  // Collapsed subtrees leave orphan nodes behind, so count only leaves
+  // reachable from the root.
+  if (nodes_.empty()) return 0;
+  std::size_t leaves = 0;
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.attr < 0) {
+      ++leaves;
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return leaves;
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  struct Item {
+    int id;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, item.depth);
+    const Node& n = nodes_[static_cast<std::size_t>(item.id)];
+    if (n.attr >= 0) {
+      stack.push_back({n.left, item.depth + 1});
+      stack.push_back({n.right, item.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "DecisionTree v1\n";
+  out << "attrs " << attr_names_.size();
+  for (const auto& name : attr_names_) out << ' ' << name;
+  out << "\nclasses " << class_names_.size();
+  for (const auto& name : class_names_) out << ' ' << name;
+  out << "\nnodes " << nodes_.size() << '\n';
+  out.precision(17);
+  for (const Node& n : nodes_) {
+    out << n.attr << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+        << ' ' << n.label << ' ' << n.count << ' ' << n.errors << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  auto fail = [](const char* msg) -> void {
+    throw std::runtime_error(std::string("DecisionTree::load: ") + msg);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != "DecisionTree v1")
+    fail("bad header");
+
+  DecisionTree tree;
+  std::string token;
+  std::size_t count = 0;
+  in >> token >> count;
+  if (token != "attrs") fail("expected attrs");
+  tree.attr_names_.resize(count);
+  for (auto& name : tree.attr_names_) in >> name;
+  in >> token >> count;
+  if (token != "classes") fail("expected classes");
+  tree.class_names_.resize(count);
+  for (auto& name : tree.class_names_) in >> name;
+  in >> token >> count;
+  if (token != "nodes") fail("expected nodes");
+  tree.nodes_.resize(count);
+  for (Node& n : tree.nodes_) {
+    in >> n.attr >> n.threshold >> n.left >> n.right >> n.label >> n.count >>
+        n.errors;
+  }
+  if (!in) fail("truncated stream");
+  return tree;
+}
+
+std::string DecisionTree::to_string() const {
+  std::ostringstream out;
+  if (nodes_.empty()) return "(untrained)\n";
+  struct Item {
+    int id;
+    int indent;
+    std::string prefix;
+  };
+  std::vector<Item> stack{{0, 0, ""}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(item.id)];
+    for (int i = 0; i < item.indent; ++i) out << "  ";
+    out << item.prefix;
+    if (n.attr < 0) {
+      out << "-> " << class_names_[static_cast<std::size_t>(n.label)] << " ("
+          << n.count << '/' << n.errors << ")\n";
+    } else {
+      out << attr_names_[static_cast<std::size_t>(n.attr)] << " <= "
+          << n.threshold << "?\n";
+      stack.push_back({n.right, item.indent + 1, "no:  "});
+      stack.push_back({n.left, item.indent + 1, "yes: "});
+    }
+  }
+  return out.str();
+}
+
+}  // namespace spmv::ml

@@ -1,0 +1,97 @@
+// C4.5/C5.0-style decision-tree learner (the paper's "C5.0 data mining
+// tool", DESIGN.md §2): gain-ratio splits on continuous attributes with the
+// MDL threshold penalty, minimum-count stopping, and confidence-based
+// pessimistic-error pruning. Trees serialize to a small text format and can
+// be flattened into if-then rule sets (ruleset.hpp), which is the artifact
+// the paper's framework consults at run time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace spmv::ml {
+
+/// Induction / pruning hyper-parameters (defaults follow C4.5's).
+struct TreeParams {
+  int max_depth = 32;
+  /// A split must leave at least two branches with >= min_split instances.
+  int min_split = 2;
+  /// C4.5 confidence factor for pessimistic-error pruning; larger prunes
+  /// less, 1.0 disables pruning.
+  double pruning_cf = 0.25;
+  /// Apply C4.5's MDL correction (log2(#thresholds)/N subtracted from the
+  /// gain) when evaluating continuous splits. Disable to reproduce plain
+  /// ID3-style splitting (used by tests to force overfit trees).
+  bool mdl_penalty = true;
+};
+
+class DecisionTree {
+ public:
+  struct Node {
+    int attr = -1;            ///< split attribute (-1 = leaf)
+    double threshold = 0.0;   ///< go left when feature <= threshold
+    int left = -1;            ///< child node index
+    int right = -1;
+    int label = -1;           ///< majority class at this node
+    double count = 0.0;       ///< (weighted) instances reaching the node
+    double errors = 0.0;      ///< (weighted) non-majority instances
+  };
+
+  DecisionTree() = default;
+
+  /// Induce + prune from `data`. `weights` (optional) gives per-instance
+  /// weights for boosting; empty means all 1.
+  void train(const Dataset& data, const TreeParams& params = {},
+             std::span<const double> weights = {});
+
+  /// Predict the class label of one feature vector.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  /// Fraction of misclassified instances on `data` (0 when empty).
+  [[nodiscard]] double error_rate(const Dataset& data) const;
+
+  [[nodiscard]] bool trained() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const;
+  [[nodiscard]] int depth() const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<std::string>& attr_names() const {
+    return attr_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+  /// Text serialization (stable, line-oriented; round-trips exactly).
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+
+  /// Human-readable indented rendering (for reports / debugging).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  friend class RuleSet;
+  int build(const Dataset& data, std::vector<std::size_t>& idx,
+            std::span<const double> weights, const TreeParams& params,
+            int depth);
+  double prune(int node, const TreeParams& params);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> attr_names_;
+  std::vector<std::string> class_names_;
+};
+
+/// Shannon entropy of a (weighted) class distribution, in bits.
+double entropy(std::span<const double> class_weights);
+
+/// C4.5's pessimistic "added errors" upper bound: given N (weighted)
+/// instances with E errors at a leaf, the upper confidence limit (at
+/// confidence factor cf) of the true error count.
+double pessimistic_errors(double n, double e, double cf);
+
+}  // namespace spmv::ml

@@ -1,0 +1,33 @@
+#include "ml/features.hpp"
+
+namespace spmv::ml {
+
+const std::vector<std::string>& stage1_attr_names() {
+  static const std::vector<std::string> names = {
+      "M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ"};
+  return names;
+}
+
+const std::vector<std::string>& stage2_attr_names() {
+  static const std::vector<std::string> names = {
+      "M",       "N",       "NNZ", "Var_NNZ", "Avg_NNZ",
+      "Min_NNZ", "Max_NNZ", "U",   "binId"};
+  return names;
+}
+
+std::vector<double> stage1_features(const RowStats& stats) {
+  return {static_cast<double>(stats.rows),    static_cast<double>(stats.cols),
+          static_cast<double>(stats.nnz),     stats.var_nnz,
+          stats.avg_nnz,                      static_cast<double>(stats.min_nnz),
+          static_cast<double>(stats.max_nnz)};
+}
+
+std::vector<double> stage2_features(const RowStats& stats, index_t unit,
+                                    int bin_id) {
+  auto features = stage1_features(stats);
+  features.push_back(static_cast<double>(unit));
+  features.push_back(static_cast<double>(bin_id));
+  return features;
+}
+
+}  // namespace spmv::ml

@@ -1,0 +1,29 @@
+// Table-I feature extraction: the attribute vectors the paper's two-stage
+// model consumes.
+//
+// Stage 1: {M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ} -> binning U.
+// Stage 2: the same + {U, binId}                           -> kernel id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/matrix_stats.hpp"
+
+namespace spmv::ml {
+
+/// Attribute names for the stage-1 vector, in order.
+const std::vector<std::string>& stage1_attr_names();
+
+/// Attribute names for the stage-2 vector, in order (stage-1 + U + binId).
+const std::vector<std::string>& stage2_attr_names();
+
+/// Build the stage-1 feature vector from row statistics.
+std::vector<double> stage1_features(const RowStats& stats);
+
+/// Build the stage-2 feature vector: stage-1 features + the binning
+/// granularity U and the bin id under that granularity.
+std::vector<double> stage2_features(const RowStats& stats, index_t unit,
+                                    int bin_id);
+
+}  // namespace spmv::ml

@@ -1,0 +1,222 @@
+#include "ml/ruleset.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spmv::ml {
+
+bool Rule::matches(std::span<const double> features) const {
+  return std::all_of(conditions.begin(), conditions.end(),
+                     [&](const Condition& c) { return c.matches(features); });
+}
+
+namespace {
+
+/// Merge redundant conditions on the same attribute: keep the tightest
+/// upper bound (Leq) and the tightest lower bound (Gt).
+std::vector<Condition> merge_conditions(const std::vector<Condition>& conds) {
+  std::vector<Condition> merged;
+  for (const Condition& c : conds) {
+    bool absorbed = false;
+    for (Condition& m : merged) {
+      if (m.attr == c.attr && m.op == c.op) {
+        if (c.op == Condition::Op::Leq) {
+          m.threshold = std::min(m.threshold, c.threshold);
+        } else {
+          m.threshold = std::max(m.threshold, c.threshold);
+        }
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) merged.push_back(c);
+  }
+  return merged;
+}
+
+/// Rule accuracy on `data`: Laplace-corrected fraction of covered instances
+/// with the rule's label. Returns {accuracy, covered}.
+std::pair<double, double> rule_accuracy(const Rule& rule, const Dataset& data) {
+  double covered = 0.0;
+  double correct = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (rule.matches(data.features(i))) {
+      covered += 1.0;
+      if (data.label(i) == rule.label) correct += 1.0;
+    }
+  }
+  return {(correct + 1.0) / (covered + 2.0), covered};
+}
+
+}  // namespace
+
+RuleSet RuleSet::from_tree(const DecisionTree& tree,
+                           const Dataset* simplify_on) {
+  if (!tree.trained()) throw std::logic_error("RuleSet: untrained tree");
+  RuleSet rs;
+  rs.attr_names_ = tree.attr_names();
+  rs.class_names_ = tree.class_names();
+
+  // DFS collecting root-to-leaf paths.
+  struct Item {
+    int id;
+    std::vector<Condition> path;
+  };
+  const auto& nodes = tree.nodes();
+  std::vector<Item> stack{{0, {}}};
+  double best_coverage = -1.0;
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    const auto& node = nodes[static_cast<std::size_t>(item.id)];
+    if (node.attr < 0) {
+      Rule rule;
+      rule.conditions = merge_conditions(item.path);
+      rule.label = node.label;
+      rule.coverage = node.count;
+      // Laplace-corrected confidence from the training counts at the leaf.
+      rule.confidence =
+          (node.count - node.errors + 1.0) / (node.count + 2.0);
+      rs.rules_.push_back(std::move(rule));
+      if (node.count > best_coverage) {
+        best_coverage = node.count;
+        rs.default_label_ = node.label;
+      }
+      continue;
+    }
+    Item left{node.left, item.path};
+    left.path.push_back({node.attr, Condition::Op::Leq, node.threshold});
+    Item right{node.right, std::move(item.path)};
+    right.path.push_back({node.attr, Condition::Op::Gt, node.threshold});
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+
+  if (simplify_on != nullptr && !simplify_on->empty()) {
+    for (Rule& rule : rs.rules_) {
+      // Greedily drop conditions whose removal does not lower accuracy.
+      auto [acc, cov] = rule_accuracy(rule, *simplify_on);
+      for (std::size_t c = 0; c < rule.conditions.size();) {
+        Rule trial = rule;
+        trial.conditions.erase(trial.conditions.begin() +
+                               static_cast<std::ptrdiff_t>(c));
+        const auto [trial_acc, trial_cov] = rule_accuracy(trial, *simplify_on);
+        if (trial_acc >= acc) {
+          rule.conditions = std::move(trial.conditions);
+          acc = trial_acc;
+          cov = trial_cov;
+        } else {
+          ++c;
+        }
+      }
+      rule.confidence = acc;
+      rule.coverage = cov;
+    }
+  }
+
+  // Order by confidence (desc), then coverage (desc) — first match wins.
+  std::stable_sort(rs.rules_.begin(), rs.rules_.end(),
+                   [](const Rule& a, const Rule& b) {
+                     if (a.confidence != b.confidence)
+                       return a.confidence > b.confidence;
+                     return a.coverage > b.coverage;
+                   });
+  return rs;
+}
+
+int RuleSet::classify(std::span<const double> features) const {
+  for (const Rule& rule : rules_) {
+    if (rule.matches(features)) return rule.label;
+  }
+  return default_label_;
+}
+
+double RuleSet::error_rate(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (classify(data.features(i)) != data.label(i)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(data.size());
+}
+
+std::string RuleSet::to_string() const {
+  std::ostringstream out;
+  for (const Rule& rule : rules_) {
+    out << "if ";
+    if (rule.conditions.empty()) out << "(always)";
+    for (std::size_t c = 0; c < rule.conditions.size(); ++c) {
+      const Condition& cond = rule.conditions[c];
+      if (c > 0) out << " and ";
+      out << attr_names_[static_cast<std::size_t>(cond.attr)]
+          << (cond.op == Condition::Op::Leq ? " <= " : " > ")
+          << cond.threshold;
+    }
+    out << " then " << class_names_[static_cast<std::size_t>(rule.label)]
+        << "  [conf " << rule.confidence << ", cover " << rule.coverage
+        << "]\n";
+  }
+  out << "default: " << class_names_[static_cast<std::size_t>(default_label_)]
+      << '\n';
+  return out.str();
+}
+
+void RuleSet::save(std::ostream& out) const {
+  out << "RuleSet v1\n";
+  out << "attrs " << attr_names_.size();
+  for (const auto& name : attr_names_) out << ' ' << name;
+  out << "\nclasses " << class_names_.size();
+  for (const auto& name : class_names_) out << ' ' << name;
+  out << "\ndefault " << default_label_ << "\nrules " << rules_.size() << '\n';
+  out.precision(17);
+  for (const Rule& rule : rules_) {
+    out << rule.label << ' ' << rule.confidence << ' ' << rule.coverage << ' '
+        << rule.conditions.size();
+    for (const Condition& c : rule.conditions) {
+      out << ' ' << c.attr << ' ' << (c.op == Condition::Op::Leq ? 0 : 1)
+          << ' ' << c.threshold;
+    }
+    out << '\n';
+  }
+}
+
+RuleSet RuleSet::load(std::istream& in) {
+  auto fail = [](const char* msg) -> void {
+    throw std::runtime_error(std::string("RuleSet::load: ") + msg);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != "RuleSet v1") fail("bad header");
+  RuleSet rs;
+  std::string token;
+  std::size_t count = 0;
+  in >> token >> count;
+  if (token != "attrs") fail("expected attrs");
+  rs.attr_names_.resize(count);
+  for (auto& name : rs.attr_names_) in >> name;
+  in >> token >> count;
+  if (token != "classes") fail("expected classes");
+  rs.class_names_.resize(count);
+  for (auto& name : rs.class_names_) in >> name;
+  in >> token >> rs.default_label_;
+  if (token != "default") fail("expected default");
+  in >> token >> count;
+  if (token != "rules") fail("expected rules");
+  rs.rules_.resize(count);
+  for (Rule& rule : rs.rules_) {
+    std::size_t conds = 0;
+    in >> rule.label >> rule.confidence >> rule.coverage >> conds;
+    rule.conditions.resize(conds);
+    for (Condition& c : rule.conditions) {
+      int op = 0;
+      in >> c.attr >> op >> c.threshold;
+      c.op = op == 0 ? Condition::Op::Leq : Condition::Op::Gt;
+    }
+  }
+  if (!in) fail("truncated stream");
+  return rs;
+}
+
+}  // namespace spmv::ml

@@ -1,0 +1,77 @@
+// If-then rule sets extracted from a decision tree.
+//
+// "After the training process ... the C5.0 can offer a rule-set, which is a
+// set of if-then statements" (paper §III-C). Rules are root-to-leaf paths
+// with redundant conditions merged, optionally simplified by dropping
+// conditions that do not hurt the rule's pessimistic accuracy, and ordered
+// by confidence; classification takes the first matching rule.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace spmv::ml {
+
+/// One condition: feature[attr] <= threshold (Leq) or > threshold (Gt).
+struct Condition {
+  enum class Op { Leq, Gt };
+  int attr = 0;
+  Op op = Op::Leq;
+  double threshold = 0.0;
+
+  [[nodiscard]] bool matches(std::span<const double> features) const {
+    const double v = features[static_cast<std::size_t>(attr)];
+    return op == Op::Leq ? v <= threshold : v > threshold;
+  }
+};
+
+struct Rule {
+  std::vector<Condition> conditions;  ///< conjunction
+  int label = 0;
+  double confidence = 0.0;  ///< Laplace-corrected leaf accuracy
+  double coverage = 0.0;    ///< (weighted) instances at the leaf
+
+  [[nodiscard]] bool matches(std::span<const double> features) const;
+};
+
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  /// Flatten `tree` into ordered rules. When `simplify_on` is non-null,
+  /// greedily drop conditions that do not reduce the rule's accuracy on
+  /// that dataset (a lightweight form of C4.5rules simplification).
+  static RuleSet from_tree(const DecisionTree& tree,
+                           const Dataset* simplify_on = nullptr);
+
+  /// First-match classification; falls back to the default (majority)
+  /// class when no rule fires.
+  [[nodiscard]] int classify(std::span<const double> features) const;
+
+  [[nodiscard]] double error_rate(const Dataset& data) const;
+
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] int default_label() const { return default_label_; }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+  /// Render as readable "if ... then ..." lines.
+  [[nodiscard]] std::string to_string() const;
+
+  void save(std::ostream& out) const;
+  static RuleSet load(std::istream& in);
+
+ private:
+  std::vector<Rule> rules_;
+  int default_label_ = 0;
+  std::vector<std::string> attr_names_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace spmv::ml

@@ -1,0 +1,96 @@
+#include "sparse/convert.hpp"
+
+#include <stdexcept>
+
+namespace spmv {
+
+template <typename T>
+CsrMatrix<T> coo_to_csr(CooMatrix<T> coo) {
+  if (!coo.validate())
+    throw std::invalid_argument("coo_to_csr: entry out of range");
+  coo.coalesce();
+
+  const auto rows = coo.rows();
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (const auto& e : coo.entries())
+    ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  for (std::size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
+
+  std::vector<index_t> col_idx(coo.nnz());
+  std::vector<T> vals(coo.nnz());
+  // Entries are already row-major sorted, so a single linear pass fills the
+  // arrays in order.
+  std::size_t k = 0;
+  for (const auto& e : coo.entries()) {
+    col_idx[k] = e.col;
+    vals[k] = e.value;
+    ++k;
+  }
+  return CsrMatrix<T>(rows, coo.cols(), std::move(row_ptr),
+                      std::move(col_idx), std::move(vals));
+}
+
+template <typename T>
+CooMatrix<T> csr_to_coo(const CsrMatrix<T>& csr) {
+  CooMatrix<T> coo(csr.rows(), csr.cols());
+  coo.reserve(static_cast<std::size_t>(csr.nnz()));
+  const auto row_ptr = csr.row_ptr();
+  const auto col_idx = csr.col_idx();
+  const auto vals = csr.vals();
+  for (index_t i = 0; i < csr.rows(); ++i) {
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      coo.add(i, col_idx[static_cast<std::size_t>(j)],
+              vals[static_cast<std::size_t>(j)]);
+    }
+  }
+  return coo;
+}
+
+template <typename T>
+CsrMatrix<T> transpose(const CsrMatrix<T>& a) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+  const auto nnz = static_cast<std::size_t>(a.nnz());
+
+  std::vector<offset_t> t_ptr(static_cast<std::size_t>(a.cols()) + 1, 0);
+  for (std::size_t k = 0; k < nnz; ++k)
+    ++t_ptr[static_cast<std::size_t>(col_idx[k]) + 1];
+  for (std::size_t i = 1; i < t_ptr.size(); ++i) t_ptr[i] += t_ptr[i - 1];
+
+  std::vector<index_t> t_col(nnz);
+  std::vector<T> t_val(nnz);
+  std::vector<offset_t> cursor(t_ptr.begin(), t_ptr.end() - 1);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (offset_t j = row_ptr[static_cast<std::size_t>(i)];
+         j < row_ptr[static_cast<std::size_t>(i) + 1]; ++j) {
+      const auto c = static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)]);
+      const auto dst = static_cast<std::size_t>(cursor[c]++);
+      t_col[dst] = i;
+      t_val[dst] = vals[static_cast<std::size_t>(j)];
+    }
+  }
+  return CsrMatrix<T>(a.cols(), a.rows(), std::move(t_ptr), std::move(t_col),
+                      std::move(t_val));
+}
+
+template <typename To, typename From>
+CsrMatrix<To> convert_values(const CsrMatrix<From>& a) {
+  std::vector<To> vals(a.vals().begin(), a.vals().end());
+  return CsrMatrix<To>(a.rows(), a.cols(),
+                       {a.row_ptr().begin(), a.row_ptr().end()},
+                       {a.col_idx().begin(), a.col_idx().end()},
+                       std::move(vals));
+}
+
+template CsrMatrix<float> coo_to_csr(CooMatrix<float>);
+template CsrMatrix<double> coo_to_csr(CooMatrix<double>);
+template CooMatrix<float> csr_to_coo(const CsrMatrix<float>&);
+template CooMatrix<double> csr_to_coo(const CsrMatrix<double>&);
+template CsrMatrix<float> transpose(const CsrMatrix<float>&);
+template CsrMatrix<double> transpose(const CsrMatrix<double>&);
+template CsrMatrix<double> convert_values(const CsrMatrix<float>&);
+template CsrMatrix<float> convert_values(const CsrMatrix<double>&);
+
+}  // namespace spmv

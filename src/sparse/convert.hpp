@@ -1,0 +1,37 @@
+// Format conversions between COO and CSR, plus structural transforms.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv {
+
+/// Build a CSR matrix from COO. Entries are coalesced (duplicates summed)
+/// and each row's columns come out sorted. Throws std::invalid_argument if
+/// the COO has out-of-range entries.
+template <typename T>
+CsrMatrix<T> coo_to_csr(CooMatrix<T> coo);
+
+/// Expand a CSR matrix back to canonical (sorted, duplicate-free) COO.
+template <typename T>
+CooMatrix<T> csr_to_coo(const CsrMatrix<T>& csr);
+
+/// Transpose (CSC of A viewed as CSR of A^T). O(nnz + rows + cols).
+template <typename T>
+CsrMatrix<T> transpose(const CsrMatrix<T>& a);
+
+/// Value-type conversion (e.g. double-precision reference of a float
+/// matrix); structure is copied unchanged.
+template <typename To, typename From>
+CsrMatrix<To> convert_values(const CsrMatrix<From>& a);
+
+extern template CsrMatrix<float> coo_to_csr(CooMatrix<float>);
+extern template CsrMatrix<double> coo_to_csr(CooMatrix<double>);
+extern template CooMatrix<float> csr_to_coo(const CsrMatrix<float>&);
+extern template CooMatrix<double> csr_to_coo(const CsrMatrix<double>&);
+extern template CsrMatrix<float> transpose(const CsrMatrix<float>&);
+extern template CsrMatrix<double> transpose(const CsrMatrix<double>&);
+extern template CsrMatrix<double> convert_values(const CsrMatrix<float>&);
+extern template CsrMatrix<float> convert_values(const CsrMatrix<double>&);
+
+}  // namespace spmv

@@ -1,0 +1,52 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+namespace spmv {
+
+template <typename T>
+void CooMatrix<T>::sort_row_major() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const CooEntry<T>& a, const CooEntry<T>& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+}
+
+template <typename T>
+void CooMatrix<T>::coalesce() {
+  sort_row_major();
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value += entries_[i].value;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+template <typename T>
+bool CooMatrix<T>::validate() const {
+  return std::all_of(entries_.begin(), entries_.end(),
+                     [this](const CooEntry<T>& e) {
+                       return e.row >= 0 && e.row < rows_ && e.col >= 0 &&
+                              e.col < cols_;
+                     });
+}
+
+template <typename T>
+bool CooMatrix<T>::is_canonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    if (a.row > b.row || (a.row == b.row && a.col >= b.col)) return false;
+  }
+  return true;
+}
+
+template class CooMatrix<float>;
+template class CooMatrix<double>;
+
+}  // namespace spmv

@@ -1,0 +1,68 @@
+// Coordinate-format sparse matrix: the assembly/interchange format.
+// Generators and the Matrix Market reader produce COO; kernels consume CSR.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmv {
+
+/// One non-zero entry.
+template <typename T>
+struct CooEntry {
+  index_t row = 0;
+  index_t col = 0;
+  T value{};
+
+  friend bool operator==(const CooEntry&, const CooEntry&) = default;
+};
+
+/// Coordinate-format sparse matrix. Entries may be unsorted and contain
+/// duplicates until sort_row_major() / coalesce() are called.
+template <typename T>
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return entries_.size(); }
+
+  [[nodiscard]] const std::vector<CooEntry<T>>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<CooEntry<T>>& entries() { return entries_; }
+
+  /// Append one entry. Bounds are checked by validate(), not here, so bulk
+  /// generation stays cheap.
+  void add(index_t row, index_t col, T value) {
+    entries_.push_back({row, col, value});
+  }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Sort entries by (row, col). Stable with respect to duplicate keys.
+  void sort_row_major();
+
+  /// Sum duplicate (row, col) entries into one. Implies sort_row_major().
+  void coalesce();
+
+  /// True when every entry is inside [0, rows) x [0, cols).
+  [[nodiscard]] bool validate() const;
+
+  /// True when entries are sorted by (row, col) with no duplicates.
+  [[nodiscard]] bool is_canonical() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<CooEntry<T>> entries_;
+};
+
+extern template class CooMatrix<float>;
+extern template class CooMatrix<double>;
+
+}  // namespace spmv

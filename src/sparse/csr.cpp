@@ -1,0 +1,55 @@
+#include "sparse/csr.hpp"
+
+#include <stdexcept>
+
+namespace spmv {
+
+template <typename T>
+CsrMatrix<T>::CsrMatrix(index_t rows, index_t cols,
+                        std::vector<offset_t> row_ptr,
+                        std::vector<index_t> col_idx, std::vector<T> vals)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      vals_(std::move(vals)) {
+  if (rows_ < 0 || cols_ < 0)
+    throw std::invalid_argument("CsrMatrix: negative dimensions");
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1)
+    throw std::invalid_argument("CsrMatrix: row_ptr size != rows+1");
+  if (col_idx_.size() != vals_.size())
+    throw std::invalid_argument("CsrMatrix: col_idx/vals size mismatch");
+  if (row_ptr_.back() != static_cast<offset_t>(col_idx_.size()))
+    throw std::invalid_argument("CsrMatrix: row_ptr.back() != nnz");
+  if (row_ptr_.front() != 0)
+    throw std::invalid_argument("CsrMatrix: row_ptr[0] != 0");
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    if (row_ptr_[i] < row_ptr_[i - 1])
+      throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+  }
+}
+
+template <typename T>
+bool CsrMatrix<T>::validate(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (row_ptr_.empty() || row_ptr_.front() != 0)
+    return fail("row_ptr[0] != 0");
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i) {
+    if (row_ptr_[i] < row_ptr_[i - 1]) return fail("row_ptr not monotone");
+  }
+  if (row_ptr_.back() != static_cast<offset_t>(col_idx_.size()))
+    return fail("row_ptr.back() != col_idx.size()");
+  for (index_t c : col_idx_) {
+    if (c < 0 || c >= cols_) return fail("column index out of range");
+  }
+  if (why) why->clear();
+  return true;
+}
+
+template class CsrMatrix<float>;
+template class CsrMatrix<double>;
+
+}  // namespace spmv

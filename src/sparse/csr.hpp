@@ -1,0 +1,75 @@
+// Compressed Sparse Row matrix — the storage format the whole paper (and
+// therefore this library) is built around (Figure 1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmv {
+
+/// CSR sparse matrix.
+///
+/// Invariants (checked by validate()):
+///  * row_ptr has rows()+1 entries, is non-decreasing, row_ptr[0] == 0 and
+///    row_ptr[rows()] == nnz();
+///  * col_idx/vals have nnz() entries; every column index is in [0, cols()).
+/// Column indices within a row are not required to be sorted (generators
+/// produce sorted rows, but kernels never rely on it).
+template <typename T>
+class CsrMatrix {
+ public:
+  using value_type = T;
+
+  CsrMatrix() : row_ptr_(1, 0) {}
+
+  /// Adopt pre-built arrays. Throws std::invalid_argument when the basic
+  /// shape constraints are violated (full validation is validate()).
+  CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<T> vals);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return row_ptr_.back(); }
+
+  [[nodiscard]] std::span<const offset_t> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const index_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const T> vals() const { return vals_; }
+  [[nodiscard]] std::span<T> vals_mutable() { return vals_; }
+
+  /// Number of non-zeros in row i.
+  [[nodiscard]] offset_t row_nnz(index_t i) const {
+    return row_ptr_[static_cast<std::size_t>(i) + 1] -
+           row_ptr_[static_cast<std::size_t>(i)];
+  }
+
+  /// Full structural validation; returns an explanation on failure.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+  /// Approximate heap footprint in bytes (arrays only).
+  [[nodiscard]] std::size_t bytes() const {
+    return row_ptr_.size() * sizeof(offset_t) +
+           col_idx_.size() * sizeof(index_t) + vals_.size() * sizeof(T);
+  }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+           a.vals_ == b.vals_;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+  std::vector<T> vals_;
+};
+
+extern template class CsrMatrix<float>;
+extern template class CsrMatrix<double>;
+
+}  // namespace spmv

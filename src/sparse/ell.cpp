@@ -1,0 +1,105 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <omp.h>
+
+namespace spmv {
+
+template <typename T>
+EllMatrix<T>::EllMatrix(index_t rows, index_t cols, index_t width,
+                        std::vector<index_t> col_idx, std::vector<T> vals)
+    : rows_(rows),
+      cols_(cols),
+      width_(width),
+      col_idx_(std::move(col_idx)),
+      vals_(std::move(vals)) {
+  const auto expected = static_cast<std::size_t>(rows) *
+                        static_cast<std::size_t>(width);
+  if (col_idx_.size() != expected || vals_.size() != expected)
+    throw std::invalid_argument("EllMatrix: array size != rows*width");
+}
+
+template <typename T>
+double ell_padding_ratio(const CsrMatrix<T>& a) {
+  if (a.nnz() == 0) return 0.0;
+  offset_t max_len = 0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    max_len = std::max(max_len, a.row_nnz(i));
+  return static_cast<double>(a.rows()) * static_cast<double>(max_len) /
+         static_cast<double>(a.nnz());
+}
+
+template <typename T>
+EllMatrix<T> csr_to_ell(const CsrMatrix<T>& a, double max_expansion) {
+  const double ratio = ell_padding_ratio(a);
+  if (ratio > max_expansion)
+    throw std::length_error("csr_to_ell: padding ratio " +
+                            std::to_string(ratio) + " exceeds limit");
+  offset_t max_len = 0;
+  for (index_t i = 0; i < a.rows(); ++i)
+    max_len = std::max(max_len, a.row_nnz(i));
+  const auto width = static_cast<index_t>(max_len);
+  const auto rows = a.rows();
+  const auto total = static_cast<std::size_t>(rows) *
+                     static_cast<std::size_t>(width);
+
+  std::vector<index_t> col_idx(total, index_t{-1});
+  std::vector<T> vals(total, T{});
+  const auto row_ptr = a.row_ptr();
+  const auto src_col = a.col_idx();
+  const auto src_val = a.vals();
+#pragma omp parallel for schedule(static) if (rows > (1 << 14))
+  for (index_t r = 0; r < rows; ++r) {
+    const offset_t begin = row_ptr[static_cast<std::size_t>(r)];
+    const offset_t len = a.row_nnz(r);
+    for (offset_t k = 0; k < len; ++k) {
+      // Column-major so the SpMV inner loop strides by `rows`.
+      const auto dst = static_cast<std::size_t>(k) *
+                           static_cast<std::size_t>(rows) +
+                       static_cast<std::size_t>(r);
+      col_idx[dst] = src_col[static_cast<std::size_t>(begin + k)];
+      vals[dst] = src_val[static_cast<std::size_t>(begin + k)];
+    }
+  }
+  return EllMatrix<T>(rows, a.cols(), width, std::move(col_idx),
+                      std::move(vals));
+}
+
+template <typename T>
+void spmv_ell(const EllMatrix<T>& a, std::span<const T> x, std::span<T> y) {
+  if (x.size() != static_cast<std::size_t>(a.cols()))
+    throw std::invalid_argument("spmv_ell: x size != cols");
+  if (y.size() != static_cast<std::size_t>(a.rows()))
+    throw std::invalid_argument("spmv_ell: y size != rows");
+  const auto rows = a.rows();
+  const auto width = a.width();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+#pragma omp parallel for schedule(static)
+  for (index_t r = 0; r < rows; ++r) {
+    T sum{};
+    for (index_t k = 0; k < width; ++k) {
+      const auto idx = static_cast<std::size_t>(k) *
+                           static_cast<std::size_t>(rows) +
+                       static_cast<std::size_t>(r);
+      const index_t c = col_idx[idx];
+      if (c >= 0) sum += vals[idx] * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+#define SPMV_ELL_INSTANTIATE(T)                                          \
+  template class EllMatrix<T>;                                           \
+  template EllMatrix<T> csr_to_ell(const CsrMatrix<T>&, double);         \
+  template double ell_padding_ratio(const CsrMatrix<T>&);                \
+  template void spmv_ell(const EllMatrix<T>&, std::span<const T>,        \
+                         std::span<T>);
+SPMV_ELL_INSTANTIATE(float)
+SPMV_ELL_INSTANTIATE(double)
+#undef SPMV_ELL_INSTANTIATE
+
+}  // namespace spmv

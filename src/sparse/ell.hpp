@@ -1,0 +1,76 @@
+// ELLPACK (ELL) storage — the SIMD-friendly format the paper's
+// introduction and related work contrast CSR against.
+//
+// ELL pads every row to the longest row's length and stores columns/values
+// column-major, which vectorizes beautifully for uniform row lengths and
+// explodes in memory for skewed ones. The paper's argument for staying in
+// CSR is that conversion costs are non-negligible and worst-case padding is
+// unbounded; ell_padding_ratio() and the conversion routines here let the
+// examples quantify both on any matrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmv {
+
+/// ELLPACK matrix: `width` = max row length; col_idx/vals are
+/// column-major, rows*width entries, padded with col -1 / value 0.
+template <typename T>
+class EllMatrix {
+ public:
+  EllMatrix() = default;
+  EllMatrix(index_t rows, index_t cols, index_t width,
+            std::vector<index_t> col_idx, std::vector<T> vals);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t width() const { return width_; }
+  [[nodiscard]] std::span<const index_t> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const T> vals() const { return vals_; }
+
+  /// Stored entries (rows*width) including padding.
+  [[nodiscard]] std::size_t stored() const { return col_idx_.size(); }
+
+  /// Heap footprint in bytes.
+  [[nodiscard]] std::size_t bytes() const {
+    return col_idx_.size() * sizeof(index_t) + vals_.size() * sizeof(T);
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  std::vector<index_t> col_idx_;  // column-major: entry (r, k) at k*rows + r
+  std::vector<T> vals_;
+};
+
+/// Convert CSR to ELL. Throws std::length_error when the padded size would
+/// exceed `max_expansion` times the CSR non-zero count (the unbounded-
+/// padding hazard the paper cites; default allows 16x).
+template <typename T>
+EllMatrix<T> csr_to_ell(const CsrMatrix<T>& a, double max_expansion = 16.0);
+
+/// Padding ratio rows*max_len / nnz of the would-be ELL (cheap; no
+/// conversion performed).
+template <typename T>
+double ell_padding_ratio(const CsrMatrix<T>& a);
+
+/// y = A*x over ELL storage (row-parallel, vector-friendly inner loop).
+template <typename T>
+void spmv_ell(const EllMatrix<T>& a, std::span<const T> x, std::span<T> y);
+
+#define SPMV_ELL_EXTERN(T)                                                  \
+  extern template class EllMatrix<T>;                                       \
+  extern template EllMatrix<T> csr_to_ell(const CsrMatrix<T>&, double);     \
+  extern template double ell_padding_ratio(const CsrMatrix<T>&);            \
+  extern template void spmv_ell(const EllMatrix<T>&, std::span<const T>,    \
+                                std::span<T>);
+SPMV_ELL_EXTERN(float)
+SPMV_ELL_EXTERN(double)
+#undef SPMV_ELL_EXTERN
+
+}  // namespace spmv

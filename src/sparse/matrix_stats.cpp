@@ -1,0 +1,44 @@
+#include "sparse/matrix_stats.hpp"
+
+namespace spmv {
+
+template <typename T>
+RowStats compute_row_stats(const CsrMatrix<T>& a) {
+  RowStats s;
+  s.rows = a.rows();
+  s.cols = a.cols();
+  s.nnz = a.nnz();
+  util::RunningStats rs;
+  for (index_t i = 0; i < a.rows(); ++i)
+    rs.add(static_cast<double>(a.row_nnz(i)));
+  s.avg_nnz = rs.mean();
+  s.var_nnz = rs.variance();
+  s.min_nnz = static_cast<offset_t>(rs.min());
+  s.max_nnz = static_cast<offset_t>(rs.max());
+  return s;
+}
+
+template <typename T>
+std::vector<offset_t> row_lengths(const CsrMatrix<T>& a) {
+  std::vector<offset_t> lengths(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i)
+    lengths[static_cast<std::size_t>(i)] = a.row_nnz(i);
+  return lengths;
+}
+
+template <typename T>
+void accumulate_row_histogram(const CsrMatrix<T>& a, util::Histogram& hist) {
+  for (index_t i = 0; i < a.rows(); ++i)
+    hist.add(static_cast<std::uint64_t>(a.row_nnz(i)));
+}
+
+template RowStats compute_row_stats(const CsrMatrix<float>&);
+template RowStats compute_row_stats(const CsrMatrix<double>&);
+template std::vector<offset_t> row_lengths(const CsrMatrix<float>&);
+template std::vector<offset_t> row_lengths(const CsrMatrix<double>&);
+template void accumulate_row_histogram(const CsrMatrix<float>&,
+                                       util::Histogram&);
+template void accumulate_row_histogram(const CsrMatrix<double>&,
+                                       util::Histogram&);
+
+}  // namespace spmv

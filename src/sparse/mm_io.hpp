@@ -1,0 +1,59 @@
+// Matrix Market (.mtx) I/O — the interchange format of the UF/SuiteSparse
+// collection the paper trains on. Supports the coordinate variants used in
+// practice: real / integer / pattern values, general / symmetric /
+// skew-symmetric structure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace spmv {
+
+/// Parsed Matrix Market header fields.
+struct MmHeader {
+  std::string object;    ///< "matrix"
+  std::string format;    ///< "coordinate" (array is rejected)
+  std::string field;     ///< real | integer | pattern
+  std::string symmetry;  ///< general | symmetric | skew-symmetric
+};
+
+/// Read a coordinate Matrix Market stream into COO. Symmetric and
+/// skew-symmetric inputs are expanded to their general form (mirrored
+/// entries materialized; diagonal kept once). Pattern values become 1.
+/// Throws std::runtime_error on malformed input.
+template <typename T>
+CooMatrix<T> read_matrix_market(std::istream& in, MmHeader* header = nullptr);
+
+/// Convenience file wrapper. Throws std::runtime_error if unreadable.
+template <typename T>
+CooMatrix<T> read_matrix_market_file(const std::string& path,
+                                     MmHeader* header = nullptr);
+
+/// Write COO as a general real coordinate Matrix Market stream (1-based
+/// indices per the format definition).
+template <typename T>
+void write_matrix_market(std::ostream& out, const CooMatrix<T>& coo);
+
+/// Convenience file wrapper. Throws std::runtime_error if unwritable.
+template <typename T>
+void write_matrix_market_file(const std::string& path,
+                              const CooMatrix<T>& coo);
+
+extern template CooMatrix<float> read_matrix_market(std::istream&, MmHeader*);
+extern template CooMatrix<double> read_matrix_market(std::istream&, MmHeader*);
+extern template CooMatrix<float> read_matrix_market_file(const std::string&,
+                                                         MmHeader*);
+extern template CooMatrix<double> read_matrix_market_file(const std::string&,
+                                                          MmHeader*);
+extern template void write_matrix_market(std::ostream&,
+                                         const CooMatrix<float>&);
+extern template void write_matrix_market(std::ostream&,
+                                         const CooMatrix<double>&);
+extern template void write_matrix_market_file(const std::string&,
+                                              const CooMatrix<float>&);
+extern template void write_matrix_market_file(const std::string&,
+                                              const CooMatrix<double>&);
+
+}  // namespace spmv

@@ -1,0 +1,97 @@
+#include "sparse/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace spmv {
+
+bool is_identity(std::span<const index_t> perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<index_t>(i)) return false;
+  }
+  return true;
+}
+
+bool is_permutation(std::span<const index_t> perm, index_t n) {
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+template <typename T>
+RowPermutation sort_rows_by_length(const CsrMatrix<T>& a) {
+  RowPermutation perm(static_cast<std::size_t>(a.rows()));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t l, index_t r) {
+    return a.row_nnz(l) < a.row_nnz(r);
+  });
+  return perm;
+}
+
+template <typename T>
+CsrMatrix<T> permute_rows(const CsrMatrix<T>& a,
+                          std::span<const index_t> perm) {
+  if (!is_permutation(perm, a.rows()))
+    throw std::invalid_argument("permute_rows: not a row permutation");
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+  std::vector<offset_t> new_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    new_ptr[static_cast<std::size_t>(i) + 1] =
+        new_ptr[static_cast<std::size_t>(i)] +
+        a.row_nnz(perm[static_cast<std::size_t>(i)]);
+  }
+  std::vector<index_t> new_col(static_cast<std::size_t>(a.nnz()));
+  std::vector<T> new_val(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto src = perm[static_cast<std::size_t>(i)];
+    const auto src_begin =
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(src)]);
+    const auto len = static_cast<std::size_t>(a.row_nnz(src));
+    const auto dst =
+        static_cast<std::size_t>(new_ptr[static_cast<std::size_t>(i)]);
+    std::copy_n(col_idx.begin() + static_cast<std::ptrdiff_t>(src_begin), len,
+                new_col.begin() + static_cast<std::ptrdiff_t>(dst));
+    std::copy_n(vals.begin() + static_cast<std::ptrdiff_t>(src_begin), len,
+                new_val.begin() + static_cast<std::ptrdiff_t>(dst));
+  }
+  return CsrMatrix<T>(a.rows(), a.cols(), std::move(new_ptr),
+                      std::move(new_col), std::move(new_val));
+}
+
+template <typename T>
+void unpermute(std::span<const T> y_perm, std::span<const index_t> perm,
+               std::span<T> y_orig) {
+  if (y_perm.size() != perm.size() || y_orig.size() != perm.size())
+    throw std::invalid_argument("unpermute: size mismatch");
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    y_orig[static_cast<std::size_t>(perm[i])] = y_perm[i];
+  }
+}
+
+RowPermutation invert_permutation(std::span<const index_t> perm) {
+  RowPermutation inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+#define SPMV_REORDER_INSTANTIATE(T)                                  \
+  template RowPermutation sort_rows_by_length(const CsrMatrix<T>&);  \
+  template CsrMatrix<T> permute_rows(const CsrMatrix<T>&,            \
+                                     std::span<const index_t>);      \
+  template void unpermute(std::span<const T>, std::span<const index_t>, \
+                          std::span<T>);
+SPMV_REORDER_INSTANTIATE(float)
+SPMV_REORDER_INSTANTIATE(double)
+#undef SPMV_REORDER_INSTANTIATE
+
+}  // namespace spmv

@@ -1,0 +1,57 @@
+// Row reordering utilities.
+//
+// The fine-grained/intra-bin binning literature the paper builds on ([12],
+// [15]) groups *similar-length* rows regardless of adjacency. An equivalent
+// formulation is: permute the rows by length once, then apply the paper's
+// adjacency-based coarse binning — adjacent rows are then similar by
+// construction. These helpers implement that transformation (plus general
+// permutation support) so the ablation bench can quantify how much of the
+// fine-grained scheme's benefit row sorting recovers at coarse-grained
+// cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace spmv {
+
+/// A row permutation: perm[new_row] = old_row.
+using RowPermutation = std::vector<index_t>;
+
+/// Identity check (used to skip no-op permutations).
+bool is_identity(std::span<const index_t> perm);
+
+/// Validate that `perm` is a permutation of [0, n).
+bool is_permutation(std::span<const index_t> perm, index_t n);
+
+/// Permutation sorting rows by ascending NNZ (stable, so equal-length rows
+/// keep their relative order and locality).
+template <typename T>
+RowPermutation sort_rows_by_length(const CsrMatrix<T>& a);
+
+/// Build B with B[i] = A[perm[i]]. Throws std::invalid_argument if `perm`
+/// is not a permutation of the row range.
+template <typename T>
+CsrMatrix<T> permute_rows(const CsrMatrix<T>& a, std::span<const index_t> perm);
+
+/// Scatter a permuted result back: y_orig[perm[i]] = y_perm[i].
+template <typename T>
+void unpermute(std::span<const T> y_perm, std::span<const index_t> perm,
+               std::span<T> y_orig);
+
+/// Inverse permutation: inv[perm[i]] = i.
+RowPermutation invert_permutation(std::span<const index_t> perm);
+
+#define SPMV_REORDER_EXTERN(T)                                              \
+  extern template RowPermutation sort_rows_by_length(const CsrMatrix<T>&);  \
+  extern template CsrMatrix<T> permute_rows(const CsrMatrix<T>&,            \
+                                            std::span<const index_t>);      \
+  extern template void unpermute(std::span<const T>,                        \
+                                 std::span<const index_t>, std::span<T>);
+SPMV_REORDER_EXTERN(float)
+SPMV_REORDER_EXTERN(double)
+#undef SPMV_REORDER_EXTERN
+
+}  // namespace spmv

@@ -1,0 +1,14 @@
+// Fundamental index/offset types shared by all sparse containers.
+//
+// Column/row indices are 32-bit (the largest reproduced matrix has ~5M
+// rows); row-pointer offsets are 64-bit so NNZ counts past 2^31 stay safe.
+#pragma once
+
+#include <cstdint>
+
+namespace spmv {
+
+using index_t = std::int32_t;    ///< row/column index
+using offset_t = std::int64_t;   ///< position into colIdx/val arrays
+
+}  // namespace spmv

@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace spmv::util {
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) {
+  // Lemire 2019: unbiased bounded integers without division in the hot path.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next()) *
+          static_cast<unsigned __int128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() {
+  // Box–Muller; discard the second variate for simplicity.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+std::uint64_t Xoshiro256::zipf(std::uint64_t n, double s) {
+  if (n <= 1) return 1;
+  if (n > (1u << 20)) {
+    // Very large supports: discretized-Pareto approximation, which matches
+    // the zipf tail exponent without materializing the CDF.
+    const double u = uniform();
+    const auto x = static_cast<std::uint64_t>(
+        std::pow(1.0 - u, -1.0 / (s - 1.0)));
+    return std::min<std::uint64_t>(std::max<std::uint64_t>(x, 1), n);
+  }
+  // Exact inverse-CDF sampling. Generators draw many variates per (n, s),
+  // so the normalized CDF is cached per thread.
+  thread_local std::map<std::pair<std::uint64_t, double>, std::vector<double>>
+      cache;
+  auto it = cache.find({n, s});
+  if (it == cache.end()) {
+    std::vector<double> cdf(n);
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      acc += std::pow(static_cast<double>(k), -s);
+      cdf[k - 1] = acc;
+    }
+    for (double& c : cdf) c /= acc;
+    it = cache.emplace(std::make_pair(n, s), std::move(cdf)).first;
+  }
+  const auto& cdf = it->second;
+  const double u = uniform();
+  const auto pos = std::upper_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+  return std::min<std::uint64_t>(static_cast<std::uint64_t>(pos) + 1, n);
+}
+
+}  // namespace spmv::util

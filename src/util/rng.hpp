@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this library that samples randomness (matrix generators, the
+// corpus sampler, train/test splits) takes an explicit 64-bit seed and uses
+// these generators so results are bit-reproducible across runs and platforms
+// (no reliance on libstdc++ distribution internals for the core paths).
+#pragma once
+
+#include <cstdint>
+
+namespace spmv::util {
+
+/// SplitMix64 — used to expand a user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality generator for bulk sampling.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method for unbiased results. bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal variate (Box–Muller, one value per call).
+  double normal();
+
+  /// Zipf-distributed integer in [1, n] with exponent `s` (rejection
+  /// sampling; suitable for the power-law degree generators).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace spmv::util

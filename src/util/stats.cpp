@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spmv::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<std::uint64_t> edges)
+    : edges_(std::move(edges)) {
+  if (edges_.empty()) throw std::invalid_argument("Histogram: no edges");
+  if (!std::is_sorted(edges_.begin(), edges_.end()))
+    throw std::invalid_argument("Histogram: edges must be ascending");
+  counts_.assign(edges_.size(), 0);  // last bucket: >= edges_.back()
+}
+
+void Histogram::add(std::uint64_t sample, std::uint64_t weight) {
+  // First bucket [edges[0], edges[1]) also absorbs samples below edges[0].
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), sample);
+  std::size_t idx = it == edges_.begin()
+                        ? 0
+                        : static_cast<std::size_t>(it - edges_.begin()) - 1;
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::fraction_below(std::uint64_t edge) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i + 1 < edges_.size(); ++i) {
+    if (edges_[i + 1] <= edge) below += counts_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  return n % 2 ? copy[n / 2] : 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+}  // namespace spmv::util

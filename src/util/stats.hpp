@@ -1,0 +1,66 @@
+// Small statistics helpers shared by matrix feature extraction, the corpus
+// reports, and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spmv::util {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (the paper's Var_NNZ is a population statistic).
+  [[nodiscard]] double variance() const { return n_ ? m2_ / n_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double sample_variance() const {
+    return n_ > 1 ? m2_ / (n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-edge histogram over non-negative integer samples, used for the
+/// Figure-5 row-length histogram. Bucket i holds samples in
+/// [edges[i], edges[i+1]); a final implicit bucket holds >= edges.back().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> edges);
+
+  void add(std::uint64_t sample, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Fraction of samples strictly below `edge` (edge must be one of the
+  /// constructor edges). Returns 0 if total() == 0.
+  [[nodiscard]] double fraction_below(std::uint64_t edge) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::uint64_t> edges_;   // ascending
+  std::vector<std::uint64_t> counts_;  // edges.size() buckets (last = overflow)
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric mean of a sequence of positive values; 0 for an empty span.
+double geometric_mean(std::span<const double> values);
+
+/// Median (of a copy; input untouched). 0 for an empty span.
+double median(std::span<const double> values);
+
+}  // namespace spmv::util

@@ -1,0 +1,29 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace spmv::util {
+
+MeasureResult measure(const std::function<void()>& fn,
+                      const MeasureOptions& opts) {
+  for (int i = 0; i < opts.warmup; ++i) fn();
+
+  MeasureResult result;
+  result.best_s = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  Timer budget;
+  for (int i = 0; i < std::max(1, opts.reps); ++i) {
+    Timer t;
+    fn();
+    const double s = t.elapsed_s();
+    result.best_s = std::min(result.best_s, s);
+    total += s;
+    ++result.reps;
+    if (budget.elapsed_s() > opts.max_total_s && result.reps >= 1) break;
+  }
+  result.mean_s = total / result.reps;
+  return result;
+}
+
+}  // namespace spmv::util

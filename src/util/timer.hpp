@@ -1,0 +1,59 @@
+// Wall-clock timing utilities and a repetition harness for kernel
+// measurement. All measurements in this library go through these helpers so
+// benches and the exhaustive tuner time kernels identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace spmv::util {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  /// Restart the stopwatch at the current instant.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Result of a repeated measurement: best, mean, and repetition count.
+struct MeasureResult {
+  double best_s = 0.0;   ///< minimum over repetitions (the usual report)
+  double mean_s = 0.0;   ///< arithmetic mean over repetitions
+  int reps = 0;          ///< number of timed repetitions performed
+};
+
+/// Options controlling measure(): warmup runs, timed repetitions, and an
+/// overall time budget after which measurement stops early.
+struct MeasureOptions {
+  int warmup = 1;
+  int reps = 5;
+  double max_total_s = 2.0;
+};
+
+/// Run `fn` repeatedly and report best/mean wall-clock time.
+///
+/// `fn` must be idempotent (SpMV is: y is fully overwritten). At least one
+/// timed repetition is always performed, even when the budget is exceeded.
+MeasureResult measure(const std::function<void()>& fn,
+                      const MeasureOptions& opts = {});
+
+}  // namespace spmv::util

@@ -1,0 +1,205 @@
+// Tests for the baselines: CSR-Adaptive (row blocks + stream/vector paths)
+// and merge-based SpMV (merge-path partitioning).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "baseline/csr_adaptive.hpp"
+#include "baseline/merge_spmv.hpp"
+#include "gen/generators.hpp"
+#include "kernels/reference.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+CsrMatrix<double> make_matrix(const std::string& name) {
+  if (name == "diag") return gen::diagonal<double>(1000);
+  if (name == "short") return gen::fixed_degree<double>(1200, 400, 3, 7);
+  if (name == "power_law")
+    return gen::power_law<double>(900, 900, 2.0, 600, 8);
+  if (name == "long") return gen::cfd_longrow<double>(120, 300, 9);
+  if (name == "mixed")
+    return gen::mixed_regime<double>(700, 700, 0.4, 0.4, 2, 40, 400, 16, 10);
+  if (name == "oversized_rows") {
+    // Rows longer than the 1024-element stream buffer force CSR-Vector.
+    CooMatrix<double> coo(5, 4000);
+    for (index_t c = 0; c < 3000; ++c) coo.add(0, c, 0.5);
+    for (index_t c = 0; c < 2; ++c) coo.add(1, c, 1.0);
+    for (index_t c = 0; c < 2000; ++c) coo.add(3, c, 0.25);
+    return coo_to_csr(std::move(coo));
+  }
+  if (name == "empty_rows") {
+    CooMatrix<double> coo(64, 8);
+    for (index_t r = 0; r < 64; r += 4) coo.add(r, r % 8, 1.5);
+    return coo_to_csr(std::move(coo));
+  }
+  throw std::invalid_argument("unknown matrix " + name);
+}
+
+void expect_matches_exact(const CsrMatrix<double>& a,
+                          std::span<const double> x,
+                          std::span<const double> y) {
+  const auto exact = kernels::spmv_exact(a, x);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0))
+        << "row " << i;
+  }
+}
+
+// ---- CSR-Adaptive ---------------------------------------------------------
+
+class CsrAdaptiveCorrectness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CsrAdaptiveCorrectness, MatchesReference) {
+  const auto a = make_matrix(GetParam());
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 100);
+  baseline::CsrAdaptive<double> adaptive(a, clsim::default_engine());
+  std::vector<double> y(static_cast<std::size_t>(a.rows()), std::nan(""));
+  adaptive.run(x, std::span<double>(y));
+  expect_matches_exact(a, x, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrices, CsrAdaptiveCorrectness,
+                         ::testing::Values("diag", "short", "power_law",
+                                           "long", "mixed", "oversized_rows",
+                                           "empty_rows"));
+
+TEST(CsrAdaptive, BlockInvariants) {
+  const auto a = make_matrix("mixed");
+  baseline::CsrAdaptive<double> adaptive(a, clsim::default_engine());
+  const auto& blocks = adaptive.row_blocks();
+  ASSERT_GE(blocks.size(), 2u);
+  EXPECT_EQ(blocks.front(), 0);
+  EXPECT_EQ(blocks.back(), a.rows());
+  for (std::size_t b = 0; b + 1 < blocks.size(); ++b) {
+    const index_t rows = blocks[b + 1] - blocks[b];
+    ASSERT_GE(rows, 1);
+    EXPECT_LE(rows, baseline::CsrAdaptive<double>::kMaxRowsPerBlock);
+    offset_t nnz = 0;
+    for (index_t r = blocks[b]; r < blocks[b + 1]; ++r) nnz += a.row_nnz(r);
+    if (rows > 1) {
+      // Multi-row blocks must fit the stream buffer.
+      EXPECT_LE(nnz, baseline::CsrAdaptive<double>::kBlockNnz);
+    }
+  }
+}
+
+TEST(CsrAdaptive, ShortRowMatrixPacksManyRowsPerBlock) {
+  const auto a = make_matrix("diag");  // 1 nnz/row
+  baseline::CsrAdaptive<double> adaptive(a, clsim::default_engine());
+  // 1000 rows, 256 rows/block cap -> 4 blocks.
+  EXPECT_EQ(adaptive.block_count(), 4u);
+}
+
+TEST(CsrAdaptive, OversizedRowGetsOwnBlock) {
+  const auto a = make_matrix("oversized_rows");
+  baseline::CsrAdaptive<double> adaptive(a, clsim::default_engine());
+  const auto& blocks = adaptive.row_blocks();
+  // Row 0 (3000 nnz) must be alone in its block.
+  EXPECT_EQ(blocks[0], 0);
+  EXPECT_EQ(blocks[1], 1);
+}
+
+TEST(CsrAdaptive, ShapeChecks) {
+  const auto a = make_matrix("diag");
+  baseline::CsrAdaptive<double> adaptive(a, clsim::default_engine());
+  std::vector<double> x(static_cast<std::size_t>(a.cols()));
+  std::vector<double> y_bad(3);
+  EXPECT_THROW(adaptive.run(x, std::span<double>(y_bad)),
+               std::invalid_argument);
+}
+
+TEST(CsrAdaptive, FloatPath) {
+  const auto ad = make_matrix("mixed");
+  const auto af = convert_values<float>(ad);
+  const auto xd = random_vector(static_cast<std::size_t>(ad.cols()), 101);
+  std::vector<float> xf(xd.begin(), xd.end());
+  baseline::CsrAdaptive<float> adaptive(af, clsim::default_engine());
+  std::vector<float> y(static_cast<std::size_t>(af.rows()));
+  adaptive.run(xf, std::span<float>(y));
+  const auto exact = kernels::spmv_exact(ad, std::span<const double>(xd));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(static_cast<double>(y[i]), exact[i],
+                2e-4 * (std::abs(exact[i]) + 1.0));
+  }
+}
+
+// ---- merge-based SpMV -------------------------------------------------------
+
+TEST(MergePath, SearchEndpoints) {
+  // 3 rows with ends {2, 2, 5}: row 1 empty.
+  const std::vector<offset_t> row_end = {2, 2, 5};
+  const auto begin = baseline::merge_path_search(0, row_end, 5);
+  EXPECT_EQ(begin.row, 0);
+  EXPECT_EQ(begin.nnz, 0);
+  const auto end = baseline::merge_path_search(3 + 5, row_end, 5);
+  EXPECT_EQ(end.row, 3);
+  EXPECT_EQ(end.nnz, 5);
+}
+
+TEST(MergePath, CoordinatesAreMonotone) {
+  const std::vector<offset_t> row_end = {0, 3, 3, 10, 11};
+  baseline::MergeCoord prev{0, 0};
+  for (std::int64_t d = 0; d <= 5 + 11; ++d) {
+    const auto c = baseline::merge_path_search(d, row_end, 11);
+    EXPECT_GE(c.row, prev.row);
+    EXPECT_GE(c.nnz, prev.nnz);
+    EXPECT_EQ(c.row + c.nnz, d);
+    prev = c;
+  }
+}
+
+class MergeCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(MergeCorrectness, MatchesReference) {
+  const auto [name, threads] = GetParam();
+  const auto a = make_matrix(name);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 200);
+  std::vector<double> y(static_cast<std::size_t>(a.rows()), std::nan(""));
+  baseline::spmv_merge(a, std::span<const double>(x), std::span<double>(y), threads);
+  expect_matches_exact(a, x, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MatricesByThreads, MergeCorrectness,
+    ::testing::Combine(::testing::Values("diag", "short", "power_law", "long",
+                                         "mixed", "oversized_rows",
+                                         "empty_rows"),
+                       ::testing::Values(1, 2, 3, 8, 64)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Merge, MoreThreadsThanWorkItems) {
+  // 2x2 matrix with 1 nnz, 16 threads: most threads get empty ranges.
+  CooMatrix<double> coo(2, 2);
+  coo.add(1, 0, 4.0);
+  const auto a = coo_to_csr(std::move(coo));
+  std::vector<double> x = {2.0, 1.0};
+  std::vector<double> y(2, -1.0);
+  baseline::spmv_merge(a, std::span<const double>(x), std::span<double>(y), 16);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+}
+
+TEST(Merge, ShapeChecks) {
+  const auto a = make_matrix("diag");
+  std::vector<double> x_bad(3), y(static_cast<std::size_t>(a.rows()));
+  EXPECT_THROW(baseline::spmv_merge(a, std::span<const double>(x_bad), std::span<double>(y)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Tests for Algorithm-2 binning and the alternative schemes: bin-id
+// arithmetic, coverage invariants, overflow handling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "binning/binning.hpp"
+#include "binning/schemes.hpp"
+#include "gen/generators.hpp"
+#include "sparse/convert.hpp"
+
+namespace {
+
+using namespace spmv;
+using binning::BinSet;
+using binning::kMaxBins;
+
+// Matrix with a prescribed NNZ count per row.
+CsrMatrix<double> matrix_with_lengths(const std::vector<index_t>& lengths,
+                                      index_t cols) {
+  CooMatrix<double> coo(static_cast<index_t>(lengths.size()), cols);
+  for (std::size_t r = 0; r < lengths.size(); ++r) {
+    for (index_t c = 0; c < lengths[r]; ++c)
+      coo.add(static_cast<index_t>(r), c, 1.0);
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+TEST(GranularityPool, MatchesPaperLadder) {
+  const auto& pool = binning::default_granularity_pool();
+  EXPECT_EQ(pool.front(), 10);
+  EXPECT_EQ(pool.back(), 1000000);
+  // 1-2-5 ladder over five decades: 16 values, strictly ascending.
+  EXPECT_EQ(pool.size(), 16u);
+  for (std::size_t i = 1; i < pool.size(); ++i)
+    EXPECT_GT(pool[i], pool[i - 1]);
+  EXPECT_NE(std::find(pool.begin(), pool.end(), 100), pool.end());
+}
+
+TEST(BinMatrix, PaperExampleFromSection3B) {
+  // The paper's illustration: U=10, every row index k in bin 1 means its 10
+  // rows hold 10..19 non-zeros total.
+  std::vector<index_t> lengths(40, 0);
+  for (std::size_t r = 0; r < 10; ++r) lengths[r] = 1;   // vrow 0: wl 10 -> bin 1
+  for (std::size_t r = 10; r < 20; ++r) lengths[r] = 0;  // vrow 1: wl 0  -> bin 0
+  for (std::size_t r = 20; r < 30; ++r) lengths[r] = 5;  // vrow 2: wl 50 -> bin 5
+  for (std::size_t r = 30; r < 40; ++r) lengths[r] = 2;  // vrow 3: wl 20 -> bin 2
+  const auto a = matrix_with_lengths(lengths, 8);
+  const auto bins = binning::bin_matrix(a, 10);
+  EXPECT_EQ(bins.unit(), 10);
+  EXPECT_EQ(bins.virtual_rows(), 4);
+  EXPECT_EQ(bins.bin(1), std::vector<index_t>{0});
+  EXPECT_EQ(bins.bin(0), std::vector<index_t>{1});
+  EXPECT_EQ(bins.bin(5), std::vector<index_t>{2});
+  EXPECT_EQ(bins.bin(2), std::vector<index_t>{3});
+  EXPECT_EQ(bins.occupied_bins(), (std::vector<int>{0, 1, 2, 5}));
+}
+
+TEST(BinMatrix, MotivatingExampleFindsOptimalU) {
+  // Paper §III-B: 10 rows, first 5 with 1 nnz, last 5 with 9 nnz. With U=5
+  // the first virtual row (workload 5 -> bin 1) and the second (workload 45
+  // -> bin 9) land in different bins.
+  std::vector<index_t> lengths = {1, 1, 1, 1, 1, 9, 9, 9, 9, 9};
+  const auto a = matrix_with_lengths(lengths, 16);
+  const auto bins = binning::bin_matrix(a, 5);
+  EXPECT_EQ(bins.bin(1), std::vector<index_t>{0});
+  EXPECT_EQ(bins.bin(9), std::vector<index_t>{1});
+}
+
+TEST(BinMatrix, OverflowGoesToLastBin) {
+  // One row with a workload far beyond kMaxBins * U.
+  std::vector<index_t> lengths = {5000, 1};
+  const auto a = matrix_with_lengths(lengths, 6000);
+  const auto bins = binning::bin_matrix(a, 10);
+  EXPECT_EQ(bins.bin(kMaxBins - 1), std::vector<index_t>{0});
+}
+
+TEST(BinMatrix, LastVirtualRowClipped) {
+  // 25 rows at U=10: 3 virtual rows, the last covering only 5 rows.
+  std::vector<index_t> lengths(25, 2);
+  const auto a = matrix_with_lengths(lengths, 4);
+  const auto bins = binning::bin_matrix(a, 10);
+  EXPECT_EQ(bins.virtual_rows(), 3);
+  EXPECT_EQ(bins.stored_virtual_rows(), 3u);
+  // vrows 0,1 have workload 20 -> bin 2; vrow 2 has workload 10 -> bin 1.
+  EXPECT_EQ(bins.bin(2), (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(bins.bin(1), std::vector<index_t>{2});
+  EXPECT_EQ(bins.rows_in_bin(2), 20);
+  EXPECT_EQ(bins.rows_in_bin(1), 5);
+}
+
+TEST(BinMatrix, UnitOneIsFineGrained) {
+  std::vector<index_t> lengths = {0, 1, 2, 3, 200};
+  const auto a = matrix_with_lengths(lengths, 256);
+  const auto bins = binning::bin_matrix(a, 1);
+  EXPECT_EQ(bins.bin(0), std::vector<index_t>{0});
+  EXPECT_EQ(bins.bin(1), std::vector<index_t>{1});
+  EXPECT_EQ(bins.bin(2), std::vector<index_t>{2});
+  EXPECT_EQ(bins.bin(3), std::vector<index_t>{3});
+  EXPECT_EQ(bins.bin(kMaxBins - 1), std::vector<index_t>{4});  // overflow
+}
+
+TEST(BinMatrix, RejectsBadUnit) {
+  const auto a = matrix_with_lengths({1, 2}, 4);
+  EXPECT_THROW(binning::bin_matrix(a, 0), std::invalid_argument);
+  EXPECT_THROW(binning::bin_matrix(a, -5), std::invalid_argument);
+}
+
+TEST(SingleBin, HoldsAllVirtualRows) {
+  std::vector<index_t> lengths(100, 3);
+  const auto a = matrix_with_lengths(lengths, 8);
+  const auto bins = binning::single_bin(a, 10);
+  EXPECT_EQ(bins.bin_count(), 1);
+  EXPECT_EQ(bins.bin(0).size(), 10u);
+  EXPECT_EQ(bins.rows_in_bin(0), 100);
+}
+
+// Property: at every granularity, each virtual row is stored exactly once
+// and the per-bin workload bounds hold.
+class BinCoverage : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BinCoverage, EveryVirtualRowStoredOnceWithCorrectBin) {
+  const index_t unit = GetParam();
+  const auto a =
+      gen::mixed_regime<double>(3000, 3000, 0.5, 0.3, 3, 40, 400, 32, 77);
+  const auto bins = binning::bin_matrix(a, unit);
+
+  std::set<index_t> seen;
+  const auto row_ptr = a.row_ptr();
+  for (int b = 0; b < bins.bin_count(); ++b) {
+    for (index_t v : bins.bin(b)) {
+      EXPECT_TRUE(seen.insert(v).second) << "virtual row stored twice";
+      const auto lo = static_cast<std::size_t>(v) * static_cast<std::size_t>(unit);
+      const auto hi = std::min<std::size_t>(
+          lo + static_cast<std::size_t>(unit),
+          static_cast<std::size_t>(a.rows()));
+      const offset_t wl = row_ptr[hi] - row_ptr[lo];
+      if (b < kMaxBins - 1) {
+        EXPECT_GE(wl, static_cast<offset_t>(b) * unit);
+        EXPECT_LT(wl, static_cast<offset_t>(b + 1) * unit);
+      } else {
+        EXPECT_GE(wl, static_cast<offset_t>(kMaxBins - 1) * unit);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(bins.virtual_rows()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, BinCoverage,
+                         ::testing::Values(1, 7, 10, 100, 1000, 100000));
+
+// --- schemes -------------------------------------------------------------
+
+TEST(Schemes, NamesAreStable) {
+  EXPECT_EQ(binning::scheme_name(binning::SchemeKind::Coarse), "coarse");
+  EXPECT_EQ(binning::scheme_name(binning::SchemeKind::Fine), "fine");
+  EXPECT_EQ(binning::scheme_name(binning::SchemeKind::Hybrid), "hybrid");
+  EXPECT_EQ(binning::scheme_name(binning::SchemeKind::SingleBin),
+            "single-bin");
+}
+
+TEST(Schemes, FineStoresEveryRow) {
+  const auto a = gen::power_law<double>(2000, 2000, 2.0, 300, 5);
+  const auto fine =
+      binning::apply_scheme(a, binning::SchemeKind::Fine, 100);
+  EXPECT_EQ(fine.stored_entries(), static_cast<std::size_t>(a.rows()));
+  const auto coarse =
+      binning::apply_scheme(a, binning::SchemeKind::Coarse, 100);
+  // Coarse stores ~rows/U entries: the space advantage the paper claims.
+  EXPECT_LT(coarse.stored_entries(), fine.stored_entries() / 10);
+}
+
+// Coverage invariant for every scheme: the union of actual rows across all
+// parts/bins covers each matrix row exactly once.
+class SchemeCoverage
+    : public ::testing::TestWithParam<binning::SchemeKind> {};
+
+TEST_P(SchemeCoverage, RowsCoveredExactlyOnce) {
+  const auto a =
+      gen::mixed_regime<double>(2500, 2500, 0.5, 0.3, 3, 40, 300, 16, 123);
+  const auto binned = binning::apply_scheme(a, GetParam(), 50, 64);
+
+  std::vector<int> cover(static_cast<std::size_t>(a.rows()), 0);
+  for (const auto& part : binned.parts) {
+    for (int b = 0; b < part.bin_count(); ++b) {
+      for (index_t v : part.bin(b)) {
+        const index_t lo = v * part.unit();
+        const index_t hi = std::min<index_t>(lo + part.unit(), a.rows());
+        for (index_t r = lo; r < hi; ++r) cover[static_cast<std::size_t>(r)]++;
+      }
+    }
+  }
+  for (index_t r = 0; r < a.rows(); ++r) {
+    ASSERT_EQ(cover[static_cast<std::size_t>(r)], 1) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeCoverage,
+                         ::testing::Values(binning::SchemeKind::Coarse,
+                                           binning::SchemeKind::Fine,
+                                           binning::SchemeKind::Hybrid,
+                                           binning::SchemeKind::SingleBin));
+
+TEST(Schemes, HybridSplitsShortAndLong) {
+  // 64 short rows then 64 long rows, unit 32: first two vrows all-short ->
+  // fine part; last two all-long -> coarse part.
+  std::vector<index_t> lengths(128, 2);
+  for (std::size_t r = 64; r < 128; ++r) lengths[r] = 90;
+  const auto a = matrix_with_lengths(lengths, 128);
+  const auto binned =
+      binning::apply_scheme(a, binning::SchemeKind::Hybrid, 32, 64);
+  ASSERT_EQ(binned.parts.size(), 2u);
+  const auto& fine = binned.parts[0];
+  const auto& coarse = binned.parts[1];
+  EXPECT_EQ(fine.unit(), 1);
+  EXPECT_EQ(coarse.unit(), 32);
+  EXPECT_EQ(fine.stored_virtual_rows(), 64u);    // the short rows, one by one
+  EXPECT_EQ(coarse.stored_virtual_rows(), 2u);   // two long virtual rows
+}
+
+}  // namespace

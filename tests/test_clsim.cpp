@@ -1,0 +1,156 @@
+// Tests for the clsim work-group execution engine: coverage, local memory,
+// error handling, device description.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "clsim/engine.hpp"
+
+namespace {
+
+using namespace spmv::clsim;
+
+TEST(Device, ResolvedComputeUnitsPositive) {
+  Device d;
+  EXPECT_GE(d.resolved_compute_units(), 1);
+  d.compute_units = 3;
+  EXPECT_EQ(d.resolved_compute_units(), 3);
+}
+
+TEST(Device, DefaultsMirrorPaperPlatform) {
+  const Device& d = default_device();
+  EXPECT_EQ(d.max_group_size, 256);
+  EXPECT_EQ(d.local_mem_bytes, 32u * 1024u);
+}
+
+TEST(Engine, LaunchesEveryGroupExactlyOnce) {
+  Engine engine;
+  constexpr std::size_t kGroups = 1000;
+  std::vector<std::atomic<int>> counts(kGroups);
+  for (auto& c : counts) c.store(0);
+  engine.launch({.num_groups = kGroups, .group_size = 256},
+                [&](WorkGroup& wg) { counts[wg.group_id()]++; });
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    EXPECT_EQ(counts[g].load(), 1) << "group " << g;
+  }
+}
+
+TEST(Engine, ZeroGroupsIsNoOp) {
+  Engine engine;
+  bool ran = false;
+  engine.launch({.num_groups = 0}, [&](WorkGroup&) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, GroupSizeVisibleInKernel) {
+  Engine engine;
+  std::atomic<int> bad{0};
+  engine.launch({.num_groups = 10, .group_size = 64}, [&](WorkGroup& wg) {
+    if (wg.group_size() != 64) bad++;
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Engine, RejectsOversizedGroups) {
+  Engine engine;
+  EXPECT_THROW(
+      engine.launch({.num_groups = 1, .group_size = 512}, [](WorkGroup&) {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      engine.launch({.num_groups = 1, .group_size = 0}, [](WorkGroup&) {}),
+      std::invalid_argument);
+}
+
+TEST(Engine, KernelExceptionsPropagate) {
+  Engine engine;
+  EXPECT_THROW(engine.launch({.num_groups = 100},
+                             [](WorkGroup& wg) {
+                               if (wg.group_id() == 57)
+                                 throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+}
+
+TEST(Engine, LocalArrayIsWritablePerGroup) {
+  Engine engine;
+  std::vector<std::int64_t> sums(64, -1);
+  engine.launch({.num_groups = 64}, [&](WorkGroup& wg) {
+    auto buf = wg.local_array<std::int64_t>(128);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::int64_t>(i) +
+               static_cast<std::int64_t>(wg.group_id());
+    }
+    sums[wg.group_id()] = std::accumulate(buf.begin(), buf.end(),
+                                          std::int64_t{0});
+  });
+  for (std::size_t g = 0; g < 64; ++g) {
+    const auto expected = 128 * 127 / 2 + 128 * static_cast<std::int64_t>(g);
+    EXPECT_EQ(sums[g], expected);
+  }
+}
+
+TEST(Engine, LocalMemoryLimitEnforced) {
+  Device tiny;
+  tiny.local_mem_bytes = 64;
+  Engine engine(tiny);
+  EXPECT_THROW(engine.launch({.num_groups = 1},
+                             [](WorkGroup& wg) {
+                               (void)wg.local_array<double>(100);
+                             }),
+               std::bad_alloc);
+}
+
+TEST(Engine, ArenaResetBetweenGroupsOnSameThread) {
+  // Each group allocates nearly the whole arena; if reset were missing,
+  // the second group on a thread would throw bad_alloc.
+  Device d;
+  d.compute_units = 1;  // force all groups onto one thread/arena
+  d.local_mem_bytes = 1024;
+  Engine engine(d);
+  EXPECT_NO_THROW(engine.launch({.num_groups = 50}, [](WorkGroup& wg) {
+    auto buf = wg.local_array<std::uint8_t>(1000);
+    buf[0] = 1;
+  }));
+}
+
+TEST(LocalArena, AlignmentRespected) {
+  LocalArena arena(1024);
+  (void)arena.alloc<char>(3);
+  const auto doubles = arena.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) %
+                alignof(double),
+            0u);
+}
+
+TEST(LocalArena, SequentialAllocationsDisjoint) {
+  LocalArena arena(1024);
+  auto a = arena.alloc<int>(10);
+  auto b = arena.alloc<int>(10);
+  EXPECT_GE(b.data(), a.data() + 10);
+  arena.reset();
+  auto c = arena.alloc<int>(10);
+  EXPECT_EQ(c.data(), a.data());  // reuse from the start after reset
+}
+
+TEST(Engine, DivUp) {
+  EXPECT_EQ(div_up(0 + 1, 256), 1u);
+  EXPECT_EQ(div_up(256, 256), 1u);
+  EXPECT_EQ(div_up(257, 256), 2u);
+  EXPECT_EQ(div_up(1024, 256), 4u);
+}
+
+TEST(Engine, ManyGroupsStress) {
+  Engine engine;
+  std::atomic<std::int64_t> total{0};
+  engine.launch({.num_groups = 20000, .group_size = 1, .chunk = 64},
+                [&](WorkGroup& wg) {
+                  total += static_cast<std::int64_t>(wg.group_id());
+                });
+  EXPECT_EQ(total.load(), 19999LL * 20000 / 2);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the ELLPACK format: conversion, padding accounting, SpMV
+// correctness, and the expansion guard (the paper's argument against
+// format switching on skewed matrices).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "kernels/reference.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ell.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+
+TEST(Ell, ConstructorValidatesShape) {
+  EXPECT_THROW(EllMatrix<double>(2, 2, 3, {0, 1}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Ell, PaddingRatioUniformIsOne) {
+  const auto a = gen::fixed_degree<double>(200, 100, 5, 1);
+  EXPECT_DOUBLE_EQ(ell_padding_ratio(a), 1.0);
+}
+
+TEST(Ell, PaddingRatioSkewedExplodes) {
+  // 99 rows with 1 nnz + 1 row with 1000 nnz: ratio = 100*1000/1099 ~ 91.
+  CooMatrix<double> coo(100, 1000);
+  for (index_t r = 0; r < 99; ++r) coo.add(r, r % 1000, 1.0);
+  for (index_t c = 0; c < 1000; ++c) coo.add(99, c, 1.0);
+  const auto a = coo_to_csr(std::move(coo));
+  EXPECT_GT(ell_padding_ratio(a), 50.0);
+  EXPECT_THROW(csr_to_ell(a), std::length_error);  // default 16x guard
+}
+
+TEST(Ell, EmptyMatrixRatioZero) {
+  CsrMatrix<double> empty;
+  EXPECT_DOUBLE_EQ(ell_padding_ratio(empty), 0.0);
+}
+
+TEST(Ell, ConversionLayoutIsColumnMajor) {
+  // 2x3: row0 = [a@0, b@2], row1 = [c@1].
+  CooMatrix<double> coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 2, 2.0);
+  coo.add(1, 1, 3.0);
+  const auto ell = csr_to_ell(coo_to_csr(std::move(coo)));
+  EXPECT_EQ(ell.width(), 2);
+  ASSERT_EQ(ell.stored(), 4u);
+  // Column-major: slot k*rows + r.
+  EXPECT_EQ(ell.col_idx()[0], 0);   // (r0, k0)
+  EXPECT_EQ(ell.col_idx()[1], 1);   // (r1, k0)
+  EXPECT_EQ(ell.col_idx()[2], 2);   // (r0, k1)
+  EXPECT_EQ(ell.col_idx()[3], -1);  // (r1, k1): padding
+  EXPECT_DOUBLE_EQ(ell.vals()[2], 2.0);
+}
+
+class EllSpmv : public ::testing::TestWithParam<int> {};
+
+TEST_P(EllSpmv, MatchesCsrReference) {
+  CsrMatrix<double> a = [&] {
+    switch (GetParam()) {
+      case 0: return gen::diagonal<double>(500);
+      case 1: return gen::fixed_degree<double>(600, 300, 4, 2);
+      case 2: return gen::banded<double>(400, 5, 0.5, 3);
+      default:
+        return gen::random_uniform<double>(500, 500, 10.0, 0.3, 2, 30, 4);
+    }
+  }();
+  util::Xoshiro256 rng(9);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+  const auto ell = csr_to_ell(a);
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  spmv_ell(ell, std::span<const double>(x), std::span<double>(y));
+  const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrices, EllSpmv, ::testing::Range(0, 4));
+
+TEST(Ell, SpmvShapeChecks) {
+  const auto ell = csr_to_ell(gen::diagonal<double>(10));
+  std::vector<double> x(5), y(10);
+  EXPECT_THROW(spmv_ell(ell, std::span<const double>(x), std::span<double>(y)),
+               std::invalid_argument);
+}
+
+TEST(Ell, BytesAccountPadding) {
+  const auto a = gen::fixed_degree<double>(100, 100, 4, 7);
+  const auto ell = csr_to_ell(a);
+  EXPECT_EQ(ell.bytes(), 400u * (sizeof(index_t) + sizeof(double)));
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the extensions beyond the paper's core framework: row
+// reordering (sparse/reorder) and heterogeneous bin scheduling
+// (core/hetero, the paper's §VI future-work proposal).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/hetero.hpp"
+#include "gen/generators.hpp"
+#include "kernels/reference.hpp"
+#include "sparse/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+// ---- reorder ---------------------------------------------------------
+
+TEST(Reorder, PermutationPredicates) {
+  EXPECT_TRUE(is_identity(std::vector<index_t>{0, 1, 2}));
+  EXPECT_FALSE(is_identity(std::vector<index_t>{0, 2, 1}));
+  EXPECT_TRUE(is_permutation(std::vector<index_t>{2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 0, 1}, 3));  // dup
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 1, 3}, 3));  // range
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 1}, 3));     // size
+}
+
+TEST(Reorder, SortRowsByLengthIsMonotone) {
+  const auto a = gen::power_law<double>(1500, 1500, 2.0, 300, 3);
+  const auto perm = sort_rows_by_length(a);
+  ASSERT_TRUE(is_permutation(perm, a.rows()));
+  const auto sorted = permute_rows(a, perm);
+  for (index_t i = 1; i < sorted.rows(); ++i) {
+    EXPECT_LE(sorted.row_nnz(i - 1), sorted.row_nnz(i));
+  }
+  EXPECT_EQ(sorted.nnz(), a.nnz());
+  EXPECT_TRUE(sorted.validate());
+}
+
+TEST(Reorder, SortIsStableForEqualLengths) {
+  const auto a = gen::fixed_degree<double>(100, 50, 3, 5);
+  const auto perm = sort_rows_by_length(a);
+  EXPECT_TRUE(is_identity(perm));  // all rows equal: stable sort = identity
+}
+
+TEST(Reorder, PermuteRowsRejectsBadPerm) {
+  const auto a = gen::diagonal<double>(10);
+  EXPECT_THROW(permute_rows(a, std::vector<index_t>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Reorder, PermutedSpmvUnpermutesToOriginal) {
+  const auto a =
+      gen::mixed_regime<double>(800, 800, 0.4, 0.4, 2, 30, 200, 16, 7);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 11);
+  const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
+
+  const auto perm = sort_rows_by_length(a);
+  const auto sorted = permute_rows(a, perm);
+  std::vector<double> y_perm(static_cast<std::size_t>(a.rows()));
+  kernels::spmv_sequential(sorted, std::span<const double>(x),
+                           std::span<double>(y_perm));
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  unpermute(std::span<const double>(y_perm), perm, std::span<double>(y));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0));
+  }
+}
+
+TEST(Reorder, InvertPermutationRoundTrips) {
+  const std::vector<index_t> perm = {3, 1, 4, 0, 2};
+  const auto inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])],
+              static_cast<index_t>(i));
+  }
+  EXPECT_EQ(invert_permutation(inv), perm);  // involution
+}
+
+TEST(Reorder, SortingReducesAdjacentLengthVariation) {
+  // The property that makes sorted + coarse binning approximate the
+  // fine-grained scheme: adjacent rows have similar lengths.
+  const auto a = gen::power_law<double>(3000, 3000, 2.0, 500, 13);
+  const auto sorted = permute_rows(a, sort_rows_by_length(a));
+  auto adjacent_variation = [](const CsrMatrix<double>& m) {
+    double total = 0.0;
+    for (index_t i = 1; i < m.rows(); ++i) {
+      total += std::abs(static_cast<double>(m.row_nnz(i) - m.row_nnz(i - 1)));
+    }
+    return total;
+  };
+  EXPECT_LT(adjacent_variation(sorted), adjacent_variation(a) / 4.0);
+}
+
+// ---- hetero ------------------------------------------------------------
+
+TEST(Hetero, CpuBinnedMatchesReferenceOnSubset) {
+  const auto a =
+      gen::mixed_regime<double>(1200, 1200, 0.4, 0.4, 2, 30, 200, 16, 17);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 19);
+  const auto bins = binning::bin_matrix(a, 50);
+  const auto occupied = bins.occupied_bins();
+  ASSERT_FALSE(occupied.empty());
+
+  std::vector<double> y(static_cast<std::size_t>(a.rows()),
+                        std::nan(""));
+  for (int b : occupied) {
+    core::spmv_cpu_binned(a, std::span<const double>(x), std::span<double>(y),
+                          bins.bin(b), 50);
+  }
+  const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0));
+  }
+}
+
+class HeteroCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeteroCorrectness, MatchesReferenceAcrossThresholds) {
+  const int threshold = GetParam();
+  const auto a =
+      gen::mixed_regime<double>(2000, 2000, 0.4, 0.3, 3, 40, 300, 32, 23);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols()), 29);
+
+  core::HeuristicPredictor pred;
+  core::HeteroOptions opts;
+  opts.gpu_row_threshold = threshold;
+  core::HeteroAutoSpmv<double> spmv(a, pred, opts);
+
+  std::vector<double> y(static_cast<std::size_t>(a.rows()), std::nan(""));
+  spmv.run(x, std::span<double>(y));
+  const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0));
+  }
+
+  // Partition invariant: every occupied bin on exactly one device.
+  std::set<int> all;
+  for (int b : spmv.gpu_bins()) {
+    EXPECT_LT(b, threshold);
+    EXPECT_TRUE(all.insert(b).second);
+  }
+  for (int b : spmv.cpu_bins()) {
+    EXPECT_GE(b, threshold);
+    EXPECT_TRUE(all.insert(b).second);
+  }
+  EXPECT_EQ(all.size(), spmv.plan().bin_kernels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HeteroCorrectness,
+                         ::testing::Values(0, 16, 64, 100));
+
+TEST(Hetero, ThresholdZeroSendsAllBinsToCpu) {
+  const auto a = gen::power_law<double>(1000, 1000, 2.0, 100, 31);
+  core::HeuristicPredictor pred;
+  core::HeteroOptions opts;
+  opts.gpu_row_threshold = 0;
+  core::HeteroAutoSpmv<double> spmv(a, pred, opts);
+  EXPECT_TRUE(spmv.gpu_bins().empty());
+  EXPECT_FALSE(spmv.cpu_bins().empty());
+}
+
+TEST(Hetero, ThresholdMaxSendsAllBinsToGpu) {
+  const auto a = gen::power_law<double>(1000, 1000, 2.0, 100, 37);
+  core::HeuristicPredictor pred;
+  core::HeteroOptions opts;
+  opts.gpu_row_threshold = binning::kMaxBins;
+  core::HeteroAutoSpmv<double> spmv(a, pred, opts);
+  EXPECT_TRUE(spmv.cpu_bins().empty());
+  EXPECT_FALSE(spmv.gpu_bins().empty());
+}
+
+}  // namespace

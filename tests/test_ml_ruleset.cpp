@@ -1,0 +1,152 @@
+// Tests for rule-set extraction: tree-path flattening, condition merging,
+// simplification, first-match classification, serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/ruleset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv::ml;
+
+Dataset threshold_data(int n, std::uint64_t seed) {
+  Dataset data({"x", "y"}, {"neg", "pos"});
+  spmv::util::Xoshiro256 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(), y = rng.uniform();
+    data.add({x, y}, x + 0.5 * y > 0.7 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(Condition, MatchesBothOps) {
+  const Condition leq{0, Condition::Op::Leq, 5.0};
+  const Condition gt{0, Condition::Op::Gt, 5.0};
+  const std::vector<double> lo = {4.0}, mid = {5.0}, hi = {6.0};
+  EXPECT_TRUE(leq.matches(lo));
+  EXPECT_TRUE(leq.matches(mid));
+  EXPECT_FALSE(leq.matches(hi));
+  EXPECT_FALSE(gt.matches(mid));
+  EXPECT_TRUE(gt.matches(hi));
+}
+
+TEST(Rule, ConjunctionSemantics) {
+  Rule rule;
+  rule.conditions = {{0, Condition::Op::Gt, 1.0}, {1, Condition::Op::Leq, 2.0}};
+  EXPECT_TRUE(rule.matches(std::vector<double>{1.5, 2.0}));
+  EXPECT_FALSE(rule.matches(std::vector<double>{0.5, 2.0}));
+  EXPECT_FALSE(rule.matches(std::vector<double>{1.5, 3.0}));
+}
+
+TEST(RuleSet, AgreesWithTreeOnTrainingData) {
+  const auto data = threshold_data(500, 1);
+  DecisionTree tree;
+  tree.train(data);
+  const auto rules = RuleSet::from_tree(tree);
+  // Rules are the tree's paths; without simplification classification can
+  // only differ through rule ordering on ties, which is rare — require
+  // near-perfect agreement.
+  std::size_t disagree = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (rules.classify(data.features(i)) != tree.predict(data.features(i)))
+      ++disagree;
+  }
+  EXPECT_LE(disagree, data.size() / 50);
+}
+
+TEST(RuleSet, MergesRedundantConditions) {
+  // A deep path like x<=10, x<=5, x<=7 must merge to x<=5.
+  const auto data = threshold_data(800, 2);
+  DecisionTree tree;
+  TreeParams p;
+  p.pruning_cf = 1.0;  // keep the tree deep
+  tree.train(data, p);
+  const auto rules = RuleSet::from_tree(tree);
+  for (const Rule& rule : rules.rules()) {
+    // No attribute may appear twice with the same op.
+    for (std::size_t i = 0; i < rule.conditions.size(); ++i) {
+      for (std::size_t j = i + 1; j < rule.conditions.size(); ++j) {
+        EXPECT_FALSE(rule.conditions[i].attr == rule.conditions[j].attr &&
+                     rule.conditions[i].op == rule.conditions[j].op);
+      }
+    }
+  }
+}
+
+TEST(RuleSet, SimplificationKeepsAccuracy) {
+  const auto data = threshold_data(600, 3);
+  DecisionTree tree;
+  tree.train(data);
+  const auto plain = RuleSet::from_tree(tree);
+  const auto simplified = RuleSet::from_tree(tree, &data);
+  EXPECT_LE(simplified.error_rate(data), plain.error_rate(data) + 0.03);
+  // Simplified rules are never longer.
+  std::size_t plain_conds = 0, simp_conds = 0;
+  for (const auto& r : plain.rules()) plain_conds += r.conditions.size();
+  for (const auto& r : simplified.rules()) simp_conds += r.conditions.size();
+  EXPECT_LE(simp_conds, plain_conds);
+}
+
+TEST(RuleSet, OrderedByConfidence) {
+  const auto data = threshold_data(500, 4);
+  DecisionTree tree;
+  tree.train(data);
+  const auto rules = RuleSet::from_tree(tree);
+  for (std::size_t i = 1; i < rules.rules().size(); ++i) {
+    EXPECT_GE(rules.rules()[i - 1].confidence, rules.rules()[i].confidence);
+  }
+}
+
+TEST(RuleSet, DefaultLabelUsedWhenNoRuleFires) {
+  RuleSet rs;  // empty rule set
+  EXPECT_EQ(rs.classify(std::vector<double>{1.0, 2.0}), 0);
+}
+
+TEST(RuleSet, ToStringListsRules) {
+  const auto data = threshold_data(300, 5);
+  DecisionTree tree;
+  tree.train(data);
+  const auto rules = RuleSet::from_tree(tree);
+  const auto text = rules.to_string();
+  EXPECT_NE(text.find("if "), std::string::npos);
+  EXPECT_NE(text.find("then "), std::string::npos);
+  EXPECT_NE(text.find("default:"), std::string::npos);
+}
+
+TEST(RuleSet, SaveLoadRoundTrip) {
+  const auto data = threshold_data(400, 6);
+  DecisionTree tree;
+  tree.train(data);
+  const auto rules = RuleSet::from_tree(tree, &data);
+  std::stringstream ss;
+  rules.save(ss);
+  const auto loaded = RuleSet::load(ss);
+  ASSERT_EQ(loaded.rules().size(), rules.rules().size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(loaded.classify(data.features(i)),
+              rules.classify(data.features(i)));
+  }
+}
+
+TEST(RuleSet, LoadRejectsGarbage) {
+  std::stringstream ss("RuleSet v999\n");
+  EXPECT_THROW(RuleSet::load(ss), std::runtime_error);
+}
+
+TEST(RuleSet, FromUntrainedTreeThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(RuleSet::from_tree(tree), std::logic_error);
+}
+
+TEST(RuleSet, HoldoutErrorComparableToTree) {
+  auto data = threshold_data(1200, 7);
+  const auto [train, test] = data.split(0.75, 11);
+  DecisionTree tree;
+  tree.train(train);
+  const auto rules = RuleSet::from_tree(tree, &train);
+  EXPECT_LT(rules.error_rate(test), tree.error_rate(test) + 0.05);
+}
+
+}  // namespace

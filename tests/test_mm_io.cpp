@@ -1,0 +1,142 @@
+// Tests for Matrix Market I/O: round trips, symmetry expansion, error
+// handling on malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "sparse/mm_io.hpp"
+
+namespace {
+
+using namespace spmv;
+
+TEST(MmIo, WriteReadRoundTrip) {
+  CooMatrix<double> coo(3, 4);
+  coo.add(0, 0, 1.5);
+  coo.add(1, 3, -2.25);
+  coo.add(2, 1, 7.0);
+  std::stringstream ss;
+  write_matrix_market(ss, coo);
+  MmHeader header;
+  auto back = read_matrix_market<double>(ss, &header);
+  EXPECT_EQ(header.field, "real");
+  EXPECT_EQ(header.symmetry, "general");
+  EXPECT_EQ(back.rows(), 3);
+  EXPECT_EQ(back.cols(), 4);
+  back.sort_row_major();
+  coo.sort_row_major();
+  EXPECT_EQ(back.entries(), coo.entries());
+}
+
+TEST(MmIo, ReadsGeneralReal) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "2 2 2\n"
+      "1 1 3.5\n"
+      "2 2 -1\n");
+  const auto coo = read_matrix_market<double>(ss);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 3.5);
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, -1.0);
+}
+
+TEST(MmIo, ExpandsSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1\n"
+      "2 1 5\n"
+      "3 2 7\n");
+  auto coo = read_matrix_market<double>(ss);
+  // 1 diagonal + 2 off-diagonals mirrored = 5 entries.
+  EXPECT_EQ(coo.nnz(), 5u);
+  const auto csr = coo_to_csr(std::move(coo));
+  EXPECT_EQ(csr.row_nnz(0), 2);  // (0,0) and mirrored (0,1)
+  EXPECT_EQ(csr.row_nnz(1), 2);  // (1,0) and mirrored (1,2)
+}
+
+TEST(MmIo, ExpandsSkewSymmetricWithNegation) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 4\n");
+  auto coo = read_matrix_market<double>(ss);
+  ASSERT_EQ(coo.nnz(), 2u);
+  coo.sort_row_major();
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, -4.0);  // mirrored (0,1)
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, 4.0);
+}
+
+TEST(MmIo, PatternValuesBecomeOne) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto coo = read_matrix_market<float>(ss);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_FLOAT_EQ(coo.entries()[0].value, 1.0f);
+}
+
+TEST(MmIo, IntegerField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 -7\n");
+  const auto coo = read_matrix_market<double>(ss);
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, -7.0);
+}
+
+TEST(MmIo, RejectsMissingBanner) {
+  std::stringstream ss("not a banner\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market<double>(ss), std::runtime_error);
+}
+
+TEST(MmIo, RejectsArrayFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n1\n");
+  EXPECT_THROW(read_matrix_market<double>(ss), std::runtime_error);
+}
+
+TEST(MmIo, RejectsComplexField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(read_matrix_market<double>(ss), std::runtime_error);
+}
+
+TEST(MmIo, RejectsOutOfRangeEntry) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(ss), std::runtime_error);
+}
+
+TEST(MmIo, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market<double>(ss), std::runtime_error);
+}
+
+TEST(MmIo, RejectsEmptyStream) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_matrix_market<double>(ss), std::runtime_error);
+}
+
+TEST(MmIo, FileHelpersThrowOnMissingPath) {
+  EXPECT_THROW(read_matrix_market_file<double>("/nonexistent/file.mtx"),
+               std::runtime_error);
+}
+
+TEST(MmIo, OneBasedIndicesOnDisk) {
+  CooMatrix<double> coo(1, 1);
+  coo.add(0, 0, 2.0);
+  std::stringstream ss;
+  write_matrix_market(ss, coo);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\n1 1 2\n"), std::string::npos);
+}
+
+}  // namespace

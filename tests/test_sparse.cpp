@@ -1,0 +1,229 @@
+// Unit + property tests for src/sparse: COO, CSR, conversions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+
+CooMatrix<double> example_coo() {
+  // The paper's Figure-1 matrix:
+  //   1 6 0 0
+  //   3 0 2 0
+  //   0 4 0 0
+  //   0 5 8 1
+  CooMatrix<double> coo(4, 4);
+  coo.add(0, 0, 1);
+  coo.add(0, 1, 6);
+  coo.add(1, 0, 3);
+  coo.add(1, 2, 2);
+  coo.add(2, 1, 4);
+  coo.add(3, 1, 5);
+  coo.add(3, 2, 8);
+  coo.add(3, 3, 1);
+  return coo;
+}
+
+TEST(Coo, BasicAccounting) {
+  const auto coo = example_coo();
+  EXPECT_EQ(coo.rows(), 4);
+  EXPECT_EQ(coo.cols(), 4);
+  EXPECT_EQ(coo.nnz(), 8u);
+  EXPECT_TRUE(coo.validate());
+}
+
+TEST(Coo, SortRowMajor) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(2, 1, 1);
+  coo.add(0, 2, 2);
+  coo.add(0, 0, 3);
+  coo.add(1, 1, 4);
+  coo.sort_row_major();
+  EXPECT_TRUE(coo.is_canonical());
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_EQ(coo.entries()[0].col, 0);
+  EXPECT_EQ(coo.entries()[3].row, 2);
+}
+
+TEST(Coo, CoalesceSumsDuplicates) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1);
+  coo.add(0, 0, 2);
+  coo.add(1, 1, 5);
+  coo.add(0, 0, 4);
+  coo.coalesce();
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, 5.0);
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Coo, ValidateCatchesOutOfRange) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(2, 0, 1.0);
+  EXPECT_FALSE(coo.validate());
+  CooMatrix<double> coo2(2, 2);
+  coo2.add(0, -1, 1.0);
+  EXPECT_FALSE(coo2.validate());
+}
+
+TEST(Coo, IsCanonicalDetectsDuplicates) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.0);
+  EXPECT_FALSE(coo.is_canonical());
+}
+
+TEST(Csr, Figure1Layout) {
+  // Expected CSR of the paper's Figure-1 matrix.
+  const auto csr = coo_to_csr(example_coo());
+  const std::vector<offset_t> row_ptr = {0, 2, 4, 5, 8};
+  const std::vector<index_t> col_idx = {0, 1, 0, 2, 1, 1, 2, 3};
+  const std::vector<double> vals = {1, 6, 3, 2, 4, 5, 8, 1};
+  EXPECT_EQ(std::vector<offset_t>(csr.row_ptr().begin(), csr.row_ptr().end()),
+            row_ptr);
+  EXPECT_EQ(std::vector<index_t>(csr.col_idx().begin(), csr.col_idx().end()),
+            col_idx);
+  EXPECT_EQ(std::vector<double>(csr.vals().begin(), csr.vals().end()), vals);
+  EXPECT_EQ(csr.nnz(), 8);
+  EXPECT_EQ(csr.row_nnz(0), 2);
+  EXPECT_EQ(csr.row_nnz(2), 1);
+}
+
+TEST(Csr, ConstructorRejectsBadShapes) {
+  EXPECT_THROW(CsrMatrix<double>(2, 2, {0, 1}, {0}, {1.0}),
+               std::invalid_argument);  // row_ptr too short
+  EXPECT_THROW(CsrMatrix<double>(1, 1, {0, 2}, {0}, {1.0}),
+               std::invalid_argument);  // back() != nnz
+  EXPECT_THROW(CsrMatrix<double>(1, 1, {0, 1}, {0}, {1.0, 2.0}),
+               std::invalid_argument);  // col/val mismatch
+}
+
+TEST(Csr, ValidateCatchesBadColumns) {
+  CsrMatrix<double> bad(1, 1, {0, 1}, {5}, {1.0});
+  std::string why;
+  EXPECT_FALSE(bad.validate(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Csr, ValidateCatchesNonMonotoneRowPtr) {
+  CsrMatrix<double> m(2, 2, {0, 2, 2}, {0, 1}, {1.0, 2.0});
+  EXPECT_TRUE(m.validate());
+  // Build a broken one through the (unchecked) validate path.
+  std::vector<offset_t> row_ptr = {0, 2, 1};
+  EXPECT_THROW(CsrMatrix<double>(2, 2, row_ptr, {0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Csr, EmptyMatrix) {
+  CsrMatrix<double> empty;
+  EXPECT_EQ(empty.rows(), 0);
+  EXPECT_EQ(empty.nnz(), 0);
+  EXPECT_TRUE(empty.validate());
+}
+
+TEST(Csr, BytesAccountsArrays) {
+  const auto csr = coo_to_csr(example_coo());
+  EXPECT_EQ(csr.bytes(), 5 * sizeof(offset_t) + 8 * sizeof(index_t) +
+                             8 * sizeof(double));
+}
+
+TEST(Convert, CooCsrRoundTrip) {
+  const auto coo = example_coo();
+  const auto csr = coo_to_csr(coo);
+  auto back = csr_to_coo(csr);
+  back.sort_row_major();
+  auto orig = coo;
+  orig.sort_row_major();
+  EXPECT_EQ(back.entries(), orig.entries());
+}
+
+TEST(Convert, RejectsInvalidCoo) {
+  CooMatrix<double> coo(2, 2);
+  coo.add(5, 0, 1.0);
+  EXPECT_THROW(coo_to_csr(std::move(coo)), std::invalid_argument);
+}
+
+TEST(Convert, EmptyRowsPreserved) {
+  CooMatrix<double> coo(5, 5);
+  coo.add(1, 1, 2.0);
+  coo.add(4, 0, 3.0);
+  const auto csr = coo_to_csr(std::move(coo));
+  EXPECT_EQ(csr.row_nnz(0), 0);
+  EXPECT_EQ(csr.row_nnz(1), 1);
+  EXPECT_EQ(csr.row_nnz(2), 0);
+  EXPECT_EQ(csr.row_nnz(3), 0);
+  EXPECT_EQ(csr.row_nnz(4), 1);
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  const auto a = gen::random_uniform<double>(50, 70, 5.0, 0.5, 1, 20, 99);
+  const auto t = transpose(a);
+  EXPECT_EQ(t.rows(), 70);
+  EXPECT_EQ(t.cols(), 50);
+  EXPECT_EQ(t.nnz(), a.nnz());
+  EXPECT_TRUE(t.validate());
+  const auto tt = transpose(t);
+  EXPECT_EQ(tt, a);
+}
+
+TEST(Convert, TransposeMovesEntries) {
+  const auto csr = coo_to_csr(example_coo());
+  const auto t = transpose(csr);
+  // A[3][1] == 5 must become T[1][3] == 5.
+  bool found = false;
+  const auto row_ptr = t.row_ptr();
+  for (offset_t j = row_ptr[1]; j < row_ptr[2]; ++j) {
+    if (t.col_idx()[static_cast<std::size_t>(j)] == 3) {
+      EXPECT_DOUBLE_EQ(t.vals()[static_cast<std::size_t>(j)], 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Convert, ValueTypeConversion) {
+  const auto d = coo_to_csr(example_coo());
+  const auto f = convert_values<float>(d);
+  EXPECT_EQ(f.rows(), d.rows());
+  EXPECT_EQ(f.nnz(), d.nnz());
+  EXPECT_FLOAT_EQ(f.vals()[1], 6.0f);
+  const auto d2 = convert_values<double>(f);
+  EXPECT_EQ(d2, d);
+}
+
+// Property: random COO -> CSR preserves the multiset of entries and
+// produces a valid structure, across sizes.
+class CooCsrProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CooCsrProperty, RoundTripRandom) {
+  const int n = GetParam();
+  spmv::util::Xoshiro256 rng(static_cast<std::uint64_t>(n));
+  CooMatrix<double> coo(n, n + 3);
+  const int entries = 4 * n;
+  for (int k = 0; k < entries; ++k) {
+    coo.add(static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+            static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n + 3))),
+            rng.uniform());
+  }
+  auto expected = coo;  // copy before the move
+  const auto csr = coo_to_csr(std::move(coo));
+  EXPECT_TRUE(csr.validate());
+  expected.coalesce();
+  EXPECT_EQ(csr.nnz(), static_cast<offset_t>(expected.nnz()));
+  auto back = csr_to_coo(csr);
+  back.sort_row_major();
+  EXPECT_EQ(back.entries(), expected.entries());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CooCsrProperty,
+                         ::testing::Values(1, 2, 7, 33, 100, 257, 1000));
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Tests for row statistics (Table-I raw material) and ML feature vectors.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "ml/features.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/matrix_stats.hpp"
+
+namespace {
+
+using namespace spmv;
+
+CsrMatrix<double> ladder_matrix() {
+  // Rows with 1, 2, 3, 4 non-zeros.
+  CooMatrix<double> coo(4, 4);
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c <= r; ++c) coo.add(r, c, 1.0);
+  }
+  return coo_to_csr(std::move(coo));
+}
+
+TEST(RowStatsT, LadderMatrix) {
+  const auto stats = compute_row_stats(ladder_matrix());
+  EXPECT_EQ(stats.rows, 4);
+  EXPECT_EQ(stats.cols, 4);
+  EXPECT_EQ(stats.nnz, 10);
+  EXPECT_DOUBLE_EQ(stats.avg_nnz, 2.5);
+  EXPECT_NEAR(stats.var_nnz, 1.25, 1e-12);  // population variance
+  EXPECT_EQ(stats.min_nnz, 1);
+  EXPECT_EQ(stats.max_nnz, 4);
+}
+
+TEST(RowStatsT, UniformRowsHaveZeroVariance) {
+  const auto a = gen::fixed_degree<double>(100, 50, 3, 1);
+  const auto stats = compute_row_stats(a);
+  EXPECT_DOUBLE_EQ(stats.avg_nnz, 3.0);
+  EXPECT_DOUBLE_EQ(stats.var_nnz, 0.0);
+  EXPECT_EQ(stats.min_nnz, 3);
+  EXPECT_EQ(stats.max_nnz, 3);
+}
+
+TEST(RowStatsT, RowLengths) {
+  const auto lengths = row_lengths(ladder_matrix());
+  EXPECT_EQ(lengths, (std::vector<offset_t>{1, 2, 3, 4}));
+}
+
+TEST(RowStatsT, HistogramAccumulation) {
+  util::Histogram hist({0, 2, 4});
+  accumulate_row_histogram(ladder_matrix(), hist);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.bucket(0), 1u);  // row with 1 nnz
+  EXPECT_EQ(hist.bucket(1), 2u);  // rows with 2, 3
+  EXPECT_EQ(hist.bucket(2), 1u);  // row with 4
+}
+
+TEST(Features, Stage1NamesMatchTable1) {
+  const auto& names = ml::stage1_attr_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "M");
+  EXPECT_EQ(names[1], "N");
+  EXPECT_EQ(names[2], "NNZ");
+  EXPECT_EQ(names[3], "Var_NNZ");
+  EXPECT_EQ(names[4], "Avg_NNZ");
+  EXPECT_EQ(names[5], "Min_NNZ");
+  EXPECT_EQ(names[6], "Max_NNZ");
+}
+
+TEST(Features, Stage1VectorOrder) {
+  const auto stats = compute_row_stats(ladder_matrix());
+  const auto f = ml::stage1_features(stats);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f[0], 4.0);
+  EXPECT_DOUBLE_EQ(f[1], 4.0);
+  EXPECT_DOUBLE_EQ(f[2], 10.0);
+  EXPECT_NEAR(f[3], 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(f[4], 2.5);
+  EXPECT_DOUBLE_EQ(f[5], 1.0);
+  EXPECT_DOUBLE_EQ(f[6], 4.0);
+}
+
+TEST(Features, Stage2AppendsUnitAndBin) {
+  const auto stats = compute_row_stats(ladder_matrix());
+  const auto f = ml::stage2_features(stats, 100, 7);
+  ASSERT_EQ(f.size(), 9u);
+  EXPECT_DOUBLE_EQ(f[7], 100.0);
+  EXPECT_DOUBLE_EQ(f[8], 7.0);
+  const auto& names = ml::stage2_attr_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names[7], "U");
+  EXPECT_EQ(names[8], "binId");
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Tests for the persistent thread pool behind the clsim engine: coverage,
+// chunking, nesting, exception propagation, thread limits, reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "clsim/thread_pool.hpp"
+
+namespace {
+
+using spmv::clsim::ThreadPool;
+
+struct CoverCtx {
+  std::vector<std::atomic<int>>* counts;
+};
+
+void cover_fn(void* vctx, std::int64_t g) {
+  auto* ctx = static_cast<CoverCtx*>(vctx);
+  (*ctx->counts)[static_cast<std::size_t>(g)]++;
+}
+
+TEST(ThreadPool, EveryIndexExactlyOnce) {
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& c : counts) c.store(0);
+  CoverCtx ctx{&counts};
+  ThreadPool::instance().parallel_for(kN, 7, 8, &ctx, cover_fn);
+  for (std::int64_t g = 0; g < kN; ++g) EXPECT_EQ(counts[g].load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeAreNoOps) {
+  std::vector<std::atomic<int>> counts(1);
+  counts[0].store(0);
+  CoverCtx ctx{&counts};
+  ThreadPool::instance().parallel_for(0, 4, 4, &ctx, cover_fn);
+  ThreadPool::instance().parallel_for(-5, 4, 4, &ctx, cover_fn);
+  EXPECT_EQ(counts[0].load(), 0);
+}
+
+TEST(ThreadPool, SingleThreadLimitRunsSerial) {
+  constexpr std::int64_t kN = 100;
+  std::set<std::thread::id> tids;
+  struct TidCtx {
+    std::set<std::thread::id>* tids;
+  } ctx{&tids};
+  // max_threads = 1: everything on the caller, so no synchronization races
+  // on the (unprotected) set.
+  ThreadPool::instance().parallel_for(
+      kN, 4, 1, &ctx, [](void* vctx, std::int64_t) {
+        static_cast<TidCtx*>(vctx)->tids->insert(std::this_thread::get_id());
+      });
+  EXPECT_EQ(tids.size(), 1u);
+  EXPECT_EQ(*tids.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, NestedCallsDegradeToSerial) {
+  constexpr std::int64_t kOuter = 64;
+  constexpr std::int64_t kInner = 32;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  for (auto& c : counts) c.store(0);
+  struct NestCtx {
+    std::vector<std::atomic<int>>* counts;
+    std::int64_t outer_g;
+  };
+  ThreadPool::instance().parallel_for(
+      kOuter, 2, 8, &counts, [](void* vctx, std::int64_t og) {
+        auto* counts = static_cast<std::vector<std::atomic<int>>*>(vctx);
+        NestCtx inner{counts, og};
+        ThreadPool::instance().parallel_for(
+            kInner, 4, 8, &inner, [](void* victx, std::int64_t ig) {
+              auto* c = static_cast<NestCtx*>(victx);
+              (*c->counts)[static_cast<std::size_t>(c->outer_g * kInner + ig)]++;
+            });
+      });
+  for (std::int64_t i = 0; i < kOuter * kInner; ++i)
+    EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  EXPECT_THROW(ThreadPool::instance().parallel_for(
+                   1000, 4, 8, nullptr,
+                   [](void*, std::int64_t g) {
+                     if (g == 777) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  try {
+    ThreadPool::instance().parallel_for(
+        100, 4, 8, nullptr,
+        [](void*, std::int64_t) { throw std::logic_error("x"); });
+  } catch (const std::logic_error&) {
+  }
+  std::atomic<std::int64_t> sum{0};
+  ThreadPool::instance().parallel_for(
+      100, 4, 8, &sum, [](void* vctx, std::int64_t g) {
+        static_cast<std::atomic<std::int64_t>*>(vctx)->fetch_add(g);
+      });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, ManyConsecutiveLaunches) {
+  // Stresses the wake/join cycle (hot-spin and sleep paths both).
+  std::atomic<std::int64_t> total{0};
+  for (int i = 0; i < 500; ++i) {
+    ThreadPool::instance().parallel_for(
+        64, 4, 8, &total, [](void* vctx, std::int64_t) {
+          static_cast<std::atomic<std::int64_t>*>(vctx)->fetch_add(1);
+        });
+  }
+  EXPECT_EQ(total.load(), 500 * 64);
+}
+
+TEST(ThreadPool, LargeChunkRunsSerialFastPath) {
+  // n <= chunk triggers the serial path; still processes everything.
+  std::vector<std::atomic<int>> counts(8);
+  for (auto& c : counts) c.store(0);
+  CoverCtx ctx{&counts};
+  ThreadPool::instance().parallel_for(8, 1000, 8, &ctx, cover_fn);
+  for (int g = 0; g < 8; ++g) EXPECT_EQ(counts[static_cast<std::size_t>(g)].load(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Unit tests for src/util: timing, RNG, statistics, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace spmv::util;
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.elapsed_ms(), 10.0);
+}
+
+TEST(Timer, UnitsAreConsistent) {
+  Timer t;
+  const double s = t.elapsed_s();
+  const double us = t.elapsed_us();
+  EXPECT_GE(us, s * 1e6);  // us sampled after s
+}
+
+TEST(Measure, RunsRequestedReps) {
+  int calls = 0;
+  const auto r = measure([&] { ++calls; }, {.warmup = 2, .reps = 5,
+                                            .max_total_s = 10.0});
+  EXPECT_EQ(calls, 7);  // 2 warmup + 5 timed
+  EXPECT_EQ(r.reps, 5);
+  EXPECT_LE(r.best_s, r.mean_s + 1e-12);
+}
+
+TEST(Measure, AlwaysRunsAtLeastOnce) {
+  int calls = 0;
+  const auto r = measure(
+      [&] {
+        ++calls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      },
+      {.warmup = 0, .reps = 100, .max_total_s = 0.0});
+  EXPECT_GE(calls, 1);
+  EXPECT_GE(r.reps, 1);
+  EXPECT_LT(r.reps, 100);  // budget cut it short
+}
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.25);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Xoshiro256, BoundedIsInRange) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1048576ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedCoversAllValues) {
+  Xoshiro256 rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, NormalHasRoughlyStandardMoments) {
+  Xoshiro256 rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Xoshiro256, ZipfStaysInRangeAndIsSkewed) {
+  Xoshiro256 rng(11);
+  std::uint64_t ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.zipf(100, 2.0);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+    if (v == 1) ++ones;
+  }
+  // With s=2 the mass at 1 is ~61%; verify heavy skew toward small values.
+  EXPECT_GT(ones, 10000u);
+}
+
+TEST(Xoshiro256, ZipfDegenerateN) {
+  Xoshiro256 rng(12);
+  EXPECT_EQ(rng.zipf(1, 2.0), 1u);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  const double mean = (1 + 2 + 4 + 8 + 16) / 5.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 5.0;
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats stats;
+  stats.add(1.0);
+  EXPECT_EQ(stats.sample_variance(), 0.0);
+  stats.add(3.0);
+  EXPECT_NEAR(stats.sample_variance(), 2.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-12);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h({0, 10, 100});
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(99);
+  h.add(100);   // overflow bucket
+  h.add(5000);  // overflow bucket
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_DOUBLE_EQ(h.fraction_below(100), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(10), 2.0 / 6.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h({0, 10});
+  h.add(3, 7);
+  h.add(12, 3);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bucket(0), 7u);
+  EXPECT_DOUBLE_EQ(h.fraction_below(10), 0.7);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({5, 3}), std::invalid_argument);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Stats, Median) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog",         "--alpha=3", "--beta",
+                        "7",            "pos1",      "--delta=x y",
+                        "--gamma"};
+  Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("gamma", false));  // bare trailing flag
+  EXPECT_EQ(cli.get("delta"), "x y");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_FALSE(cli.has("nope"));
+  EXPECT_EQ(cli.get("nope", "def"), "def");
+  EXPECT_EQ(cli.get_int("nope", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("nope", 2.5), 2.5);
+  EXPECT_TRUE(cli.get_bool("nope", true));
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+}  // namespace

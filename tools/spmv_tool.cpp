@@ -1,0 +1,235 @@
+// spmv_tool — command-line front end for the autospmv library.
+//
+// Subcommands:
+//   info     --mtx F | --matrix NAME | --family NAME --rows N
+//            print dimensions, Table-I features, and bin layout
+//   tune     (same inputs) exhaustively tune and print the per-U table
+//   run      (same inputs) [--model M] [--reps K]
+//            time auto vs serial/vector/csr-adaptive/merge/omp
+//   train    [--matrices N] [--out M] train a model on the synthetic corpus
+//   gen      --family NAME --rows N --out F.mtx  write a synthetic matrix
+//
+// Examples:
+//   spmv_tool train --matrices 120 --out model.txt
+//   spmv_tool run --matrix crankseg_2 --model model.txt
+//   spmv_tool tune --family power_law --rows 50000
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "autospmv.hpp"
+
+using namespace spmv;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spmv_tool <info|tune|run|train|gen> [flags]\n"
+               "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
+               "               --family <corpus family> --rows N [--param P]\n"
+               "  run flags:   --model model.txt --reps K\n"
+               "  train flags: --matrices N --out model.txt\n"
+               "  gen flags:   --out file.mtx --seed S\n");
+  return 2;
+}
+
+gen::Family family_from_name(const std::string& name) {
+  for (int f = 0; f < static_cast<int>(gen::Family::kCount); ++f) {
+    if (gen::family_name(static_cast<gen::Family>(f)) == name)
+      return static_cast<gen::Family>(f);
+  }
+  throw std::invalid_argument("unknown family: " + name);
+}
+
+CsrMatrix<float> load_input(const util::Cli& cli) {
+  const std::string mtx = cli.get("mtx");
+  if (!mtx.empty()) {
+    std::printf("input: %s\n", mtx.c_str());
+    return coo_to_csr(read_matrix_market_file<float>(mtx));
+  }
+  const std::string name = cli.get("matrix");
+  if (!name.empty()) {
+    std::printf("input: Table-II analogue %s\n", name.c_str());
+    return gen::make_representative<float>(name);
+  }
+  gen::CorpusSpec spec;
+  spec.family = family_from_name(cli.get("family", "power_law"));
+  spec.rows = static_cast<index_t>(cli.get_int("rows", 100000));
+  spec.cols = spec.rows;
+  spec.param = static_cast<index_t>(cli.get_int("param", 100));
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  std::printf("input: synthetic %s, %d rows\n",
+              gen::family_name(spec.family).c_str(), spec.rows);
+  return gen::make_corpus_matrix<float>(spec);
+}
+
+void print_features(const CsrMatrix<float>& a) {
+  const auto stats = compute_row_stats(a);
+  const auto features = ml::stage1_features(stats);
+  const auto& names = ml::stage1_attr_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    std::printf("  %-8s = %.6g\n", names[i].c_str(), features[i]);
+}
+
+int cmd_info(const util::Cli& cli) {
+  const auto a = load_input(cli);
+  std::printf("\nTable-I features:\n");
+  print_features(a);
+  const auto unit = static_cast<index_t>(cli.get_int("unit", 100));
+  const auto bins = binning::bin_matrix(a, unit);
+  std::printf("\nbins at U=%d (%zu occupied):\n", unit,
+              bins.occupied_bins().size());
+  for (int b : bins.occupied_bins()) {
+    std::printf("  bin %-3d: %8zu virtual rows, %9d rows\n", b,
+                bins.bin(b).size(), bins.rows_in_bin(b));
+  }
+  return 0;
+}
+
+int cmd_tune(const util::Cli& cli) {
+  const auto a = load_input(cli);
+  std::vector<float> x(static_cast<std::size_t>(a.cols()), 1.0f);
+  auto pools = core::default_pools();
+  pools.include_single_bin = cli.get_bool("single-bin", true);
+  core::ExhaustiveOptions opts;
+  opts.measure = {.warmup = 1, .reps = 3, .max_total_s = 0.5};
+
+  const auto result = core::exhaustive_tune(
+      clsim::default_engine(), a, std::span<const float>(x), pools, opts);
+  std::printf("\n%-12s %12s   %s\n", "candidate", "time[ms]",
+              "per-bin kernels");
+  for (const auto& ur : result.per_unit) {
+    std::string label =
+        ur.single_bin ? "single-bin" : "U=" + std::to_string(ur.unit);
+    std::string kernels_str;
+    for (const auto& bk : ur.bin_kernels) {
+      if (!kernels_str.empty()) kernels_str += ", ";
+      kernels_str += std::to_string(bk.bin_id) + ":" +
+                     kernels::kernel_name(bk.kernel);
+    }
+    std::printf("%-12s %12.3f   {%s}\n", label.c_str(), 1e3 * ur.total_s,
+                kernels_str.c_str());
+  }
+  std::printf("\nbest plan: %s (%.3f ms end-to-end)\n",
+              result.best_plan.to_string().c_str(), 1e3 * result.best_s);
+  return 0;
+}
+
+int cmd_run(const util::Cli& cli) {
+  const auto a = load_input(cli);
+  std::vector<float> x(static_cast<std::size_t>(a.cols()), 1.0f);
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  const int reps = static_cast<int>(cli.get_int("reps", 10));
+  const util::MeasureOptions mopts{.warmup = 2, .reps = reps,
+                                   .max_total_s = 5.0};
+
+  std::unique_ptr<core::Predictor> pred;
+  const std::string model_path = cli.get("model");
+  if (!model_path.empty()) {
+    pred = std::make_unique<core::ModelPredictor>(
+        core::load_model_file(model_path));
+  } else {
+    pred = std::make_unique<core::HeuristicPredictor>();
+  }
+  core::AutoSpmv<float> auto_spmv(a, *pred);
+  std::printf("auto plan: %s\n\n", auto_spmv.plan().to_string().c_str());
+
+  baseline::CsrAdaptive<float> adaptive(a, clsim::default_engine());
+  struct Row {
+    const char* name;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"kernel-auto", util::measure([&] {
+                    auto_spmv.run(x, std::span<float>(y));
+                  }, mopts).best_s});
+  rows.push_back({"kernel-serial", util::measure([&] {
+                    kernels::run_full(kernels::KernelId::Serial,
+                                      clsim::default_engine(), a,
+                                      std::span<const float>(x),
+                                      std::span<float>(y));
+                  }, mopts).best_s});
+  rows.push_back({"kernel-vector", util::measure([&] {
+                    kernels::run_full(kernels::KernelId::Vector,
+                                      clsim::default_engine(), a,
+                                      std::span<const float>(x),
+                                      std::span<float>(y));
+                  }, mopts).best_s});
+  rows.push_back({"csr-adaptive", util::measure([&] {
+                    adaptive.run(std::span<const float>(x),
+                                 std::span<float>(y));
+                  }, mopts).best_s});
+  rows.push_back({"merge", util::measure([&] {
+                    baseline::spmv_merge(a, std::span<const float>(x),
+                                         std::span<float>(y));
+                  }, mopts).best_s});
+  rows.push_back({"omp-csr", util::measure([&] {
+                    kernels::spmv_omp_rows(a, std::span<const float>(x),
+                                           std::span<float>(y));
+                  }, mopts).best_s});
+
+  std::printf("%-14s %12s %12s\n", "strategy", "time[ms]", "GFLOP/s");
+  for (const auto& row : rows) {
+    std::printf("%-14s %12.3f %12.2f\n", row.name, 1e3 * row.seconds,
+                2.0 * static_cast<double>(a.nnz()) / row.seconds * 1e-9);
+  }
+  return 0;
+}
+
+int cmd_train(const util::Cli& cli) {
+  gen::CorpusOptions copts;
+  copts.count = static_cast<int>(cli.get_int("matrices", 100));
+  copts.min_rows = static_cast<index_t>(cli.get_int("min-rows", 1500));
+  copts.max_rows = static_cast<index_t>(cli.get_int("max-rows", 12000));
+  core::TrainerOptions topts;
+  topts.tune.measure = {.warmup = 1, .reps = 2, .max_total_s = 0.05};
+
+  util::set_log_level(util::LogLevel::Info);
+  core::TrainReport report;
+  const auto model = core::train_model(gen::sample_corpus(copts), topts,
+                                       clsim::default_engine(), &report);
+  std::printf("stage 1: %.1f%% train / %.1f%% test error\n",
+              100.0 * report.stage1_train_error,
+              100.0 * report.stage1_test_error);
+  std::printf("stage 2: %.1f%% train / %.1f%% test error\n",
+              100.0 * report.stage2_train_error,
+              100.0 * report.stage2_test_error);
+  const std::string out = cli.get("out", "autospmv_model.txt");
+  core::save_model_file(out, model);
+  std::printf("model saved to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_gen(const util::Cli& cli) {
+  const auto a = load_input(cli);
+  const std::string out = cli.get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen: --out file.mtx required\n");
+    return 2;
+  }
+  write_matrix_market_file(out, csr_to_coo(a));
+  std::printf("wrote %s (%d x %d, %lld nnz)\n", out.c_str(), a.rows(),
+              a.cols(), static_cast<long long>(a.nnz()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "info") return cmd_info(cli);
+    if (cmd == "tune") return cmd_tune(cli);
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "train") return cmd_train(cli);
+    if (cmd == "gen") return cmd_gen(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spmv_tool %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
