@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binning_schemes.dir/ablation_binning_schemes.cpp.o"
+  "CMakeFiles/ablation_binning_schemes.dir/ablation_binning_schemes.cpp.o.d"
+  "ablation_binning_schemes"
+  "ablation_binning_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binning_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

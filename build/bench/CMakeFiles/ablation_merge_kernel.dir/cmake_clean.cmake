@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_kernel.dir/ablation_merge_kernel.cpp.o"
+  "CMakeFiles/ablation_merge_kernel.dir/ablation_merge_kernel.cpp.o.d"
+  "ablation_merge_kernel"
+  "ablation_merge_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kernel_choice.dir/fig2_kernel_choice.cpp.o"
+  "CMakeFiles/fig2_kernel_choice.dir/fig2_kernel_choice.cpp.o.d"
+  "fig2_kernel_choice"
+  "fig2_kernel_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kernel_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

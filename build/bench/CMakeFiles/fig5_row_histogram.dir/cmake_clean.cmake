@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_row_histogram.dir/fig5_row_histogram.cpp.o"
+  "CMakeFiles/fig5_row_histogram.dir/fig5_row_histogram.cpp.o.d"
+  "fig5_row_histogram"
+  "fig5_row_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_row_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_auto_vs_single.dir/fig6_auto_vs_single.cpp.o"
+  "CMakeFiles/fig6_auto_vs_single.dir/fig6_auto_vs_single.cpp.o.d"
+  "fig6_auto_vs_single"
+  "fig6_auto_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_auto_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

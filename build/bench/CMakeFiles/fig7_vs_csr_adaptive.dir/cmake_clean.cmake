@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_csr_adaptive.dir/fig7_vs_csr_adaptive.cpp.o"
+  "CMakeFiles/fig7_vs_csr_adaptive.dir/fig7_vs_csr_adaptive.cpp.o.d"
+  "fig7_vs_csr_adaptive"
+  "fig7_vs_csr_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_csr_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_vs_csr_adaptive.
+# This may be replaced when dependencies are built.

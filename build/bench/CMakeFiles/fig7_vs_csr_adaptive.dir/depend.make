@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_vs_csr_adaptive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_single_bin.dir/fig9_single_bin.cpp.o"
+  "CMakeFiles/fig9_single_bin.dir/fig9_single_bin.cpp.o.d"
+  "fig9_single_bin"
+  "fig9_single_bin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_single_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_matrices.dir/table2_matrices.cpp.o"
+  "CMakeFiles/table2_matrices.dir/table2_matrices.cpp.o.d"
+  "table2_matrices"
+  "table2_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

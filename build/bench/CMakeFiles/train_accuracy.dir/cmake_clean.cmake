@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_accuracy.dir/train_accuracy.cpp.o"
+  "CMakeFiles/train_accuracy.dir/train_accuracy.cpp.o.d"
+  "train_accuracy"
+  "train_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_inspector.dir/feature_inspector.cpp.o"
+  "CMakeFiles/feature_inspector.dir/feature_inspector.cpp.o.d"
+  "feature_inspector"
+  "feature_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_overhead.dir/format_overhead.cpp.o"
+  "CMakeFiles/format_overhead.dir/format_overhead.cpp.o.d"
+  "format_overhead"
+  "format_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/csr_adaptive.cpp" "src/CMakeFiles/autospmv.dir/baseline/csr_adaptive.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/baseline/csr_adaptive.cpp.o.d"
+  "/root/repo/src/baseline/merge_spmv.cpp" "src/CMakeFiles/autospmv.dir/baseline/merge_spmv.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/baseline/merge_spmv.cpp.o.d"
+  "/root/repo/src/binning/binning.cpp" "src/CMakeFiles/autospmv.dir/binning/binning.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/binning/binning.cpp.o.d"
+  "/root/repo/src/binning/schemes.cpp" "src/CMakeFiles/autospmv.dir/binning/schemes.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/binning/schemes.cpp.o.d"
+  "/root/repo/src/clsim/device.cpp" "src/CMakeFiles/autospmv.dir/clsim/device.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/clsim/device.cpp.o.d"
+  "/root/repo/src/clsim/engine.cpp" "src/CMakeFiles/autospmv.dir/clsim/engine.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/clsim/engine.cpp.o.d"
+  "/root/repo/src/clsim/thread_pool.cpp" "src/CMakeFiles/autospmv.dir/clsim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/clsim/thread_pool.cpp.o.d"
+  "/root/repo/src/core/auto_spmv.cpp" "src/CMakeFiles/autospmv.dir/core/auto_spmv.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/auto_spmv.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "src/CMakeFiles/autospmv.dir/core/candidates.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/candidates.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/CMakeFiles/autospmv.dir/core/exhaustive.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/exhaustive.cpp.o.d"
+  "/root/repo/src/core/hetero.cpp" "src/CMakeFiles/autospmv.dir/core/hetero.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/hetero.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/autospmv.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/autospmv.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/autospmv.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/gen/corpus.cpp" "src/CMakeFiles/autospmv.dir/gen/corpus.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/gen/corpus.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/autospmv.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/representative.cpp" "src/CMakeFiles/autospmv.dir/gen/representative.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/gen/representative.cpp.o.d"
+  "/root/repo/src/kernels/kernel_serial.cpp" "src/CMakeFiles/autospmv.dir/kernels/kernel_serial.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/kernels/kernel_serial.cpp.o.d"
+  "/root/repo/src/kernels/kernel_subvector.cpp" "src/CMakeFiles/autospmv.dir/kernels/kernel_subvector.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/kernels/kernel_subvector.cpp.o.d"
+  "/root/repo/src/kernels/kernel_vector.cpp" "src/CMakeFiles/autospmv.dir/kernels/kernel_vector.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/kernels/kernel_vector.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/CMakeFiles/autospmv.dir/kernels/reference.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/kernels/reference.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/autospmv.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/ml/boosting.cpp" "src/CMakeFiles/autospmv.dir/ml/boosting.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/ml/boosting.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/autospmv.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/autospmv.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/CMakeFiles/autospmv.dir/ml/features.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/ml/features.cpp.o.d"
+  "/root/repo/src/ml/ruleset.cpp" "src/CMakeFiles/autospmv.dir/ml/ruleset.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/ml/ruleset.cpp.o.d"
+  "/root/repo/src/sparse/convert.cpp" "src/CMakeFiles/autospmv.dir/sparse/convert.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/convert.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/autospmv.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/autospmv.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/ell.cpp" "src/CMakeFiles/autospmv.dir/sparse/ell.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/ell.cpp.o.d"
+  "/root/repo/src/sparse/matrix_stats.cpp" "src/CMakeFiles/autospmv.dir/sparse/matrix_stats.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/matrix_stats.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/CMakeFiles/autospmv.dir/sparse/mm_io.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/reorder.cpp" "src/CMakeFiles/autospmv.dir/sparse/reorder.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/sparse/reorder.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/autospmv.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/autospmv.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/autospmv.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/autospmv.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/autospmv.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/autospmv.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

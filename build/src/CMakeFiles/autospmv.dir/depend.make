@@ -1,0 +1,2 @@
+# Empty dependencies file for autospmv.
+# This may be replaced when dependencies are built.

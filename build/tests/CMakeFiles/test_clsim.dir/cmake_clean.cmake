@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clsim.dir/test_clsim.cpp.o"
+  "CMakeFiles/test_clsim.dir/test_clsim.cpp.o.d"
+  "test_clsim"
+  "test_clsim.pdb"
+  "test_clsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_boosting.dir/test_ml_boosting.cpp.o"
+  "CMakeFiles/test_ml_boosting.dir/test_ml_boosting.cpp.o.d"
+  "test_ml_boosting"
+  "test_ml_boosting.pdb"
+  "test_ml_boosting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_ruleset.dir/test_ml_ruleset.cpp.o"
+  "CMakeFiles/test_ml_ruleset.dir/test_ml_ruleset.cpp.o.d"
+  "test_ml_ruleset"
+  "test_ml_ruleset.pdb"
+  "test_ml_ruleset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_ruleset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

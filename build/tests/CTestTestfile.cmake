@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_mm_io[1]_include.cmake")
+include("/root/repo/build/tests/test_ell[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_features[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_clsim[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_binning[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_ruleset[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_boosting[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_tool.dir/spmv_tool.cpp.o"
+  "CMakeFiles/spmv_tool.dir/spmv_tool.cpp.o.d"
+  "spmv_tool"
+  "spmv_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
