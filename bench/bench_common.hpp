@@ -20,11 +20,37 @@ inline std::vector<float> random_x(std::size_t n, std::uint64_t seed = 4242) {
   return x;
 }
 
+/// Measure one strategy and optionally record it into `profile` as a
+/// tuning-candidate entry (label, wall cost, reps, best time). Passing a
+/// profile plus the shared --profile flag (see write_profile) turns any
+/// bench's table into a regression-comparable JSON artifact.
+inline double time_strategy(prof::RunProfile* profile,
+                            const std::string& label,
+                            const std::function<void()>& run,
+                            const util::MeasureOptions& opts = {
+                                .warmup = 1, .reps = 5, .max_total_s = 2.0}) {
+  util::Timer wall;
+  const auto m = util::measure(run, opts);
+  if (profile != nullptr)
+    profile->add_candidate(label, wall.elapsed_s(), m.reps, m.best_s);
+  return m.best_s;
+}
+
 /// Measure one SpMV strategy (best-of-reps wall clock).
 inline double time_spmv(const std::function<void()>& run,
                         const util::MeasureOptions& opts = {
                             .warmup = 1, .reps = 5, .max_total_s = 2.0}) {
-  return util::measure(run, opts).best_s;
+  return time_strategy(nullptr, std::string(), run, opts);
+}
+
+/// Honour the shared --profile=<path> bench flag: write `profile` as JSON
+/// and say so. No flag, no file.
+inline void write_profile(const util::Cli& cli,
+                          const prof::RunProfile& profile) {
+  const std::string path = cli.get("profile");
+  if (path.empty()) return;
+  prof::write_profile_file(path, profile);
+  std::printf("profile written to %s\n", path.c_str());
 }
 
 /// GFLOP/s for an SpMV of `nnz` non-zeros (2 flops per non-zero).

@@ -22,6 +22,12 @@ int main(int argc, char** argv) {
   const auto pools = bench_pools(cli.get_bool("full-pool", false));
   const std::string model_path = cli.get("model");
 
+  // --profile=<path> records every (matrix, strategy) measurement as a
+  // candidate-cost entry and writes the JSON artifact at the end.
+  prof::RunProfile profile;
+  profile.label = "fig6_auto_vs_single";
+  prof::RunProfile* prof_ptr = cli.has("profile") ? &profile : nullptr;
+
   std::unique_ptr<core::ModelPredictor> model_pred;
   if (!model_path.empty()) {
     model_pred = std::make_unique<core::ModelPredictor>(
@@ -52,20 +58,24 @@ int main(int argc, char** argv) {
       plan = oracle_plan(a, x, pools);
     }
     const auto bins = core::bins_for_plan(a, plan);
-    const double t_auto = time_spmv([&] {
+    const double t_auto = time_strategy(prof_ptr, info.name + "/auto", [&] {
       core::execute_plan(clsim::default_engine(), a, std::span<const float>(x),
                          std::span<float>(y), bins, plan);
     });
 
     // The two single-kernel defaults.
-    const double t_serial = time_spmv([&] {
-      kernels::run_full(kernels::KernelId::Serial, clsim::default_engine(), a,
-                        std::span<const float>(x), std::span<float>(y));
-    });
-    const double t_vector = time_spmv([&] {
-      kernels::run_full(kernels::KernelId::Vector, clsim::default_engine(), a,
-                        std::span<const float>(x), std::span<float>(y));
-    });
+    const double t_serial =
+        time_strategy(prof_ptr, info.name + "/serial", [&] {
+          kernels::run_full(kernels::KernelId::Serial,
+                            clsim::default_engine(), a,
+                            std::span<const float>(x), std::span<float>(y));
+        });
+    const double t_vector =
+        time_strategy(prof_ptr, info.name + "/vector", [&] {
+          kernels::run_full(kernels::KernelId::Vector,
+                            clsim::default_engine(), a,
+                            std::span<const float>(x), std::span<float>(y));
+        });
 
     serial_speedups.push_back(t_serial / t_auto);
     vector_speedups.push_back(t_vector / t_auto);
@@ -98,5 +108,6 @@ int main(int argc, char** argv) {
       "matrices where kernel-vector beats kernel-serial: %d of 16 (paper: "
       "5)\n",
       vector_wins);
+  write_profile(cli, profile);
   return 0;
 }

@@ -16,6 +16,10 @@ int main(int argc, char** argv) {
   const double extra_scale = cli.get_double("scale", 1.0);
   const auto pools = bench_pools(cli.get_bool("full-pool", false));
 
+  prof::RunProfile profile;
+  profile.label = "fig7_vs_csr_adaptive";
+  prof::RunProfile* prof_ptr = cli.has("profile") ? &profile : nullptr;
+
   std::printf("=== bench fig7_vs_csr_adaptive (scale=%.3f) ===\n\n",
               extra_scale);
   std::printf("%-16s %14s %18s %16s %8s\n", "matrix", "auto[ms]",
@@ -33,13 +37,14 @@ int main(int argc, char** argv) {
 
     const auto plan = oracle_plan(a, x, pools);
     const auto bins = core::bins_for_plan(a, plan);
-    const double t_auto = time_spmv([&] {
+    const double t_auto = time_strategy(prof_ptr, info.name + "/auto", [&] {
       core::execute_plan(clsim::default_engine(), a, std::span<const float>(x),
                          std::span<float>(y), bins, plan);
     });
 
     baseline::CsrAdaptive<float> adaptive(a, clsim::default_engine());
-    const double t_adaptive = time_spmv(
+    const double t_adaptive = time_strategy(
+        prof_ptr, info.name + "/csr-adaptive",
         [&] { adaptive.run(std::span<const float>(x), std::span<float>(y)); });
 
     const double speedup = t_adaptive / t_auto;
@@ -56,5 +61,6 @@ int main(int argc, char** argv) {
       "%.2fx (paper: up to 1.9x); geomean %.2fx\n",
       auto_wins, *std::max_element(speedups.begin(), speedups.end()),
       util::geometric_mean(speedups));
+  write_profile(cli, profile);
   return 0;
 }

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
               grid, grid, a.rows(), static_cast<long long>(a.nnz()));
 
   core::HeuristicPredictor predictor;
-  core::AutoSpmv<double> spmv(a, predictor);
+  const auto spmv = core::Tuner(a).predictor(predictor).build();
   std::printf("auto plan: %s\n", spmv.plan().to_string().c_str());
 
   // Right-hand side: a point source in the domain centre.

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     predictor = std::make_unique<core::HeuristicPredictor>();
     std::printf("\nstrategy from built-in heuristic:\n");
   }
-  core::AutoSpmv<float> spmv(a, *predictor);
+  const auto spmv = core::Tuner(a).predictor(*predictor).build();
   std::printf("  %s\n", spmv.plan().to_string().c_str());
 
   // Sanity-check the plan by executing it once.

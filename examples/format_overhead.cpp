@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     std::vector<float> y(static_cast<std::size_t>(in.a.rows()));
 
     core::HeuristicPredictor pred;
-    core::AutoSpmv<float> auto_spmv(in.a, pred);
+    const auto auto_spmv = core::Tuner(in.a).predictor(pred).build();
     const double t_csr =
         util::measure([&] { auto_spmv.run(x, std::span<float>(y)); },
                       {.warmup = 1, .reps = 5, .max_total_s = 2.0})

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   }
 
   core::HeuristicPredictor predictor;
-  core::AutoSpmv<float> spmv(at, predictor);
+  const auto spmv = core::Tuner(at).predictor(predictor).build();
   std::printf("auto plan over A^T: %s\n", spmv.plan().to_string().c_str());
 
   auto run_pagerank = [&](const std::function<void(std::span<const float>,

@@ -1,8 +1,9 @@
 // Quickstart: the smallest end-to-end use of the autospmv public API.
 //
 //   1. Build (or load) a CSR matrix.
-//   2. Construct an AutoSpmv with a predictor (the built-in heuristic here;
-//      see train_and_save.cpp for the trained-model path).
+//   2. Build the runtime through the Tuner facade with a predictor (the
+//      built-in heuristic here; see train_and_save.cpp for the
+//      trained-model path), attaching a RunProfile for telemetry.
 //   3. Call run() as often as you like — the plan is built once.
 //
 // Usage: quickstart [--rows N] [--mtx file.mtx]
@@ -31,10 +32,18 @@ int main(int argc, char** argv) {
               stats.rows, stats.cols, static_cast<long long>(stats.nnz),
               stats.avg_nnz, static_cast<long long>(stats.max_nnz));
 
-  // 2. Plan: features -> binning granularity -> kernel per bin.
+  // 2. Plan: features -> binning granularity -> kernel per bin. The Tuner
+  //    facade carries all optional knobs; profile() attaches a telemetry
+  //    sink that records where plan and run time goes.
   core::HeuristicPredictor predictor;
-  core::AutoSpmv<float> spmv(a, predictor);
+  prof::RunProfile profile;
+  const auto spmv =
+      core::Tuner(a).predictor(predictor).profile(&profile).build();
   std::printf("selected plan: %s\n", spmv.plan().to_string().c_str());
+  std::printf("planning: features %.1f us, predict %.1f us, binning %.1f us\n",
+              1e6 * profile.plan_timing.features_s,
+              1e6 * profile.plan_timing.predict_s,
+              1e6 * profile.plan_timing.binning_s);
 
   // 3. Execute y = A*x and report throughput.
   std::vector<float> x(static_cast<std::size_t>(a.cols()), 1.0f);
@@ -49,5 +58,11 @@ int main(int argc, char** argv) {
               1e3 * result.best_s,
               2.0 * static_cast<double>(a.nnz()) / result.best_s * 1e-9,
               checksum);
+  for (const auto& b : profile.bins) {
+    std::printf("  bin %-3d %-12s %8lld nnz  %.3f ms total over %llu runs\n",
+                b.bin_id, b.kernel.c_str(),
+                static_cast<long long>(b.nnz), 1e3 * b.seconds,
+                static_cast<unsigned long long>(b.launches));
+  }
   return 0;
 }

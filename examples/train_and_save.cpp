@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   // 4. Plan an unseen matrix with the reloaded model.
   const auto a = gen::mixed_regime<float>(20000, 20000, 0.5, 0.3, 3, 30, 300,
                                           64, /*seed=*/4096);
-  core::AutoSpmv<float> spmv(a, predictor);
+  const auto spmv = core::Tuner(a).predictor(predictor).build();
   std::printf("unseen mixed-regime matrix -> plan %s\n",
               spmv.plan().to_string().c_str());
 

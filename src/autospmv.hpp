@@ -4,6 +4,21 @@
 // Matrix-Vector (SpMV) Multiplication on Multi- and Many-Core Processors"
 // (Hou, Feng, Che — IPDPSW 2017). See README.md for a tour and DESIGN.md
 // for the architecture.
+//
+// The primary entry point is the spmv::core::Tuner builder (core/tuner.hpp):
+//
+//   spmv::core::HeuristicPredictor pred;
+//   spmv::prof::RunProfile profile;                       // optional
+//   auto spmv = spmv::core::Tuner(a)
+//                   .predictor(pred)
+//                   .profile(&profile)                    // telemetry sink
+//                   .build();
+//   spmv.run(x, y);
+//   spmv::prof::write_profile_file("run.json", profile);  // JSON artifact
+//
+// The direct AutoSpmv constructors remain as deprecated thin wrappers.
+// Telemetry (spmv::prof) is opt-in: pass a RunProfile* for plan/run
+// timings and enable spmv::prof::set_enabled(true) for engine counters.
 #pragma once
 
 #include "baseline/csr_adaptive.hpp"    // CSR-Adaptive baseline
@@ -20,6 +35,7 @@
 #include "core/plan.hpp"                // parallelization plans
 #include "core/predictor.hpp"           // model & heuristic predictors
 #include "core/trainer.hpp"             // offline training pipeline
+#include "core/tuner.hpp"               // the Tuner builder facade
 #include "gen/corpus.hpp"               // UF-like training corpus
 #include "gen/generators.hpp"           // synthetic matrix generators
 #include "gen/representative.hpp"       // the 16 Table-II matrices
@@ -30,6 +46,9 @@
 #include "ml/decision_tree.hpp"         // C4.5/C5.0-style tree learner
 #include "ml/features.hpp"              // Table-I feature extraction
 #include "ml/ruleset.hpp"               // if-then rule sets
+#include "prof/counters.hpp"            // telemetry flag & engine counters
+#include "prof/json.hpp"                // minimal JSON value type
+#include "prof/profile.hpp"             // RunProfile telemetry aggregate
 #include "sparse/convert.hpp"           // COO<->CSR, transpose
 #include "sparse/coo.hpp"               // COO container
 #include "sparse/csr.hpp"               // CSR container

@@ -25,6 +25,7 @@
 
 #include "clsim/device.hpp"
 #include "clsim/thread_pool.hpp"
+#include "prof/counters.hpp"
 
 namespace spmv::clsim {
 
@@ -69,6 +70,10 @@ class LocalArena {
 
   [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
 
+  /// Bytes allocated since the last reset() (a bump allocator only grows,
+  /// so this is the group's local-memory high-water mark).
+  [[nodiscard]] std::size_t used() const { return used_; }
+
  private:
   std::vector<std::byte> buffer_;
   std::size_t used_;
@@ -105,6 +110,12 @@ class Engine {
 
   [[nodiscard]] const Device& device() const { return device_; }
 
+  /// Launch telemetry (groups executed, chunks dispatched, inline
+  /// fast-path hits, arena high-water mark). Recording happens only while
+  /// prof::enabled(); reading is always valid. Mutable so a shared const
+  /// engine (default_engine()) still counts.
+  [[nodiscard]] prof::EngineCounters& counters() const { return counters_; }
+
   /// Launch `lp.num_groups` work-groups of `kernel`. Blocks until all
   /// groups complete (like a clFinish'd enqueue). `kernel` is invoked as
   /// kernel(WorkGroup&). Exceptions from kernels propagate to the caller.
@@ -120,22 +131,31 @@ class Engine {
 
     const auto n = static_cast<std::int64_t>(lp.num_groups);
     const int threads = device_.resolved_compute_units();
+    const bool record = prof::enabled();
 
     if (n <= 2 || threads == 1) {
+      if (record) counters_.record_launch(lp.num_groups, 0, true);
       LocalArena& arena = thread_arena();
       for (std::int64_t g = 0; g < n; ++g) {
         arena.reset(device_.local_mem_bytes);
         WorkGroup wg(static_cast<std::size_t>(g), lp.group_size, arena);
         kernel(wg);
+        if (record) counters_.record_arena_used(arena.used());
       }
       return;
     }
 
     // Dispatch through the persistent pool (GPU-queue-like enqueue cost).
+    if (record) {
+      const auto chunk = static_cast<std::size_t>(std::max(1, lp.chunk));
+      counters_.record_launch(lp.num_groups,
+                              (lp.num_groups + chunk - 1) / chunk, false);
+    }
     struct LaunchCtx {
       const Engine* engine;
       std::remove_reference_t<F>* kernel;
       int group_size;
+      bool record;
 
       static void run_group(void* vctx, std::int64_t g) {
         auto* ctx = static_cast<LaunchCtx*>(vctx);
@@ -143,9 +163,11 @@ class Engine {
         arena.reset(ctx->engine->device_.local_mem_bytes);
         WorkGroup wg(static_cast<std::size_t>(g), ctx->group_size, arena);
         (*ctx->kernel)(wg);
+        if (ctx->record)
+          ctx->engine->counters_.record_arena_used(arena.used());
       }
     };
-    LaunchCtx ctx{this, &kernel, lp.group_size};
+    LaunchCtx ctx{this, &kernel, lp.group_size, record};
     ThreadPool::instance().parallel_for(n, lp.chunk, threads, &ctx,
                                         &LaunchCtx::run_group);
   }
@@ -163,6 +185,7 @@ class Engine {
   }
 
   Device device_;
+  mutable prof::EngineCounters counters_;
 };
 
 /// The process-wide default engine on default_device().

@@ -4,30 +4,64 @@ namespace spmv::core {
 
 template <typename T>
 AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
-                      const clsim::Engine& engine)
-    : a_(a), engine_(engine), stats_(compute_row_stats(a)) {
-  const auto choice = predictor.predict_unit(stats_);
+                      const clsim::Engine& engine, prof::RunProfile* profile,
+                      std::optional<Predictor::UnitChoice> forced)
+    : a_(a), engine_(engine), profile_(profile) {
+  prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
+  {
+    prof::ScopedTimer t(pt != nullptr ? &pt->features_s : nullptr);
+    stats_ = compute_row_stats(a);
+  }
+  Predictor::UnitChoice choice;
+  {
+    prof::ScopedTimer t(pt != nullptr ? &pt->predict_s : nullptr);
+    choice = forced.has_value() ? *forced : predictor.predict_unit(stats_);
+  }
   plan_.unit = choice.unit;
   plan_.single_bin = choice.single_bin;
-  bins_ = bins_for_plan(a, plan_);
-  for (int b : bins_.occupied_bins()) {
-    plan_.bin_kernels.push_back(
-        {b, predictor.predict_kernel(stats_, plan_.unit, b)});
+  {
+    prof::ScopedTimer t(pt != nullptr ? &pt->binning_s : nullptr);
+    bins_ = bins_for_plan(a, plan_);
   }
+  {
+    prof::ScopedTimer t(pt != nullptr ? &pt->predict_s : nullptr);
+    for (int b : bins_.occupied_bins()) {
+      plan_.bin_kernels.push_back(
+          {b, predictor.predict_kernel(stats_, plan_.unit, b)});
+    }
+  }
+  describe_profile();
 }
 
 template <typename T>
 AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan,
-                      const clsim::Engine& engine)
-    : a_(a),
-      engine_(engine),
-      stats_(compute_row_stats(a)),
-      plan_(std::move(plan)),
-      bins_(bins_for_plan(a, plan_)) {}
+                      const clsim::Engine& engine, prof::RunProfile* profile)
+    : a_(a), engine_(engine), profile_(profile), plan_(std::move(plan)) {
+  prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
+  {
+    prof::ScopedTimer t(pt != nullptr ? &pt->features_s : nullptr);
+    stats_ = compute_row_stats(a);
+  }
+  {
+    prof::ScopedTimer t(pt != nullptr ? &pt->binning_s : nullptr);
+    bins_ = bins_for_plan(a, plan_);
+  }
+  describe_profile();
+}
 
 template <typename T>
-void AutoSpmv<T>::run(std::span<const T> x, std::span<T> y) const {
-  execute_plan(engine_, a_, x, y, bins_, plan_);
+void AutoSpmv<T>::describe_profile() const {
+  if (profile_ == nullptr) return;
+  profile_->rows = stats_.rows;
+  profile_->cols = stats_.cols;
+  profile_->nnz = stats_.nnz;
+  profile_->plan = plan_.to_string();
+}
+
+template <typename T>
+void AutoSpmv<T>::run(std::span<const T> x, std::span<T> y,
+                      prof::RunProfile* profile) const {
+  execute_plan(engine_, a_, x, y, bins_, plan_, profile);
 }
 
 template class AutoSpmv<float>;

@@ -3,13 +3,16 @@
 // features, selects a binning granularity, bins the matrix, selects a
 // kernel per occupied bin, and executes SpMV through the plan.
 //
-// Typical use:
+// Construction goes through the spmv::core::Tuner builder (tuner.hpp),
+// which also attaches telemetry:
 //   auto model = spmv::core::load_model("model.txt");
 //   spmv::core::ModelPredictor pred(std::move(model));
-//   spmv::core::AutoSpmv<float> spmv(a, pred);
+//   spmv::prof::RunProfile profile;
+//   auto spmv = spmv::core::Tuner(a).predictor(pred).profile(&profile).build();
 //   spmv.run(x, y);  // repeatedly; the plan is built once
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "binning/binning.hpp"
@@ -17,10 +20,14 @@
 #include "core/exhaustive.hpp"
 #include "core/plan.hpp"
 #include "core/predictor.hpp"
+#include "prof/profile.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/matrix_stats.hpp"
 
 namespace spmv::core {
+
+template <typename T>
+class Tuner;
 
 template <typename T>
 class AutoSpmv {
@@ -28,24 +35,59 @@ class AutoSpmv {
   /// Plan SpMV for `a`: feature extraction + stage-1/stage-2 prediction +
   /// binning. `a` must outlive this object; `predictor` and `engine` are
   /// only used during construction and run() respectively.
+  ///
+  /// Deprecated entry point: prefer Tuner(a).predictor(p).build(), which
+  /// also exposes engine/scheme/profile configuration. Kept as a thin
+  /// wrapper for source compatibility.
   AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
-           const clsim::Engine& engine = clsim::default_engine());
+           const clsim::Engine& engine = clsim::default_engine())
+      : AutoSpmv(a, predictor, engine, nullptr, std::nullopt) {}
 
   /// Build an AutoSpmv around an externally produced plan (e.g. the
   /// exhaustive tuner's oracle plan).
+  ///
+  /// Deprecated entry point: prefer Tuner(a).plan(p).build().
   AutoSpmv(const CsrMatrix<T>& a, Plan plan,
-           const clsim::Engine& engine = clsim::default_engine());
+           const clsim::Engine& engine = clsim::default_engine())
+      : AutoSpmv(a, std::move(plan), engine, nullptr) {}
 
-  /// y = A*x through the planned per-bin kernels.
-  void run(std::span<const T> x, std::span<T> y) const;
+  /// y = A*x through the planned per-bin kernels. Records into the
+  /// profile attached at build time, if any.
+  void run(std::span<const T> x, std::span<T> y) const {
+    run(x, y, profile_);
+  }
+
+  /// y = A*x, recording plan execution telemetry (per-bin kernel wall
+  /// time, engine launch-counter deltas) into `profile`. A null profile
+  /// skips all recording; repeated calls accumulate (see RunProfile).
+  void run(std::span<const T> x, std::span<T> y,
+           prof::RunProfile* profile) const;
 
   [[nodiscard]] const Plan& plan() const { return plan_; }
   [[nodiscard]] const binning::BinSet& bins() const { return bins_; }
   [[nodiscard]] const RowStats& stats() const { return stats_; }
+  /// Profile attached at build time (null when none).
+  [[nodiscard]] prof::RunProfile* profile() const { return profile_; }
 
  private:
+  friend class Tuner<T>;
+
+  /// Full predictor-driven constructor: optionally records plan-stage
+  /// timings into `profile` and honours a forced granularity choice (the
+  /// Tuner's scheme/unit overrides).
+  AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
+           const clsim::Engine& engine, prof::RunProfile* profile,
+           std::optional<Predictor::UnitChoice> forced);
+
+  /// Full external-plan constructor.
+  AutoSpmv(const CsrMatrix<T>& a, Plan plan, const clsim::Engine& engine,
+           prof::RunProfile* profile);
+
+  void describe_profile() const;
+
   const CsrMatrix<T>& a_;
   const clsim::Engine& engine_;
+  prof::RunProfile* profile_ = nullptr;
   RowStats stats_;
   Plan plan_;
   binning::BinSet bins_;

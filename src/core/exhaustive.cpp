@@ -1,5 +1,7 @@
 #include "core/exhaustive.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -22,6 +24,55 @@ void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
     if (vrows.empty()) continue;
     kernels::run_binned(bp.kernel, engine, a, x, y, vrows, bins.unit());
   }
+}
+
+namespace {
+
+/// Non-zeros covered by a bin's virtual rows at granularity `unit`.
+template <typename T>
+std::int64_t bin_nnz(const CsrMatrix<T>& a, std::span<const index_t> vrows,
+                     index_t unit) {
+  std::int64_t total = 0;
+  const index_t rows = a.rows();
+  for (index_t v : vrows) {
+    const index_t lo = v * unit;
+    const index_t hi = std::min<index_t>(lo + unit, rows);
+    total += static_cast<std::int64_t>(a.row_ptr()[hi] - a.row_ptr()[lo]);
+  }
+  return total;
+}
+
+}  // namespace
+
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan,
+                  prof::RunProfile* profile) {
+  if (profile == nullptr) {
+    execute_plan(engine, a, x, y, bins, plan);
+    return;
+  }
+  if (bins.unit() != plan.unit)
+    throw std::invalid_argument("execute_plan: bins/plan unit mismatch");
+  const auto before = engine.counters().snapshot();
+  util::Timer total;
+  for (const BinPlan& bp : plan.bin_kernels) {
+    const auto& vrows = bins.bin(bp.bin_id);
+    if (vrows.empty()) continue;
+    util::Timer t;
+    kernels::run_binned(bp.kernel, engine, a, x, y, vrows, bins.unit());
+    profile->add_bin_run(bp.bin_id, kernels::kernel_name(bp.kernel),
+                         static_cast<std::int64_t>(vrows.size()),
+                         bins.rows_in_bin(bp.bin_id),
+                         bin_nnz(a, std::span<const index_t>(vrows),
+                                 bins.unit()),
+                         t.elapsed_s());
+  }
+  profile->runs += 1;
+  profile->run_total_s += total.elapsed_s();
+  profile->merge_engine_delta(
+      engine.counters().snapshot().delta_since(before));
 }
 
 namespace {
@@ -69,16 +120,33 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
     throw std::invalid_argument("exhaustive_tune: empty candidate pool");
   std::vector<T> y(static_cast<std::size_t>(a.rows()));
 
+  // Per-candidate cost: wall time spent binning + measuring each
+  // granularity, and how many (bin, kernel) measurements that took.
+  const auto record_candidate = [&](const UnitResult& ur, double wall_s) {
+    if (opts.profile == nullptr) return;
+    const std::string label =
+        ur.single_bin ? "single-bin" : "U=" + std::to_string(ur.unit);
+    opts.profile->add_candidate(
+        label, wall_s,
+        static_cast<std::int64_t>(ur.bin_kernels.size() *
+                                  pools.kernel_pool.size()),
+        ur.total_s);
+  };
+
   TuneResult result;
   for (index_t unit : pools.units) {
+    util::Timer wall;
     const auto bins = binning::bin_matrix(a, unit);
     result.per_unit.push_back(
         tune_bins(engine, a, x, std::span<T>(y), bins, false, pools, opts));
+    record_candidate(result.per_unit.back(), wall.elapsed_s());
   }
   if (pools.include_single_bin) {
+    util::Timer wall;
     const auto bins = binning::single_bin(a, index_t{1});
     result.per_unit.push_back(
         tune_bins(engine, a, x, std::span<T>(y), bins, true, pools, opts));
+    record_candidate(result.per_unit.back(), wall.elapsed_s());
   }
 
   // Select the winner with deterministic tie-breaking: among candidates
@@ -120,6 +188,10 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
   template void execute_plan(const clsim::Engine&, const CsrMatrix<T>&,      \
                              std::span<const T>, std::span<T>,               \
                              const binning::BinSet&, const Plan&);           \
+  template void execute_plan(const clsim::Engine&, const CsrMatrix<T>&,      \
+                             std::span<const T>, std::span<T>,               \
+                             const binning::BinSet&, const Plan&,            \
+                             prof::RunProfile*);                             \
   template TuneResult exhaustive_tune(const clsim::Engine&,                  \
                                       const CsrMatrix<T>&,                   \
                                       std::span<const T>,                    \

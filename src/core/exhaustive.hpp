@@ -12,6 +12,7 @@
 #include "clsim/engine.hpp"
 #include "core/candidates.hpp"
 #include "core/plan.hpp"
+#include "prof/profile.hpp"
 #include "sparse/csr.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +28,15 @@ template <typename T>
 void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan);
+
+/// Telemetry variant: additionally records per-bin kernel wall time and
+/// bin workload (rows/NNZ) plus the engine-counter delta of this execution
+/// into `profile`. A null profile behaves exactly like the plain overload.
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan,
+                  prof::RunProfile* profile);
 
 /// Tuning result for one candidate granularity.
 struct UnitResult {
@@ -53,6 +63,10 @@ struct ExhaustiveOptions {
   /// training labels measurement noise — on uniform matrices *every* U
   /// performs identically — and the model learns nothing.
   double tie_tolerance = 0.05;
+  /// Optional telemetry sink: every candidate granularity appends a
+  /// CandidateCost (wall time spent measuring it, number of per-bin kernel
+  /// measurements, its best summed time).
+  prof::RunProfile* profile = nullptr;
 };
 
 /// Measure every candidate in `pools` for matrix `a` with input vector `x`.
@@ -68,6 +82,10 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
                                     const CsrMatrix<T>&, std::span<const T>, \
                                     std::span<T>, const binning::BinSet&,    \
                                     const Plan&);                            \
+  extern template void execute_plan(const clsim::Engine&,                    \
+                                    const CsrMatrix<T>&, std::span<const T>, \
+                                    std::span<T>, const binning::BinSet&,    \
+                                    const Plan&, prof::RunProfile*);         \
   extern template TuneResult exhaustive_tune(                                \
       const clsim::Engine&, const CsrMatrix<T>&, std::span<const T>,         \
       const CandidatePools&, const ExhaustiveOptions&);

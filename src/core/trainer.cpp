@@ -6,6 +6,7 @@
 #include "ml/features.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace spmv::core {
 
@@ -73,7 +74,16 @@ TrainedModel train_model(const std::vector<gen::CorpusSpec>& specs,
     const gen::CorpusSpec& spec = specs[order[k]];
     // Kernels measure in float, matching the paper's OpenCL kernels.
     const auto a = gen::make_corpus_matrix<float>(spec);
+    util::Timer harvest_wall;
     const MatrixLabels labels = harvest_labels(engine, a, opts);
+    if (opts.profile != nullptr) {
+      opts.profile->add_candidate(
+          "matrix " + std::to_string(k + 1) + "/" +
+              std::to_string(order.size()) + " " +
+              gen::family_name(spec.family),
+          harvest_wall.elapsed_s(),
+          static_cast<std::int64_t>(labels.stage2.size()), 0.0);
+    }
 
     auto& s1 = k < cut ? s1_train : s1_test;
     auto& s2 = k < cut ? s2_train : s2_test;

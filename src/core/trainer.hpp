@@ -37,6 +37,10 @@ struct TrainerOptions {
   /// Classify through extracted rule sets (the C5.0 artifact) rather than
   /// the raw trees.
   bool use_rulesets = true;
+  /// Optional telemetry sink: train_model appends one CandidateCost per
+  /// corpus matrix (wall time of its exhaustive harvest, stage-2 samples
+  /// harvested). Set tune.profile as well for per-granularity costs.
+  prof::RunProfile* profile = nullptr;
 };
 
 struct TrainReport {

@@ -1,0 +1,98 @@
+// Tuner — the builder facade for constructing an auto-tuned SpMV runtime.
+// Replaces the two overloaded AutoSpmv constructors with one fluent entry
+// point that also carries the optional knobs (engine, binning scheme,
+// forced granularity, telemetry sink):
+//
+//   spmv::prof::RunProfile profile;
+//   auto spmv = spmv::core::Tuner(a)
+//                   .predictor(pred)
+//                   .engine(engine)
+//                   .scheme(binning::SchemeKind::Coarse)
+//                   .profile(&profile)
+//                   .build();
+//   spmv.run(x, y);  // per-bin timings accumulate into `profile`
+//
+// Exactly one of predictor() or plan() must be set before build().
+#pragma once
+
+#include <optional>
+
+#include "binning/schemes.hpp"
+#include "core/auto_spmv.hpp"
+#include "core/plan.hpp"
+#include "core/predictor.hpp"
+#include "prof/profile.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::core {
+
+template <typename T>
+class Tuner {
+ public:
+  /// Start configuring a run over `a`. The matrix (and every reference
+  /// passed below) must outlive the built AutoSpmv.
+  explicit Tuner(const CsrMatrix<T>& a) : a_(&a) {}
+
+  /// Strategy selector that chooses granularity and per-bin kernels.
+  Tuner& predictor(const Predictor& p) {
+    predictor_ = &p;
+    return *this;
+  }
+
+  /// Execution engine (defaults to clsim::default_engine()).
+  Tuner& engine(const clsim::Engine& e) {
+    engine_ = &e;
+    return *this;
+  }
+
+  /// Use an externally produced plan (e.g. the exhaustive tuner's oracle
+  /// plan) instead of predicting one.
+  Tuner& plan(Plan p) {
+    plan_ = std::move(p);
+    return *this;
+  }
+
+  /// Override the binning scheme the predictor would choose: Coarse keeps
+  /// the predictor's granularity (the default), Fine forces granularity 1,
+  /// SingleBin forces the paper's single-bin strategy. Hybrid needs
+  /// per-part plans and is rejected at build() — use
+  /// binning::apply_scheme directly for the ablation path.
+  Tuner& scheme(binning::SchemeKind kind) {
+    scheme_ = kind;
+    return *this;
+  }
+
+  /// Force the coarse binning granularity U (kernels are still predicted
+  /// per bin).
+  Tuner& unit(index_t u) {
+    unit_ = u;
+    return *this;
+  }
+
+  /// Telemetry sink: plan-stage timings are recorded at build() and every
+  /// run() accumulates per-bin kernel timings and engine-counter deltas.
+  /// Pass nullptr (the default) for a telemetry-free runtime.
+  Tuner& profile(prof::RunProfile* p) {
+    profile_ = p;
+    return *this;
+  }
+
+  /// Validate the configuration and construct the runtime. Throws
+  /// std::logic_error when neither predictor nor plan is set and
+  /// std::invalid_argument for unsupported scheme combinations.
+  [[nodiscard]] AutoSpmv<T> build() const;
+
+ private:
+  const CsrMatrix<T>* a_;
+  const Predictor* predictor_ = nullptr;
+  const clsim::Engine* engine_ = nullptr;
+  std::optional<Plan> plan_;
+  std::optional<binning::SchemeKind> scheme_;
+  std::optional<index_t> unit_;
+  prof::RunProfile* profile_ = nullptr;
+};
+
+extern template class Tuner<float>;
+extern template class Tuner<double>;
+
+}  // namespace spmv::core

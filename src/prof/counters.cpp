@@ -1,0 +1,13 @@
+#include "prof/counters.hpp"
+
+namespace spmv::prof {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace spmv::prof

@@ -1,0 +1,82 @@
+// Minimal JSON value type for telemetry export: enough of RFC 8259 to
+// round-trip a RunProfile (null/bool/number/string/array/object, ordered
+// object keys, escaped strings). Deliberately tiny — this is a telemetry
+// serializer, not a general JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spmv::prof {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  Json(bool b) : type_(Type::Bool), bool_(b) {}                 // NOLINT
+  Json(double v) : type_(Type::Number), number_(v) {}           // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                 // NOLINT
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}        // NOLINT
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}       // NOLINT
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                 // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  void push_back(Json v);
+  [[nodiscard]] const std::vector<Json>& items() const;
+
+  /// Object access. set() appends or overwrites; at() throws on a missing
+  /// key; find() returns nullptr instead.
+  void set(const std::string& key, Json v);
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Serialize. indent > 0 pretty-prints; 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document; throws std::runtime_error with a byte
+  /// offset on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace spmv::prof

@@ -1,0 +1,176 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace spmv::prof {
+
+void RunProfile::add_bin_run(int bin_id, const std::string& kernel,
+                             std::int64_t virtual_rows,
+                             std::int64_t rows_covered,
+                             std::int64_t nnz_covered, double seconds) {
+  for (BinRunSample& s : bins) {
+    if (s.bin_id == bin_id && s.kernel == kernel) {
+      s.virtual_rows = virtual_rows;
+      s.rows = rows_covered;
+      s.nnz = nnz_covered;
+      s.seconds += seconds;
+      s.launches += 1;
+      return;
+    }
+  }
+  BinRunSample s;
+  s.bin_id = bin_id;
+  s.kernel = kernel;
+  s.virtual_rows = virtual_rows;
+  s.rows = rows_covered;
+  s.nnz = nnz_covered;
+  s.seconds = seconds;
+  s.launches = 1;
+  const auto pos = std::find_if(bins.begin(), bins.end(), [&](const auto& b) {
+    return b.bin_id > bin_id;
+  });
+  bins.insert(pos, std::move(s));
+}
+
+void RunProfile::add_candidate(const std::string& label, double measure_s,
+                               std::int64_t measurements, double best_s) {
+  tuning.push_back({label, measure_s, measurements, best_s});
+  tuning_total_s += measure_s;
+}
+
+void RunProfile::merge_engine_delta(const EngineCountersSnapshot& delta) {
+  engine.launches += delta.launches;
+  engine.inline_launches += delta.inline_launches;
+  engine.groups += delta.groups;
+  engine.chunks += delta.chunks;
+  engine.arena_high_water_bytes =
+      std::max(engine.arena_high_water_bytes, delta.arena_high_water_bytes);
+}
+
+Json RunProfile::to_json() const {
+  Json j = Json::object();
+
+  Json matrix = Json::object();
+  matrix.set("label", label);
+  matrix.set("rows", rows);
+  matrix.set("cols", cols);
+  matrix.set("nnz", nnz);
+  j.set("matrix", matrix);
+
+  Json plan_j = Json::object();
+  plan_j.set("summary", plan);
+  Json timing = Json::object();
+  timing.set("features_s", plan_timing.features_s);
+  timing.set("predict_s", plan_timing.predict_s);
+  timing.set("binning_s", plan_timing.binning_s);
+  timing.set("total_s", plan_timing.total_s());
+  plan_j.set("timing", timing);
+  j.set("plan", plan_j);
+
+  Json runs_j = Json::object();
+  runs_j.set("count", runs);
+  runs_j.set("total_s", run_total_s);
+  j.set("runs", runs_j);
+
+  Json bins_j = Json::array();
+  for (const BinRunSample& s : bins) {
+    Json b = Json::object();
+    b.set("bin", s.bin_id);
+    b.set("kernel", s.kernel);
+    b.set("virtual_rows", s.virtual_rows);
+    b.set("rows", s.rows);
+    b.set("nnz", s.nnz);
+    b.set("seconds", s.seconds);
+    b.set("launches", s.launches);
+    bins_j.push_back(b);
+  }
+  j.set("bins", bins_j);
+
+  Json eng = Json::object();
+  eng.set("launches", engine.launches);
+  eng.set("inline_launches", engine.inline_launches);
+  eng.set("groups", engine.groups);
+  eng.set("chunks", engine.chunks);
+  eng.set("arena_high_water_bytes", engine.arena_high_water_bytes);
+  j.set("engine", eng);
+
+  Json tuning_j = Json::object();
+  tuning_j.set("total_s", tuning_total_s);
+  Json cands = Json::array();
+  for (const CandidateCost& c : tuning) {
+    Json cj = Json::object();
+    cj.set("label", c.label);
+    cj.set("measure_s", c.measure_s);
+    cj.set("measurements", c.measurements);
+    cj.set("best_s", c.best_s);
+    cands.push_back(cj);
+  }
+  tuning_j.set("candidates", cands);
+  j.set("tuning", tuning_j);
+  return j;
+}
+
+RunProfile RunProfile::from_json(const Json& j) {
+  RunProfile p;
+  const Json& matrix = j.at("matrix");
+  p.label = matrix.at("label").as_string();
+  p.rows = matrix.at("rows").as_int();
+  p.cols = matrix.at("cols").as_int();
+  p.nnz = matrix.at("nnz").as_int();
+
+  const Json& plan_j = j.at("plan");
+  p.plan = plan_j.at("summary").as_string();
+  const Json& timing = plan_j.at("timing");
+  p.plan_timing.features_s = timing.at("features_s").as_number();
+  p.plan_timing.predict_s = timing.at("predict_s").as_number();
+  p.plan_timing.binning_s = timing.at("binning_s").as_number();
+
+  p.runs = j.at("runs").at("count").as_uint();
+  p.run_total_s = j.at("runs").at("total_s").as_number();
+
+  for (const Json& b : j.at("bins").items()) {
+    BinRunSample s;
+    s.bin_id = static_cast<int>(b.at("bin").as_int());
+    s.kernel = b.at("kernel").as_string();
+    s.virtual_rows = b.at("virtual_rows").as_int();
+    s.rows = b.at("rows").as_int();
+    s.nnz = b.at("nnz").as_int();
+    s.seconds = b.at("seconds").as_number();
+    s.launches = b.at("launches").as_uint();
+    p.bins.push_back(std::move(s));
+  }
+
+  const Json& eng = j.at("engine");
+  p.engine.launches = eng.at("launches").as_uint();
+  p.engine.inline_launches = eng.at("inline_launches").as_uint();
+  p.engine.groups = eng.at("groups").as_uint();
+  p.engine.chunks = eng.at("chunks").as_uint();
+  p.engine.arena_high_water_bytes = eng.at("arena_high_water_bytes").as_uint();
+
+  const Json& tuning_j = j.at("tuning");
+  p.tuning_total_s = tuning_j.at("total_s").as_number();
+  for (const Json& cj : tuning_j.at("candidates").items()) {
+    CandidateCost c;
+    c.label = cj.at("label").as_string();
+    c.measure_s = cj.at("measure_s").as_number();
+    c.measurements = cj.at("measurements").as_int();
+    c.best_s = cj.at("best_s").as_number();
+    p.tuning.push_back(std::move(c));
+  }
+  return p;
+}
+
+std::string RunProfile::to_json_text(int indent) const {
+  return to_json().dump(indent) + "\n";
+}
+
+void write_profile_file(const std::string& path, const RunProfile& profile) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write profile file: " + path);
+  out << profile.to_json_text();
+  if (!out) throw std::runtime_error("error writing profile file: " + path);
+}
+
+}  // namespace spmv::prof

@@ -1,0 +1,118 @@
+// RunProfile — the aggregated execution profile of one auto-tuned SpMV:
+// plan-stage timings (feature extraction / prediction / binning), per-bin
+// kernel wall time with bin workload, engine launch counters, and the cost
+// of any tuning that produced the plan. Exportable as JSON so benches and
+// tools emit regression-comparable artifacts (`spmv_tool run --profile`).
+//
+// Recording is opt-in per call site: APIs take a `RunProfile*` and treat
+// nullptr as "off", so the hot path pays a pointer test. Engine-level
+// counters are additionally gated by the runtime flag in counters.hpp.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/counters.hpp"
+#include "prof/json.hpp"
+
+namespace spmv::prof {
+
+/// Scoped accumulating stopwatch: adds the elapsed seconds to `*acc` on
+/// destruction; a null accumulator makes it a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* acc) : acc_(acc) {
+    if (acc_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stop early (idempotent); subsequent destruction adds nothing.
+  void stop() {
+    if (acc_ == nullptr) return;
+    *acc_ += std::chrono::duration<double>(Clock::now() - start_).count();
+    acc_ = nullptr;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double* acc_;
+  Clock::time_point start_;
+};
+
+/// Where plan construction time went (AutoSpmv's three stages).
+struct PlanTiming {
+  double features_s = 0.0;  ///< compute_row_stats
+  double predict_s = 0.0;   ///< stage-1 + stage-2 prediction
+  double binning_s = 0.0;   ///< Algorithm-2 binning
+  [[nodiscard]] double total_s() const {
+    return features_s + predict_s + binning_s;
+  }
+};
+
+/// Accumulated execution record of one occupied bin.
+struct BinRunSample {
+  int bin_id = 0;
+  std::string kernel;               ///< registry display name
+  std::int64_t virtual_rows = 0;    ///< entries in the bin
+  std::int64_t rows = 0;            ///< matrix rows the bin covers
+  std::int64_t nnz = 0;             ///< non-zeros the bin covers
+  double seconds = 0.0;             ///< summed kernel wall time
+  std::uint64_t launches = 0;       ///< times this bin's kernel ran
+};
+
+/// Cost of measuring one tuning candidate (exhaustive tuner / trainer).
+struct CandidateCost {
+  std::string label;         ///< e.g. "U=100", "single-bin", "matrix 3/120"
+  double measure_s = 0.0;    ///< wall time spent measuring the candidate
+  std::int64_t measurements = 0;  ///< timed repetitions / samples harvested
+  double best_s = 0.0;       ///< best measured execution time (0 if n/a)
+};
+
+/// The aggregate profile. One RunProfile typically describes one matrix +
+/// plan; run() calls accumulate into it, so repeated executions average
+/// naturally (divide by `runs`).
+struct RunProfile {
+  std::string label;  ///< free-form: matrix name, bench name, ...
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;
+  std::string plan;  ///< Plan::to_string() of the executed plan
+
+  PlanTiming plan_timing;
+  std::vector<BinRunSample> bins;  ///< ascending bin_id, merged across runs
+  std::uint64_t runs = 0;          ///< run() calls recorded
+  double run_total_s = 0.0;        ///< summed wall time of those calls
+  EngineCountersSnapshot engine;   ///< accumulated launch-counter deltas
+  std::vector<CandidateCost> tuning;
+  double tuning_total_s = 0.0;
+
+  /// Merge one bin execution: accumulates seconds/launches into the
+  /// matching (bin_id, kernel) sample or appends a new one.
+  void add_bin_run(int bin_id, const std::string& kernel,
+                   std::int64_t virtual_rows, std::int64_t rows_covered,
+                   std::int64_t nnz_covered, double seconds);
+
+  /// Append one tuning-candidate cost entry.
+  void add_candidate(const std::string& label, double measure_s,
+                     std::int64_t measurements, double best_s);
+
+  /// Fold an engine-counter delta into the profile (sums flows, maxes the
+  /// arena high-water level).
+  void merge_engine_delta(const EngineCountersSnapshot& delta);
+
+  [[nodiscard]] Json to_json() const;
+  static RunProfile from_json(const Json& j);
+
+  /// Pretty-printed JSON document text.
+  [[nodiscard]] std::string to_json_text(int indent = 2) const;
+};
+
+/// Write `profile` as pretty-printed JSON; throws std::runtime_error when
+/// the file cannot be written.
+void write_profile_file(const std::string& path, const RunProfile& profile);
+
+}  // namespace spmv::prof

@@ -1,0 +1,317 @@
+// spmv::prof: engine counter aggregation under concurrent launches, JSON
+// round-tripping of a RunProfile, and the Tuner facade's telemetry wiring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "autospmv.hpp"
+
+using namespace spmv;
+
+namespace {
+
+// A 4-compute-unit device whose launches in this file stay on the inline
+// fast path (num_groups <= 2), so concurrent Engine::launch calls from
+// many host threads never contend on the shared thread pool.
+clsim::Device small_device() {
+  clsim::Device d;
+  d.compute_units = 4;
+  return d;
+}
+
+}  // namespace
+
+TEST(ProfCounters, DisabledFlagRecordsNothing) {
+  prof::ScopedEnable off(false);
+  clsim::Engine engine(small_device());
+  engine.launch({.num_groups = 2, .group_size = 64},
+                [](clsim::WorkGroup& wg) { wg.local_array<float>(16); });
+  const auto s = engine.counters().snapshot();
+  EXPECT_EQ(s.launches, 0u);
+  EXPECT_EQ(s.groups, 0u);
+  EXPECT_EQ(s.arena_high_water_bytes, 0u);
+}
+
+TEST(ProfCounters, ConcurrentInlineLaunchesAggregate) {
+  prof::ScopedEnable on;
+  clsim::Engine engine(small_device());
+
+  constexpr int kThreads = 8;
+  constexpr int kLaunchesPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine] {
+      for (int i = 0; i < kLaunchesPerThread; ++i) {
+        engine.launch({.num_groups = 2, .group_size = 64},
+                      [](clsim::WorkGroup& wg) {
+                        auto scratch = wg.local_array<float>(64);
+                        scratch[0] = static_cast<float>(wg.group_id());
+                      });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto s = engine.counters().snapshot();
+  EXPECT_EQ(s.launches, static_cast<std::uint64_t>(kThreads) *
+                            kLaunchesPerThread);
+  EXPECT_EQ(s.inline_launches, s.launches);
+  EXPECT_EQ(s.groups, 2 * s.launches);
+  EXPECT_EQ(s.chunks, 0u);  // inline fast path never touches the pool
+  EXPECT_GE(s.arena_high_water_bytes, 64 * sizeof(float));
+}
+
+TEST(ProfCounters, PooledLaunchCountsGroupsAndChunks) {
+  prof::ScopedEnable on;
+  clsim::Engine engine;  // default device: all hardware threads
+  engine.counters().reset();
+  engine.launch({.num_groups = 64, .group_size = 64, .chunk = 4},
+                [](clsim::WorkGroup& wg) { wg.local_array<double>(32); });
+
+  const auto s = engine.counters().snapshot();
+  EXPECT_EQ(s.launches, 1u);
+  EXPECT_EQ(s.groups, 64u);
+  if (engine.device().resolved_compute_units() > 1) {
+    EXPECT_EQ(s.inline_launches, 0u);
+    EXPECT_EQ(s.chunks, 16u);  // ceil(64 / 4)
+  } else {
+    EXPECT_EQ(s.inline_launches, 1u);
+    EXPECT_EQ(s.chunks, 0u);
+  }
+  EXPECT_GE(s.arena_high_water_bytes, 32 * sizeof(double));
+}
+
+TEST(ProfCounters, SnapshotDelta) {
+  prof::EngineCountersSnapshot before{.launches = 2,
+                                      .inline_launches = 1,
+                                      .groups = 10,
+                                      .chunks = 3,
+                                      .arena_high_water_bytes = 128};
+  prof::EngineCountersSnapshot after{.launches = 5,
+                                     .inline_launches = 1,
+                                     .groups = 40,
+                                     .chunks = 9,
+                                     .arena_high_water_bytes = 512};
+  const auto d = after.delta_since(before);
+  EXPECT_EQ(d.launches, 3u);
+  EXPECT_EQ(d.inline_launches, 0u);
+  EXPECT_EQ(d.groups, 30u);
+  EXPECT_EQ(d.chunks, 6u);
+  EXPECT_EQ(d.arena_high_water_bytes, 512u);  // level, not flow
+}
+
+TEST(ProfJson, ScalarAndContainerRoundTrip) {
+  prof::Json obj = prof::Json::object();
+  obj.set("name", "bin \"0\"\n");
+  obj.set("count", std::int64_t{42});
+  obj.set("ratio", 0.125);
+  obj.set("on", true);
+  obj.set("off", prof::Json());
+  prof::Json arr = prof::Json::array();
+  arr.push_back(1);
+  arr.push_back(-2.5);
+  obj.set("items", arr);
+
+  const auto parsed = prof::Json::parse(obj.dump());
+  EXPECT_EQ(parsed.at("name").as_string(), "bin \"0\"\n");
+  EXPECT_EQ(parsed.at("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(parsed.at("ratio").as_number(), 0.125);
+  EXPECT_TRUE(parsed.at("on").as_bool());
+  EXPECT_TRUE(parsed.at("off").is_null());
+  EXPECT_EQ(parsed.at("items").size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.at("items").at(1).as_number(), -2.5);
+  // Compact and pretty dumps parse to the same document.
+  EXPECT_EQ(prof::Json::parse(obj.dump(0)).dump(), parsed.dump());
+}
+
+TEST(ProfJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW(prof::Json::parse(""), std::runtime_error);
+  EXPECT_THROW(prof::Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(prof::Json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(prof::Json::parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(prof::Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(prof::Json::parse("nul"), std::runtime_error);
+}
+
+TEST(ProfRunProfile, JsonRoundTrip) {
+  prof::RunProfile p;
+  p.label = "cant";
+  p.rows = 62451;
+  p.cols = 62451;
+  p.nnz = 4007383;
+  p.plan = "U=100 {bin0:serial, bin3:subvector16}";
+  p.plan_timing = {.features_s = 1e-4, .predict_s = 2e-5, .binning_s = 3e-4};
+  p.add_bin_run(0, "serial", 625, 62451, 3000000, 0.002);
+  p.add_bin_run(0, "serial", 625, 62451, 3000000, 0.001);  // second run
+  p.add_bin_run(3, "subvector16", 10, 1000, 1007383, 0.0005);
+  p.runs = 2;
+  p.run_total_s = 0.0035;
+  p.engine = {.launches = 4,
+              .inline_launches = 1,
+              .groups = 1024,
+              .chunks = 256,
+              .arena_high_water_bytes = 8192};
+  p.add_candidate("U=100", 0.05, 18, 0.002);
+  p.add_candidate("single-bin", 0.04, 9, 0.004);
+
+  const auto restored =
+      prof::RunProfile::from_json(prof::Json::parse(p.to_json_text()));
+  EXPECT_EQ(restored.label, p.label);
+  EXPECT_EQ(restored.rows, p.rows);
+  EXPECT_EQ(restored.nnz, p.nnz);
+  EXPECT_EQ(restored.plan, p.plan);
+  EXPECT_DOUBLE_EQ(restored.plan_timing.features_s, 1e-4);
+  EXPECT_DOUBLE_EQ(restored.plan_timing.total_s(), p.plan_timing.total_s());
+  ASSERT_EQ(restored.bins.size(), 2u);
+  EXPECT_EQ(restored.bins[0].bin_id, 0);
+  EXPECT_EQ(restored.bins[0].kernel, "serial");
+  EXPECT_EQ(restored.bins[0].launches, 2u);  // merged across runs
+  EXPECT_DOUBLE_EQ(restored.bins[0].seconds, 0.003);
+  EXPECT_EQ(restored.bins[1].nnz, 1007383);
+  EXPECT_EQ(restored.runs, 2u);
+  EXPECT_EQ(restored.engine.groups, 1024u);
+  EXPECT_EQ(restored.engine.arena_high_water_bytes, 8192u);
+  ASSERT_EQ(restored.tuning.size(), 2u);
+  EXPECT_EQ(restored.tuning[1].label, "single-bin");
+  EXPECT_DOUBLE_EQ(restored.tuning_total_s, 0.09);
+  // Serializing again is a fixed point.
+  EXPECT_EQ(restored.to_json_text(), p.to_json_text());
+}
+
+TEST(ProfRunProfile, BinSamplesStaySortedByBinId) {
+  prof::RunProfile p;
+  p.add_bin_run(7, "vector", 1, 1, 10, 0.1);
+  p.add_bin_run(2, "serial", 1, 1, 10, 0.1);
+  p.add_bin_run(5, "subvector4", 1, 1, 10, 0.1);
+  ASSERT_EQ(p.bins.size(), 3u);
+  EXPECT_EQ(p.bins[0].bin_id, 2);
+  EXPECT_EQ(p.bins[1].bin_id, 5);
+  EXPECT_EQ(p.bins[2].bin_id, 7);
+}
+
+TEST(Tuner, BuildsProfiledRuntimeAndRecordsRuns) {
+  prof::ScopedEnable on;
+  const auto a = gen::power_law<float>(4000, 4000, 2.0, 200, /*seed=*/7);
+  core::HeuristicPredictor pred;
+  prof::RunProfile profile;
+  const auto spmv =
+      core::Tuner(a).predictor(pred).profile(&profile).build();
+
+  // Plan description is recorded at build time.
+  EXPECT_EQ(profile.rows, a.rows());
+  EXPECT_EQ(profile.nnz, a.nnz());
+  EXPECT_EQ(profile.plan, spmv.plan().to_string());
+  EXPECT_GT(profile.plan_timing.features_s, 0.0);
+  EXPECT_GT(profile.plan_timing.binning_s, 0.0);
+
+  std::vector<float> x(static_cast<std::size_t>(a.cols()), 1.0f);
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  const int kRuns = 3;
+  for (int i = 0; i < kRuns; ++i) spmv.run(x, std::span<float>(y));
+
+  EXPECT_EQ(profile.runs, static_cast<std::uint64_t>(kRuns));
+  EXPECT_GT(profile.run_total_s, 0.0);
+  ASSERT_FALSE(profile.bins.empty());
+  std::int64_t bins_nnz = 0;
+  for (const auto& b : profile.bins) {
+    EXPECT_EQ(b.launches, static_cast<std::uint64_t>(kRuns));
+    EXPECT_GT(b.seconds, 0.0);
+    bins_nnz += b.nnz;
+  }
+  // The occupied bins partition the matrix.
+  EXPECT_EQ(bins_nnz, static_cast<std::int64_t>(a.nnz()));
+  EXPECT_GT(profile.engine.launches, 0u);
+  EXPECT_GT(profile.engine.groups, 0u);
+
+  // Correctness: matches the sequential reference.
+  std::vector<float> expect(static_cast<std::size_t>(a.rows()));
+  kernels::spmv_sequential(a, std::span<const float>(x),
+                           std::span<float>(expect));
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    ASSERT_NEAR(expect[i], y[i], 1e-3f * (std::abs(expect[i]) + 1.0f));
+}
+
+TEST(Tuner, RunOverloadFillsCallerProfile) {
+  const auto a = gen::banded<float>(2000, 9, 0.9, /*seed=*/3);
+  core::HeuristicPredictor pred;
+  const auto spmv = core::Tuner(a).predictor(pred).build();
+  EXPECT_EQ(spmv.profile(), nullptr);
+
+  std::vector<float> x(static_cast<std::size_t>(a.cols()), 1.0f);
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  prof::RunProfile local;
+  spmv.run(std::span<const float>(x), std::span<float>(y), &local);
+  EXPECT_EQ(local.runs, 1u);
+  EXPECT_FALSE(local.bins.empty());
+}
+
+TEST(Tuner, SchemeAndUnitOverrides) {
+  const auto a = gen::power_law<float>(3000, 3000, 2.0, 100, /*seed=*/11);
+  core::HeuristicPredictor pred;
+
+  const auto single =
+      core::Tuner(a).predictor(pred).scheme(binning::SchemeKind::SingleBin)
+          .build();
+  EXPECT_TRUE(single.plan().single_bin);
+  ASSERT_EQ(single.plan().bin_kernels.size(), 1u);
+  EXPECT_EQ(single.plan().bin_kernels[0].bin_id, 0);
+
+  const auto fine =
+      core::Tuner(a).predictor(pred).scheme(binning::SchemeKind::Fine).build();
+  EXPECT_EQ(fine.plan().unit, 1);
+  EXPECT_FALSE(fine.plan().single_bin);
+
+  const auto forced = core::Tuner(a).predictor(pred).unit(50).build();
+  EXPECT_EQ(forced.plan().unit, 50);
+
+  EXPECT_THROW(core::Tuner(a).predictor(pred)
+                   .scheme(binning::SchemeKind::Hybrid)
+                   .build(),
+               std::invalid_argument);
+}
+
+TEST(Tuner, ConfigurationErrors) {
+  const auto a = gen::banded<float>(100, 3, 0.9, /*seed=*/1);
+  EXPECT_THROW(core::Tuner(a).build(), std::logic_error);
+
+  core::Plan plan;
+  plan.unit = 10;
+  plan.bin_kernels.push_back({0, kernels::KernelId::Serial});
+  EXPECT_THROW(core::Tuner(a).plan(plan).unit(10).build(),
+               std::invalid_argument);
+
+  // plan() alone works and executes correctly.
+  const auto spmv = core::Tuner(a).plan(plan).build();
+  EXPECT_EQ(spmv.plan().unit, 10);
+}
+
+TEST(ExhaustiveTune, RecordsPerCandidateCost) {
+  const auto a = gen::power_law<float>(2000, 2000, 2.0, 80, /*seed=*/5);
+  std::vector<float> x(static_cast<std::size_t>(a.cols()), 1.0f);
+  core::CandidatePools pools;
+  pools.units = {10, 100};
+  pools.kernel_pool = {kernels::KernelId::Serial, kernels::KernelId::Sub8};
+  pools.include_single_bin = true;
+
+  prof::RunProfile profile;
+  core::ExhaustiveOptions opts;
+  opts.measure = {.warmup = 0, .reps = 1, .max_total_s = 0.05};
+  opts.profile = &profile;
+  core::exhaustive_tune(clsim::default_engine(), a,
+                        std::span<const float>(x), pools, opts);
+
+  ASSERT_EQ(profile.tuning.size(), 3u);  // U=10, U=100, single-bin
+  EXPECT_EQ(profile.tuning[0].label, "U=10");
+  EXPECT_EQ(profile.tuning[1].label, "U=100");
+  EXPECT_EQ(profile.tuning[2].label, "single-bin");
+  for (const auto& c : profile.tuning) {
+    EXPECT_GT(c.measure_s, 0.0);
+    EXPECT_GT(c.measurements, 0);
+    EXPECT_GT(c.best_s, 0.0);
+  }
+  EXPECT_GE(profile.tuning_total_s,
+            profile.tuning[0].measure_s + profile.tuning[1].measure_s);
+}

@@ -3,15 +3,19 @@
 // Subcommands:
 //   info     --mtx F | --matrix NAME | --family NAME --rows N
 //            print dimensions, Table-I features, and bin layout
-//   tune     (same inputs) exhaustively tune and print the per-U table
-//   run      (same inputs) [--model M] [--reps K]
-//            time auto vs serial/vector/csr-adaptive/merge/omp
+//   tune     (same inputs) [--profile out.json]
+//            exhaustively tune and print the per-U table
+//   run      (same inputs) [--model M] [--reps K] [--profile out.json]
+//            time auto vs serial/vector/csr-adaptive/merge/omp; --profile
+//            writes the auto run's telemetry (plan-stage timings, per-bin
+//            kernel timings, engine launch counters) as JSON
 //   train    [--matrices N] [--out M] train a model on the synthetic corpus
 //   gen      --family NAME --rows N --out F.mtx  write a synthetic matrix
 //
 // Examples:
 //   spmv_tool train --matrices 120 --out model.txt
 //   spmv_tool run --matrix crankseg_2 --model model.txt
+//   spmv_tool run --matrix cant --profile cant.json
 //   spmv_tool tune --family power_law --rows 50000
 #include <cstdio>
 #include <cstring>
@@ -29,7 +33,8 @@ int usage() {
                "usage: spmv_tool <info|tune|run|train|gen> [flags]\n"
                "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
                "               --family <corpus family> --rows N [--param P]\n"
-               "  run flags:   --model model.txt --reps K\n"
+               "  run flags:   --model model.txt --reps K --profile out.json\n"
+               "  tune flags:  --profile out.json\n"
                "  train flags: --matrices N --out model.txt\n"
                "  gen flags:   --out file.mtx --seed S\n");
   return 2;
@@ -96,6 +101,11 @@ int cmd_tune(const util::Cli& cli) {
   core::ExhaustiveOptions opts;
   opts.measure = {.warmup = 1, .reps = 3, .max_total_s = 0.5};
 
+  const std::string profile_path = cli.get("profile");
+  prof::RunProfile profile;
+  profile.label = "spmv_tool tune";
+  if (!profile_path.empty()) opts.profile = &profile;
+
   const auto result = core::exhaustive_tune(
       clsim::default_engine(), a, std::span<const float>(x), pools, opts);
   std::printf("\n%-12s %12s   %s\n", "candidate", "time[ms]",
@@ -114,6 +124,15 @@ int cmd_tune(const util::Cli& cli) {
   }
   std::printf("\nbest plan: %s (%.3f ms end-to-end)\n",
               result.best_plan.to_string().c_str(), 1e3 * result.best_s);
+  if (!profile_path.empty()) {
+    const auto stats = compute_row_stats(a);
+    profile.rows = stats.rows;
+    profile.cols = stats.cols;
+    profile.nnz = stats.nnz;
+    profile.plan = result.best_plan.to_string();
+    prof::write_profile_file(profile_path, profile);
+    std::printf("tuning profile written to %s\n", profile_path.c_str());
+  }
   return 0;
 }
 
@@ -133,7 +152,20 @@ int cmd_run(const util::Cli& cli) {
   } else {
     pred = std::make_unique<core::HeuristicPredictor>();
   }
-  core::AutoSpmv<float> auto_spmv(a, *pred);
+
+  // Telemetry: --profile enables the engine counters and attaches a
+  // RunProfile to the auto runtime, so every timed repetition below also
+  // accumulates per-bin kernel wall time.
+  const std::string profile_path = cli.get("profile");
+  prof::RunProfile profile;
+  profile.label = cli.get("matrix", cli.get("mtx", cli.get("family", "")));
+  prof::set_enabled(!profile_path.empty());
+
+  const auto auto_spmv =
+      core::Tuner(a)
+          .predictor(*pred)
+          .profile(profile_path.empty() ? nullptr : &profile)
+          .build();
   std::printf("auto plan: %s\n\n", auto_spmv.plan().to_string().c_str());
 
   baseline::CsrAdaptive<float> adaptive(a, clsim::default_engine());
@@ -174,6 +206,12 @@ int cmd_run(const util::Cli& cli) {
   for (const auto& row : rows) {
     std::printf("%-14s %12.3f %12.2f\n", row.name, 1e3 * row.seconds,
                 2.0 * static_cast<double>(a.nnz()) / row.seconds * 1e-9);
+  }
+  if (!profile_path.empty()) {
+    prof::write_profile_file(profile_path, profile);
+    std::printf("\nprofile written to %s (%llu runs recorded)\n",
+                profile_path.c_str(),
+                static_cast<unsigned long long>(profile.runs));
   }
   return 0;
 }
