@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     const auto x = random_x(static_cast<std::size_t>(in.a.cols()));
     std::vector<float> y(static_cast<std::size_t>(in.a.rows()));
 
-    core::AutoSpmv<float> homog(in.a, pred);
+    const auto homog = core::Tuner(in.a).predictor(pred).build();
     const double t_homog =
         time_spmv([&] { homog.run(std::span<const float>(x), std::span<float>(y)); });
 

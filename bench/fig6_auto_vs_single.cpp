@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     // kernel-auto.
     core::Plan plan;
     if (model_pred) {
-      core::AutoSpmv<float> spmv(a, *model_pred);
+      const auto spmv = core::Tuner(a).predictor(*model_pred).build();
       plan = spmv.plan();
     } else {
       plan = oracle_plan(a, x, pools);

@@ -1,0 +1,178 @@
+// bench serve_throughput — the serving-layer headline number: requests/sec
+// of the plan-cached, multi-vector-batched SpmvService vs naive per-request
+// plan-and-run (what a client without the serving layer would do: build an
+// AutoSpmv for its matrix, run once, throw it away). Same client count on
+// both sides; the service additionally amortizes planning through the
+// PlanCache and CSR traversals through batching.
+//
+// Each side is measured --reps times and the best wall is reported (the
+// usual defence against scheduler noise on loaded hosts).
+//
+//   serve_throughput [--rows N] [--requests R] [--clients C] [--workers W]
+//                    [--max-batch B] [--reps K] [--profile out.json]
+#include <atomic>
+#include <future>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "bench_common.hpp"
+
+using namespace spmv;
+using namespace spmv::bench;
+
+namespace {
+
+/// Run `fn(request_index)` from `clients` threads until `count` requests
+/// are claimed; returns wall seconds.
+double run_clients(int clients, int count,
+                   const std::function<void(int)>& fn) {
+  std::atomic<int> next{0};
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return wall.elapsed_s();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto rows = static_cast<index_t>(cli.get_int("rows", 20000));
+  const int requests = static_cast<int>(cli.get_int("requests", 128));
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int workers = static_cast<int>(cli.get_int("workers", 2));
+  const int max_batch = static_cast<int>(cli.get_int("max-batch", 8));
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+
+  // Three recurring matrix structures, as a serving workload would see
+  // (e.g. the same operators queried by many clients).
+  std::vector<std::shared_ptr<const CsrMatrix<float>>> mats;
+  mats.push_back(std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(rows, rows, 2.0, 300, 1)));
+  mats.push_back(std::make_shared<const CsrMatrix<float>>(
+      gen::fixed_degree<float>(rows, rows, 6, 2)));
+  mats.push_back(std::make_shared<const CsrMatrix<float>>(
+      gen::banded<float>(rows, 8, 0.7, 3)));
+
+  std::printf("=== bench serve_throughput (rows=%d, requests=%d, "
+              "clients=%d, workers=%d, max_batch=%d) ===\n\n",
+              rows, requests, clients, workers, max_batch);
+
+  // Pre-generate the request stream (matrix round-robin + input vector) so
+  // neither side pays generation inside the timed region.
+  std::vector<const CsrMatrix<float>*> req_mat_raw;
+  std::vector<std::shared_ptr<const CsrMatrix<float>>> req_mat;
+  std::vector<std::vector<float>> req_x;
+  for (int i = 0; i < requests; ++i) {
+    const auto& m = mats[static_cast<std::size_t>(i) % mats.size()];
+    req_mat.push_back(m);
+    req_mat_raw.push_back(m.get());
+    req_x.push_back(
+        random_x(static_cast<std::size_t>(m->cols()),
+                 static_cast<std::uint64_t>(1000 + i)));
+  }
+
+  core::HeuristicPredictor pred;
+
+  // --- Naive: every request plans its own runtime, runs one vector. ------
+  double naive_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    naive_s = std::min(
+        naive_s, run_clients(clients, requests, [&](int i) {
+          const CsrMatrix<float>& a =
+              *req_mat_raw[static_cast<std::size_t>(i)];
+          const auto spmv = core::Tuner(a).predictor(pred).build();
+          std::vector<float> y(static_cast<std::size_t>(a.rows()));
+          spmv.run(req_x[static_cast<std::size_t>(i)], std::span<float>(y));
+        }));
+  }
+
+  // --- Service: shared plan cache + multi-vector batching. ---------------
+  prof::RunProfile profile;
+  profile.label = "serve_throughput";
+  serve::ServiceOptions opts;
+  opts.workers = workers;
+  opts.max_batch = max_batch;
+  opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
+  opts.profile = &profile;
+
+  double serve_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    prof::RunProfile rep_profile;
+    serve::ServiceOptions rep_opts = opts;
+    rep_opts.profile = &rep_profile;
+    serve::SpmvService<float> service(pred, rep_opts);
+    // Warm the cache: planning cost is paid once per structure, off-clock
+    // (a steady-state serving process has a warm cache).
+    for (const auto& m : mats)
+      (void)service.run(m, random_x(static_cast<std::size_t>(m->cols())));
+    // Pipelined clients: submit without blocking, collect afterwards — the
+    // queue depth this builds is what lets the workers form wide batches.
+    std::vector<std::future<std::vector<float>>> futs(
+        static_cast<std::size_t>(requests));
+    util::Timer wall;
+    run_clients(clients, requests, [&](int i) {
+      futs[static_cast<std::size_t>(i)] =
+          service.submit(req_mat[static_cast<std::size_t>(i)],
+                         req_x[static_cast<std::size_t>(i)]);
+    });
+    for (auto& f : futs) (void)f.get();
+    const double wall_s = wall.elapsed_s();
+    service.shutdown();  // flush serve stats into `rep_profile`
+    if (wall_s < serve_s) {
+      serve_s = wall_s;
+      profile.serve = rep_profile.serve;
+    }
+  }
+
+  const double naive_rps = requests / naive_s;
+  const double serve_rps = requests / serve_s;
+  const auto& s = profile.serve;
+  // Mean width over everything recorded (includes the per-matrix warm-up
+  // singles, which slightly understate the steady-state width).
+  const double mean_width =
+      s.batches == 0
+          ? 0.0
+          : static_cast<double>(s.requests) / static_cast<double>(s.batches);
+
+  std::printf("%-26s %14s %14s\n", "strategy", "wall[ms]", "requests/s");
+  rule(58);
+  std::printf("%-26s %14.1f %14.1f\n", "naive plan-and-run",
+              1e3 * naive_s, naive_rps);
+  std::printf("%-26s %14.1f %14.1f\n", "SpmvService (batched)",
+              1e3 * serve_s, serve_rps);
+  rule(58);
+  std::printf("speedup: %.2fx requests/s\n\n", serve_rps / naive_rps);
+
+  std::printf("serve stats: %llu requests in %llu batches "
+              "(mean width %.1f), cache hit rate %.0f%%, "
+              "mean queue wait %.3f ms\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.batches), mean_width,
+              100.0 * s.cache_hit_rate(),
+              s.requests == 0
+                  ? 0.0
+                  : 1e3 * s.queue_wait_total_s /
+                        static_cast<double>(s.requests));
+  std::printf("batch width histogram:");
+  for (std::size_t w = 0; w < s.batch_width_hist.size(); ++w) {
+    if (s.batch_width_hist[w] != 0)
+      std::printf(" %zux%llu", w + 1,
+                  static_cast<unsigned long long>(s.batch_width_hist[w]));
+  }
+  std::printf("\n");
+
+  write_profile(cli, profile);
+  return 0;
+}

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
                          std::span<float>(y), oracle_bins, oracle);
     });
 
-    core::AutoSpmv<float> spmv(a, pred);
+    const auto spmv = core::Tuner(a).predictor(pred).build();
     const double t_pred =
         time_spmv([&] { spmv.run(std::span<const float>(x), std::span<float>(y)); });
     efficiency.push_back(t_oracle / t_pred);

@@ -16,9 +16,11 @@
 //   spmv.run(x, y);
 //   spmv::prof::write_profile_file("run.json", profile);  // JSON artifact
 //
-// The direct AutoSpmv constructors remain as deprecated thin wrappers.
-// Telemetry (spmv::prof) is opt-in: pass a RunProfile* for plan/run
-// timings and enable spmv::prof::set_enabled(true) for engine counters.
+// The Tuner is the only way to construct an AutoSpmv (the former direct
+// constructors are gone). Telemetry (spmv::prof) is opt-in: pass a
+// RunProfile* for plan/run timings and enable spmv::prof::set_enabled(true)
+// for engine counters. For concurrent serving with a plan cache and
+// multi-vector batching, see spmv::serve::SpmvService (serve/service.hpp).
 #pragma once
 
 #include "baseline/csr_adaptive.hpp"    // CSR-Adaptive baseline
@@ -49,6 +51,9 @@
 #include "prof/counters.hpp"            // telemetry flag & engine counters
 #include "prof/json.hpp"                // minimal JSON value type
 #include "prof/profile.hpp"             // RunProfile telemetry aggregate
+#include "serve/fingerprint.hpp"        // structural matrix fingerprints
+#include "serve/plan_cache.hpp"         // LRU cache of built runtimes
+#include "serve/service.hpp"            // concurrent serving layer
 #include "sparse/convert.hpp"           // COO<->CSR, transpose
 #include "sparse/coo.hpp"               // COO container
 #include "sparse/csr.hpp"               // CSR container

@@ -27,6 +27,11 @@ void cpu_relax() {
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
 
+  /// Held by the submitting thread for the whole publish/run/join cycle:
+  /// the job fields below describe exactly one job at a time. Contending
+  /// submitters do not wait — they take the serial path instead.
+  std::mutex submit_mutex;
+
   std::mutex mutex;
   std::condition_variable cv;
   std::atomic<bool> stop{false};
@@ -126,9 +131,7 @@ void ThreadPool::parallel_for(std::int64_t n, int chunk, int max_threads,
 
   const int helpers = std::min<int>(
       static_cast<int>(impl_->workers.size()), std::max(0, max_threads - 1));
-  // Serial paths: nested call, single thread requested, or a loop so small
-  // that waking workers costs more than the work.
-  if (t_in_pool_region || helpers == 0 || n <= chunk) {
+  const auto run_serial = [&] {
     const bool was_in_region = t_in_pool_region;
     t_in_pool_region = true;
     std::exception_ptr local_error;
@@ -139,6 +142,20 @@ void ThreadPool::parallel_for(std::int64_t n, int chunk, int max_threads,
     }
     t_in_pool_region = was_in_region;
     if (local_error) std::rethrow_exception(local_error);
+  };
+  // Serial paths: nested call, single thread requested, or a loop so small
+  // that waking workers costs more than the work.
+  if (t_in_pool_region || helpers == 0 || n <= chunk) {
+    run_serial();
+    return;
+  }
+
+  // One job owns the pool at a time. A submitter that loses the race runs
+  // its loop on its own thread — it is itself one of several concurrent
+  // clients, so the machine stays as busy either way.
+  std::unique_lock<std::mutex> submit(impl_->submit_mutex, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    run_serial();
     return;
   }
 

@@ -6,6 +6,12 @@
 // a plan that dispatches one kernel per bin (up to 100 launches per SpMV)
 // pays dispatch costs comparable to the paper's HSA queues rather than an
 // OpenMP parallel-region fork per bin.
+//
+// Concurrent submitters (e.g. spmv::serve worker threads each driving
+// Engine::launch) are supported: the pool executes one job at a time, and
+// a submitter that finds the pool busy runs its own loop serially on the
+// calling thread instead of waiting — the same degradation nested calls
+// get, and total CPU occupancy stays the same either way.
 #pragma once
 
 #include <cstdint>
@@ -25,8 +31,9 @@ class ThreadPool {
   /// participates and counts toward the limit). Blocks until all groups
   /// finish; the first exception thrown by any group is rethrown.
   ///
-  /// Re-entrant calls (fn itself calling parallel_for) degrade to serial
-  /// execution of the nested loop.
+  /// Re-entrant calls (fn itself calling parallel_for) and calls arriving
+  /// while another thread's job is in flight degrade to serial execution
+  /// of the loop on the calling thread.
   void parallel_for(std::int64_t n, int chunk, int max_threads, void* ctx,
                     GroupFn fn);
 

@@ -37,6 +37,7 @@ template <typename T>
 AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan,
                       const clsim::Engine& engine, prof::RunProfile* profile)
     : a_(a), engine_(engine), profile_(profile), plan_(std::move(plan)) {
+  plan_.normalize();  // external plans may violate the ascending invariant
   prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
   {
     prof::ScopedTimer t(pt != nullptr ? &pt->features_s : nullptr);
@@ -62,6 +63,12 @@ template <typename T>
 void AutoSpmv<T>::run(std::span<const T> x, std::span<T> y,
                       prof::RunProfile* profile) const {
   execute_plan(engine_, a_, x, y, bins_, plan_, profile);
+}
+
+template <typename T>
+void AutoSpmv<T>::run_batch(std::span<const T> x, std::span<T> y, int batch,
+                            prof::RunProfile* profile) const {
+  execute_plan_batch(engine_, a_, x, y, batch, bins_, plan_, profile);
 }
 
 template class AutoSpmv<float>;

@@ -32,25 +32,6 @@ class Tuner;
 template <typename T>
 class AutoSpmv {
  public:
-  /// Plan SpMV for `a`: feature extraction + stage-1/stage-2 prediction +
-  /// binning. `a` must outlive this object; `predictor` and `engine` are
-  /// only used during construction and run() respectively.
-  ///
-  /// Deprecated entry point: prefer Tuner(a).predictor(p).build(), which
-  /// also exposes engine/scheme/profile configuration. Kept as a thin
-  /// wrapper for source compatibility.
-  AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
-           const clsim::Engine& engine = clsim::default_engine())
-      : AutoSpmv(a, predictor, engine, nullptr, std::nullopt) {}
-
-  /// Build an AutoSpmv around an externally produced plan (e.g. the
-  /// exhaustive tuner's oracle plan).
-  ///
-  /// Deprecated entry point: prefer Tuner(a).plan(p).build().
-  AutoSpmv(const CsrMatrix<T>& a, Plan plan,
-           const clsim::Engine& engine = clsim::default_engine())
-      : AutoSpmv(a, std::move(plan), engine, nullptr) {}
-
   /// y = A*x through the planned per-bin kernels. Records into the
   /// profile attached at build time, if any.
   void run(std::span<const T> x, std::span<T> y) const {
@@ -62,6 +43,20 @@ class AutoSpmv {
   /// skips all recording; repeated calls accumulate (see RunProfile).
   void run(std::span<const T> x, std::span<T> y,
            prof::RunProfile* profile) const;
+
+  /// Batched Y = A·X: `batch` input vectors stored column-major in `x`
+  /// (each a.cols() long; see kernels::batch_column), results in the
+  /// matching columns of `y` (each a.rows() long). The per-bin plan and —
+  /// for kernels with a native batched variant — the CSR traversal are
+  /// shared across the whole batch; the rest loop per vector.
+  void run_batch(std::span<const T> x, std::span<T> y, int batch) const {
+    run_batch(x, y, batch, profile_);
+  }
+
+  /// Batched run recording telemetry into `profile` (one run() sample for
+  /// the whole batch).
+  void run_batch(std::span<const T> x, std::span<T> y, int batch,
+                 prof::RunProfile* profile) const;
 
   [[nodiscard]] const Plan& plan() const { return plan_; }
   [[nodiscard]] const binning::BinSet& bins() const { return bins_; }

@@ -75,6 +75,43 @@ void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
       engine.counters().snapshot().delta_since(before));
 }
 
+template <typename T>
+void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                        std::span<const T> x, std::span<T> y, int batch,
+                        const binning::BinSet& bins, const Plan& plan,
+                        prof::RunProfile* profile) {
+  if (bins.unit() != plan.unit)
+    throw std::invalid_argument("execute_plan_batch: bins/plan unit mismatch");
+  if (profile == nullptr) {
+    for (const BinPlan& bp : plan.bin_kernels) {
+      const auto& vrows = bins.bin(bp.bin_id);
+      if (vrows.empty()) continue;
+      kernels::run_binned_batch(bp.kernel, engine, a, x, y, batch, vrows,
+                                bins.unit());
+    }
+    return;
+  }
+  const auto before = engine.counters().snapshot();
+  util::Timer total;
+  for (const BinPlan& bp : plan.bin_kernels) {
+    const auto& vrows = bins.bin(bp.bin_id);
+    if (vrows.empty()) continue;
+    util::Timer t;
+    kernels::run_binned_batch(bp.kernel, engine, a, x, y, batch, vrows,
+                              bins.unit());
+    profile->add_bin_run(bp.bin_id, kernels::kernel_name(bp.kernel),
+                         static_cast<std::int64_t>(vrows.size()),
+                         bins.rows_in_bin(bp.bin_id),
+                         bin_nnz(a, std::span<const index_t>(vrows),
+                                 bins.unit()),
+                         t.elapsed_s());
+  }
+  profile->runs += 1;
+  profile->run_total_s += total.elapsed_s();
+  profile->merge_engine_delta(
+      engine.counters().snapshot().delta_since(before));
+}
+
 namespace {
 
 /// Measure the best kernel for each occupied bin of `bins`.
@@ -192,6 +229,10 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
                              std::span<const T>, std::span<T>,               \
                              const binning::BinSet&, const Plan&,            \
                              prof::RunProfile*);                             \
+  template void execute_plan_batch(const clsim::Engine&, const CsrMatrix<T>&,\
+                                   std::span<const T>, std::span<T>, int,    \
+                                   const binning::BinSet&, const Plan&,      \
+                                   prof::RunProfile*);                       \
   template TuneResult exhaustive_tune(const clsim::Engine&,                  \
                                       const CsrMatrix<T>&,                   \
                                       std::span<const T>,                    \

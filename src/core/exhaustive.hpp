@@ -38,6 +38,17 @@ void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
                   const binning::BinSet& bins, const Plan& plan,
                   prof::RunProfile* profile);
 
+/// Batched Y = A·X through `plan`: `batch` input vectors stored
+/// column-major in `x` (each a.cols() long), results in the matching
+/// columns of `y` (each a.rows() long). Per-bin kernels with a native
+/// batched variant share one CSR traversal across the batch; the rest
+/// loop one single-vector launch per column (see kernels::run_binned_batch).
+template <typename T>
+void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                        std::span<const T> x, std::span<T> y, int batch,
+                        const binning::BinSet& bins, const Plan& plan,
+                        prof::RunProfile* profile = nullptr);
+
 /// Tuning result for one candidate granularity.
 struct UnitResult {
   index_t unit = 1;
@@ -86,6 +97,11 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
                                     const CsrMatrix<T>&, std::span<const T>, \
                                     std::span<T>, const binning::BinSet&,    \
                                     const Plan&, prof::RunProfile*);         \
+  extern template void execute_plan_batch(const clsim::Engine&,              \
+                                          const CsrMatrix<T>&,               \
+                                          std::span<const T>, std::span<T>,  \
+                                          int, const binning::BinSet&,       \
+                                          const Plan&, prof::RunProfile*);   \
   extern template TuneResult exhaustive_tune(                                \
       const clsim::Engine&, const CsrMatrix<T>&, std::span<const T>,         \
       const CandidatePools&, const ExhaustiveOptions&);

@@ -3,6 +3,7 @@
 // chosen for each occupied bin.
 #pragma once
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,14 +30,27 @@ struct Plan {
   /// has exactly one entry with bin_id 0.
   std::vector<BinPlan> bin_kernels;
 
-  /// Kernel for `bin_id`; throws std::out_of_range when the plan has no
-  /// entry for it (i.e. the bin was empty at planning time).
+  /// Restore the ascending-bin_id invariant. Plans built by the library
+  /// already satisfy it (occupied_bins() iterates in order); call this on
+  /// externally assembled plans before relying on kernel_for.
+  void normalize() {
+    std::sort(bin_kernels.begin(), bin_kernels.end(),
+              [](const BinPlan& l, const BinPlan& r) {
+                return l.bin_id < r.bin_id;
+              });
+  }
+
+  /// Kernel for `bin_id`, by binary search over the ascending bin_kernels;
+  /// throws std::out_of_range when the plan has no entry for it (i.e. the
+  /// bin was empty at planning time).
   [[nodiscard]] kernels::KernelId kernel_for(int bin_id) const {
-    for (const BinPlan& bp : bin_kernels) {
-      if (bp.bin_id == bin_id) return bp.kernel;
-    }
-    throw std::out_of_range("Plan: no kernel for bin " +
-                            std::to_string(bin_id));
+    const auto it = std::lower_bound(
+        bin_kernels.begin(), bin_kernels.end(), bin_id,
+        [](const BinPlan& bp, int id) { return bp.bin_id < id; });
+    if (it == bin_kernels.end() || it->bin_id != bin_id)
+      throw std::out_of_range("Plan: no kernel for bin " +
+                              std::to_string(bin_id));
+    return it->kernel;
   }
 
   /// One-line human-readable summary, e.g.

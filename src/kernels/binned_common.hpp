@@ -35,4 +35,16 @@ struct RowMap {
   }
 };
 
+/// Column-major multi-vector batch layout: `width` dense vectors of length
+/// `len` stored back to back, vector b occupying [b*len, (b+1)*len). This
+/// is the layout batched execution (Y = A·X) and the serving layer's
+/// request coalescing use; column(b) recovers one vector's span.
+template <typename T>
+[[nodiscard]] inline std::span<T> batch_column(std::span<T> data, index_t len,
+                                               int b) {
+  return data.subspan(static_cast<std::size_t>(b) *
+                          static_cast<std::size_t>(len),
+                      static_cast<std::size_t>(len));
+}
+
 }  // namespace spmv::kernels

@@ -80,11 +80,90 @@ void kernel_serial(const clsim::Engine& engine, const CsrMatrix<T>& a,
   });
 }
 
+// Same wavefront machinery as kernel_serial, but each lane carries `batch`
+// accumulators: one lockstep step reads one (value, column) pair and feeds
+// every vector of the batch, so the CSR traversal — the kernel's dominant
+// memory traffic — is amortized across the whole batch.
+template <typename T>
+void kernel_serial_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                         std::span<const T> x, std::span<T> y, int batch,
+                         std::span<const index_t> vrows, index_t unit) {
+  const RowMap map{vrows, unit, a.rows()};
+  const std::int64_t slots = map.total_slots();
+  if (slots == 0 || batch <= 0) return;
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+  clsim::LaunchParams lp;
+  lp.num_groups = clsim::div_up(static_cast<std::size_t>(slots), kGroupSize);
+  lp.group_size = kGroupSize;
+  lp.chunk = 16;
+
+  engine.launch(lp, [&](clsim::WorkGroup& wg) {
+    auto pos = wg.local_array<offset_t>(kWavefront);
+    auto end = wg.local_array<offset_t>(kWavefront);
+    auto row = wg.local_array<index_t>(kWavefront);
+    auto acc = wg.local_array<T>(static_cast<std::size_t>(kWavefront) *
+                                 static_cast<std::size_t>(batch));
+
+    const std::int64_t group_base =
+        static_cast<std::int64_t>(wg.group_id()) * kGroupSize;
+    for (int wave = 0; wave < kGroupSize / kWavefront; ++wave) {
+      const std::int64_t wave_base = group_base + wave * kWavefront;
+      for (int t = 0; t < kWavefront; ++t) {
+        const std::int64_t s = wave_base + t;
+        const index_t r = s < slots ? map.slot_to_row(s) : index_t{-1};
+        row[t] = r;
+        if (r >= 0) {
+          pos[t] = row_ptr[static_cast<std::size_t>(r)];
+          end[t] = row_ptr[static_cast<std::size_t>(r) + 1];
+        } else {
+          pos[t] = end[t] = 0;
+        }
+        for (int b = 0; b < batch; ++b) acc[t * batch + b] = T{};
+      }
+      bool active = true;
+      while (active) {
+        active = false;
+        for (int t = 0; t < kWavefront; ++t) {
+          if (pos[t] < end[t]) {
+            const auto j = static_cast<std::size_t>(pos[t]);
+            const T v = vals[j];
+            const auto c = static_cast<std::size_t>(col_idx[j]);
+            for (int b = 0; b < batch; ++b)
+              acc[t * batch + b] += v * x[static_cast<std::size_t>(b) * n + c];
+            ++pos[t];
+            active = true;
+          }
+        }
+      }
+      for (int t = 0; t < kWavefront; ++t) {
+        if (row[t] < 0) continue;
+        const auto r = static_cast<std::size_t>(row[t]);
+        for (int b = 0; b < batch; ++b)
+          y[static_cast<std::size_t>(b) * m + r] = acc[t * batch + b];
+      }
+    }
+  });
+}
+
 template void kernel_serial(const clsim::Engine&, const CsrMatrix<float>&,
                             std::span<const float>, std::span<float>,
                             std::span<const index_t>, index_t);
 template void kernel_serial(const clsim::Engine&, const CsrMatrix<double>&,
                             std::span<const double>, std::span<double>,
                             std::span<const index_t>, index_t);
+template void kernel_serial_batch(const clsim::Engine&,
+                                  const CsrMatrix<float>&,
+                                  std::span<const float>, std::span<float>,
+                                  int, std::span<const index_t>, index_t);
+template void kernel_serial_batch(const clsim::Engine&,
+                                  const CsrMatrix<double>&,
+                                  std::span<const double>, std::span<double>,
+                                  int, std::span<const index_t>, index_t);
 
 }  // namespace spmv::kernels

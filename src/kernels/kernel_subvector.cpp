@@ -85,6 +85,89 @@ void kernel_subvector(const clsim::Engine& engine, const CsrMatrix<T>& a,
   });
 }
 
+// Batched variant: the expensive part of a chunk — loading vals/col_idx —
+// is staged into local memory once, then each vector of the batch forms
+// its products against the staged pairs and reduces. The zero-padded
+// segmented reduction (the GPU cost signature) still runs once per column.
+template <typename T, int X>
+void kernel_subvector_batch(const clsim::Engine& engine,
+                            const CsrMatrix<T>& a, std::span<const T> x,
+                            std::span<T> y, int batch,
+                            std::span<const index_t> vrows, index_t unit) {
+  static_assert(X >= 2 && X <= 128 && (X & (X - 1)) == 0,
+                "subvector width must be a power of two in [2, 128]");
+  const RowMap map{vrows, unit, a.rows()};
+  const std::int64_t slots = map.total_slots();
+  if (slots == 0 || batch <= 0) return;
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto vals = a.vals();
+
+  constexpr int kRowsPerGroup = kGroupSize / X;
+  constexpr int kChunk = kFactor * X;
+
+  clsim::LaunchParams lp;
+  lp.num_groups =
+      clsim::div_up(static_cast<std::size_t>(slots), kRowsPerGroup);
+  lp.group_size = kGroupSize;
+  lp.chunk = X >= 32 ? 4 : 8;
+
+  engine.launch(lp, [&](clsim::WorkGroup& wg) {
+    // Per-subgroup slices as in the single-vector kernel, plus a staging
+    // area for the chunk's (value, column) pairs and per-batch sums.
+    auto val_stage = wg.local_array<T>(kFactor * kGroupSize);
+    auto col_stage = wg.local_array<index_t>(kFactor * kGroupSize);
+    auto local_mem = wg.local_array<T>(kFactor * kGroupSize);
+    auto sums = wg.local_array<T>(static_cast<std::size_t>(kRowsPerGroup) *
+                                  static_cast<std::size_t>(batch));
+
+    const std::int64_t group_base =
+        static_cast<std::int64_t>(wg.group_id()) * kRowsPerGroup;
+    for (int s = 0; s < kRowsPerGroup; ++s) {
+      const std::int64_t slot = group_base + s;
+      if (slot >= slots) break;
+      const index_t r = map.slot_to_row(slot);
+      if (r < 0) continue;
+
+      T* vb = val_stage.data() + static_cast<std::size_t>(s) * kChunk;
+      index_t* cb = col_stage.data() + static_cast<std::size_t>(s) * kChunk;
+      T* buf = local_mem.data() + static_cast<std::size_t>(s) * kChunk;
+      T* sum = sums.data() + static_cast<std::size_t>(s) *
+                                 static_cast<std::size_t>(batch);
+      const offset_t row_start = row_ptr[static_cast<std::size_t>(r)];
+      const offset_t row_end = row_ptr[static_cast<std::size_t>(r) + 1];
+
+      for (int b = 0; b < batch; ++b) sum[b] = T{};
+      for (offset_t base = row_start; base < row_end; base += kChunk) {
+        const int len =
+            static_cast<int>(std::min<offset_t>(kChunk, row_end - base));
+        // Coalesced stage, once for the whole batch.
+        for (int k = 0; k < len; ++k) {
+          const auto j = static_cast<std::size_t>(base + k);
+          vb[k] = vals[j];
+          cb[k] = col_idx[j];
+        }
+        for (int b = 0; b < batch; ++b) {
+          const T* xb = x.data() + static_cast<std::size_t>(b) * n;
+          for (int k = 0; k < len; ++k)
+            buf[k] = vb[k] * xb[static_cast<std::size_t>(cb[k])];
+          for (int k = len; k < kChunk; ++k) buf[k] = T{};  // idle lanes
+          for (int stride = kChunk / 2; stride >= 1; stride /= 2) {
+            for (int k = 0; k < stride; ++k) buf[k] += buf[k + stride];
+          }
+          sum[b] += buf[0];
+        }
+      }
+      for (int b = 0; b < batch; ++b)
+        y[static_cast<std::size_t>(b) * m + static_cast<std::size_t>(r)] =
+            sum[b];
+    }
+  });
+}
+
 #define SPMV_SUBVECTOR_INSTANTIATE(T)                                       \
   template void kernel_subvector<T, 2>(const clsim::Engine&,                \
                                        const CsrMatrix<T>&,                 \
@@ -114,6 +197,22 @@ void kernel_subvector(const clsim::Engine& engine, const CsrMatrix<T>& a,
                                          const CsrMatrix<T>&,               \
                                          std::span<const T>, std::span<T>,  \
                                          std::span<const index_t>, index_t);
+#define SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, X)                               \
+  template void kernel_subvector_batch<T, X>(                                \
+      const clsim::Engine&, const CsrMatrix<T>&, std::span<const T>,         \
+      std::span<T>, int, std::span<const index_t>, index_t);
+#define SPMV_SUBVECTOR_BATCH_INSTANTIATE_ALL(T)                              \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 2)                                     \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 4)                                     \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 8)                                     \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 16)                                    \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 32)                                    \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 64)                                    \
+  SPMV_SUBVECTOR_BATCH_INSTANTIATE(T, 128)
+SPMV_SUBVECTOR_BATCH_INSTANTIATE_ALL(float)
+SPMV_SUBVECTOR_BATCH_INSTANTIATE_ALL(double)
+#undef SPMV_SUBVECTOR_BATCH_INSTANTIATE_ALL
+#undef SPMV_SUBVECTOR_BATCH_INSTANTIATE
 SPMV_SUBVECTOR_INSTANTIATE(float)
 SPMV_SUBVECTOR_INSTANTIATE(double)
 #undef SPMV_SUBVECTOR_INSTANTIATE

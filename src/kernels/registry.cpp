@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "binning/binning.hpp"
+#include "kernels/binned_common.hpp"
 
 namespace spmv::kernels {
 
@@ -88,12 +89,120 @@ void run_full(KernelId id, const clsim::Engine& engine, const CsrMatrix<T>& a,
   run_binned(id, engine, a, x, y, vrows, 1);
 }
 
+bool has_batched_variant(KernelId id) { return id != KernelId::Vector; }
+
+namespace {
+
+/// Widest native batch whose local-memory footprint fits the device's
+/// 32 KiB arena (mirrors the local_array calls in kernel_serial_batch /
+/// kernel_subvector_batch). 0 = no native variant; callers slice wider
+/// batches into limit-sized launches.
+template <typename T>
+int native_batch_limit(KernelId id) {
+  constexpr std::size_t kArena = 32 * 1024;
+  constexpr std::size_t kGroup = 256, kWave = 64, kFactor = 4;
+  std::size_t fixed = 0, per_batch = 0;
+  if (id == KernelId::Serial) {
+    fixed = kWave * (2 * sizeof(offset_t) + sizeof(index_t));
+    per_batch = kWave * sizeof(T);  // one accumulator lane per wavefront
+  } else if (has_batched_variant(id)) {
+    // val/col stage + reduction buffer, plus per-subgroup batch sums.
+    fixed = kFactor * kGroup * (2 * sizeof(T) + sizeof(index_t));
+    per_batch = (kGroup / static_cast<std::size_t>(lanes_per_row(id))) *
+                sizeof(T);
+  } else {
+    return 0;
+  }
+  if (fixed >= kArena) return 0;
+  const auto limit = static_cast<int>((kArena - fixed) / per_batch);
+  return std::min(limit, kMaxNativeBatch);
+}
+
+/// Dispatch one native batched launch (batch within native_batch_limit).
+template <typename T>
+void run_native_batch(KernelId id, const clsim::Engine& engine,
+                      const CsrMatrix<T>& a, std::span<const T> x,
+                      std::span<T> y, int batch,
+                      std::span<const index_t> vrows, index_t unit) {
+  switch (id) {
+    case KernelId::Serial:
+      return kernel_serial_batch(engine, a, x, y, batch, vrows, unit);
+    case KernelId::Sub2:
+      return kernel_subvector_batch<T, 2>(engine, a, x, y, batch, vrows, unit);
+    case KernelId::Sub4:
+      return kernel_subvector_batch<T, 4>(engine, a, x, y, batch, vrows, unit);
+    case KernelId::Sub8:
+      return kernel_subvector_batch<T, 8>(engine, a, x, y, batch, vrows, unit);
+    case KernelId::Sub16:
+      return kernel_subvector_batch<T, 16>(engine, a, x, y, batch, vrows,
+                                           unit);
+    case KernelId::Sub32:
+      return kernel_subvector_batch<T, 32>(engine, a, x, y, batch, vrows,
+                                           unit);
+    case KernelId::Sub64:
+      return kernel_subvector_batch<T, 64>(engine, a, x, y, batch, vrows,
+                                           unit);
+    case KernelId::Sub128:
+      return kernel_subvector_batch<T, 128>(engine, a, x, y, batch, vrows,
+                                            unit);
+    case KernelId::Vector:
+      break;
+  }
+  throw std::invalid_argument("run_native_batch: kernel has no batched variant");
+}
+
+}  // namespace
+
+template <typename T>
+void run_binned_batch(KernelId id, const clsim::Engine& engine,
+                      const CsrMatrix<T>& a, std::span<const T> x,
+                      std::span<T> y, int batch,
+                      std::span<const index_t> vrows, index_t unit) {
+  if (batch <= 0)
+    throw std::invalid_argument("run_binned_batch: batch must be positive");
+  if (x.size() != static_cast<std::size_t>(a.cols()) *
+                      static_cast<std::size_t>(batch) ||
+      y.size() != static_cast<std::size_t>(a.rows()) *
+                      static_cast<std::size_t>(batch))
+    throw std::invalid_argument("run_binned_batch: X/Y extents do not match "
+                                "cols*batch / rows*batch");
+  if (batch == 1) return run_binned(id, engine, a, x, y, vrows, unit);
+  const int limit = native_batch_limit<T>(id);
+  if (limit >= 2) {
+    // Native path, sliced so each launch's accumulators fit the arena.
+    const auto cols = static_cast<std::size_t>(a.cols());
+    const auto rows = static_cast<std::size_t>(a.rows());
+    for (int b0 = 0; b0 < batch; b0 += limit) {
+      const int w = std::min(limit, batch - b0);
+      const auto xw = x.subspan(static_cast<std::size_t>(b0) * cols,
+                                static_cast<std::size_t>(w) * cols);
+      const auto yw = y.subspan(static_cast<std::size_t>(b0) * rows,
+                                static_cast<std::size_t>(w) * rows);
+      if (w == 1) {
+        run_binned(id, engine, a, xw, yw, vrows, unit);
+      } else {
+        run_native_batch(id, engine, a, xw, yw, w, vrows, unit);
+      }
+    }
+    return;
+  }
+  // Fallback: one single-vector launch per batch column.
+  for (int b = 0; b < batch; ++b) {
+    run_binned(id, engine, a, batch_column(x, a.cols(), b),
+               batch_column(y, a.rows(), b), vrows, unit);
+  }
+}
+
 #define SPMV_REGISTRY_INSTANTIATE(T)                                         \
   template void run_binned(KernelId, const clsim::Engine&,                   \
                            const CsrMatrix<T>&, std::span<const T>,          \
                            std::span<T>, std::span<const index_t>, index_t); \
   template void run_full(KernelId, const clsim::Engine&, const CsrMatrix<T>&,\
-                         std::span<const T>, std::span<T>);
+                         std::span<const T>, std::span<T>);                  \
+  template void run_binned_batch(KernelId, const clsim::Engine&,             \
+                                 const CsrMatrix<T>&, std::span<const T>,    \
+                                 std::span<T>, int,                          \
+                                 std::span<const index_t>, index_t);
 SPMV_REGISTRY_INSTANTIATE(float)
 SPMV_REGISTRY_INSTANTIATE(double)
 #undef SPMV_REGISTRY_INSTANTIATE

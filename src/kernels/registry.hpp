@@ -56,6 +56,26 @@ template <typename T>
 void run_full(KernelId id, const clsim::Engine& engine, const CsrMatrix<T>& a,
               std::span<const T> x, std::span<T> y);
 
+/// Widest batch the native multi-vector kernels support in one launch —
+/// bounded by the per-lane accumulator block (wavefront * batch values)
+/// fitting the device's 32 KiB local-memory arena with headroom.
+inline constexpr int kMaxNativeBatch = 32;
+
+/// True when `id` has a native multi-vector variant; run_binned_batch
+/// loops the single-vector kernel per column for the rest.
+bool has_batched_variant(KernelId id);
+
+/// Batched Y = A·X over the bin's rows: `batch` input vectors stored
+/// column-major in `x` (batch_column layout, each a.cols() long), results
+/// written to the matching columns of `y` (each a.rows() long). Kernels
+/// with a native batched variant traverse the CSR arrays once for the
+/// whole batch; the rest fall back to one single-vector launch per column.
+template <typename T>
+void run_binned_batch(KernelId id, const clsim::Engine& engine,
+                      const CsrMatrix<T>& a, std::span<const T> x,
+                      std::span<T> y, int batch,
+                      std::span<const index_t> vrows, index_t unit);
+
 // --- individual kernels (implemented in kernel_*.cpp) -----------------
 
 /// Algorithm 3: one lane per row, lockstep within each 64-lane wavefront.
@@ -64,12 +84,29 @@ void kernel_serial(const clsim::Engine& engine, const CsrMatrix<T>& a,
                    std::span<const T> x, std::span<T> y,
                    std::span<const index_t> vrows, index_t unit);
 
+/// Batched Kernel-Serial: one lane per row carrying `batch` accumulators,
+/// so the lockstep CSR traversal (vals/col_idx reads, divergence cost) is
+/// paid once for the whole batch instead of once per vector.
+template <typename T>
+void kernel_serial_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                         std::span<const T> x, std::span<T> y, int batch,
+                         std::span<const index_t> vrows, index_t unit);
+
 /// Algorithm 4: X lanes per row; products staged through a factor*X-wide
 /// local buffer and combined with a segmented parallel reduction.
 template <typename T, int X>
 void kernel_subvector(const clsim::Engine& engine, const CsrMatrix<T>& a,
                       std::span<const T> x, std::span<T> y,
                       std::span<const index_t> vrows, index_t unit);
+
+/// Batched Kernel-SubvectorX: each chunk's (value, column) pairs are staged
+/// into local memory once and reused for every vector of the batch, so the
+/// CSR traversal is paid once while products/reductions run per column.
+template <typename T, int X>
+void kernel_subvector_batch(const clsim::Engine& engine,
+                            const CsrMatrix<T>& a, std::span<const T> x,
+                            std::span<T> y, int batch,
+                            std::span<const index_t> vrows, index_t unit);
 
 /// Algorithm 5: the whole 256-lane work-group on one row.
 template <typename T>
@@ -85,10 +122,20 @@ void kernel_vector(const clsim::Engine& engine, const CsrMatrix<T>& a,
   extern template void run_full(KernelId, const clsim::Engine&,              \
                                 const CsrMatrix<T>&, std::span<const T>,     \
                                 std::span<T>);                               \
+  extern template void run_binned_batch(KernelId, const clsim::Engine&,      \
+                                        const CsrMatrix<T>&,                 \
+                                        std::span<const T>, std::span<T>,    \
+                                        int, std::span<const index_t>,       \
+                                        index_t);                            \
   extern template void kernel_serial(const clsim::Engine&,                   \
                                      const CsrMatrix<T>&, std::span<const T>,\
                                      std::span<T>, std::span<const index_t>, \
                                      index_t);                               \
+  extern template void kernel_serial_batch(const clsim::Engine&,             \
+                                           const CsrMatrix<T>&,              \
+                                           std::span<const T>, std::span<T>, \
+                                           int, std::span<const index_t>,    \
+                                           index_t);                         \
   extern template void kernel_vector(const clsim::Engine&,                   \
                                      const CsrMatrix<T>&, std::span<const T>,\
                                      std::span<T>, std::span<const index_t>, \

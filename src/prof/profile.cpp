@@ -109,6 +109,26 @@ Json RunProfile::to_json() const {
   }
   tuning_j.set("candidates", cands);
   j.set("tuning", tuning_j);
+
+  if (!serve.empty()) {
+    Json sv = Json::object();
+    sv.set("requests", serve.requests);
+    sv.set("rejected", serve.rejected);
+    sv.set("batches", serve.batches);
+    sv.set("queue_wait_total_s", serve.queue_wait_total_s);
+    sv.set("queue_wait_max_s", serve.queue_wait_max_s);
+    sv.set("exec_total_s", serve.exec_total_s);
+    Json cache = Json::object();
+    cache.set("hits", serve.cache_hits);
+    cache.set("misses", serve.cache_misses);
+    cache.set("evictions", serve.cache_evictions);
+    cache.set("hit_rate", serve.cache_hit_rate());
+    sv.set("cache", cache);
+    Json hist = Json::array();
+    for (std::uint64_t n : serve.batch_width_hist) hist.push_back(n);
+    sv.set("batch_width_hist", hist);
+    j.set("serve", sv);
+  }
   return j;
 }
 
@@ -158,6 +178,22 @@ RunProfile RunProfile::from_json(const Json& j) {
     c.measurements = cj.at("measurements").as_int();
     c.best_s = cj.at("best_s").as_number();
     p.tuning.push_back(std::move(c));
+  }
+
+  // Optional: only present when a serving layer recorded into the profile.
+  if (const Json* sv = j.find("serve"); sv != nullptr) {
+    p.serve.requests = sv->at("requests").as_uint();
+    p.serve.rejected = sv->at("rejected").as_uint();
+    p.serve.batches = sv->at("batches").as_uint();
+    p.serve.queue_wait_total_s = sv->at("queue_wait_total_s").as_number();
+    p.serve.queue_wait_max_s = sv->at("queue_wait_max_s").as_number();
+    p.serve.exec_total_s = sv->at("exec_total_s").as_number();
+    const Json& cache = sv->at("cache");
+    p.serve.cache_hits = cache.at("hits").as_uint();
+    p.serve.cache_misses = cache.at("misses").as_uint();
+    p.serve.cache_evictions = cache.at("evictions").as_uint();
+    for (const Json& n : sv->at("batch_width_hist").items())
+      p.serve.batch_width_hist.push_back(n.as_uint());
   }
   return p;
 }

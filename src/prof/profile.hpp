@@ -72,6 +72,44 @@ struct CandidateCost {
   double best_s = 0.0;       ///< best measured execution time (0 if n/a)
 };
 
+/// Serving-layer statistics (spmv::serve): request/batch accounting, queue
+/// wait, and plan-cache effectiveness. A default-constructed ServeStats is
+/// "empty" and is omitted from the JSON artifact.
+struct ServeStats {
+  std::uint64_t requests = 0;       ///< submissions accepted into the queue
+  std::uint64_t rejected = 0;       ///< submissions bounced by backpressure
+  std::uint64_t batches = 0;        ///< executions dispatched (width >= 1)
+  double queue_wait_total_s = 0.0;  ///< summed submit->dispatch wait
+  double queue_wait_max_s = 0.0;    ///< worst single-request wait
+  double exec_total_s = 0.0;        ///< summed execution wall time
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  /// batch_width_hist[w-1] = number of batches executed at width w.
+  std::vector<std::uint64_t> batch_width_hist;
+
+  /// Count one dispatched batch of `width` requests.
+  void add_batch(int width) {
+    batches += 1;
+    if (width < 1) return;
+    if (batch_width_hist.size() < static_cast<std::size_t>(width))
+      batch_width_hist.resize(static_cast<std::size_t>(width), 0);
+    batch_width_hist[static_cast<std::size_t>(width) - 1] += 1;
+  }
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  [[nodiscard]] bool empty() const {
+    return requests == 0 && rejected == 0 && batches == 0 &&
+           cache_hits == 0 && cache_misses == 0;
+  }
+};
+
 /// The aggregate profile. One RunProfile typically describes one matrix +
 /// plan; run() calls accumulate into it, so repeated executions average
 /// naturally (divide by `runs`).
@@ -89,6 +127,7 @@ struct RunProfile {
   EngineCountersSnapshot engine;   ///< accumulated launch-counter deltas
   std::vector<CandidateCost> tuning;
   double tuning_total_s = 0.0;
+  ServeStats serve;  ///< serving-layer stats; empty unless a service ran
 
   /// Merge one bin execution: accumulates seconds/launches into the
   /// matching (bin_id, kernel) sample or appends a new one.

@@ -1,0 +1,52 @@
+#include "serve/fingerprint.hpp"
+
+namespace spmv::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t FingerprintHash::operator()(const Fingerprint& f) const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(f.rows));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(f.cols));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(f.nnz));
+  h = fnv1a_mix(h, f.row_hash);
+  return static_cast<std::size_t>(h);
+}
+
+Fingerprint fingerprint_csr(std::int64_t rows, std::int64_t cols,
+                            std::int64_t nnz,
+                            std::span<const offset_t> row_ptr) {
+  Fingerprint f;
+  f.rows = rows;
+  f.cols = cols;
+  f.nnz = nnz;
+
+  std::uint64_t h = kFnvOffset;
+  const std::size_t n = row_ptr.size();
+  if (n > 0) {
+    const std::size_t stride =
+        n <= kMaxHashedEntries ? 1 : (n + kMaxHashedEntries - 1) /
+                                         kMaxHashedEntries;
+    for (std::size_t i = 0; i < n; i += stride)
+      h = fnv1a_mix(h, static_cast<std::uint64_t>(row_ptr[i]));
+    // The last entry (== nnz) anchors the tail regardless of stride.
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(row_ptr[n - 1]));
+  }
+  f.row_hash = h;
+  return f;
+}
+
+}  // namespace spmv::serve

@@ -1,0 +1,49 @@
+// Matrix fingerprints — the plan-cache key (serve/plan_cache.hpp). A
+// fingerprint captures the *structure* a plan depends on: dimensions, NNZ,
+// and a cheap content hash over the row_ptr array. Two matrices with equal
+// fingerprints have (up to hash collision) the same row-length profile, so
+// a plan tuned for one executes correctly and near-optimally for the other.
+// Values are deliberately not hashed: plans are value-independent, and the
+// serving layer always executes with the requesting matrix's own arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace spmv::serve {
+
+struct Fingerprint {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;
+  std::uint64_t row_hash = 0;  ///< FNV-1a over (sampled) row_ptr entries
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Hasher for unordered containers keyed by Fingerprint.
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& f) const;
+};
+
+/// Fingerprint a raw CSR row-pointer array. Small matrices hash every
+/// entry; beyond kMaxHashedEntries the array is stride-sampled (first and
+/// last entries always included) so fingerprinting stays O(1)-ish for huge
+/// matrices while still seeing the global row-length shape.
+inline constexpr std::size_t kMaxHashedEntries = 1024;
+
+[[nodiscard]] Fingerprint fingerprint_csr(std::int64_t rows, std::int64_t cols,
+                                          std::int64_t nnz,
+                                          std::span<const offset_t> row_ptr);
+
+/// Fingerprint a CSR matrix.
+template <typename T>
+[[nodiscard]] Fingerprint fingerprint_of(const CsrMatrix<T>& a) {
+  return fingerprint_csr(a.rows(), a.cols(), a.nnz(), a.row_ptr());
+}
+
+}  // namespace spmv::serve

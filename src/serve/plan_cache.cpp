@@ -1,0 +1,83 @@
+#include "serve/plan_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/tuner.hpp"
+
+namespace spmv::serve {
+
+template <typename T>
+PlanCache<T>::PlanCache(const core::Predictor& predictor,
+                        const clsim::Engine& engine, std::size_t capacity)
+    : predictor_(predictor), engine_(engine), capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("PlanCache: capacity must be >= 1");
+}
+
+template <typename T>
+std::shared_ptr<const typename PlanCache<T>::Entry> PlanCache<T>::get(
+    const std::shared_ptr<const CsrMatrix<T>>& matrix) {
+  if (matrix == nullptr)
+    throw std::invalid_argument("PlanCache::get: null matrix");
+  const Fingerprint key = fingerprint_of(*matrix);
+
+  std::promise<std::shared_ptr<const Entry>> promise;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (const auto it = slots_.find(key); it != slots_.end()) {
+      // Hit (possibly on an entry still being planned by another thread).
+      stats_.hits += 1;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      EntryFuture f = it->second.future;
+      lock.unlock();  // the planning pass may still be in flight
+      return f.get();
+    }
+    stats_.misses += 1;
+    if (slots_.size() >= capacity_) {
+      // Evict the least recently used slot. An in-flight build keeps
+      // running (its waiters hold the shared_future); it just won't be
+      // cached once evicted.
+      const Fingerprint victim = lru_.back();
+      lru_.pop_back();
+      slots_.erase(victim);
+      stats_.evictions += 1;
+    }
+    lru_.push_front(key);
+    slots_.emplace(key, Slot{promise.get_future().share(), lru_.begin()});
+  }
+
+  // Plan outside the lock so a slow build never blocks hits on other keys.
+  try {
+    auto entry = std::shared_ptr<const Entry>(new Entry{
+        matrix,
+        core::Tuner(*matrix).predictor(predictor_).engine(engine_).build()});
+    promise.set_value(entry);
+    return entry;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = slots_.find(key); it != slots_.end()) {
+      lru_.erase(it->second.lru_pos);
+      slots_.erase(it);
+    }
+    throw;
+  }
+}
+
+template <typename T>
+typename PlanCache<T>::Stats PlanCache<T>::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+template <typename T>
+std::size_t PlanCache<T>::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+template class PlanCache<float>;
+template class PlanCache<double>;
+
+}  // namespace spmv::serve

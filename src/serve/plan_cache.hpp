@@ -1,0 +1,87 @@
+// PlanCache — an LRU cache of built AutoSpmv runtimes keyed by matrix
+// fingerprint, so a serving workload pays the planning cost (feature
+// extraction, prediction, binning) once per distinct matrix structure.
+//
+// Concurrency: get() is safe from any number of threads. Concurrent misses
+// on the same fingerprint share ONE planning pass — the first requester
+// builds while the rest block on a shared_future for the same entry. The
+// build itself runs outside the cache lock, so planning one matrix never
+// stalls hits on others. A failed build removes its slot (and rethrows),
+// leaving later requests free to retry.
+//
+// Correctness note: the fingerprint hashes structure, not values (see
+// fingerprint.hpp), so an Entry's runtime is bound to the *first* matrix
+// seen with that structure. Callers that may hold structurally equal
+// matrices with different values must execute through the entry's
+// plan()/bins() against their own matrix (core::execute_plan) rather than
+// calling entry->runtime.run() — that is exactly what SpmvService does.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "clsim/engine.hpp"
+#include "core/auto_spmv.hpp"
+#include "core/predictor.hpp"
+#include "serve/fingerprint.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::serve {
+
+template <typename T>
+class PlanCache {
+ public:
+  /// A cached runtime plus shared ownership of the matrix it was planned
+  /// for (the runtime holds references into *matrix).
+  struct Entry {
+    std::shared_ptr<const CsrMatrix<T>> matrix;
+    core::AutoSpmv<T> runtime;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `predictor` and `engine` are used for every planning pass and must
+  /// outlive the cache. Throws std::invalid_argument when capacity is 0.
+  PlanCache(const core::Predictor& predictor, const clsim::Engine& engine,
+            std::size_t capacity);
+
+  /// Return the cached runtime for `matrix`'s structure, planning it (or
+  /// waiting for a concurrent planner) on a miss. Rethrows the planning
+  /// failure, if any.
+  [[nodiscard]] std::shared_ptr<const Entry> get(
+      const std::shared_ptr<const CsrMatrix<T>>& matrix);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  using EntryFuture = std::shared_future<std::shared_ptr<const Entry>>;
+
+  struct Slot {
+    EntryFuture future;
+    std::list<Fingerprint>::iterator lru_pos;
+  };
+
+  const core::Predictor& predictor_;
+  const clsim::Engine& engine_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Fingerprint, Slot, FingerprintHash> slots_;
+  std::list<Fingerprint> lru_;  ///< front = most recently used
+  Stats stats_;
+};
+
+extern template class PlanCache<float>;
+extern template class PlanCache<double>;
+
+}  // namespace spmv::serve

@@ -1,0 +1,235 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/exhaustive.hpp"
+#include "util/timer.hpp"
+
+namespace spmv::serve {
+
+template <typename T>
+struct SpmvService<T>::Request {
+  std::shared_ptr<const CsrMatrix<T>> matrix;
+  std::vector<T> x;
+  std::promise<std::vector<T>> result;
+  util::Timer queued;  ///< started at submit; read at dispatch
+};
+
+template <typename T>
+struct SpmvService<T>::Queue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Request> pending;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+  prof::ServeStats stats;  ///< guarded by mutex (cache counters excluded)
+  bool profile_flushed = false;
+};
+
+template <typename T>
+SpmvService<T>::SpmvService(const core::Predictor& predictor,
+                            const ServiceOptions& opts)
+    : engine_(opts.engine != nullptr ? *opts.engine
+                                     : clsim::default_engine()),
+      opts_(opts),
+      cache_(predictor, engine_, opts.cache_capacity),
+      queue_(std::make_unique<Queue>()) {
+  if (opts_.workers < 1)
+    throw std::invalid_argument("SpmvService: workers must be >= 1");
+  if (opts_.max_batch < 1)
+    throw std::invalid_argument("SpmvService: max_batch must be >= 1");
+  queue_->workers.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    queue_->workers.emplace_back([this] { worker_loop(); });
+}
+
+template <typename T>
+SpmvService<T>::~SpmvService() {
+  shutdown();
+}
+
+template <typename T>
+std::future<std::vector<T>> SpmvService<T>::submit(
+    std::shared_ptr<const CsrMatrix<T>> a, std::vector<T> x) {
+  if (a == nullptr)
+    throw std::invalid_argument("SpmvService::submit: null matrix");
+  if (x.size() != static_cast<std::size_t>(a->cols()))
+    throw std::invalid_argument(
+        "SpmvService::submit: x length does not match matrix cols");
+
+  std::future<std::vector<T>> fut;
+  {
+    std::lock_guard<std::mutex> lock(queue_->mutex);
+    if (queue_->stopping)
+      throw std::runtime_error("SpmvService::submit: service is shut down");
+    if (queue_->pending.size() >= opts_.queue_high_water) {
+      queue_->stats.rejected += 1;
+      throw QueueFullError(opts_.queue_high_water);
+    }
+    Request r;
+    r.matrix = std::move(a);
+    r.x = std::move(x);
+    fut = r.result.get_future();
+    queue_->pending.push_back(std::move(r));
+    queue_->stats.requests += 1;
+  }
+  queue_->cv.notify_one();
+  return fut;
+}
+
+template <typename T>
+std::vector<T> SpmvService<T>::run(std::shared_ptr<const CsrMatrix<T>> a,
+                                   std::vector<T> x) {
+  return submit(std::move(a), std::move(x)).get();
+}
+
+template <typename T>
+void SpmvService<T>::worker_loop() {
+  Queue& q = *queue_;
+  for (;;) {
+    // Claim the queue head plus up to max_batch-1 later requests for the
+    // same matrix object (pointer identity — structurally equal matrices
+    // with different values must not share a batch).
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(q.mutex);
+      q.cv.wait(lock, [&] { return q.stopping || !q.pending.empty(); });
+      if (q.pending.empty()) return;  // stopping and fully drained
+      batch.push_back(std::move(q.pending.front()));
+      q.pending.pop_front();
+      const CsrMatrix<T>* m = batch.front().matrix.get();
+      for (auto it = q.pending.begin();
+           it != q.pending.end() &&
+           batch.size() < static_cast<std::size_t>(opts_.max_batch);) {
+        if (it->matrix.get() == m) {
+          batch.push_back(std::move(*it));
+          it = q.pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    const int width = static_cast<int>(batch.size());
+    double wait_sum = 0.0;
+    double wait_max = 0.0;
+    for (const Request& r : batch) {
+      const double w = r.queued.elapsed_s();
+      wait_sum += w;
+      wait_max = std::max(wait_max, w);
+    }
+
+    const auto fail_all = [&](std::exception_ptr e) {
+      for (Request& r : batch) r.result.set_exception(e);
+    };
+
+    std::shared_ptr<const typename PlanCache<T>::Entry> entry;
+    try {
+      entry = cache_.get(batch.front().matrix);
+    } catch (...) {
+      fail_all(std::current_exception());
+      continue;
+    }
+
+    // Execute against the REQUEST's matrix through the cached plan/bins:
+    // the cache key ignores values, so the entry's own matrix may hold
+    // different numbers (see plan_cache.hpp).
+    const CsrMatrix<T>& a = *batch.front().matrix;
+    const core::AutoSpmv<T>& rt = entry->runtime;
+    const auto rows = static_cast<std::size_t>(a.rows());
+    const auto cols = static_cast<std::size_t>(a.cols());
+    util::Timer exec;
+    try {
+      if (width == 1) {
+        std::vector<T> y(rows);
+        core::execute_plan(engine_, a, std::span<const T>(batch.front().x),
+                           std::span<T>(y), rt.bins(), rt.plan());
+        batch.front().result.set_value(std::move(y));
+      } else {
+        // Column-major gather/scatter around one batched execution.
+        std::vector<T> xs(cols * static_cast<std::size_t>(width));
+        std::vector<T> ys(rows * static_cast<std::size_t>(width));
+        for (int b = 0; b < width; ++b)
+          std::copy(batch[static_cast<std::size_t>(b)].x.begin(),
+                    batch[static_cast<std::size_t>(b)].x.end(),
+                    xs.begin() + static_cast<std::size_t>(b) * cols);
+        core::execute_plan_batch(engine_, a, std::span<const T>(xs),
+                                 std::span<T>(ys), width, rt.bins(),
+                                 rt.plan());
+        for (int b = 0; b < width; ++b) {
+          const auto first = ys.begin() + static_cast<std::size_t>(b) * rows;
+          batch[static_cast<std::size_t>(b)].result.set_value(
+              std::vector<T>(first, first + static_cast<std::ptrdiff_t>(rows)));
+        }
+      }
+    } catch (...) {
+      fail_all(std::current_exception());
+      continue;
+    }
+    const double exec_s = exec.elapsed_s();
+
+    {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      q.stats.add_batch(width);
+      q.stats.queue_wait_total_s += wait_sum;
+      q.stats.queue_wait_max_s = std::max(q.stats.queue_wait_max_s, wait_max);
+      q.stats.exec_total_s += exec_s;
+    }
+  }
+}
+
+template <typename T>
+void SpmvService<T>::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_->mutex);
+    queue_->stopping = true;
+  }
+  queue_->cv.notify_all();
+  for (std::thread& w : queue_->workers) {
+    if (w.joinable()) w.join();
+  }
+  queue_->workers.clear();
+
+  if (opts_.profile != nullptr && !queue_->profile_flushed) {
+    queue_->profile_flushed = true;
+    const prof::ServeStats s = stats();
+    prof::ServeStats& dst = opts_.profile->serve;
+    dst.requests += s.requests;
+    dst.rejected += s.rejected;
+    dst.batches += s.batches;
+    dst.queue_wait_total_s += s.queue_wait_total_s;
+    dst.queue_wait_max_s = std::max(dst.queue_wait_max_s, s.queue_wait_max_s);
+    dst.exec_total_s += s.exec_total_s;
+    dst.cache_hits += s.cache_hits;
+    dst.cache_misses += s.cache_misses;
+    dst.cache_evictions += s.cache_evictions;
+    if (dst.batch_width_hist.size() < s.batch_width_hist.size())
+      dst.batch_width_hist.resize(s.batch_width_hist.size(), 0);
+    for (std::size_t i = 0; i < s.batch_width_hist.size(); ++i)
+      dst.batch_width_hist[i] += s.batch_width_hist[i];
+  }
+}
+
+template <typename T>
+prof::ServeStats SpmvService<T>::stats() const {
+  prof::ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(queue_->mutex);
+    s = queue_->stats;
+  }
+  const auto c = cache_.stats();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  s.cache_evictions = c.evictions;
+  return s;
+}
+
+template class SpmvService<float>;
+template class SpmvService<double>;
+
+}  // namespace spmv::serve

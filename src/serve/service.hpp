@@ -1,0 +1,107 @@
+// SpmvService — a concurrent SpMV serving layer: clients submit (matrix,
+// vector) requests; worker threads drain them through plan-cached runtimes
+// (serve/plan_cache.hpp), coalescing queued vectors against the same matrix
+// into one batched execution (core::execute_plan_batch).
+//
+//   spmv::core::HeuristicPredictor pred;
+//   spmv::serve::SpmvService<float> service(pred);
+//   auto fut = service.submit(matrix, x);   // matrix: shared_ptr<const Csr>
+//   std::vector<float> y = fut.get();       // or service.run(matrix, x)
+//
+// Admission is bounded: submissions beyond ServiceOptions::queue_high_water
+// queued requests are rejected with QueueFullError (backpressure — callers
+// retry or shed load; requests already admitted are never dropped).
+// Batching: a worker popping the queue head also claims up to max_batch-1
+// later requests for the *same matrix object* (pointer identity — values
+// matter, so structural equality is not enough) and executes them as one
+// column-major Y = A·X batch.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "clsim/engine.hpp"
+#include "core/predictor.hpp"
+#include "prof/profile.hpp"
+#include "serve/plan_cache.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::serve {
+
+/// Thrown by submit()/run() when the admission queue is at its high-water
+/// mark — the service's backpressure signal.
+class QueueFullError : public std::runtime_error {
+ public:
+  explicit QueueFullError(std::size_t high_water)
+      : std::runtime_error("SpmvService: admission queue full (high water " +
+                           std::to_string(high_water) + ")") {}
+};
+
+struct ServiceOptions {
+  std::size_t cache_capacity = 16;  ///< distinct matrix structures cached
+  int workers = 2;                  ///< request-draining threads
+  std::size_t queue_high_water = 256;  ///< admissions beyond this reject
+  int max_batch = 8;                ///< vectors coalesced per execution
+  /// Execution engine; null = clsim::default_engine().
+  const clsim::Engine* engine = nullptr;
+  /// Optional telemetry sink: shutdown() folds the service's ServeStats
+  /// into profile->serve. Must outlive the service.
+  prof::RunProfile* profile = nullptr;
+};
+
+template <typename T>
+class SpmvService {
+ public:
+  /// Start `opts.workers` worker threads. `predictor` must outlive the
+  /// service; it is shared by every planning pass.
+  explicit SpmvService(const core::Predictor& predictor,
+                       const ServiceOptions& opts = {});
+
+  /// Drains outstanding requests, then joins the workers.
+  ~SpmvService();
+
+  SpmvService(const SpmvService&) = delete;
+  SpmvService& operator=(const SpmvService&) = delete;
+
+  /// Enqueue y = (*a)·x. The future yields the result vector (a.rows()
+  /// long) or rethrows the execution/planning failure. Throws
+  /// QueueFullError beyond the high-water mark, std::invalid_argument on a
+  /// null matrix or size mismatch, std::runtime_error after shutdown().
+  [[nodiscard]] std::future<std::vector<T>> submit(
+      std::shared_ptr<const CsrMatrix<T>> a, std::vector<T> x);
+
+  /// Blocking convenience wrapper: submit() + get().
+  [[nodiscard]] std::vector<T> run(std::shared_ptr<const CsrMatrix<T>> a,
+                                   std::vector<T> x);
+
+  /// Stop accepting work, drain the queue, join the workers. Idempotent;
+  /// also folds stats into ServiceOptions::profile (once).
+  void shutdown();
+
+  /// Snapshot of the serving statistics (includes plan-cache counters).
+  [[nodiscard]] prof::ServeStats stats() const;
+
+  /// The underlying plan cache (e.g. for warm-up or introspection).
+  [[nodiscard]] PlanCache<T>& cache() { return cache_; }
+
+ private:
+  struct Request;
+  struct Queue;
+
+  void worker_loop();
+
+  const clsim::Engine& engine_;
+  ServiceOptions opts_;
+  PlanCache<T> cache_;
+  std::unique_ptr<Queue> queue_;  ///< pimpl: keeps <deque>/<thread> out of
+                                  ///< the public header
+};
+
+extern template class SpmvService<float>;
+extern template class SpmvService<double>;
+
+}  // namespace spmv::serve

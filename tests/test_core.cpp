@@ -9,6 +9,7 @@
 #include "core/exhaustive.hpp"
 #include "core/plan.hpp"
 #include "core/predictor.hpp"
+#include "core/tuner.hpp"
 #include "gen/generators.hpp"
 #include "kernels/reference.hpp"
 #include "util/rng.hpp"
@@ -212,7 +213,7 @@ TEST_P(AutoSpmvCorrectness, MatchesReference) {
   }();
   const auto x = random_vector(static_cast<std::size_t>(a.cols()), 10);
   HeuristicPredictor pred;
-  AutoSpmv<float> spmv(a, pred);
+  const auto spmv = Tuner(a).predictor(pred).build();
   std::vector<float> y(static_cast<std::size_t>(a.rows()));
   spmv.run(x, std::span<float>(y));
   expect_matches_exact(a, x, y);
@@ -234,7 +235,7 @@ TEST(AutoSpmv, ExternalPlanConstructor) {
   const auto bins = binning::bin_matrix(a, 100);
   for (int b : bins.occupied_bins())
     plan.bin_kernels.push_back({b, kernels::KernelId::Sub4});
-  AutoSpmv<float> spmv(a, plan);
+  const auto spmv = Tuner(a).plan(plan).build();
   std::vector<float> y(static_cast<std::size_t>(a.rows()));
   spmv.run(x, std::span<float>(y));
   expect_matches_exact(a, x, y);
@@ -245,7 +246,7 @@ TEST(AutoSpmv, RepeatedRunsAreStable) {
   const auto a = gen::power_law<float>(1000, 1000, 2.0, 200, 13);
   const auto x = random_vector(static_cast<std::size_t>(a.cols()), 14);
   HeuristicPredictor pred;
-  AutoSpmv<float> spmv(a, pred);
+  const auto spmv = Tuner(a).predictor(pred).build();
   std::vector<float> y1(static_cast<std::size_t>(a.rows()));
   std::vector<float> y2(static_cast<std::size_t>(a.rows()));
   spmv.run(x, std::span<float>(y1));

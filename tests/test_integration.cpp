@@ -10,6 +10,7 @@
 #include "baseline/merge_spmv.hpp"
 #include "core/auto_spmv.hpp"
 #include "core/model_io.hpp"
+#include "core/tuner.hpp"
 #include "core/trainer.hpp"
 #include "gen/generators.hpp"
 #include "gen/representative.hpp"
@@ -43,7 +44,7 @@ TEST(Integration, TrainPersistPredictExecute) {
   // 3. Auto-tune an unseen matrix and check the SpMV is exact.
   const auto a =
       gen::mixed_regime<float>(4000, 4000, 0.5, 0.3, 3, 30, 250, 32, 99);
-  AutoSpmv<float> spmv(a, pred);
+  const auto spmv = Tuner(a).predictor(pred).build();
   util::Xoshiro256 rng(1);
   std::vector<float> x(static_cast<std::size_t>(a.cols()));
   for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
@@ -77,7 +78,7 @@ TEST(Integration, AllStrategiesAgreeOnRepresentativeMatrix) {
   };
 
   HeuristicPredictor pred;
-  AutoSpmv<double> auto_spmv(a, pred);
+  const auto auto_spmv = Tuner(a).predictor(pred).build();
   std::vector<double> y(static_cast<std::size_t>(a.rows()));
   auto_spmv.run(x, std::span<double>(y));
   check(y, "auto");
@@ -134,7 +135,7 @@ TEST(Integration, ConjugateGradientConverges) {
   }
 
   HeuristicPredictor pred;
-  AutoSpmv<double> spmv(a, pred);
+  const auto spmv = Tuner(a).predictor(pred).build();
 
   // Solve A x = b for a known x*.
   std::vector<double> x_star(static_cast<std::size_t>(n));
@@ -183,7 +184,7 @@ TEST(Integration, MatrixMarketToAutoSpmv) {
   std::vector<double> x(static_cast<std::size_t>(a.cols()));
   for (auto& v : x) v = rng.uniform(-1.0, 1.0);
   HeuristicPredictor pred;
-  AutoSpmv<double> spmv(a, pred);
+  const auto spmv = Tuner(a).predictor(pred).build();
   std::vector<double> y(static_cast<std::size_t>(a.rows()));
   spmv.run(x, std::span<double>(y));
   const auto exact = kernels::spmv_exact(orig, std::span<const double>(x));

@@ -1,0 +1,456 @@
+// Tests for the serving layer: fingerprints, the plan cache (hits, misses,
+// LRU eviction, shared planning passes), batched execution, the SpmvService
+// end to end, and a multi-threaded stress run. The suite is part of the
+// tsan preset's coverage: the stress test hammers the cache and executor
+// from many client threads at once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "core/predictor.hpp"
+#include "core/tuner.hpp"
+#include "gen/generators.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/registry.hpp"
+#include "prof/profile.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+using namespace spmv::serve;
+
+template <typename T>
+std::vector<T> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+template <typename T>
+void expect_matches_exact(const CsrMatrix<T>& a, std::span<const T> x,
+                          std::span<const T> y, double tol) {
+  const auto exact = kernels::spmv_exact(a, x);
+  ASSERT_EQ(y.size(), exact.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(static_cast<double>(y[i]), exact[i],
+                tol * (std::abs(exact[i]) + 1.0))
+        << "row " << i;
+  }
+}
+
+/// Predictor wrapper that counts prediction passes — used to prove that
+/// concurrent cache misses on one fingerprint share a single planning pass.
+class CountingPredictor : public core::Predictor {
+ public:
+  explicit CountingPredictor(const core::Predictor& inner) : inner_(inner) {}
+
+  [[nodiscard]] UnitChoice predict_unit(const RowStats& stats) const override {
+    unit_calls.fetch_add(1, std::memory_order_relaxed);
+    return inner_.predict_unit(stats);
+  }
+  [[nodiscard]] kernels::KernelId predict_kernel(const RowStats& stats,
+                                                 index_t unit,
+                                                 int bin_id) const override {
+    return inner_.predict_kernel(stats, unit, bin_id);
+  }
+
+  mutable std::atomic<int> unit_calls{0};
+
+ private:
+  const core::Predictor& inner_;
+};
+
+// --- Fingerprints ---------------------------------------------------------
+
+TEST(Fingerprint, EqualStructureEqualFingerprint) {
+  const auto a = gen::power_law<float>(1200, 1200, 2.0, 150, 5);
+  auto b = a;  // identical structure, then change values only
+  for (auto& v : b.vals_mutable()) v *= 2.0f;
+  EXPECT_EQ(fingerprint_of(a), fingerprint_of(b));
+  EXPECT_EQ(FingerprintHash{}(fingerprint_of(a)),
+            FingerprintHash{}(fingerprint_of(b)));
+}
+
+TEST(Fingerprint, DistinguishesStructures) {
+  const auto a = gen::diagonal<float>(1000);
+  const auto b = gen::diagonal<float>(1001);             // dims differ
+  const auto c = gen::fixed_degree<float>(1000, 1000, 3, 9);  // nnz differs
+  EXPECT_FALSE(fingerprint_of(a) == fingerprint_of(b));
+  EXPECT_FALSE(fingerprint_of(a) == fingerprint_of(c));
+}
+
+TEST(Fingerprint, RowHashSeesRowLengthRedistribution) {
+  // Same dims and nnz, different row-length layout: only row_hash differs.
+  std::vector<offset_t> even{0, 2, 4, 6, 8};
+  std::vector<offset_t> skew{0, 5, 6, 7, 8};
+  const auto fe = fingerprint_csr(4, 8, 8, even);
+  const auto fs = fingerprint_csr(4, 8, 8, skew);
+  EXPECT_EQ(fe.rows, fs.rows);
+  EXPECT_EQ(fe.nnz, fs.nnz);
+  EXPECT_NE(fe.row_hash, fs.row_hash);
+}
+
+TEST(Fingerprint, LargeMatrixSamplingIsDeterministic) {
+  const auto a = gen::fixed_degree<float>(50000, 1000, 2, 3);
+  ASSERT_GT(a.row_ptr().size(), kMaxHashedEntries);
+  EXPECT_EQ(fingerprint_of(a), fingerprint_of(a));
+}
+
+// --- PlanCache ------------------------------------------------------------
+
+TEST(PlanCache, HitMissEvictCounters) {
+  core::HeuristicPredictor pred;
+  PlanCache<float> cache(pred, clsim::default_engine(), 2);
+
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::diagonal<float>(500));
+  auto b = std::make_shared<const CsrMatrix<float>>(
+      gen::fixed_degree<float>(400, 400, 3, 6));
+  auto c = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(600, 600, 2.0, 100, 7));
+
+  EXPECT_NE(cache.get(a), nullptr);  // miss
+  EXPECT_NE(cache.get(a), nullptr);  // hit
+  EXPECT_NE(cache.get(b), nullptr);  // miss (cache now full)
+  EXPECT_NE(cache.get(c), nullptr);  // miss, evicts LRU (a)
+  EXPECT_NE(cache.get(b), nullptr);  // hit: b survived the eviction
+  EXPECT_NE(cache.get(a), nullptr);  // miss again: a was evicted
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, SameStructureSharesOneEntry) {
+  core::HeuristicPredictor pred;
+  PlanCache<float> cache(pred, clsim::default_engine(), 4);
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::banded<float>(800, 3, 0.8, 11));
+  auto b = std::make_shared<const CsrMatrix<float>>(*a);  // distinct object
+  const auto ea = cache.get(a);
+  const auto eb = cache.get(b);
+  EXPECT_EQ(ea, eb);  // one entry serves both
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PlanCache, ConcurrentMissesShareOnePlanningPass) {
+  core::HeuristicPredictor heuristic;
+  CountingPredictor pred(heuristic);
+  PlanCache<double> cache(pred, clsim::default_engine(), 4);
+  auto a = std::make_shared<const CsrMatrix<double>>(
+      gen::power_law<double>(3000, 3000, 2.0, 300, 13));
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const PlanCache<double>::Entry>> got(kThreads);
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] { got[static_cast<std::size_t>(i)] = cache.get(a); });
+  for (auto& t : threads) t.join();
+
+  for (int i = 1; i < kThreads; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], got[0]);
+  // The whole stampede planned exactly once.
+  EXPECT_EQ(pred.unit_calls.load(), 1);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(PlanCache, ZeroCapacityThrows) {
+  core::HeuristicPredictor pred;
+  EXPECT_THROW(PlanCache<float>(pred, clsim::default_engine(), 0),
+               std::invalid_argument);
+}
+
+// --- Batched execution ----------------------------------------------------
+
+TEST(BatchedRun, NativeSerialBatchMatchesReference) {
+  const auto a = gen::power_law<double>(1500, 1500, 2.0, 200, 17);
+  core::HeuristicPredictor pred;
+  const auto spmv = core::Tuner(a).predictor(pred).build();
+
+  constexpr int kBatch = 4;
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const auto xs = random_vector<double>(n * kBatch, 19);
+  std::vector<double> ys(m * kBatch);
+  spmv.run_batch(xs, std::span<double>(ys), kBatch);
+
+  for (int b = 0; b < kBatch; ++b) {
+    expect_matches_exact<double>(
+        a, std::span<const double>(xs).subspan(static_cast<std::size_t>(b) * n, n),
+        std::span<const double>(ys).subspan(static_cast<std::size_t>(b) * m, m),
+        1e-9);
+  }
+}
+
+TEST(BatchedRun, NativeSubvectorBatchMatchesReference) {
+  // Force subvector plans across widths; the batch path dispatches the
+  // native staged kernel (sliced by the local-memory limit) and must stay
+  // exact, including at widths beyond one native launch.
+  const auto a = gen::fem_blocks<double>(120, 16, 90, 0.4, 23);
+  for (const auto id : {kernels::KernelId::Sub2, kernels::KernelId::Sub16,
+                        kernels::KernelId::Sub128}) {
+    core::Plan plan;
+    plan.unit = 16;
+    const auto bins = binning::bin_matrix(a, 16);
+    for (int b : bins.occupied_bins()) plan.bin_kernels.push_back({b, id});
+    const auto spmv = core::Tuner(a).plan(plan).build();
+
+    constexpr int kBatch = 15;  // > the double/Sub2 per-launch limit
+    const auto n = static_cast<std::size_t>(a.cols());
+    const auto m = static_cast<std::size_t>(a.rows());
+    const auto xs = random_vector<double>(n * kBatch, 29);
+    std::vector<double> ys(m * kBatch);
+    spmv.run_batch(xs, std::span<double>(ys), kBatch);
+    for (int b = 0; b < kBatch; ++b) {
+      expect_matches_exact<double>(
+          a,
+          std::span<const double>(xs).subspan(static_cast<std::size_t>(b) * n,
+                                              n),
+          std::span<const double>(ys).subspan(static_cast<std::size_t>(b) * m,
+                                              m),
+          1e-9);
+    }
+  }
+}
+
+TEST(BatchedRun, FallbackKernelsMatchReference) {
+  // Force a plan whose kernel has no native batched variant (Vector): the
+  // batch path must loop per column and still be exact.
+  const auto a = gen::fem_blocks<float>(120, 16, 90, 0.4, 23);
+  core::Plan plan;
+  plan.unit = 16;
+  const auto bins = binning::bin_matrix(a, 16);
+  for (int b : bins.occupied_bins())
+    plan.bin_kernels.push_back({b, kernels::KernelId::Vector});
+  const auto spmv = core::Tuner(a).plan(plan).build();
+
+  constexpr int kBatch = 3;
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const auto xs = random_vector<float>(n * kBatch, 29);
+  std::vector<float> ys(m * kBatch);
+  spmv.run_batch(xs, std::span<float>(ys), kBatch);
+  for (int b = 0; b < kBatch; ++b) {
+    expect_matches_exact<float>(
+        a, std::span<const float>(xs).subspan(static_cast<std::size_t>(b) * n, n),
+        std::span<const float>(ys).subspan(static_cast<std::size_t>(b) * m, m),
+        2e-4);
+  }
+}
+
+TEST(BatchedRun, BadExtentsThrow) {
+  const auto a = gen::diagonal<float>(100);
+  core::HeuristicPredictor pred;
+  const auto spmv = core::Tuner(a).predictor(pred).build();
+  std::vector<float> xs(200), ys(100);  // ys too small for batch=2
+  EXPECT_THROW(spmv.run_batch(std::span<const float>(xs),
+                              std::span<float>(ys), 2),
+               std::invalid_argument);
+  EXPECT_THROW(spmv.run_batch(std::span<const float>(xs),
+                              std::span<float>(ys), 0),
+               std::invalid_argument);
+}
+
+// --- Plan normalization (external plans may arrive unsorted) --------------
+
+TEST(Plan, NormalizeRestoresBinarySearchInvariant) {
+  core::Plan plan;
+  plan.bin_kernels = {{7, kernels::KernelId::Vector},
+                      {0, kernels::KernelId::Serial},
+                      {3, kernels::KernelId::Sub8}};
+  plan.normalize();
+  EXPECT_EQ(plan.bin_kernels.front().bin_id, 0);
+  EXPECT_EQ(plan.bin_kernels.back().bin_id, 7);
+  EXPECT_EQ(plan.kernel_for(3), kernels::KernelId::Sub8);
+  EXPECT_THROW(static_cast<void>(plan.kernel_for(5)), std::out_of_range);
+}
+
+// --- SpmvService ----------------------------------------------------------
+
+TEST(SpmvService, SingleRequestIsExact) {
+  core::HeuristicPredictor pred;
+  SpmvService<double> service(pred);
+  auto a = std::make_shared<const CsrMatrix<double>>(
+      gen::mixed_regime<double>(1000, 1000, 0.4, 0.4, 2, 30, 300, 16, 31));
+  const auto x = random_vector<double>(static_cast<std::size_t>(a->cols()), 37);
+  const auto y = service.run(a, x);
+  expect_matches_exact<double>(*a, x, y, 1e-9);
+  const auto s = service.stats();
+  EXPECT_EQ(s.requests, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+}
+
+TEST(SpmvService, BatchesCoalesceAndStayExact) {
+  core::HeuristicPredictor pred;
+  ServiceOptions opts;
+  opts.workers = 1;  // one drainer => queued requests must coalesce
+  opts.max_batch = 8;
+  prof::RunProfile profile;
+  opts.profile = &profile;
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(2000, 2000, 2.0, 250, 41));
+  const auto n = static_cast<std::size_t>(a->cols());
+
+  std::vector<std::vector<float>> xs;
+  std::vector<std::future<std::vector<float>>> futs;
+  {
+    SpmvService<float> service(pred, opts);
+    // Prime the cache so the worker isn't stuck planning while we enqueue.
+    (void)service.run(a, random_vector<float>(n, 1));
+    constexpr int kRequests = 24;
+    for (int i = 0; i < kRequests; ++i)
+      xs.push_back(random_vector<float>(n, 100 + static_cast<std::uint64_t>(i)));
+    for (int i = 0; i < kRequests; ++i)
+      futs.push_back(service.submit(a, xs[static_cast<std::size_t>(i)]));
+    for (int i = 0; i < kRequests; ++i) {
+      const auto y = futs[static_cast<std::size_t>(i)].get();
+      expect_matches_exact<float>(*a, xs[static_cast<std::size_t>(i)], y,
+                                  2e-4);
+    }
+  }  // destructor drains + flushes stats into `profile`
+
+  EXPECT_EQ(profile.serve.requests, 25u);
+  EXPECT_GE(profile.serve.batches, 1u);
+  // With one worker and a full queue, at least one multi-vector batch
+  // must have formed (25 requests in fewer than 25 batches).
+  EXPECT_LT(profile.serve.batches, 25u);
+  EXPECT_GE(profile.serve.batch_width_hist.size(), 2u);
+  // One lookup per batch: everything after the priming miss is a hit.
+  EXPECT_EQ(profile.serve.cache_misses, 1u);
+  EXPECT_GT(profile.serve.cache_hit_rate(), 0.5);
+
+  // The serve section survives a JSON round trip.
+  const auto parsed =
+      prof::RunProfile::from_json(prof::Json::parse(profile.to_json_text()));
+  EXPECT_EQ(parsed.serve.requests, profile.serve.requests);
+  EXPECT_EQ(parsed.serve.batches, profile.serve.batches);
+  EXPECT_EQ(parsed.serve.batch_width_hist, profile.serve.batch_width_hist);
+}
+
+TEST(SpmvService, StructurallyEqualMatricesWithDifferentValuesStayExact) {
+  // The cache key ignores values: the service must still compute with each
+  // request's own values.
+  core::HeuristicPredictor pred;
+  SpmvService<double> service(pred);
+  auto a = std::make_shared<const CsrMatrix<double>>(
+      gen::banded<double>(900, 4, 0.7, 43));
+  auto scaled = *a;
+  for (auto& v : scaled.vals_mutable()) v *= -3.0;
+  auto b = std::make_shared<const CsrMatrix<double>>(std::move(scaled));
+
+  const auto x = random_vector<double>(static_cast<std::size_t>(a->cols()), 47);
+  expect_matches_exact<double>(*a, x, service.run(a, x), 1e-9);
+  expect_matches_exact<double>(*b, x, service.run(b, x), 1e-9);
+  const auto s = service.stats();
+  EXPECT_EQ(s.cache_misses, 1u);  // one structure, one planning pass
+  EXPECT_EQ(s.cache_hits, 1u);
+}
+
+TEST(SpmvService, BackpressureRejectsBeyondHighWater) {
+  core::HeuristicPredictor pred;
+  ServiceOptions opts;
+  opts.queue_high_water = 0;  // every submission bounces
+  SpmvService<float> service(pred, opts);
+  auto a = std::make_shared<const CsrMatrix<float>>(gen::diagonal<float>(100));
+  EXPECT_THROW(
+      static_cast<void>(service.submit(a, std::vector<float>(100, 1.0f))),
+      QueueFullError);
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(SpmvService, SubmitValidation) {
+  core::HeuristicPredictor pred;
+  SpmvService<float> service(pred);
+  auto a = std::make_shared<const CsrMatrix<float>>(gen::diagonal<float>(50));
+  EXPECT_THROW(static_cast<void>(
+                   service.submit(nullptr, std::vector<float>(50, 1.0f))),
+               std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(service.submit(a, std::vector<float>(49, 1.0f))),
+      std::invalid_argument);
+  service.shutdown();
+  EXPECT_THROW(
+      static_cast<void>(service.submit(a, std::vector<float>(50, 1.0f))),
+      std::runtime_error);
+}
+
+// N client threads x M matrices hammering the cache + executor at once;
+// every result checked against the reference. Capacity below M keeps the
+// eviction path hot too. (tsan preset runs this under ThreadSanitizer.)
+TEST(SpmvServiceStress, ManyThreadsManyMatrices) {
+  core::HeuristicPredictor pred;
+  ServiceOptions opts;
+  opts.cache_capacity = 3;
+  opts.workers = 3;
+  opts.max_batch = 4;
+  opts.queue_high_water = 4096;
+  SpmvService<double> service(pred, opts);
+
+  constexpr int kMatrices = 5;
+  std::vector<std::shared_ptr<const CsrMatrix<double>>> mats;
+  mats.reserve(kMatrices);
+  mats.push_back(std::make_shared<const CsrMatrix<double>>(
+      gen::diagonal<double>(700)));
+  mats.push_back(std::make_shared<const CsrMatrix<double>>(
+      gen::fixed_degree<double>(600, 500, 3, 51)));
+  mats.push_back(std::make_shared<const CsrMatrix<double>>(
+      gen::power_law<double>(800, 800, 2.0, 120, 53)));
+  mats.push_back(std::make_shared<const CsrMatrix<double>>(
+      gen::banded<double>(500, 5, 0.6, 57)));
+  mats.push_back(std::make_shared<const CsrMatrix<double>>(
+      gen::cfd_longrow<double>(80, 60, 59)));
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      util::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto& a = mats[static_cast<std::size_t>(
+            rng.next() % static_cast<std::uint64_t>(kMatrices))];
+        std::vector<double> x(static_cast<std::size_t>(a->cols()));
+        for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+        std::vector<double> y;
+        try {
+          y = service.run(a, x);
+        } catch (const QueueFullError&) {
+          continue;  // legal backpressure outcome
+        }
+        const auto exact = kernels::spmv_exact(*a, std::span<const double>(x));
+        for (std::size_t r = 0; r < y.size(); ++r) {
+          if (std::abs(y[r] - exact[r]) >
+              1e-9 * (std::abs(exact[r]) + 1.0)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto s = service.stats();
+  EXPECT_EQ(s.requests + s.rejected,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(s.cache_hits, 0u);
+  EXPECT_GT(s.cache_evictions, 0u);  // capacity 3 < 5 matrices
+}
+
+}  // namespace

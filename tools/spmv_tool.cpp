@@ -11,16 +11,24 @@
 //            kernel timings, engine launch counters) as JSON
 //   train    [--matrices N] [--out M] train a model on the synthetic corpus
 //   gen      --family NAME --rows N --out F.mtx  write a synthetic matrix
+//   serve-bench  (same inputs) [--requests R] [--clients C] [--workers W]
+//            [--max-batch B] [--profile out.json]
+//            drive an SpmvService with concurrent clients and compare its
+//            throughput against naive per-request plan-and-run
 //
 // Examples:
 //   spmv_tool train --matrices 120 --out model.txt
 //   spmv_tool run --matrix crankseg_2 --model model.txt
 //   spmv_tool run --matrix cant --profile cant.json
 //   spmv_tool tune --family power_law --rows 50000
+//   spmv_tool serve-bench --matrix cant --clients 8 --profile serve.json
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "autospmv.hpp"
 
@@ -30,13 +38,16 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: spmv_tool <info|tune|run|train|gen> [flags]\n"
+               "usage: spmv_tool <info|tune|run|train|gen|serve-bench> "
+               "[flags]\n"
                "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
                "               --family <corpus family> --rows N [--param P]\n"
                "  run flags:   --model model.txt --reps K --profile out.json\n"
                "  tune flags:  --profile out.json\n"
                "  train flags: --matrices N --out model.txt\n"
-               "  gen flags:   --out file.mtx --seed S\n");
+               "  gen flags:   --out file.mtx --seed S\n"
+               "  serve-bench flags: --requests R --clients C --workers W\n"
+               "               --max-batch B --profile out.json\n");
   return 2;
 }
 
@@ -253,6 +264,102 @@ int cmd_gen(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_serve_bench(const util::Cli& cli) {
+  auto a = std::make_shared<const CsrMatrix<float>>(load_input(cli));
+  const int requests = static_cast<int>(cli.get_int("requests", 64));
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int workers = static_cast<int>(cli.get_int("workers", 2));
+  const int max_batch = static_cast<int>(cli.get_int("max-batch", 8));
+
+  std::unique_ptr<core::Predictor> pred;
+  const std::string model_path = cli.get("model");
+  if (!model_path.empty()) {
+    pred = std::make_unique<core::ModelPredictor>(
+        core::load_model_file(model_path));
+  } else {
+    pred = std::make_unique<core::HeuristicPredictor>();
+  }
+
+  std::vector<std::vector<float>> xs;
+  xs.reserve(static_cast<std::size_t>(requests));
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < requests; ++i) {
+    std::vector<float> x(static_cast<std::size_t>(a->cols()));
+    for (auto& v : x) v = static_cast<float>(rng.uniform(0.5, 1.5));
+    xs.push_back(std::move(x));
+  }
+
+  // Claim request indices from `clients` threads; returns wall seconds.
+  const auto drive = [&](const std::function<void(int)>& fn) {
+    std::atomic<int> next{0};
+    util::Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests) return;
+          fn(i);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    return wall.elapsed_s();
+  };
+
+  const double naive_s = drive([&](int i) {
+    const auto spmv = core::Tuner(*a).predictor(*pred).build();
+    std::vector<float> y(static_cast<std::size_t>(a->rows()));
+    spmv.run(xs[static_cast<std::size_t>(i)], std::span<float>(y));
+  });
+
+  prof::RunProfile profile;
+  profile.label = cli.get("matrix", cli.get("mtx", cli.get("family", "")));
+  serve::ServiceOptions opts;
+  opts.workers = workers;
+  opts.max_batch = max_batch;
+  opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
+  opts.profile = &profile;
+  double serve_s = 0.0;
+  {
+    serve::SpmvService<float> service(*pred, opts);
+    (void)service.run(a, xs.front());  // warm the plan cache off-clock
+    // Pipelined clients: submit everything, then collect — queue depth is
+    // what lets workers coalesce multi-vector batches.
+    std::vector<std::future<std::vector<float>>> futs(
+        static_cast<std::size_t>(requests));
+    util::Timer wall;
+    (void)drive([&](int i) {
+      futs[static_cast<std::size_t>(i)] =
+          service.submit(a, xs[static_cast<std::size_t>(i)]);
+    });
+    for (auto& f : futs) (void)f.get();
+    serve_s = wall.elapsed_s();
+    service.shutdown();
+  }
+
+  const auto& s = profile.serve;
+  std::printf("\n%-24s %12s %14s\n", "strategy", "wall[ms]", "requests/s");
+  std::printf("%-24s %12.1f %14.1f\n", "naive plan-and-run", 1e3 * naive_s,
+              requests / naive_s);
+  std::printf("%-24s %12.1f %14.1f\n", "SpmvService", 1e3 * serve_s,
+              requests / serve_s);
+  std::printf("speedup %.2fx; %llu batches, cache hit rate %.0f%%, mean "
+              "queue wait %.3f ms\n",
+              naive_s / serve_s, static_cast<unsigned long long>(s.batches),
+              100.0 * s.cache_hit_rate(),
+              s.requests == 0 ? 0.0
+                              : 1e3 * s.queue_wait_total_s /
+                                    static_cast<double>(s.requests));
+  const std::string profile_path = cli.get("profile");
+  if (!profile_path.empty()) {
+    prof::write_profile_file(profile_path, profile);
+    std::printf("serve profile written to %s\n", profile_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +372,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(cli);
     if (cmd == "train") return cmd_train(cli);
     if (cmd == "gen") return cmd_gen(cli);
+    if (cmd == "serve-bench") return cmd_serve_bench(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spmv_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;
