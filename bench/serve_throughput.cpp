@@ -10,7 +10,13 @@
 //
 //   serve_throughput [--rows N] [--requests R] [--clients C] [--workers W]
 //                    [--max-batch B] [--reps K] [--profile out.json]
+//                    [--json BENCH_serve.json]
+//
+// --json writes a compact machine-readable summary (config, naive/serve
+// requests-per-second, speedup, request-latency percentiles) for CI
+// artifact upload, alongside the full --profile RunProfile.
 #include <atomic>
+#include <fstream>
 #include <future>
 #include <limits>
 #include <memory>
@@ -173,6 +179,48 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  if (!s.request_latency.empty()) {
+    std::printf("request latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+                1e3 * s.request_latency.percentile(50),
+                1e3 * s.request_latency.percentile(95),
+                1e3 * s.request_latency.percentile(99));
+  }
+
   write_profile(cli, profile);
+
+  // --json: the machine-readable summary CI uploads and the regression gate
+  // can diff across commits.
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    auto config = prof::Json::object();
+    config.set("rows", static_cast<std::int64_t>(rows));
+    config.set("requests", static_cast<std::int64_t>(requests));
+    config.set("clients", static_cast<std::int64_t>(clients));
+    config.set("workers", static_cast<std::int64_t>(workers));
+    config.set("max_batch", static_cast<std::int64_t>(max_batch));
+    config.set("reps", static_cast<std::int64_t>(reps));
+    auto root = prof::Json::object();
+    root.set("bench", "serve_throughput");
+    root.set("config", std::move(config));
+    root.set("naive_rps", naive_rps);
+    root.set("serve_rps", serve_rps);
+    root.set("speedup", serve_rps / naive_rps);
+    root.set("batches", s.batches);
+    root.set("cache_hit_rate", s.cache_hit_rate());
+    if (!s.request_latency.empty()) {
+      auto lat = prof::Json::object();
+      lat.set("p50_s", s.request_latency.percentile(50));
+      lat.set("p95_s", s.request_latency.percentile(95));
+      lat.set("p99_s", s.request_latency.percentile(99));
+      root.set("request_latency", std::move(lat));
+    }
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << root.dump() << "\n";
+    std::printf("bench summary written to %s\n", json_path.c_str());
+  }
   return 0;
 }

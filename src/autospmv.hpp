@@ -48,7 +48,9 @@
 #include "ml/decision_tree.hpp"         // C4.5/C5.0-style tree learner
 #include "ml/features.hpp"              // Table-I feature extraction
 #include "ml/ruleset.hpp"               // if-then rule sets
+#include "prof/compare.hpp"             // profile regression gate
 #include "prof/counters.hpp"            // telemetry flag & engine counters
+#include "prof/histogram.hpp"           // log-bucketed latency histograms
 #include "prof/json.hpp"                // minimal JSON value type
 #include "prof/profile.hpp"             // RunProfile telemetry aggregate
 #include "serve/fingerprint.hpp"        // structural matrix fingerprints
@@ -61,6 +63,7 @@
 #include "sparse/matrix_stats.hpp"      // row-length statistics
 #include "sparse/mm_io.hpp"             // Matrix Market I/O
 #include "sparse/reorder.hpp"           // row permutation utilities
+#include "trace/trace.hpp"              // request-scoped tracing
 #include "util/cli.hpp"                 // flag parsing for tools
 #include "util/log.hpp"                 // leveled logging
 #include "util/rng.hpp"                 // deterministic RNG

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace spmv::clsim {
 
 namespace {
@@ -45,6 +47,9 @@ struct ThreadPool::Impl {
   int participants = 0;  // workers expected on this job
   void* ctx = nullptr;
   GroupFn fn = nullptr;
+  /// The submitter's trace request id, re-adopted by every worker running
+  /// this job so spans on pool threads correlate with the request.
+  std::uint64_t job_request_id = 0;
   std::atomic<std::int64_t> next{0};
   std::atomic<int> remaining{0};  // workers yet to finish this job
 
@@ -54,6 +59,9 @@ struct ThreadPool::Impl {
   void run_share() {
     const bool was_in_region = t_in_pool_region;
     t_in_pool_region = true;
+    trace::ScopedRequestId rid(job_request_id);
+    trace::TraceSpan span("pool-share", "pool");
+    std::int64_t executed = 0;
     for (;;) {
       const std::int64_t begin = next.fetch_add(chunk);
       if (begin >= n) break;
@@ -64,7 +72,9 @@ struct ThreadPool::Impl {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
       }
+      executed += end - begin;
     }
+    span.arg("groups", executed);
     t_in_pool_region = was_in_region;
   }
 
@@ -166,6 +176,7 @@ void ThreadPool::parallel_for(std::int64_t n, int chunk, int max_threads,
     impl_->participants = helpers;
     impl_->ctx = ctx;
     impl_->fn = fn;
+    impl_->job_request_id = trace::current_request_id();
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->remaining.store(helpers, std::memory_order_relaxed);
     impl_->error = nullptr;

@@ -1,5 +1,7 @@
 #include "core/auto_spmv.hpp"
 
+#include "trace/trace.hpp"
+
 namespace spmv::core {
 
 template <typename T>
@@ -9,21 +11,25 @@ AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
     : a_(a), engine_(engine), profile_(profile) {
   prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
   {
+    trace::TraceSpan span("plan-features", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->features_s : nullptr);
     stats_ = compute_row_stats(a);
   }
   Predictor::UnitChoice choice;
   {
+    trace::TraceSpan span("plan-predict-unit", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->predict_s : nullptr);
     choice = forced.has_value() ? *forced : predictor.predict_unit(stats_);
   }
   plan_.unit = choice.unit;
   plan_.single_bin = choice.single_bin;
   {
+    trace::TraceSpan span("plan-binning", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->binning_s : nullptr);
     bins_ = bins_for_plan(a, plan_);
   }
   {
+    trace::TraceSpan span("plan-predict-kernels", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->predict_s : nullptr);
     for (int b : bins_.occupied_bins()) {
       plan_.bin_kernels.push_back(
@@ -40,10 +46,12 @@ AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan,
   plan_.normalize();  // external plans may violate the ascending invariant
   prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
   {
+    trace::TraceSpan span("plan-features", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->features_s : nullptr);
     stats_ = compute_row_stats(a);
   }
   {
+    trace::TraceSpan span("plan-binning", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->binning_s : nullptr);
     bins_ = bins_for_plan(a, plan_);
   }

@@ -5,6 +5,7 @@
 
 #include "binning/binning.hpp"
 #include "kernels/binned_common.hpp"
+#include "trace/trace.hpp"
 
 namespace spmv::kernels {
 
@@ -16,7 +17,7 @@ const std::vector<KernelId>& all_kernels() {
   return ids;
 }
 
-std::string kernel_name(KernelId id) {
+const char* kernel_cname(KernelId id) {
   switch (id) {
     case KernelId::Serial: return "serial";
     case KernelId::Sub2: return "subvector2";
@@ -28,8 +29,10 @@ std::string kernel_name(KernelId id) {
     case KernelId::Sub128: return "subvector128";
     case KernelId::Vector: return "vector";
   }
-  throw std::invalid_argument("kernel_name: bad id");
+  throw std::invalid_argument("kernel_cname: bad id");
 }
+
+std::string kernel_name(KernelId id) { return kernel_cname(id); }
 
 KernelId kernel_from_name(const std::string& name) {
   for (KernelId id : all_kernels()) {
@@ -57,6 +60,9 @@ template <typename T>
 void run_binned(KernelId id, const clsim::Engine& engine,
                 const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
                 std::span<const index_t> vrows, index_t unit) {
+  trace::TraceSpan span(kernel_cname(id), "kernel");
+  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
+  span.arg("unit", unit);
   switch (id) {
     case KernelId::Serial:
       return kernel_serial(engine, a, x, y, vrows, unit);
@@ -167,6 +173,9 @@ void run_binned_batch(KernelId id, const clsim::Engine& engine,
     throw std::invalid_argument("run_binned_batch: X/Y extents do not match "
                                 "cols*batch / rows*batch");
   if (batch == 1) return run_binned(id, engine, a, x, y, vrows, unit);
+  trace::TraceSpan span(kernel_cname(id), "kernel-batch");
+  span.arg("width", batch);
+  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
   const int limit = native_batch_limit<T>(id);
   if (limit >= 2) {
     // Native path, sliced so each launch's accumulators fit the arena.

@@ -35,6 +35,10 @@ const std::vector<KernelId>& all_kernels();
 /// Stable display name, e.g. "serial", "subvector16", "vector".
 std::string kernel_name(KernelId id);
 
+/// kernel_name as a static string — for call sites that must not allocate
+/// (trace spans store the pointer).
+const char* kernel_cname(KernelId id);
+
 /// Inverse of kernel_name(). Throws std::invalid_argument on unknown names.
 KernelId kernel_from_name(const std::string& name);
 

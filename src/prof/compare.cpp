@@ -1,0 +1,84 @@
+#include "prof/compare.hpp"
+
+#include <stdexcept>
+
+namespace spmv::prof {
+
+namespace {
+
+void add_metric(CompareResult& result, const std::string& name,
+                double baseline, double current, double threshold) {
+  MetricDelta m;
+  m.name = name;
+  m.baseline = baseline;
+  m.current = current;
+  m.ratio = baseline > 0.0 ? current / baseline : 1.0;
+  m.regressed = baseline > 0.0 && m.ratio > threshold;
+  result.metrics.push_back(std::move(m));
+}
+
+/// Mean wall time of one run() call; 0 when the profile recorded none.
+double mean_run_s(const RunProfile& p) {
+  return p.runs == 0 ? 0.0 : p.run_total_s / static_cast<double>(p.runs);
+}
+
+const BinRunSample* find_bin(const RunProfile& p, int bin_id,
+                             const std::string& kernel) {
+  for (const BinRunSample& s : p.bins) {
+    if (s.bin_id == bin_id && s.kernel == kernel) return &s;
+  }
+  return nullptr;
+}
+
+double mean_bin_s(const BinRunSample& s) {
+  return s.launches == 0 ? 0.0
+                         : s.seconds / static_cast<double>(s.launches);
+}
+
+}  // namespace
+
+CompareResult compare_profiles(const RunProfile& baseline,
+                               const RunProfile& current, double threshold) {
+  if (threshold <= 0.0)
+    throw std::invalid_argument("compare_profiles: threshold must be > 0");
+  CompareResult result;
+
+  if (baseline.runs > 0 && current.runs > 0)
+    add_metric(result, "run_mean_s", mean_run_s(baseline), mean_run_s(current),
+               threshold);
+  if (baseline.plan_timing.total_s() > 0.0 &&
+      current.plan_timing.total_s() > 0.0)
+    add_metric(result, "plan_total_s", baseline.plan_timing.total_s(),
+               current.plan_timing.total_s(), threshold);
+
+  // Per-bin kernel time, matched by (bin id, kernel). Bins present on only
+  // one side (a different plan was chosen) are skipped — the end-to-end
+  // run_mean_s metric is the arbiter of whether the new plan is a loss.
+  for (const BinRunSample& cur : current.bins) {
+    const BinRunSample* base = find_bin(baseline, cur.bin_id, cur.kernel);
+    if (base == nullptr) continue;
+    add_metric(result,
+               "bin" + std::to_string(cur.bin_id) + "_" + cur.kernel + "_s",
+               mean_bin_s(*base), mean_bin_s(cur), threshold);
+  }
+
+  const ServeStats& bs = baseline.serve;
+  const ServeStats& cs = current.serve;
+  if (!bs.request_latency.empty() && !cs.request_latency.empty()) {
+    add_metric(result, "serve_request_p50_s", bs.request_latency.percentile(50),
+               cs.request_latency.percentile(50), threshold);
+    add_metric(result, "serve_request_p95_s", bs.request_latency.percentile(95),
+               cs.request_latency.percentile(95), threshold);
+    add_metric(result, "serve_request_p99_s", bs.request_latency.percentile(99),
+               cs.request_latency.percentile(99), threshold);
+  }
+  if (!bs.queue_wait.empty() && !cs.queue_wait.empty())
+    add_metric(result, "serve_queue_wait_p95_s", bs.queue_wait.percentile(95),
+               cs.queue_wait.percentile(95), threshold);
+  if (!bs.batch_exec.empty() && !cs.batch_exec.empty())
+    add_metric(result, "serve_batch_exec_p50_s", bs.batch_exec.percentile(50),
+               cs.batch_exec.percentile(50), threshold);
+  return result;
+}
+
+}  // namespace spmv::prof

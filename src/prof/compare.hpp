@@ -1,0 +1,46 @@
+// Profile regression gate: diff two RunProfile artifacts metric by metric
+// and flag regressions beyond a ratio threshold. Backs the
+// `spmv_tool compare-profiles baseline.json current.json` CI gate — the
+// machinery that turns saved profiles into a pass/fail answer to "did this
+// change slow the hot path down?".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prof/profile.hpp"
+
+namespace spmv::prof {
+
+/// One compared metric. `ratio` is current/baseline; `regressed` means the
+/// ratio exceeded the threshold (only metrics with a positive baseline can
+/// regress — a metric appearing for the first time is informational).
+struct MetricDelta {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 1.0;
+  bool regressed = false;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> metrics;
+
+  [[nodiscard]] bool regressed() const {
+    for (const MetricDelta& m : metrics) {
+      if (m.regressed) return true;
+    }
+    return false;
+  }
+};
+
+/// Compare `current` against `baseline` with a multiplicative `threshold`
+/// (e.g. 1.15 = tolerate 15% slower). Covered metrics, each only when both
+/// profiles carry it: mean run time, plan-construction time, per-bin mean
+/// kernel time (matched by bin id + kernel name), and the serve latency
+/// percentiles (request p50/p95/p99, queue-wait p95, batch-exec p50).
+/// Throws std::invalid_argument when threshold <= 0.
+CompareResult compare_profiles(const RunProfile& baseline,
+                               const RunProfile& current, double threshold);
+
+}  // namespace spmv::prof

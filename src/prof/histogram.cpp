@@ -1,0 +1,98 @@
+#include "prof/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spmv::prof {
+
+int LatencyHistogram::bucket_index(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN / negatives
+  const double octaves = std::log2(seconds / kMinSeconds);
+  const int i = 1 + static_cast<int>(std::floor(octaves * kBucketsPerOctave));
+  return std::min(i, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower_bound(int i) {
+  if (i <= 0) return 0.0;
+  return kMinSeconds * std::exp2((i - 1) / kBucketsPerOctave);
+}
+
+double LatencyHistogram::bucket_upper_bound(int i) {
+  return kMinSeconds * std::exp2(i / kBucketsPerOctave);
+}
+
+void LatencyHistogram::add(double seconds) {
+  if (!(seconds > 0.0)) seconds = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_index(seconds))] += 1;
+  if (count_ == 0 || seconds < min_s_) min_s_ = seconds;
+  if (seconds > max_s_) max_s_ = seconds;
+  count_ += 1;
+  total_s_ += seconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  if (count_ == 0 || other.min_s_ < min_s_) min_s_ = other.min_s_;
+  max_s_ = std::max(max_s_, other.max_s_);
+  count_ += other.count_;
+  total_s_ += other.total_s_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      const double lo = bucket_lower_bound(i);
+      const double hi = bucket_upper_bound(i);
+      const double mid = lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+      return std::clamp(mid, min_s(), max_s_);
+    }
+  }
+  return max_s_;
+}
+
+Json LatencyHistogram::to_json() const {
+  Json j = Json::object();
+  j.set("count", count_);
+  j.set("total_s", total_s_);
+  j.set("min_s", min_s());
+  j.set("max_s", max_s_);
+  j.set("p50_s", percentile(50.0));
+  j.set("p95_s", percentile(95.0));
+  j.set("p99_s", percentile(99.0));
+  Json buckets = Json::array();
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    Json pair = Json::array();
+    pair.push_back(i);
+    pair.push_back(n);
+    buckets.push_back(std::move(pair));
+  }
+  j.set("buckets", buckets);
+  return j;
+}
+
+LatencyHistogram LatencyHistogram::from_json(const Json& j) {
+  LatencyHistogram h;
+  h.count_ = j.at("count").as_uint();
+  h.total_s_ = j.at("total_s").as_number();
+  h.min_s_ = j.at("min_s").as_number();
+  h.max_s_ = j.at("max_s").as_number();
+  for (const Json& pair : j.at("buckets").items()) {
+    const auto i = static_cast<std::size_t>(pair.at(0).as_int());
+    if (i < static_cast<std::size_t>(kBuckets))
+      h.buckets_[i] = pair.at(1).as_uint();
+  }
+  return h;
+}
+
+}  // namespace spmv::prof

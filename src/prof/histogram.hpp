@@ -1,0 +1,67 @@
+// Log-bucketed latency histogram with percentile extraction. Buckets grow
+// geometrically (three per octave, ~26% resolution) from 100 ns, covering
+// past four minutes in 96 buckets — the full range a serving request can
+// plausibly occupy. Fixed-size storage makes add() allocation-free and
+// merge() a vector add, so histograms can live inside stats structs that
+// are copied under locks (prof::ServeStats).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "prof/json.hpp"
+
+namespace spmv::prof {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 96;
+  static constexpr double kMinSeconds = 1e-7;       ///< bucket 0 upper bound
+  static constexpr double kBucketsPerOctave = 3.0;  ///< growth 2^(1/3)
+
+  /// Record one sample (negative values clamp to 0).
+  void add(double seconds);
+
+  /// Fold another histogram in: counts add, min/max widen.
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double total_s() const { return total_s_; }
+  [[nodiscard]] double min_s() const { return count_ == 0 ? 0.0 : min_s_; }
+  [[nodiscard]] double max_s() const { return max_s_; }
+  [[nodiscard]] double mean_s() const {
+    return count_ == 0 ? 0.0 : total_s_ / static_cast<double>(count_);
+  }
+
+  /// The p-th percentile (p in [0, 100]): the geometric midpoint of the
+  /// bucket holding the rank-⌈p/100·count⌉ sample, clamped to the observed
+  /// [min, max]. 0 when empty. Accurate to one bucket (~26%).
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Bucket index a sample lands in (exposed for tests).
+  static int bucket_index(double seconds);
+  /// [lower, upper) bounds of bucket `i` in seconds.
+  static double bucket_lower_bound(int i);
+  static double bucket_upper_bound(int i);
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// JSON: {count, total_s, min_s, max_s, p50_s, p95_s, p99_s,
+  /// buckets: [[index, count], ...]} — percentiles are written for human
+  /// readers and recomputed from the buckets on load.
+  [[nodiscard]] Json to_json() const;
+  static LatencyHistogram from_json(const Json& j);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double total_s_ = 0.0;
+  double min_s_ = 0.0;
+  double max_s_ = 0.0;
+};
+
+}  // namespace spmv::prof

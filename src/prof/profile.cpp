@@ -1,10 +1,31 @@
 #include "prof/profile.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace spmv::prof {
+
+void ServeStats::merge(const ServeStats& other) {
+  requests += other.requests;
+  rejected += other.rejected;
+  batches += other.batches;
+  queue_wait_total_s += other.queue_wait_total_s;
+  queue_wait_max_s = std::max(queue_wait_max_s, other.queue_wait_max_s);
+  exec_total_s += other.exec_total_s;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  if (batch_width_hist.size() < other.batch_width_hist.size())
+    batch_width_hist.resize(other.batch_width_hist.size(), 0);
+  for (std::size_t i = 0; i < other.batch_width_hist.size(); ++i)
+    batch_width_hist[i] += other.batch_width_hist[i];
+  request_latency.merge(other.request_latency);
+  queue_wait.merge(other.queue_wait);
+  batch_exec.merge(other.batch_exec);
+}
 
 void RunProfile::add_bin_run(int bin_id, const std::string& kernel,
                              std::int64_t virtual_rows,
@@ -127,6 +148,12 @@ Json RunProfile::to_json() const {
     Json hist = Json::array();
     for (std::uint64_t n : serve.batch_width_hist) hist.push_back(n);
     sv.set("batch_width_hist", hist);
+    if (!serve.request_latency.empty())
+      sv.set("request_latency", serve.request_latency.to_json());
+    if (!serve.queue_wait.empty())
+      sv.set("queue_wait", serve.queue_wait.to_json());
+    if (!serve.batch_exec.empty())
+      sv.set("batch_exec", serve.batch_exec.to_json());
     j.set("serve", sv);
   }
   return j;
@@ -194,6 +221,14 @@ RunProfile RunProfile::from_json(const Json& j) {
     p.serve.cache_evictions = cache.at("evictions").as_uint();
     for (const Json& n : sv->at("batch_width_hist").items())
       p.serve.batch_width_hist.push_back(n.as_uint());
+    // Histograms arrived with this schema revision; older artifacts and
+    // empty distributions simply omit them.
+    if (const Json* h = sv->find("request_latency"); h != nullptr)
+      p.serve.request_latency = LatencyHistogram::from_json(*h);
+    if (const Json* h = sv->find("queue_wait"); h != nullptr)
+      p.serve.queue_wait = LatencyHistogram::from_json(*h);
+    if (const Json* h = sv->find("batch_exec"); h != nullptr)
+      p.serve.batch_exec = LatencyHistogram::from_json(*h);
   }
   return p;
 }
@@ -207,6 +242,76 @@ void write_profile_file(const std::string& path, const RunProfile& profile) {
   if (!out) throw std::runtime_error("cannot write profile file: " + path);
   out << profile.to_json_text();
   if (!out) throw std::runtime_error("error writing profile file: " + path);
+}
+
+RunProfile read_profile_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read profile file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return RunProfile::from_json(Json::parse(text.str()));
+}
+
+namespace {
+
+void metric(std::string& out, const std::string& name, const char* type,
+            double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += "# TYPE " + name + " " + type + "\n";
+  out += name + " " + buf + "\n";
+}
+
+/// A latency distribution as a Prometheus summary: quantiles + _sum/_count.
+void summary(std::string& out, const std::string& name,
+             const LatencyHistogram& h) {
+  out += "# TYPE " + name + " summary\n";
+  const struct {
+    const char* label;
+    double p;
+  } quantiles[] = {{"0.5", 50.0}, {"0.95", 95.0}, {"0.99", 99.0}};
+  char buf[64];
+  for (const auto& q : quantiles) {
+    std::snprintf(buf, sizeof(buf), "%.9g", h.percentile(q.p));
+    out += name + "{quantile=\"" + q.label + "\"} " + buf + "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%.9g", h.total_s());
+  out += name + "_sum " + buf + "\n";
+  out += name + "_count " + std::to_string(h.count()) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text(const RunProfile& profile) {
+  std::string out;
+  metric(out, "spmv_runs_total", "counter",
+         static_cast<double>(profile.runs));
+  metric(out, "spmv_run_seconds_total", "counter", profile.run_total_s);
+  metric(out, "spmv_plan_seconds", "gauge", profile.plan_timing.total_s());
+  metric(out, "spmv_engine_launches_total", "counter",
+         static_cast<double>(profile.engine.launches));
+  metric(out, "spmv_engine_groups_total", "counter",
+         static_cast<double>(profile.engine.groups));
+  const ServeStats& s = profile.serve;
+  if (!s.empty()) {
+    metric(out, "spmv_serve_requests_total", "counter",
+           static_cast<double>(s.requests));
+    metric(out, "spmv_serve_rejected_total", "counter",
+           static_cast<double>(s.rejected));
+    metric(out, "spmv_serve_batches_total", "counter",
+           static_cast<double>(s.batches));
+    metric(out, "spmv_serve_cache_hits_total", "counter",
+           static_cast<double>(s.cache_hits));
+    metric(out, "spmv_serve_cache_misses_total", "counter",
+           static_cast<double>(s.cache_misses));
+    metric(out, "spmv_serve_cache_evictions_total", "counter",
+           static_cast<double>(s.cache_evictions));
+    metric(out, "spmv_serve_cache_hit_rate", "gauge", s.cache_hit_rate());
+    summary(out, "spmv_serve_request_latency_seconds", s.request_latency);
+    summary(out, "spmv_serve_queue_wait_seconds", s.queue_wait);
+    summary(out, "spmv_serve_batch_exec_seconds", s.batch_exec);
+  }
+  return out;
 }
 
 }  // namespace spmv::prof

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "prof/counters.hpp"
+#include "prof/histogram.hpp"
 #include "prof/json.hpp"
 
 namespace spmv::prof {
@@ -87,6 +88,12 @@ struct ServeStats {
   std::uint64_t cache_evictions = 0;
   /// batch_width_hist[w-1] = number of batches executed at width w.
   std::vector<std::uint64_t> batch_width_hist;
+  /// Latency distributions (p50/p95/p99 via LatencyHistogram::percentile):
+  /// end-to-end submit→complete per request, submit→dispatch wait per
+  /// request, and execution wall time per batch.
+  LatencyHistogram request_latency;
+  LatencyHistogram queue_wait;
+  LatencyHistogram batch_exec;
 
   /// Count one dispatched batch of `width` requests.
   void add_batch(int width) {
@@ -96,6 +103,11 @@ struct ServeStats {
       batch_width_hist.resize(static_cast<std::size_t>(width), 0);
     batch_width_hist[static_cast<std::size_t>(width) - 1] += 1;
   }
+
+  /// Fold another service's (or worker's) stats in: counters add, the max
+  /// takes the larger value, and the width/latency histograms sum — the
+  /// principled combine for stats gathered independently.
+  void merge(const ServeStats& other);
 
   [[nodiscard]] double cache_hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -153,5 +165,14 @@ struct RunProfile {
 /// Write `profile` as pretty-printed JSON; throws std::runtime_error when
 /// the file cannot be written.
 void write_profile_file(const std::string& path, const RunProfile& profile);
+
+/// Load a RunProfile JSON artifact; throws std::runtime_error when the
+/// file cannot be read or parsed.
+RunProfile read_profile_file(const std::string& path);
+
+/// Prometheus text exposition (text/plain; version 0.0.4) of the profile:
+/// run/engine counters plus — when a service recorded — serve counters and
+/// the latency summaries with p50/p95/p99 quantiles.
+[[nodiscard]] std::string prometheus_text(const RunProfile& profile);
 
 }  // namespace spmv::prof

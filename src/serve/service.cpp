@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/exhaustive.hpp"
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace spmv::serve {
@@ -18,6 +19,8 @@ struct SpmvService<T>::Request {
   std::vector<T> x;
   std::promise<std::vector<T>> result;
   util::Timer queued;  ///< started at submit; read at dispatch
+  std::uint64_t trace_id = 0;        ///< nonzero only while tracing is on
+  std::uint64_t trace_submit_ns = 0; ///< trace-clock submit time
 };
 
 template <typename T>
@@ -62,18 +65,33 @@ std::future<std::vector<T>> SpmvService<T>::submit(
     throw std::invalid_argument(
         "SpmvService::submit: x length does not match matrix cols");
 
+  // The request's trace lifetime opens at submission; spans recorded on
+  // whichever worker thread executes it carry the same id.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_submit_ns = 0;
+  if (trace::enabled()) {
+    trace_id = trace::next_request_id();
+    trace_submit_ns = trace::now_ns();
+    trace::emit_async_begin("request", "serve", trace_id);
+  }
+
   std::future<std::vector<T>> fut;
   {
     std::lock_guard<std::mutex> lock(queue_->mutex);
-    if (queue_->stopping)
+    if (queue_->stopping) {
+      if (trace_id != 0) trace::emit_async_end("request", "serve", trace_id);
       throw std::runtime_error("SpmvService::submit: service is shut down");
+    }
     if (queue_->pending.size() >= opts_.queue_high_water) {
       queue_->stats.rejected += 1;
+      if (trace_id != 0) trace::emit_async_end("request", "serve", trace_id);
       throw QueueFullError(opts_.queue_high_water);
     }
     Request r;
     r.matrix = std::move(a);
     r.x = std::move(x);
+    r.trace_id = trace_id;
+    r.trace_submit_ns = trace_submit_ns;
     fut = r.result.get_future();
     queue_->pending.push_back(std::move(r));
     queue_->stats.requests += 1;
@@ -116,20 +134,43 @@ void SpmvService<T>::worker_loop() {
     }
 
     const int width = static_cast<int>(batch.size());
+    // All of the batch's worker-side spans adopt the head request's id —
+    // the claimed-instants below tie the other batch members to it. Each
+    // request also gets a queue-wait span (begin stamped at submit, on the
+    // client's thread) so its full lifetime is span-covered.
+    trace::ScopedRequestId rid_scope(batch.front().trace_id);
+    const std::uint64_t claim_ns =
+        trace::enabled() ? trace::now_ns() : 0;
+    for (const Request& r : batch) {
+      if (r.trace_id != 0) {
+        trace::emit_complete("queue-wait", "serve", r.trace_submit_ns,
+                             claim_ns, r.trace_id);
+        trace::emit_async_instant("claimed", "serve", r.trace_id);
+      }
+    }
+
+    std::vector<double> waits;
+    waits.reserve(batch.size());
     double wait_sum = 0.0;
     double wait_max = 0.0;
     for (const Request& r : batch) {
       const double w = r.queued.elapsed_s();
+      waits.push_back(w);
       wait_sum += w;
       wait_max = std::max(wait_max, w);
     }
 
     const auto fail_all = [&](std::exception_ptr e) {
-      for (Request& r : batch) r.result.set_exception(e);
+      for (Request& r : batch) {
+        if (r.trace_id != 0)
+          trace::emit_async_end("request", "serve", r.trace_id);
+        r.result.set_exception(e);
+      }
     };
 
     std::shared_ptr<const typename PlanCache<T>::Entry> entry;
     try {
+      trace::TraceSpan span("plan-cache-get", "serve");
       entry = cache_.get(batch.front().matrix);
     } catch (...) {
       fail_all(std::current_exception());
@@ -144,12 +185,27 @@ void SpmvService<T>::worker_loop() {
     const auto rows = static_cast<std::size_t>(a.rows());
     const auto cols = static_cast<std::size_t>(a.cols());
     util::Timer exec;
+    std::vector<double> latencies;
+    latencies.reserve(batch.size());
+    const auto complete = [&](Request& r, std::vector<T> y) {
+      latencies.push_back(r.queued.elapsed_s());
+      if (r.trace_id != 0) {
+        // Claim-to-completion under the request's own id, so together with
+        // its queue-wait span the request's lifetime is fully covered.
+        trace::emit_complete("serve-batch", "serve", claim_ns,
+                             trace::now_ns(), r.trace_id);
+        trace::emit_async_end("request", "serve", r.trace_id);
+      }
+      r.result.set_value(std::move(y));
+    };
     try {
+      trace::TraceSpan span("execute-batch", "serve");
+      span.arg("width", width);
       if (width == 1) {
         std::vector<T> y(rows);
         core::execute_plan(engine_, a, std::span<const T>(batch.front().x),
                            std::span<T>(y), rt.bins(), rt.plan());
-        batch.front().result.set_value(std::move(y));
+        complete(batch.front(), std::move(y));
       } else {
         // Column-major gather/scatter around one batched execution.
         std::vector<T> xs(cols * static_cast<std::size_t>(width));
@@ -163,8 +219,9 @@ void SpmvService<T>::worker_loop() {
                                  rt.plan());
         for (int b = 0; b < width; ++b) {
           const auto first = ys.begin() + static_cast<std::size_t>(b) * rows;
-          batch[static_cast<std::size_t>(b)].result.set_value(
-              std::vector<T>(first, first + static_cast<std::ptrdiff_t>(rows)));
+          complete(batch[static_cast<std::size_t>(b)],
+                   std::vector<T>(first,
+                                  first + static_cast<std::ptrdiff_t>(rows)));
         }
       }
     } catch (...) {
@@ -179,6 +236,9 @@ void SpmvService<T>::worker_loop() {
       q.stats.queue_wait_total_s += wait_sum;
       q.stats.queue_wait_max_s = std::max(q.stats.queue_wait_max_s, wait_max);
       q.stats.exec_total_s += exec_s;
+      for (const double w : waits) q.stats.queue_wait.add(w);
+      for (const double lat : latencies) q.stats.request_latency.add(lat);
+      q.stats.batch_exec.add(exec_s);
     }
   }
 }
@@ -197,21 +257,7 @@ void SpmvService<T>::shutdown() {
 
   if (opts_.profile != nullptr && !queue_->profile_flushed) {
     queue_->profile_flushed = true;
-    const prof::ServeStats s = stats();
-    prof::ServeStats& dst = opts_.profile->serve;
-    dst.requests += s.requests;
-    dst.rejected += s.rejected;
-    dst.batches += s.batches;
-    dst.queue_wait_total_s += s.queue_wait_total_s;
-    dst.queue_wait_max_s = std::max(dst.queue_wait_max_s, s.queue_wait_max_s);
-    dst.exec_total_s += s.exec_total_s;
-    dst.cache_hits += s.cache_hits;
-    dst.cache_misses += s.cache_misses;
-    dst.cache_evictions += s.cache_evictions;
-    if (dst.batch_width_hist.size() < s.batch_width_hist.size())
-      dst.batch_width_hist.resize(s.batch_width_hist.size(), 0);
-    for (std::size_t i = 0; i < s.batch_width_hist.size(); ++i)
-      dst.batch_width_hist[i] += s.batch_width_hist[i];
+    opts_.profile->serve.merge(stats());
   }
 }
 

@@ -1,13 +1,33 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace spmv::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Startup threshold: SPMV_LOG_LEVEL when set and recognizable, else Warn.
+LogLevel level_from_env() {
+  const char* env = std::getenv("SPMV_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::Warn;
+  std::string name;
+  for (const char* c = env; *c != '\0'; ++c)
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(*c)));
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn" || name == "warning") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off" || name == "none") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -19,6 +39,15 @@ const char* level_name(LogLevel level) {
     default: return "?";
   }
 }
+
+/// Small sequential thread tag (t1, t2, ...) — stable per thread, readable
+/// across interleaved worker output.
+int thread_tag() {
+  static std::atomic<int> next{1};
+  thread_local const int tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -26,8 +55,22 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char stamp[16];
+  std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[%s.%03d] [%s] [t%d] %s\n", stamp,
+               static_cast<int>(ms), level_name(level), thread_tag(),
+               msg.c_str());
 }
 
 }  // namespace spmv::util

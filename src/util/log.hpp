@@ -1,6 +1,7 @@
 // Lightweight leveled logging to stderr. The library itself logs nothing at
 // Info by default during kernels; the trainer and benches use it for
-// progress reporting.
+// progress reporting. Lines carry a wall-clock timestamp and a small
+// per-thread tag so interleaved worker output stays attributable.
 #pragma once
 
 #include <sstream>
@@ -11,7 +12,9 @@ namespace spmv::util {
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 /// Global threshold; messages below it are dropped. Defaults to Warn so
-/// library consumers see nothing unless they opt in.
+/// library consumers see nothing unless they opt in; the `SPMV_LOG_LEVEL`
+/// environment variable (debug|info|warn|error|off, case-insensitive)
+/// overrides the default at startup.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -19,18 +22,27 @@ LogLevel log_level();
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
+/// Streaming log statement. The threshold is checked at construction, so a
+/// dropped message pays one load and branch per `<<` — never the
+/// ostringstream formatting.
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
-  ~LogStream() { log_line(level_, stream_.str()); }
+  explicit LogStream(LogLevel level)
+      : level_(level),
+        enabled_(static_cast<int>(level) >=
+                 static_cast<int>(log_level())) {}
+  ~LogStream() {
+    if (enabled_) log_line(level_, stream_.str());
+  }
   template <typename T>
   LogStream& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 }  // namespace detail

@@ -181,6 +181,250 @@ TEST(ProfRunProfile, JsonRoundTrip) {
   EXPECT_EQ(restored.to_json_text(), p.to_json_text());
 }
 
+TEST(ProfHistogram, BucketIndexAndPercentiles) {
+  using H = prof::LatencyHistogram;
+  // Bucket 0 catches everything at or below the 100 ns floor — including
+  // the pathological inputs add() clamps.
+  EXPECT_EQ(H::bucket_index(0.0), 0);
+  EXPECT_EQ(H::bucket_index(-1.0), 0);
+  EXPECT_EQ(H::bucket_index(1e-7), 0);
+  EXPECT_EQ(H::bucket_index(1e-6), H::bucket_index(1e-6));
+  EXPECT_LT(H::bucket_index(1e-6), H::bucket_index(1e-3));
+  EXPECT_EQ(H::bucket_index(1e9), H::kBuckets - 1);  // clamped to the top
+  // Bounds tile the axis: each bucket's upper bound is the next lower one.
+  for (int i = 0; i < H::kBuckets - 1; ++i)
+    EXPECT_DOUBLE_EQ(H::bucket_upper_bound(i), H::bucket_lower_bound(i + 1));
+
+  H h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  for (int i = 0; i < 99; ++i) h.add(1e-3);
+  h.add(1.0);  // one outlier
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min_s(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max_s(), 1.0);
+  // p50/p95 land in the 1 ms bucket (one-bucket ~26% accuracy); p99 is
+  // still below the outlier, p100 reaches it.
+  EXPECT_NEAR(h.percentile(50), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.percentile(95), 1e-3, 0.3e-3);
+  EXPECT_LT(h.percentile(99), 0.5);
+  // p100 lands in the outlier's bucket (midpoint within ~26%, never past
+  // the observed max).
+  EXPECT_NEAR(h.percentile(100), 1.0, 0.3);
+  EXPECT_LE(h.percentile(100), h.max_s());
+}
+
+TEST(ProfHistogram, MergeAndJsonRoundTrip) {
+  prof::LatencyHistogram a;
+  a.add(1e-4);
+  a.add(2e-4);
+  prof::LatencyHistogram b;
+  b.add(5e-2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min_s(), 1e-4);
+  EXPECT_DOUBLE_EQ(a.max_s(), 5e-2);
+  EXPECT_NEAR(a.total_s(), 1e-4 + 2e-4 + 5e-2, 1e-12);
+  // Merging an empty histogram is a no-op either direction.
+  prof::LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+
+  const auto restored = prof::LatencyHistogram::from_json(
+      prof::Json::parse(a.to_json().dump()));
+  EXPECT_EQ(restored.count(), a.count());
+  EXPECT_DOUBLE_EQ(restored.min_s(), a.min_s());
+  EXPECT_DOUBLE_EQ(restored.max_s(), a.max_s());
+  EXPECT_EQ(restored.buckets(), a.buckets());
+  EXPECT_DOUBLE_EQ(restored.percentile(50), a.percentile(50));
+}
+
+TEST(ProfServeStats, AddBatchEdgeCases) {
+  prof::ServeStats s;
+  // width < 1 still counts the dispatch but records no histogram slot.
+  s.add_batch(0);
+  s.add_batch(-3);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_TRUE(s.batch_width_hist.empty());
+  // The width histogram grows to the widest batch seen and backfills.
+  s.add_batch(1);
+  s.add_batch(5);
+  s.add_batch(5);
+  ASSERT_EQ(s.batch_width_hist.size(), 5u);
+  EXPECT_EQ(s.batch_width_hist[0], 1u);
+  EXPECT_EQ(s.batch_width_hist[1], 0u);
+  EXPECT_EQ(s.batch_width_hist[4], 2u);
+  EXPECT_EQ(s.batches, 5u);
+}
+
+TEST(ProfServeStats, CacheHitRateWithZeroTraffic) {
+  const prof::ServeStats s;
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProfServeStats, MergeFoldsCountersMaxesAndHistograms) {
+  prof::ServeStats a;
+  a.requests = 10;
+  a.batches = 4;
+  a.queue_wait_total_s = 0.5;
+  a.queue_wait_max_s = 0.2;
+  a.cache_hits = 8;
+  a.add_batch(2);
+  a.request_latency.add(1e-3);
+  prof::ServeStats b;
+  b.requests = 5;
+  b.rejected = 1;
+  b.queue_wait_total_s = 0.25;
+  b.queue_wait_max_s = 0.4;
+  b.cache_misses = 2;
+  b.add_batch(3);
+  b.request_latency.add(2e-3);
+  b.batch_exec.add(5e-4);
+
+  a.merge(b);
+  EXPECT_EQ(a.requests, 15u);
+  EXPECT_EQ(a.rejected, 1u);
+  EXPECT_EQ(a.batches, 6u);  // 4 + 1 (add_batch) + 1 (merged)
+  EXPECT_DOUBLE_EQ(a.queue_wait_total_s, 0.75);
+  EXPECT_DOUBLE_EQ(a.queue_wait_max_s, 0.4);  // max, not sum
+  EXPECT_EQ(a.cache_hits, 8u);
+  EXPECT_EQ(a.cache_misses, 2u);
+  ASSERT_EQ(a.batch_width_hist.size(), 3u);
+  EXPECT_EQ(a.batch_width_hist[1], 1u);
+  EXPECT_EQ(a.batch_width_hist[2], 1u);
+  EXPECT_EQ(a.request_latency.count(), 2u);
+  EXPECT_EQ(a.batch_exec.count(), 1u);
+}
+
+TEST(ProfRunProfile, ServeHistogramsRoundTripThroughJson) {
+  prof::RunProfile p;
+  p.label = "serve";
+  p.serve.requests = 100;
+  p.serve.batches = 30;
+  p.serve.cache_hits = 95;
+  p.serve.cache_misses = 5;
+  p.serve.add_batch(4);
+  for (int i = 0; i < 100; ++i) p.serve.request_latency.add(1e-3 + 1e-5 * i);
+  for (int i = 0; i < 100; ++i) p.serve.queue_wait.add(2e-4);
+  for (int i = 0; i < 30; ++i) p.serve.batch_exec.add(8e-4);
+
+  const auto restored =
+      prof::RunProfile::from_json(prof::Json::parse(p.to_json_text()));
+  EXPECT_EQ(restored.serve.requests, 100u);
+  EXPECT_EQ(restored.serve.request_latency.count(), 100u);
+  EXPECT_EQ(restored.serve.queue_wait.count(), 100u);
+  EXPECT_EQ(restored.serve.batch_exec.count(), 30u);
+  EXPECT_DOUBLE_EQ(restored.serve.request_latency.percentile(95),
+                   p.serve.request_latency.percentile(95));
+  // Serializing again is a fixed point (percentile fields included).
+  EXPECT_EQ(restored.to_json_text(), p.to_json_text());
+
+  // Old artifacts without histogram fields still load.
+  auto j = prof::Json::parse(p.to_json_text());
+  prof::Json serve = prof::Json::object();
+  for (const auto& [key, value] : j.at("serve").members()) {
+    if (key != "request_latency" && key != "queue_wait" &&
+        key != "batch_exec")
+      serve.set(key, value);
+  }
+  prof::Json trimmed = prof::Json::object();
+  for (const auto& [key, value] : j.members())
+    trimmed.set(key, key == "serve" ? serve : value);
+  const auto old = prof::RunProfile::from_json(trimmed);
+  EXPECT_EQ(old.serve.requests, 100u);
+  EXPECT_TRUE(old.serve.request_latency.empty());
+}
+
+TEST(ProfCompare, IdenticalProfilesDoNotRegress) {
+  prof::RunProfile p;
+  p.runs = 10;
+  p.run_total_s = 0.1;
+  p.plan_timing = {.features_s = 1e-3, .predict_s = 1e-4, .binning_s = 2e-3};
+  p.add_bin_run(0, "serial", 100, 1000, 5000, 0.01);
+  for (int i = 0; i < 50; ++i) p.serve.request_latency.add(1e-3);
+  p.serve.requests = 50;
+
+  const auto result = prof::compare_profiles(p, p, 1.15);
+  ASSERT_FALSE(result.metrics.empty());
+  EXPECT_FALSE(result.regressed());
+  for (const auto& m : result.metrics) {
+    EXPECT_DOUBLE_EQ(m.ratio, 1.0);
+    EXPECT_FALSE(m.regressed);
+  }
+}
+
+TEST(ProfCompare, SyntheticSlowdownTripsTheGate) {
+  prof::RunProfile baseline;
+  baseline.runs = 10;
+  baseline.run_total_s = 0.1;
+  baseline.add_bin_run(2, "subvector8", 10, 100, 1000, 0.02);
+  prof::RunProfile current = baseline;
+  current.run_total_s = 0.2;  // 2x mean-run slowdown
+  current.bins[0].seconds = 0.05;
+
+  const auto result = prof::compare_profiles(baseline, current, 1.15);
+  EXPECT_TRUE(result.regressed());
+  bool run_flagged = false;
+  for (const auto& m : result.metrics) {
+    if (m.name == "run_mean_s") {
+      run_flagged = true;
+      EXPECT_DOUBLE_EQ(m.ratio, 2.0);
+      EXPECT_TRUE(m.regressed);
+    }
+  }
+  EXPECT_TRUE(run_flagged);
+  // The same pair passes with a threshold above the slowdown.
+  EXPECT_FALSE(prof::compare_profiles(baseline, current, 3.0).regressed());
+  EXPECT_THROW(prof::compare_profiles(baseline, current, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ProfCompare, SkipsMetricsMissingOnEitherSide) {
+  prof::RunProfile baseline;
+  baseline.runs = 5;
+  baseline.run_total_s = 0.05;
+  baseline.add_bin_run(0, "serial", 1, 1, 10, 0.01);
+  prof::RunProfile current;
+  current.runs = 5;
+  current.run_total_s = 0.05;
+  current.add_bin_run(3, "vector", 1, 1, 10, 0.5);  // different plan
+
+  const auto result = prof::compare_profiles(baseline, current, 1.15);
+  ASSERT_EQ(result.metrics.size(), 1u);  // only run_mean_s is comparable
+  EXPECT_EQ(result.metrics[0].name, "run_mean_s");
+  EXPECT_FALSE(result.regressed());
+}
+
+TEST(ProfPrometheus, ExposesCountersAndQuantiles) {
+  prof::RunProfile p;
+  p.runs = 4;
+  p.run_total_s = 0.02;
+  p.serve.requests = 10;
+  p.serve.batches = 3;
+  p.serve.cache_hits = 9;
+  p.serve.cache_misses = 1;
+  for (int i = 0; i < 10; ++i) p.serve.request_latency.add(1e-3);
+
+  const auto text = prof::prometheus_text(p);
+  EXPECT_NE(text.find("spmv_runs_total 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE spmv_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("spmv_serve_requests_total 10"), std::string::npos);
+  EXPECT_NE(text.find("spmv_serve_cache_hit_rate 0.9"), std::string::npos);
+  EXPECT_NE(
+      text.find("spmv_serve_request_latency_seconds{quantile=\"0.95\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("spmv_serve_request_latency_seconds_count 10"),
+            std::string::npos);
+  // Empty serve stats expose only the run/engine families.
+  const auto bare = prof::prometheus_text(prof::RunProfile{});
+  EXPECT_NE(bare.find("spmv_runs_total 0"), std::string::npos);
+  EXPECT_EQ(bare.find("spmv_serve_requests_total"), std::string::npos);
+}
+
 TEST(ProfRunProfile, BinSamplesStaySortedByBinId) {
   prof::RunProfile p;
   p.add_bin_run(7, "vector", 1, 1, 10, 0.1);

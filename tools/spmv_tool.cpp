@@ -12,9 +12,17 @@
 //   train    [--matrices N] [--out M] train a model on the synthetic corpus
 //   gen      --family NAME --rows N --out F.mtx  write a synthetic matrix
 //   serve-bench  (same inputs) [--requests R] [--clients C] [--workers W]
-//            [--max-batch B] [--profile out.json]
+//            [--max-batch B] [--profile out.json] [--trace out.trace.json]
+//            [--metrics-out metrics.txt]
 //            drive an SpmvService with concurrent clients and compare its
-//            throughput against naive per-request plan-and-run
+//            throughput against naive per-request plan-and-run; --trace
+//            writes a Chrome trace-event file (chrome://tracing/Perfetto)
+//            of the traced requests, --metrics-out a Prometheus text
+//            exposition of the serve stats
+//   compare-profiles  baseline.json current.json [--threshold 1.15]
+//            diff two RunProfile artifacts (run time, per-bin kernel time,
+//            serve percentiles); exits 1 when current regresses past the
+//            threshold — the CI perf gate
 //
 // Examples:
 //   spmv_tool train --matrices 120 --out model.txt
@@ -22,9 +30,12 @@
 //   spmv_tool run --matrix cant --profile cant.json
 //   spmv_tool tune --family power_law --rows 50000
 //   spmv_tool serve-bench --matrix cant --clients 8 --profile serve.json
+//   spmv_tool serve-bench --matrix cant --trace cant.trace.json
+//   spmv_tool compare-profiles main.json pr.json --threshold 1.15
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -38,16 +49,21 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: spmv_tool <info|tune|run|train|gen|serve-bench> "
+               "usage: spmv_tool "
+               "<info|tune|run|train|gen|serve-bench|compare-profiles> "
                "[flags]\n"
                "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
                "               --family <corpus family> --rows N [--param P]\n"
                "  run flags:   --model model.txt --reps K --profile out.json\n"
+               "               --trace out.trace.json\n"
                "  tune flags:  --profile out.json\n"
                "  train flags: --matrices N --out model.txt\n"
                "  gen flags:   --out file.mtx --seed S\n"
                "  serve-bench flags: --requests R --clients C --workers W\n"
-               "               --max-batch B --profile out.json\n");
+               "               --max-batch B --profile out.json\n"
+               "               --trace out.trace.json --metrics-out m.txt\n"
+               "  compare-profiles: baseline.json current.json "
+               "[--threshold 1.15]\n");
   return 2;
 }
 
@@ -171,6 +187,8 @@ int cmd_run(const util::Cli& cli) {
   prof::RunProfile profile;
   profile.label = cli.get("matrix", cli.get("mtx", cli.get("family", "")));
   prof::set_enabled(!profile_path.empty());
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) trace::start();
 
   const auto auto_spmv =
       core::Tuner(a)
@@ -223,6 +241,14 @@ int cmd_run(const util::Cli& cli) {
     std::printf("\nprofile written to %s (%llu runs recorded)\n",
                 profile_path.c_str(),
                 static_cast<unsigned long long>(profile.runs));
+  }
+  if (!trace_path.empty()) {
+    trace::stop();
+    const auto snap = trace::snapshot();
+    trace::write_chrome_trace_file(trace_path);
+    std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                trace_path.c_str(), snap.events.size(),
+                static_cast<unsigned long long>(snap.dropped));
   }
   return 0;
 }
@@ -321,6 +347,11 @@ int cmd_serve_bench(const util::Cli& cli) {
   opts.max_batch = max_batch;
   opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
   opts.profile = &profile;
+  // --trace records the served half of the bench (submit -> queue ->
+  // batch-claim -> execute -> complete, request-id-correlated across the
+  // worker threads) as a Chrome trace-event file.
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) trace::start();
   double serve_s = 0.0;
   {
     serve::SpmvService<float> service(*pred, opts);
@@ -338,6 +369,7 @@ int cmd_serve_bench(const util::Cli& cli) {
     serve_s = wall.elapsed_s();
     service.shutdown();
   }
+  if (!trace_path.empty()) trace::stop();
 
   const auto& s = profile.serve;
   std::printf("\n%-24s %12s %14s\n", "strategy", "wall[ms]", "requests/s");
@@ -352,11 +384,67 @@ int cmd_serve_bench(const util::Cli& cli) {
               s.requests == 0 ? 0.0
                               : 1e3 * s.queue_wait_total_s /
                                     static_cast<double>(s.requests));
+  if (!s.request_latency.empty()) {
+    std::printf("request latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+                1e3 * s.request_latency.percentile(50),
+                1e3 * s.request_latency.percentile(95),
+                1e3 * s.request_latency.percentile(99));
+  }
   const std::string profile_path = cli.get("profile");
   if (!profile_path.empty()) {
     prof::write_profile_file(profile_path, profile);
     std::printf("serve profile written to %s\n", profile_path.c_str());
   }
+  if (!trace_path.empty()) {
+    const auto snap = trace::snapshot();
+    trace::write_chrome_trace_file(trace_path);
+    std::printf("trace written to %s (%zu events across %d threads, %llu "
+                "dropped)\n",
+                trace_path.c_str(), snap.events.size(), snap.threads,
+                static_cast<unsigned long long>(snap.dropped));
+  }
+  const std::string metrics_path = cli.get("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    out << prof::prometheus_text(profile);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+// The CI perf gate: diff two RunProfile artifacts and fail when any
+// comparable metric in `current` is more than `threshold` times its
+// baseline value.
+int cmd_compare_profiles(const util::Cli& cli) {
+  const auto& pos = cli.positional();
+  if (pos.size() != 2) {
+    std::fprintf(stderr,
+                 "compare-profiles: expected baseline.json current.json\n");
+    return 2;
+  }
+  const double threshold = cli.get_double("threshold", 1.15);
+  const auto baseline = prof::read_profile_file(pos[0]);
+  const auto current = prof::read_profile_file(pos[1]);
+  const auto result = prof::compare_profiles(baseline, current, threshold);
+
+  if (result.metrics.empty()) {
+    std::printf("no comparable metrics between %s and %s\n", pos[0].c_str(),
+                pos[1].c_str());
+    return 0;
+  }
+  std::printf("%-28s %12s %12s %8s\n", "metric", "baseline[ms]",
+              "current[ms]", "ratio");
+  for (const auto& m : result.metrics) {
+    std::printf("%-28s %12.4f %12.4f %7.2fx%s\n", m.name.c_str(),
+                1e3 * m.baseline, 1e3 * m.current, m.ratio,
+                m.regressed ? "  REGRESSED" : "");
+  }
+  if (result.regressed()) {
+    std::printf("\nFAIL: regression past %.2fx threshold\n", threshold);
+    return 1;
+  }
+  std::printf("\nOK: no metric regressed past %.2fx threshold\n", threshold);
   return 0;
 }
 
@@ -373,6 +461,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(cli);
     if (cmd == "gen") return cmd_gen(cli);
     if (cmd == "serve-bench") return cmd_serve_bench(cli);
+    if (cmd == "compare-profiles") return cmd_compare_profiles(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spmv_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;
