@@ -1,0 +1,186 @@
+// bench adapt_convergence — the online-adaptation acceptance number: serve
+// from a deliberately mispredicted plan (coarse unit, Serial in every bin)
+// with the BanditTuner shadow-measuring alternatives, and check that the
+// refined plan recovers most of the exhaustively-tuned oracle's throughput
+// within a bounded number of requests. Also demonstrates the persistent
+// warm start: a restarted service over the same plan store must rebuild
+// from the stored plan (warm hit) and never re-run the planning pass.
+//
+//   adapt_convergence [--rows N] [--requests R] [--trial-fraction F]
+//                     [--recovery-floor 0.9] [--check] [--json out.json]
+//
+// --check turns the two acceptance criteria into the exit code:
+//   1. refined GFLOP/s >= recovery-floor * oracle GFLOP/s
+//   2. restarted service: warm hits > 0 and planning passes == 0
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "bench_common.hpp"
+
+using namespace spmv;
+using namespace spmv::bench;
+
+namespace {
+
+/// The mispredicting starting point: coarse unit, Serial everywhere.
+class MispredictPredictor final : public core::Predictor {
+ public:
+  explicit MispredictPredictor(index_t unit) : unit_(unit) {}
+  [[nodiscard]] UnitChoice predict_unit(const RowStats&) const override {
+    return {unit_, false};
+  }
+  [[nodiscard]] kernels::KernelId predict_kernel(const RowStats&, index_t,
+                                                 int) const override {
+    return kernels::KernelId::Serial;
+  }
+
+ private:
+  index_t unit_;
+};
+
+double plan_gflops(const CsrMatrix<float>& a, const core::Plan& plan,
+                   std::span<const float> x) {
+  const auto rt = core::Tuner(a).plan(plan).build();
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  return gflops(a.nnz(), time_spmv([&] { rt.run(x, std::span<float>(y)); }));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto rows = static_cast<index_t>(cli.get_int("rows", 20000));
+  const int requests = static_cast<int>(cli.get_int("requests", 600));
+  const double trial_fraction = cli.get_double("trial-fraction", 1.0);
+  const double floor = cli.get_double("recovery-floor", 0.9);
+  const bool check = cli.get_bool("check", false);
+  const std::string store_path = "adapt_convergence_store.tmp.json";
+  std::remove(store_path.c_str());
+
+  // A long-tailed matrix: the bins genuinely want different kernels, so a
+  // Serial-everywhere misprediction leaves real throughput on the table.
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(rows, rows, 2.0, 300, 1));
+  const auto x = random_x(static_cast<std::size_t>(a->cols()), 4242);
+
+  std::printf("=== bench adapt_convergence (rows=%d, requests=%d, "
+              "trial_fraction=%.2f) ===\n\n",
+              rows, requests, trial_fraction);
+
+  // Oracle: exhaustive tuning, the throughput ceiling being recovered.
+  core::ExhaustiveOptions topts;
+  topts.measure = {.warmup = 1, .reps = 3, .max_total_s = 0.5};
+  const auto tuned = core::exhaustive_tune(clsim::default_engine(), *a,
+                                           std::span<const float>(x),
+                                           core::default_pools(), topts);
+  const double oracle_gf = plan_gflops(*a, tuned.best_plan, x);
+
+  // Mispredict at the oracle's own granularity: the BanditTuner's scope is
+  // per-bin kernel choice (unit selection stays the predictor's job), so
+  // the recovery target is the kernel misprediction, not the unit.
+  MispredictPredictor mis(tuned.best_plan.unit);
+  const auto mis_plan = core::Tuner(*a).predictor(mis).build().plan();
+  const double mis_gf = plan_gflops(*a, mis_plan, x);
+
+  // Serve `requests` requests from the mispredicted plan with online
+  // adaptation writing through to the store.
+  prof::RunProfile profile;
+  profile.label = "adapt_convergence";
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.profile = &profile;
+  adapt::AdaptOptions aopts;
+  aopts.trial_fraction = trial_fraction;
+  aopts.min_samples = 2;
+  aopts.hysteresis = 1.05;
+  // Cover every occupied bin: this bench measures full recovery, not the
+  // hottest-subset steady-state configuration.
+  aopts.hot_bins = static_cast<int>(mis_plan.bin_kernels.size());
+  opts.adapt = aopts;
+  adapt::PlanStore store(store_path);
+  opts.plan_store = &store;
+  {
+    serve::SpmvService<float> service(mis, opts);
+    for (int i = 0; i < requests; ++i) (void)service.run(a, x);
+    service.shutdown();
+  }
+
+  // The refined plan is whatever the service flushed for this fingerprint.
+  adapt::PlanStore reread(store_path);
+  (void)reread.load();
+  const auto stored = reread.lookup(serve::fingerprint_of(*a));
+  const core::Plan refined = stored.has_value() ? stored->plan : mis_plan;
+  const double refined_gf = plan_gflops(*a, refined, x);
+  const double recovery = refined_gf / oracle_gf;
+
+  std::printf("%-14s %10s %10s   %s\n", "plan", "GFLOP/s", "recovery",
+              "detail");
+  std::printf("%-14s %10.2f %9.0f%%   %s\n", "oracle", oracle_gf, 100.0,
+              tuned.best_plan.to_string().c_str());
+  std::printf("%-14s %10.2f %9.0f%%   %s\n", "mispredicted", mis_gf,
+              100.0 * mis_gf / oracle_gf, mis_plan.to_string().c_str());
+  std::printf("%-14s %10.2f %9.0f%%   %s\n", "refined", refined_gf,
+              100.0 * recovery, refined.to_string().c_str());
+  std::printf("\nadapt: %llu trials, %llu promotions, %.3f ms regret over "
+              "%d requests\n",
+              static_cast<unsigned long long>(profile.adapt.trials),
+              static_cast<unsigned long long>(profile.adapt.promotions),
+              1e3 * profile.adapt.regret_s, requests);
+
+  // Warm restart over the same store file.
+  prof::RunProfile rprofile;
+  {
+    serve::ServiceOptions ropts;
+    ropts.workers = 1;
+    ropts.profile = &rprofile;
+    adapt::PlanStore rstore(store_path);
+    ropts.plan_store = &rstore;
+    serve::SpmvService<float> restarted(mis, ropts);
+    (void)restarted.run(a, x);
+    restarted.shutdown();
+  }
+  std::printf("warm restart: %llu warm hit(s), %llu planning pass(es)\n",
+              static_cast<unsigned long long>(rprofile.serve.cache_warm_hits),
+              static_cast<unsigned long long>(
+                  rprofile.serve.planning_passes));
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    prof::Json j = prof::Json::object();
+    j.set("rows", static_cast<double>(rows));
+    j.set("requests", static_cast<double>(requests));
+    j.set("oracle_gflops", oracle_gf);
+    j.set("mispredicted_gflops", mis_gf);
+    j.set("refined_gflops", refined_gf);
+    j.set("recovery", recovery);
+    j.set("trials", static_cast<double>(profile.adapt.trials));
+    j.set("promotions", static_cast<double>(profile.adapt.promotions));
+    j.set("warm_hits",
+          static_cast<double>(rprofile.serve.cache_warm_hits));
+    std::ofstream out(json_path);
+    out << j.dump(2) << "\n";
+    std::printf("summary written to %s\n", json_path.c_str());
+  }
+  std::remove(store_path.c_str());
+
+  if (check) {
+    bool ok = true;
+    if (recovery < floor) {
+      std::printf("FAIL: recovery %.0f%% below floor %.0f%%\n",
+                  100.0 * recovery, 100.0 * floor);
+      ok = false;
+    }
+    if (rprofile.serve.cache_warm_hits == 0 ||
+        rprofile.serve.planning_passes != 0) {
+      std::printf("FAIL: warm restart expected warm hits > 0 and planning "
+                  "passes == 0\n");
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("OK: refined plan recovers %.0f%% of oracle; warm restart "
+                "verified\n",
+                100.0 * recovery);
+  }
+  return 0;
+}

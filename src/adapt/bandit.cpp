@@ -1,0 +1,241 @@
+#include "adapt/bandit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+#include "trace/trace.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace spmv::adapt {
+
+namespace {
+
+/// Non-zeros covered by a bin's virtual rows (same computation as the
+/// exhaustive tuner's workload accounting).
+template <typename T>
+std::int64_t bin_nnz(const CsrMatrix<T>& a, std::span<const index_t> vrows,
+                     index_t unit) {
+  std::int64_t total = 0;
+  const index_t rows = a.rows();
+  for (index_t v : vrows) {
+    const index_t lo = v * unit;
+    const index_t hi = std::min<index_t>(lo + unit, rows);
+    total += static_cast<std::int64_t>(a.row_ptr()[hi] - a.row_ptr()[lo]);
+  }
+  return total;
+}
+
+}  // namespace
+
+template <typename T>
+BanditTuner<T>::BanditTuner(const clsim::Engine& engine, AdaptOptions opts)
+    : engine_(engine), opts_(std::move(opts)), rng_(opts_.seed) {
+  if (opts_.kernel_pool.empty()) opts_.kernel_pool = kernels::all_kernels();
+  opts_.hot_bins = std::max(1, opts_.hot_bins);
+  opts_.min_samples = std::max(1, opts_.min_samples);
+}
+
+template <typename T>
+kernels::KernelId BanditTuner<T>::pick_challenger(
+    const BinArms& ba, kernels::KernelId incumbent) {
+  // Unexplored arms first, in pool order — every candidate gets one sample
+  // before exploitation starts.
+  for (kernels::KernelId id : opts_.kernel_pool) {
+    if (id == incumbent) continue;
+    if (ba.arms[static_cast<std::size_t>(id)].samples == 0) return id;
+  }
+
+  if (opts_.use_ucb) {
+    // UCB1 on the GFLOP/s means. The bonus term is scaled by the running
+    // best mean so the exploration pressure tracks the reward magnitude
+    // (GFLOP/s is not normalized to [0, 1]).
+    double scale = 0.0;
+    for (kernels::KernelId id : opts_.kernel_pool)
+      scale = std::max(scale,
+                       ba.arms[static_cast<std::size_t>(id)].mean_gflops);
+    if (scale <= 0.0) scale = 1.0;
+    const double log_total =
+        std::log(static_cast<double>(std::max<std::uint64_t>(2, ba.pulls)));
+    kernels::KernelId best = incumbent;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (kernels::KernelId id : opts_.kernel_pool) {
+      if (id == incumbent) continue;
+      const Arm& arm = ba.arms[static_cast<std::size_t>(id)];
+      const double bonus =
+          scale * std::sqrt(2.0 * log_total /
+                            static_cast<double>(std::max<std::uint64_t>(
+                                1, arm.samples)));
+      const double score = arm.mean_gflops + bonus;
+      if (score > best_score) {
+        best_score = score;
+        best = id;
+      }
+    }
+    return best;
+  }
+
+  // Epsilon-greedy: explore a random non-incumbent, otherwise exploit the
+  // best mean so far.
+  std::vector<kernels::KernelId> candidates;
+  candidates.reserve(opts_.kernel_pool.size());
+  for (kernels::KernelId id : opts_.kernel_pool)
+    if (id != incumbent) candidates.push_back(id);
+  if (rng_.uniform() < opts_.epsilon)
+    return candidates[rng_.bounded(candidates.size())];
+  kernels::KernelId best = candidates.front();
+  double best_mean = -1.0;
+  for (kernels::KernelId id : candidates) {
+    const double m = ba.arms[static_cast<std::size_t>(id)].mean_gflops;
+    if (m > best_mean) {
+      best_mean = m;
+      best = id;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
+    const serve::Fingerprint& key, const core::Plan& plan,
+    const binning::BinSet& bins, const CsrMatrix<T>& a,
+    std::span<const T> x) {
+  if (plan.bin_kernels.empty() || opts_.kernel_pool.size() < 2)
+    return std::nullopt;
+
+  // The mutex covers the whole trial (state + rng + the measurement
+  // itself): trials are rare (trial_fraction of requests) and cheap (two
+  // single-bin launches), and serializing them keeps back-to-back pairs
+  // honest — two concurrent trials would time each other's contention.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rng_.uniform() >= opts_.trial_fraction) return std::nullopt;
+
+  KeyState& st = states_[key];
+  if (st.hot.empty() || st.unit != bins.unit() ||
+      st.plan_revision != plan.revision) {
+    if (st.unit != bins.unit()) {
+      // New key, or re-binned at a different granularity: bin ids now
+      // cover different rows, so every arm measurement is stale.
+      st.bins.clear();
+      st.next_hot = 0;
+    }
+    // Otherwise the plan moved at the same granularity (a promotion
+    // landed, or a warm re-plan). Arm means are (bin, kernel) timings of
+    // the matrix itself and stay valid, so keep them — resetting here
+    // would restart exploration from scratch after every promotion.
+    st.unit = bins.unit();
+    st.plan_revision = plan.revision;
+    std::vector<std::pair<std::int64_t, int>> by_nnz;
+    for (const core::BinPlan& bp : plan.bin_kernels) {
+      if (bp.bin_id >= bins.bin_count()) continue;
+      const auto& vrows = bins.bin(bp.bin_id);
+      if (vrows.empty()) continue;
+      by_nnz.emplace_back(
+          bin_nnz(a, std::span<const index_t>(vrows), bins.unit()),
+          bp.bin_id);
+    }
+    std::sort(by_nnz.begin(), by_nnz.end(), [](const auto& l, const auto& r) {
+      return l.first > r.first || (l.first == r.first && l.second < r.second);
+    });
+    st.hot.clear();
+    for (std::size_t i = 0;
+         i < by_nnz.size() &&
+         i < static_cast<std::size_t>(opts_.hot_bins);
+         ++i)
+      st.hot.push_back(by_nnz[i].second);
+    if (st.hot.empty()) return std::nullopt;
+  }
+
+  const int bin = st.hot[st.next_hot % st.hot.size()];
+  st.next_hot += 1;
+  const kernels::KernelId incumbent = plan.kernel_for(bin);
+  BinArms& ba = st.bins[bin];
+  ba.pulls += 1;
+  const kernels::KernelId challenger = pick_challenger(ba, incumbent);
+
+  const auto& vrows = bins.bin(bin);
+  const std::int64_t nnz =
+      bin_nnz(a, std::span<const index_t>(vrows), bins.unit());
+  const double flops = 2.0 * static_cast<double>(std::max<std::int64_t>(1, nnz));
+
+  // Back-to-back measurement: incumbent first, challenger second, same
+  // scratch output. GFLOP/s = 2*nnz / seconds * 1e-9.
+  double inc_gflops = 0.0;
+  double ch_gflops = 0.0;
+  {
+    trace::TraceSpan span("adapt-trial", "adapt");
+    span.arg("bin", bin);
+    span.arg("challenger", static_cast<std::int64_t>(challenger));
+    if (opts_.measure_override) {
+      inc_gflops = opts_.measure_override(incumbent, bin);
+      ch_gflops = opts_.measure_override(challenger, bin);
+    } else {
+      std::vector<T> y(static_cast<std::size_t>(a.rows()));
+      try {
+        util::Timer t;
+        kernels::run_binned(incumbent, engine_, a, x, std::span<T>(y),
+                            std::span<const index_t>(vrows), bins.unit());
+        inc_gflops = flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
+        t.reset();
+        kernels::run_binned(challenger, engine_, a, x, std::span<T>(y),
+                            std::span<const index_t>(vrows), bins.unit());
+        ch_gflops = flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
+      } catch (const std::exception& e) {
+        // A kernel that cannot run on this bin earns a zero-reward sample;
+        // the bandit learns to avoid it instead of crashing the worker.
+        util::log_warn() << "adapt trial failed (bin " << bin << ", "
+                         << kernels::kernel_name(challenger)
+                         << "): " << e.what();
+      }
+    }
+  }
+
+  ba.arms[static_cast<std::size_t>(incumbent)].add(inc_gflops);
+  ba.arms[static_cast<std::size_t>(challenger)].add(ch_gflops);
+  stats_.trials += 1;
+  // Regret = wall time lost to a challenger slower than the incumbent
+  // (what exploration cost us on this trial).
+  if (ch_gflops > 0.0 && inc_gflops > ch_gflops)
+    stats_.regret_s += flops * 1e-9 / ch_gflops - flops * 1e-9 / inc_gflops;
+
+  const Arm& inc_arm = ba.arms[static_cast<std::size_t>(incumbent)];
+  const Arm& ch_arm = ba.arms[static_cast<std::size_t>(challenger)];
+  const auto min_n = static_cast<std::uint64_t>(opts_.min_samples);
+  if (inc_arm.samples < min_n || ch_arm.samples < min_n) return std::nullopt;
+  if (ch_arm.mean_gflops <= inc_arm.mean_gflops * opts_.hysteresis)
+    return std::nullopt;
+
+  // Promote: copy the plan, swap this bin's kernel, bump the revision.
+  Promotion promo;
+  promo.plan = plan;
+  promo.plan.revision = plan.revision + 1;
+  for (core::BinPlan& bp : promo.plan.bin_kernels)
+    if (bp.bin_id == bin) bp.kernel = challenger;
+  promo.gflops = ch_arm.mean_gflops;
+  stats_.promotions += 1;
+  trace::emit_instant("adapt-promote", "adapt");
+  util::log_info() << "adapt: promoting bin " << bin << " "
+                   << kernels::kernel_name(incumbent) << " -> "
+                   << kernels::kernel_name(challenger) << " ("
+                   << inc_arm.mean_gflops << " -> " << ch_arm.mean_gflops
+                   << " GFLOP/s, revision " << promo.plan.revision << ")";
+  // The promoted plan's incumbent on this bin is now the challenger. Arm
+  // means survive the revision bump, and the old incumbent's mean trails
+  // the new one by at least the hysteresis factor, so it cannot flap
+  // straight back.
+  return promo;
+}
+
+template <typename T>
+prof::AdaptStats BanditTuner<T>::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+template class BanditTuner<float>;
+template class BanditTuner<double>;
+
+}  // namespace spmv::adapt

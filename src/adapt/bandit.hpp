@@ -1,0 +1,145 @@
+// spmv::adapt::BanditTuner — online plan refinement by shadow measurement.
+//
+// The serving layer plans once per matrix structure (predictor-driven or
+// warm-started from a PlanStore) and then executes that plan forever. When
+// the predictor mispredicts, the service is stuck with a slow plan. The
+// BanditTuner fixes that without a stop-the-world retune: for a configurable
+// fraction of served requests, the worker that just executed a batch also
+// shadow-measures ONE alternative kernel on one of the plan's hottest bins
+// (most non-zeros = most leverage), back-to-back with the incumbent so the
+// two samples see the same cache/frequency state. Per-bin kernel arms
+// accumulate mean GFLOP/s; when a challenger has enough samples and beats
+// the incumbent by the hysteresis margin, observe() returns a promoted Plan
+// copy (revision + 1) for the caller to swap into its PlanCache.
+//
+// Anti-flapping: promotion needs `min_samples` on BOTH arms and a strict
+// `hysteresis` ratio (e.g. 1.10 = challenger must be 10% faster on the
+// running mean), so measurement noise cannot ping-pong two near-equal
+// kernels. Promotions bump the plan revision; a revision change observed on
+// a key resets that key's arms (the old measurements described the old
+// plan's incumbents).
+//
+// Everything is recorded: prof counters (adapt.trials / adapt.promotions /
+// adapt.regret) via stats(), and trace spans "adapt-trial"/"adapt-promote"
+// in category "adapt".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "binning/binning.hpp"
+#include "clsim/engine.hpp"
+#include "core/plan.hpp"
+#include "kernels/registry.hpp"
+#include "prof/profile.hpp"
+#include "serve/fingerprint.hpp"
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace spmv::adapt {
+
+struct AdaptOptions {
+  /// Fraction of observe() calls that run a shadow trial (the rest return
+  /// immediately after one rng draw).
+  double trial_fraction = 0.1;
+  /// Samples required on BOTH the incumbent and the challenger arm before
+  /// a promotion is considered.
+  int min_samples = 3;
+  /// Challenger's mean GFLOP/s must exceed incumbent's mean times this
+  /// ratio to promote (1.10 = 10% better). Values <= 1 promote on any win.
+  double hysteresis = 1.10;
+  /// Epsilon-greedy exploration rate (ignored when use_ucb is true).
+  double epsilon = 0.25;
+  /// Select challengers by UCB1 instead of epsilon-greedy.
+  bool use_ucb = false;
+  /// How many of the plan's hottest bins (by covered nnz) to rotate trials
+  /// through.
+  int hot_bins = 2;
+  /// Challenger kernel pool; empty = kernels::all_kernels().
+  std::vector<kernels::KernelId> kernel_pool;
+  /// Deterministic seed for trial sampling and exploration.
+  std::uint64_t seed = 42;
+  /// Test seam: when set, replaces the timed kernel launches — returns the
+  /// "measured" GFLOP/s for (kernel, bin). Lets tests rig the reward
+  /// landscape deterministically (convergence, hysteresis under noise).
+  std::function<double(kernels::KernelId, int)> measure_override;
+};
+
+template <typename T>
+class BanditTuner {
+ public:
+  /// A plan improvement found by observe(): the refined plan (revision
+  /// already bumped) and the challenger's mean throughput on the trialed
+  /// bin.
+  struct Promotion {
+    core::Plan plan;
+    double gflops = 0.0;
+  };
+
+  BanditTuner(const clsim::Engine& engine, AdaptOptions opts);
+
+  /// Consider one served request for a shadow trial. `plan`/`bins` are the
+  /// cached entry's, `a`/`x` the request's own matrix and input vector
+  /// (the trial runs real kernels against them unless measure_override is
+  /// set). Returns a Promotion when this trial tipped a challenger past
+  /// the hysteresis threshold; the caller owns applying it to its cache
+  /// and store. Never throws on trial failure — a kernel that cannot run
+  /// is recorded as a worthless arm.
+  std::optional<Promotion> observe(const serve::Fingerprint& key,
+                                   const core::Plan& plan,
+                                   const binning::BinSet& bins,
+                                   const CsrMatrix<T>& a,
+                                   std::span<const T> x);
+
+  [[nodiscard]] prof::AdaptStats stats() const;
+
+ private:
+  /// Running per-(bin, kernel) reward estimate.
+  struct Arm {
+    std::uint64_t samples = 0;
+    double mean_gflops = 0.0;
+    void add(double gflops) {
+      samples += 1;
+      mean_gflops += (gflops - mean_gflops) / static_cast<double>(samples);
+    }
+  };
+
+  struct BinArms {
+    Arm arms[kernels::kKernelCount];
+    std::uint64_t pulls = 0;  ///< trials on this bin (for UCB)
+  };
+
+  /// Per-fingerprint bandit state. Arm means are (bin, kernel)
+  /// measurements of the matrix itself, so they survive plan-revision
+  /// bumps (promotions); only a granularity change invalidates them (bin
+  /// ids then cover different rows) and resets the whole state.
+  struct KeyState {
+    std::uint64_t plan_revision = 0;
+    index_t unit = -1;          ///< granularity the arms were measured at
+    std::vector<int> hot;       ///< hottest occupied bins, descending nnz
+    std::size_t next_hot = 0;   ///< round-robin cursor over `hot`
+    std::unordered_map<int, BinArms> bins;
+  };
+
+  kernels::KernelId pick_challenger(const BinArms& ba,
+                                    kernels::KernelId incumbent);
+
+  const clsim::Engine& engine_;
+  AdaptOptions opts_;
+
+  mutable std::mutex mutex_;
+  util::Xoshiro256 rng_;
+  std::unordered_map<serve::Fingerprint, KeyState, serve::FingerprintHash>
+      states_;
+  prof::AdaptStats stats_;
+};
+
+extern template class BanditTuner<float>;
+extern template class BanditTuner<double>;
+
+}  // namespace spmv::adapt

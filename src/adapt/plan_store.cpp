@@ -1,0 +1,231 @@
+#include "adapt/plan_store.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/plan_io.hpp"
+#include "util/log.hpp"
+
+namespace spmv::adapt {
+
+namespace {
+
+/// row_hash travels as a hex string: prof::Json numbers are doubles, whose
+/// 53-bit mantissa would silently corrupt a 64-bit hash.
+std::string hash_to_hex(std::uint64_t h) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+std::uint64_t hash_from_hex(const std::string& s) {
+  return std::stoull(s, nullptr, 16);
+}
+
+prof::Json fingerprint_to_json(const serve::Fingerprint& f) {
+  prof::Json j = prof::Json::object();
+  j.set("rows", f.rows);
+  j.set("cols", f.cols);
+  j.set("nnz", f.nnz);
+  j.set("row_hash", hash_to_hex(f.row_hash));
+  return j;
+}
+
+serve::Fingerprint fingerprint_from_json(const prof::Json& j) {
+  serve::Fingerprint f;
+  f.rows = j.at("rows").as_int();
+  f.cols = j.at("cols").as_int();
+  f.nnz = j.at("nnz").as_int();
+  f.row_hash = hash_from_hex(j.at("row_hash").as_string());
+  return f;
+}
+
+std::int64_t unix_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PlanStore::PlanStore(std::string path, std::string device_config,
+                     std::string model_version)
+    : path_(std::move(path)),
+      device_(std::move(device_config)),
+      model_(std::move(model_version)) {}
+
+PlanStoreStats PlanStore::load() {
+  std::string text;
+  {
+    std::ifstream in(path_);
+    if (!in) {
+      // Missing file = empty store; the normal first-run state.
+      std::lock_guard<std::mutex> lock(mutex_);
+      return stats_;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+
+  prof::Json doc;
+  try {
+    doc = prof::Json::parse(text);
+    if (!doc.is_object()) throw std::runtime_error("root is not an object");
+  } catch (const std::exception& e) {
+    util::log_warn() << "plan store " << path_
+                     << ": unreadable, starting empty (" << e.what() << ")";
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.skipped_malformed += 1;
+    return stats_;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  const prof::Json* schema = doc.find("schema");
+  if (schema == nullptr ||
+      schema->as_int() != kStoreSchemaVersion) {
+    util::log_warn() << "plan store " << path_ << ": schema "
+                     << (schema != nullptr ? schema->dump(0) : "<missing>")
+                     << " != " << kStoreSchemaVersion << ", ignoring file";
+    stats_.skipped_schema += 1;
+    return stats_;
+  }
+
+  const prof::Json* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    util::log_warn() << "plan store " << path_
+                     << ": no entries array, starting empty";
+    stats_.skipped_malformed += 1;
+    return stats_;
+  }
+
+  for (const prof::Json& e : entries->items()) {
+    try {
+      const std::string& dev = e.at("device").as_string();
+      const std::string& model = e.at("model").as_string();
+      if (dev != device_) {
+        util::log_info() << "plan store: skipping entry for device '" << dev
+                         << "' (this device: '" << device_ << "')";
+        stats_.skipped_device += 1;
+        foreign_.push_back(e);
+        continue;
+      }
+      if (model != model_) {
+        util::log_info() << "plan store: skipping entry for model '" << model
+                         << "' (this model: '" << model_ << "')";
+        stats_.skipped_model += 1;
+        foreign_.push_back(e);
+        continue;
+      }
+      StoredPlan sp;
+      sp.plan = core::plan_from_json(e.at("plan"));
+      if (const prof::Json* v = e.find("gflops"); v != nullptr)
+        sp.gflops = v->as_number();
+      if (const prof::Json* v = e.find("trials"); v != nullptr)
+        sp.trials = v->as_uint();
+      if (const prof::Json* v = e.find("saved_unix_ms"); v != nullptr)
+        sp.saved_unix_ms = v->as_int();
+      map_[fingerprint_from_json(e.at("fingerprint"))] = std::move(sp);
+      stats_.loaded += 1;
+    } catch (const std::exception& ex) {
+      util::log_warn() << "plan store " << path_
+                       << ": skipping malformed entry (" << ex.what() << ")";
+      stats_.skipped_malformed += 1;
+    }
+  }
+  return stats_;
+}
+
+void PlanStore::flush() const {
+  prof::Json entries = prof::Json::array();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, sp] : map_) {
+      prof::Json e = prof::Json::object();
+      e.set("fingerprint", fingerprint_to_json(key));
+      e.set("device", device_);
+      e.set("model", model_);
+      e.set("plan", core::plan_to_json(sp.plan));
+      e.set("gflops", sp.gflops);
+      e.set("trials", sp.trials);
+      e.set("saved_unix_ms", sp.saved_unix_ms);
+      entries.push_back(std::move(e));
+    }
+    for (const prof::Json& e : foreign_) entries.push_back(e);
+  }
+  prof::Json doc = prof::Json::object();
+  doc.set("schema", kStoreSchemaVersion);
+  doc.set("entries", std::move(entries));
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write plan store: " + tmp);
+    out << doc.dump(2) << "\n";
+    out.flush();
+    if (!out) throw std::runtime_error("error writing plan store: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path_);
+  }
+}
+
+std::optional<StoredPlan> PlanStore::lookup(
+    const serve::Fingerprint& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PlanStore::put(const serve::Fingerprint& key, const StoredPlan& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end() && it->second.plan.revision > value.plan.revision)
+    return;  // stale writer: a newer revision is already stored
+  StoredPlan sp = value;
+  if (sp.saved_unix_ms == 0) sp.saved_unix_ms = unix_now_ms();
+  map_[key] = std::move(sp);
+}
+
+std::size_t PlanStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::vector<std::pair<serve::Fingerprint, StoredPlan>> PlanStore::entries()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<serve::Fingerprint, StoredPlan>> out;
+  out.reserve(map_.size());
+  for (const auto& [key, sp] : map_) out.emplace_back(key, sp);
+  return out;
+}
+
+std::size_t PlanStore::gc() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t dropped = foreign_.size();
+  foreign_.clear();
+  return dropped;
+}
+
+PlanStoreStats PlanStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string PlanStore::device_config_string(const clsim::Device& device) {
+  std::ostringstream ss;
+  ss << "cu=" << device.resolved_compute_units()
+     << " group=" << device.max_group_size
+     << " lds=" << device.local_mem_bytes;
+  return ss.str();
+}
+
+}  // namespace spmv::adapt

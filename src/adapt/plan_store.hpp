@@ -1,0 +1,116 @@
+// spmv::adapt::PlanStore — persistent tuned-plan storage. Serializes plans
+// keyed by (structural fingerprint, device config, model version) to a
+// versioned on-disk JSON artifact so a restarted SpmvService warm-starts:
+// a cache miss whose fingerprint is in the store rebuilds directly from
+// the stored plan and skips the predictor-driven planning pass entirely.
+//
+// Robustness contract: load() never throws on a bad store file — a
+// missing, truncated, corrupt, or future-schema file loads as empty with
+// the reason logged and counted in stats(). Entries recorded for a
+// different device configuration or predictor model version are skipped
+// for lookup but preserved verbatim and re-emitted on flush(), so one
+// store file can serve a heterogeneous fleet without machines destroying
+// each other's tuning work. flush() is crash-safe: write to `path.tmp`,
+// then atomically rename over `path`.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clsim/device.hpp"
+#include "core/plan.hpp"
+#include "prof/json.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace spmv::adapt {
+
+/// On-disk schema version; files with a different version are skipped
+/// wholesale (never migrated in place, never a crash).
+inline constexpr std::int64_t kStoreSchemaVersion = 1;
+
+/// One stored tuned plan plus its provenance.
+struct StoredPlan {
+  core::Plan plan;
+  double gflops = 0.0;           ///< best observed throughput (0 = unknown)
+  std::uint64_t trials = 0;      ///< adapt trials that shaped this plan
+  std::int64_t saved_unix_ms = 0;  ///< wall-clock save time (0 = unknown)
+};
+
+/// Load/skip accounting, for `spmv_tool plan-store ls` and tests.
+struct PlanStoreStats {
+  std::uint64_t loaded = 0;            ///< usable entries loaded
+  std::uint64_t skipped_schema = 0;    ///< whole-file schema mismatch
+  std::uint64_t skipped_device = 0;    ///< entry for another device config
+  std::uint64_t skipped_model = 0;     ///< entry for another model version
+  std::uint64_t skipped_malformed = 0; ///< entry that failed to parse
+};
+
+class PlanStore {
+ public:
+  /// Canonical device-config string for scoping store entries, e.g.
+  /// "cu=8 group=256 lds=32768".
+  [[nodiscard]] static std::string device_config_string(
+      const clsim::Device& device = clsim::default_device());
+
+  /// A store bound to `path`. `device_config` and `model_version` scope
+  /// lookups: only entries recorded under the same strings are visible.
+  /// Construction does NOT read the file — call load().
+  explicit PlanStore(std::string path,
+                     std::string device_config = device_config_string(),
+                     std::string model_version = "default");
+
+  /// Read the store file. Never throws on bad input: a missing file is an
+  /// empty store; corrupt/truncated/foreign-schema files log a warning and
+  /// load as empty; per-entry damage skips just that entry. Returns the
+  /// load accounting (also available via stats()).
+  PlanStoreStats load();
+
+  /// Write all entries (own + preserved foreign) to `path` via
+  /// write-temp-then-rename. Throws std::runtime_error when the temp file
+  /// cannot be written or the rename fails.
+  void flush() const;
+
+  /// The stored plan for `key` under this store's device/model scope.
+  [[nodiscard]] std::optional<StoredPlan> lookup(
+      const serve::Fingerprint& key) const;
+
+  /// Insert or update the entry for `key`. An existing entry is replaced
+  /// only by an equal-or-higher plan revision (stale writers lose).
+  void put(const serve::Fingerprint& key, const StoredPlan& value);
+
+  /// Entries visible under this store's device/model scope.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of the visible entries (unordered).
+  [[nodiscard]] std::vector<std::pair<serve::Fingerprint, StoredPlan>>
+  entries() const;
+
+  /// Drop preserved foreign entries (other device/model/schema leftovers);
+  /// returns how many were dropped. The next flush() writes only entries
+  /// visible to this store.
+  std::size_t gc();
+
+  [[nodiscard]] PlanStoreStats stats() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& device_config() const { return device_; }
+  [[nodiscard]] const std::string& model_version() const { return model_; }
+
+ private:
+  std::string path_;
+  std::string device_;
+  std::string model_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<serve::Fingerprint, StoredPlan, serve::FingerprintHash>
+      map_;
+  /// Entries loaded for a different device/model, preserved verbatim so
+  /// flush() is non-destructive for other machines' tuning work.
+  std::vector<prof::Json> foreign_;
+  PlanStoreStats stats_;
+};
+
+}  // namespace spmv::adapt

@@ -23,6 +23,8 @@
 // multi-vector batching, see spmv::serve::SpmvService (serve/service.hpp).
 #pragma once
 
+#include "adapt/bandit.hpp"            // online bandit plan refinement
+#include "adapt/plan_store.hpp"        // persistent tuned-plan store
 #include "baseline/csr_adaptive.hpp"    // CSR-Adaptive baseline
 #include "baseline/merge_spmv.hpp"      // merge-based SpMV extension
 #include "binning/binning.hpp"          // Algorithm-2 virtual-row binning
@@ -35,6 +37,7 @@
 #include "core/hetero.hpp"              // heterogeneous bin scheduling
 #include "core/model_io.hpp"            // model persistence
 #include "core/plan.hpp"                // parallelization plans
+#include "core/plan_io.hpp"             // plan JSON (de)serialization
 #include "core/predictor.hpp"           // model & heuristic predictors
 #include "core/trainer.hpp"             // offline training pipeline
 #include "core/tuner.hpp"               // the Tuner builder facade

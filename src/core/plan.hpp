@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -26,6 +27,12 @@ struct Plan {
   index_t unit = 1;
   /// True = all rows in one bin with one kernel (paper §IV-C).
   bool single_bin = false;
+  /// Revision counter for online refinement (spmv::adapt): 0 for a freshly
+  /// planned (predicted / tuned) plan; every bandit promotion produces a
+  /// copy with revision + 1, and PlanCache::promote only accepts strictly
+  /// increasing revisions, so stale promotions can never overwrite newer
+  /// plans.
+  std::uint64_t revision = 0;
   /// Kernel per occupied bin, ascending bin_id. For single_bin plans this
   /// has exactly one entry with bin_id 0.
   std::vector<BinPlan> bin_kernels;

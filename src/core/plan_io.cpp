@@ -1,0 +1,35 @@
+#include "core/plan_io.hpp"
+
+namespace spmv::core {
+
+prof::Json plan_to_json(const Plan& plan) {
+  prof::Json j = prof::Json::object();
+  j.set("unit", static_cast<std::int64_t>(plan.unit));
+  j.set("single_bin", plan.single_bin);
+  j.set("revision", plan.revision);
+  prof::Json bins = prof::Json::array();
+  for (const BinPlan& bp : plan.bin_kernels) {
+    prof::Json b = prof::Json::object();
+    b.set("bin", bp.bin_id);
+    b.set("kernel", kernels::kernel_name(bp.kernel));
+    bins.push_back(std::move(b));
+  }
+  j.set("bins", std::move(bins));
+  return j;
+}
+
+Plan plan_from_json(const prof::Json& j) {
+  Plan plan;
+  plan.unit = static_cast<index_t>(j.at("unit").as_int());
+  plan.single_bin = j.at("single_bin").as_bool();
+  plan.revision = j.at("revision").as_uint();
+  for (const prof::Json& b : j.at("bins").items()) {
+    plan.bin_kernels.push_back(
+        {static_cast<int>(b.at("bin").as_int()),
+         kernels::kernel_from_name(b.at("kernel").as_string())});
+  }
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace spmv::core

@@ -1,0 +1,21 @@
+// Plan (de)serialization for the persistent plan store (spmv::adapt): a
+// Plan as a small JSON object, round-trippable through prof::Json. Kernels
+// are stored by registry display name so artifacts stay readable and stay
+// valid if the enum's numeric values ever shift.
+#pragma once
+
+#include "core/plan.hpp"
+#include "prof/json.hpp"
+
+namespace spmv::core {
+
+/// Serialize `plan` (unit, single_bin, revision, per-bin kernels by name).
+[[nodiscard]] prof::Json plan_to_json(const Plan& plan);
+
+/// Inverse of plan_to_json. Throws std::runtime_error on missing fields
+/// and std::invalid_argument on unknown kernel names; the result is
+/// normalize()d so kernel_for's binary-search invariant holds even for
+/// hand-edited artifacts.
+[[nodiscard]] Plan plan_from_json(const prof::Json& j);
+
+}  // namespace spmv::core

@@ -18,6 +18,9 @@ void ServeStats::merge(const ServeStats& other) {
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   cache_evictions += other.cache_evictions;
+  cache_warm_hits += other.cache_warm_hits;
+  planning_passes += other.planning_passes;
+  cache_promotions += other.cache_promotions;
   if (batch_width_hist.size() < other.batch_width_hist.size())
     batch_width_hist.resize(other.batch_width_hist.size(), 0);
   for (std::size_t i = 0; i < other.batch_width_hist.size(); ++i)
@@ -144,6 +147,9 @@ Json RunProfile::to_json() const {
     cache.set("misses", serve.cache_misses);
     cache.set("evictions", serve.cache_evictions);
     cache.set("hit_rate", serve.cache_hit_rate());
+    cache.set("warm_hits", serve.cache_warm_hits);
+    cache.set("planning_passes", serve.planning_passes);
+    cache.set("promotions", serve.cache_promotions);
     sv.set("cache", cache);
     Json hist = Json::array();
     for (std::uint64_t n : serve.batch_width_hist) hist.push_back(n);
@@ -155,6 +161,14 @@ Json RunProfile::to_json() const {
     if (!serve.batch_exec.empty())
       sv.set("batch_exec", serve.batch_exec.to_json());
     j.set("serve", sv);
+  }
+
+  if (!adapt.empty()) {
+    Json ad = Json::object();
+    ad.set("trials", adapt.trials);
+    ad.set("promotions", adapt.promotions);
+    ad.set("regret_s", adapt.regret_s);
+    j.set("adapt", ad);
   }
   return j;
 }
@@ -219,6 +233,14 @@ RunProfile RunProfile::from_json(const Json& j) {
     p.serve.cache_hits = cache.at("hits").as_uint();
     p.serve.cache_misses = cache.at("misses").as_uint();
     p.serve.cache_evictions = cache.at("evictions").as_uint();
+    // Warm-start counters arrived with the adapt layer; older artifacts
+    // simply omit them.
+    if (const Json* v = cache.find("warm_hits"); v != nullptr)
+      p.serve.cache_warm_hits = v->as_uint();
+    if (const Json* v = cache.find("planning_passes"); v != nullptr)
+      p.serve.planning_passes = v->as_uint();
+    if (const Json* v = cache.find("promotions"); v != nullptr)
+      p.serve.cache_promotions = v->as_uint();
     for (const Json& n : sv->at("batch_width_hist").items())
       p.serve.batch_width_hist.push_back(n.as_uint());
     // Histograms arrived with this schema revision; older artifacts and
@@ -229,6 +251,13 @@ RunProfile RunProfile::from_json(const Json& j) {
       p.serve.queue_wait = LatencyHistogram::from_json(*h);
     if (const Json* h = sv->find("batch_exec"); h != nullptr)
       p.serve.batch_exec = LatencyHistogram::from_json(*h);
+  }
+
+  // Optional: only present when an online tuner recorded into the profile.
+  if (const Json* ad = j.find("adapt"); ad != nullptr) {
+    p.adapt.trials = ad->at("trials").as_uint();
+    p.adapt.promotions = ad->at("promotions").as_uint();
+    p.adapt.regret_s = ad->at("regret_s").as_number();
   }
   return p;
 }
@@ -307,9 +336,21 @@ std::string prometheus_text(const RunProfile& profile) {
     metric(out, "spmv_serve_cache_evictions_total", "counter",
            static_cast<double>(s.cache_evictions));
     metric(out, "spmv_serve_cache_hit_rate", "gauge", s.cache_hit_rate());
+    metric(out, "spmv_serve_cache_warm_hits_total", "counter",
+           static_cast<double>(s.cache_warm_hits));
+    metric(out, "spmv_serve_planning_passes_total", "counter",
+           static_cast<double>(s.planning_passes));
     summary(out, "spmv_serve_request_latency_seconds", s.request_latency);
     summary(out, "spmv_serve_queue_wait_seconds", s.queue_wait);
     summary(out, "spmv_serve_batch_exec_seconds", s.batch_exec);
+  }
+  const AdaptStats& a = profile.adapt;
+  if (!a.empty()) {
+    metric(out, "spmv_adapt_trials_total", "counter",
+           static_cast<double>(a.trials));
+    metric(out, "spmv_adapt_promotions_total", "counter",
+           static_cast<double>(a.promotions));
+    metric(out, "spmv_adapt_regret_seconds_total", "counter", a.regret_s);
   }
   return out;
 }

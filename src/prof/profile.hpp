@@ -73,6 +73,25 @@ struct CandidateCost {
   double best_s = 0.0;       ///< best measured execution time (0 if n/a)
 };
 
+/// Online-adaptation statistics (spmv::adapt): shadow-measurement trials,
+/// plan promotions, and the accumulated cost of losing trials. Empty by
+/// default and omitted from the JSON artifact unless a BanditTuner ran.
+struct AdaptStats {
+  std::uint64_t trials = 0;      ///< shadow measurements performed
+  std::uint64_t promotions = 0;  ///< plan revisions promoted into the cache
+  /// Shadow-measurement wall time lost to challengers slower than the
+  /// incumbent (the exploration cost of the bandit, in seconds).
+  double regret_s = 0.0;
+
+  void merge(const AdaptStats& other) {
+    trials += other.trials;
+    promotions += other.promotions;
+    regret_s += other.regret_s;
+  }
+
+  [[nodiscard]] bool empty() const { return trials == 0 && promotions == 0; }
+};
+
 /// Serving-layer statistics (spmv::serve): request/batch accounting, queue
 /// wait, and plan-cache effectiveness. A default-constructed ServeStats is
 /// "empty" and is omitted from the JSON artifact.
@@ -86,6 +105,12 @@ struct ServeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  /// Misses satisfied from a warm PlanStore (no predictor pass needed).
+  std::uint64_t cache_warm_hits = 0;
+  /// Misses that ran a full predictor-driven planning pass.
+  std::uint64_t planning_passes = 0;
+  /// Adapt promotions applied to cached entries.
+  std::uint64_t cache_promotions = 0;
   /// batch_width_hist[w-1] = number of batches executed at width w.
   std::vector<std::uint64_t> batch_width_hist;
   /// Latency distributions (p50/p95/p99 via LatencyHistogram::percentile):
@@ -140,6 +165,7 @@ struct RunProfile {
   std::vector<CandidateCost> tuning;
   double tuning_total_s = 0.0;
   ServeStats serve;  ///< serving-layer stats; empty unless a service ran
+  AdaptStats adapt;  ///< online-tuning stats; empty unless a tuner ran
 
   /// Merge one bin execution: accumulates seconds/launches into the
   /// matching (bin_id, kernel) sample or appends a new one.

@@ -9,6 +9,16 @@
 // stalls hits on others. A failed build removes its slot (and rethrows),
 // leaving later requests free to retry.
 //
+// Warm start: with a PlanStore attached, a miss first consults the store —
+// a stored plan for the fingerprint rebuilds directly (counted as a
+// warm_hit; the predictor never runs), and every predictor-driven plan is
+// written through to the store so the next process restart warm-starts.
+//
+// Online refinement: promote() atomically swaps a cached entry's runtime
+// for one rebuilt from an improved Plan (spmv::adapt promotions). Plan
+// revisions are monotonic per key — a stale promotion (revision <= the
+// cached plan's) is dropped, as is one whose entry was evicted meanwhile.
+//
 // Correctness note: the fingerprint hashes structure, not values (see
 // fingerprint.hpp), so an Entry's runtime is bound to the *first* matrix
 // seen with that structure. Callers that may hold structurally equal
@@ -24,6 +34,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "adapt/plan_store.hpp"
 #include "clsim/engine.hpp"
 #include "core/auto_spmv.hpp"
 #include "core/predictor.hpp"
@@ -38,6 +49,7 @@ class PlanCache {
   /// A cached runtime plus shared ownership of the matrix it was planned
   /// for (the runtime holds references into *matrix).
   struct Entry {
+    Fingerprint key;
     std::shared_ptr<const CsrMatrix<T>> matrix;
     core::AutoSpmv<T> runtime;
   };
@@ -46,12 +58,20 @@ class PlanCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Misses satisfied from the attached PlanStore (predictor skipped).
+    std::uint64_t warm_hits = 0;
+    /// Misses that ran a full predictor-driven planning pass.
+    std::uint64_t planning_passes = 0;
+    /// promote() calls that actually replaced a cached entry.
+    std::uint64_t promotions = 0;
   };
 
   /// `predictor` and `engine` are used for every planning pass and must
-  /// outlive the cache. Throws std::invalid_argument when capacity is 0.
+  /// outlive the cache, as must `store` when non-null (the cache does not
+  /// load or flush the store — the owner does; see SpmvService). Throws
+  /// std::invalid_argument when capacity is 0.
   PlanCache(const core::Predictor& predictor, const clsim::Engine& engine,
-            std::size_t capacity);
+            std::size_t capacity, adapt::PlanStore* store = nullptr);
 
   /// Return the cached runtime for `matrix`'s structure, planning it (or
   /// waiting for a concurrent planner) on a miss. Rethrows the planning
@@ -59,9 +79,20 @@ class PlanCache {
   [[nodiscard]] std::shared_ptr<const Entry> get(
       const std::shared_ptr<const CsrMatrix<T>>& matrix);
 
+  /// Swap the cached entry for `key` to a runtime rebuilt from `plan`
+  /// (revision must be strictly greater than the cached plan's). Returns
+  /// the new entry, or nullptr when the promotion lost — key evicted, a
+  /// newer revision already cached, or the slot still mid-build. On
+  /// success the improved plan is also written through to the store
+  /// (`gflops` annotates the store entry).
+  std::shared_ptr<const Entry> promote(const Fingerprint& key,
+                                       const core::Plan& plan,
+                                       double gflops = 0.0);
+
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] adapt::PlanStore* store() const { return store_; }
 
  private:
   using EntryFuture = std::shared_future<std::shared_ptr<const Entry>>;
@@ -74,6 +105,7 @@ class PlanCache {
   const core::Predictor& predictor_;
   const clsim::Engine& engine_;
   const std::size_t capacity_;
+  adapt::PlanStore* store_;
 
   mutable std::mutex mutex_;
   std::unordered_map<Fingerprint, Slot, FingerprintHash> slots_;

@@ -9,6 +9,7 @@
 
 #include "core/exhaustive.hpp"
 #include "trace/trace.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace spmv::serve {
@@ -40,12 +41,17 @@ SpmvService<T>::SpmvService(const core::Predictor& predictor,
     : engine_(opts.engine != nullptr ? *opts.engine
                                      : clsim::default_engine()),
       opts_(opts),
-      cache_(predictor, engine_, opts.cache_capacity),
+      cache_(predictor, engine_, opts.cache_capacity, opts.plan_store),
       queue_(std::make_unique<Queue>()) {
   if (opts_.workers < 1)
     throw std::invalid_argument("SpmvService: workers must be >= 1");
   if (opts_.max_batch < 1)
     throw std::invalid_argument("SpmvService: max_batch must be >= 1");
+  // Warm start: load the store before the first request can miss the
+  // cache (workers have not been spawned yet, submit() cannot run yet).
+  if (opts_.plan_store != nullptr) opts_.plan_store->load();
+  if (opts_.adapt.has_value())
+    tuner_ = std::make_unique<adapt::BanditTuner<T>>(engine_, *opts_.adapt);
   queue_->workers.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i)
     queue_->workers.emplace_back([this] { worker_loop(); });
@@ -66,10 +72,12 @@ std::future<std::vector<T>> SpmvService<T>::submit(
         "SpmvService::submit: x length does not match matrix cols");
 
   // The request's trace lifetime opens at submission; spans recorded on
-  // whichever worker thread executes it carry the same id.
+  // whichever worker thread executes it carry the same id. Under 1-in-N
+  // request sampling (TraceConfig::sample_every_n), a sampled-out request
+  // keeps trace_id 0 and records nothing anywhere downstream.
   std::uint64_t trace_id = 0;
   std::uint64_t trace_submit_ns = 0;
-  if (trace::enabled()) {
+  if (trace::sample_request()) {
     trace_id = trace::next_request_id();
     trace_submit_ns = trace::now_ns();
     trace::emit_async_begin("request", "serve", trace_id);
@@ -240,6 +248,19 @@ void SpmvService<T>::worker_loop() {
       for (const double lat : latencies) q.stats.request_latency.add(lat);
       q.stats.batch_exec.add(exec_s);
     }
+
+    // Online adaptation: offer this request to the bandit as a shadow-trial
+    // opportunity. Runs synchronously on this worker (so shutdown's join
+    // drains every in-flight trial) and holds the entry via shared_ptr, so
+    // a trial can never touch a freed plan even if the cache evicts the
+    // entry concurrently.
+    if (tuner_ != nullptr) {
+      const auto promo =
+          tuner_->observe(entry->key, rt.plan(), rt.bins(), a,
+                          std::span<const T>(batch.front().x));
+      if (promo.has_value())
+        cache_.promote(entry->key, promo->plan, promo->gflops);
+    }
   }
 }
 
@@ -250,14 +271,26 @@ void SpmvService<T>::shutdown() {
     queue_->stopping = true;
   }
   queue_->cv.notify_all();
+  // Joining the workers also drains in-flight adapt trials — observe()
+  // runs synchronously inside worker_loop — so by the time the store is
+  // flushed below no trial can be touching any plan.
   for (std::thread& w : queue_->workers) {
     if (w.joinable()) w.join();
   }
   queue_->workers.clear();
 
+  if (opts_.plan_store != nullptr) {
+    try {
+      opts_.plan_store->flush();
+    } catch (const std::exception& e) {
+      util::log_warn() << "SpmvService: plan store flush failed: " << e.what();
+    }
+  }
+
   if (opts_.profile != nullptr && !queue_->profile_flushed) {
     queue_->profile_flushed = true;
     opts_.profile->serve.merge(stats());
+    if (tuner_ != nullptr) opts_.profile->adapt.merge(tuner_->stats());
   }
 }
 
@@ -272,6 +305,9 @@ prof::ServeStats SpmvService<T>::stats() const {
   s.cache_hits = c.hits;
   s.cache_misses = c.misses;
   s.cache_evictions = c.evictions;
+  s.cache_warm_hits = c.warm_hits;
+  s.planning_passes = c.planning_passes;
+  s.cache_promotions = c.promotions;
   return s;
 }
 

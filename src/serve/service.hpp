@@ -15,15 +15,24 @@
 // later requests for the *same matrix object* (pointer identity — values
 // matter, so structural equality is not enough) and executes them as one
 // column-major Y = A·X batch.
+//
+// Warm start & online tuning (spmv::adapt): attach a PlanStore and the
+// service loads it at construction (cache misses with a stored plan skip
+// the predictor) and flushes it at shutdown. Set ServiceOptions::adapt and
+// workers additionally shadow-measure alternative kernels on a fraction of
+// requests, promoting improved plan revisions into the cache live.
 #pragma once
 
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "adapt/bandit.hpp"
+#include "adapt/plan_store.hpp"
 #include "clsim/engine.hpp"
 #include "core/predictor.hpp"
 #include "prof/profile.hpp"
@@ -49,8 +58,16 @@ struct ServiceOptions {
   /// Execution engine; null = clsim::default_engine().
   const clsim::Engine* engine = nullptr;
   /// Optional telemetry sink: shutdown() folds the service's ServeStats
-  /// into profile->serve. Must outlive the service.
+  /// into profile->serve (and adapt stats into profile->adapt). Must
+  /// outlive the service.
   prof::RunProfile* profile = nullptr;
+  /// Optional persistent plan store: loaded (exactly once, by the service)
+  /// at construction, written through on planning/promotion, flushed at
+  /// shutdown. Must outlive the service; do not pre-load it yourself.
+  adapt::PlanStore* plan_store = nullptr;
+  /// Enable online adaptive tuning: workers shadow-measure alternative
+  /// kernels per AdaptOptions and promote improved plans into the cache.
+  std::optional<adapt::AdaptOptions> adapt;
 };
 
 template <typename T>
@@ -78,8 +95,11 @@ class SpmvService {
   [[nodiscard]] std::vector<T> run(std::shared_ptr<const CsrMatrix<T>> a,
                                    std::vector<T> x);
 
-  /// Stop accepting work, drain the queue, join the workers. Idempotent;
-  /// also folds stats into ServiceOptions::profile (once).
+  /// Stop accepting work, drain the queue, join the workers — which also
+  /// drains any in-flight adapt trials (trials run synchronously on the
+  /// workers) — THEN flush the plan store, then fold stats into
+  /// ServiceOptions::profile. Idempotent. A store flush failure is logged,
+  /// never thrown (shutdown must complete).
   void shutdown();
 
   /// Snapshot of the serving statistics (includes plan-cache counters).
@@ -97,6 +117,7 @@ class SpmvService {
   const clsim::Engine& engine_;
   ServiceOptions opts_;
   PlanCache<T> cache_;
+  std::unique_ptr<adapt::BanditTuner<T>> tuner_;  ///< null when adapt off
   std::unique_ptr<Queue> queue_;  ///< pimpl: keeps <deque>/<thread> out of
                                   ///< the public header
 };

@@ -16,6 +16,8 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_next_request{0};
+std::atomic<std::uint64_t> g_sample_every{1};
+std::atomic<std::uint64_t> g_sample_counter{0};
 /// steady_clock time_since_epoch at start(); event timestamps subtract it.
 std::atomic<std::int64_t> g_epoch_ns{0};
 
@@ -97,10 +99,14 @@ void emit_point(const char* name, const char* category, char phase,
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void start(std::size_t per_thread_capacity) {
+  start(TraceConfig{.per_thread_capacity = per_thread_capacity});
+}
+
+void start(const TraceConfig& config) {
   Registry& r = registry();
   {
     std::lock_guard<std::mutex> lock(r.mutex);
-    r.capacity = std::max<std::size_t>(1, per_thread_capacity);
+    r.capacity = std::max<std::size_t>(1, config.per_thread_capacity);
     for (auto& buf : r.buffers) {
       std::lock_guard<std::mutex> buf_lock(buf->mutex);
       buf->ring.assign(r.capacity, TraceEvent{});
@@ -108,8 +114,18 @@ void start(std::size_t per_thread_capacity) {
       buf->recorded = 0;
     }
   }
+  g_sample_every.store(std::max<std::uint64_t>(1, config.sample_every_n),
+                       std::memory_order_relaxed);
+  g_sample_counter.store(0, std::memory_order_relaxed);
   g_epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_relaxed);
+}
+
+bool sample_request() {
+  if (!enabled()) return false;
+  const std::uint64_t every = g_sample_every.load(std::memory_order_relaxed);
+  if (every <= 1) return true;
+  return g_sample_counter.fetch_add(1, std::memory_order_relaxed) % every == 0;
 }
 
 void stop() { g_enabled.store(false, std::memory_order_relaxed); }

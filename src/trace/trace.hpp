@@ -34,12 +34,31 @@ namespace spmv::trace {
 /// the default buffers ~1.3 MiB per recording thread.
 inline constexpr std::size_t kDefaultBufferCapacity = 16384;
 
+/// Recording configuration for start(). `sample_every_n` applies to
+/// *request* sampling (serve layer): sample_request() approves one request
+/// in every N, so a service under heavy load keeps its rings representative
+/// instead of wrapping within milliseconds. 1 (default) samples everything;
+/// spans outside request sampling (manual TraceSpan use) are unaffected.
+struct TraceConfig {
+  std::size_t per_thread_capacity = kDefaultBufferCapacity;
+  std::uint64_t sample_every_n = 1;
+};
+
 /// Is tracing on? One relaxed atomic load — the whole disabled-path cost.
 bool enabled();
 
 /// Clear any previous events, set the per-thread ring capacity, and enable
 /// recording. The trace clock starts at zero here.
 void start(std::size_t per_thread_capacity = kDefaultBufferCapacity);
+
+/// start() with full configuration (capacity + request sampling).
+void start(const TraceConfig& config);
+
+/// Should the next serving request be traced? False when tracing is off
+/// (one relaxed load, nothing else); with sampling configured, admits one
+/// request in every `sample_every_n` via a relaxed counter — a sampled-out
+/// request costs exactly one relaxed fetch_add.
+bool sample_request();
 
 /// Stop recording. Events are retained for snapshot()/write.
 void stop();

@@ -283,3 +283,48 @@ TEST_F(TraceTest, TunerPlanningStagesAreTraced) {
   }
   EXPECT_TRUE(saw_kernel);
 }
+
+TEST_F(TraceTest, SampleRequestHonorsOneInN) {
+  // Off: one relaxed load, always false.
+  EXPECT_FALSE(trace::sample_request());
+
+  trace::TraceConfig cfg;
+  cfg.sample_every_n = 4;
+  trace::start(cfg);
+  int sampled = 0;
+  for (int i = 0; i < 40; ++i)
+    if (trace::sample_request()) sampled += 1;
+  trace::stop();
+  EXPECT_EQ(sampled, 10);  // exactly 1-in-4, starting with the first
+
+  // Default config samples everything.
+  trace::start();
+  EXPECT_TRUE(trace::sample_request());
+  EXPECT_TRUE(trace::sample_request());
+  trace::stop();
+}
+
+TEST_F(TraceTest, ServiceRequestSamplingTracesOneInN) {
+  core::HeuristicPredictor pred;
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::diagonal<float>(300));
+  serve::SpmvService<float> service(pred, opts);
+
+  trace::TraceConfig cfg;
+  cfg.sample_every_n = 5;
+  trace::start(cfg);
+  for (int i = 0; i < 10; ++i)
+    (void)service.run(a, std::vector<float>(300, 1.0f));
+  trace::stop();
+
+  // Sequential submits: exactly 1-in-5 request lifetimes were recorded
+  // (sampled-out requests allocate no id and emit no request events).
+  const auto snap = trace::snapshot();
+  std::set<std::uint64_t> begun;
+  for (const auto& ev : events_named(snap, "request")) {
+    if (ev.phase == 'b') begun.insert(ev.id);
+  }
+  EXPECT_EQ(begun.size(), 2u);
+}

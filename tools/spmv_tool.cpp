@@ -13,12 +13,26 @@
 //   gen      --family NAME --rows N --out F.mtx  write a synthetic matrix
 //   serve-bench  (same inputs) [--requests R] [--clients C] [--workers W]
 //            [--max-batch B] [--profile out.json] [--trace out.trace.json]
-//            [--metrics-out metrics.txt]
+//            [--trace-sample N] [--metrics-out metrics.txt]
+//            [--plan-store store.json]
 //            drive an SpmvService with concurrent clients and compare its
 //            throughput against naive per-request plan-and-run; --trace
 //            writes a Chrome trace-event file (chrome://tracing/Perfetto)
-//            of the traced requests, --metrics-out a Prometheus text
-//            exposition of the serve stats
+//            of the traced requests (--trace-sample N traces one request
+//            in N), --metrics-out a Prometheus text exposition of the
+//            serve stats, --plan-store warm-starts the plan cache from a
+//            persistent store and flushes tuned plans back on shutdown
+//   adapt-bench  (same inputs) [--requests R] [--trial-fraction F]
+//            [--workers W] [--store store.json] [--profile out.json]
+//            start from a deliberately mispredicted plan and let the
+//            online BanditTuner refine it in-flight: prints windowed
+//            request throughput, promotion/trial counters, the refined
+//            plan's GFLOP/s vs the exhaustive oracle, and a warm-restart
+//            demo (warm hits > 0, planning passes == 0)
+//   plan-store ls|gc  --store store.json [--model-version V]
+//            ls: print load/skip accounting and every plan visible under
+//            this device/model scope; gc: drop preserved foreign entries
+//            and rewrite the store file
 //   compare-profiles  baseline.json current.json [--threshold 1.15]
 //            diff two RunProfile artifacts (run time, per-bin kernel time,
 //            serve percentiles); exits 1 when current regresses past the
@@ -31,7 +45,11 @@
 //   spmv_tool tune --family power_law --rows 50000
 //   spmv_tool serve-bench --matrix cant --clients 8 --profile serve.json
 //   spmv_tool serve-bench --matrix cant --trace cant.trace.json
+//   spmv_tool serve-bench --matrix cant --plan-store plans.json
+//   spmv_tool adapt-bench --matrix cant --store plans.json
+//   spmv_tool plan-store ls --store plans.json
 //   spmv_tool compare-profiles main.json pr.json --threshold 1.15
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +58,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 
 #include "autospmv.hpp"
 
@@ -50,8 +69,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: spmv_tool "
-               "<info|tune|run|train|gen|serve-bench|compare-profiles> "
-               "[flags]\n"
+               "<info|tune|run|train|gen|serve-bench|adapt-bench|"
+               "plan-store|compare-profiles> [flags]\n"
                "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
                "               --family <corpus family> --rows N [--param P]\n"
                "  run flags:   --model model.txt --reps K --profile out.json\n"
@@ -61,7 +80,12 @@ int usage() {
                "  gen flags:   --out file.mtx --seed S\n"
                "  serve-bench flags: --requests R --clients C --workers W\n"
                "               --max-batch B --profile out.json\n"
-               "               --trace out.trace.json --metrics-out m.txt\n"
+               "               --trace out.trace.json --trace-sample N\n"
+               "               --metrics-out m.txt --plan-store store.json\n"
+               "  adapt-bench flags: --requests R --trial-fraction F\n"
+               "               --workers W --store store.json "
+               "--profile out.json\n"
+               "  plan-store:  ls|gc --store store.json [--model-version V]\n"
                "  compare-profiles: baseline.json current.json "
                "[--threshold 1.15]\n");
   return 2;
@@ -347,11 +371,25 @@ int cmd_serve_bench(const util::Cli& cli) {
   opts.max_batch = max_batch;
   opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
   opts.profile = &profile;
+  // --plan-store warm-starts the cache from disk (and flushes plans back
+  // on shutdown), so a repeated bench run skips the planning pass.
+  std::unique_ptr<adapt::PlanStore> store;
+  const std::string store_path = cli.get("plan-store");
+  if (!store_path.empty()) {
+    store = std::make_unique<adapt::PlanStore>(store_path);
+    opts.plan_store = store.get();
+  }
   // --trace records the served half of the bench (submit -> queue ->
   // batch-claim -> execute -> complete, request-id-correlated across the
-  // worker threads) as a Chrome trace-event file.
+  // worker threads) as a Chrome trace-event file. --trace-sample N keeps
+  // one request in N so long benches stay within the ring buffers.
   const std::string trace_path = cli.get("trace");
-  if (!trace_path.empty()) trace::start();
+  if (!trace_path.empty()) {
+    trace::TraceConfig tconfig;
+    tconfig.sample_every_n =
+        static_cast<std::uint64_t>(cli.get_int("trace-sample", 1));
+    trace::start(tconfig);
+  }
   double serve_s = 0.0;
   {
     serve::SpmvService<float> service(*pred, opts);
@@ -390,6 +428,12 @@ int cmd_serve_bench(const util::Cli& cli) {
                 1e3 * s.request_latency.percentile(95),
                 1e3 * s.request_latency.percentile(99));
   }
+  if (store != nullptr) {
+    std::printf("plan store %s: %llu warm hit(s), %llu planning pass(es)\n",
+                store_path.c_str(),
+                static_cast<unsigned long long>(s.cache_warm_hits),
+                static_cast<unsigned long long>(s.planning_passes));
+  }
   const std::string profile_path = cli.get("profile");
   if (!profile_path.empty()) {
     prof::write_profile_file(profile_path, profile);
@@ -409,6 +453,213 @@ int cmd_serve_bench(const util::Cli& cli) {
     if (!out) throw std::runtime_error("cannot open " + metrics_path);
     out << prof::prometheus_text(profile);
     std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+// Deliberately bad predictor: a coarse fixed unit with Serial in every
+// bin. adapt-bench's starting point — every hot bin has headroom, so the
+// online BanditTuner has something real to recover.
+class MispredictPredictor final : public core::Predictor {
+ public:
+  explicit MispredictPredictor(index_t unit) : unit_(unit) {}
+  [[nodiscard]] UnitChoice predict_unit(const RowStats&) const override {
+    return {unit_, false};
+  }
+  [[nodiscard]] kernels::KernelId predict_kernel(const RowStats&, index_t,
+                                                 int) const override {
+    return kernels::KernelId::Serial;
+  }
+
+ private:
+  index_t unit_;
+};
+
+// Time one plan end-to-end (no service in the loop) and return GFLOP/s.
+double plan_gflops(const CsrMatrix<float>& a, const core::Plan& plan,
+                   std::span<const float> x) {
+  const auto rt = core::Tuner(a).plan(plan).build();
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  const auto m = util::measure(
+      [&] { rt.run(x, std::span<float>(y)); },
+      {.warmup = 1, .reps = 5, .max_total_s = 1.0});
+  return 2.0 * static_cast<double>(a.nnz()) / m.best_s * 1e-9;
+}
+
+// The online-refinement story in one command: tune exhaustively (the
+// oracle), start a service from a mispredicted plan, let the BanditTuner
+// shadow-measure and promote, then compare the refined plan against both
+// endpoints and demonstrate the warm restart.
+int cmd_adapt_bench(const util::Cli& cli) {
+  auto a = std::make_shared<const CsrMatrix<float>>(load_input(cli));
+  const int requests = static_cast<int>(cli.get_int("requests", 400));
+  const double trial_fraction = cli.get_double("trial-fraction", 0.5);
+  const int workers = static_cast<int>(cli.get_int("workers", 1));
+  const auto unit = static_cast<index_t>(cli.get_int("unit", 100));
+  std::string store_path = cli.get("store");
+  const bool temp_store = store_path.empty();
+  if (temp_store) store_path = "adapt_bench_store.tmp.json";
+
+  std::vector<float> x(static_cast<std::size_t>(a->cols()));
+  util::Xoshiro256 rng(7);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.5, 1.5));
+
+  // Oracle: what exhaustive tuning would pick, and what it's worth.
+  core::ExhaustiveOptions topts;
+  topts.measure = {.warmup = 1, .reps = 3, .max_total_s = 0.5};
+  const auto tuned =
+      core::exhaustive_tune(clsim::default_engine(), *a,
+                            std::span<const float>(x), core::default_pools(),
+                            topts);
+  const double oracle_gf = plan_gflops(*a, tuned.best_plan, x);
+
+  // Starting point: the mispredicted plan the service will begin from.
+  MispredictPredictor mis(unit);
+  const auto mis_plan =
+      core::Tuner(*a).predictor(mis).build().plan();
+  const double mis_gf = plan_gflops(*a, mis_plan, x);
+  std::printf("\noracle plan:       %s  (%.2f GFLOP/s)\n",
+              tuned.best_plan.to_string().c_str(), oracle_gf);
+  std::printf("mispredicted plan: %s  (%.2f GFLOP/s)\n",
+              mis_plan.to_string().c_str(), mis_gf);
+
+  // Serve from the mispredicted plan with online adaptation enabled.
+  prof::RunProfile profile;
+  profile.label = "adapt-bench";
+  serve::ServiceOptions opts;
+  opts.workers = workers;
+  opts.profile = &profile;
+  adapt::AdaptOptions aopts;
+  aopts.trial_fraction = trial_fraction;
+  aopts.min_samples = 2;
+  aopts.hysteresis = 1.05;
+  aopts.hot_bins = 4;
+  opts.adapt = aopts;
+  adapt::PlanStore store(store_path);
+  opts.plan_store = &store;
+
+  std::printf("\n%-8s %12s %14s %12s\n", "window", "wall[ms]", "requests/s",
+              "promotions");
+  {
+    serve::SpmvService<float> service(mis, opts);
+    const int window = std::max(1, requests / 10);
+    util::Timer win;
+    for (int i = 0; i < requests; ++i) {
+      (void)service.run(a, x);
+      if ((i + 1) % window == 0 || i + 1 == requests) {
+        const double w = win.elapsed_s();
+        std::printf("%-8d %12.1f %14.1f %12llu\n", i + 1, 1e3 * w,
+                    static_cast<double>(window) / w,
+                    static_cast<unsigned long long>(
+                        service.stats().cache_promotions));
+        win.reset();
+      }
+    }
+    service.shutdown();
+  }
+  const auto& ad = profile.adapt;
+  std::printf("\nadapt: %llu trials, %llu promotions, %.3f ms regret\n",
+              static_cast<unsigned long long>(ad.trials),
+              static_cast<unsigned long long>(ad.promotions),
+              1e3 * ad.regret_s);
+
+  // What shipped to the store is the refined plan; time it oracle-style.
+  adapt::PlanStore reread(store_path);
+  (void)reread.load();
+  const auto stored = reread.lookup(serve::fingerprint_of(*a));
+  if (stored.has_value()) {
+    const double refined_gf = plan_gflops(*a, stored->plan, x);
+    std::printf("refined plan:      %s  (%.2f GFLOP/s, rev %llu)\n",
+                stored->plan.to_string().c_str(), refined_gf,
+                static_cast<unsigned long long>(stored->plan.revision));
+    std::printf("recovery: %.0f%% of oracle (mispredicted start was "
+                "%.0f%%)\n",
+                100.0 * refined_gf / oracle_gf, 100.0 * mis_gf / oracle_gf);
+  } else {
+    std::printf("refined plan: store has no entry for this fingerprint\n");
+  }
+
+  // Warm-restart demo: a fresh service over the same store must rebuild
+  // from the stored plan (warm hit), never re-run the planning pass.
+  {
+    prof::RunProfile rprofile;
+    serve::ServiceOptions ropts;
+    ropts.workers = 1;
+    ropts.profile = &rprofile;
+    adapt::PlanStore rstore(store_path);
+    ropts.plan_store = &rstore;
+    serve::SpmvService<float> restarted(mis, ropts);
+    (void)restarted.run(a, x);
+    restarted.shutdown();
+    std::printf("warm restart: %llu warm hit(s), %llu planning pass(es)\n",
+                static_cast<unsigned long long>(
+                    rprofile.serve.cache_warm_hits),
+                static_cast<unsigned long long>(
+                    rprofile.serve.planning_passes));
+  }
+
+  const std::string profile_path = cli.get("profile");
+  if (!profile_path.empty()) {
+    prof::write_profile_file(profile_path, profile);
+    std::printf("adapt profile written to %s\n", profile_path.c_str());
+  }
+  if (temp_store) {
+    std::remove(store_path.c_str());
+  } else {
+    std::printf("plan store kept at %s\n", store_path.c_str());
+  }
+  return 0;
+}
+
+// Inspect or compact a persistent plan store without starting a service.
+int cmd_plan_store(const util::Cli& cli) {
+  const auto& pos = cli.positional();
+  if (pos.empty() || (pos[0] != "ls" && pos[0] != "gc")) {
+    std::fprintf(stderr,
+                 "plan-store: expected ls|gc --store store.json\n");
+    return 2;
+  }
+  const std::string path = cli.get("store");
+  if (path.empty()) {
+    std::fprintf(stderr, "plan-store: --store store.json required\n");
+    return 2;
+  }
+  adapt::PlanStore store(path, adapt::PlanStore::device_config_string(),
+                         cli.get("model-version", "default"));
+  (void)store.load();
+  const auto st = store.stats();
+  std::printf("store %s (device \"%s\", model \"%s\")\n", path.c_str(),
+              store.device_config().c_str(), store.model_version().c_str());
+  std::printf("loaded %llu; skipped: %llu schema, %llu device, %llu model, "
+              "%llu malformed\n",
+              static_cast<unsigned long long>(st.loaded),
+              static_cast<unsigned long long>(st.skipped_schema),
+              static_cast<unsigned long long>(st.skipped_device),
+              static_cast<unsigned long long>(st.skipped_model),
+              static_cast<unsigned long long>(st.skipped_malformed));
+  if (pos[0] == "gc") {
+    const std::size_t dropped = store.gc();
+    store.flush();
+    std::printf("dropped %zu foreign entr%s; rewrote %s\n", dropped,
+                dropped == 1 ? "y" : "ies", path.c_str());
+    return 0;
+  }
+  auto entries = store.entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& l, const auto& r) {
+              return std::tie(l.first.rows, l.first.nnz, l.first.row_hash) <
+                     std::tie(r.first.rows, r.first.nnz, r.first.row_hash);
+            });
+  for (const auto& [key, sp] : entries) {
+    std::printf("  %8lld x %-8lld %10lld nnz  hash 0x%016llx  rev %-3llu "
+                "%6.2f GF  %4llu trials  %s\n",
+                static_cast<long long>(key.rows),
+                static_cast<long long>(key.cols),
+                static_cast<long long>(key.nnz),
+                static_cast<unsigned long long>(key.row_hash),
+                static_cast<unsigned long long>(sp.plan.revision), sp.gflops,
+                static_cast<unsigned long long>(sp.trials),
+                sp.plan.to_string().c_str());
   }
   return 0;
 }
@@ -461,6 +712,8 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(cli);
     if (cmd == "gen") return cmd_gen(cli);
     if (cmd == "serve-bench") return cmd_serve_bench(cli);
+    if (cmd == "adapt-bench") return cmd_adapt_bench(cli);
+    if (cmd == "plan-store") return cmd_plan_store(cli);
     if (cmd == "compare-profiles") return cmd_compare_profiles(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spmv_tool %s: %s\n", cmd.c_str(), e.what());
