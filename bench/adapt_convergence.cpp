@@ -8,10 +8,23 @@
 //
 //   adapt_convergence [--rows N] [--requests R] [--trial-fraction F]
 //                     [--recovery-floor 0.9] [--check] [--json out.json]
+//                     [--misbin] [--misbin-unit U]
 //
-// --check turns the two acceptance criteria into the exit code:
+// Default mode mispredicts the per-bin kernels at the oracle's own
+// granularity (the first-level bandit's recovery story). --misbin instead
+// mispredicts the *binning unit U itself* — the stage-1 structural
+// misprediction no kernel swap can fix — while delegating kernel choice to
+// the heuristic, and enables the BanditTuner's second-level U exploration:
+// recovery then requires whole-plan shadow trials at neighboring
+// granularities and a re-binned promotion carrying tuned-U provenance into
+// the store.
+//
+// --check turns the acceptance criteria into the exit code:
 //   1. refined GFLOP/s >= recovery-floor * oracle GFLOP/s
 //   2. restarted service: warm hits > 0 and planning passes == 0
+//   3. (--misbin only) U trials ran, the promoted plan left the wrong
+//      granularity behind (unit != misbin unit, unit_tuned provenance set),
+//      and the corrected U is what the store serves after the restart
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -39,6 +52,28 @@ class MispredictPredictor final : public core::Predictor {
   index_t unit_;
 };
 
+/// The --misbin starting point: a deliberately wrong stage-1 granularity,
+/// but kernels picked sensibly (heuristic) for the bins that wrong U
+/// produces. Isolates the structural misprediction — the first-level
+/// bandit can only shuffle kernels inside the broken bin layout, so only
+/// U exploration can recover.
+class MisbinPredictor final : public core::Predictor {
+ public:
+  explicit MisbinPredictor(index_t unit) : unit_(unit) {}
+  [[nodiscard]] UnitChoice predict_unit(const RowStats&) const override {
+    return {unit_, false};
+  }
+  [[nodiscard]] kernels::KernelId predict_kernel(const RowStats& stats,
+                                                 index_t unit,
+                                                 int bin_id) const override {
+    return heuristic_.predict_kernel(stats, unit, bin_id);
+  }
+
+ private:
+  index_t unit_;
+  core::HeuristicPredictor heuristic_;
+};
+
 double plan_gflops(const CsrMatrix<float>& a, const core::Plan& plan,
                    std::span<const float> x) {
   const auto rt = core::Tuner(a).plan(plan).build();
@@ -51,7 +86,13 @@ double plan_gflops(const CsrMatrix<float>& a, const core::Plan& plan,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(cli.get_int("rows", 20000));
-  const int requests = static_cast<int>(cli.get_int("requests", 600));
+  const bool misbin = cli.get_bool("misbin", false);
+  const auto misbin_unit =
+      static_cast<index_t>(cli.get_int("misbin-unit", 50000));
+  // The structural recovery walks the granularity grid, so it gets a
+  // larger (still bounded) request budget by default.
+  const int requests =
+      static_cast<int>(cli.get_int("requests", misbin ? 1000 : 600));
   const double trial_fraction = cli.get_double("trial-fraction", 1.0);
   const double floor = cli.get_double("recovery-floor", 0.9);
   const bool check = cli.get_bool("check", false);
@@ -65,8 +106,9 @@ int main(int argc, char** argv) {
   const auto x = random_x(static_cast<std::size_t>(a->cols()), 4242);
 
   std::printf("=== bench adapt_convergence (rows=%d, requests=%d, "
-              "trial_fraction=%.2f) ===\n\n",
-              rows, requests, trial_fraction);
+              "trial_fraction=%.2f%s) ===\n\n",
+              rows, requests, trial_fraction,
+              misbin ? ", mode=misbin" : "");
 
   // Oracle: exhaustive tuning, the throughput ceiling being recovered.
   core::ExhaustiveOptions topts;
@@ -76,10 +118,13 @@ int main(int argc, char** argv) {
                                            core::default_pools(), topts);
   const double oracle_gf = plan_gflops(*a, tuned.best_plan, x);
 
-  // Mispredict at the oracle's own granularity: the BanditTuner's scope is
-  // per-bin kernel choice (unit selection stays the predictor's job), so
-  // the recovery target is the kernel misprediction, not the unit.
-  MispredictPredictor mis(tuned.best_plan.unit);
+  // Default mode mispredicts at the oracle's own granularity (recovery
+  // target = the per-bin kernel choice). --misbin forces a wrong stage-1 U
+  // instead (recovery target = the bin structure itself).
+  MispredictPredictor kernel_mis(tuned.best_plan.unit);
+  MisbinPredictor unit_mis(misbin_unit);
+  const core::Predictor& mis =
+      misbin ? static_cast<const core::Predictor&>(unit_mis) : kernel_mis;
   const auto mis_plan = core::Tuner(*a).predictor(mis).build().plan();
   const double mis_gf = plan_gflops(*a, mis_plan, x);
 
@@ -97,6 +142,20 @@ int main(int argc, char** argv) {
   // Cover every occupied bin: this bench measures full recovery, not the
   // hottest-subset steady-state configuration.
   aopts.hot_bins = static_cast<int>(mis_plan.bin_kernels.size());
+  if (misbin) {
+    // Second-level exploration is the whole point of this mode. Low
+    // hysteresis/cooldown: the bench wants fast convergence within the
+    // request budget; production defaults are more conservative.
+    aopts.explore_units = true;
+    aopts.unit_trial_fraction = 0.5;
+    aopts.unit_min_samples = 2;
+    aopts.unit_hysteresis = 1.05;
+    aopts.unit_cooldown = 2;
+    // After a U promotion the rebinned plan can have more bins than the
+    // degenerate starting layout, so size the hot set for the recovered
+    // plan, not the broken one.
+    aopts.hot_bins = 8;
+  }
   opts.adapt = aopts;
   adapt::PlanStore store(store_path);
   opts.plan_store = &store;
@@ -127,6 +186,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(profile.adapt.trials),
               static_cast<unsigned long long>(profile.adapt.promotions),
               1e3 * profile.adapt.regret_s, requests);
+  if (misbin)
+    std::printf("adapt U: %llu trials, %llu promotions; refined unit %d "
+                "(started from %d, oracle %d)%s\n",
+                static_cast<unsigned long long>(profile.adapt.u_trials),
+                static_cast<unsigned long long>(profile.adapt.u_promotions),
+                refined.unit, misbin_unit, tuned.best_plan.unit,
+                refined.unit_tuned ? ", tuned-U provenance" : "");
 
   // Warm restart over the same store file.
   prof::RunProfile rprofile;
@@ -156,6 +222,11 @@ int main(int argc, char** argv) {
     j.set("recovery", recovery);
     j.set("trials", static_cast<double>(profile.adapt.trials));
     j.set("promotions", static_cast<double>(profile.adapt.promotions));
+    j.set("u_trials", static_cast<double>(profile.adapt.u_trials));
+    j.set("u_promotions",
+          static_cast<double>(profile.adapt.u_promotions));
+    j.set("refined_unit", static_cast<double>(refined.unit));
+    j.set("unit_tuned", refined.unit_tuned);
     j.set("warm_hits",
           static_cast<double>(rprofile.serve.cache_warm_hits));
     std::ofstream out(json_path);
@@ -177,10 +248,24 @@ int main(int argc, char** argv) {
                   "passes == 0\n");
       ok = false;
     }
+    if (misbin) {
+      if (profile.adapt.u_trials == 0) {
+        std::printf("FAIL: no U trials ran in --misbin mode\n");
+        ok = false;
+      }
+      if (!stored.has_value() || stored->plan.unit == misbin_unit ||
+          !stored->plan.unit_tuned) {
+        std::printf("FAIL: store still serves the mispredicted unit %d "
+                    "(expected a tuned-U promotion)\n",
+                    misbin_unit);
+        ok = false;
+      }
+    }
     if (!ok) return 1;
     std::printf("OK: refined plan recovers %.0f%% of oracle; warm restart "
-                "verified\n",
-                100.0 * recovery);
+                "verified%s\n",
+                100.0 * recovery,
+                misbin ? "; corrected U persisted" : "");
   }
   return 0;
 }

@@ -29,6 +29,34 @@ std::int64_t bin_nnz(const CsrMatrix<T>& a, std::span<const index_t> vrows,
   return total;
 }
 
+/// Timed execution of one whole plan: every listed bin launched with its
+/// kernel, scored as 2*nnz / seconds. A kernel that cannot run earns a
+/// zero-reward sample instead of crashing the worker (same contract as the
+/// per-bin trials).
+template <typename T>
+double whole_plan_gflops(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                         std::span<const T> x, const binning::BinSet& bins,
+                         const std::vector<core::BinPlan>& bin_kernels) {
+  std::vector<T> y(static_cast<std::size_t>(a.rows()));
+  const double flops =
+      2.0 * static_cast<double>(std::max<std::int64_t>(1, a.nnz()));
+  try {
+    util::Timer t;
+    for (const core::BinPlan& bp : bin_kernels) {
+      if (bp.bin_id >= bins.bin_count()) continue;
+      const auto& vrows = bins.bin(bp.bin_id);
+      if (vrows.empty()) continue;
+      kernels::run_binned(bp.kernel, engine, a, x, std::span<T>(y),
+                          std::span<const index_t>(vrows), bins.unit());
+    }
+    return flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
+  } catch (const std::exception& e) {
+    util::log_warn() << "adapt U trial failed (U=" << bins.unit()
+                     << "): " << e.what();
+    return 0.0;
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -37,6 +65,14 @@ BanditTuner<T>::BanditTuner(const clsim::Engine& engine, AdaptOptions opts)
   if (opts_.kernel_pool.empty()) opts_.kernel_pool = kernels::all_kernels();
   opts_.hot_bins = std::max(1, opts_.hot_bins);
   opts_.min_samples = std::max(1, opts_.min_samples);
+  if (opts_.unit_pool.empty())
+    opts_.unit_pool = binning::default_granularity_pool();
+  std::sort(opts_.unit_pool.begin(), opts_.unit_pool.end());
+  opts_.unit_pool.erase(
+      std::unique(opts_.unit_pool.begin(), opts_.unit_pool.end()),
+      opts_.unit_pool.end());
+  opts_.unit_min_samples = std::max(1, opts_.unit_min_samples);
+  opts_.unit_cooldown = std::max(0, opts_.unit_cooldown);
 }
 
 template <typename T>
@@ -99,6 +135,168 @@ kernels::KernelId BanditTuner<T>::pick_challenger(
 }
 
 template <typename T>
+index_t BanditTuner<T>::pick_unit_challenger(const KeyState& st,
+                                             index_t incumbent) {
+  const std::vector<index_t>& pool = opts_.unit_pool;
+  const auto it = std::lower_bound(pool.begin(), pool.end(), incumbent);
+  const auto idx = static_cast<std::size_t>(it - pool.begin());
+  const bool exact = it != pool.end() && *it == incumbent;
+  std::vector<index_t> neighbors;
+  if (idx > 0) neighbors.push_back(pool[idx - 1]);
+  if (exact && idx + 1 < pool.size()) neighbors.push_back(pool[idx + 1]);
+  if (!exact && idx < pool.size()) neighbors.push_back(pool[idx]);
+
+  // Grid neighbors first: each gets one whole-plan sample before anything
+  // fancier, so hill-climbing starts immediately from the incumbent.
+  for (index_t u : neighbors) {
+    const auto a = st.units.find(u);
+    if (a == st.units.end() || a->second.samples == 0) return u;
+  }
+
+  // Epsilon jump: a random pool granularity. Escapes plateaus where both
+  // neighbors look no better, and lets a distant optimum be discovered
+  // without walking every intermediate step.
+  if (pool.size() >= 2 && rng_.uniform() < opts_.epsilon) {
+    for (int tries = 0; tries < 8; ++tries) {
+      const index_t u = pool[rng_.bounded(pool.size())];
+      if (u != incumbent) return u;
+    }
+  }
+
+  // Exploit: the best explored mean that is not the incumbent — keeps
+  // re-sampling the most promising U until it either clears the promotion
+  // bar or its mean decays below the incumbent's.
+  index_t best = 0;
+  double best_mean = -1.0;
+  for (const auto& [u, arm] : st.units) {
+    if (u == incumbent || arm.samples == 0) continue;
+    if (arm.mean_gflops > best_mean) {
+      best_mean = arm.mean_gflops;
+      best = u;
+    }
+  }
+  if (best != 0) return best;
+  return neighbors.empty() ? incumbent : neighbors.front();
+}
+
+template <typename T>
+kernels::KernelId BanditTuner<T>::seed_kernel(const KeyState& st,
+                                              const core::Plan& plan,
+                                              int bin_id) const {
+  // Bin id approximates the average row length inside the bin (workload /
+  // U with workload ~= U * avg_len), independent of U — so knowledge about
+  // bin b under the old granularity transfers to bin b under the new one.
+  // Best sampled kernel arm first:
+  if (const auto it = st.bins.find(bin_id); it != st.bins.end()) {
+    bool any = false;
+    kernels::KernelId best = kernels::KernelId::Serial;
+    double best_mean = 0.0;
+    for (kernels::KernelId id : opts_.kernel_pool) {
+      const Arm& arm = it->second.arms[static_cast<std::size_t>(id)];
+      if (arm.samples == 0) continue;
+      if (!any || arm.mean_gflops > best_mean) {
+        any = true;
+        best = id;
+        best_mean = arm.mean_gflops;
+      }
+    }
+    if (any) return best;
+  }
+  // Then the incumbent plan's own choice for the same bin id:
+  for (const core::BinPlan& bp : plan.bin_kernels)
+    if (bp.bin_id == bin_id) return bp.kernel;
+  // Finally the lanes-per-row heuristic (the HeuristicPredictor's shape):
+  // pick the pool kernel whose 4*lanes is log-closest to the bin's
+  // estimated row length.
+  const double target = std::log(static_cast<double>(std::max(1, bin_id)));
+  kernels::KernelId best = opts_.kernel_pool.front();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (kernels::KernelId id : opts_.kernel_pool) {
+    const double d = std::abs(
+        std::log(4.0 * static_cast<double>(kernels::lanes_per_row(id))) -
+        target);
+    if (d < best_d) {
+      best_d = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::unit_trial(
+    KeyState& st, const core::Plan& plan, const binning::BinSet& bins,
+    const CsrMatrix<T>& a, std::span<const T> x) {
+  const index_t incumbent_u = bins.unit();
+  const index_t challenger_u = pick_unit_challenger(st, incumbent_u);
+  if (challenger_u == incumbent_u || challenger_u <= 0) return std::nullopt;
+
+  // Re-bin at the challenger granularity OUTSIDE the timed section (a
+  // promotion pays planning once; the arms compare steady-state execution
+  // throughput) and seed each candidate bin's kernel from the first
+  // level's knowledge.
+  binning::BinSet cbins = binning::bin_matrix(a, challenger_u);
+  std::vector<core::BinPlan> ckernels;
+  for (int b : cbins.occupied_bins())
+    ckernels.push_back({b, seed_kernel(st, plan, b)});
+  if (ckernels.empty()) return std::nullopt;
+
+  // Back-to-back whole-plan measurement, incumbent first.
+  double inc_gflops = 0.0;
+  double ch_gflops = 0.0;
+  {
+    trace::TraceSpan span("adapt-trial-u", "adapt");
+    span.arg("unit", static_cast<std::int64_t>(challenger_u));
+    if (opts_.measure_unit_override) {
+      inc_gflops = opts_.measure_unit_override(incumbent_u);
+      ch_gflops = opts_.measure_unit_override(challenger_u);
+    } else {
+      inc_gflops = whole_plan_gflops(engine_, a, x, bins, plan.bin_kernels);
+      ch_gflops = whole_plan_gflops(engine_, a, x, cbins, ckernels);
+    }
+  }
+  st.units[incumbent_u].add(inc_gflops);
+  st.units[challenger_u].add(ch_gflops);
+  stats_.trials += 1;
+  stats_.u_trials += 1;
+  const double flops =
+      2.0 * static_cast<double>(std::max<std::int64_t>(1, a.nnz()));
+  if (ch_gflops > 0.0 && inc_gflops > ch_gflops)
+    stats_.regret_s += flops * 1e-9 / ch_gflops - flops * 1e-9 / inc_gflops;
+
+  const Arm& inc_arm = st.units[incumbent_u];
+  const Arm& ch_arm = st.units[challenger_u];
+  const auto min_n = static_cast<std::uint64_t>(opts_.unit_min_samples);
+  if (inc_arm.samples < min_n || ch_arm.samples < min_n) return std::nullopt;
+  if (ch_arm.mean_gflops <= inc_arm.mean_gflops * opts_.unit_hysteresis)
+    return std::nullopt;
+
+  // Promote: a fully rebuilt plan at the challenger granularity, carrying
+  // tuned-U provenance. The caller's PlanCache::promote re-bins through
+  // the Tuner path and the store write-through persists the corrected U,
+  // so a restart warm-starts with it.
+  Promotion promo;
+  promo.plan.unit = challenger_u;
+  promo.plan.single_bin = false;
+  promo.plan.revision = plan.revision + 1;
+  promo.plan.unit_tuned = true;
+  promo.plan.predicted_unit =
+      plan.predicted_unit != 0 ? plan.predicted_unit : plan.unit;
+  promo.plan.bin_kernels = std::move(ckernels);
+  promo.gflops = ch_arm.mean_gflops;
+  promo.rebinned = true;
+  stats_.promotions += 1;
+  stats_.u_promotions += 1;
+  st.unit_cooldown = opts_.unit_cooldown;
+  trace::emit_instant("adapt-promote-u", "adapt");
+  util::log_info() << "adapt: promoting U " << incumbent_u << " -> "
+                   << challenger_u << " (" << inc_arm.mean_gflops << " -> "
+                   << ch_arm.mean_gflops << " GFLOP/s whole-plan, revision "
+                   << promo.plan.revision << ")";
+  return promo;
+}
+
+template <typename T>
 std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
     const serve::Fingerprint& key, const core::Plan& plan,
     const binning::BinSet& bins, const CsrMatrix<T>& a,
@@ -147,6 +345,18 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
          ++i)
       st.hot.push_back(by_nnz[i].second);
     if (st.hot.empty()) return std::nullopt;
+  }
+
+  // Second level: divert a share of trials to whole-plan U exploration.
+  // The cooldown after a U switch ticks down on kernel trials, so a fresh
+  // incumbent gets re-measured at the new granularity before it can be
+  // challenged again. Single-bin plans have no bin structure to re-tune.
+  if (opts_.explore_units && !plan.single_bin && opts_.unit_pool.size() >= 2) {
+    if (st.unit_cooldown > 0) {
+      st.unit_cooldown -= 1;
+    } else if (rng_.uniform() < opts_.unit_trial_fraction) {
+      return unit_trial(st, plan, bins, a, x);
+    }
   }
 
   const int bin = st.hot[st.next_hot % st.hot.size()];

@@ -19,9 +19,28 @@
 // a key resets that key's arms (the old measurements described the old
 // plan's incumbents).
 //
+// Second level (opt-in via explore_units): the stage-1 predictor can also
+// get the binning granularity U itself wrong, and no amount of per-bin
+// kernel swapping recovers from a bad bin structure. A `unit_trial_fraction`
+// share of trials therefore shadow-measures the WHOLE plan at a neighboring
+// granularity from the paper's preset grid, scored in whole-plan GFLOP/s:
+// the matrix is re-binned at the challenger U and each bin's kernel is
+// seeded from what the first level already learned (bin id approximates the
+// average row length inside the bin regardless of U, so kernel-arm
+// knowledge transfers across granularities). A confident win (unit_min_
+// samples on both U arms, unit_hysteresis margin) promotes a fully rebuilt
+// plan — re-binned, revision bumped, tuned-U provenance set — through the
+// same PlanCache::promote path, so the PlanStore write-through persists the
+// corrected U and a restart warm-starts with it. U-switches are rarer and
+// costlier than kernel swaps, so they get their own stronger hysteresis
+// plus a `unit_cooldown` of trials after each switch; per-U arm means are
+// whole-plan measurements of the matrix and survive re-binning, which stops
+// an immediate ping-pong back.
+//
 // Everything is recorded: prof counters (adapt.trials / adapt.promotions /
-// adapt.regret) via stats(), and trace spans "adapt-trial"/"adapt-promote"
-// in category "adapt".
+// adapt.regret plus adapt.u_trials / adapt.u_promotions) via stats(), and
+// trace spans "adapt-trial"/"adapt-promote" plus "adapt-trial-u"/
+// "adapt-promote-u" in category "adapt".
 #pragma once
 
 #include <cstdint>
@@ -68,17 +87,45 @@ struct AdaptOptions {
   /// "measured" GFLOP/s for (kernel, bin). Lets tests rig the reward
   /// landscape deterministically (convergence, hysteresis under noise).
   std::function<double(kernels::KernelId, int)> measure_override;
+
+  // --- second level: online exploration of the binning unit U ---------
+
+  /// Enable whole-plan shadow trials at neighboring granularities.
+  bool explore_units = false;
+  /// Of the trials observe() runs, the share diverted to U exploration
+  /// (the rest stay per-bin kernel trials).
+  double unit_trial_fraction = 0.25;
+  /// Samples required on BOTH U arms before a U promotion is considered.
+  int unit_min_samples = 3;
+  /// Challenger U's whole-plan mean GFLOP/s must exceed the incumbent's by
+  /// this ratio. Stricter than the kernel-level `hysteresis` by default:
+  /// a U-switch rebuilds the whole plan, so flapping is costlier.
+  double unit_hysteresis = 1.15;
+  /// Trials to skip U exploration after a U promotion, letting the new
+  /// incumbent accumulate samples before it can be challenged again.
+  int unit_cooldown = 8;
+  /// Candidate granularities; empty = binning::default_granularity_pool()
+  /// (the paper's 10 .. 10^6 ladder). Sorted and deduplicated at
+  /// construction.
+  std::vector<index_t> unit_pool;
+  /// Test seam for U trials: when set, replaces the whole-plan timed runs
+  /// — returns the "measured" whole-plan GFLOP/s at granularity u.
+  std::function<double(index_t)> measure_unit_override;
 };
 
 template <typename T>
 class BanditTuner {
  public:
   /// A plan improvement found by observe(): the refined plan (revision
-  /// already bumped) and the challenger's mean throughput on the trialed
-  /// bin.
+  /// already bumped) and the challenger's mean throughput — on the trialed
+  /// bin for a kernel swap, or whole-plan for a U promotion.
   struct Promotion {
     core::Plan plan;
     double gflops = 0.0;
+    /// True for a U promotion: the plan was rebuilt at a different
+    /// granularity (structurally different bins), not just given a new
+    /// kernel on one bin.
+    bool rebinned = false;
   };
 
   BanditTuner(const clsim::Engine& engine, AdaptOptions opts);
@@ -114,20 +161,34 @@ class BanditTuner {
     std::uint64_t pulls = 0;  ///< trials on this bin (for UCB)
   };
 
-  /// Per-fingerprint bandit state. Arm means are (bin, kernel)
+  /// Per-fingerprint bandit state. Kernel-arm means are (bin, kernel)
   /// measurements of the matrix itself, so they survive plan-revision
   /// bumps (promotions); only a granularity change invalidates them (bin
-  /// ids then cover different rows) and resets the whole state.
+  /// ids then cover different rows) and resets them. Unit-arm means are
+  /// whole-plan measurements, valid across re-binning, so they persist for
+  /// the key's whole lifetime — that persistence is what prevents U
+  /// ping-pong after a switch.
   struct KeyState {
     std::uint64_t plan_revision = 0;
-    index_t unit = -1;          ///< granularity the arms were measured at
+    index_t unit = -1;          ///< granularity the kernel arms were measured at
     std::vector<int> hot;       ///< hottest occupied bins, descending nnz
     std::size_t next_hot = 0;   ///< round-robin cursor over `hot`
     std::unordered_map<int, BinArms> bins;
+    /// Whole-plan GFLOP/s per granularity (the second-level arm space).
+    std::unordered_map<index_t, Arm> units;
+    /// Remaining trials before the next U trial is allowed.
+    int unit_cooldown = 0;
   };
 
   kernels::KernelId pick_challenger(const BinArms& ba,
                                     kernels::KernelId incumbent);
+  index_t pick_unit_challenger(const KeyState& st, index_t incumbent);
+  kernels::KernelId seed_kernel(const KeyState& st, const core::Plan& plan,
+                                int bin_id) const;
+  std::optional<Promotion> unit_trial(KeyState& st, const core::Plan& plan,
+                                      const binning::BinSet& bins,
+                                      const CsrMatrix<T>& a,
+                                      std::span<const T> x);
 
   const clsim::Engine& engine_;
   AdaptOptions opts_;

@@ -1,6 +1,8 @@
 #include "adapt/plan_store.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -26,6 +28,22 @@ std::uint64_t hash_from_hex(const std::string& s) {
   return std::stoull(s, nullptr, 16);
 }
 
+/// prof::Json numbers are doubles; static_cast of a non-integral,
+/// out-of-range, or (for unsigned targets) negative double is undefined
+/// behaviour, and the store file is untrusted input. Throws so the caller's
+/// per-entry catch counts the entry as malformed.
+std::int64_t checked_i64(const prof::Json& j, const char* what,
+                         std::int64_t lo, std::int64_t hi) {
+  const double v = j.as_number();
+  if (!std::isfinite(v) || v != std::floor(v) ||
+      v < static_cast<double>(lo) || v > static_cast<double>(hi))
+    throw std::runtime_error(std::string("plan store: ") + what +
+                             " out of range");
+  return static_cast<std::int64_t>(v);
+}
+
+constexpr std::int64_t kMaxI64Double = 1LL << 53;  // exact-double ceiling
+
 prof::Json fingerprint_to_json(const serve::Fingerprint& f) {
   prof::Json j = prof::Json::object();
   j.set("rows", f.rows);
@@ -37,9 +55,9 @@ prof::Json fingerprint_to_json(const serve::Fingerprint& f) {
 
 serve::Fingerprint fingerprint_from_json(const prof::Json& j) {
   serve::Fingerprint f;
-  f.rows = j.at("rows").as_int();
-  f.cols = j.at("cols").as_int();
-  f.nnz = j.at("nnz").as_int();
+  f.rows = checked_i64(j.at("rows"), "rows", 0, kMaxI64Double);
+  f.cols = checked_i64(j.at("cols"), "cols", 0, kMaxI64Double);
+  f.nnz = checked_i64(j.at("nnz"), "nnz", 0, kMaxI64Double);
   f.row_hash = hash_from_hex(j.at("row_hash").as_string());
   return f;
 }
@@ -86,9 +104,12 @@ PlanStoreStats PlanStore::load() {
 
   std::lock_guard<std::mutex> lock(mutex_);
 
+  // Type-check before as_int(): a type-confused schema field must count as
+  // a schema mismatch, not throw out of load(). Comparing as_number avoids
+  // the out-of-range cast for absurd values like 1e300.
   const prof::Json* schema = doc.find("schema");
-  if (schema == nullptr ||
-      schema->as_int() != kStoreSchemaVersion) {
+  if (schema == nullptr || schema->type() != prof::Json::Type::Number ||
+      schema->as_number() != static_cast<double>(kStoreSchemaVersion)) {
     util::log_warn() << "plan store " << path_ << ": schema "
                      << (schema != nullptr ? schema->dump(0) : "<missing>")
                      << " != " << kStoreSchemaVersion << ", ignoring file";
@@ -127,9 +148,15 @@ PlanStoreStats PlanStore::load() {
       if (const prof::Json* v = e.find("gflops"); v != nullptr)
         sp.gflops = v->as_number();
       if (const prof::Json* v = e.find("trials"); v != nullptr)
-        sp.trials = v->as_uint();
+        sp.trials = static_cast<std::uint64_t>(
+            checked_i64(*v, "trials", 0, kMaxI64Double));
       if (const prof::Json* v = e.find("saved_unix_ms"); v != nullptr)
-        sp.saved_unix_ms = v->as_int();
+        sp.saved_unix_ms = checked_i64(*v, "saved_unix_ms", 0, kMaxI64Double);
+      if (const prof::Json* v = e.find("last_used_unix_ms"); v != nullptr)
+        sp.last_used_unix_ms =
+            checked_i64(*v, "last_used_unix_ms", 0, kMaxI64Double);
+      // Pre-TTL artifacts have no usage stamp; age from the save time.
+      if (sp.last_used_unix_ms == 0) sp.last_used_unix_ms = sp.saved_unix_ms;
       map_[fingerprint_from_json(e.at("fingerprint"))] = std::move(sp);
       stats_.loaded += 1;
     } catch (const std::exception& ex) {
@@ -154,6 +181,7 @@ void PlanStore::flush() const {
       e.set("gflops", sp.gflops);
       e.set("trials", sp.trials);
       e.set("saved_unix_ms", sp.saved_unix_ms);
+      e.set("last_used_unix_ms", sp.last_used_unix_ms);
       entries.push_back(std::move(e));
     }
     for (const prof::Json& e : foreign_) entries.push_back(e);
@@ -176,11 +204,11 @@ void PlanStore::flush() const {
   }
 }
 
-std::optional<StoredPlan> PlanStore::lookup(
-    const serve::Fingerprint& key) const {
+std::optional<StoredPlan> PlanStore::lookup(const serve::Fingerprint& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
+  it->second.last_used_unix_ms = unix_now_ms();
   return it->second;
 }
 
@@ -191,6 +219,7 @@ void PlanStore::put(const serve::Fingerprint& key, const StoredPlan& value) {
     return;  // stale writer: a newer revision is already stored
   StoredPlan sp = value;
   if (sp.saved_unix_ms == 0) sp.saved_unix_ms = unix_now_ms();
+  if (sp.last_used_unix_ms == 0) sp.last_used_unix_ms = unix_now_ms();
   map_[key] = std::move(sp);
 }
 
@@ -212,6 +241,26 @@ std::size_t PlanStore::gc() {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t dropped = foreign_.size();
   foreign_.clear();
+  return dropped;
+}
+
+std::size_t PlanStore::gc_expired(std::int64_t ttl_ms, std::int64_t now_ms) {
+  if (ttl_ms < 0) return 0;
+  if (now_ms == 0) now_ms = unix_now_ms();
+  const std::int64_t cutoff = now_ms - ttl_ms;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    const StoredPlan& sp = it->second;
+    const std::int64_t used =
+        std::max(sp.last_used_unix_ms, sp.saved_unix_ms);
+    if (used < cutoff) {
+      it = map_.erase(it);
+      dropped += 1;
+    } else {
+      ++it;
+    }
+  }
   return dropped;
 }
 

@@ -38,6 +38,10 @@ struct StoredPlan {
   double gflops = 0.0;           ///< best observed throughput (0 = unknown)
   std::uint64_t trials = 0;      ///< adapt trials that shaped this plan
   std::int64_t saved_unix_ms = 0;  ///< wall-clock save time (0 = unknown)
+  /// Wall-clock time of the last lookup() or put() that touched this entry
+  /// (0 = unknown). Drives gc_expired(): fingerprints that stop recurring
+  /// age out instead of accumulating forever.
+  std::int64_t last_used_unix_ms = 0;
 };
 
 /// Load/skip accounting, for `spmv_tool plan-store ls` and tests.
@@ -75,8 +79,9 @@ class PlanStore {
   void flush() const;
 
   /// The stored plan for `key` under this store's device/model scope.
-  [[nodiscard]] std::optional<StoredPlan> lookup(
-      const serve::Fingerprint& key) const;
+  /// Stamps the entry's last_used_unix_ms (recurring fingerprints stay
+  /// fresh for gc_expired), hence non-const.
+  [[nodiscard]] std::optional<StoredPlan> lookup(const serve::Fingerprint& key);
 
   /// Insert or update the entry for `key`. An existing entry is replaced
   /// only by an equal-or-higher plan revision (stale writers lose).
@@ -93,6 +98,15 @@ class PlanStore {
   /// returns how many were dropped. The next flush() writes only entries
   /// visible to this store.
   std::size_t gc();
+
+  /// TTL eviction for fingerprints that stop recurring: drop own-scope
+  /// entries not used (looked up or put) within the last `ttl_ms`
+  /// milliseconds, judged against `now_ms` (0 = current wall clock).
+  /// Entries with no usage timestamp fall back to their save time; ones
+  /// with neither are treated as expired. Foreign entries are PRESERVED —
+  /// unlike gc(), this prunes our own stale tuning work, not other
+  /// machines'. Returns how many entries were dropped.
+  std::size_t gc_expired(std::int64_t ttl_ms, std::int64_t now_ms = 0);
 
   [[nodiscard]] PlanStoreStats stats() const;
   [[nodiscard]] const std::string& path() const { return path_; }

@@ -33,6 +33,13 @@ struct Plan {
   /// increasing revisions, so stale promotions can never overwrite newer
   /// plans.
   std::uint64_t revision = 0;
+  /// Tuned-U provenance: true when `unit` was chosen by online exploration
+  /// (a BanditTuner U-promotion) rather than the stage-1 predictor.
+  bool unit_tuned = false;
+  /// The stage-1 predicted granularity this plan's lineage started from
+  /// (0 = unknown / same as `unit`). Survives every promotion, so a stored
+  /// plan records both what was predicted and what exploration settled on.
+  index_t predicted_unit = 0;
   /// Kernel per occupied bin, ascending bin_id. For single_bin plans this
   /// has exactly one entry with bin_id 0.
   std::vector<BinPlan> bin_kernels;

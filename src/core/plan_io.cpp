@@ -1,12 +1,42 @@
 #include "core/plan_io.hpp"
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "binning/binning.hpp"
+
 namespace spmv::core {
+
+namespace {
+
+/// prof::Json numbers are doubles, so every integral field read from an
+/// untrusted artifact goes through a range check before the cast —
+/// static_cast of an out-of-range (or negative, for unsigned) double is
+/// undefined behaviour, and store files are fuzzed input, not trusted
+/// output.
+std::int64_t checked_int(const prof::Json& j, const char* what,
+                         std::int64_t lo, std::int64_t hi) {
+  const double v = j.as_number();
+  if (!std::isfinite(v) || v != std::floor(v) ||
+      v < static_cast<double>(lo) || v > static_cast<double>(hi))
+    throw std::runtime_error(std::string("plan: ") + what +
+                             " out of range");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
 
 prof::Json plan_to_json(const Plan& plan) {
   prof::Json j = prof::Json::object();
   j.set("unit", static_cast<std::int64_t>(plan.unit));
   j.set("single_bin", plan.single_bin);
   j.set("revision", plan.revision);
+  // Tuned-U provenance. Written unconditionally; readers treat absence as
+  // "predictor-chosen" so pre-provenance artifacts keep loading.
+  j.set("unit_tuned", plan.unit_tuned);
+  j.set("predicted_unit", static_cast<std::int64_t>(plan.predicted_unit));
   prof::Json bins = prof::Json::array();
   for (const BinPlan& bp : plan.bin_kernels) {
     prof::Json b = prof::Json::object();
@@ -20,15 +50,32 @@ prof::Json plan_to_json(const Plan& plan) {
 
 Plan plan_from_json(const prof::Json& j) {
   Plan plan;
-  plan.unit = static_cast<index_t>(j.at("unit").as_int());
+  plan.unit = static_cast<index_t>(
+      checked_int(j.at("unit"), "unit", 1, 1'000'000'000));
   plan.single_bin = j.at("single_bin").as_bool();
-  plan.revision = j.at("revision").as_uint();
+  plan.revision = static_cast<std::uint64_t>(
+      checked_int(j.at("revision"), "revision", 0,
+                  std::numeric_limits<std::int64_t>::max()));
+  if (const prof::Json* v = j.find("unit_tuned"); v != nullptr)
+    plan.unit_tuned = v->as_bool();
+  if (const prof::Json* v = j.find("predicted_unit"); v != nullptr)
+    plan.predicted_unit = static_cast<index_t>(
+        checked_int(*v, "predicted_unit", 0, 1'000'000'000));
   for (const prof::Json& b : j.at("bins").items()) {
     plan.bin_kernels.push_back(
-        {static_cast<int>(b.at("bin").as_int()),
+        {static_cast<int>(checked_int(b.at("bin"), "bin id", 0,
+                                      binning::kMaxBins - 1)),
          kernels::kernel_from_name(b.at("kernel").as_string())});
   }
   plan.normalize();
+  for (std::size_t i = 1; i < plan.bin_kernels.size(); ++i) {
+    if (plan.bin_kernels[i].bin_id == plan.bin_kernels[i - 1].bin_id)
+      throw std::runtime_error("plan: duplicate bin id " +
+                               std::to_string(plan.bin_kernels[i].bin_id));
+  }
+  if (plan.single_bin &&
+      (plan.bin_kernels.size() != 1 || plan.bin_kernels[0].bin_id != 0))
+    throw std::runtime_error("plan: single_bin requires exactly bin 0");
   return plan;
 }
 

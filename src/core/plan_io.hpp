@@ -9,13 +9,17 @@
 
 namespace spmv::core {
 
-/// Serialize `plan` (unit, single_bin, revision, per-bin kernels by name).
+/// Serialize `plan` (unit, single_bin, revision, tuned-U provenance,
+/// per-bin kernels by name).
 [[nodiscard]] prof::Json plan_to_json(const Plan& plan);
 
-/// Inverse of plan_to_json. Throws std::runtime_error on missing fields
-/// and std::invalid_argument on unknown kernel names; the result is
-/// normalize()d so kernel_for's binary-search invariant holds even for
-/// hand-edited artifacts.
+/// Inverse of plan_to_json. Throws std::runtime_error on missing fields or
+/// semantically invalid values (unit <= 0, out-of-range or duplicate bin
+/// ids, negative revision) and std::invalid_argument on unknown kernel
+/// names; the result is normalize()d so kernel_for's binary-search
+/// invariant holds even for hand-edited artifacts. Provenance fields
+/// (unit_tuned / predicted_unit) are optional, so pre-provenance store
+/// files keep loading.
 [[nodiscard]] Plan plan_from_json(const prof::Json& j);
 
 }  // namespace spmv::core

@@ -21,6 +21,7 @@ void ServeStats::merge(const ServeStats& other) {
   cache_warm_hits += other.cache_warm_hits;
   planning_passes += other.planning_passes;
   cache_promotions += other.cache_promotions;
+  cache_rebin_promotions += other.cache_rebin_promotions;
   if (batch_width_hist.size() < other.batch_width_hist.size())
     batch_width_hist.resize(other.batch_width_hist.size(), 0);
   for (std::size_t i = 0; i < other.batch_width_hist.size(); ++i)
@@ -150,6 +151,7 @@ Json RunProfile::to_json() const {
     cache.set("warm_hits", serve.cache_warm_hits);
     cache.set("planning_passes", serve.planning_passes);
     cache.set("promotions", serve.cache_promotions);
+    cache.set("rebin_promotions", serve.cache_rebin_promotions);
     sv.set("cache", cache);
     Json hist = Json::array();
     for (std::uint64_t n : serve.batch_width_hist) hist.push_back(n);
@@ -168,6 +170,8 @@ Json RunProfile::to_json() const {
     ad.set("trials", adapt.trials);
     ad.set("promotions", adapt.promotions);
     ad.set("regret_s", adapt.regret_s);
+    ad.set("u_trials", adapt.u_trials);
+    ad.set("u_promotions", adapt.u_promotions);
     j.set("adapt", ad);
   }
   return j;
@@ -241,6 +245,8 @@ RunProfile RunProfile::from_json(const Json& j) {
       p.serve.planning_passes = v->as_uint();
     if (const Json* v = cache.find("promotions"); v != nullptr)
       p.serve.cache_promotions = v->as_uint();
+    if (const Json* v = cache.find("rebin_promotions"); v != nullptr)
+      p.serve.cache_rebin_promotions = v->as_uint();
     for (const Json& n : sv->at("batch_width_hist").items())
       p.serve.batch_width_hist.push_back(n.as_uint());
     // Histograms arrived with this schema revision; older artifacts and
@@ -258,6 +264,11 @@ RunProfile RunProfile::from_json(const Json& j) {
     p.adapt.trials = ad->at("trials").as_uint();
     p.adapt.promotions = ad->at("promotions").as_uint();
     p.adapt.regret_s = ad->at("regret_s").as_number();
+    // U-exploration counters arrived later; older artifacts omit them.
+    if (const Json* v = ad->find("u_trials"); v != nullptr)
+      p.adapt.u_trials = v->as_uint();
+    if (const Json* v = ad->find("u_promotions"); v != nullptr)
+      p.adapt.u_promotions = v->as_uint();
   }
   return p;
 }
@@ -340,6 +351,8 @@ std::string prometheus_text(const RunProfile& profile) {
            static_cast<double>(s.cache_warm_hits));
     metric(out, "spmv_serve_planning_passes_total", "counter",
            static_cast<double>(s.planning_passes));
+    metric(out, "spmv_serve_cache_rebin_promotions_total", "counter",
+           static_cast<double>(s.cache_rebin_promotions));
     summary(out, "spmv_serve_request_latency_seconds", s.request_latency);
     summary(out, "spmv_serve_queue_wait_seconds", s.queue_wait);
     summary(out, "spmv_serve_batch_exec_seconds", s.batch_exec);
@@ -351,6 +364,10 @@ std::string prometheus_text(const RunProfile& profile) {
     metric(out, "spmv_adapt_promotions_total", "counter",
            static_cast<double>(a.promotions));
     metric(out, "spmv_adapt_regret_seconds_total", "counter", a.regret_s);
+    metric(out, "spmv_adapt_u_trials_total", "counter",
+           static_cast<double>(a.u_trials));
+    metric(out, "spmv_adapt_u_promotions_total", "counter",
+           static_cast<double>(a.u_promotions));
   }
   return out;
 }

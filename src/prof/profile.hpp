@@ -82,11 +82,18 @@ struct AdaptStats {
   /// Shadow-measurement wall time lost to challengers slower than the
   /// incumbent (the exploration cost of the bandit, in seconds).
   double regret_s = 0.0;
+  /// Second-level exploration of the binning unit U: whole-plan shadow
+  /// trials at a neighboring granularity, and the promotions that rebuilt
+  /// the plan at a different U (counted inside `trials`/`promotions` too).
+  std::uint64_t u_trials = 0;
+  std::uint64_t u_promotions = 0;
 
   void merge(const AdaptStats& other) {
     trials += other.trials;
     promotions += other.promotions;
     regret_s += other.regret_s;
+    u_trials += other.u_trials;
+    u_promotions += other.u_promotions;
   }
 
   [[nodiscard]] bool empty() const { return trials == 0 && promotions == 0; }
@@ -111,6 +118,10 @@ struct ServeStats {
   std::uint64_t planning_passes = 0;
   /// Adapt promotions applied to cached entries.
   std::uint64_t cache_promotions = 0;
+  /// Subset of cache_promotions that swapped in a structurally different
+  /// plan (a U-exploration win: the entry was re-binned, not just given a
+  /// new per-bin kernel).
+  std::uint64_t cache_rebin_promotions = 0;
   /// batch_width_hist[w-1] = number of batches executed at width w.
   std::vector<std::uint64_t> batch_width_hist;
   /// Latency distributions (p50/p95/p99 via LatencyHistogram::percentile):

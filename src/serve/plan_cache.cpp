@@ -147,6 +147,9 @@ std::shared_ptr<const typename PlanCache<T>::Entry> PlanCache<T>::promote(
     it->second.future = ready.get_future().share();
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     stats_.promotions += 1;
+    const core::Plan& replaced = now->runtime.plan();
+    if (replaced.unit != plan.unit || replaced.single_bin != plan.single_bin)
+      stats_.rebin_promotions += 1;
   }
   if (store_ != nullptr)
     store_->put(key, adapt::StoredPlan{replacement->runtime.plan(), gflops});

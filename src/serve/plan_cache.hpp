@@ -64,6 +64,11 @@ class PlanCache {
     std::uint64_t planning_passes = 0;
     /// promote() calls that actually replaced a cached entry.
     std::uint64_t promotions = 0;
+    /// Subset of promotions that swapped in a structurally different plan
+    /// — a different granularity or single-bin flag, i.e. a U-exploration
+    /// win that re-binned the matrix rather than re-picking one bin's
+    /// kernel.
+    std::uint64_t rebin_promotions = 0;
   };
 
   /// `predictor` and `engine` are used for every planning pass and must

@@ -308,6 +308,7 @@ prof::ServeStats SpmvService<T>::stats() const {
   s.cache_warm_hits = c.warm_hits;
   s.planning_passes = c.planning_passes;
   s.cache_promotions = c.promotions;
+  s.cache_rebin_promotions = c.rebin_promotions;
   return s;
 }
 

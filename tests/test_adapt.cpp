@@ -149,6 +149,106 @@ TEST(BanditTuner, HysteresisBlocksFlappingUnderNoise) {
   EXPECT_EQ(s.trials, 300u);
 }
 
+TEST(BanditTuner, UnitExplorationPromotesRebinnedPlan) {
+  const auto a = gen::power_law<float>(2000, 2000, 2.0, 200, 61);
+  core::Plan plan;
+  plan.unit = 100;
+  plan.revision = 3;
+  const auto bins = binning::bin_matrix(a, 100);
+  for (int b : bins.occupied_bins())
+    plan.bin_kernels.push_back({b, kernels::KernelId::Serial});
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 63);
+  const auto key = serve::fingerprint_of(a);
+
+  AdaptOptions opts;
+  opts.trial_fraction = 1.0;
+  opts.explore_units = true;
+  opts.unit_trial_fraction = 1.0;  // every trial is a U trial
+  opts.unit_min_samples = 2;
+  opts.unit_hysteresis = 1.10;
+  opts.unit_pool = {100, 1000};  // one grid neighbor to climb to
+  // Rigged: whole-plan throughput at U=1000 is 10x the incumbent's.
+  opts.measure_unit_override = [](index_t u) {
+    return u == 1000 ? 10.0 : 1.0;
+  };
+  BanditTuner<float> tuner(clsim::default_engine(), opts);
+
+  std::optional<BanditTuner<float>::Promotion> promo;
+  int trials = 0;
+  for (; trials < 50 && !promo.has_value(); ++trials)
+    promo = tuner.observe(key, plan, bins, a, x);
+  ASSERT_TRUE(promo.has_value()) << "no U promotion within 50 trials";
+  EXPECT_LE(trials, opts.unit_min_samples + 1);
+
+  // The promotion is a structural rebuild, not a kernel swap: new unit,
+  // re-binned bin set, bumped revision, tuned-U provenance recording where
+  // the lineage started.
+  EXPECT_TRUE(promo->rebinned);
+  EXPECT_EQ(promo->plan.unit, 1000);
+  EXPECT_FALSE(promo->plan.single_bin);
+  EXPECT_EQ(promo->plan.revision, plan.revision + 1);
+  EXPECT_TRUE(promo->plan.unit_tuned);
+  EXPECT_EQ(promo->plan.predicted_unit, 100);
+  EXPECT_DOUBLE_EQ(promo->gflops, 10.0);
+  // Every occupied bin at the NEW granularity has a kernel.
+  const auto rebins = binning::bin_matrix(a, 1000);
+  for (int b : rebins.occupied_bins())
+    EXPECT_NO_THROW((void)promo->plan.kernel_for(b)) << "bin " << b;
+
+  const auto s = tuner.stats();
+  EXPECT_GE(s.u_trials, static_cast<std::uint64_t>(opts.unit_min_samples));
+  EXPECT_EQ(s.u_promotions, 1u);
+}
+
+TEST(BanditTuner, UnitHysteresisAndCooldownPreventPingPong) {
+  const auto a = gen::power_law<float>(1500, 1500, 2.0, 150, 67);
+  core::Plan plan;
+  plan.unit = 100;
+  const auto bins = binning::bin_matrix(a, 100);
+  for (int b : bins.occupied_bins())
+    plan.bin_kernels.push_back({b, kernels::KernelId::Serial});
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 69);
+  const auto key = serve::fingerprint_of(a);
+
+  // Challenger U is 5% better; unit hysteresis demands 15%. Never promote.
+  AdaptOptions opts;
+  opts.trial_fraction = 1.0;
+  opts.explore_units = true;
+  opts.unit_trial_fraction = 1.0;
+  opts.unit_min_samples = 2;
+  opts.unit_hysteresis = 1.15;
+  opts.unit_pool = {100, 1000};
+  opts.measure_unit_override = [](index_t u) {
+    return u == 1000 ? 1.05 : 1.0;
+  };
+  BanditTuner<float> tuner(clsim::default_engine(), opts);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(tuner.observe(key, plan, bins, a, x).has_value())
+        << "U flapped on trial " << i;
+  EXPECT_EQ(tuner.stats().u_promotions, 0u);
+
+  // Cooldown: after a genuine promotion, the next `unit_cooldown` observe()
+  // calls must not run U trials against the new incumbent.
+  AdaptOptions copts = opts;
+  copts.unit_hysteresis = 1.01;
+  copts.unit_cooldown = 10;
+  copts.measure_unit_override = [](index_t u) {
+    return u == 1000 ? 10.0 : 1.0;
+  };
+  BanditTuner<float> cool(clsim::default_engine(), copts);
+  std::optional<BanditTuner<float>::Promotion> promo;
+  for (int i = 0; i < 50 && !promo.has_value(); ++i)
+    promo = cool.observe(key, plan, bins, a, x);
+  ASSERT_TRUE(promo.has_value());
+  const auto u_trials_at_promo = cool.stats().u_trials;
+  const auto newbins = binning::bin_matrix(a, promo->plan.unit);
+  for (int i = 0; i < copts.unit_cooldown; ++i)
+    (void)cool.observe(key, promo->plan, newbins, a, x);
+  EXPECT_EQ(cool.stats().u_trials, u_trials_at_promo)
+      << "U trials ran during the cooldown window";
+  EXPECT_EQ(cool.stats().u_promotions, 1u);
+}
+
 TEST(BanditTuner, RealMeasurementsDoNotThrow) {
   // No override: trials time real kernel launches on the request's matrix.
   const auto a = gen::power_law<double>(1200, 1200, 2.0, 100, 19);
@@ -169,16 +269,32 @@ TEST(BanditTuner, RealMeasurementsDoNotThrow) {
 // --- Plan JSON round trip -------------------------------------------------
 
 TEST(PlanIo, RoundTrip) {
-  const auto plan = sample_plan();
+  auto plan = sample_plan();
+  plan.unit_tuned = true;
+  plan.predicted_unit = 50000;
   const auto back = core::plan_from_json(core::plan_to_json(plan));
   EXPECT_EQ(back.unit, plan.unit);
   EXPECT_EQ(back.single_bin, plan.single_bin);
   EXPECT_EQ(back.revision, plan.revision);
+  EXPECT_EQ(back.unit_tuned, plan.unit_tuned);
+  EXPECT_EQ(back.predicted_unit, plan.predicted_unit);
   ASSERT_EQ(back.bin_kernels.size(), plan.bin_kernels.size());
   for (std::size_t i = 0; i < plan.bin_kernels.size(); ++i) {
     EXPECT_EQ(back.bin_kernels[i].bin_id, plan.bin_kernels[i].bin_id);
     EXPECT_EQ(back.bin_kernels[i].kernel, plan.bin_kernels[i].kernel);
   }
+}
+
+TEST(PlanIo, ProvenanceFieldsAreOptionalForOldArtifacts) {
+  // A pre-provenance artifact (no unit_tuned / predicted_unit) must load
+  // with the defaults.
+  prof::Json j = core::plan_to_json(sample_plan());
+  prof::Json stripped = prof::Json::object();
+  for (const auto& [k, v] : j.members())
+    if (k != "unit_tuned" && k != "predicted_unit") stripped.set(k, v);
+  const auto back = core::plan_from_json(stripped);
+  EXPECT_FALSE(back.unit_tuned);
+  EXPECT_EQ(back.predicted_unit, 0);
 }
 
 // --- PlanStore ------------------------------------------------------------
@@ -332,6 +448,55 @@ TEST(PlanStore, ForeignDeviceAndModelEntriesPreservedAcrossFlush) {
     PlanStore theirs(file.path, other_device, "model-A");
     EXPECT_EQ(theirs.load().loaded, 0u);
   }
+}
+
+TEST(PlanStore, GcExpiredDropsStaleKeepsFreshAndForeign) {
+  ScopedFile file("test_adapt_ttl.json");
+  const std::string other_device = "cu=1 group=64 lds=1024";
+  const std::int64_t now = 1'000'000'000;  // fixed clock: deterministic
+  const std::int64_t hour = 3'600'000;
+  {
+    // A stale foreign entry — TTL gc must never touch other machines' work.
+    PlanStore store(file.path, other_device, "model-A");
+    StoredPlan sp;
+    sp.plan = sample_plan();
+    sp.saved_unix_ms = now - 100 * hour;
+    sp.last_used_unix_ms = now - 100 * hour;
+    store.put(sample_key(), sp);
+    store.flush();
+  }
+  PlanStore store(file.path);
+  store.load();
+  const serve::Fingerprint stale_key{1, 1, 1, 11};
+  const serve::Fingerprint fresh_key{2, 2, 2, 22};
+  const serve::Fingerprint saved_only_key{3, 3, 3, 33};
+  StoredPlan sp;
+  sp.plan = sample_plan();
+  sp.saved_unix_ms = now - 100 * hour;
+  sp.last_used_unix_ms = now - 100 * hour;
+  store.put(stale_key, sp);
+  sp.last_used_unix_ms = now - hour;  // recurring fingerprint: stays
+  store.put(fresh_key, sp);
+  sp.saved_unix_ms = now - hour;  // no usage stamp, but recently saved
+  sp.last_used_unix_ms = 0;       // put() backfills from save time
+  store.put(saved_only_key, sp);
+
+  EXPECT_EQ(store.gc_expired(24 * hour, now), 1u);  // only stale_key
+  EXPECT_FALSE(store.lookup(stale_key).has_value());
+  EXPECT_TRUE(store.lookup(fresh_key).has_value());
+  EXPECT_TRUE(store.lookup(saved_only_key).has_value());
+
+  // lookup() re-stamps usage, so a recurring fingerprint survives a TTL
+  // shorter than its age-since-save.
+  EXPECT_EQ(store.gc_expired(2 * hour, 0), 0u);
+
+  // Negative TTL is a no-op guard.
+  EXPECT_EQ(store.gc_expired(-1, now), 0u);
+
+  // The foreign stale entry survived and is still flushed for its owner.
+  store.flush();
+  PlanStore theirs(file.path, other_device, "model-A");
+  EXPECT_EQ(theirs.load().loaded, 1u);
 }
 
 TEST(PlanStore, ModelVersionScopesLookups) {

@@ -1,0 +1,234 @@
+// Concurrency stress for the serving + adaptation stack, written to run
+// under ThreadSanitizer (CI's tsan preset executes it via the fuzz label):
+// client threads hammer one SpmvService while rigged measurement seams
+// force the BanditTuner to keep promoting plans — including structurally
+// different re-binned plans from U exploration — and the service restarts
+// mid-test from its PlanStore. Invariants under load:
+//   - every result equals the serial reference (no torn plans: a request
+//     must never execute against a half-swapped plan/bins pair)
+//   - the cached plan's revision is monotonically non-decreasing
+//   - the restarted service warm-starts from the store (no planning pass)
+//
+// Seeding follows the suite protocol: SPMV_TEST_SEED overrides the base
+// seed and failure messages carry it for replay.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adapt/plan_store.hpp"
+#include "gen/generators.hpp"
+#include "kernels/reference.hpp"
+#include "serve/service.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+
+std::uint64_t base_seed() {
+  if (const char* s = std::getenv("SPMV_TEST_SEED"); s != nullptr && *s != '\0')
+    return std::strtoull(s, nullptr, 10);
+  return 0x57e55ULL;
+}
+
+struct ScopedFile {
+  explicit ScopedFile(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~ScopedFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::vector<float> random_x(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Rigged reward landscape: granularity 1000 and Sub16 dominate everything
+/// else by 100x, so the bandit reliably promotes — a re-binned U switch
+/// away from the predictor's unit plus per-bin kernel swaps on the rebuilt
+/// plan — while the clients hammer the service. Pure functions:
+/// deterministic and trivially thread-safe.
+constexpr index_t kFavoredUnit = 1000;
+
+double rigged_unit_gflops(index_t u) {
+  return u == kFavoredUnit ? 100.0 : 1.0;
+}
+
+double rigged_kernel_gflops(kernels::KernelId k, int) {
+  return k == kernels::KernelId::Sub16 ? 100.0 : 1.0;
+}
+
+void expect_result_exact(const std::vector<float>& y,
+                         const std::vector<double>& exact,
+                         const std::string& note) {
+  ASSERT_EQ(y.size(), exact.size()) << note;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const double scale = std::abs(exact[i]) + 1.0;
+    ASSERT_NEAR(static_cast<double>(y[i]), exact[i], 2e-4 * scale)
+        << note << ", row " << i;
+  }
+}
+
+TEST(StressServe, PromotionsUnderLoadNeverTearResults) {
+  const std::uint64_t base = base_seed();
+  const std::string note =
+      " (replay with SPMV_TEST_SEED=" + std::to_string(base) + ")";
+  ScopedFile f("stress_store.tmp.json");
+
+  const auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(600, 600, 2.0, 80, base & 0xffff));
+  const auto ad = convert_values<double>(*a);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 120;
+
+  // Pre-compute every client's inputs and reference outputs so the hot
+  // loop is pure submit/verify.
+  std::vector<std::vector<std::vector<float>>> xs(kClients);
+  std::vector<std::vector<std::vector<double>>> exacts(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      auto x = random_x(static_cast<std::size_t>(a->cols()),
+                        util::SplitMix64(base + 1000 * c + r).next());
+      const std::vector<double> xd(x.begin(), x.end());
+      exacts[c].push_back(
+          kernels::spmv_exact(ad, std::span<const double>(xd)));
+      xs[c].push_back(std::move(x));
+    }
+  }
+
+  adapt::AdaptOptions aopts;
+  aopts.trial_fraction = 0.5;
+  aopts.min_samples = 2;
+  aopts.hysteresis = 1.05;
+  aopts.seed = base;
+  aopts.measure_override = rigged_kernel_gflops;
+  aopts.explore_units = true;
+  aopts.unit_trial_fraction = 0.5;
+  aopts.unit_min_samples = 2;
+  aopts.unit_hysteresis = 1.05;
+  aopts.unit_cooldown = 0;
+  // Small pool: the favored unit is the predictor unit's direct grid
+  // neighbor, so the hill-climbing challenger finds it within a few trials.
+  aopts.unit_pool = {10, kFavoredUnit, 100000};
+  aopts.measure_unit_override = rigged_unit_gflops;
+
+  auto run_phase = [&](serve::SpmvService<float>& service, int half) {
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+
+    // Monitor: the cached plan's revision must never go backwards, even
+    // while promotions race the clients.
+    std::thread monitor([&] {
+      std::uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto entry = service.cache().get(a);
+        const std::uint64_t rev = entry->runtime.plan().revision;
+        if (rev < last) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        last = rev;
+        std::this_thread::yield();
+      }
+    });
+
+    std::vector<std::thread> clients;
+    const int lo = half * (kRequestsPerClient / 2);
+    const int hi = lo + kRequestsPerClient / 2;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = lo; r < hi; ++r) {
+          std::vector<float> y;
+          try {
+            y = service.run(a, xs[c][r]);
+          } catch (const serve::QueueFullError&) {
+            r -= 1;  // backpressure: retry the same request
+            std::this_thread::yield();
+            continue;
+          }
+          expect_result_exact(y, exacts[c][r],
+                              "client " + std::to_string(c) + " request " +
+                                  std::to_string(r) + note);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    monitor.join();
+    EXPECT_EQ(failures.load(), 0)
+        << "plan revision went backwards under load" << note;
+  };
+
+  // Phase 1: cold start, promotions churning the whole time.
+  const core::HeuristicPredictor predictor;
+  prof::RunProfile profile1;
+  std::uint64_t stored_revision = 0;
+  {
+    adapt::PlanStore store(f.path);
+    serve::ServiceOptions opts;
+    opts.workers = 3;
+    opts.profile = &profile1;
+    opts.plan_store = &store;
+    opts.adapt = aopts;
+    serve::SpmvService<float> service(predictor, opts);
+    run_phase(service, 0);
+    service.shutdown();
+    const auto sp = store.lookup(serve::fingerprint_of(*a));
+    ASSERT_TRUE(sp.has_value()) << note;
+    stored_revision = sp->plan.revision;
+    // The rigged landscape guarantees a structural U promotion: the store
+    // must hold the re-binned plan with tuned-U provenance.
+    EXPECT_EQ(sp->plan.unit, kFavoredUnit) << note;
+    EXPECT_TRUE(sp->plan.unit_tuned) << note;
+  }
+  if (::testing::Test::HasFatalFailure()) return;
+  std::printf("phase 1: %llu trials (%llu U), %llu promotions (%llu U)\n",
+              static_cast<unsigned long long>(profile1.adapt.trials),
+              static_cast<unsigned long long>(profile1.adapt.u_trials),
+              static_cast<unsigned long long>(profile1.adapt.promotions),
+              static_cast<unsigned long long>(profile1.adapt.u_promotions));
+  EXPECT_GT(profile1.adapt.promotions, 0u)
+      << "rigged rewards should force kernel promotions" << note;
+  EXPECT_GT(profile1.adapt.u_promotions, 0u)
+      << "rigged rewards should force a U promotion" << note;
+  EXPECT_GT(profile1.serve.cache_rebin_promotions, 0u)
+      << "the U promotion must reach the cache as a re-binned swap" << note;
+
+  // Phase 2: restart mid-test from the store — warm start, then keep
+  // promoting on top of the persisted revision.
+  prof::RunProfile profile2;
+  {
+    adapt::PlanStore store(f.path);
+    serve::ServiceOptions opts;
+    opts.workers = 3;
+    opts.profile = &profile2;
+    opts.plan_store = &store;
+    opts.adapt = aopts;
+    serve::SpmvService<float> service(predictor, opts);
+    run_phase(service, 1);
+    service.shutdown();
+    const auto sp = store.lookup(serve::fingerprint_of(*a));
+    ASSERT_TRUE(sp.has_value()) << note;
+    // Revisions stay monotonic across the restart too: the store's final
+    // plan can only have moved forward from what phase 1 persisted.
+    EXPECT_GE(sp->plan.revision, stored_revision) << note;
+  }
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(profile2.serve.planning_passes, 0u)
+      << "restart must warm-start from the plan store" << note;
+  EXPECT_GT(profile2.serve.cache_warm_hits, 0u) << note;
+}
+
+}  // namespace

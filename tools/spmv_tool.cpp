@@ -24,14 +24,20 @@
 //            persistent store and flushes tuned plans back on shutdown
 //   adapt-bench  (same inputs) [--requests R] [--trial-fraction F]
 //            [--workers W] [--store store.json] [--profile out.json]
+//            [--explore-u] [--unit-fraction F]
 //            start from a deliberately mispredicted plan and let the
 //            online BanditTuner refine it in-flight: prints windowed
 //            request throughput, promotion/trial counters, the refined
 //            plan's GFLOP/s vs the exhaustive oracle, and a warm-restart
-//            demo (warm hits > 0, planning passes == 0)
+//            demo (warm hits > 0, planning passes == 0). --explore-u
+//            additionally lets the tuner shadow-measure neighboring
+//            binning granularities and promote whole re-binned plans
+//            (U trials/promotions are printed separately)
 //   plan-store ls|gc  --store store.json [--model-version V]
+//            [--ttl-hours H]
 //            ls: print load/skip accounting and every plan visible under
 //            this device/model scope; gc: drop preserved foreign entries
+//            (and, with --ttl-hours, own entries not used within H hours)
 //            and rewrite the store file
 //   compare-profiles  baseline.json current.json [--threshold 1.15]
 //            diff two RunProfile artifacts (run time, per-bin kernel time,
@@ -85,7 +91,9 @@ int usage() {
                "  adapt-bench flags: --requests R --trial-fraction F\n"
                "               --workers W --store store.json "
                "--profile out.json\n"
+               "               --explore-u --unit-fraction F\n"
                "  plan-store:  ls|gc --store store.json [--model-version V]\n"
+               "               [--ttl-hours H]\n"
                "  compare-profiles: baseline.json current.json "
                "[--threshold 1.15]\n");
   return 2;
@@ -534,6 +542,13 @@ int cmd_adapt_bench(const util::Cli& cli) {
   aopts.min_samples = 2;
   aopts.hysteresis = 1.05;
   aopts.hot_bins = 4;
+  if (cli.get_bool("explore-u", false)) {
+    aopts.explore_units = true;
+    aopts.unit_trial_fraction = cli.get_double("unit-fraction", 0.5);
+    aopts.unit_min_samples = 2;
+    aopts.unit_hysteresis = 1.05;
+    aopts.unit_cooldown = 4;
+  }
   opts.adapt = aopts;
   adapt::PlanStore store(store_path);
   opts.plan_store = &store;
@@ -562,6 +577,13 @@ int cmd_adapt_bench(const util::Cli& cli) {
               static_cast<unsigned long long>(ad.trials),
               static_cast<unsigned long long>(ad.promotions),
               1e3 * ad.regret_s);
+  if (ad.u_trials > 0 || ad.u_promotions > 0)
+    std::printf("adapt U: %llu trials, %llu promotions (%llu re-binned "
+                "cache swaps)\n",
+                static_cast<unsigned long long>(ad.u_trials),
+                static_cast<unsigned long long>(ad.u_promotions),
+                static_cast<unsigned long long>(
+                    profile.serve.cache_rebin_promotions));
 
   // What shipped to the store is the refined plan; time it oracle-style.
   adapt::PlanStore reread(store_path);
@@ -639,9 +661,14 @@ int cmd_plan_store(const util::Cli& cli) {
               static_cast<unsigned long long>(st.skipped_malformed));
   if (pos[0] == "gc") {
     const std::size_t dropped = store.gc();
+    std::size_t expired = 0;
+    const double ttl_hours = cli.get_double("ttl-hours", 0.0);
+    if (ttl_hours > 0.0)
+      expired = store.gc_expired(
+          static_cast<std::int64_t>(ttl_hours * 3600.0 * 1000.0));
     store.flush();
-    std::printf("dropped %zu foreign entr%s; rewrote %s\n", dropped,
-                dropped == 1 ? "y" : "ies", path.c_str());
+    std::printf("dropped %zu foreign entr%s, expired %zu stale; rewrote %s\n",
+                dropped, dropped == 1 ? "y" : "ies", expired, path.c_str());
     return 0;
   }
   auto entries = store.entries();
