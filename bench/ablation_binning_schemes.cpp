@@ -12,7 +12,8 @@ using namespace spmv::bench;
 namespace {
 
 /// Per-bin best kernel over a BinnedMatrix, then the composed SpMV time.
-double tuned_execution_time(const CsrMatrix<float>& a,
+double tuned_execution_time(const exec::Backend& backend,
+                            const CsrMatrix<float>& a,
                             std::span<const float> x, std::span<float> y,
                             const binning::BinnedMatrix& binned) {
   struct Launch {
@@ -28,8 +29,7 @@ double tuned_execution_time(const CsrMatrix<float>& a,
       for (auto id : kernels::all_kernels()) {
         const double t = time_spmv(
             [&] {
-              kernels::run_binned(id, clsim::default_engine(), a, x, y,
-                                  part.bin(b), part.unit());
+              backend.run_binned(id, a, x, y, part.bin(b), part.unit());
             },
             {.warmup = 0, .reps = 2, .max_total_s = 0.2});
         if (t < best) {
@@ -42,8 +42,8 @@ double tuned_execution_time(const CsrMatrix<float>& a,
   }
   return time_spmv([&] {
     for (const auto& l : launches) {
-      kernels::run_binned(l.kernel, clsim::default_engine(), a, x, y,
-                          l.part->bin(l.bin), l.part->unit());
+      backend.run_binned(l.kernel, a, x, y, l.part->bin(l.bin),
+                         l.part->unit());
     }
   });
 }
@@ -54,9 +54,11 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(cli.get_int("rows", 300000));
   const auto unit = static_cast<index_t>(cli.get_int("unit", 100));
+  const auto backend = exec::shared_backend(backend_from_cli(cli));
 
-  std::printf("=== bench ablation_binning_schemes (rows=%d, U=%d) ===\n\n",
-              rows, unit);
+  std::printf("=== bench ablation_binning_schemes (rows=%d, U=%d, "
+              "backend=%s) ===\n\n",
+              rows, unit, exec::backend_cname(backend->kind()));
 
   struct Input {
     const char* name;
@@ -86,8 +88,9 @@ int main(int argc, char** argv) {
       const double t_bin = time_spmv(
           [&] { binned = binning::apply_scheme(in.a, kind, unit, 64); },
           {.warmup = 1, .reps = 3, .max_total_s = 3.0});
-      const double t_spmv = tuned_execution_time(
-          in.a, std::span<const float>(x), std::span<float>(y), binned);
+      const double t_spmv =
+          tuned_execution_time(*backend, in.a, std::span<const float>(x),
+                               std::span<float>(y), binned);
       std::printf("  %-12s %14.3f %16zu %14.3f %12.3f\n",
                   binning::scheme_name(kind).c_str(), 1e3 * t_bin,
                   binned.stored_entries(), 1e3 * t_spmv,

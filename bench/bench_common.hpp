@@ -64,6 +64,12 @@ inline void rule(int width) {
   std::putchar('\n');
 }
 
+/// The uniform `--backend clsim|native` flag shared by the benches (and
+/// spmv_tool). Unknown names throw std::invalid_argument.
+inline exec::BackendKind backend_from_cli(const util::Cli& cli) {
+  return exec::backend_from_name(cli.get("backend", "clsim"));
+}
+
 /// The bench-sized candidate pools: the full nine-kernel pool with a
 /// five-point granularity ladder (the full 16-point ladder multiplies bench
 /// time ~3x without changing any figure's shape; override with --full-pool).
@@ -84,6 +90,17 @@ inline core::Plan oracle_plan(const CsrMatrix<float>& a,
   opts.measure = {.warmup = 1, .reps = 5, .max_total_s = 0.5};
   return core::exhaustive_tune(clsim::default_engine(), a, x, pools, opts)
       .best_plan;
+}
+
+/// Backend-aware oracle: tune and stamp the plan on `backend` (see
+/// exec/backend.hpp — the plan records the backend it was tuned for).
+inline core::Plan oracle_plan(const CsrMatrix<float>& a,
+                              std::span<const float> x,
+                              const core::CandidatePools& pools,
+                              const exec::Backend& backend) {
+  core::ExhaustiveOptions opts;
+  opts.measure = {.warmup = 1, .reps = 5, .max_total_s = 0.5};
+  return core::exhaustive_tune(backend, a, x, pools, opts).best_plan;
 }
 
 }  // namespace spmv::bench

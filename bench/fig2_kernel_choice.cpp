@@ -19,7 +19,7 @@ const std::vector<kernels::KernelId> kFive = {
     kernels::KernelId::Sub32, kernels::KernelId::Sub128,
     kernels::KernelId::Vector};
 
-void figure_2a(index_t rows) {
+void figure_2a(const exec::Backend& backend, index_t rows) {
   std::printf("Figure 2a: five kernels, two inputs, single bin\n");
   std::printf("(normalized execution time; 1.00 = best kernel per input)\n");
 
@@ -45,8 +45,8 @@ void figure_2a(index_t rows) {
     std::vector<double> times;
     for (auto id : kFive) {
       times.push_back(time_spmv([&] {
-        kernels::run_full(id, clsim::default_engine(), in.a,
-                          std::span<const float>(x), std::span<float>(y));
+        backend.run_full(id, in.a, std::span<const float>(x),
+                         std::span<float>(y));
       }));
     }
     const double best = *std::min_element(times.begin(), times.end());
@@ -56,7 +56,7 @@ void figure_2a(index_t rows) {
   }
 }
 
-void figure_2b(index_t rows) {
+void figure_2b(const exec::Backend& backend, index_t rows) {
   std::printf("\nFigure 2b: five kernels across four bins of one input\n");
   std::printf("(normalized execution time; 1.00 = best kernel per bin)\n");
 
@@ -84,9 +84,8 @@ void figure_2b(index_t rows) {
     std::vector<double> times;
     for (auto id : kFive) {
       times.push_back(time_spmv([&] {
-        kernels::run_binned(id, clsim::default_engine(), a,
-                            std::span<const float>(x), std::span<float>(y),
-                            bins.bin(b), unit);
+        backend.run_binned(id, a, std::span<const float>(x),
+                           std::span<float>(y), bins.bin(b), unit);
       }));
     }
     const double best = *std::min_element(times.begin(), times.end());
@@ -108,8 +107,10 @@ void figure_2b(index_t rows) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto rows = static_cast<index_t>(cli.get_int("rows", 400000));
-  std::printf("=== bench fig2_kernel_choice (rows=%d) ===\n\n", rows);
-  figure_2a(rows);
-  figure_2b(rows / 4);
+  const auto backend = exec::shared_backend(backend_from_cli(cli));
+  std::printf("=== bench fig2_kernel_choice (rows=%d, backend=%s) ===\n\n",
+              rows, exec::backend_cname(backend->kind()));
+  figure_2a(*backend, rows);
+  figure_2b(*backend, rows / 4);
   return 0;
 }

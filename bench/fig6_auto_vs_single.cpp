@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const double extra_scale = cli.get_double("scale", 1.0);
   const auto pools = bench_pools(cli.get_bool("full-pool", false));
+  const auto backend = exec::shared_backend(backend_from_cli(cli));
   const std::string model_path = cli.get("model");
 
   // --profile=<path> records every (matrix, strategy) measurement as a
@@ -34,8 +35,10 @@ int main(int argc, char** argv) {
         core::load_model_file(model_path));
   }
 
-  std::printf("=== bench fig6_auto_vs_single (scale=%.3f, auto=%s) ===\n\n",
-              extra_scale, model_pred ? "trained model" : "oracle");
+  std::printf("=== bench fig6_auto_vs_single (scale=%.3f, auto=%s, "
+              "backend=%s) ===\n\n",
+              extra_scale, model_pred ? "trained model" : "oracle",
+              exec::backend_cname(backend->kind()));
   std::printf("%-16s %12s %12s %12s %14s %14s   %s\n", "matrix", "auto[ms]",
               "serial[ms]", "vector[ms]", "serial/auto", "vector/auto",
               "auto plan");
@@ -52,28 +55,29 @@ int main(int argc, char** argv) {
     // kernel-auto.
     core::Plan plan;
     if (model_pred) {
-      const auto spmv = core::Tuner(a).predictor(*model_pred).build();
+      const auto spmv = core::Tuner(a)
+                            .predictor(*model_pred)
+                            .backend(backend->kind())
+                            .build();
       plan = spmv.plan();
     } else {
-      plan = oracle_plan(a, x, pools);
+      plan = oracle_plan(a, x, pools, *backend);
     }
     const auto bins = core::bins_for_plan(a, plan);
     const double t_auto = time_strategy(prof_ptr, info.name + "/auto", [&] {
-      core::execute_plan(clsim::default_engine(), a, std::span<const float>(x),
+      core::execute_plan(*backend, a, std::span<const float>(x),
                          std::span<float>(y), bins, plan);
     });
 
     // The two single-kernel defaults.
     const double t_serial =
         time_strategy(prof_ptr, info.name + "/serial", [&] {
-          kernels::run_full(kernels::KernelId::Serial,
-                            clsim::default_engine(), a,
+          backend->run_full(kernels::KernelId::Serial, a,
                             std::span<const float>(x), std::span<float>(y));
         });
     const double t_vector =
         time_strategy(prof_ptr, info.name + "/vector", [&] {
-          kernels::run_full(kernels::KernelId::Vector,
-                            clsim::default_engine(), a,
+          backend->run_full(kernels::KernelId::Vector, a,
                             std::span<const float>(x), std::span<float>(y));
         });
 

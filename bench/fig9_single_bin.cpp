@@ -15,13 +15,15 @@ using namespace spmv::bench;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const double extra_scale = cli.get_double("scale", 1.0);
+  const auto backend = exec::shared_backend(backend_from_cli(cli));
 
   // The six Figure-9 matrices.
   const std::vector<std::string> names = {"crankseg_2",   "D6-6",
                                           "dictionary28", "europe_osm",
                                           "Ga3As3H12",    "roadNet-CA"};
 
-  std::printf("=== bench fig9_single_bin (scale=%.3f) ===\n\n", extra_scale);
+  std::printf("=== bench fig9_single_bin (scale=%.3f, backend=%s) ===\n\n",
+              extra_scale, exec::backend_cname(backend->kind()));
   std::printf(
       "(execution time normalized to CSR-Adaptive = 1.00; <1.00 beats the "
       "dashed line)\n\n");
@@ -49,8 +51,8 @@ int main(int argc, char** argv) {
     double best = std::numeric_limits<double>::infinity();
     for (auto id : kernels::all_kernels()) {
       const double t = time_spmv([&] {
-        kernels::run_full(id, clsim::default_engine(), a,
-                          std::span<const float>(x), std::span<float>(y));
+        backend->run_full(id, a, std::span<const float>(x),
+                          std::span<float>(y));
       });
       best = std::min(best, t);
       std::printf("%13.2f", t / t_adaptive);

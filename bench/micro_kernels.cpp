@@ -9,6 +9,12 @@ using namespace spmv;
 
 namespace {
 
+/// Execution backend for the pool-kernel benchmarks, selected by the
+/// `--backend clsim|native` flag (stripped before google-benchmark sees
+/// the argv — it rejects flags it does not know). Defaults to clsim.
+std::shared_ptr<const exec::Backend> g_backend =
+    exec::shared_backend(exec::BackendKind::Clsim);
+
 struct Fixture {
   CsrMatrix<float> a;
   std::vector<float> x;
@@ -50,9 +56,8 @@ void bench_pool_kernel(benchmark::State& state) {
   const auto id = static_cast<kernels::KernelId>(state.range(0));
   auto fixture = make_fixture(static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    kernels::run_full(id, clsim::default_engine(), fixture.a,
-                      std::span<const float>(fixture.x),
-                      std::span<float>(fixture.y));
+    g_backend->run_full(id, fixture.a, std::span<const float>(fixture.x),
+                        std::span<float>(fixture.y));
     benchmark::DoNotOptimize(fixture.y.data());
   }
   state.SetItemsProcessed(state.iterations() * fixture.a.nnz());
@@ -113,4 +118,28 @@ BENCHMARK(bench_binning)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --backend=<name> / --backend <name> before google-benchmark
+  // parses the rest of the command line.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--backend=", 0) == 0) {
+      g_backend = exec::shared_backend(
+          exec::backend_from_name(arg.substr(std::string("--backend=").size())));
+      continue;
+    }
+    if (arg == "--backend" && i + 1 < argc) {
+      g_backend = exec::shared_backend(exec::backend_from_name(argv[++i]));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,12 +9,19 @@
 // usual defence against scheduler noise on loaded hosts).
 //
 //   serve_throughput [--rows N] [--requests R] [--clients C] [--workers W]
-//                    [--max-batch B] [--reps K] [--profile out.json]
+//                    [--max-batch B] [--reps K] [--backend clsim|native]
+//                    [--short-rows] [--profile out.json]
 //                    [--json BENCH_serve.json]
 //
-// --json writes a compact machine-readable summary (config, naive/serve
-// requests-per-second, speedup, request-latency percentiles) for CI
-// artifact upload, alongside the full --profile RunProfile.
+// --backend selects the execution backend every plan is stamped with
+// (exec/backend.hpp); --short-rows swaps the workload to short-row-only
+// matrices (fixed degree 6 / narrow band), the profile where the native
+// backend's thin OpenMP loops beat the simulated work-group engine by the
+// widest margin. --json writes a compact machine-readable summary (config,
+// backend, naive/serve requests-per-second and GFLOP/s, speedup,
+// request-latency percentiles) for CI artifact upload — the CI job runs it
+// once per backend and uploads the pair for comparison — alongside the
+// full --profile RunProfile.
 #include <atomic>
 #include <fstream>
 #include <future>
@@ -60,20 +67,26 @@ int main(int argc, char** argv) {
   const int workers = static_cast<int>(cli.get_int("workers", 2));
   const int max_batch = static_cast<int>(cli.get_int("max-batch", 8));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const exec::BackendKind backend = backend_from_cli(cli);
+  const bool short_rows = cli.get_bool("short-rows", false);
 
   // Three recurring matrix structures, as a serving workload would see
-  // (e.g. the same operators queried by many clients).
+  // (e.g. the same operators queried by many clients). --short-rows keeps
+  // only short-row shapes (the backend-comparison profile).
   std::vector<std::shared_ptr<const CsrMatrix<float>>> mats;
-  mats.push_back(std::make_shared<const CsrMatrix<float>>(
-      gen::power_law<float>(rows, rows, 2.0, 300, 1)));
+  if (!short_rows)
+    mats.push_back(std::make_shared<const CsrMatrix<float>>(
+        gen::power_law<float>(rows, rows, 2.0, 300, 1)));
   mats.push_back(std::make_shared<const CsrMatrix<float>>(
       gen::fixed_degree<float>(rows, rows, 6, 2)));
   mats.push_back(std::make_shared<const CsrMatrix<float>>(
       gen::banded<float>(rows, 8, 0.7, 3)));
 
   std::printf("=== bench serve_throughput (rows=%d, requests=%d, "
-              "clients=%d, workers=%d, max_batch=%d) ===\n\n",
-              rows, requests, clients, workers, max_batch);
+              "clients=%d, workers=%d, max_batch=%d, backend=%s%s) ===\n\n",
+              rows, requests, clients, workers, max_batch,
+              exec::backend_cname(backend),
+              short_rows ? ", short-rows" : "");
 
   // Pre-generate the request stream (matrix round-robin + input vector) so
   // neither side pays generation inside the timed region.
@@ -98,7 +111,8 @@ int main(int argc, char** argv) {
         naive_s, run_clients(clients, requests, [&](int i) {
           const CsrMatrix<float>& a =
               *req_mat_raw[static_cast<std::size_t>(i)];
-          const auto spmv = core::Tuner(a).predictor(pred).build();
+          const auto spmv =
+              core::Tuner(a).predictor(pred).backend(backend).build();
           std::vector<float> y(static_cast<std::size_t>(a.rows()));
           spmv.run(req_x[static_cast<std::size_t>(i)], std::span<float>(y));
         }));
@@ -111,6 +125,7 @@ int main(int argc, char** argv) {
   opts.workers = workers;
   opts.max_batch = max_batch;
   opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
+  opts.backend = backend;
   opts.profile = &profile;
 
   double serve_s = std::numeric_limits<double>::infinity();
@@ -144,6 +159,13 @@ int main(int argc, char** argv) {
 
   const double naive_rps = requests / naive_s;
   const double serve_rps = requests / serve_s;
+  // Work-normalized throughput: total flops of the request stream over the
+  // wall — the number the clsim-vs-native CI comparison keys on.
+  double total_flops = 0.0;
+  for (const auto& m : req_mat)
+    total_flops += 2.0 * static_cast<double>(m->nnz());
+  const double naive_gflops = total_flops / naive_s * 1e-9;
+  const double serve_gflops = total_flops / serve_s * 1e-9;
   const auto& s = profile.serve;
   // Mean width over everything recorded (includes the per-matrix warm-up
   // singles, which slightly understate the steady-state width).
@@ -152,13 +174,14 @@ int main(int argc, char** argv) {
           ? 0.0
           : static_cast<double>(s.requests) / static_cast<double>(s.batches);
 
-  std::printf("%-26s %14s %14s\n", "strategy", "wall[ms]", "requests/s");
-  rule(58);
-  std::printf("%-26s %14.1f %14.1f\n", "naive plan-and-run",
-              1e3 * naive_s, naive_rps);
-  std::printf("%-26s %14.1f %14.1f\n", "SpmvService (batched)",
-              1e3 * serve_s, serve_rps);
-  rule(58);
+  std::printf("%-26s %14s %14s %10s\n", "strategy", "wall[ms]", "requests/s",
+              "GFLOP/s");
+  rule(69);
+  std::printf("%-26s %14.1f %14.1f %10.2f\n", "naive plan-and-run",
+              1e3 * naive_s, naive_rps, naive_gflops);
+  std::printf("%-26s %14.1f %14.1f %10.2f\n", "SpmvService (batched)",
+              1e3 * serve_s, serve_rps, serve_gflops);
+  rule(69);
   std::printf("speedup: %.2fx requests/s\n\n", serve_rps / naive_rps);
 
   std::printf("serve stats: %llu requests in %llu batches "
@@ -199,11 +222,15 @@ int main(int argc, char** argv) {
     config.set("workers", static_cast<std::int64_t>(workers));
     config.set("max_batch", static_cast<std::int64_t>(max_batch));
     config.set("reps", static_cast<std::int64_t>(reps));
+    config.set("backend", exec::backend_name(backend));
+    config.set("short_rows", short_rows);
     auto root = prof::Json::object();
     root.set("bench", "serve_throughput");
     root.set("config", std::move(config));
     root.set("naive_rps", naive_rps);
     root.set("serve_rps", serve_rps);
+    root.set("naive_gflops", naive_gflops);
+    root.set("serve_gflops", serve_gflops);
     root.set("speedup", serve_rps / naive_rps);
     root.set("batches", s.batches);
     root.set("cache_hit_rate", s.cache_hit_rate());

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "exec/backend.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -34,7 +35,7 @@ std::int64_t bin_nnz(const CsrMatrix<T>& a, std::span<const index_t> vrows,
 /// zero-reward sample instead of crashing the worker (same contract as the
 /// per-bin trials).
 template <typename T>
-double whole_plan_gflops(const clsim::Engine& engine, const CsrMatrix<T>& a,
+double whole_plan_gflops(const exec::Backend& backend, const CsrMatrix<T>& a,
                          std::span<const T> x, const binning::BinSet& bins,
                          const std::vector<core::BinPlan>& bin_kernels) {
   std::vector<T> y(static_cast<std::size_t>(a.rows()));
@@ -46,12 +47,13 @@ double whole_plan_gflops(const clsim::Engine& engine, const CsrMatrix<T>& a,
       if (bp.bin_id >= bins.bin_count()) continue;
       const auto& vrows = bins.bin(bp.bin_id);
       if (vrows.empty()) continue;
-      kernels::run_binned(bp.kernel, engine, a, x, std::span<T>(y),
-                          std::span<const index_t>(vrows), bins.unit());
+      backend.run_binned(bp.kernel, a, x, std::span<T>(y),
+                         std::span<const index_t>(vrows), bins.unit());
     }
     return flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
   } catch (const std::exception& e) {
-    util::log_warn() << "adapt U trial failed (U=" << bins.unit()
+    util::log_warn() << "adapt whole-plan trial failed (U=" << bins.unit()
+                     << ", backend=" << exec::backend_name(backend.kind())
                      << "): " << e.what();
     return 0.0;
   }
@@ -61,7 +63,11 @@ double whole_plan_gflops(const clsim::Engine& engine, const CsrMatrix<T>& a,
 
 template <typename T>
 BanditTuner<T>::BanditTuner(const clsim::Engine& engine, AdaptOptions opts)
-    : engine_(engine), opts_(std::move(opts)), rng_(opts_.seed) {
+    : engine_(engine),
+      opts_(std::move(opts)),
+      engine_backend_(exec::wrap_engine(engine)),
+      native_backend_(exec::shared_backend(exec::BackendKind::Native)),
+      rng_(opts_.seed) {
   if (opts_.kernel_pool.empty()) opts_.kernel_pool = kernels::all_kernels();
   opts_.hot_bins = std::max(1, opts_.hot_bins);
   opts_.min_samples = std::max(1, opts_.min_samples);
@@ -73,6 +79,15 @@ BanditTuner<T>::BanditTuner(const clsim::Engine& engine, AdaptOptions opts)
       opts_.unit_pool.end());
   opts_.unit_min_samples = std::max(1, opts_.unit_min_samples);
   opts_.unit_cooldown = std::max(0, opts_.unit_cooldown);
+  opts_.backend_min_samples = std::max(1, opts_.backend_min_samples);
+  opts_.backend_cooldown = std::max(0, opts_.backend_cooldown);
+}
+
+template <typename T>
+const exec::Backend& BanditTuner<T>::backend_for(
+    exec::BackendKind kind) const {
+  return kind == exec::BackendKind::Native ? *native_backend_
+                                           : *engine_backend_;
 }
 
 template <typename T>
@@ -251,8 +266,11 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::unit_trial(
       inc_gflops = opts_.measure_unit_override(incumbent_u);
       ch_gflops = opts_.measure_unit_override(challenger_u);
     } else {
-      inc_gflops = whole_plan_gflops(engine_, a, x, bins, plan.bin_kernels);
-      ch_gflops = whole_plan_gflops(engine_, a, x, cbins, ckernels);
+      // Both granularities timed on the plan's own backend — U arms must
+      // compare binning structure, not execution engines.
+      const exec::Backend& backend = backend_for(plan.backend);
+      inc_gflops = whole_plan_gflops(backend, a, x, bins, plan.bin_kernels);
+      ch_gflops = whole_plan_gflops(backend, a, x, cbins, ckernels);
     }
   }
   st.units[incumbent_u].add(inc_gflops);
@@ -278,6 +296,7 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::unit_trial(
   Promotion promo;
   promo.plan.unit = challenger_u;
   promo.plan.single_bin = false;
+  promo.plan.backend = plan.backend;  // U promotion keeps the backend
   promo.plan.revision = plan.revision + 1;
   promo.plan.unit_tuned = true;
   promo.plan.predicted_unit =
@@ -293,6 +312,77 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::unit_trial(
                    << challenger_u << " (" << inc_arm.mean_gflops << " -> "
                    << ch_arm.mean_gflops << " GFLOP/s whole-plan, revision "
                    << promo.plan.revision << ")";
+  return promo;
+}
+
+template <typename T>
+std::optional<typename BanditTuner<T>::Promotion>
+BanditTuner<T>::backend_trial(KeyState& st, const core::Plan& plan,
+                              const binning::BinSet& bins,
+                              const CsrMatrix<T>& a, std::span<const T> x) {
+  // Two backends only, so the challenger is simply "the other one" — no
+  // pick policy needed (kBackendCount is a compile-time invariant here).
+  static_assert(exec::kBackendCount == 2,
+                "backend_trial assumes a two-arm backend space");
+  const exec::BackendKind incumbent_b = plan.backend;
+  const exec::BackendKind challenger_b =
+      incumbent_b == exec::BackendKind::Clsim ? exec::BackendKind::Native
+                                              : exec::BackendKind::Clsim;
+
+  // Back-to-back whole-plan measurement on identical bins and kernels —
+  // the arms isolate the execution engine, nothing else.
+  double inc_gflops = 0.0;
+  double ch_gflops = 0.0;
+  {
+    trace::TraceSpan span("adapt-trial-backend", "adapt");
+    span.arg("challenger", static_cast<std::int64_t>(challenger_b));
+    if (opts_.measure_backend_override) {
+      inc_gflops = opts_.measure_backend_override(incumbent_b);
+      ch_gflops = opts_.measure_backend_override(challenger_b);
+    } else {
+      inc_gflops = whole_plan_gflops(backend_for(incumbent_b), a, x, bins,
+                                     plan.bin_kernels);
+      ch_gflops = whole_plan_gflops(backend_for(challenger_b), a, x, bins,
+                                    plan.bin_kernels);
+    }
+  }
+  st.backends[static_cast<int>(incumbent_b)].add(inc_gflops);
+  st.backends[static_cast<int>(challenger_b)].add(ch_gflops);
+  stats_.trials += 1;
+  stats_.b_trials += 1;
+  const double flops =
+      2.0 * static_cast<double>(std::max<std::int64_t>(1, a.nnz()));
+  if (ch_gflops > 0.0 && inc_gflops > ch_gflops)
+    stats_.regret_s += flops * 1e-9 / ch_gflops - flops * 1e-9 / inc_gflops;
+
+  const Arm& inc_arm = st.backends[static_cast<int>(incumbent_b)];
+  const Arm& ch_arm = st.backends[static_cast<int>(challenger_b)];
+  const auto min_n = static_cast<std::uint64_t>(opts_.backend_min_samples);
+  if (inc_arm.samples < min_n || ch_arm.samples < min_n) return std::nullopt;
+  if (ch_arm.mean_gflops <= inc_arm.mean_gflops * opts_.backend_hysteresis)
+    return std::nullopt;
+
+  // Promote: the same plan re-stamped with the challenger backend. Bins
+  // and kernels are untouched (rebinned stays false); the PlanCache
+  // rebuild resolves the new backend from the plan, and the store
+  // write-through persists it. The kernel/unit arms reset when observe()
+  // next sees the new backend — their timings described the old engine —
+  // while the backend arms persist, preventing a flap straight back.
+  Promotion promo;
+  promo.plan = plan;
+  promo.plan.backend = challenger_b;
+  promo.plan.revision = plan.revision + 1;
+  promo.gflops = ch_arm.mean_gflops;
+  stats_.promotions += 1;
+  stats_.b_promotions += 1;
+  st.backend_cooldown = opts_.backend_cooldown;
+  trace::emit_instant("adapt-promote-backend", "adapt");
+  util::log_info() << "adapt: promoting backend "
+                   << exec::backend_name(incumbent_b) << " -> "
+                   << exec::backend_name(challenger_b) << " ("
+                   << inc_arm.mean_gflops << " -> " << ch_arm.mean_gflops
+                   << " GFLOP/s whole-plan, revision " << promo.plan.revision
+                   << ")";
   return promo;
 }
 
@@ -313,8 +403,17 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
 
   KeyState& st = states_[key];
   if (st.hot.empty() || st.unit != bins.unit() ||
+      st.backend != static_cast<int>(plan.backend) ||
       st.plan_revision != plan.revision) {
-    if (st.unit != bins.unit()) {
+    if (st.backend != static_cast<int>(plan.backend)) {
+      // Backend switched (a backend promotion landed): every kernel- and
+      // unit-arm mean was timed on the old execution engine and is
+      // meaningless on the new one. The backend arms themselves persist —
+      // they are cross-backend comparisons by construction.
+      st.bins.clear();
+      st.units.clear();
+      st.next_hot = 0;
+    } else if (st.unit != bins.unit()) {
       // New key, or re-binned at a different granularity: bin ids now
       // cover different rows, so every arm measurement is stale.
       st.bins.clear();
@@ -325,6 +424,7 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
     // the matrix itself and stay valid, so keep them — resetting here
     // would restart exploration from scratch after every promotion.
     st.unit = bins.unit();
+    st.backend = static_cast<int>(plan.backend);
     st.plan_revision = plan.revision;
     std::vector<std::pair<std::int64_t, int>> by_nnz;
     for (const core::BinPlan& bp : plan.bin_kernels) {
@@ -359,6 +459,18 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
     }
   }
 
+  // Third level: divert a share of the remaining trials to whole-plan
+  // backend exploration. Drawn after the U diversion so a kernel trial is
+  // still the common case; the cooldown ticks down on trials that reach
+  // this point, letting a freshly promoted backend settle first.
+  if (opts_.explore_backends) {
+    if (st.backend_cooldown > 0) {
+      st.backend_cooldown -= 1;
+    } else if (rng_.uniform() < opts_.backend_trial_fraction) {
+      return backend_trial(st, plan, bins, a, x);
+    }
+  }
+
   const int bin = st.hot[st.next_hot % st.hot.size()];
   st.next_hot += 1;
   const kernels::KernelId incumbent = plan.kernel_for(bin);
@@ -384,14 +496,17 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
       ch_gflops = opts_.measure_override(challenger, bin);
     } else {
       std::vector<T> y(static_cast<std::size_t>(a.rows()));
+      // Both launches on the plan's own backend: kernel arms compare
+      // thread shapes under the engine the plan actually runs on.
+      const exec::Backend& backend = backend_for(plan.backend);
       try {
         util::Timer t;
-        kernels::run_binned(incumbent, engine_, a, x, std::span<T>(y),
-                            std::span<const index_t>(vrows), bins.unit());
+        backend.run_binned(incumbent, a, x, std::span<T>(y),
+                           std::span<const index_t>(vrows), bins.unit());
         inc_gflops = flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
         t.reset();
-        kernels::run_binned(challenger, engine_, a, x, std::span<T>(y),
-                            std::span<const index_t>(vrows), bins.unit());
+        backend.run_binned(challenger, a, x, std::span<T>(y),
+                           std::span<const index_t>(vrows), bins.unit());
         ch_gflops = flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
       } catch (const std::exception& e) {
         // A kernel that cannot run on this bin earns a zero-reward sample;

@@ -37,14 +37,29 @@
 // whole-plan measurements of the matrix and survive re-binning, which stops
 // an immediate ping-pong back.
 //
+// Third level (opt-in via explore_backends): the execution backend itself
+// (spmv::exec — clsim simulation vs. the native SIMD engine) is a plan
+// property, and which one is faster depends on the matrix shape. A
+// `backend_trial_fraction` share of trials shadow-measures the WHOLE plan
+// on the alternative backend, back-to-back with the incumbent backend on
+// identical bins and kernels. Backend arms are whole-plan GFLOP/s keyed by
+// BackendKind; a confident win (backend_min_samples on both, the stricter
+// backend_hysteresis margin) promotes a plan copy re-stamped with the
+// challenger backend (revision bumped, bins untouched — rebinned stays
+// false). A backend switch invalidates every kernel- and unit-arm mean
+// (they were timed on the old backend), so those reset while the backend
+// arms themselves persist — which is what stops an immediate flap back.
+//
 // Everything is recorded: prof counters (adapt.trials / adapt.promotions /
-// adapt.regret plus adapt.u_trials / adapt.u_promotions) via stats(), and
-// trace spans "adapt-trial"/"adapt-promote" plus "adapt-trial-u"/
-// "adapt-promote-u" in category "adapt".
+// adapt.regret plus adapt.u_trials / adapt.u_promotions and adapt.b_trials
+// / adapt.b_promotions) via stats(), and trace spans "adapt-trial"/
+// "adapt-promote" plus "adapt-trial-u"/"adapt-promote-u" and
+// "adapt-trial-backend"/"adapt-promote-backend" in category "adapt".
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -54,6 +69,7 @@
 #include "binning/binning.hpp"
 #include "clsim/engine.hpp"
 #include "core/plan.hpp"
+#include "exec/backend.hpp"
 #include "kernels/registry.hpp"
 #include "prof/profile.hpp"
 #include "serve/fingerprint.hpp"
@@ -111,6 +127,25 @@ struct AdaptOptions {
   /// Test seam for U trials: when set, replaces the whole-plan timed runs
   /// — returns the "measured" whole-plan GFLOP/s at granularity u.
   std::function<double(index_t)> measure_unit_override;
+
+  // --- third level: online exploration of the execution backend -------
+
+  /// Enable whole-plan shadow trials on the alternative exec backend.
+  bool explore_backends = false;
+  /// Of the trials observe() runs, the share diverted to backend trials
+  /// (drawn after the U diversion; the rest stay per-bin kernel trials).
+  double backend_trial_fraction = 0.2;
+  /// Samples required on BOTH backend arms before a promotion.
+  int backend_min_samples = 3;
+  /// Challenger backend's whole-plan mean GFLOP/s must exceed the
+  /// incumbent's by this ratio. Strictest of the three levels: a backend
+  /// switch throws away every kernel- and unit-arm measurement.
+  double backend_hysteresis = 1.25;
+  /// Trials to skip backend exploration after a backend promotion.
+  int backend_cooldown = 8;
+  /// Test seam for backend trials: when set, replaces the whole-plan timed
+  /// runs — returns the "measured" whole-plan GFLOP/s on backend `kind`.
+  std::function<double(exec::BackendKind)> measure_backend_override;
 };
 
 template <typename T>
@@ -124,7 +159,8 @@ class BanditTuner {
     double gflops = 0.0;
     /// True for a U promotion: the plan was rebuilt at a different
     /// granularity (structurally different bins), not just given a new
-    /// kernel on one bin.
+    /// kernel on one bin. Backend promotions keep the bins and leave this
+    /// false.
     bool rebinned = false;
   };
 
@@ -178,6 +214,14 @@ class BanditTuner {
     std::unordered_map<index_t, Arm> units;
     /// Remaining trials before the next U trial is allowed.
     int unit_cooldown = 0;
+    /// Backend the kernel/unit arms were measured on (-1 = unset). A
+    /// change invalidates both arm spaces — timings on one backend say
+    /// nothing about the other — but the backend arms themselves persist.
+    int backend = -1;
+    /// Whole-plan GFLOP/s per exec::BackendKind (the third-level arms).
+    std::unordered_map<int, Arm> backends;
+    /// Remaining trials before the next backend trial is allowed.
+    int backend_cooldown = 0;
   };
 
   kernels::KernelId pick_challenger(const BinArms& ba,
@@ -189,9 +233,19 @@ class BanditTuner {
                                       const binning::BinSet& bins,
                                       const CsrMatrix<T>& a,
                                       std::span<const T> x);
+  std::optional<Promotion> backend_trial(KeyState& st, const core::Plan& plan,
+                                         const binning::BinSet& bins,
+                                         const CsrMatrix<T>& a,
+                                         std::span<const T> x);
+  /// The backend trials and incumbent measurements run on. Clsim resolves
+  /// to the engine the tuner was built with, so engine counters keep
+  /// attributing trial launches.
+  [[nodiscard]] const exec::Backend& backend_for(exec::BackendKind kind) const;
 
   const clsim::Engine& engine_;
   AdaptOptions opts_;
+  std::shared_ptr<const exec::Backend> engine_backend_;
+  std::shared_ptr<const exec::Backend> native_backend_;
 
   mutable std::mutex mutex_;
   util::Xoshiro256 rng_;

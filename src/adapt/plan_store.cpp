@@ -108,11 +108,16 @@ PlanStoreStats PlanStore::load() {
   // a schema mismatch, not throw out of load(). Comparing as_number avoids
   // the out-of-range cast for absurd values like 1e300.
   const prof::Json* schema = doc.find("schema");
-  if (schema == nullptr || schema->type() != prof::Json::Type::Number ||
-      schema->as_number() != static_cast<double>(kStoreSchemaVersion)) {
+  const bool schema_ok =
+      schema != nullptr && schema->type() == prof::Json::Type::Number &&
+      schema->as_number() >= static_cast<double>(kStoreSchemaMinSupported) &&
+      schema->as_number() <= static_cast<double>(kStoreSchemaVersion) &&
+      schema->as_number() == std::floor(schema->as_number());
+  if (!schema_ok) {
     util::log_warn() << "plan store " << path_ << ": schema "
                      << (schema != nullptr ? schema->dump(0) : "<missing>")
-                     << " != " << kStoreSchemaVersion << ", ignoring file";
+                     << " outside supported [" << kStoreSchemaMinSupported
+                     << ", " << kStoreSchemaVersion << "], ignoring file";
     stats_.skipped_schema += 1;
     return stats_;
   }

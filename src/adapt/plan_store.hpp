@@ -28,9 +28,14 @@
 
 namespace spmv::adapt {
 
-/// On-disk schema version; files with a different version are skipped
-/// wholesale (never migrated in place, never a crash).
-inline constexpr std::int64_t kStoreSchemaVersion = 1;
+/// On-disk schema version written by flush(). Version 2 added the plan's
+/// `backend` field (spmv::exec); version-1 files predate it and their
+/// plans load with the clsim default, so load() accepts the whole
+/// supported range below. Files outside it are skipped wholesale (never
+/// migrated in place, never a crash).
+inline constexpr std::int64_t kStoreSchemaVersion = 2;
+/// Oldest schema load() still reads.
+inline constexpr std::int64_t kStoreSchemaMinSupported = 1;
 
 /// One stored tuned plan plus its provenance.
 struct StoredPlan {

@@ -21,6 +21,14 @@
 // RunProfile* for plan/run timings and enable spmv::prof::set_enabled(true)
 // for engine counters. For concurrent serving with a plan cache and
 // multi-vector batching, see spmv::serve::SpmvService (serve/service.hpp).
+//
+// Execution goes through spmv::exec (exec/backend.hpp): a Backend owns
+// kernel dispatch, with ClsimBackend (the simulated work-group engine) and
+// NativeBackend (OpenMP/SIMD loops on the host) as the two implementations.
+// The backend is a *plan* property — select it with Tuner::backend(...),
+// persist it through plan_io/PlanStore, or let the adapt layer tune it
+// online. The old kernels::run_* free functions are deprecated forwards to
+// exec::ClsimBackend and will be removed in a future release.
 #pragma once
 
 #include "adapt/bandit.hpp"            // online bandit plan refinement
@@ -41,6 +49,9 @@
 #include "core/predictor.hpp"           // model & heuristic predictors
 #include "core/trainer.hpp"             // offline training pipeline
 #include "core/tuner.hpp"               // the Tuner builder facade
+#include "exec/backend.hpp"             // execution-backend abstraction
+#include "exec/clsim_backend.hpp"       // clsim-engine backend
+#include "exec/native_backend.hpp"      // native OpenMP/SIMD backend
 #include "gen/corpus.hpp"               // UF-like training corpus
 #include "gen/generators.hpp"           // synthetic matrix generators
 #include "gen/representative.hpp"       // the 16 Table-II matrices

@@ -1,14 +1,16 @@
 #include "core/auto_spmv.hpp"
 
+#include <utility>
+
 #include "trace/trace.hpp"
 
 namespace spmv::core {
 
 template <typename T>
 AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
-                      const clsim::Engine& engine, prof::RunProfile* profile,
+                      exec::ExecContext ctx, prof::RunProfile* profile,
                       std::optional<Predictor::UnitChoice> forced)
-    : a_(a), engine_(engine), profile_(profile) {
+    : a_(a), ctx_(std::move(ctx)), profile_(profile) {
   prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
   {
     trace::TraceSpan span("plan-features", "plan");
@@ -23,6 +25,7 @@ AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
   }
   plan_.unit = choice.unit;
   plan_.single_bin = choice.single_bin;
+  plan_.backend = ctx_.kind();
   {
     trace::TraceSpan span("plan-binning", "plan");
     prof::ScopedTimer t(pt != nullptr ? &pt->binning_s : nullptr);
@@ -40,10 +43,13 @@ AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
 }
 
 template <typename T>
-AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan,
-                      const clsim::Engine& engine, prof::RunProfile* profile)
-    : a_(a), engine_(engine), profile_(profile), plan_(std::move(plan)) {
+AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan, exec::ExecContext ctx,
+                      prof::RunProfile* profile)
+    : a_(a), ctx_(std::move(ctx)), profile_(profile), plan_(std::move(plan)) {
   plan_.normalize();  // external plans may violate the ascending invariant
+  // The context is the resolved truth (an explicit .backend() override
+  // beats the plan's recorded kind); keep the plan consistent with it.
+  plan_.backend = ctx_.kind();
   prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
   {
     trace::TraceSpan span("plan-features", "plan");
@@ -70,13 +76,13 @@ void AutoSpmv<T>::describe_profile() const {
 template <typename T>
 void AutoSpmv<T>::run(std::span<const T> x, std::span<T> y,
                       prof::RunProfile* profile) const {
-  execute_plan(engine_, a_, x, y, bins_, plan_, profile);
+  execute_plan(ctx_.backend(), a_, x, y, bins_, plan_, profile);
 }
 
 template <typename T>
 void AutoSpmv<T>::run_batch(std::span<const T> x, std::span<T> y, int batch,
                             prof::RunProfile* profile) const {
-  execute_plan_batch(engine_, a_, x, y, batch, bins_, plan_, profile);
+  execute_plan_batch(ctx_.backend(), a_, x, y, batch, bins_, plan_, profile);
 }
 
 template class AutoSpmv<float>;

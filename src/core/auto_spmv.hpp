@@ -18,6 +18,7 @@
 #include "binning/binning.hpp"
 #include "clsim/engine.hpp"
 #include "core/exhaustive.hpp"
+#include "exec/backend.hpp"
 #include "core/plan.hpp"
 #include "core/predictor.hpp"
 #include "prof/profile.hpp"
@@ -61,6 +62,12 @@ class AutoSpmv {
   [[nodiscard]] const Plan& plan() const { return plan_; }
   [[nodiscard]] const binning::BinSet& bins() const { return bins_; }
   [[nodiscard]] const RowStats& stats() const { return stats_; }
+  /// The execution backend runs go through; plan().backend matches its
+  /// kind (the plan is stamped at construction).
+  [[nodiscard]] const exec::Backend& backend() const {
+    return ctx_.backend();
+  }
+  [[nodiscard]] const exec::ExecContext& context() const { return ctx_; }
   /// Profile attached at build time (null when none).
   [[nodiscard]] prof::RunProfile* profile() const { return profile_; }
 
@@ -71,17 +78,17 @@ class AutoSpmv {
   /// timings into `profile` and honours a forced granularity choice (the
   /// Tuner's scheme/unit overrides).
   AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
-           const clsim::Engine& engine, prof::RunProfile* profile,
+           exec::ExecContext ctx, prof::RunProfile* profile,
            std::optional<Predictor::UnitChoice> forced);
 
   /// Full external-plan constructor.
-  AutoSpmv(const CsrMatrix<T>& a, Plan plan, const clsim::Engine& engine,
+  AutoSpmv(const CsrMatrix<T>& a, Plan plan, exec::ExecContext ctx,
            prof::RunProfile* profile);
 
   void describe_profile() const;
 
   const CsrMatrix<T>& a_;
-  const clsim::Engine& engine_;
+  exec::ExecContext ctx_;
   prof::RunProfile* profile_ = nullptr;
   RowStats stats_;
   Plan plan_;

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <stdexcept>
+#include <utility>
+
+#include "exec/clsim_backend.hpp"
 
 namespace spmv::core {
 
@@ -14,7 +18,7 @@ binning::BinSet bins_for_plan(const CsrMatrix<T>& a, const Plan& plan) {
 }
 
 template <typename T>
-void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan) {
   if (bins.unit() != plan.unit)
@@ -22,7 +26,7 @@ void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
   for (const BinPlan& bp : plan.bin_kernels) {
     const auto& vrows = bins.bin(bp.bin_id);
     if (vrows.empty()) continue;
-    kernels::run_binned(bp.kernel, engine, a, x, y, vrows, bins.unit());
+    backend.run_binned(bp.kernel, a, x, y, vrows, bins.unit());
   }
 }
 
@@ -42,26 +46,32 @@ std::int64_t bin_nnz(const CsrMatrix<T>& a, std::span<const index_t> vrows,
   return total;
 }
 
+using EngineSnapshot =
+    decltype(std::declval<const clsim::Engine&>().counters().snapshot());
+
 }  // namespace
 
 template <typename T>
-void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan,
                   prof::RunProfile* profile) {
   if (profile == nullptr) {
-    execute_plan(engine, a, x, y, bins, plan);
+    execute_plan(backend, a, x, y, bins, plan);
     return;
   }
   if (bins.unit() != plan.unit)
     throw std::invalid_argument("execute_plan: bins/plan unit mismatch");
-  const auto before = engine.counters().snapshot();
+  // Engine counters only exist for backends that drive a clsim engine.
+  const clsim::Engine* engine = backend.engine();
+  std::optional<EngineSnapshot> before;
+  if (engine != nullptr) before = engine->counters().snapshot();
   util::Timer total;
   for (const BinPlan& bp : plan.bin_kernels) {
     const auto& vrows = bins.bin(bp.bin_id);
     if (vrows.empty()) continue;
     util::Timer t;
-    kernels::run_binned(bp.kernel, engine, a, x, y, vrows, bins.unit());
+    backend.run_binned(bp.kernel, a, x, y, vrows, bins.unit());
     profile->add_bin_run(bp.bin_id, kernels::kernel_name(bp.kernel),
                          static_cast<std::int64_t>(vrows.size()),
                          bins.rows_in_bin(bp.bin_id),
@@ -71,12 +81,13 @@ void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
   }
   profile->runs += 1;
   profile->run_total_s += total.elapsed_s();
-  profile->merge_engine_delta(
-      engine.counters().snapshot().delta_since(before));
+  if (engine != nullptr)
+    profile->merge_engine_delta(
+        engine->counters().snapshot().delta_since(*before));
 }
 
 template <typename T>
-void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
                         std::span<const T> x, std::span<T> y, int batch,
                         const binning::BinSet& bins, const Plan& plan,
                         prof::RunProfile* profile) {
@@ -86,19 +97,19 @@ void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
     for (const BinPlan& bp : plan.bin_kernels) {
       const auto& vrows = bins.bin(bp.bin_id);
       if (vrows.empty()) continue;
-      kernels::run_binned_batch(bp.kernel, engine, a, x, y, batch, vrows,
-                                bins.unit());
+      backend.run_binned_batch(bp.kernel, a, x, y, batch, vrows, bins.unit());
     }
     return;
   }
-  const auto before = engine.counters().snapshot();
+  const clsim::Engine* engine = backend.engine();
+  std::optional<EngineSnapshot> before;
+  if (engine != nullptr) before = engine->counters().snapshot();
   util::Timer total;
   for (const BinPlan& bp : plan.bin_kernels) {
     const auto& vrows = bins.bin(bp.bin_id);
     if (vrows.empty()) continue;
     util::Timer t;
-    kernels::run_binned_batch(bp.kernel, engine, a, x, y, batch, vrows,
-                              bins.unit());
+    backend.run_binned_batch(bp.kernel, a, x, y, batch, vrows, bins.unit());
     profile->add_bin_run(bp.bin_id, kernels::kernel_name(bp.kernel),
                          static_cast<std::int64_t>(vrows.size()),
                          bins.rows_in_bin(bp.bin_id),
@@ -108,15 +119,16 @@ void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
   }
   profile->runs += 1;
   profile->run_total_s += total.elapsed_s();
-  profile->merge_engine_delta(
-      engine.counters().snapshot().delta_since(before));
+  if (engine != nullptr)
+    profile->merge_engine_delta(
+        engine->counters().snapshot().delta_since(*before));
 }
 
 namespace {
 
 /// Measure the best kernel for each occupied bin of `bins`.
 template <typename T>
-UnitResult tune_bins(const clsim::Engine& engine, const CsrMatrix<T>& a,
+UnitResult tune_bins(const exec::Backend& backend, const CsrMatrix<T>& a,
                      std::span<const T> x, std::span<T> y,
                      const binning::BinSet& bins, bool single_bin,
                      const CandidatePools& pools,
@@ -131,7 +143,7 @@ UnitResult tune_bins(const clsim::Engine& engine, const CsrMatrix<T>& a,
     double best_s = std::numeric_limits<double>::infinity();
     for (kernels::KernelId id : pools.kernel_pool) {
       const auto m = util::measure(
-          [&] { kernels::run_binned(id, engine, a, x, y, vrows, bins.unit()); },
+          [&] { backend.run_binned(id, a, x, y, vrows, bins.unit()); },
           opts.measure);
       times.push_back(m.best_s);
       best_s = std::min(best_s, m.best_s);
@@ -150,7 +162,7 @@ UnitResult tune_bins(const clsim::Engine& engine, const CsrMatrix<T>& a,
 }  // namespace
 
 template <typename T>
-TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
+TuneResult exhaustive_tune(const exec::Backend& backend, const CsrMatrix<T>& a,
                            std::span<const T> x, const CandidatePools& pools,
                            const ExhaustiveOptions& opts) {
   if (pools.units.empty() || pools.kernel_pool.empty())
@@ -175,14 +187,14 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
     util::Timer wall;
     const auto bins = binning::bin_matrix(a, unit);
     result.per_unit.push_back(
-        tune_bins(engine, a, x, std::span<T>(y), bins, false, pools, opts));
+        tune_bins(backend, a, x, std::span<T>(y), bins, false, pools, opts));
     record_candidate(result.per_unit.back(), wall.elapsed_s());
   }
   if (pools.include_single_bin) {
     util::Timer wall;
     const auto bins = binning::single_bin(a, index_t{1});
     result.per_unit.push_back(
-        tune_bins(engine, a, x, std::span<T>(y), bins, true, pools, opts));
+        tune_bins(backend, a, x, std::span<T>(y), bins, true, pools, opts));
     record_candidate(result.per_unit.back(), wall.elapsed_s());
   }
 
@@ -207,21 +219,71 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
   result.best_plan.unit = winner->unit;
   result.best_plan.single_bin = winner->single_bin;
   result.best_plan.bin_kernels = winner->bin_kernels;
+  result.best_plan.backend = backend.kind();
 
   // End-to-end time of the winning plan (per-bin sums ignore launch
   // overlap; the reported number is a real full execution).
   const auto bins = bins_for_plan(a, result.best_plan);
   const auto m = util::measure(
       [&] {
-        execute_plan(engine, a, x, std::span<T>(y), bins, result.best_plan);
+        execute_plan(backend, a, x, std::span<T>(y), bins, result.best_plan);
       },
       opts.measure);
   result.best_s = m.best_s;
   return result;
 }
 
+// --- clsim::Engine conveniences ---------------------------------------
+
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan) {
+  execute_plan(exec::ClsimBackend(engine), a, x, y, bins, plan);
+}
+
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan,
+                  prof::RunProfile* profile) {
+  execute_plan(exec::ClsimBackend(engine), a, x, y, bins, plan, profile);
+}
+
+template <typename T>
+void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                        std::span<const T> x, std::span<T> y, int batch,
+                        const binning::BinSet& bins, const Plan& plan,
+                        prof::RunProfile* profile) {
+  execute_plan_batch(exec::ClsimBackend(engine), a, x, y, batch, bins, plan,
+                     profile);
+}
+
+template <typename T>
+TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                           std::span<const T> x, const CandidatePools& pools,
+                           const ExhaustiveOptions& opts) {
+  return exhaustive_tune(exec::ClsimBackend(engine), a, x, pools, opts);
+}
+
 #define SPMV_EXHAUSTIVE_INSTANTIATE(T)                                       \
   template binning::BinSet bins_for_plan(const CsrMatrix<T>&, const Plan&);  \
+  template void execute_plan(const exec::Backend&, const CsrMatrix<T>&,      \
+                             std::span<const T>, std::span<T>,               \
+                             const binning::BinSet&, const Plan&);           \
+  template void execute_plan(const exec::Backend&, const CsrMatrix<T>&,      \
+                             std::span<const T>, std::span<T>,               \
+                             const binning::BinSet&, const Plan&,            \
+                             prof::RunProfile*);                             \
+  template void execute_plan_batch(const exec::Backend&, const CsrMatrix<T>&,\
+                                   std::span<const T>, std::span<T>, int,    \
+                                   const binning::BinSet&, const Plan&,      \
+                                   prof::RunProfile*);                       \
+  template TuneResult exhaustive_tune(const exec::Backend&,                  \
+                                      const CsrMatrix<T>&,                   \
+                                      std::span<const T>,                    \
+                                      const CandidatePools&,                 \
+                                      const ExhaustiveOptions&);             \
   template void execute_plan(const clsim::Engine&, const CsrMatrix<T>&,      \
                              std::span<const T>, std::span<T>,               \
                              const binning::BinSet&, const Plan&);           \

@@ -3,6 +3,10 @@
 // oracle that (a) labels the training corpus and (b) bounds the achievable
 // performance in the benches — exactly the measurement the paper's offline
 // training stage performs.
+//
+// Execution goes through the exec::Backend seam, so plans can run (and be
+// tuned) on any backend; the clsim::Engine overloads are thin conveniences
+// that wrap the engine in an exec::ClsimBackend.
 #pragma once
 
 #include <span>
@@ -12,6 +16,7 @@
 #include "clsim/engine.hpp"
 #include "core/candidates.hpp"
 #include "core/plan.hpp"
+#include "exec/backend.hpp"
 #include "prof/profile.hpp"
 #include "sparse/csr.hpp"
 #include "util/timer.hpp"
@@ -23,28 +28,30 @@ template <typename T>
 binning::BinSet bins_for_plan(const CsrMatrix<T>& a, const Plan& plan);
 
 /// Execute `plan` (bins must come from bins_for_plan / match plan.unit):
-/// per occupied bin, launch the planned kernel over that bin's rows.
+/// per occupied bin, launch the planned kernel over that bin's rows on
+/// `backend`.
 template <typename T>
-void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan);
 
 /// Telemetry variant: additionally records per-bin kernel wall time and
-/// bin workload (rows/NNZ) plus the engine-counter delta of this execution
-/// into `profile`. A null profile behaves exactly like the plain overload.
+/// bin workload (rows/NNZ) into `profile`, plus the engine-counter delta
+/// when the backend drives a clsim engine (backend.engine() != nullptr).
+/// A null profile behaves exactly like the plain overload.
 template <typename T>
-void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan,
                   prof::RunProfile* profile);
 
 /// Batched Y = A·X through `plan`: `batch` input vectors stored
 /// column-major in `x` (each a.cols() long), results in the matching
-/// columns of `y` (each a.rows() long). Per-bin kernels with a native
-/// batched variant share one CSR traversal across the batch; the rest
-/// loop one single-vector launch per column (see kernels::run_binned_batch).
+/// columns of `y` (each a.rows() long). Per-bin kernels with a batched
+/// variant share one CSR traversal across the batch; the rest loop one
+/// single-vector launch per column (see exec::Backend::run_binned_batch).
 template <typename T>
-void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
                         std::span<const T> x, std::span<T> y, int batch,
                         const binning::BinSet& bins, const Plan& plan,
                         prof::RunProfile* profile = nullptr);
@@ -80,7 +87,34 @@ struct ExhaustiveOptions {
   prof::RunProfile* profile = nullptr;
 };
 
-/// Measure every candidate in `pools` for matrix `a` with input vector `x`.
+/// Measure every candidate in `pools` for matrix `a` with input vector `x`
+/// on `backend`. The best plan is stamped with the backend's kind, so it
+/// round-trips through plan_io carrying where it was tuned.
+template <typename T>
+TuneResult exhaustive_tune(const exec::Backend& backend, const CsrMatrix<T>& a,
+                           std::span<const T> x, const CandidatePools& pools,
+                           const ExhaustiveOptions& opts = {});
+
+// --- clsim::Engine conveniences ---------------------------------------
+// Equivalent to the Backend overloads with exec::ClsimBackend(engine).
+
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan);
+
+template <typename T>
+void execute_plan(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan,
+                  prof::RunProfile* profile);
+
+template <typename T>
+void execute_plan_batch(const clsim::Engine& engine, const CsrMatrix<T>& a,
+                        std::span<const T> x, std::span<T> y, int batch,
+                        const binning::BinSet& bins, const Plan& plan,
+                        prof::RunProfile* profile = nullptr);
+
 template <typename T>
 TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
                            std::span<const T> x, const CandidatePools& pools,
@@ -89,6 +123,22 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
 #define SPMV_EXHAUSTIVE_EXTERN(T)                                            \
   extern template binning::BinSet bins_for_plan(const CsrMatrix<T>&,         \
                                                 const Plan&);                \
+  extern template void execute_plan(const exec::Backend&,                    \
+                                    const CsrMatrix<T>&, std::span<const T>, \
+                                    std::span<T>, const binning::BinSet&,    \
+                                    const Plan&);                            \
+  extern template void execute_plan(const exec::Backend&,                    \
+                                    const CsrMatrix<T>&, std::span<const T>, \
+                                    std::span<T>, const binning::BinSet&,    \
+                                    const Plan&, prof::RunProfile*);         \
+  extern template void execute_plan_batch(const exec::Backend&,              \
+                                          const CsrMatrix<T>&,               \
+                                          std::span<const T>, std::span<T>,  \
+                                          int, const binning::BinSet&,       \
+                                          const Plan&, prof::RunProfile*);   \
+  extern template TuneResult exhaustive_tune(                                \
+      const exec::Backend&, const CsrMatrix<T>&, std::span<const T>,         \
+      const CandidatePools&, const ExhaustiveOptions&);                      \
   extern template void execute_plan(const clsim::Engine&,                    \
                                     const CsrMatrix<T>&, std::span<const T>, \
                                     std::span<T>, const binning::BinSet&,    \

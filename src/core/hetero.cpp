@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include "exec/clsim_backend.hpp"
+
 namespace spmv::core {
 
 template <typename T>
@@ -57,9 +59,10 @@ HeteroAutoSpmv<T>::HeteroAutoSpmv(const CsrMatrix<T>& a,
 
 template <typename T>
 void HeteroAutoSpmv<T>::run(std::span<const T> x, std::span<T> y) const {
+  const exec::ClsimBackend backend(engine_);
   for (int b : gpu_bins_) {
-    kernels::run_binned(plan_.kernel_for(b), engine_, a_, x, y, bins_.bin(b),
-                        bins_.unit());
+    backend.run_binned(plan_.kernel_for(b), a_, x, y, bins_.bin(b),
+                       bins_.unit());
   }
   for (int b : cpu_bins_) {
     spmv_cpu_binned(a_, x, y, bins_.bin(b), bins_.unit(),

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/backend.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/types.hpp"
 
@@ -40,6 +41,12 @@ struct Plan {
   /// (0 = unknown / same as `unit`). Survives every promotion, so a stored
   /// plan records both what was predicted and what exploration settled on.
   index_t predicted_unit = 0;
+  /// Execution backend the plan was tuned for — a *plan* property, like
+  /// unit and the per-bin kernels, so backend swaps promoted by the adapt
+  /// layer persist through plan_io / the PlanStore and warm-started
+  /// services resume on the backend that won. Plans from pre-backend
+  /// artifacts load as Clsim.
+  exec::BackendKind backend = exec::BackendKind::Clsim;
   /// Kernel per occupied bin, ascending bin_id. For single_bin plans this
   /// has exactly one entry with bin_id 0.
   std::vector<BinPlan> bin_kernels;
@@ -78,6 +85,11 @@ struct Plan {
            kernels::kernel_name(bin_kernels[i].kernel);
     }
     s += "}";
+    // Clsim is the default; only a non-default backend is worth a marker.
+    if (backend != exec::BackendKind::Clsim) {
+      s += " @";
+      s += exec::backend_cname(backend);
+    }
     return s;
   }
 };

@@ -37,6 +37,7 @@ prof::Json plan_to_json(const Plan& plan) {
   // "predictor-chosen" so pre-provenance artifacts keep loading.
   j.set("unit_tuned", plan.unit_tuned);
   j.set("predicted_unit", static_cast<std::int64_t>(plan.predicted_unit));
+  j.set("backend", exec::backend_name(plan.backend));
   prof::Json bins = prof::Json::array();
   for (const BinPlan& bp : plan.bin_kernels) {
     prof::Json b = prof::Json::object();
@@ -61,11 +62,26 @@ Plan plan_from_json(const prof::Json& j) {
   if (const prof::Json* v = j.find("predicted_unit"); v != nullptr)
     plan.predicted_unit = static_cast<index_t>(
         checked_int(*v, "predicted_unit", 0, 1'000'000'000));
+  // Optional so pre-backend artifacts load (as Clsim). Name parsing goes
+  // through the non-throwing try_* lookups: a bad name becomes the same
+  // runtime_error every other malformed field raises, which the store's
+  // per-entry guard counts as a skip instead of letting a stray
+  // invalid_argument escape with a different type.
+  if (const prof::Json* v = j.find("backend"); v != nullptr) {
+    const auto kind = exec::try_backend_from_name(v->as_string());
+    if (!kind.has_value())
+      throw std::runtime_error("plan: unknown backend " + v->as_string());
+    plan.backend = *kind;
+  }
   for (const prof::Json& b : j.at("bins").items()) {
+    const std::string kname = b.at("kernel").as_string();
+    const auto kid = kernels::try_kernel_from_name(kname);
+    if (!kid.has_value())
+      throw std::runtime_error("plan: unknown kernel " + kname);
     plan.bin_kernels.push_back(
         {static_cast<int>(checked_int(b.at("bin"), "bin id", 0,
                                       binning::kMaxBins - 1)),
-         kernels::kernel_from_name(b.at("kernel").as_string())});
+         *kid});
   }
   plan.normalize();
   for (std::size_t i = 1; i < plan.bin_kernels.size(); ++i) {

@@ -10,16 +10,16 @@
 namespace spmv::core {
 
 /// Serialize `plan` (unit, single_bin, revision, tuned-U provenance,
-/// per-bin kernels by name).
+/// execution backend, per-bin kernels by name).
 [[nodiscard]] prof::Json plan_to_json(const Plan& plan);
 
 /// Inverse of plan_to_json. Throws std::runtime_error on missing fields or
 /// semantically invalid values (unit <= 0, out-of-range or duplicate bin
-/// ids, negative revision) and std::invalid_argument on unknown kernel
-/// names; the result is normalize()d so kernel_for's binary-search
-/// invariant holds even for hand-edited artifacts. Provenance fields
-/// (unit_tuned / predicted_unit) are optional, so pre-provenance store
-/// files keep loading.
+/// ids, negative revision, unknown kernel or backend names); the result is
+/// normalize()d so kernel_for's binary-search invariant holds even for
+/// hand-edited artifacts. Provenance fields (unit_tuned / predicted_unit)
+/// and the backend are optional, so pre-backend store files keep loading
+/// (backend defaults to clsim).
 [[nodiscard]] Plan plan_from_json(const prof::Json& j);
 
 }  // namespace spmv::core

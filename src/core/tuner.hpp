@@ -21,6 +21,7 @@
 #include "core/auto_spmv.hpp"
 #include "core/plan.hpp"
 #include "core/predictor.hpp"
+#include "exec/backend.hpp"
 #include "prof/profile.hpp"
 #include "sparse/csr.hpp"
 
@@ -39,9 +40,26 @@ class Tuner {
     return *this;
   }
 
-  /// Execution engine (defaults to clsim::default_engine()).
+  /// Execution engine (defaults to clsim::default_engine()). Only
+  /// meaningful when the resolved backend is clsim; a non-clsim backend()
+  /// choice wins over engine().
   Tuner& engine(const clsim::Engine& e) {
     engine_ = &e;
+    return *this;
+  }
+
+  /// Execute on a specific backend instance, which must outlive the built
+  /// AutoSpmv. Overrides backend(kind) and the plan's recorded backend.
+  Tuner& backend(const exec::Backend& b) {
+    backend_instance_ = &b;
+    return *this;
+  }
+
+  /// Execute on the shared instance of `kind`. Overrides the plan's
+  /// recorded backend. Resolution order at build(): backend(instance) >
+  /// backend(kind) > plan().backend > clsim.
+  Tuner& backend(exec::BackendKind kind) {
+    backend_kind_ = kind;
     return *this;
   }
 
@@ -83,9 +101,15 @@ class Tuner {
   [[nodiscard]] AutoSpmv<T> build() const;
 
  private:
+  /// Resolve the backend/engine knobs (and the plan's recorded backend)
+  /// into the context the runtime will execute on.
+  [[nodiscard]] exec::ExecContext resolve_context() const;
+
   const CsrMatrix<T>* a_;
   const Predictor* predictor_ = nullptr;
   const clsim::Engine* engine_ = nullptr;
+  const exec::Backend* backend_instance_ = nullptr;
+  std::optional<exec::BackendKind> backend_kind_;
   std::optional<Plan> plan_;
   std::optional<binning::SchemeKind> scheme_;
   std::optional<index_t> unit_;

@@ -1,0 +1,148 @@
+#include "exec/backend.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "exec/clsim_backend.hpp"
+#include "exec/native_backend.hpp"
+#include "trace/trace.hpp"
+
+namespace spmv::exec {
+
+const std::vector<BackendKind>& all_backends() {
+  static const std::vector<BackendKind> kinds = {BackendKind::Clsim,
+                                                 BackendKind::Native};
+  return kinds;
+}
+
+const char* backend_cname(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Clsim: return "clsim";
+    case BackendKind::Native: return "native";
+  }
+  throw std::invalid_argument("backend_cname: bad kind");
+}
+
+std::string backend_name(BackendKind kind) { return backend_cname(kind); }
+
+std::optional<BackendKind> try_backend_from_name(const std::string& name) {
+  for (BackendKind kind : all_backends()) {
+    if (name == backend_cname(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+BackendKind backend_from_name(const std::string& name) {
+  if (const auto kind = try_backend_from_name(name); kind.has_value())
+    return *kind;
+  throw std::invalid_argument("backend_from_name: unknown backend " + name);
+}
+
+template <typename T>
+void Backend::run_binned_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                              std::span<const T> x, std::span<T> y,
+                              std::span<const index_t> vrows,
+                              index_t unit) const {
+  trace::TraceSpan span(kernels::kernel_cname(id), "kernel");
+  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
+  span.arg("unit", unit);
+  do_run_binned(id, a, x, y, vrows, unit);
+}
+
+template <typename T>
+void Backend::run_full_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                            std::span<const T> x, std::span<T> y) const {
+  // The whole matrix as one bin of granularity 1: virtual row i == row i.
+  std::vector<index_t> vrows(static_cast<std::size_t>(a.rows()));
+  std::iota(vrows.begin(), vrows.end(), index_t{0});
+  run_binned_impl<T>(id, a, x, y, vrows, 1);
+}
+
+template <typename T>
+void Backend::run_binned_batch_impl(kernels::KernelId id,
+                                    const CsrMatrix<T>& a,
+                                    std::span<const T> x, std::span<T> y,
+                                    int batch,
+                                    std::span<const index_t> vrows,
+                                    index_t unit) const {
+  if (batch <= 0)
+    throw std::invalid_argument("run_binned_batch: batch must be positive");
+  if (x.size() != static_cast<std::size_t>(a.cols()) *
+                      static_cast<std::size_t>(batch) ||
+      y.size() != static_cast<std::size_t>(a.rows()) *
+                      static_cast<std::size_t>(batch))
+    throw std::invalid_argument("run_binned_batch: X/Y extents do not match "
+                                "cols*batch / rows*batch");
+  if (batch == 1) return run_binned_impl<T>(id, a, x, y, vrows, unit);
+  trace::TraceSpan span(kernels::kernel_cname(id), "kernel-batch");
+  span.arg("width", batch);
+  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
+  do_run_binned_batch(id, a, x, y, batch, vrows, unit);
+}
+
+void Backend::run_binned(kernels::KernelId id, const CsrMatrix<float>& a,
+                         std::span<const float> x, std::span<float> y,
+                         std::span<const index_t> vrows, index_t unit) const {
+  run_binned_impl<float>(id, a, x, y, vrows, unit);
+}
+
+void Backend::run_binned(kernels::KernelId id, const CsrMatrix<double>& a,
+                         std::span<const double> x, std::span<double> y,
+                         std::span<const index_t> vrows, index_t unit) const {
+  run_binned_impl<double>(id, a, x, y, vrows, unit);
+}
+
+void Backend::run_full(kernels::KernelId id, const CsrMatrix<float>& a,
+                       std::span<const float> x, std::span<float> y) const {
+  run_full_impl<float>(id, a, x, y);
+}
+
+void Backend::run_full(kernels::KernelId id, const CsrMatrix<double>& a,
+                       std::span<const double> x, std::span<double> y) const {
+  run_full_impl<double>(id, a, x, y);
+}
+
+void Backend::run_binned_batch(kernels::KernelId id, const CsrMatrix<float>& a,
+                               std::span<const float> x, std::span<float> y,
+                               int batch, std::span<const index_t> vrows,
+                               index_t unit) const {
+  run_binned_batch_impl<float>(id, a, x, y, batch, vrows, unit);
+}
+
+void Backend::run_binned_batch(kernels::KernelId id,
+                               const CsrMatrix<double>& a,
+                               std::span<const double> x, std::span<double> y,
+                               int batch, std::span<const index_t> vrows,
+                               index_t unit) const {
+  run_binned_batch_impl<double>(id, a, x, y, batch, vrows, unit);
+}
+
+std::shared_ptr<const Backend> shared_backend(BackendKind kind) {
+  // Function-local statics live for the whole process; the aliasing
+  // constructor hands out non-owning shared_ptrs to them.
+  switch (kind) {
+    case BackendKind::Clsim: {
+      static const ClsimBackend backend;
+      return {std::shared_ptr<const Backend>(), &backend};
+    }
+    case BackendKind::Native: {
+      static const NativeBackend backend;
+      return {std::shared_ptr<const Backend>(), &backend};
+    }
+  }
+  throw std::invalid_argument("shared_backend: bad kind");
+}
+
+std::shared_ptr<const Backend> wrap_engine(const clsim::Engine& engine) {
+  if (&engine == &clsim::default_engine())
+    return shared_backend(BackendKind::Clsim);
+  return std::make_shared<const ClsimBackend>(engine);
+}
+
+ExecContext::ExecContext(std::shared_ptr<const Backend> backend)
+    : backend_(std::move(backend)) {
+  if (backend_ == nullptr)
+    throw std::invalid_argument("ExecContext: null backend");
+}
+
+}  // namespace spmv::exec

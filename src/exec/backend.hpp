@@ -1,0 +1,182 @@
+// spmv::exec — the execution-backend seam. A Backend owns kernel dispatch
+// (run_binned / run_full / run_binned_batch) for one execution model; the
+// rest of the stack (core::AutoSpmv, serve::SpmvService, adapt::BanditTuner)
+// targets this interface instead of clsim::Engine directly, so a plan can
+// execute on the paper's lockstep simulator (ClsimBackend) or on tight
+// auto-vectorized CPU loops (NativeBackend) without any caller changing.
+//
+// Backend choice is a *plan* property, not a service property: core::Plan
+// carries a BackendKind that travels through plan_io / the PlanStore, and
+// the Tuner resolves it to an instance at build time (see tuner.hpp). That
+// is what lets the adapt layer promote a backend swap per matrix and have
+// the PlanCache/PlanStore machinery persist it like any other tuning
+// decision.
+//
+// Semantics contract: every backend computes the same per-row products over
+// a bin's covered rows (the RowMap rule in kernels/binned_common.hpp) —
+// kernel ids select a thread-organization *shape*, never a different
+// result. tests/test_differential.cpp enforces this across the full random
+// corpus for every backend.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::clsim {
+class Engine;
+}  // namespace spmv::clsim
+
+namespace spmv::exec {
+
+/// The available execution backends. Clsim is the paper's work-group
+/// lockstep simulator (reference semantics); Native lowers the same bin
+/// shapes to auto-vectorized OpenMP loops on the host CPU.
+enum class BackendKind : int {
+  Clsim = 0,
+  Native,
+};
+
+inline constexpr int kBackendCount = 2;
+
+/// All backends in enum order (mirrors kernels::all_kernels()).
+const std::vector<BackendKind>& all_backends();
+
+/// Stable display name: "clsim" or "native".
+std::string backend_name(BackendKind kind);
+
+/// backend_name as a static string — for call sites that must not allocate
+/// (trace spans store the pointer).
+const char* backend_cname(BackendKind kind);
+
+/// Inverse of backend_name(). Throws std::invalid_argument on unknown
+/// names (same contract as kernels::kernel_from_name).
+BackendKind backend_from_name(const std::string& name);
+
+/// Non-throwing inverse of backend_name(): nullopt on unknown names. The
+/// parse used by plan_io, where a bad name must become a counted skip, not
+/// an uncaught exception type.
+std::optional<BackendKind> try_backend_from_name(const std::string& name);
+
+/// Abstract kernel-dispatch interface. Implementations are stateless apart
+/// from configuration and safe to share across threads; the public entry
+/// points validate arguments and emit the per-kernel trace spans, then
+/// forward to the per-scalar-type virtual hooks (virtual functions cannot
+/// be templates, so float and double are spelled out — the library's two
+/// instantiated scalar types).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual BackendKind kind() const = 0;
+  /// Static display name (backend_cname(kind())).
+  [[nodiscard]] const char* name() const { return backend_cname(kind()); }
+
+  /// The clsim engine whose launch counters this backend drives, or null
+  /// for backends that never touch clsim. Profiled plan execution merges
+  /// counter deltas only when an engine is present.
+  [[nodiscard]] virtual const clsim::Engine* engine() const { return nullptr; }
+
+  /// Execute pool kernel `id` over the actual rows covered by the virtual
+  /// rows `vrows` at granularity `unit`, writing only those entries of y.
+  /// Rows not covered by `vrows` are untouched, so the caller can compose
+  /// a full SpMV from per-bin launches.
+  void run_binned(kernels::KernelId id, const CsrMatrix<float>& a,
+                  std::span<const float> x, std::span<float> y,
+                  std::span<const index_t> vrows, index_t unit) const;
+  void run_binned(kernels::KernelId id, const CsrMatrix<double>& a,
+                  std::span<const double> x, std::span<double> y,
+                  std::span<const index_t> vrows, index_t unit) const;
+
+  /// Convenience: run pool kernel `id` over the whole matrix (all rows in
+  /// a single implicit bin of granularity 1).
+  void run_full(kernels::KernelId id, const CsrMatrix<float>& a,
+                std::span<const float> x, std::span<float> y) const;
+  void run_full(kernels::KernelId id, const CsrMatrix<double>& a,
+                std::span<const double> x, std::span<double> y) const;
+
+  /// Batched Y = A·X over the bin's rows: `batch` input vectors stored
+  /// column-major in `x` (kernels::batch_column layout, each a.cols()
+  /// long), results written to the matching columns of `y` (each a.rows()
+  /// long). Backends share one CSR traversal across the batch where their
+  /// execution model allows it.
+  void run_binned_batch(kernels::KernelId id, const CsrMatrix<float>& a,
+                        std::span<const float> x, std::span<float> y,
+                        int batch, std::span<const index_t> vrows,
+                        index_t unit) const;
+  void run_binned_batch(kernels::KernelId id, const CsrMatrix<double>& a,
+                        std::span<const double> x, std::span<double> y,
+                        int batch, std::span<const index_t> vrows,
+                        index_t unit) const;
+
+ protected:
+  virtual void do_run_binned(kernels::KernelId id, const CsrMatrix<float>& a,
+                             std::span<const float> x, std::span<float> y,
+                             std::span<const index_t> vrows,
+                             index_t unit) const = 0;
+  virtual void do_run_binned(kernels::KernelId id, const CsrMatrix<double>& a,
+                             std::span<const double> x, std::span<double> y,
+                             std::span<const index_t> vrows,
+                             index_t unit) const = 0;
+  /// Only called with batch >= 2 and validated extents; batch == 1 routes
+  /// through do_run_binned.
+  virtual void do_run_binned_batch(kernels::KernelId id,
+                                   const CsrMatrix<float>& a,
+                                   std::span<const float> x,
+                                   std::span<float> y, int batch,
+                                   std::span<const index_t> vrows,
+                                   index_t unit) const = 0;
+  virtual void do_run_binned_batch(kernels::KernelId id,
+                                   const CsrMatrix<double>& a,
+                                   std::span<const double> x,
+                                   std::span<double> y, int batch,
+                                   std::span<const index_t> vrows,
+                                   index_t unit) const = 0;
+
+ private:
+  template <typename T>
+  void run_binned_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                       std::span<const T> x, std::span<T> y,
+                       std::span<const index_t> vrows, index_t unit) const;
+  template <typename T>
+  void run_full_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                     std::span<const T> x, std::span<T> y) const;
+  template <typename T>
+  void run_binned_batch_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                             std::span<const T> x, std::span<T> y, int batch,
+                             std::span<const index_t> vrows,
+                             index_t unit) const;
+};
+
+/// The process-wide shared instance for `kind`: ClsimBackend over
+/// clsim::default_engine(), or a default-configured NativeBackend. The
+/// pointer is a no-op-deleter alias of a function-local static, so it is
+/// valid for the whole process lifetime and cheap to copy.
+std::shared_ptr<const Backend> shared_backend(BackendKind kind);
+
+/// Wrap a caller-owned engine in a ClsimBackend. The engine must outlive
+/// the returned backend; clsim::default_engine() resolves to the shared
+/// singleton instead of a fresh wrapper.
+std::shared_ptr<const Backend> wrap_engine(const clsim::Engine& engine);
+
+/// ExecContext — the resolved execution environment one runtime carries:
+/// shared ownership of the backend its plan executes on. Cheap to copy;
+/// default-constructed contexts use the shared clsim backend.
+class ExecContext {
+ public:
+  ExecContext() : backend_(shared_backend(BackendKind::Clsim)) {}
+  explicit ExecContext(std::shared_ptr<const Backend> backend);
+
+  [[nodiscard]] const Backend& backend() const { return *backend_; }
+  [[nodiscard]] BackendKind kind() const { return backend_->kind(); }
+
+ private:
+  std::shared_ptr<const Backend> backend_;
+};
+
+}  // namespace spmv::exec

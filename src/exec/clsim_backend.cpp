@@ -1,0 +1,183 @@
+// Kernel dispatch for the clsim execution model. The switch over the nine
+// pool kernels and the batched-launch slicing used to live in
+// kernels/registry.cpp; exec owns dispatch now, and the deprecated
+// kernels::run_* overloads forward here.
+#include "exec/clsim_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernels/binned_common.hpp"
+
+namespace spmv::exec {
+
+namespace {
+
+using kernels::KernelId;
+
+template <typename T>
+void dispatch_binned(KernelId id, const clsim::Engine& engine,
+                     const CsrMatrix<T>& a, std::span<const T> x,
+                     std::span<T> y, std::span<const index_t> vrows,
+                     index_t unit) {
+  switch (id) {
+    case KernelId::Serial:
+      return kernels::kernel_serial(engine, a, x, y, vrows, unit);
+    case KernelId::Sub2:
+      return kernels::kernel_subvector<T, 2>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub4:
+      return kernels::kernel_subvector<T, 4>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub8:
+      return kernels::kernel_subvector<T, 8>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub16:
+      return kernels::kernel_subvector<T, 16>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub32:
+      return kernels::kernel_subvector<T, 32>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub64:
+      return kernels::kernel_subvector<T, 64>(engine, a, x, y, vrows, unit);
+    case KernelId::Sub128:
+      return kernels::kernel_subvector<T, 128>(engine, a, x, y, vrows, unit);
+    case KernelId::Vector:
+      return kernels::kernel_vector(engine, a, x, y, vrows, unit);
+  }
+  throw std::invalid_argument("ClsimBackend: bad kernel id");
+}
+
+/// Widest native batch whose local-memory footprint fits the device's
+/// 32 KiB arena (mirrors the local_array calls in kernel_serial_batch /
+/// kernel_subvector_batch). 0 = no native variant; wider batches are
+/// sliced into limit-sized launches.
+template <typename T>
+int native_batch_limit(KernelId id) {
+  constexpr std::size_t kArena = 32 * 1024;
+  constexpr std::size_t kGroup = 256, kWave = 64, kFactor = 4;
+  std::size_t fixed = 0, per_batch = 0;
+  if (id == KernelId::Serial) {
+    fixed = kWave * (2 * sizeof(offset_t) + sizeof(index_t));
+    per_batch = kWave * sizeof(T);  // one accumulator lane per wavefront
+  } else if (kernels::has_batched_variant(id)) {
+    // val/col stage + reduction buffer, plus per-subgroup batch sums.
+    fixed = kFactor * kGroup * (2 * sizeof(T) + sizeof(index_t));
+    per_batch = (kGroup / static_cast<std::size_t>(
+                              kernels::lanes_per_row(id))) *
+                sizeof(T);
+  } else {
+    return 0;
+  }
+  if (fixed >= kArena) return 0;
+  const auto limit = static_cast<int>((kArena - fixed) / per_batch);
+  return std::min(limit, kernels::kMaxNativeBatch);
+}
+
+/// Dispatch one natively batched launch (batch within native_batch_limit).
+template <typename T>
+void dispatch_native_batch(KernelId id, const clsim::Engine& engine,
+                           const CsrMatrix<T>& a, std::span<const T> x,
+                           std::span<T> y, int batch,
+                           std::span<const index_t> vrows, index_t unit) {
+  switch (id) {
+    case KernelId::Serial:
+      return kernels::kernel_serial_batch(engine, a, x, y, batch, vrows,
+                                          unit);
+    case KernelId::Sub2:
+      return kernels::kernel_subvector_batch<T, 2>(engine, a, x, y, batch,
+                                                   vrows, unit);
+    case KernelId::Sub4:
+      return kernels::kernel_subvector_batch<T, 4>(engine, a, x, y, batch,
+                                                   vrows, unit);
+    case KernelId::Sub8:
+      return kernels::kernel_subvector_batch<T, 8>(engine, a, x, y, batch,
+                                                   vrows, unit);
+    case KernelId::Sub16:
+      return kernels::kernel_subvector_batch<T, 16>(engine, a, x, y, batch,
+                                                    vrows, unit);
+    case KernelId::Sub32:
+      return kernels::kernel_subvector_batch<T, 32>(engine, a, x, y, batch,
+                                                    vrows, unit);
+    case KernelId::Sub64:
+      return kernels::kernel_subvector_batch<T, 64>(engine, a, x, y, batch,
+                                                    vrows, unit);
+    case KernelId::Sub128:
+      return kernels::kernel_subvector_batch<T, 128>(engine, a, x, y, batch,
+                                                     vrows, unit);
+    case KernelId::Vector:
+      break;
+  }
+  throw std::invalid_argument(
+      "ClsimBackend: kernel has no batched variant");
+}
+
+/// Slice a wide batch into native limit-sized launches, falling back to one
+/// single-vector launch per column when no native variant fits. The
+/// single-vector fallbacks go through the backend's public run_binned so
+/// they emit their own "kernel" trace spans, exactly as the pre-exec
+/// kernels::run_binned_batch did.
+template <typename T>
+void dispatch_binned_batch(const ClsimBackend& self, KernelId id,
+                           const clsim::Engine& engine, const CsrMatrix<T>& a,
+                           std::span<const T> x, std::span<T> y, int batch,
+                           std::span<const index_t> vrows, index_t unit) {
+  const int limit = native_batch_limit<T>(id);
+  if (limit >= 2) {
+    // Native path, sliced so each launch's accumulators fit the arena.
+    const auto cols = static_cast<std::size_t>(a.cols());
+    const auto rows = static_cast<std::size_t>(a.rows());
+    for (int b0 = 0; b0 < batch; b0 += limit) {
+      const int w = std::min(limit, batch - b0);
+      const auto xw = x.subspan(static_cast<std::size_t>(b0) * cols,
+                                static_cast<std::size_t>(w) * cols);
+      const auto yw = y.subspan(static_cast<std::size_t>(b0) * rows,
+                                static_cast<std::size_t>(w) * rows);
+      if (w == 1) {
+        self.run_binned(id, a, xw, yw, vrows, unit);
+      } else {
+        dispatch_native_batch(id, engine, a, xw, yw, w, vrows, unit);
+      }
+    }
+    return;
+  }
+  // Fallback: one single-vector launch per batch column.
+  for (int b = 0; b < batch; ++b) {
+    self.run_binned(id, a, kernels::batch_column(x, a.cols(), b),
+                    kernels::batch_column(y, a.rows(), b), vrows, unit);
+  }
+}
+
+}  // namespace
+
+void ClsimBackend::do_run_binned(kernels::KernelId id,
+                                 const CsrMatrix<float>& a,
+                                 std::span<const float> x, std::span<float> y,
+                                 std::span<const index_t> vrows,
+                                 index_t unit) const {
+  dispatch_binned(id, *engine_, a, x, y, vrows, unit);
+}
+
+void ClsimBackend::do_run_binned(kernels::KernelId id,
+                                 const CsrMatrix<double>& a,
+                                 std::span<const double> x,
+                                 std::span<double> y,
+                                 std::span<const index_t> vrows,
+                                 index_t unit) const {
+  dispatch_binned(id, *engine_, a, x, y, vrows, unit);
+}
+
+void ClsimBackend::do_run_binned_batch(kernels::KernelId id,
+                                       const CsrMatrix<float>& a,
+                                       std::span<const float> x,
+                                       std::span<float> y, int batch,
+                                       std::span<const index_t> vrows,
+                                       index_t unit) const {
+  dispatch_binned_batch(*this, id, *engine_, a, x, y, batch, vrows, unit);
+}
+
+void ClsimBackend::do_run_binned_batch(kernels::KernelId id,
+                                       const CsrMatrix<double>& a,
+                                       std::span<const double> x,
+                                       std::span<double> y, int batch,
+                                       std::span<const index_t> vrows,
+                                       index_t unit) const {
+  dispatch_binned_batch(*this, id, *engine_, a, x, y, batch, vrows, unit);
+}
+
+}  // namespace spmv::exec

@@ -1,0 +1,234 @@
+#include "exec/native_backend.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+
+#include "kernels/binned_common.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace spmv::exec {
+
+namespace {
+
+using kernels::KernelId;
+using kernels::RowMap;
+
+/// Bins at or below this many slots run inline: a fork/join costs more
+/// than the work it would distribute.
+constexpr std::int64_t kInlineSlots = 256;
+
+// --- per-row dot products, one per kernel shape -----------------------
+//
+// Every shape computes the same sum over one row's nonzeros; the id only
+// changes how the stream is organized, mirroring how the clsim kernels
+// differ only in thread organization.
+
+/// Serial: plain scalar loop.
+template <typename T>
+T dot_plain(std::span<const offset_t> rp, std::span<const index_t> ci,
+            std::span<const T> v, std::span<const T> x, index_t r) {
+  const auto lo = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+  const auto hi =
+      static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+  T acc{};
+  for (std::size_t k = lo; k < hi; ++k)
+    acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+  return acc;
+}
+
+/// Sub<X>: X partial accumulators over an X-wide unrolled stream — the CPU
+/// analogue of X cooperating lanes; the partials live in SIMD registers.
+template <typename T, int X>
+T dot_lanes(std::span<const offset_t> rp, std::span<const index_t> ci,
+            std::span<const T> v, std::span<const T> x, index_t r) {
+  const auto lo = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+  const auto hi =
+      static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+  T part[X] = {};
+  std::size_t k = lo;
+  for (; k + X <= hi; k += X)
+    for (int l = 0; l < X; ++l)
+      part[l] += v[k + l] * x[static_cast<std::size_t>(ci[k + l])];
+  T acc{};
+  for (int l = 0; l < X; ++l) acc += part[l];
+  for (; k < hi; ++k) acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+  return acc;
+}
+
+/// Vector: whole-row simd reduction.
+template <typename T>
+T dot_simd(std::span<const offset_t> rp, std::span<const index_t> ci,
+           std::span<const T> v, std::span<const T> x, index_t r) {
+  const auto lo = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+  const auto hi =
+      static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+  T acc{};
+#ifdef _OPENMP
+#pragma omp simd reduction(+ : acc)
+#endif
+  for (std::size_t k = lo; k < hi; ++k)
+    acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+  return acc;
+}
+
+/// Partition the bin's slots across threads (dynamic chunks, like
+/// kernels::spmv_omp_rows) and write each covered row's dot product. Slots
+/// never alias a row within one launch, so the writes are race-free.
+template <typename T, typename Dot>
+void slot_loop(int threads, std::span<T> y, const RowMap& map, Dot dot) {
+  const std::int64_t slots = map.total_slots();
+#ifdef _OPENMP
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt) \
+    if (slots > kInlineSlots)
+#else
+  (void)threads;
+#endif
+  for (std::int64_t s = 0; s < slots; ++s) {
+    const index_t r = map.slot_to_row(s);
+    if (r < 0) continue;
+    y[static_cast<std::size_t>(r)] = dot(r);
+  }
+}
+
+template <typename T>
+void native_binned(int threads, KernelId id, const CsrMatrix<T>& a,
+                   std::span<const T> x, std::span<T> y,
+                   std::span<const index_t> vrows, index_t unit) {
+  const RowMap map{vrows, unit, a.rows()};
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.vals();
+  switch (id) {
+    case KernelId::Serial:
+      return slot_loop(threads, y, map,
+                       [&](index_t r) { return dot_plain(rp, ci, v, x, r); });
+    case KernelId::Sub2:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 2>(rp, ci, v, x, r);
+      });
+    case KernelId::Sub4:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 4>(rp, ci, v, x, r);
+      });
+    case KernelId::Sub8:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 8>(rp, ci, v, x, r);
+      });
+    case KernelId::Sub16:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 16>(rp, ci, v, x, r);
+      });
+    case KernelId::Sub32:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 32>(rp, ci, v, x, r);
+      });
+    case KernelId::Sub64:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 64>(rp, ci, v, x, r);
+      });
+    case KernelId::Sub128:
+      return slot_loop(threads, y, map, [&](index_t r) {
+        return dot_lanes<T, 128>(rp, ci, v, x, r);
+      });
+    case KernelId::Vector:
+      return slot_loop(threads, y, map,
+                       [&](index_t r) { return dot_simd(rp, ci, v, x, r); });
+  }
+  throw std::invalid_argument("NativeBackend: bad kernel id");
+}
+
+/// Batched Y = A·X: one CSR traversal per row feeds a stack block of up to
+/// kMaxNativeBatch accumulators (the kernel_serial_batch trick). The shape
+/// id does not change the traversal here — with the whole batch in
+/// registers the inner b-loop already saturates the SIMD units — so every
+/// kernel shares this path (clsim, by contrast, has no batched Vector).
+template <typename T>
+void native_binned_batch(int threads, const CsrMatrix<T>& a,
+                         std::span<const T> x, std::span<T> y, int batch,
+                         std::span<const index_t> vrows, index_t unit) {
+  const RowMap map{vrows, unit, a.rows()};
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.vals();
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const std::int64_t slots = map.total_slots();
+#ifndef _OPENMP
+  (void)threads;
+#endif
+  for (int b0 = 0; b0 < batch; b0 += kernels::kMaxNativeBatch) {
+    const int w = std::min(kernels::kMaxNativeBatch, batch - b0);
+    const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+    const std::size_t yoff = static_cast<std::size_t>(b0) * m;
+#ifdef _OPENMP
+    const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt) \
+    if (slots > kInlineSlots)
+#endif
+    for (std::int64_t s = 0; s < slots; ++s) {
+      const index_t r = map.slot_to_row(s);
+      if (r < 0) continue;
+      const auto lo =
+          static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+      const auto hi =
+          static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+      T acc[kernels::kMaxNativeBatch] = {};
+      for (std::size_t k = lo; k < hi; ++k) {
+        const T av = v[k];
+        const auto c = static_cast<std::size_t>(ci[k]);
+        for (int b = 0; b < w; ++b)
+          acc[b] += av * x[xoff + static_cast<std::size_t>(b) * n + c];
+      }
+      for (int b = 0; b < w; ++b)
+        y[yoff + static_cast<std::size_t>(b) * m +
+          static_cast<std::size_t>(r)] = acc[b];
+    }
+  }
+}
+
+}  // namespace
+
+void NativeBackend::do_run_binned(kernels::KernelId id,
+                                  const CsrMatrix<float>& a,
+                                  std::span<const float> x,
+                                  std::span<float> y,
+                                  std::span<const index_t> vrows,
+                                  index_t unit) const {
+  native_binned(options_.threads, id, a, x, y, vrows, unit);
+}
+
+void NativeBackend::do_run_binned(kernels::KernelId id,
+                                  const CsrMatrix<double>& a,
+                                  std::span<const double> x,
+                                  std::span<double> y,
+                                  std::span<const index_t> vrows,
+                                  index_t unit) const {
+  native_binned(options_.threads, id, a, x, y, vrows, unit);
+}
+
+void NativeBackend::do_run_binned_batch(kernels::KernelId id,
+                                        const CsrMatrix<float>& a,
+                                        std::span<const float> x,
+                                        std::span<float> y, int batch,
+                                        std::span<const index_t> vrows,
+                                        index_t unit) const {
+  (void)id;
+  native_binned_batch(options_.threads, a, x, y, batch, vrows, unit);
+}
+
+void NativeBackend::do_run_binned_batch(kernels::KernelId id,
+                                        const CsrMatrix<double>& a,
+                                        std::span<const double> x,
+                                        std::span<double> y, int batch,
+                                        std::span<const index_t> vrows,
+                                        index_t unit) const {
+  (void)id;
+  native_binned_batch(options_.threads, a, x, y, batch, vrows, unit);
+}
+
+}  // namespace spmv::exec

@@ -1,11 +1,8 @@
 #include "kernels/registry.hpp"
 
-#include <numeric>
 #include <stdexcept>
 
-#include "binning/binning.hpp"
-#include "kernels/binned_common.hpp"
-#include "trace/trace.hpp"
+#include "exec/clsim_backend.hpp"
 
 namespace spmv::kernels {
 
@@ -34,10 +31,15 @@ const char* kernel_cname(KernelId id) {
 
 std::string kernel_name(KernelId id) { return kernel_cname(id); }
 
-KernelId kernel_from_name(const std::string& name) {
+std::optional<KernelId> try_kernel_from_name(const std::string& name) {
   for (KernelId id : all_kernels()) {
-    if (kernel_name(id) == name) return id;
+    if (name == kernel_cname(id)) return id;
   }
+  return std::nullopt;
+}
+
+KernelId kernel_from_name(const std::string& name) {
+  if (const auto id = try_kernel_from_name(name); id.has_value()) return *id;
   throw std::invalid_argument("kernel_from_name: unknown kernel " + name);
 }
 
@@ -56,150 +58,34 @@ int lanes_per_row(KernelId id) {
   throw std::invalid_argument("lanes_per_row: bad id");
 }
 
+bool has_batched_variant(KernelId id) { return id != KernelId::Vector; }
+
+// --- deprecated forwards ----------------------------------------------
+// Dispatch moved to exec (exec/clsim_backend.cpp); these wrappers keep the
+// old engine-taking entry points alive for one release.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 template <typename T>
 void run_binned(KernelId id, const clsim::Engine& engine,
                 const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
                 std::span<const index_t> vrows, index_t unit) {
-  trace::TraceSpan span(kernel_cname(id), "kernel");
-  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
-  span.arg("unit", unit);
-  switch (id) {
-    case KernelId::Serial:
-      return kernel_serial(engine, a, x, y, vrows, unit);
-    case KernelId::Sub2:
-      return kernel_subvector<T, 2>(engine, a, x, y, vrows, unit);
-    case KernelId::Sub4:
-      return kernel_subvector<T, 4>(engine, a, x, y, vrows, unit);
-    case KernelId::Sub8:
-      return kernel_subvector<T, 8>(engine, a, x, y, vrows, unit);
-    case KernelId::Sub16:
-      return kernel_subvector<T, 16>(engine, a, x, y, vrows, unit);
-    case KernelId::Sub32:
-      return kernel_subvector<T, 32>(engine, a, x, y, vrows, unit);
-    case KernelId::Sub64:
-      return kernel_subvector<T, 64>(engine, a, x, y, vrows, unit);
-    case KernelId::Sub128:
-      return kernel_subvector<T, 128>(engine, a, x, y, vrows, unit);
-    case KernelId::Vector:
-      return kernel_vector(engine, a, x, y, vrows, unit);
-  }
-  throw std::invalid_argument("run_binned: bad kernel id");
+  exec::ClsimBackend(engine).run_binned(id, a, x, y, vrows, unit);
 }
 
 template <typename T>
 void run_full(KernelId id, const clsim::Engine& engine, const CsrMatrix<T>& a,
               std::span<const T> x, std::span<T> y) {
-  // The whole matrix as one bin of granularity 1: virtual row i == row i.
-  std::vector<index_t> vrows(static_cast<std::size_t>(a.rows()));
-  std::iota(vrows.begin(), vrows.end(), index_t{0});
-  run_binned(id, engine, a, x, y, vrows, 1);
+  exec::ClsimBackend(engine).run_full(id, a, x, y);
 }
-
-bool has_batched_variant(KernelId id) { return id != KernelId::Vector; }
-
-namespace {
-
-/// Widest native batch whose local-memory footprint fits the device's
-/// 32 KiB arena (mirrors the local_array calls in kernel_serial_batch /
-/// kernel_subvector_batch). 0 = no native variant; callers slice wider
-/// batches into limit-sized launches.
-template <typename T>
-int native_batch_limit(KernelId id) {
-  constexpr std::size_t kArena = 32 * 1024;
-  constexpr std::size_t kGroup = 256, kWave = 64, kFactor = 4;
-  std::size_t fixed = 0, per_batch = 0;
-  if (id == KernelId::Serial) {
-    fixed = kWave * (2 * sizeof(offset_t) + sizeof(index_t));
-    per_batch = kWave * sizeof(T);  // one accumulator lane per wavefront
-  } else if (has_batched_variant(id)) {
-    // val/col stage + reduction buffer, plus per-subgroup batch sums.
-    fixed = kFactor * kGroup * (2 * sizeof(T) + sizeof(index_t));
-    per_batch = (kGroup / static_cast<std::size_t>(lanes_per_row(id))) *
-                sizeof(T);
-  } else {
-    return 0;
-  }
-  if (fixed >= kArena) return 0;
-  const auto limit = static_cast<int>((kArena - fixed) / per_batch);
-  return std::min(limit, kMaxNativeBatch);
-}
-
-/// Dispatch one native batched launch (batch within native_batch_limit).
-template <typename T>
-void run_native_batch(KernelId id, const clsim::Engine& engine,
-                      const CsrMatrix<T>& a, std::span<const T> x,
-                      std::span<T> y, int batch,
-                      std::span<const index_t> vrows, index_t unit) {
-  switch (id) {
-    case KernelId::Serial:
-      return kernel_serial_batch(engine, a, x, y, batch, vrows, unit);
-    case KernelId::Sub2:
-      return kernel_subvector_batch<T, 2>(engine, a, x, y, batch, vrows, unit);
-    case KernelId::Sub4:
-      return kernel_subvector_batch<T, 4>(engine, a, x, y, batch, vrows, unit);
-    case KernelId::Sub8:
-      return kernel_subvector_batch<T, 8>(engine, a, x, y, batch, vrows, unit);
-    case KernelId::Sub16:
-      return kernel_subvector_batch<T, 16>(engine, a, x, y, batch, vrows,
-                                           unit);
-    case KernelId::Sub32:
-      return kernel_subvector_batch<T, 32>(engine, a, x, y, batch, vrows,
-                                           unit);
-    case KernelId::Sub64:
-      return kernel_subvector_batch<T, 64>(engine, a, x, y, batch, vrows,
-                                           unit);
-    case KernelId::Sub128:
-      return kernel_subvector_batch<T, 128>(engine, a, x, y, batch, vrows,
-                                            unit);
-    case KernelId::Vector:
-      break;
-  }
-  throw std::invalid_argument("run_native_batch: kernel has no batched variant");
-}
-
-}  // namespace
 
 template <typename T>
 void run_binned_batch(KernelId id, const clsim::Engine& engine,
                       const CsrMatrix<T>& a, std::span<const T> x,
                       std::span<T> y, int batch,
                       std::span<const index_t> vrows, index_t unit) {
-  if (batch <= 0)
-    throw std::invalid_argument("run_binned_batch: batch must be positive");
-  if (x.size() != static_cast<std::size_t>(a.cols()) *
-                      static_cast<std::size_t>(batch) ||
-      y.size() != static_cast<std::size_t>(a.rows()) *
-                      static_cast<std::size_t>(batch))
-    throw std::invalid_argument("run_binned_batch: X/Y extents do not match "
-                                "cols*batch / rows*batch");
-  if (batch == 1) return run_binned(id, engine, a, x, y, vrows, unit);
-  trace::TraceSpan span(kernel_cname(id), "kernel-batch");
-  span.arg("width", batch);
-  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
-  const int limit = native_batch_limit<T>(id);
-  if (limit >= 2) {
-    // Native path, sliced so each launch's accumulators fit the arena.
-    const auto cols = static_cast<std::size_t>(a.cols());
-    const auto rows = static_cast<std::size_t>(a.rows());
-    for (int b0 = 0; b0 < batch; b0 += limit) {
-      const int w = std::min(limit, batch - b0);
-      const auto xw = x.subspan(static_cast<std::size_t>(b0) * cols,
-                                static_cast<std::size_t>(w) * cols);
-      const auto yw = y.subspan(static_cast<std::size_t>(b0) * rows,
-                                static_cast<std::size_t>(w) * rows);
-      if (w == 1) {
-        run_binned(id, engine, a, xw, yw, vrows, unit);
-      } else {
-        run_native_batch(id, engine, a, xw, yw, w, vrows, unit);
-      }
-    }
-    return;
-  }
-  // Fallback: one single-vector launch per batch column.
-  for (int b = 0; b < batch; ++b) {
-    run_binned(id, engine, a, batch_column(x, a.cols(), b),
-               batch_column(y, a.rows(), b), vrows, unit);
-  }
+  exec::ClsimBackend(engine).run_binned_batch(id, a, x, y, batch, vrows, unit);
 }
 
 #define SPMV_REGISTRY_INSTANTIATE(T)                                         \
@@ -215,5 +101,7 @@ void run_binned_batch(KernelId id, const clsim::Engine& engine,
 SPMV_REGISTRY_INSTANTIATE(float)
 SPMV_REGISTRY_INSTANTIATE(double)
 #undef SPMV_REGISTRY_INSTANTIATE
+
+#pragma GCC diagnostic pop
 
 }  // namespace spmv::kernels

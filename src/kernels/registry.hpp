@@ -1,8 +1,13 @@
 // The kernel candidate pool: nine SpMV kernels with identical semantics but
 // different thread organizations (paper §III-B, Algorithms 3-5), plus the
-// registry used by the auto-tuner to enumerate, name, and dispatch them.
+// registry used by the auto-tuner to enumerate and name them.
+//
+// Dispatch lives in spmv::exec now: exec::Backend::run_binned / run_full /
+// run_binned_batch is the execution entry point, and the engine-taking
+// run_* templates below are deprecated forwards kept for one release.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,21 +47,26 @@ const char* kernel_cname(KernelId id);
 /// Inverse of kernel_name(). Throws std::invalid_argument on unknown names.
 KernelId kernel_from_name(const std::string& name);
 
+/// Non-throwing inverse of kernel_name(): nullopt on unknown names. The
+/// parse used by plan_io, where a bad name must become a counted skip, not
+/// an uncaught exception type.
+std::optional<KernelId> try_kernel_from_name(const std::string& name);
+
 /// Lanes cooperating on one row: 1 for Serial, X for Sub<X>, 256 for Vector.
 int lanes_per_row(KernelId id);
 
-/// Execute pool kernel `id` over the actual rows covered by the virtual
-/// rows `vrows` at granularity `unit`, writing only those entries of y.
-/// Rows not covered by `vrows` are untouched, so the caller can compose a
-/// full SpMV from per-bin launches.
+/// Deprecated forward to exec::ClsimBackend::run_binned — executes pool
+/// kernel `id` over the bin's rows on `engine`. Construct a backend (or use
+/// exec::shared_backend / exec::wrap_engine) instead.
 template <typename T>
+[[deprecated("use exec::Backend::run_binned")]]
 void run_binned(KernelId id, const clsim::Engine& engine,
                 const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y,
                 std::span<const index_t> vrows, index_t unit);
 
-/// Convenience: run pool kernel `id` over the whole matrix (all rows in a
-/// single implicit bin of granularity 1).
+/// Deprecated forward to exec::ClsimBackend::run_full.
 template <typename T>
+[[deprecated("use exec::Backend::run_full")]]
 void run_full(KernelId id, const clsim::Engine& engine, const CsrMatrix<T>& a,
               std::span<const T> x, std::span<T> y);
 
@@ -69,12 +79,9 @@ inline constexpr int kMaxNativeBatch = 32;
 /// loops the single-vector kernel per column for the rest.
 bool has_batched_variant(KernelId id);
 
-/// Batched Y = A·X over the bin's rows: `batch` input vectors stored
-/// column-major in `x` (batch_column layout, each a.cols() long), results
-/// written to the matching columns of `y` (each a.rows() long). Kernels
-/// with a native batched variant traverse the CSR arrays once for the
-/// whole batch; the rest fall back to one single-vector launch per column.
+/// Deprecated forward to exec::ClsimBackend::run_binned_batch.
 template <typename T>
+[[deprecated("use exec::Backend::run_binned_batch")]]
 void run_binned_batch(KernelId id, const clsim::Engine& engine,
                       const CsrMatrix<T>& a, std::span<const T> x,
                       std::span<T> y, int batch,
@@ -118,6 +125,10 @@ void kernel_vector(const clsim::Engine& engine, const CsrMatrix<T>& a,
                    std::span<const T> x, std::span<T> y,
                    std::span<const index_t> vrows, index_t unit);
 
+// The extern declarations below name the deprecated run_* forwards, which
+// is not itself a use worth warning on.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #define SPMV_KERNELS_EXTERN(T)                                               \
   extern template void run_binned(KernelId, const clsim::Engine&,            \
                                   const CsrMatrix<T>&, std::span<const T>,   \
@@ -147,5 +158,6 @@ void kernel_vector(const clsim::Engine& engine, const CsrMatrix<T>& a,
 SPMV_KERNELS_EXTERN(float)
 SPMV_KERNELS_EXTERN(double)
 #undef SPMV_KERNELS_EXTERN
+#pragma GCC diagnostic pop
 
 }  // namespace spmv::kernels

@@ -172,6 +172,8 @@ Json RunProfile::to_json() const {
     ad.set("regret_s", adapt.regret_s);
     ad.set("u_trials", adapt.u_trials);
     ad.set("u_promotions", adapt.u_promotions);
+    ad.set("b_trials", adapt.b_trials);
+    ad.set("b_promotions", adapt.b_promotions);
     j.set("adapt", ad);
   }
   return j;
@@ -269,6 +271,11 @@ RunProfile RunProfile::from_json(const Json& j) {
       p.adapt.u_trials = v->as_uint();
     if (const Json* v = ad->find("u_promotions"); v != nullptr)
       p.adapt.u_promotions = v->as_uint();
+    // Backend-exploration counters are newer still.
+    if (const Json* v = ad->find("b_trials"); v != nullptr)
+      p.adapt.b_trials = v->as_uint();
+    if (const Json* v = ad->find("b_promotions"); v != nullptr)
+      p.adapt.b_promotions = v->as_uint();
   }
   return p;
 }
@@ -368,6 +375,10 @@ std::string prometheus_text(const RunProfile& profile) {
            static_cast<double>(a.u_trials));
     metric(out, "spmv_adapt_u_promotions_total", "counter",
            static_cast<double>(a.u_promotions));
+    metric(out, "spmv_adapt_b_trials_total", "counter",
+           static_cast<double>(a.b_trials));
+    metric(out, "spmv_adapt_b_promotions_total", "counter",
+           static_cast<double>(a.b_promotions));
   }
   return out;
 }

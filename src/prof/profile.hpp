@@ -87,6 +87,12 @@ struct AdaptStats {
   /// the plan at a different U (counted inside `trials`/`promotions` too).
   std::uint64_t u_trials = 0;
   std::uint64_t u_promotions = 0;
+  /// Third-level exploration of the execution backend (spmv::exec):
+  /// whole-plan shadow trials on the alternative backend, and promotions
+  /// that re-stamped the plan's backend (counted inside
+  /// `trials`/`promotions` too).
+  std::uint64_t b_trials = 0;
+  std::uint64_t b_promotions = 0;
 
   void merge(const AdaptStats& other) {
     trials += other.trials;
@@ -94,6 +100,8 @@ struct AdaptStats {
     regret_s += other.regret_s;
     u_trials += other.u_trials;
     u_promotions += other.u_promotions;
+    b_trials += other.b_trials;
+    b_promotions += other.b_promotions;
   }
 
   [[nodiscard]] bool empty() const { return trials == 0 && promotions == 0; }

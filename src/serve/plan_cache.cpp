@@ -12,11 +12,13 @@ namespace spmv::serve {
 template <typename T>
 PlanCache<T>::PlanCache(const core::Predictor& predictor,
                         const clsim::Engine& engine, std::size_t capacity,
-                        adapt::PlanStore* store)
+                        adapt::PlanStore* store,
+                        exec::BackendKind default_backend)
     : predictor_(predictor),
       engine_(engine),
       capacity_(capacity),
-      store_(store) {
+      store_(store),
+      default_backend_(default_backend) {
   if (capacity_ == 0)
     throw std::invalid_argument("PlanCache: capacity must be >= 1");
 }
@@ -69,7 +71,11 @@ std::shared_ptr<const typename PlanCache<T>::Entry> PlanCache<T>::get(
     } else {
       entry = std::shared_ptr<const Entry>(new Entry{
           key, matrix,
-          core::Tuner(*matrix).predictor(predictor_).engine(engine_).build()});
+          core::Tuner(*matrix)
+              .predictor(predictor_)
+              .engine(engine_)
+              .backend(default_backend_)
+              .build()});
       if (store_ != nullptr)
         store_->put(key, adapt::StoredPlan{entry->runtime.plan()});
       std::lock_guard<std::mutex> lock(mutex_);

@@ -37,6 +37,7 @@
 #include "adapt/plan_store.hpp"
 #include "clsim/engine.hpp"
 #include "core/auto_spmv.hpp"
+#include "exec/backend.hpp"
 #include "core/predictor.hpp"
 #include "serve/fingerprint.hpp"
 #include "sparse/csr.hpp"
@@ -73,10 +74,14 @@ class PlanCache {
 
   /// `predictor` and `engine` are used for every planning pass and must
   /// outlive the cache, as must `store` when non-null (the cache does not
-  /// load or flush the store — the owner does; see SpmvService). Throws
-  /// std::invalid_argument when capacity is 0.
+  /// load or flush the store — the owner does; see SpmvService).
+  /// `default_backend` is the backend stamped onto fresh predictor-driven
+  /// plans; warm-started and promoted plans execute on whatever backend
+  /// they carry (backend is a plan property — see exec/backend.hpp).
+  /// Throws std::invalid_argument when capacity is 0.
   PlanCache(const core::Predictor& predictor, const clsim::Engine& engine,
-            std::size_t capacity, adapt::PlanStore* store = nullptr);
+            std::size_t capacity, adapt::PlanStore* store = nullptr,
+            exec::BackendKind default_backend = exec::BackendKind::Clsim);
 
   /// Return the cached runtime for `matrix`'s structure, planning it (or
   /// waiting for a concurrent planner) on a miss. Rethrows the planning
@@ -111,6 +116,7 @@ class PlanCache {
   const clsim::Engine& engine_;
   const std::size_t capacity_;
   adapt::PlanStore* store_;
+  const exec::BackendKind default_backend_;
 
   mutable std::mutex mutex_;
   std::unordered_map<Fingerprint, Slot, FingerprintHash> slots_;

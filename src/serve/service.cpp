@@ -41,7 +41,8 @@ SpmvService<T>::SpmvService(const core::Predictor& predictor,
     : engine_(opts.engine != nullptr ? *opts.engine
                                      : clsim::default_engine()),
       opts_(opts),
-      cache_(predictor, engine_, opts.cache_capacity, opts.plan_store),
+      cache_(predictor, engine_, opts.cache_capacity, opts.plan_store,
+             opts.backend),
       queue_(std::make_unique<Queue>()) {
   if (opts_.workers < 1)
     throw std::invalid_argument("SpmvService: workers must be >= 1");
@@ -211,7 +212,10 @@ void SpmvService<T>::worker_loop() {
       span.arg("width", width);
       if (width == 1) {
         std::vector<T> y(rows);
-        core::execute_plan(engine_, a, std::span<const T>(batch.front().x),
+        // Per-plan execution: the runtime's resolved backend, not a
+        // service-wide one, so mixed-backend plans coexist in one cache.
+        core::execute_plan(rt.backend(), a,
+                           std::span<const T>(batch.front().x),
                            std::span<T>(y), rt.bins(), rt.plan());
         complete(batch.front(), std::move(y));
       } else {
@@ -222,7 +226,7 @@ void SpmvService<T>::worker_loop() {
           std::copy(batch[static_cast<std::size_t>(b)].x.begin(),
                     batch[static_cast<std::size_t>(b)].x.end(),
                     xs.begin() + static_cast<std::size_t>(b) * cols);
-        core::execute_plan_batch(engine_, a, std::span<const T>(xs),
+        core::execute_plan_batch(rt.backend(), a, std::span<const T>(xs),
                                  std::span<T>(ys), width, rt.bins(),
                                  rt.plan());
         for (int b = 0; b < width; ++b) {

@@ -35,6 +35,7 @@
 #include "adapt/plan_store.hpp"
 #include "clsim/engine.hpp"
 #include "core/predictor.hpp"
+#include "exec/backend.hpp"
 #include "prof/profile.hpp"
 #include "serve/plan_cache.hpp"
 #include "sparse/csr.hpp"
@@ -55,8 +56,14 @@ struct ServiceOptions {
   int workers = 2;                  ///< request-draining threads
   std::size_t queue_high_water = 256;  ///< admissions beyond this reject
   int max_batch = 8;                ///< vectors coalesced per execution
-  /// Execution engine; null = clsim::default_engine().
+  /// Execution engine; null = clsim::default_engine(). Only used when a
+  /// plan resolves to the clsim backend.
   const clsim::Engine* engine = nullptr;
+  /// Backend stamped onto fresh predictor-driven plans. Execution always
+  /// follows the *plan's* backend, so warm-started or promoted plans keep
+  /// running on whatever backend they were tuned for regardless of this
+  /// default (backend is a plan property — see exec/backend.hpp).
+  exec::BackendKind backend = exec::BackendKind::Clsim;
   /// Optional telemetry sink: shutdown() folds the service's ServeStats
   /// into profile->serve (and adapt stats into profile->adapt). Must
   /// outlive the service.

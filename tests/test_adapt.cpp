@@ -18,6 +18,7 @@
 #include "core/predictor.hpp"
 #include "core/plan_io.hpp"
 #include "core/tuner.hpp"
+#include "exec/backend.hpp"
 #include "gen/generators.hpp"
 #include "kernels/reference.hpp"
 #include "serve/fingerprint.hpp"
@@ -247,6 +248,119 @@ TEST(BanditTuner, UnitHysteresisAndCooldownPreventPingPong) {
   EXPECT_EQ(cool.stats().u_trials, u_trials_at_promo)
       << "U trials ran during the cooldown window";
   EXPECT_EQ(cool.stats().u_promotions, 1u);
+}
+
+TEST(BanditTuner, BackendExplorationPromotesRestampedPlan) {
+  const auto a = gen::power_law<float>(1500, 1500, 2.0, 150, 71);
+  core::Plan plan;
+  plan.unit = 100;
+  plan.revision = 5;
+  const auto bins = binning::bin_matrix(a, 100);
+  for (int b : bins.occupied_bins())
+    plan.bin_kernels.push_back({b, kernels::KernelId::Serial});
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 73);
+  const auto key = serve::fingerprint_of(a);
+
+  AdaptOptions opts;
+  opts.trial_fraction = 1.0;
+  opts.explore_backends = true;
+  opts.backend_trial_fraction = 1.0;  // every trial is a backend trial
+  opts.backend_min_samples = 2;
+  opts.backend_hysteresis = 1.10;
+  // Rigged: the native backend runs the whole plan 10x faster.
+  opts.measure_backend_override = [](exec::BackendKind k) {
+    return k == exec::BackendKind::Native ? 10.0 : 1.0;
+  };
+  BanditTuner<float> tuner(clsim::default_engine(), opts);
+
+  std::optional<BanditTuner<float>::Promotion> promo;
+  int trials = 0;
+  for (; trials < 50 && !promo.has_value(); ++trials)
+    promo = tuner.observe(key, plan, bins, a, x);
+  ASSERT_TRUE(promo.has_value()) << "no backend promotion within 50 trials";
+  EXPECT_LE(trials, opts.backend_min_samples + 1);
+
+  // The promotion is a pure re-stamp: same granularity and kernels, no
+  // rebinning, bumped revision, the challenger backend on the plan.
+  EXPECT_FALSE(promo->rebinned);
+  EXPECT_EQ(promo->plan.backend, exec::BackendKind::Native);
+  EXPECT_EQ(promo->plan.unit, plan.unit);
+  EXPECT_EQ(promo->plan.revision, plan.revision + 1);
+  ASSERT_EQ(promo->plan.bin_kernels.size(), plan.bin_kernels.size());
+  for (std::size_t i = 0; i < plan.bin_kernels.size(); ++i)
+    EXPECT_EQ(promo->plan.bin_kernels[i].kernel, plan.bin_kernels[i].kernel);
+  EXPECT_DOUBLE_EQ(promo->gflops, 10.0);
+
+  const auto s = tuner.stats();
+  EXPECT_GE(s.b_trials,
+            static_cast<std::uint64_t>(opts.backend_min_samples));
+  EXPECT_EQ(s.b_promotions, 1u);
+
+  // The backend counters survive the profile JSON round trip and reach
+  // Prometheus.
+  prof::RunProfile p;
+  p.adapt = s;
+  const auto parsed =
+      prof::RunProfile::from_json(prof::Json::parse(p.to_json_text()));
+  EXPECT_EQ(parsed.adapt.b_trials, s.b_trials);
+  EXPECT_EQ(parsed.adapt.b_promotions, s.b_promotions);
+  EXPECT_NE(prof::prometheus_text(p).find("spmv_adapt_b_promotions_total"),
+            std::string::npos);
+}
+
+TEST(BanditTuner, BackendHysteresisAndCooldownPreventFlapping) {
+  const auto a = gen::power_law<float>(1200, 1200, 2.0, 120, 77);
+  core::Plan plan;
+  plan.unit = 100;
+  const auto bins = binning::bin_matrix(a, 100);
+  for (int b : bins.occupied_bins())
+    plan.bin_kernels.push_back({b, kernels::KernelId::Serial});
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 79);
+  const auto key = serve::fingerprint_of(a);
+
+  // Native is genuinely ~10% faster but noisy (±2%); the backend swap
+  // demands 25%, so it must never fire — a cross-engine switch invalidates
+  // every kernel arm, making flapping far more expensive than a kernel
+  // flap, hence the strictest hysteresis of the three arm levels.
+  util::Xoshiro256 noise(81);
+  AdaptOptions opts;
+  opts.trial_fraction = 1.0;
+  opts.explore_backends = true;
+  opts.backend_trial_fraction = 1.0;
+  opts.backend_min_samples = 2;
+  opts.backend_hysteresis = 1.25;
+  opts.measure_backend_override = [&noise](exec::BackendKind k) {
+    const double base = k == exec::BackendKind::Native ? 1.10 : 1.0;
+    return base * noise.uniform(0.98, 1.02);
+  };
+  BanditTuner<float> tuner(clsim::default_engine(), opts);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_FALSE(tuner.observe(key, plan, bins, a, x).has_value())
+        << "backend flapped on trial " << i;
+  EXPECT_EQ(tuner.stats().b_promotions, 0u);
+  EXPECT_EQ(tuner.stats().b_trials, 200u);
+
+  // Cooldown: after a genuine backend promotion, the next
+  // `backend_cooldown` observe() calls must not run backend trials — the
+  // fresh backend's kernel arms need samples before it can be challenged.
+  AdaptOptions copts = opts;
+  copts.backend_hysteresis = 1.05;
+  copts.backend_cooldown = 10;
+  copts.measure_backend_override = [](exec::BackendKind k) {
+    return k == exec::BackendKind::Native ? 10.0 : 1.0;
+  };
+  copts.measure_override = [](kernels::KernelId, int /*bin*/) { return 1.0; };
+  BanditTuner<float> cool(clsim::default_engine(), copts);
+  std::optional<BanditTuner<float>::Promotion> promo;
+  for (int i = 0; i < 50 && !promo.has_value(); ++i)
+    promo = cool.observe(key, plan, bins, a, x);
+  ASSERT_TRUE(promo.has_value());
+  const auto b_trials_at_promo = cool.stats().b_trials;
+  for (int i = 0; i < copts.backend_cooldown; ++i)
+    (void)cool.observe(key, promo->plan, bins, a, x);
+  EXPECT_EQ(cool.stats().b_trials, b_trials_at_promo)
+      << "backend trials ran during the cooldown window";
+  EXPECT_EQ(cool.stats().b_promotions, 1u);
 }
 
 TEST(BanditTuner, RealMeasurementsDoNotThrow) {
@@ -575,6 +689,64 @@ TEST(PlanCacheAdapt, PromoteIsMonotonicAndVisible) {
   const auto exact = kernels::spmv_exact(*a, std::span<const double>(x));
   for (std::size_t i = 0; i < y.size(); ++i)
     ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0));
+}
+
+// A backend-swap promotion racing a kernel-arm promotion at the same
+// revision: the cache's monotonic-revision rule lets exactly one land and
+// refuses the other as stale. (tsan preset runs this under
+// ThreadSanitizer.)
+TEST(PlanCacheAdaptStress, BackendSwapRacesKernelPromotion) {
+  core::HeuristicPredictor pred;
+  serve::PlanCache<float> cache(pred, clsim::default_engine(), 4);
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(800, 800, 2.0, 80, 83));
+  const auto key = serve::fingerprint_of(*a);
+  const core::Plan base = cache.get(a)->runtime.plan();
+  ASSERT_FALSE(base.bin_kernels.empty());
+
+  core::Plan kernel_swap = base;
+  kernel_swap.revision = base.revision + 1;
+  kernel_swap.bin_kernels[0].kernel =
+      kernel_swap.bin_kernels[0].kernel == kernels::KernelId::Serial
+          ? kernels::KernelId::Sub2
+          : kernels::KernelId::Serial;
+
+  core::Plan backend_swap = base;
+  backend_swap.revision = base.revision + 1;
+  backend_swap.backend = exec::BackendKind::Native;
+
+  std::shared_ptr<const serve::PlanCache<float>::Entry> kernel_won;
+  std::shared_ptr<const serve::PlanCache<float>::Entry> backend_won;
+  std::thread t1([&] { kernel_won = cache.promote(key, kernel_swap, 2.0); });
+  std::thread t2([&] { backend_won = cache.promote(key, backend_swap, 2.0); });
+  t1.join();
+  t2.join();
+
+  // Exactly one promotion landed; the loser saw the bumped revision.
+  EXPECT_NE(kernel_won != nullptr, backend_won != nullptr);
+  EXPECT_EQ(cache.stats().promotions, 1u);
+  const auto entry = cache.get(a);
+  EXPECT_EQ(entry->runtime.plan().revision, base.revision + 1);
+  if (backend_won != nullptr) {
+    EXPECT_EQ(entry->runtime.plan().backend, exec::BackendKind::Native);
+  } else {
+    EXPECT_EQ(entry->runtime.plan().backend, base.backend);
+    EXPECT_EQ(entry->runtime.plan().bin_kernels[0].kernel,
+              kernel_swap.bin_kernels[0].kernel);
+  }
+
+  // Whichever won, the cached runtime still computes exactly through the
+  // backend its plan carries.
+  const auto x =
+      random_vector<float>(static_cast<std::size_t>(a->cols()), 87);
+  std::vector<float> y(static_cast<std::size_t>(a->rows()));
+  const auto backend = exec::shared_backend(entry->runtime.plan().backend);
+  core::execute_plan(*backend, *a, std::span<const float>(x),
+                     std::span<float>(y), entry->runtime.bins(),
+                     entry->runtime.plan());
+  const auto exact = kernels::spmv_exact(*a, std::span<const float>(x));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], exact[i], 2e-4 * (std::abs(exact[i]) + 1.0));
 }
 
 // Promotions racing gets and LRU evictions: no crash, no deadlock, no

@@ -4,6 +4,11 @@
 // binned dispatch at a random granularity, and the batched variants) and
 // compared against the exact serial reference. Both scalar types run.
 //
+// Execution goes through the spmv::exec backend seam. SPMV_TEST_BACKEND in
+// the environment selects which backend(s) the sweep targets: "clsim",
+// "native", or unset/empty for both — CI runs a dedicated native leg so a
+// lowering bug in either backend cannot hide behind the other.
+//
 // Determinism and replay: every matrix derives from a base seed
 // (SPMV_TEST_SEED in the environment overrides the built-in default — CI
 // runs one pass with a fixed seed and one with the run id) and every
@@ -14,12 +19,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "binning/binning.hpp"
+#include "exec/backend.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/convert.hpp"
@@ -36,6 +43,21 @@ std::uint64_t base_seed() {
   if (const char* s = std::getenv("SPMV_TEST_SEED"); s != nullptr && *s != '\0')
     return std::strtoull(s, nullptr, 10);
   return 0xA11CE5EEDULL;
+}
+
+/// Backends under test, from SPMV_TEST_BACKEND ("clsim", "native", or
+/// unset/empty for both). An unknown name is a hard failure — a CI leg
+/// that silently fell back to the default would test nothing.
+std::vector<std::shared_ptr<const exec::Backend>> test_backends() {
+  std::vector<std::shared_ptr<const exec::Backend>> out;
+  const char* s = std::getenv("SPMV_TEST_BACKEND");
+  if (s == nullptr || *s == '\0') {
+    for (int k = 0; k < exec::kBackendCount; ++k)
+      out.push_back(exec::shared_backend(static_cast<exec::BackendKind>(k)));
+    return out;
+  }
+  out.push_back(exec::shared_backend(exec::backend_from_name(s)));
+  return out;
 }
 
 /// Per-matrix seed: decorrelate the base so adjacent indices do not share
@@ -103,9 +125,9 @@ std::vector<double> random_x(std::size_t n, std::uint64_t seed) {
 
 /// Replay hint attached to every assertion in the suite.
 std::string ctx(std::uint64_t base, int index, std::uint64_t seed,
-                const char* what) {
-  return std::string(what) + " (matrix " + std::to_string(index) +
-         ", generator seed " + std::to_string(seed) +
+                const std::string& what) {
+  return what + " (matrix " + std::to_string(index) + ", generator seed " +
+         std::to_string(seed) +
          "; replay with SPMV_TEST_SEED=" + std::to_string(base) + ")";
 }
 
@@ -129,26 +151,28 @@ void expect_close(std::span<const T> y, std::span<const double> exact,
   }
 }
 
-/// The full differential sweep for one scalar type over one matrix: every
-/// kernel full-matrix, every kernel composed from per-bin launches at a
-/// random granularity, and the batched dispatch at a random width.
+/// The full differential sweep for one scalar type over one matrix and one
+/// backend: every kernel full-matrix, every kernel composed from per-bin
+/// launches at a random granularity, and the batched dispatch at a random
+/// width.
 template <typename T>
-void differential_one(const CsrMatrix<double>& ad, std::uint64_t base,
+void differential_one(const exec::Backend& backend,
+                      const CsrMatrix<double>& ad, std::uint64_t base,
                       int index, std::uint64_t seed) {
+  const std::string bname = exec::backend_name(backend.kind()) + "/";
   const auto a = as_type<T>(ad);
   const auto xd =
       random_x(static_cast<std::size_t>(ad.cols()), seed ^ 0x9E3779B9ULL);
   const std::vector<T> x(xd.begin(), xd.end());
   const auto exact = kernels::spmv_exact(ad, std::span<const double>(xd));
-  const auto& engine = clsim::default_engine();
   const auto m = static_cast<std::size_t>(a.rows());
 
   for (KernelId id : kernels::all_kernels()) {
     std::vector<T> y(m, T(-12345));
-    kernels::run_full(id, engine, a, std::span<const T>(x), std::span<T>(y));
+    backend.run_full(id, a, std::span<const T>(x), std::span<T>(y));
     expect_close<T>(y, exact,
                     ctx(base, index, seed,
-                        ("full " + kernels::kernel_name(id)).c_str()));
+                        bname + "full " + kernels::kernel_name(id)));
   }
 
   // Binned dispatch: per-bin launches must compose the full product for
@@ -160,13 +184,12 @@ void differential_one(const CsrMatrix<double>& ad, std::uint64_t base,
   for (KernelId id : kernels::all_kernels()) {
     std::vector<T> y(m, T(-12345));
     for (int b : bins.occupied_bins())
-      kernels::run_binned(id, engine, a, std::span<const T>(x),
-                          std::span<T>(y), bins.bin(b), unit);
+      backend.run_binned(id, a, std::span<const T>(x), std::span<T>(y),
+                         bins.bin(b), unit);
     expect_close<T>(y, exact,
                     ctx(base, index, seed,
-                        ("binned U=" + std::to_string(unit) + " " +
-                         kernels::kernel_name(id))
-                            .c_str()));
+                        bname + "binned U=" + std::to_string(unit) + " " +
+                            kernels::kernel_name(id)));
   }
 
   // Batched dispatch: `batch` input vectors column-major, each column
@@ -187,33 +210,38 @@ void differential_one(const CsrMatrix<double>& ad, std::uint64_t base,
       kernels::all_kernels()[pick.bounded(kernels::all_kernels().size())];
   std::vector<T> yb(static_cast<std::size_t>(batch) * m, T(-12345));
   for (int b : bins.occupied_bins())
-    kernels::run_binned_batch(bid, engine, a, std::span<const T>(xb),
-                              std::span<T>(yb), batch, bins.bin(b), unit);
+    backend.run_binned_batch(bid, a, std::span<const T>(xb), std::span<T>(yb),
+                             batch, bins.bin(b), unit);
   for (int b = 0; b < batch; ++b)
     expect_close<T>(
         std::span<const T>(yb).subspan(static_cast<std::size_t>(b) * m, m),
         exact_b[static_cast<std::size_t>(b)],
         ctx(base, index, seed,
-            ("batch[" + std::to_string(b) + "/" + std::to_string(batch) +
-             "] " + kernels::kernel_name(bid))
-                .c_str()));
+            bname + "batch[" + std::to_string(b) + "/" +
+                std::to_string(batch) + "] " + kernels::kernel_name(bid)));
 }
 
 TEST(Differential, RandomMatricesAllKernelsAllDispatchPaths) {
   const std::uint64_t base = base_seed();
-  std::printf("differential suite base seed: %llu\n",
+  const auto backends = test_backends();
+  std::printf("differential suite base seed: %llu, backends:",
               static_cast<unsigned long long>(base));
+  for (const auto& b : backends)
+    std::printf(" %s", exec::backend_cname(b->kind()));
+  std::printf("\n");
   for (int i = 0; i < kMatrices; ++i) {
     const std::uint64_t seed = matrix_seed(base, i);
     const auto a = random_csr(seed);
-    // Alternate scalar types across the corpus; both stay covered for any
-    // base seed.
-    if (i % 2 == 0) {
-      differential_one<double>(a, base, i, seed);
-    } else {
-      differential_one<float>(a, base, i, seed);
+    for (const auto& backend : backends) {
+      // Alternate scalar types across the corpus; both stay covered for
+      // any base seed.
+      if (i % 2 == 0) {
+        differential_one<double>(*backend, a, base, i, seed);
+      } else {
+        differential_one<float>(*backend, a, base, i, seed);
+      }
+      if (::testing::Test::HasFatalFailure()) return;
     }
-    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
@@ -221,7 +249,7 @@ TEST(Differential, RandomMatricesAllKernelsAllDispatchPaths) {
 /// guaranteed pass each: all-empty, single row, single column.
 TEST(Differential, DegenerateShapesEverySeed) {
   const std::uint64_t base = base_seed();
-  const auto& engine = clsim::default_engine();
+  const auto backends = test_backends();
   const struct {
     index_t rows, cols;
     bool empty;
@@ -239,15 +267,18 @@ TEST(Differential, DegenerateShapesEverySeed) {
     const auto a = coo_to_csr(std::move(coo));
     const auto x = random_x(static_cast<std::size_t>(a.cols()), seed);
     const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
-    for (KernelId id : kernels::all_kernels()) {
-      std::vector<double> y(static_cast<std::size_t>(a.rows()), -12345.0);
-      kernels::run_full(id, engine, a, std::span<const double>(x),
-                        std::span<double>(y));
-      expect_close<double>(
-          y, exact,
-          ctx(base, 100000 + index, seed,
-              ("degenerate " + kernels::kernel_name(id)).c_str()));
-      if (::testing::Test::HasFatalFailure()) return;
+    for (const auto& backend : backends) {
+      for (KernelId id : kernels::all_kernels()) {
+        std::vector<double> y(static_cast<std::size_t>(a.rows()), -12345.0);
+        backend->run_full(id, a, std::span<const double>(x),
+                          std::span<double>(y));
+        expect_close<double>(
+            y, exact,
+            ctx(base, 100000 + index, seed,
+                exec::backend_name(backend->kind()) + "/degenerate " +
+                    kernels::kernel_name(id)));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
     }
     index += 1;
   }

@@ -20,6 +20,7 @@
 #include "adapt/plan_store.hpp"
 #include "binning/binning.hpp"
 #include "core/plan_io.hpp"
+#include "exec/backend.hpp"
 #include "kernels/registry.hpp"
 #include "util/rng.hpp"
 
@@ -67,6 +68,8 @@ core::Plan random_plan(util::Xoshiro256& rng) {
   p.unit_tuned = rng.uniform() < 0.5;
   p.predicted_unit =
       rng.uniform() < 0.5 ? 0 : static_cast<index_t>(1 + rng.bounded(1000000));
+  p.backend = static_cast<exec::BackendKind>(
+      rng.bounded(static_cast<std::uint64_t>(exec::kBackendCount)));
   const auto& pool = kernels::all_kernels();
   if (p.single_bin) {
     p.bin_kernels.push_back({0, pool[rng.bounded(pool.size())]});
@@ -88,6 +91,7 @@ void expect_plans_equal(const core::Plan& a, const core::Plan& b,
   EXPECT_EQ(a.revision, b.revision) << note;
   EXPECT_EQ(a.unit_tuned, b.unit_tuned) << note;
   EXPECT_EQ(a.predicted_unit, b.predicted_unit) << note;
+  EXPECT_EQ(a.backend, b.backend) << note;
   ASSERT_EQ(a.bin_kernels.size(), b.bin_kernels.size()) << note;
   for (std::size_t i = 0; i < a.bin_kernels.size(); ++i) {
     EXPECT_EQ(a.bin_kernels[i].bin_id, b.bin_kernels[i].bin_id) << note;
@@ -167,6 +171,13 @@ TEST(PlanIoFuzz, TypeConfusedPlanFieldsThrowCleanly) {
       {"unit_tuned", prof::Json(1.0)},
       {"predicted_unit", prof::Json(-1e20)},
       {"bins", prof::Json("not-an-array")},
+      // Backend-field type confusion: wrong JSON type, and a well-typed
+      // string that names no backend. Both must surface as the same
+      // runtime_error family every other malformed field raises.
+      {"backend", prof::Json("turbo")},
+      {"backend", prof::Json(1)},
+      {"backend", prof::Json(true)},
+      {"backend", prof::Json::array()},
   };
   for (const auto& [key, value] : bad) {
     prof::Json j = core::plan_to_json(p);
@@ -287,6 +298,34 @@ TEST(PlanStoreFuzz, TypeConfusedStoreFieldsAreSkippedAndCounted) {
     EXPECT_GT(stats.skipped_schema + stats.skipped_malformed, 0u) << c.name;
     EXPECT_EQ(store.size(), 0u) << c.name;
   }
+}
+
+TEST(PlanStoreFuzz, V1SchemaWithoutBackendLoadsAsClsim) {
+  // Pre-backend artifacts (schema 1, plans with no backend field) must
+  // keep loading: the schema gate accepts the supported range and the
+  // missing field defaults to the clsim backend.
+  ScopedFile f("fuzz_store_v1.tmp.json");
+  const auto key = write_valid_store(f.path, 123).first;
+  prof::Json doc = prof::Json::parse(read_text(f.path));
+  doc.set("schema", prof::Json(1));
+  prof::Json entry = doc.at("entries").at(std::size_t{0});
+  const prof::Json& plan = entry.at("plan");
+  prof::Json v1plan = prof::Json::object();
+  for (const char* k : {"unit", "single_bin", "revision", "unit_tuned",
+                        "predicted_unit", "bins"})
+    v1plan.set(k, plan.at(k));
+  entry.set("plan", std::move(v1plan));
+  prof::Json entries = prof::Json::array();
+  entries.push_back(std::move(entry));
+  doc.set("entries", std::move(entries));
+  write_text(f.path, doc.dump(2));
+
+  adapt::PlanStore store(f.path, "dev-a", "model-a");
+  const auto stats = store.load();
+  EXPECT_EQ(stats.loaded, 1u);
+  const auto got = store.lookup(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->plan.backend, exec::BackendKind::Clsim);
 }
 
 TEST(PlanStoreFuzz, ForeignEntriesSurviveLoadFlushOfDamagedSiblings) {

@@ -7,11 +7,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <thread>
 
+#include "adapt/plan_store.hpp"
 #include "core/predictor.hpp"
 #include "core/tuner.hpp"
+#include "exec/backend.hpp"
 #include "gen/generators.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/registry.hpp"
@@ -357,6 +360,53 @@ TEST(SpmvService, StructurallyEqualMatricesWithDifferentValuesStayExact) {
   const auto s = service.stats();
   EXPECT_EQ(s.cache_misses, 1u);  // one structure, one planning pass
   EXPECT_EQ(s.cache_hits, 1u);
+}
+
+TEST(SpmvService, WarmStartFromNativeBackendPlanExecutesExactly) {
+  // A store written by a native-tuned process: the service warm-starts
+  // from it, the rebuilt runtime carries the native backend (backend is a
+  // plan property, not a service property — ServiceOptions::backend only
+  // stamps fresh predictor-driven plans), and results stay exact.
+  struct ScopedFile {
+    explicit ScopedFile(std::string p) : path(std::move(p)) {
+      std::remove(path.c_str());
+    }
+    ~ScopedFile() {
+      std::remove(path.c_str());
+      std::remove((path + ".tmp").c_str());
+    }
+    std::string path;
+  } file("test_serve_native_store.json");
+
+  core::HeuristicPredictor pred;
+  auto a = std::make_shared<const CsrMatrix<double>>(
+      gen::mixed_regime<double>(900, 900, 0.4, 0.4, 2, 30, 200, 16, 61));
+  {
+    adapt::PlanStore store(file.path);
+    const auto tuned = core::Tuner(*a)
+                           .predictor(pred)
+                           .backend(exec::BackendKind::Native)
+                           .build();
+    adapt::StoredPlan sp;
+    sp.plan = tuned.plan();
+    store.put(fingerprint_of(*a), sp);
+    store.flush();
+  }
+
+  adapt::PlanStore store(file.path);
+  ServiceOptions opts;
+  opts.plan_store = &store;  // service default backend stays clsim
+  SpmvService<double> service(pred, opts);
+  const auto x =
+      random_vector<double>(static_cast<std::size_t>(a->cols()), 63);
+  const auto y = service.run(a, x);
+  expect_matches_exact<double>(*a, x, y, 1e-9);
+  const auto s = service.stats();
+  EXPECT_GE(s.cache_warm_hits, 1u);
+  EXPECT_EQ(s.planning_passes, 0u);
+  const auto entry = service.cache().get(a);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->runtime.plan().backend, exec::BackendKind::Native);
 }
 
 TEST(SpmvService, BackpressureRejectsBeyondHighWater) {

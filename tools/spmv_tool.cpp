@@ -79,6 +79,8 @@ int usage() {
                "plan-store|compare-profiles> [flags]\n"
                "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
                "               --family <corpus family> --rows N [--param P]\n"
+               "  backend:     --backend clsim|native (run, tune,\n"
+               "               serve-bench, adapt-bench; default clsim)\n"
                "  run flags:   --model model.txt --reps K --profile out.json\n"
                "               --trace out.trace.json\n"
                "  tune flags:  --profile out.json\n"
@@ -92,11 +94,18 @@ int usage() {
                "               --workers W --store store.json "
                "--profile out.json\n"
                "               --explore-u --unit-fraction F\n"
+               "               --explore-backend --backend-fraction F\n"
                "  plan-store:  ls|gc --store store.json [--model-version V]\n"
                "               [--ttl-hours H]\n"
                "  compare-profiles: baseline.json current.json "
                "[--threshold 1.15]\n");
   return 2;
+}
+
+/// The uniform `--backend clsim|native` flag (run, tune, serve-bench,
+/// adapt-bench and the fig benches all spell it the same way).
+exec::BackendKind backend_from_cli(const util::Cli& cli) {
+  return exec::backend_from_name(cli.get("backend", "clsim"));
 }
 
 gen::Family family_from_name(const std::string& name) {
@@ -165,8 +174,9 @@ int cmd_tune(const util::Cli& cli) {
   profile.label = "spmv_tool tune";
   if (!profile_path.empty()) opts.profile = &profile;
 
+  const auto backend = exec::shared_backend(backend_from_cli(cli));
   const auto result = core::exhaustive_tune(
-      clsim::default_engine(), a, std::span<const float>(x), pools, opts);
+      *backend, a, std::span<const float>(x), pools, opts);
   std::printf("\n%-12s %12s   %s\n", "candidate", "time[ms]",
               "per-bin kernels");
   for (const auto& ur : result.per_unit) {
@@ -222,12 +232,17 @@ int cmd_run(const util::Cli& cli) {
   const std::string trace_path = cli.get("trace");
   if (!trace_path.empty()) trace::start();
 
+  const exec::BackendKind backend_kind = backend_from_cli(cli);
+  const auto backend = exec::shared_backend(backend_kind);
   const auto auto_spmv =
       core::Tuner(a)
           .predictor(*pred)
+          .backend(backend_kind)
           .profile(profile_path.empty() ? nullptr : &profile)
           .build();
-  std::printf("auto plan: %s\n\n", auto_spmv.plan().to_string().c_str());
+  std::printf("auto plan: %s (backend %s)\n\n",
+              auto_spmv.plan().to_string().c_str(),
+              exec::backend_cname(backend_kind));
 
   baseline::CsrAdaptive<float> adaptive(a, clsim::default_engine());
   struct Row {
@@ -239,14 +254,12 @@ int cmd_run(const util::Cli& cli) {
                     auto_spmv.run(x, std::span<float>(y));
                   }, mopts).best_s});
   rows.push_back({"kernel-serial", util::measure([&] {
-                    kernels::run_full(kernels::KernelId::Serial,
-                                      clsim::default_engine(), a,
+                    backend->run_full(kernels::KernelId::Serial, a,
                                       std::span<const float>(x),
                                       std::span<float>(y));
                   }, mopts).best_s});
   rows.push_back({"kernel-vector", util::measure([&] {
-                    kernels::run_full(kernels::KernelId::Vector,
-                                      clsim::default_engine(), a,
+                    backend->run_full(kernels::KernelId::Vector, a,
                                       std::span<const float>(x),
                                       std::span<float>(y));
                   }, mopts).best_s});
@@ -367,7 +380,10 @@ int cmd_serve_bench(const util::Cli& cli) {
   };
 
   const double naive_s = drive([&](int i) {
-    const auto spmv = core::Tuner(*a).predictor(*pred).build();
+    const auto spmv = core::Tuner(*a)
+                          .predictor(*pred)
+                          .backend(backend_from_cli(cli))
+                          .build();
     std::vector<float> y(static_cast<std::size_t>(a->rows()));
     spmv.run(xs[static_cast<std::size_t>(i)], std::span<float>(y));
   });
@@ -378,6 +394,7 @@ int cmd_serve_bench(const util::Cli& cli) {
   opts.workers = workers;
   opts.max_batch = max_batch;
   opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
+  opts.backend = backend_from_cli(cli);
   opts.profile = &profile;
   // --plan-store warm-starts the cache from disk (and flushes plans back
   // on shutdown), so a repeated bench run skips the planning pass.
@@ -484,6 +501,7 @@ class MispredictPredictor final : public core::Predictor {
 };
 
 // Time one plan end-to-end (no service in the loop) and return GFLOP/s.
+// The plan's own backend resolves automatically through the Tuner.
 double plan_gflops(const CsrMatrix<float>& a, const core::Plan& plan,
                    std::span<const float> x) {
   const auto rt = core::Tuner(a).plan(plan).build();
@@ -515,10 +533,10 @@ int cmd_adapt_bench(const util::Cli& cli) {
   // Oracle: what exhaustive tuning would pick, and what it's worth.
   core::ExhaustiveOptions topts;
   topts.measure = {.warmup = 1, .reps = 3, .max_total_s = 0.5};
+  const auto oracle_backend = exec::shared_backend(backend_from_cli(cli));
   const auto tuned =
-      core::exhaustive_tune(clsim::default_engine(), *a,
-                            std::span<const float>(x), core::default_pools(),
-                            topts);
+      core::exhaustive_tune(*oracle_backend, *a, std::span<const float>(x),
+                            core::default_pools(), topts);
   const double oracle_gf = plan_gflops(*a, tuned.best_plan, x);
 
   // Starting point: the mispredicted plan the service will begin from.
@@ -536,6 +554,7 @@ int cmd_adapt_bench(const util::Cli& cli) {
   profile.label = "adapt-bench";
   serve::ServiceOptions opts;
   opts.workers = workers;
+  opts.backend = backend_from_cli(cli);
   opts.profile = &profile;
   adapt::AdaptOptions aopts;
   aopts.trial_fraction = trial_fraction;
@@ -548,6 +567,13 @@ int cmd_adapt_bench(const util::Cli& cli) {
     aopts.unit_min_samples = 2;
     aopts.unit_hysteresis = 1.05;
     aopts.unit_cooldown = 4;
+  }
+  if (cli.get_bool("explore-backend", false)) {
+    aopts.explore_backends = true;
+    aopts.backend_trial_fraction = cli.get_double("backend-fraction", 0.5);
+    aopts.backend_min_samples = 2;
+    aopts.backend_hysteresis = 1.05;
+    aopts.backend_cooldown = 4;
   }
   opts.adapt = aopts;
   adapt::PlanStore store(store_path);
@@ -584,6 +610,10 @@ int cmd_adapt_bench(const util::Cli& cli) {
                 static_cast<unsigned long long>(ad.u_promotions),
                 static_cast<unsigned long long>(
                     profile.serve.cache_rebin_promotions));
+  if (ad.b_trials > 0 || ad.b_promotions > 0)
+    std::printf("adapt backend: %llu trials, %llu promotions\n",
+                static_cast<unsigned long long>(ad.b_trials),
+                static_cast<unsigned long long>(ad.b_promotions));
 
   // What shipped to the store is the refined plan; time it oracle-style.
   adapt::PlanStore reread(store_path);
