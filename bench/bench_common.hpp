@@ -70,6 +70,37 @@ inline exec::BackendKind backend_from_cli(const util::Cli& cli) {
   return exec::backend_from_name(cli.get("backend", "clsim"));
 }
 
+/// The uniform `--format csr|auto` flag (per-bin physical layouts via the
+/// spmv::fmt estimator). Unknown names throw std::invalid_argument.
+inline fmt::FormatMode format_from_cli(const util::Cli& cli) {
+  return fmt::format_mode_from_name(cli.get("format", "csr"));
+}
+
+/// Peel `--backend=<name>` / `--backend <name>` out of argv and return the
+/// selected shared backend (clsim when absent). For benches whose remaining
+/// flags go to a third-party parser that rejects unknown flags (e.g.
+/// google-benchmark). `argv` is compacted in place and `*argc` updated.
+inline std::shared_ptr<const exec::Backend> strip_backend_flag(int* argc,
+                                                               char** argv) {
+  exec::BackendKind kind = exec::BackendKind::Clsim;
+  int out = 0;
+  for (int i = 0; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--backend=", 0) == 0) {
+      kind = exec::backend_from_name(
+          arg.substr(std::string("--backend=").size()));
+      continue;
+    }
+    if (arg == "--backend" && i + 1 < *argc) {
+      kind = exec::backend_from_name(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return exec::shared_backend(kind);
+}
+
 /// The bench-sized candidate pools: the full nine-kernel pool with a
 /// five-point granularity ladder (the full 16-point ladder multiplies bench
 /// time ~3x without changing any figure's shape; override with --full-pool).

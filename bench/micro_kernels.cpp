@@ -3,7 +3,7 @@
 // Figure-2/6 comparisons, with bytes/items counters for roofline analysis.
 #include <benchmark/benchmark.h>
 
-#include "autospmv.hpp"
+#include "bench_common.hpp"
 
 using namespace spmv;
 
@@ -119,26 +119,11 @@ BENCHMARK(bench_binning)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  // Peel off --backend=<name> / --backend <name> before google-benchmark
-  // parses the rest of the command line.
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--backend=", 0) == 0) {
-      g_backend = exec::shared_backend(
-          exec::backend_from_name(arg.substr(std::string("--backend=").size())));
-      continue;
-    }
-    if (arg == "--backend" && i + 1 < argc) {
-      g_backend = exec::shared_backend(exec::backend_from_name(argv[++i]));
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
-    return 1;
+  // Peel off --backend before google-benchmark parses the rest of the
+  // command line (it rejects flags it does not know).
+  g_backend = bench::strip_backend_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

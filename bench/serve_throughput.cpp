@@ -10,18 +10,20 @@
 //
 //   serve_throughput [--rows N] [--requests R] [--clients C] [--workers W]
 //                    [--max-batch B] [--reps K] [--backend clsim|native]
-//                    [--short-rows] [--profile out.json]
+//                    [--format csr|auto] [--short-rows] [--profile out.json]
 //                    [--json BENCH_serve.json]
 //
 // --backend selects the execution backend every plan is stamped with
-// (exec/backend.hpp); --short-rows swaps the workload to short-row-only
+// (exec/backend.hpp); --format auto lets the fmt estimator stamp per-bin
+// physical layouts onto fresh plans (effective on format-capable backends
+// only — see src/fmt/); --short-rows swaps the workload to short-row-only
 // matrices (fixed degree 6 / narrow band), the profile where the native
 // backend's thin OpenMP loops beat the simulated work-group engine by the
 // widest margin. --json writes a compact machine-readable summary (config,
-// backend, naive/serve requests-per-second and GFLOP/s, speedup,
+// backend, format, naive/serve requests-per-second and GFLOP/s, speedup,
 // request-latency percentiles) for CI artifact upload — the CI job runs it
-// once per backend and uploads the pair for comparison — alongside the
-// full --profile RunProfile.
+// once per backend (and, on native, once per format mode) and uploads the
+// set for comparison — alongside the full --profile RunProfile.
 #include <atomic>
 #include <fstream>
 #include <future>
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   const int max_batch = static_cast<int>(cli.get_int("max-batch", 8));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
   const exec::BackendKind backend = backend_from_cli(cli);
+  const fmt::FormatMode format = format_from_cli(cli);
   const bool short_rows = cli.get_bool("short-rows", false);
 
   // Three recurring matrix structures, as a serving workload would see
@@ -83,9 +86,10 @@ int main(int argc, char** argv) {
       gen::banded<float>(rows, 8, 0.7, 3)));
 
   std::printf("=== bench serve_throughput (rows=%d, requests=%d, "
-              "clients=%d, workers=%d, max_batch=%d, backend=%s%s) ===\n\n",
+              "clients=%d, workers=%d, max_batch=%d, backend=%s, "
+              "format=%s%s) ===\n\n",
               rows, requests, clients, workers, max_batch,
-              exec::backend_cname(backend),
+              exec::backend_cname(backend), fmt::format_mode_cname(format),
               short_rows ? ", short-rows" : "");
 
   // Pre-generate the request stream (matrix round-robin + input vector) so
@@ -111,8 +115,11 @@ int main(int argc, char** argv) {
         naive_s, run_clients(clients, requests, [&](int i) {
           const CsrMatrix<float>& a =
               *req_mat_raw[static_cast<std::size_t>(i)];
-          const auto spmv =
-              core::Tuner(a).predictor(pred).backend(backend).build();
+          const auto spmv = core::Tuner(a)
+                                .predictor(pred)
+                                .backend(backend)
+                                .formats(format)
+                                .build();
           std::vector<float> y(static_cast<std::size_t>(a.rows()));
           spmv.run(req_x[static_cast<std::size_t>(i)], std::span<float>(y));
         }));
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
   opts.max_batch = max_batch;
   opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
   opts.backend = backend;
+  opts.format = format;
   opts.profile = &profile;
 
   double serve_s = std::numeric_limits<double>::infinity();
@@ -223,6 +231,7 @@ int main(int argc, char** argv) {
     config.set("max_batch", static_cast<std::int64_t>(max_batch));
     config.set("reps", static_cast<std::int64_t>(reps));
     config.set("backend", exec::backend_name(backend));
+    config.set("format", std::string(fmt::format_mode_cname(format)));
     config.set("short_rows", short_rows);
     auto root = prof::Json::object();
     root.set("bench", "serve_throughput");

@@ -50,11 +50,29 @@
 // (they were timed on the old backend), so those reset while the backend
 // arms themselves persist — which is what stops an immediate flap back.
 //
+// Fourth level (opt-in via explore_formats): each bin's physical layout
+// (spmv::fmt — CSR vs. ELL-packed vs. COO vs. delta-compressed columns) is
+// a per-bin plan property on format-capable backends. A
+// `format_trial_fraction` share of trials shadow-measures ONE alternative
+// layout on one hot bin, back-to-back with the bin's incumbent format on
+// the same kernel. The challenger pool is fmt::suitable_formats() over the
+// bin's features, so obviously-hopeless layouts are never timed; the
+// transformation itself runs OUTSIDE the timed section (arms compare
+// steady-state execution — PlanLayouts' amortization policy separately
+// decides when a build is worth paying at serving time). Format arms are
+// per-(bin, format) GFLOP/s; a confident win (format_min_samples on both,
+// format_hysteresis margin) promotes a plan copy with that one bin's
+// format re-stamped (revision bumped, bins untouched). Format arms reset
+// alongside kernel arms on a unit or backend change — they were timed on
+// that bin structure and engine.
+//
 // Everything is recorded: prof counters (adapt.trials / adapt.promotions /
-// adapt.regret plus adapt.u_trials / adapt.u_promotions and adapt.b_trials
-// / adapt.b_promotions) via stats(), and trace spans "adapt-trial"/
-// "adapt-promote" plus "adapt-trial-u"/"adapt-promote-u" and
-// "adapt-trial-backend"/"adapt-promote-backend" in category "adapt".
+// adapt.regret plus adapt.u_trials / adapt.u_promotions, adapt.b_trials /
+// adapt.b_promotions and adapt.f_trials / adapt.f_promotions) via
+// stats(), and trace spans "adapt-trial"/"adapt-promote" plus
+// "adapt-trial-u"/"adapt-promote-u", "adapt-trial-backend"/
+// "adapt-promote-backend" and "adapt-trial-format"/"adapt-promote-format"
+// in category "adapt".
 #pragma once
 
 #include <cstdint>
@@ -70,6 +88,7 @@
 #include "clsim/engine.hpp"
 #include "core/plan.hpp"
 #include "exec/backend.hpp"
+#include "fmt/format.hpp"
 #include "kernels/registry.hpp"
 #include "prof/profile.hpp"
 #include "serve/fingerprint.hpp"
@@ -146,6 +165,27 @@ struct AdaptOptions {
   /// Test seam for backend trials: when set, replaces the whole-plan timed
   /// runs — returns the "measured" whole-plan GFLOP/s on backend `kind`.
   std::function<double(exec::BackendKind)> measure_backend_override;
+
+  // --- fourth level: online exploration of per-bin physical formats ---
+
+  /// Enable per-bin shadow trials of alternative physical layouts. Only
+  /// effective when the plan's backend supports formats (spmv::fmt);
+  /// clsim plans stay CSR-everywhere and never divert trials here.
+  bool explore_formats = false;
+  /// Of the trials observe() runs, the share diverted to format trials
+  /// (drawn after the U and backend diversions).
+  double format_trial_fraction = 0.2;
+  /// Samples required on BOTH format arms before a promotion.
+  int format_min_samples = 3;
+  /// Challenger format's mean GFLOP/s on the bin must exceed the
+  /// incumbent's by this ratio. A format swap costs a one-off layout
+  /// build at serving time, so it sits between the kernel and unit bars.
+  double format_hysteresis = 1.15;
+  /// Trials to skip format exploration after a format promotion.
+  int format_cooldown = 8;
+  /// Test seam for format trials: when set, replaces the timed bin runs —
+  /// returns the "measured" GFLOP/s for (bin, format).
+  std::function<double(int, fmt::FormatKind)> measure_format_override;
 };
 
 template <typename T>
@@ -197,6 +237,12 @@ class BanditTuner {
     std::uint64_t pulls = 0;  ///< trials on this bin (for UCB)
   };
 
+  /// Per-(bin, format) reward estimates (the fourth-level arm space).
+  struct FormatArms {
+    Arm arms[fmt::kFormatCount];
+    std::uint64_t pulls = 0;
+  };
+
   /// Per-fingerprint bandit state. Kernel-arm means are (bin, kernel)
   /// measurements of the matrix itself, so they survive plan-revision
   /// bumps (promotions); only a granularity change invalidates them (bin
@@ -222,6 +268,12 @@ class BanditTuner {
     std::unordered_map<int, Arm> backends;
     /// Remaining trials before the next backend trial is allowed.
     int backend_cooldown = 0;
+    /// Per-bin format arms (fourth level). Timings describe one bin
+    /// structure on one backend, so they reset with the kernel arms on a
+    /// unit or backend change.
+    std::unordered_map<int, FormatArms> formats;
+    /// Remaining trials before the next format trial is allowed.
+    int format_cooldown = 0;
   };
 
   kernels::KernelId pick_challenger(const BinArms& ba,
@@ -237,6 +289,13 @@ class BanditTuner {
                                          const binning::BinSet& bins,
                                          const CsrMatrix<T>& a,
                                          std::span<const T> x);
+  fmt::FormatKind pick_format_challenger(
+      const FormatArms& fa, const std::vector<fmt::FormatKind>& pool,
+      fmt::FormatKind incumbent);
+  std::optional<Promotion> format_trial(KeyState& st, const core::Plan& plan,
+                                        const binning::BinSet& bins,
+                                        const CsrMatrix<T>& a,
+                                        std::span<const T> x);
   /// The backend trials and incumbent measurements run on. Clsim resolves
   /// to the engine the tuner was built with, so engine counters keep
   /// attributing trial launches.

@@ -29,11 +29,12 @@
 namespace spmv::adapt {
 
 /// On-disk schema version written by flush(). Version 2 added the plan's
-/// `backend` field (spmv::exec); version-1 files predate it and their
-/// plans load with the clsim default, so load() accepts the whole
-/// supported range below. Files outside it are skipped wholesale (never
-/// migrated in place, never a crash).
-inline constexpr std::int64_t kStoreSchemaVersion = 2;
+/// `backend` field (spmv::exec); version 3 added the per-bin `format`
+/// field (spmv::fmt). Older files predate those fields and their plans
+/// load with the defaults (Clsim backend, CSR everywhere), so load()
+/// accepts the whole supported range below. Files outside it are skipped
+/// wholesale (never migrated in place, never a crash).
+inline constexpr std::int64_t kStoreSchemaVersion = 3;
 /// Oldest schema load() still reads.
 inline constexpr std::int64_t kStoreSchemaMinSupported = 1;
 

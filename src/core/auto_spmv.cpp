@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fmt/estimate.hpp"
 #include "trace/trace.hpp"
 
 namespace spmv::core {
@@ -9,7 +10,9 @@ namespace spmv::core {
 template <typename T>
 AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
                       exec::ExecContext ctx, prof::RunProfile* profile,
-                      std::optional<Predictor::UnitChoice> forced)
+                      std::optional<Predictor::UnitChoice> forced,
+                      fmt::FormatMode format_mode,
+                      fmt::AmortizationPolicy format_policy)
     : a_(a), ctx_(std::move(ctx)), profile_(profile) {
   prof::PlanTiming* pt = profile != nullptr ? &profile->plan_timing : nullptr;
   {
@@ -39,12 +42,27 @@ AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
           {b, predictor.predict_kernel(stats_, plan_.unit, b)});
     }
   }
+  // Per-bin format estimation: only under the auto mode and only when the
+  // resolved backend can execute layouts — a CSR-only backend keeps a
+  // CSR-everywhere plan, so differential comparisons stay meaningful.
+  if (format_mode == fmt::FormatMode::Auto &&
+      ctx_.backend().supports_formats()) {
+    trace::TraceSpan span("plan-estimate-formats", "plan");
+    prof::ScopedTimer t(pt != nullptr ? &pt->predict_s : nullptr);
+    for (BinPlan& bp : plan_.bin_kernels) {
+      const auto f =
+          fmt::compute_bin_features(a, bins_.bin(bp.bin_id), plan_.unit);
+      bp.format = fmt::estimate_bin_format(f);
+    }
+  }
+  init_layouts(format_policy);
   describe_profile();
 }
 
 template <typename T>
 AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan, exec::ExecContext ctx,
-                      prof::RunProfile* profile)
+                      prof::RunProfile* profile,
+                      fmt::AmortizationPolicy format_policy)
     : a_(a), ctx_(std::move(ctx)), profile_(profile), plan_(std::move(plan)) {
   plan_.normalize();  // external plans may violate the ascending invariant
   // The context is the resolved truth (an explicit .backend() override
@@ -61,7 +79,14 @@ AutoSpmv<T>::AutoSpmv(const CsrMatrix<T>& a, Plan plan, exec::ExecContext ctx,
     prof::ScopedTimer t(pt != nullptr ? &pt->binning_s : nullptr);
     bins_ = bins_for_plan(a, plan_);
   }
+  init_layouts(format_policy);
   describe_profile();
+}
+
+template <typename T>
+void AutoSpmv<T>::init_layouts(fmt::AmortizationPolicy policy) {
+  if (plan_.uses_formats() && ctx_.backend().supports_formats())
+    layouts_ = std::make_shared<fmt::PlanLayouts<T>>(policy);
 }
 
 template <typename T>
@@ -76,13 +101,15 @@ void AutoSpmv<T>::describe_profile() const {
 template <typename T>
 void AutoSpmv<T>::run(std::span<const T> x, std::span<T> y,
                       prof::RunProfile* profile) const {
-  execute_plan(ctx_.backend(), a_, x, y, bins_, plan_, profile);
+  execute_plan(ctx_.backend(), a_, x, y, bins_, plan_, profile,
+               layouts_.get());
 }
 
 template <typename T>
 void AutoSpmv<T>::run_batch(std::span<const T> x, std::span<T> y, int batch,
                             prof::RunProfile* profile) const {
-  execute_plan_batch(ctx_.backend(), a_, x, y, batch, bins_, plan_, profile);
+  execute_plan_batch(ctx_.backend(), a_, x, y, batch, bins_, plan_, profile,
+                     layouts_.get());
 }
 
 template class AutoSpmv<float>;

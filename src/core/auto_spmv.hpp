@@ -12,6 +12,7 @@
 //   spmv.run(x, y);  // repeatedly; the plan is built once
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 
@@ -21,6 +22,7 @@
 #include "exec/backend.hpp"
 #include "core/plan.hpp"
 #include "core/predictor.hpp"
+#include "fmt/plan_layouts.hpp"
 #include "prof/profile.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/matrix_stats.hpp"
@@ -70,22 +72,31 @@ class AutoSpmv {
   [[nodiscard]] const exec::ExecContext& context() const { return ctx_; }
   /// Profile attached at build time (null when none).
   [[nodiscard]] prof::RunProfile* profile() const { return profile_; }
+  /// The per-bin layout cache, or null when every bin executes from CSR
+  /// (no non-CSR formats in the plan, or the backend cannot run layouts).
+  /// Shared across copies of this runtime so reuse counts — the
+  /// amortization signal — accumulate over the runtime's lifetime.
+  [[nodiscard]] fmt::PlanLayouts<T>* layouts() const { return layouts_.get(); }
 
  private:
   friend class Tuner<T>;
 
   /// Full predictor-driven constructor: optionally records plan-stage
-  /// timings into `profile` and honours a forced granularity choice (the
-  /// Tuner's scheme/unit overrides).
+  /// timings into `profile`, honours a forced granularity choice (the
+  /// Tuner's scheme/unit overrides), and — under FormatMode::Auto on a
+  /// format-capable backend — stamps each bin with the estimator's format.
   AutoSpmv(const CsrMatrix<T>& a, const Predictor& predictor,
            exec::ExecContext ctx, prof::RunProfile* profile,
-           std::optional<Predictor::UnitChoice> forced);
+           std::optional<Predictor::UnitChoice> forced,
+           fmt::FormatMode format_mode, fmt::AmortizationPolicy format_policy);
 
-  /// Full external-plan constructor.
+  /// Full external-plan constructor (the plan's recorded per-bin formats
+  /// are authoritative; format_mode only matters for predictor builds).
   AutoSpmv(const CsrMatrix<T>& a, Plan plan, exec::ExecContext ctx,
-           prof::RunProfile* profile);
+           prof::RunProfile* profile, fmt::AmortizationPolicy format_policy);
 
   void describe_profile() const;
+  void init_layouts(fmt::AmortizationPolicy policy);
 
   const CsrMatrix<T>& a_;
   exec::ExecContext ctx_;
@@ -93,6 +104,7 @@ class AutoSpmv {
   RowStats stats_;
   Plan plan_;
   binning::BinSet bins_;
+  std::shared_ptr<fmt::PlanLayouts<T>> layouts_;
 };
 
 extern template class AutoSpmv<float>;

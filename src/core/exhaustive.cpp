@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exec/clsim_backend.hpp"
+#include "fmt/plan_layouts.hpp"
 
 namespace spmv::core {
 
@@ -17,15 +18,49 @@ binning::BinSet bins_for_plan(const CsrMatrix<T>& a, const Plan& plan) {
                          : binning::bin_matrix(a, plan.unit);
 }
 
+namespace {
+
+/// Resolve one bin's materialized layout, or null for the CSR path. Only
+/// consulted when the plan asks for a non-CSR format AND the backend can
+/// execute layouts — otherwise the bin silently runs from the shared CSR
+/// arrays (the ClsimBackend comparability guarantee).
+template <typename T>
+std::shared_ptr<const fmt::BinLayout<T>> resolve_layout(
+    const exec::Backend& backend, fmt::PlanLayouts<T>* layouts,
+    const CsrMatrix<T>& a, std::span<const index_t> vrows, index_t unit,
+    const BinPlan& bp) {
+  if (layouts == nullptr || bp.format == fmt::FormatKind::Csr ||
+      !backend.supports_formats())
+    return nullptr;
+  return layouts->acquire(a, vrows, unit, bp.format, bp.bin_id);
+}
+
+/// Bump the layout cache's reuse counter once per whole-plan execution —
+/// the amortization signal.
+template <typename T>
+void note_layout_run(fmt::PlanLayouts<T>* layouts, const CsrMatrix<T>& a,
+                     const Plan& plan) {
+  if (layouts != nullptr && plan.uses_formats()) (void)layouts->note_run(a);
+}
+
+}  // namespace
+
 template <typename T>
 void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
-                  const binning::BinSet& bins, const Plan& plan) {
+                  const binning::BinSet& bins, const Plan& plan,
+                  fmt::PlanLayouts<T>* layouts) {
   if (bins.unit() != plan.unit)
     throw std::invalid_argument("execute_plan: bins/plan unit mismatch");
+  note_layout_run(layouts, a, plan);
   for (const BinPlan& bp : plan.bin_kernels) {
     const auto& vrows = bins.bin(bp.bin_id);
     if (vrows.empty()) continue;
+    if (const auto l = resolve_layout(backend, layouts, a, vrows, bins.unit(),
+                                      bp)) {
+      backend.run_layout(a, *l, x, y);
+      continue;
+    }
     backend.run_binned(bp.kernel, a, x, y, vrows, bins.unit());
   }
 }
@@ -55,13 +90,14 @@ template <typename T>
 void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan,
-                  prof::RunProfile* profile) {
+                  prof::RunProfile* profile, fmt::PlanLayouts<T>* layouts) {
   if (profile == nullptr) {
-    execute_plan(backend, a, x, y, bins, plan);
+    execute_plan(backend, a, x, y, bins, plan, layouts);
     return;
   }
   if (bins.unit() != plan.unit)
     throw std::invalid_argument("execute_plan: bins/plan unit mismatch");
+  note_layout_run(layouts, a, plan);
   // Engine counters only exist for backends that drive a clsim engine.
   const clsim::Engine* engine = backend.engine();
   std::optional<EngineSnapshot> before;
@@ -71,8 +107,15 @@ void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
     const auto& vrows = bins.bin(bp.bin_id);
     if (vrows.empty()) continue;
     util::Timer t;
-    backend.run_binned(bp.kernel, a, x, y, vrows, bins.unit());
-    profile->add_bin_run(bp.bin_id, kernels::kernel_name(bp.kernel),
+    std::string label = kernels::kernel_name(bp.kernel);
+    if (const auto l = resolve_layout(backend, layouts, a, vrows, bins.unit(),
+                                      bp)) {
+      backend.run_layout(a, *l, x, y);
+      label += std::string("+") + fmt::format_cname(bp.format);
+    } else {
+      backend.run_binned(bp.kernel, a, x, y, vrows, bins.unit());
+    }
+    profile->add_bin_run(bp.bin_id, label,
                          static_cast<std::int64_t>(vrows.size()),
                          bins.rows_in_bin(bp.bin_id),
                          bin_nnz(a, std::span<const index_t>(vrows),
@@ -90,13 +133,20 @@ template <typename T>
 void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
                         std::span<const T> x, std::span<T> y, int batch,
                         const binning::BinSet& bins, const Plan& plan,
-                        prof::RunProfile* profile) {
+                        prof::RunProfile* profile,
+                        fmt::PlanLayouts<T>* layouts) {
   if (bins.unit() != plan.unit)
     throw std::invalid_argument("execute_plan_batch: bins/plan unit mismatch");
+  note_layout_run(layouts, a, plan);
   if (profile == nullptr) {
     for (const BinPlan& bp : plan.bin_kernels) {
       const auto& vrows = bins.bin(bp.bin_id);
       if (vrows.empty()) continue;
+      if (const auto l = resolve_layout(backend, layouts, a, vrows,
+                                        bins.unit(), bp)) {
+        backend.run_layout_batch(a, *l, x, y, batch);
+        continue;
+      }
       backend.run_binned_batch(bp.kernel, a, x, y, batch, vrows, bins.unit());
     }
     return;
@@ -109,8 +159,15 @@ void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
     const auto& vrows = bins.bin(bp.bin_id);
     if (vrows.empty()) continue;
     util::Timer t;
-    backend.run_binned_batch(bp.kernel, a, x, y, batch, vrows, bins.unit());
-    profile->add_bin_run(bp.bin_id, kernels::kernel_name(bp.kernel),
+    std::string label = kernels::kernel_name(bp.kernel);
+    if (const auto l = resolve_layout(backend, layouts, a, vrows, bins.unit(),
+                                      bp)) {
+      backend.run_layout_batch(a, *l, x, y, batch);
+      label += std::string("+") + fmt::format_cname(bp.format);
+    } else {
+      backend.run_binned_batch(bp.kernel, a, x, y, batch, vrows, bins.unit());
+    }
+    profile->add_bin_run(bp.bin_id, label,
                          static_cast<std::int64_t>(vrows.size()),
                          bins.rows_in_bin(bp.bin_id),
                          bin_nnz(a, std::span<const index_t>(vrows),
@@ -270,15 +327,17 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
   template binning::BinSet bins_for_plan(const CsrMatrix<T>&, const Plan&);  \
   template void execute_plan(const exec::Backend&, const CsrMatrix<T>&,      \
                              std::span<const T>, std::span<T>,               \
-                             const binning::BinSet&, const Plan&);           \
+                             const binning::BinSet&, const Plan&,            \
+                             fmt::PlanLayouts<T>*);                          \
   template void execute_plan(const exec::Backend&, const CsrMatrix<T>&,      \
                              std::span<const T>, std::span<T>,               \
                              const binning::BinSet&, const Plan&,            \
-                             prof::RunProfile*);                             \
+                             prof::RunProfile*, fmt::PlanLayouts<T>*);       \
   template void execute_plan_batch(const exec::Backend&, const CsrMatrix<T>&,\
                                    std::span<const T>, std::span<T>, int,    \
                                    const binning::BinSet&, const Plan&,      \
-                                   prof::RunProfile*);                       \
+                                   prof::RunProfile*,                        \
+                                   fmt::PlanLayouts<T>*);                    \
   template TuneResult exhaustive_tune(const exec::Backend&,                  \
                                       const CsrMatrix<T>&,                   \
                                       std::span<const T>,                    \

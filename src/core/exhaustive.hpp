@@ -21,6 +21,11 @@
 #include "sparse/csr.hpp"
 #include "util/timer.hpp"
 
+namespace spmv::fmt {
+template <typename T>
+class PlanLayouts;
+}  // namespace spmv::fmt
+
 namespace spmv::core {
 
 /// Build the BinSet a plan executes over.
@@ -29,21 +34,28 @@ binning::BinSet bins_for_plan(const CsrMatrix<T>& a, const Plan& plan);
 
 /// Execute `plan` (bins must come from bins_for_plan / match plan.unit):
 /// per occupied bin, launch the planned kernel over that bin's rows on
-/// `backend`.
-template <typename T>
-void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
-                  std::span<const T> x, std::span<T> y,
-                  const binning::BinSet& bins, const Plan& plan);
-
-/// Telemetry variant: additionally records per-bin kernel wall time and
-/// bin workload (rows/NNZ) into `profile`, plus the engine-counter delta
-/// when the backend drives a clsim engine (backend.engine() != nullptr).
-/// A null profile behaves exactly like the plain overload.
+/// `backend`. When the plan carries non-CSR bin formats, a `layouts` cache
+/// resolves each such bin to a materialized layout — a bin whose layout is
+/// not yet amortized (acquire() returns null), a null cache, or a backend
+/// without format support all fall back to the CSR launch, so formats are
+/// a pure acceleration, never a requirement.
 template <typename T>
 void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
                   std::span<const T> x, std::span<T> y,
                   const binning::BinSet& bins, const Plan& plan,
-                  prof::RunProfile* profile);
+                  fmt::PlanLayouts<T>* layouts = nullptr);
+
+/// Telemetry variant: additionally records per-bin kernel wall time and
+/// bin workload (rows/NNZ) into `profile`, plus the engine-counter delta
+/// when the backend drives a clsim engine (backend.engine() != nullptr).
+/// A null profile behaves exactly like the plain overload. Bins executed
+/// through a layout are labelled "<kernel>+<format>".
+template <typename T>
+void execute_plan(const exec::Backend& backend, const CsrMatrix<T>& a,
+                  std::span<const T> x, std::span<T> y,
+                  const binning::BinSet& bins, const Plan& plan,
+                  prof::RunProfile* profile,
+                  fmt::PlanLayouts<T>* layouts = nullptr);
 
 /// Batched Y = A·X through `plan`: `batch` input vectors stored
 /// column-major in `x` (each a.cols() long), results in the matching
@@ -54,7 +66,8 @@ template <typename T>
 void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
                         std::span<const T> x, std::span<T> y, int batch,
                         const binning::BinSet& bins, const Plan& plan,
-                        prof::RunProfile* profile = nullptr);
+                        prof::RunProfile* profile = nullptr,
+                        fmt::PlanLayouts<T>* layouts = nullptr);
 
 /// Tuning result for one candidate granularity.
 struct UnitResult {
@@ -126,16 +139,18 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
   extern template void execute_plan(const exec::Backend&,                    \
                                     const CsrMatrix<T>&, std::span<const T>, \
                                     std::span<T>, const binning::BinSet&,    \
-                                    const Plan&);                            \
+                                    const Plan&, fmt::PlanLayouts<T>*);      \
   extern template void execute_plan(const exec::Backend&,                    \
                                     const CsrMatrix<T>&, std::span<const T>, \
                                     std::span<T>, const binning::BinSet&,    \
-                                    const Plan&, prof::RunProfile*);         \
+                                    const Plan&, prof::RunProfile*,          \
+                                    fmt::PlanLayouts<T>*);                   \
   extern template void execute_plan_batch(const exec::Backend&,              \
                                           const CsrMatrix<T>&,               \
                                           std::span<const T>, std::span<T>,  \
                                           int, const binning::BinSet&,       \
-                                          const Plan&, prof::RunProfile*);   \
+                                          const Plan&, prof::RunProfile*,    \
+                                          fmt::PlanLayouts<T>*);             \
   extern template TuneResult exhaustive_tune(                                \
       const exec::Backend&, const CsrMatrix<T>&, std::span<const T>,         \
       const CandidatePools&, const ExhaustiveOptions&);                      \

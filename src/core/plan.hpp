@@ -10,15 +10,21 @@
 #include <vector>
 
 #include "exec/backend.hpp"
+#include "fmt/format.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/types.hpp"
 
 namespace spmv::core {
 
-/// Kernel choice for one occupied bin.
+/// Kernel + physical format choice for one occupied bin. Format Csr (the
+/// default, and what every pre-v3 stored plan loads as) executes from the
+/// shared CSR arrays; any other format names a bin-local layout the
+/// execution layer materializes lazily (fmt::PlanLayouts) and that only
+/// format-capable backends honour — others fall back to CSR.
 struct BinPlan {
   int bin_id = 0;
   kernels::KernelId kernel = kernels::KernelId::Serial;
+  fmt::FormatKind format = fmt::FormatKind::Csr;
 };
 
 struct Plan {
@@ -74,6 +80,26 @@ struct Plan {
     return it->kernel;
   }
 
+  /// Physical format for `bin_id`; same lookup contract as kernel_for.
+  [[nodiscard]] fmt::FormatKind format_for(int bin_id) const {
+    const auto it = std::lower_bound(
+        bin_kernels.begin(), bin_kernels.end(), bin_id,
+        [](const BinPlan& bp, int id) { return bp.bin_id < id; });
+    if (it == bin_kernels.end() || it->bin_id != bin_id)
+      throw std::out_of_range("Plan: no format for bin " +
+                              std::to_string(bin_id));
+    return it->format;
+  }
+
+  /// True when any bin uses a non-CSR layout (i.e. execution can benefit
+  /// from a fmt::PlanLayouts cache).
+  [[nodiscard]] bool uses_formats() const {
+    return std::any_of(bin_kernels.begin(), bin_kernels.end(),
+                       [](const BinPlan& bp) {
+                         return bp.format != fmt::FormatKind::Csr;
+                       });
+  }
+
   /// One-line human-readable summary, e.g.
   /// "U=100 {bin0:serial, bin3:subvector16}".
   [[nodiscard]] std::string to_string() const {
@@ -83,6 +109,11 @@ struct Plan {
       if (i > 0) s += ", ";
       s += "bin" + std::to_string(bin_kernels[i].bin_id) + ":" +
            kernels::kernel_name(bin_kernels[i].kernel);
+      // CSR is the default; only a transformed bin is worth a marker.
+      if (bin_kernels[i].format != fmt::FormatKind::Csr) {
+        s += "/";
+        s += fmt::format_cname(bin_kernels[i].format);
+      }
     }
     s += "}";
     // Clsim is the default; only a non-default backend is worth a marker.

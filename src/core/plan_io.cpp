@@ -43,6 +43,9 @@ prof::Json plan_to_json(const Plan& plan) {
     prof::Json b = prof::Json::object();
     b.set("bin", bp.bin_id);
     b.set("kernel", kernels::kernel_name(bp.kernel));
+    // Per-bin physical format (schema v3). Written unconditionally;
+    // readers treat absence as CSR so v2 artifacts keep loading.
+    b.set("format", fmt::format_name(bp.format));
     bins.push_back(std::move(b));
   }
   j.set("bins", std::move(bins));
@@ -78,10 +81,17 @@ Plan plan_from_json(const prof::Json& j) {
     const auto kid = kernels::try_kernel_from_name(kname);
     if (!kid.has_value())
       throw std::runtime_error("plan: unknown kernel " + kname);
+    // Optional so v2 (pre-format) artifacts load as CSR-everywhere; an
+    // unknown format name is the usual counted-skip runtime_error.
+    fmt::FormatKind format = fmt::FormatKind::Csr;
+    if (const prof::Json* v = b.find("format"); v != nullptr) {
+      if (!fmt::try_format_from_name(v->as_string(), &format))
+        throw std::runtime_error("plan: unknown format " + v->as_string());
+    }
     plan.bin_kernels.push_back(
         {static_cast<int>(checked_int(b.at("bin"), "bin id", 0,
                                       binning::kMaxBins - 1)),
-         *kid});
+         *kid, format});
   }
   plan.normalize();
   for (std::size_t i = 1; i < plan.bin_kernels.size(); ++i) {

@@ -31,7 +31,7 @@ AutoSpmv<T> Tuner<T>::build() const {
       throw std::invalid_argument(
           "Tuner: plan() already fixes the binning; scheme()/unit() would "
           "be ignored");
-    return AutoSpmv<T>(*a_, *plan_, std::move(ctx), profile_);
+    return AutoSpmv<T>(*a_, *plan_, std::move(ctx), profile_, format_policy_);
   }
   if (predictor_ == nullptr)
     throw std::logic_error("Tuner: predictor() or plan() required");
@@ -57,7 +57,8 @@ AutoSpmv<T> Tuner<T>::build() const {
           "Tuner: the hybrid scheme needs per-part plans; use "
           "binning::apply_scheme directly");
   }
-  return AutoSpmv<T>(*a_, *predictor_, std::move(ctx), profile_, forced);
+  return AutoSpmv<T>(*a_, *predictor_, std::move(ctx), profile_, forced,
+                     format_mode_, format_policy_);
 }
 
 template class Tuner<float>;

@@ -87,6 +87,24 @@ class Tuner {
     return *this;
   }
 
+  /// Per-bin physical-format policy (the `--format csr|auto` knob). Csr —
+  /// the default — pins every bin to the shared CSR arrays. Auto lets the
+  /// fmt estimator stamp predictor-built plans with per-bin formats; it
+  /// only takes effect when the resolved backend supports formats. A plan
+  /// passed via plan() keeps its recorded formats either way.
+  Tuner& formats(fmt::FormatMode mode) {
+    format_mode_ = mode;
+    return *this;
+  }
+
+  /// When bin layouts are materialized (see fmt::AmortizationPolicy);
+  /// defaults to lazy amortized building. Tests and shadow trials set
+  /// `.eager = true` to build on first touch.
+  Tuner& format_policy(fmt::AmortizationPolicy policy) {
+    format_policy_ = policy;
+    return *this;
+  }
+
   /// Telemetry sink: plan-stage timings are recorded at build() and every
   /// run() accumulates per-bin kernel timings and engine-counter deltas.
   /// Pass nullptr (the default) for a telemetry-free runtime.
@@ -113,6 +131,8 @@ class Tuner {
   std::optional<Plan> plan_;
   std::optional<binning::SchemeKind> scheme_;
   std::optional<index_t> unit_;
+  fmt::FormatMode format_mode_ = fmt::FormatMode::Csr;
+  fmt::AmortizationPolicy format_policy_;
   prof::RunProfile* profile_ = nullptr;
 };
 

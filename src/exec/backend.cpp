@@ -5,6 +5,7 @@
 
 #include "exec/clsim_backend.hpp"
 #include "exec/native_backend.hpp"
+#include "fmt/layout.hpp"
 #include "trace/trace.hpp"
 
 namespace spmv::exec {
@@ -115,6 +116,102 @@ void Backend::run_binned_batch(kernels::KernelId id,
                                int batch, std::span<const index_t> vrows,
                                index_t unit) const {
   run_binned_batch_impl<double>(id, a, x, y, batch, vrows, unit);
+}
+
+template <typename T>
+void Backend::run_layout_impl(const CsrMatrix<T>& a, const fmt::BinLayout<T>& l,
+                              std::span<const T> x, std::span<T> y) const {
+  if (x.size() != static_cast<std::size_t>(a.cols()) ||
+      y.size() != static_cast<std::size_t>(a.rows()))
+    throw std::invalid_argument("run_layout: x/y extents do not match matrix");
+  trace::TraceSpan span(fmt::format_cname(l.kind), "layout");
+  span.arg("bin", l.bin_id);
+  do_run_layout(a, l, x, y);
+}
+
+template <typename T>
+void Backend::run_layout_batch_impl(const CsrMatrix<T>& a,
+                                    const fmt::BinLayout<T>& l,
+                                    std::span<const T> x, std::span<T> y,
+                                    int batch) const {
+  if (batch <= 0)
+    throw std::invalid_argument("run_layout_batch: batch must be positive");
+  if (x.size() != static_cast<std::size_t>(a.cols()) *
+                      static_cast<std::size_t>(batch) ||
+      y.size() != static_cast<std::size_t>(a.rows()) *
+                      static_cast<std::size_t>(batch))
+    throw std::invalid_argument("run_layout_batch: X/Y extents do not match "
+                                "cols*batch / rows*batch");
+  if (batch == 1) {
+    run_layout_impl<T>(a, l, x, y);
+    return;
+  }
+  trace::TraceSpan span(fmt::format_cname(l.kind), "layout-batch");
+  span.arg("width", batch);
+  span.arg("bin", l.bin_id);
+  do_run_layout_batch(a, l, x, y, batch);
+}
+
+void Backend::run_layout(const CsrMatrix<float>& a,
+                         const fmt::BinLayout<float>& l,
+                         std::span<const float> x, std::span<float> y) const {
+  run_layout_impl<float>(a, l, x, y);
+}
+
+void Backend::run_layout(const CsrMatrix<double>& a,
+                         const fmt::BinLayout<double>& l,
+                         std::span<const double> x, std::span<double> y) const {
+  run_layout_impl<double>(a, l, x, y);
+}
+
+void Backend::run_layout_batch(const CsrMatrix<float>& a,
+                               const fmt::BinLayout<float>& l,
+                               std::span<const float> x, std::span<float> y,
+                               int batch) const {
+  run_layout_batch_impl<float>(a, l, x, y, batch);
+}
+
+void Backend::run_layout_batch(const CsrMatrix<double>& a,
+                               const fmt::BinLayout<double>& l,
+                               std::span<const double> x, std::span<double> y,
+                               int batch) const {
+  run_layout_batch_impl<double>(a, l, x, y, batch);
+}
+
+namespace {
+
+[[noreturn]] void throw_no_format_support(const Backend& b) {
+  throw std::logic_error(std::string("backend ") + b.name() +
+                         " does not execute bin layouts "
+                         "(supports_formats() is false)");
+}
+
+}  // namespace
+
+void Backend::do_run_layout(const CsrMatrix<float>&,
+                            const fmt::BinLayout<float>&,
+                            std::span<const float>, std::span<float>) const {
+  throw_no_format_support(*this);
+}
+
+void Backend::do_run_layout(const CsrMatrix<double>&,
+                            const fmt::BinLayout<double>&,
+                            std::span<const double>, std::span<double>) const {
+  throw_no_format_support(*this);
+}
+
+void Backend::do_run_layout_batch(const CsrMatrix<float>&,
+                                  const fmt::BinLayout<float>&,
+                                  std::span<const float>, std::span<float>,
+                                  int) const {
+  throw_no_format_support(*this);
+}
+
+void Backend::do_run_layout_batch(const CsrMatrix<double>&,
+                                  const fmt::BinLayout<double>&,
+                                  std::span<const double>, std::span<double>,
+                                  int) const {
+  throw_no_format_support(*this);
 }
 
 std::shared_ptr<const Backend> shared_backend(BackendKind kind) {

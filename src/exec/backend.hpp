@@ -32,6 +32,11 @@ namespace spmv::clsim {
 class Engine;
 }  // namespace spmv::clsim
 
+namespace spmv::fmt {
+template <typename T>
+struct BinLayout;
+}  // namespace spmv::fmt
+
 namespace spmv::exec {
 
 /// The available execution backends. Clsim is the paper's work-group
@@ -114,6 +119,34 @@ class Backend {
                         int batch, std::span<const index_t> vrows,
                         index_t unit) const;
 
+  /// Whether this backend executes materialized bin layouts (spmv::fmt).
+  /// Backends that return false always execute bins from the shared CSR
+  /// arrays — core::execute_plan only takes the layout path when the
+  /// resolved backend supports it, which is how ClsimBackend stays a CSR
+  /// reference the differential suite can compare formats against.
+  [[nodiscard]] virtual bool supports_formats() const { return false; }
+
+  /// Execute one materialized bin layout: y entries for every row the
+  /// layout covers are overwritten (empty covered rows get 0), all others
+  /// untouched — the same composition contract as run_binned. `a` supplies
+  /// the extents for validation; the layout carries the actual arrays.
+  /// Throws std::logic_error when supports_formats() is false.
+  void run_layout(const CsrMatrix<float>& a, const fmt::BinLayout<float>& l,
+                  std::span<const float> x, std::span<float> y) const;
+  void run_layout(const CsrMatrix<double>& a, const fmt::BinLayout<double>& l,
+                  std::span<const double> x, std::span<double> y) const;
+
+  /// Batched layout execution (kernels::batch_column layout, like
+  /// run_binned_batch).
+  void run_layout_batch(const CsrMatrix<float>& a,
+                        const fmt::BinLayout<float>& l,
+                        std::span<const float> x, std::span<float> y,
+                        int batch) const;
+  void run_layout_batch(const CsrMatrix<double>& a,
+                        const fmt::BinLayout<double>& l,
+                        std::span<const double> x, std::span<double> y,
+                        int batch) const;
+
  protected:
   virtual void do_run_binned(kernels::KernelId id, const CsrMatrix<float>& a,
                              std::span<const float> x, std::span<float> y,
@@ -138,6 +171,26 @@ class Backend {
                                    std::span<const index_t> vrows,
                                    index_t unit) const = 0;
 
+  /// Layout execution hooks. Not pure: the base implementations throw
+  /// std::logic_error, so only format-capable backends (supports_formats()
+  /// true) need to override them.
+  virtual void do_run_layout(const CsrMatrix<float>& a,
+                             const fmt::BinLayout<float>& l,
+                             std::span<const float> x,
+                             std::span<float> y) const;
+  virtual void do_run_layout(const CsrMatrix<double>& a,
+                             const fmt::BinLayout<double>& l,
+                             std::span<const double> x,
+                             std::span<double> y) const;
+  virtual void do_run_layout_batch(const CsrMatrix<float>& a,
+                                   const fmt::BinLayout<float>& l,
+                                   std::span<const float> x,
+                                   std::span<float> y, int batch) const;
+  virtual void do_run_layout_batch(const CsrMatrix<double>& a,
+                                   const fmt::BinLayout<double>& l,
+                                   std::span<const double> x,
+                                   std::span<double> y, int batch) const;
+
  private:
   template <typename T>
   void run_binned_impl(kernels::KernelId id, const CsrMatrix<T>& a,
@@ -151,6 +204,13 @@ class Backend {
                              std::span<const T> x, std::span<T> y, int batch,
                              std::span<const index_t> vrows,
                              index_t unit) const;
+  template <typename T>
+  void run_layout_impl(const CsrMatrix<T>& a, const fmt::BinLayout<T>& l,
+                       std::span<const T> x, std::span<T> y) const;
+  template <typename T>
+  void run_layout_batch_impl(const CsrMatrix<T>& a, const fmt::BinLayout<T>& l,
+                             std::span<const T> x, std::span<T> y,
+                             int batch) const;
 };
 
 /// The process-wide shared instance for `kind`: ClsimBackend over

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "fmt/layout.hpp"
 #include "kernels/binned_common.hpp"
 
 #ifdef _OPENMP
@@ -191,6 +192,248 @@ void native_binned_batch(int threads, const CsrMatrix<T>& a,
   }
 }
 
+// --- layout kernels (spmv::fmt) ---------------------------------------
+//
+// One kernel per materialized layout, scalar + batched. Each overwrites y
+// for every row the layout covers (empty covered rows get 0) and touches
+// nothing else — the same composition contract as the CSR slot loop, so a
+// plan can mix CSR bins and layout bins freely.
+
+/// ELL: per packed row, walk the column-major padded stream. Entries are
+/// packed from k=0, so the first pad column (-1) ends the row.
+template <typename T>
+void native_ell(int threads, const fmt::EllBin<T>& e, std::span<const T> x,
+                std::span<T> y) {
+  const auto nrows = static_cast<std::int64_t>(e.rows.size());
+#ifdef _OPENMP
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(nt) \
+    if (nrows > kInlineSlots)
+#else
+  (void)threads;
+#endif
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    T acc{};
+    for (index_t k = 0; k < e.width; ++k) {
+      const auto idx = static_cast<std::size_t>(k) *
+                           static_cast<std::size_t>(nrows) +
+                       static_cast<std::size_t>(r);
+      const index_t c = e.col[idx];
+      if (c < 0) break;
+      acc += e.val[idx] * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(e.rows[static_cast<std::size_t>(r)])] = acc;
+  }
+}
+
+/// COO: zero every covered row, then accumulate triples chunk-parallel.
+/// Chunks never split a row (layout invariant), so concurrent `+=` into y
+/// target disjoint entries.
+template <typename T>
+void native_coo(int threads, const fmt::CooBin<T>& c, std::span<const T> x,
+                std::span<T> y) {
+  const auto nrows = static_cast<std::int64_t>(c.rows.size());
+#ifdef _OPENMP
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(nt) \
+    if (nrows > kInlineSlots)
+#else
+  (void)threads;
+#endif
+  for (std::int64_t r = 0; r < nrows; ++r)
+    y[static_cast<std::size_t>(c.rows[static_cast<std::size_t>(r)])] = T{};
+  const auto nchunks = static_cast<std::int64_t>(c.chunk_ptr.size()) - 1;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1) num_threads(nt) \
+    if (nchunks > 1)
+#endif
+  for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+    const std::size_t lo = c.chunk_ptr[static_cast<std::size_t>(ch)];
+    const std::size_t hi = c.chunk_ptr[static_cast<std::size_t>(ch) + 1];
+    for (std::size_t j = lo; j < hi; ++j)
+      y[static_cast<std::size_t>(c.entry_row[j])] +=
+          c.entry_val[j] * x[static_cast<std::size_t>(c.entry_col[j])];
+  }
+}
+
+/// Dcsr: per packed row, decode the 16-bit delta stream from the base
+/// column while accumulating (the first entry's delta is 0 by
+/// construction).
+template <typename T>
+void native_dcsr(int threads, const fmt::DeltaBin<T>& d, std::span<const T> x,
+                 std::span<T> y) {
+  const auto nrows = static_cast<std::int64_t>(d.rows.size());
+#ifdef _OPENMP
+  const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt) \
+    if (nrows > kInlineSlots)
+#else
+  (void)threads;
+#endif
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const auto pr = static_cast<std::size_t>(r);
+    const auto lo = static_cast<std::size_t>(d.row_ptr[pr]);
+    const auto hi = static_cast<std::size_t>(d.row_ptr[pr + 1]);
+    index_t c = d.base_col[pr];
+    T acc{};
+    for (std::size_t j = lo; j < hi; ++j) {
+      c += static_cast<index_t>(d.deltas[j]);
+      acc += d.vals[j] * x[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(d.rows[pr])] = acc;
+  }
+}
+
+/// Batched layout execution: the same traversals feeding a stack block of
+/// up to kMaxNativeBatch accumulators per row (the native_binned_batch
+/// trick), blocked by b0 for wider batches.
+template <typename T>
+void native_ell_batch(int threads, const fmt::EllBin<T>& e,
+                      std::span<const T> x, std::span<T> y, int batch,
+                      std::size_t n, std::size_t m) {
+  const auto nrows = static_cast<std::int64_t>(e.rows.size());
+#ifndef _OPENMP
+  (void)threads;
+#endif
+  for (int b0 = 0; b0 < batch; b0 += kernels::kMaxNativeBatch) {
+    const int w = std::min(kernels::kMaxNativeBatch, batch - b0);
+    const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+    const std::size_t yoff = static_cast<std::size_t>(b0) * m;
+#ifdef _OPENMP
+    const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(nt) \
+    if (nrows > kInlineSlots)
+#endif
+    for (std::int64_t r = 0; r < nrows; ++r) {
+      T acc[kernels::kMaxNativeBatch] = {};
+      for (index_t k = 0; k < e.width; ++k) {
+        const auto idx = static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(nrows) +
+                         static_cast<std::size_t>(r);
+        const index_t c = e.col[idx];
+        if (c < 0) break;
+        const T av = e.val[idx];
+        for (int b = 0; b < w; ++b)
+          acc[b] += av * x[xoff + static_cast<std::size_t>(b) * n +
+                           static_cast<std::size_t>(c)];
+      }
+      const auto row =
+          static_cast<std::size_t>(e.rows[static_cast<std::size_t>(r)]);
+      for (int b = 0; b < w; ++b)
+        y[yoff + static_cast<std::size_t>(b) * m + row] = acc[b];
+    }
+  }
+}
+
+template <typename T>
+void native_coo_batch(int threads, const fmt::CooBin<T>& c,
+                      std::span<const T> x, std::span<T> y, int batch,
+                      std::size_t n, std::size_t m) {
+  const auto nrows = static_cast<std::int64_t>(c.rows.size());
+  const auto nchunks = static_cast<std::int64_t>(c.chunk_ptr.size()) - 1;
+#ifndef _OPENMP
+  (void)threads;
+#endif
+  for (int b0 = 0; b0 < batch; b0 += kernels::kMaxNativeBatch) {
+    const int w = std::min(kernels::kMaxNativeBatch, batch - b0);
+    const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+    const std::size_t yoff = static_cast<std::size_t>(b0) * m;
+#ifdef _OPENMP
+    const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(nt) \
+    if (nrows > kInlineSlots)
+#endif
+    for (std::int64_t r = 0; r < nrows; ++r) {
+      const auto row =
+          static_cast<std::size_t>(c.rows[static_cast<std::size_t>(r)]);
+      for (int b = 0; b < w; ++b)
+        y[yoff + static_cast<std::size_t>(b) * m + row] = T{};
+    }
+#ifdef _OPENMP
+    const int nt2 = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic, 1) num_threads(nt2) \
+    if (nchunks > 1)
+#endif
+    for (std::int64_t ch = 0; ch < nchunks; ++ch) {
+      const std::size_t lo = c.chunk_ptr[static_cast<std::size_t>(ch)];
+      const std::size_t hi = c.chunk_ptr[static_cast<std::size_t>(ch) + 1];
+      for (std::size_t j = lo; j < hi; ++j) {
+        const auto row = static_cast<std::size_t>(c.entry_row[j]);
+        const auto col = static_cast<std::size_t>(c.entry_col[j]);
+        const T av = c.entry_val[j];
+        for (int b = 0; b < w; ++b)
+          y[yoff + static_cast<std::size_t>(b) * m + row] +=
+              av * x[xoff + static_cast<std::size_t>(b) * n + col];
+      }
+    }
+  }
+}
+
+template <typename T>
+void native_dcsr_batch(int threads, const fmt::DeltaBin<T>& d,
+                       std::span<const T> x, std::span<T> y, int batch,
+                       std::size_t n, std::size_t m) {
+  const auto nrows = static_cast<std::int64_t>(d.rows.size());
+#ifndef _OPENMP
+  (void)threads;
+#endif
+  for (int b0 = 0; b0 < batch; b0 += kernels::kMaxNativeBatch) {
+    const int w = std::min(kernels::kMaxNativeBatch, batch - b0);
+    const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+    const std::size_t yoff = static_cast<std::size_t>(b0) * m;
+#ifdef _OPENMP
+    const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt) \
+    if (nrows > kInlineSlots)
+#endif
+    for (std::int64_t r = 0; r < nrows; ++r) {
+      const auto pr = static_cast<std::size_t>(r);
+      const auto lo = static_cast<std::size_t>(d.row_ptr[pr]);
+      const auto hi = static_cast<std::size_t>(d.row_ptr[pr + 1]);
+      index_t col = d.base_col[pr];
+      T acc[kernels::kMaxNativeBatch] = {};
+      for (std::size_t j = lo; j < hi; ++j) {
+        col += static_cast<index_t>(d.deltas[j]);
+        const T av = d.vals[j];
+        const auto c = static_cast<std::size_t>(col);
+        for (int b = 0; b < w; ++b)
+          acc[b] += av * x[xoff + static_cast<std::size_t>(b) * n + c];
+      }
+      const auto row = static_cast<std::size_t>(d.rows[pr]);
+      for (int b = 0; b < w; ++b)
+        y[yoff + static_cast<std::size_t>(b) * m + row] = acc[b];
+    }
+  }
+}
+
+template <typename T>
+void native_layout(int threads, const fmt::BinLayout<T>& l,
+                   std::span<const T> x, std::span<T> y) {
+  switch (l.kind) {
+    case fmt::FormatKind::Ell: return native_ell(threads, l.ell, x, y);
+    case fmt::FormatKind::Coo: return native_coo(threads, l.coo, x, y);
+    case fmt::FormatKind::Dcsr: return native_dcsr(threads, l.dcsr, x, y);
+    case fmt::FormatKind::Csr: break;
+  }
+  throw std::invalid_argument("NativeBackend: bad layout kind");
+}
+
+template <typename T>
+void native_layout_batch(int threads, const fmt::BinLayout<T>& l,
+                         std::span<const T> x, std::span<T> y, int batch,
+                         std::size_t n, std::size_t m) {
+  switch (l.kind) {
+    case fmt::FormatKind::Ell:
+      return native_ell_batch(threads, l.ell, x, y, batch, n, m);
+    case fmt::FormatKind::Coo:
+      return native_coo_batch(threads, l.coo, x, y, batch, n, m);
+    case fmt::FormatKind::Dcsr:
+      return native_dcsr_batch(threads, l.dcsr, x, y, batch, n, m);
+    case fmt::FormatKind::Csr: break;
+  }
+  throw std::invalid_argument("NativeBackend: bad layout kind");
+}
+
 }  // namespace
 
 void NativeBackend::do_run_binned(kernels::KernelId id,
@@ -229,6 +472,40 @@ void NativeBackend::do_run_binned_batch(kernels::KernelId id,
                                         index_t unit) const {
   (void)id;
   native_binned_batch(options_.threads, a, x, y, batch, vrows, unit);
+}
+
+void NativeBackend::do_run_layout(const CsrMatrix<float>& a,
+                                  const fmt::BinLayout<float>& l,
+                                  std::span<const float> x,
+                                  std::span<float> y) const {
+  (void)a;
+  native_layout(options_.threads, l, x, y);
+}
+
+void NativeBackend::do_run_layout(const CsrMatrix<double>& a,
+                                  const fmt::BinLayout<double>& l,
+                                  std::span<const double> x,
+                                  std::span<double> y) const {
+  (void)a;
+  native_layout(options_.threads, l, x, y);
+}
+
+void NativeBackend::do_run_layout_batch(const CsrMatrix<float>& a,
+                                        const fmt::BinLayout<float>& l,
+                                        std::span<const float> x,
+                                        std::span<float> y, int batch) const {
+  native_layout_batch(options_.threads, l, x, y, batch,
+                      static_cast<std::size_t>(a.cols()),
+                      static_cast<std::size_t>(a.rows()));
+}
+
+void NativeBackend::do_run_layout_batch(const CsrMatrix<double>& a,
+                                        const fmt::BinLayout<double>& l,
+                                        std::span<const double> x,
+                                        std::span<double> y, int batch) const {
+  native_layout_batch(options_.threads, l, x, y, batch,
+                      static_cast<std::size_t>(a.cols()),
+                      static_cast<std::size_t>(a.rows()));
 }
 
 }  // namespace spmv::exec

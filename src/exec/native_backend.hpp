@@ -34,6 +34,10 @@ class NativeBackend final : public Backend {
   }
   [[nodiscard]] const NativeOptions& options() const { return options_; }
 
+  /// Native executes materialized bin layouts (spmv::fmt): ELL column-major
+  /// walks, COO triple chunks, delta-decoded CSR — each scalar + batched.
+  [[nodiscard]] bool supports_formats() const override { return true; }
+
  protected:
   void do_run_binned(kernels::KernelId id, const CsrMatrix<float>& a,
                      std::span<const float> x, std::span<float> y,
@@ -51,6 +55,21 @@ class NativeBackend final : public Backend {
                            std::span<const double> x, std::span<double> y,
                            int batch, std::span<const index_t> vrows,
                            index_t unit) const override;
+  void do_run_layout(const CsrMatrix<float>& a, const fmt::BinLayout<float>& l,
+                     std::span<const float> x,
+                     std::span<float> y) const override;
+  void do_run_layout(const CsrMatrix<double>& a,
+                     const fmt::BinLayout<double>& l,
+                     std::span<const double> x,
+                     std::span<double> y) const override;
+  void do_run_layout_batch(const CsrMatrix<float>& a,
+                           const fmt::BinLayout<float>& l,
+                           std::span<const float> x, std::span<float> y,
+                           int batch) const override;
+  void do_run_layout_batch(const CsrMatrix<double>& a,
+                           const fmt::BinLayout<double>& l,
+                           std::span<const double> x, std::span<double> y,
+                           int batch) const override;
 
  private:
   NativeOptions options_;

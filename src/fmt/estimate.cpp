@@ -1,0 +1,80 @@
+#include "fmt/estimate.hpp"
+
+#include <algorithm>
+
+namespace spmv::fmt {
+
+template <typename T>
+BinFeatures compute_bin_features(const CsrMatrix<T>& a,
+                                 std::span<const index_t> vrows,
+                                 index_t unit) {
+  BinFeatures f;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const index_t m = a.rows();
+  for (const index_t v : vrows) {
+    const auto first = static_cast<std::int64_t>(v) * unit;
+    for (index_t k = 0; k < unit; ++k) {
+      const std::int64_t r = first + k;
+      if (r >= m) break;
+      f.rows += 1;
+      const offset_t beg = rp[static_cast<std::size_t>(r)];
+      const offset_t end = rp[static_cast<std::size_t>(r) + 1];
+      const offset_t len = end - beg;
+      f.nnz += len;
+      f.max_len = std::max(f.max_len, len);
+      if (len == 0) {
+        f.empty_rows += 1;
+        continue;
+      }
+      index_t lo = ci[static_cast<std::size_t>(beg)];
+      index_t hi = lo;
+      for (offset_t j = beg + 1; j < end; ++j) {
+        const index_t c = ci[static_cast<std::size_t>(j)];
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+      f.max_row_span = std::max(f.max_row_span, hi - lo);
+    }
+  }
+  if (f.rows > 0 && f.nnz > 0) {
+    f.avg_len = static_cast<double>(f.nnz) / static_cast<double>(f.rows);
+    f.padding_ratio = static_cast<double>(f.rows) *
+                      static_cast<double>(f.max_len) /
+                      static_cast<double>(f.nnz);
+  }
+  return f;
+}
+
+FormatKind estimate_bin_format(const BinFeatures& f) {
+  if (f.nnz == 0) return FormatKind::Csr;
+  // Near-uniform short rows: padding is negligible and the column-major
+  // walk vectorizes — the textbook ELL case.
+  if (f.padding_ratio <= 1.25 && f.max_len <= 64 && f.max_len >= 1)
+    return FormatKind::Ell;
+  // Banded: every intra-row gap is bounded by the row span, so a span
+  // within 16 bits guarantees the delta stream fits; longer rows amortize
+  // the per-row base-column indirection.
+  if (f.max_row_span <= 65535 && f.avg_len >= 8.0) return FormatKind::Dcsr;
+  // Scatter: mostly-empty bins or rows of one or two entries — iterating
+  // triples skips the empty-slot probing CSR pays per covered row.
+  if (f.empty_rows * 2 >= f.rows || f.avg_len <= 2.0) return FormatKind::Coo;
+  return FormatKind::Csr;
+}
+
+std::vector<FormatKind> suitable_formats(const BinFeatures& f) {
+  std::vector<FormatKind> out = {FormatKind::Csr};
+  if (f.nnz == 0) return out;
+  if (f.padding_ratio <= 2.0 && f.max_len <= 256) out.push_back(FormatKind::Ell);
+  if (f.max_row_span <= 65535 && f.avg_len >= 4.0)
+    out.push_back(FormatKind::Dcsr);
+  out.push_back(FormatKind::Coo);
+  return out;
+}
+
+template BinFeatures compute_bin_features(const CsrMatrix<float>&,
+                                          std::span<const index_t>, index_t);
+template BinFeatures compute_bin_features(const CsrMatrix<double>&,
+                                          std::span<const index_t>, index_t);
+
+}  // namespace spmv::fmt

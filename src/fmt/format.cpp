@@ -1,0 +1,55 @@
+#include "fmt/format.hpp"
+
+#include <array>
+
+namespace spmv::fmt {
+
+namespace {
+
+constexpr std::array<const char*, kFormatCount> kNames = {"csr", "ell", "coo",
+                                                          "dcsr"};
+
+constexpr std::array<FormatKind, kFormatCount> kAll = {
+    FormatKind::Csr, FormatKind::Ell, FormatKind::Coo, FormatKind::Dcsr};
+
+}  // namespace
+
+const char* format_cname(FormatKind k) {
+  const auto i = static_cast<int>(k);
+  if (i < 0 || i >= kFormatCount) return "unknown";
+  return kNames[static_cast<std::size_t>(i)];
+}
+
+std::string format_name(FormatKind k) { return format_cname(k); }
+
+bool try_format_from_name(const std::string& name, FormatKind* out) {
+  for (int i = 0; i < kFormatCount; ++i) {
+    if (name == kNames[static_cast<std::size_t>(i)]) {
+      *out = static_cast<FormatKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FormatKind format_from_name(const std::string& name) {
+  FormatKind k = FormatKind::Csr;
+  if (!try_format_from_name(name, &k))
+    throw std::invalid_argument("unknown format name: " + name);
+  return k;
+}
+
+std::span<const FormatKind> all_formats() { return kAll; }
+
+const char* format_mode_cname(FormatMode m) {
+  return m == FormatMode::Auto ? "auto" : "csr";
+}
+
+FormatMode format_mode_from_name(const std::string& name) {
+  if (name == "csr") return FormatMode::Csr;
+  if (name == "auto") return FormatMode::Auto;
+  throw std::invalid_argument("unknown format mode: " + name +
+                              " (expected csr|auto)");
+}
+
+}  // namespace spmv::fmt

@@ -1,0 +1,57 @@
+// spmv::fmt — per-bin physical-format vocabulary.
+//
+// The paper tunes kernel choice and binning granularity *within* CSR; this
+// subsystem adds the structure level the related work (Katagiri & Sato's
+// run-time CRS→COO/ELL transformation, Elafrou et al.'s feature-based
+// selection) argues often dominates: each bin of the virtual-row binning may
+// carry its own physical layout. This header is deliberately lightweight —
+// core/plan.hpp embeds FormatKind in every per-bin entry, so it must not
+// drag in matrix or backend headers.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace spmv::fmt {
+
+/// Per-bin physical layout. Csr means "execute straight from the shared CSR
+/// arrays" (the default and the universal fallback); the others name a
+/// bin-local materialized copy built by fmt::build_bin_layout.
+enum class FormatKind : int {
+  Csr = 0,   ///< shared CSR arrays, no transformation
+  Ell = 1,   ///< ELL-packed: near-uniform short rows, column-major, padded
+  Coo = 2,   ///< coordinate triples: scatter / mostly-empty bins
+  Dcsr = 3,  ///< CSR with uint16 delta-compressed column indices: banded rows
+};
+
+inline constexpr int kFormatCount = 4;
+
+/// Execution-wide format policy, the `--format csr|auto` CLI knob. Csr pins
+/// every bin to the shared arrays (pre-PR-7 behaviour); Auto lets the
+/// estimator stamp per-bin formats and the bandit explore alternatives.
+enum class FormatMode : int {
+  Csr = 0,
+  Auto = 1,
+};
+
+[[nodiscard]] std::string format_name(FormatKind k);
+[[nodiscard]] const char* format_cname(FormatKind k);
+
+/// Parse a format name; returns false (leaving `out` untouched) on an
+/// unknown name so persistence can count a skip instead of throwing.
+[[nodiscard]] bool try_format_from_name(const std::string& name,
+                                        FormatKind* out);
+
+/// Parse a format name; throws std::invalid_argument on an unknown name.
+[[nodiscard]] FormatKind format_from_name(const std::string& name);
+
+/// All formats in enum order (Csr first).
+[[nodiscard]] std::span<const FormatKind> all_formats();
+
+[[nodiscard]] const char* format_mode_cname(FormatMode m);
+
+/// Parse "csr"/"auto"; throws std::invalid_argument otherwise.
+[[nodiscard]] FormatMode format_mode_from_name(const std::string& name);
+
+}  // namespace spmv::fmt

@@ -1,0 +1,203 @@
+#include "fmt/layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace spmv::fmt {
+
+namespace {
+
+/// Actual row ids a bin covers: each virtual row v expands to rows
+/// [v*unit, min((v+1)*unit, m)), in slot order. Includes empty rows — the
+/// layout kernels own the zeroing of every covered y entry.
+std::vector<index_t> covered_rows(std::span<const index_t> vrows,
+                                  index_t unit, index_t m) {
+  std::vector<index_t> rows;
+  rows.reserve(vrows.size() * static_cast<std::size_t>(unit));
+  for (const index_t v : vrows) {
+    const auto first = static_cast<std::int64_t>(v) * unit;
+    for (index_t k = 0; k < unit; ++k) {
+      const std::int64_t r = first + k;
+      if (r >= m) break;
+      rows.push_back(static_cast<index_t>(r));
+    }
+  }
+  return rows;
+}
+
+template <typename T>
+void build_ell(const CsrMatrix<T>& a, BinLayout<T>& out,
+               const BuildLimits& limits) {
+  auto& e = out.ell;
+  offset_t nnz = 0;
+  index_t width = 0;
+  for (const index_t r : e.rows) {
+    const offset_t len = a.row_nnz(r);
+    nnz += len;
+    width = std::max(width, static_cast<index_t>(len));
+  }
+  if (width > limits.ell_max_width)
+    throw std::length_error("fmt: ELL bin width " + std::to_string(width) +
+                            " exceeds limit");
+  const auto padded = static_cast<double>(e.rows.size()) *
+                      static_cast<double>(width);
+  if (nnz > 0 && padded > limits.ell_max_expansion * static_cast<double>(nnz))
+    throw std::length_error("fmt: ELL padding would expand bin " +
+                            std::to_string(out.bin_id) + " beyond " +
+                            std::to_string(limits.ell_max_expansion) + "x");
+  e.width = width;
+  const std::size_t n = e.rows.size() * static_cast<std::size_t>(width);
+  e.col.assign(n, index_t{-1});
+  e.val.assign(n, T(0));
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  for (std::size_t pr = 0; pr < e.rows.size(); ++pr) {
+    const auto r = static_cast<std::size_t>(e.rows[pr]);
+    const offset_t beg = rp[r];
+    const offset_t end = rp[r + 1];
+    for (offset_t j = beg; j < end; ++j) {
+      const auto k = static_cast<std::size_t>(j - beg);
+      e.col[k * e.rows.size() + pr] = ci[static_cast<std::size_t>(j)];
+      e.val[k * e.rows.size() + pr] = va[static_cast<std::size_t>(j)];
+    }
+  }
+  out.bytes = e.rows.size() * sizeof(index_t) + e.col.size() * sizeof(index_t) +
+              e.val.size() * sizeof(T);
+}
+
+template <typename T>
+void build_coo(const CsrMatrix<T>& a, BinLayout<T>& out) {
+  auto& c = out.coo;
+  offset_t nnz = 0;
+  for (const index_t r : c.rows) nnz += a.row_nnz(r);
+  c.entry_row.reserve(static_cast<std::size_t>(nnz));
+  c.entry_col.reserve(static_cast<std::size_t>(nnz));
+  c.entry_val.reserve(static_cast<std::size_t>(nnz));
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  for (const index_t r : c.rows) {
+    const offset_t beg = rp[static_cast<std::size_t>(r)];
+    const offset_t end = rp[static_cast<std::size_t>(r) + 1];
+    for (offset_t j = beg; j < end; ++j) {
+      c.entry_row.push_back(r);
+      c.entry_col.push_back(ci[static_cast<std::size_t>(j)]);
+      c.entry_val.push_back(va[static_cast<std::size_t>(j)]);
+    }
+  }
+  // Chunk boundaries every ~8192 entries, snapped forward to the next row
+  // boundary so a row never straddles two chunks (keeps the parallel
+  // accumulation race-free without atomics).
+  constexpr std::size_t kChunkTarget = 8192;
+  c.chunk_ptr.push_back(0);
+  std::size_t i = 0;
+  while (i < c.entry_row.size()) {
+    std::size_t next = std::min(i + kChunkTarget, c.entry_row.size());
+    while (next < c.entry_row.size() &&
+           c.entry_row[next] == c.entry_row[next - 1])
+      ++next;
+    c.chunk_ptr.push_back(next);
+    i = next;
+  }
+  out.bytes = c.rows.size() * sizeof(index_t) +
+              c.entry_row.size() * (2 * sizeof(index_t) + sizeof(T)) +
+              c.chunk_ptr.size() * sizeof(std::size_t);
+}
+
+template <typename T>
+void build_dcsr(const CsrMatrix<T>& a, BinLayout<T>& out) {
+  auto& d = out.dcsr;
+  offset_t nnz = 0;
+  for (const index_t r : d.rows) nnz += a.row_nnz(r);
+  d.row_ptr.reserve(d.rows.size() + 1);
+  d.base_col.reserve(d.rows.size());
+  d.deltas.reserve(static_cast<std::size_t>(nnz));
+  d.vals.reserve(static_cast<std::size_t>(nnz));
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  d.row_ptr.push_back(0);
+  std::vector<std::pair<index_t, T>> entries;
+  for (const index_t r : d.rows) {
+    const offset_t beg = rp[static_cast<std::size_t>(r)];
+    const offset_t end = rp[static_cast<std::size_t>(r) + 1];
+    entries.clear();
+    for (offset_t j = beg; j < end; ++j)
+      entries.emplace_back(ci[static_cast<std::size_t>(j)],
+                           va[static_cast<std::size_t>(j)]);
+    // CSR does not guarantee sorted columns within a row; the delta stream
+    // requires them (summation order changes are within the differential
+    // tolerance).
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    index_t prev = entries.empty() ? index_t{0} : entries.front().first;
+    d.base_col.push_back(prev);
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      const index_t gap = entries[k].first - prev;
+      if (gap > std::numeric_limits<std::uint16_t>::max())
+        throw std::length_error(
+            "fmt: Dcsr column gap " + std::to_string(gap) +
+            " in row " + std::to_string(r) + " exceeds 16 bits");
+      d.deltas.push_back(static_cast<std::uint16_t>(gap));
+      d.vals.push_back(entries[k].second);
+      prev = entries[k].first;
+    }
+    d.row_ptr.push_back(d.row_ptr.back() +
+                        static_cast<offset_t>(entries.size()));
+  }
+  out.bytes = d.rows.size() * sizeof(index_t) +
+              d.row_ptr.size() * sizeof(offset_t) +
+              d.base_col.size() * sizeof(index_t) +
+              d.deltas.size() * sizeof(std::uint16_t) +
+              d.vals.size() * sizeof(T);
+}
+
+}  // namespace
+
+template <typename T>
+BinLayout<T> build_bin_layout(const CsrMatrix<T>& a,
+                              std::span<const index_t> vrows, index_t unit,
+                              FormatKind kind, int bin_id,
+                              const BuildLimits& limits) {
+  if (kind == FormatKind::Csr)
+    throw std::invalid_argument(
+        "fmt: CSR bins execute from the shared arrays; nothing to build");
+  util::Timer t;
+  BinLayout<T> out;
+  out.kind = kind;
+  out.bin_id = bin_id;
+  auto rows = covered_rows(vrows, unit, a.rows());
+  switch (kind) {
+    case FormatKind::Ell:
+      out.ell.rows = std::move(rows);
+      build_ell(a, out, limits);
+      break;
+    case FormatKind::Coo:
+      out.coo.rows = std::move(rows);
+      build_coo(a, out);
+      break;
+    case FormatKind::Dcsr:
+      out.dcsr.rows = std::move(rows);
+      build_dcsr(a, out);
+      break;
+    case FormatKind::Csr:
+      break;  // unreachable
+  }
+  out.build_s = t.elapsed_s();
+  return out;
+}
+
+#define SPMV_FMT_LAYOUT_INSTANTIATE(T)                                    \
+  template struct BinLayout<T>;                                           \
+  template BinLayout<T> build_bin_layout(                                 \
+      const CsrMatrix<T>&, std::span<const index_t>, index_t, FormatKind, \
+      int, const BuildLimits&);
+SPMV_FMT_LAYOUT_INSTANTIATE(float)
+SPMV_FMT_LAYOUT_INSTANTIATE(double)
+#undef SPMV_FMT_LAYOUT_INSTANTIATE
+
+}  // namespace spmv::fmt

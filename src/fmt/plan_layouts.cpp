@@ -1,0 +1,86 @@
+#include "fmt/plan_layouts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spmv::fmt {
+
+template <typename T>
+typename PlanLayouts<T>::Slot& PlanLayouts<T>::slot_for(const void* key) {
+  tick_ += 1;
+  for (auto& s : slots_) {
+    if (s.key == key) {
+      s.last_touch = tick_;
+      return s;
+    }
+  }
+  if (slots_.size() < kMaxSlots) {
+    slots_.emplace_back();
+  } else {
+    // Evict the least recently touched instance wholesale; its layouts
+    // stay alive for any in-flight launch via the returned shared_ptrs.
+    std::sort(slots_.begin(), slots_.end(),
+              [](const Slot& a, const Slot& b) {
+                return a.last_touch < b.last_touch;
+              });
+    slots_.front() = Slot{};
+    std::swap(slots_.front(), slots_.back());
+  }
+  Slot& s = slots_.back();
+  s = Slot{};
+  s.key = key;
+  s.last_touch = tick_;
+  return s;
+}
+
+template <typename T>
+std::uint64_t PlanLayouts<T>::note_run(const CsrMatrix<T>& a) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slot_for(static_cast<const void*>(a.vals().data()));
+  s.uses += 1;
+  return s.uses;
+}
+
+template <typename T>
+std::shared_ptr<const BinLayout<T>> PlanLayouts<T>::acquire(
+    const CsrMatrix<T>& a, std::span<const index_t> vrows, index_t unit,
+    FormatKind kind, int bin_id) {
+  if (kind == FormatKind::Csr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slot_for(static_cast<const void*>(a.vals().data()));
+  const BinKey key{unit, bin_id, kind};
+  if (const auto it = s.built.find(key); it != s.built.end()) {
+    if (it->second != nullptr) stats_.hits += 1;
+    return it->second;  // null = negative-cached build failure -> CSR
+  }
+  if (!policy_.eager && s.uses < policy_.min_reuse) {
+    stats_.deferrals += 1;
+    return nullptr;
+  }
+  // Build under the lock: builds are bin-local and rare (once per
+  // (instance, bin, format)), so simplicity beats letting two workers race
+  // to build the same layout.
+  std::shared_ptr<const BinLayout<T>> built;
+  try {
+    built = std::make_shared<const BinLayout<T>>(
+        build_bin_layout(a, vrows, unit, kind, bin_id));
+    stats_.builds += 1;
+    stats_.build_s += built->build_s;
+  } catch (const std::exception&) {
+    stats_.build_failures += 1;
+    built = nullptr;
+  }
+  s.built.emplace(key, built);
+  return built;
+}
+
+template <typename T>
+LayoutStats PlanLayouts<T>::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+template class PlanLayouts<float>;
+template class PlanLayouts<double>;
+
+}  // namespace spmv::fmt

@@ -36,7 +36,12 @@ void RunProfile::add_bin_run(int bin_id, const std::string& kernel,
                              std::int64_t rows_covered,
                              std::int64_t nnz_covered, double seconds) {
   for (BinRunSample& s : bins) {
-    if (s.bin_id == bin_id && s.kernel == kernel) {
+    if (s.bin_id == bin_id) {
+      // One sample per bin (bins[*].nnz must sum to the matrix nnz). The
+      // label follows the latest execution mode: a lazily amortized layout
+      // flips "serial" to "serial+ell" mid-profile without splitting the
+      // sample.
+      s.kernel = kernel;
       s.virtual_rows = virtual_rows;
       s.rows = rows_covered;
       s.nnz = nnz_covered;
@@ -174,6 +179,8 @@ Json RunProfile::to_json() const {
     ad.set("u_promotions", adapt.u_promotions);
     ad.set("b_trials", adapt.b_trials);
     ad.set("b_promotions", adapt.b_promotions);
+    ad.set("f_trials", adapt.f_trials);
+    ad.set("f_promotions", adapt.f_promotions);
     j.set("adapt", ad);
   }
   return j;
@@ -276,6 +283,11 @@ RunProfile RunProfile::from_json(const Json& j) {
       p.adapt.b_trials = v->as_uint();
     if (const Json* v = ad->find("b_promotions"); v != nullptr)
       p.adapt.b_promotions = v->as_uint();
+    // Format-exploration counters (spmv::fmt) are the newest.
+    if (const Json* v = ad->find("f_trials"); v != nullptr)
+      p.adapt.f_trials = v->as_uint();
+    if (const Json* v = ad->find("f_promotions"); v != nullptr)
+      p.adapt.f_promotions = v->as_uint();
   }
   return p;
 }
@@ -379,6 +391,10 @@ std::string prometheus_text(const RunProfile& profile) {
            static_cast<double>(a.b_trials));
     metric(out, "spmv_adapt_b_promotions_total", "counter",
            static_cast<double>(a.b_promotions));
+    metric(out, "spmv_adapt_f_trials_total", "counter",
+           static_cast<double>(a.f_trials));
+    metric(out, "spmv_adapt_f_promotions_total", "counter",
+           static_cast<double>(a.f_promotions));
   }
   return out;
 }

@@ -93,6 +93,12 @@ struct AdaptStats {
   /// `trials`/`promotions` too).
   std::uint64_t b_trials = 0;
   std::uint64_t b_promotions = 0;
+  /// Fourth-level exploration of per-bin physical formats (spmv::fmt):
+  /// per-bin shadow trials of an alternative layout, and promotions that
+  /// re-stamped one bin's format (counted inside `trials`/`promotions`
+  /// too).
+  std::uint64_t f_trials = 0;
+  std::uint64_t f_promotions = 0;
 
   void merge(const AdaptStats& other) {
     trials += other.trials;
@@ -102,6 +108,8 @@ struct AdaptStats {
     u_promotions += other.u_promotions;
     b_trials += other.b_trials;
     b_promotions += other.b_promotions;
+    f_trials += other.f_trials;
+    f_promotions += other.f_promotions;
   }
 
   [[nodiscard]] bool empty() const { return trials == 0 && promotions == 0; }

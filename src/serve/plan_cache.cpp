@@ -13,12 +13,14 @@ template <typename T>
 PlanCache<T>::PlanCache(const core::Predictor& predictor,
                         const clsim::Engine& engine, std::size_t capacity,
                         adapt::PlanStore* store,
-                        exec::BackendKind default_backend)
+                        exec::BackendKind default_backend,
+                        fmt::FormatMode format_mode)
     : predictor_(predictor),
       engine_(engine),
       capacity_(capacity),
       store_(store),
-      default_backend_(default_backend) {
+      default_backend_(default_backend),
+      format_mode_(format_mode) {
   if (capacity_ == 0)
     throw std::invalid_argument("PlanCache: capacity must be >= 1");
 }
@@ -75,6 +77,7 @@ std::shared_ptr<const typename PlanCache<T>::Entry> PlanCache<T>::get(
               .predictor(predictor_)
               .engine(engine_)
               .backend(default_backend_)
+              .formats(format_mode_)
               .build()});
       if (store_ != nullptr)
         store_->put(key, adapt::StoredPlan{entry->runtime.plan()});

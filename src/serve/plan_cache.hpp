@@ -39,6 +39,7 @@
 #include "core/auto_spmv.hpp"
 #include "exec/backend.hpp"
 #include "core/predictor.hpp"
+#include "fmt/format.hpp"
 #include "serve/fingerprint.hpp"
 #include "sparse/csr.hpp"
 
@@ -78,10 +79,15 @@ class PlanCache {
   /// `default_backend` is the backend stamped onto fresh predictor-driven
   /// plans; warm-started and promoted plans execute on whatever backend
   /// they carry (backend is a plan property — see exec/backend.hpp).
+  /// `format_mode` likewise applies only to fresh predictor-driven plans:
+  /// Auto lets the fmt estimator stamp per-bin formats (effective only on
+  /// format-capable backends); warm-started and promoted plans keep their
+  /// recorded per-bin formats either way.
   /// Throws std::invalid_argument when capacity is 0.
   PlanCache(const core::Predictor& predictor, const clsim::Engine& engine,
             std::size_t capacity, adapt::PlanStore* store = nullptr,
-            exec::BackendKind default_backend = exec::BackendKind::Clsim);
+            exec::BackendKind default_backend = exec::BackendKind::Clsim,
+            fmt::FormatMode format_mode = fmt::FormatMode::Csr);
 
   /// Return the cached runtime for `matrix`'s structure, planning it (or
   /// waiting for a concurrent planner) on a miss. Rethrows the planning
@@ -117,6 +123,7 @@ class PlanCache {
   const std::size_t capacity_;
   adapt::PlanStore* store_;
   const exec::BackendKind default_backend_;
+  const fmt::FormatMode format_mode_;
 
   mutable std::mutex mutex_;
   std::unordered_map<Fingerprint, Slot, FingerprintHash> slots_;

@@ -42,7 +42,7 @@ SpmvService<T>::SpmvService(const core::Predictor& predictor,
                                      : clsim::default_engine()),
       opts_(opts),
       cache_(predictor, engine_, opts.cache_capacity, opts.plan_store,
-             opts.backend),
+             opts.backend, opts.format),
       queue_(std::make_unique<Queue>()) {
   if (opts_.workers < 1)
     throw std::invalid_argument("SpmvService: workers must be >= 1");
@@ -214,9 +214,13 @@ void SpmvService<T>::worker_loop() {
         std::vector<T> y(rows);
         // Per-plan execution: the runtime's resolved backend, not a
         // service-wide one, so mixed-backend plans coexist in one cache.
+        // rt.layouts() (null when the plan is all-CSR) accelerates format
+        // bins; PlanLayouts keys by matrix instance, so the request's own
+        // matrix gets its own layout slot even under shared structure.
         core::execute_plan(rt.backend(), a,
                            std::span<const T>(batch.front().x),
-                           std::span<T>(y), rt.bins(), rt.plan());
+                           std::span<T>(y), rt.bins(), rt.plan(),
+                           rt.layouts());
         complete(batch.front(), std::move(y));
       } else {
         // Column-major gather/scatter around one batched execution.
@@ -228,7 +232,7 @@ void SpmvService<T>::worker_loop() {
                     xs.begin() + static_cast<std::size_t>(b) * cols);
         core::execute_plan_batch(rt.backend(), a, std::span<const T>(xs),
                                  std::span<T>(ys), width, rt.bins(),
-                                 rt.plan());
+                                 rt.plan(), nullptr, rt.layouts());
         for (int b = 0; b < width; ++b) {
           const auto first = ys.begin() + static_cast<std::size_t>(b) * rows;
           complete(batch[static_cast<std::size_t>(b)],

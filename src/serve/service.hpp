@@ -36,6 +36,7 @@
 #include "clsim/engine.hpp"
 #include "core/predictor.hpp"
 #include "exec/backend.hpp"
+#include "fmt/format.hpp"
 #include "prof/profile.hpp"
 #include "serve/plan_cache.hpp"
 #include "sparse/csr.hpp"
@@ -64,6 +65,11 @@ struct ServiceOptions {
   /// running on whatever backend they were tuned for regardless of this
   /// default (backend is a plan property — see exec/backend.hpp).
   exec::BackendKind backend = exec::BackendKind::Clsim;
+  /// Per-bin format mode stamped onto fresh predictor-driven plans (the
+  /// `--format csr|auto` knob). Auto lets the fmt estimator pick per-bin
+  /// layouts; only effective when the plan's backend supports formats.
+  /// Warm-started and promoted plans keep their recorded formats.
+  fmt::FormatMode format = fmt::FormatMode::Csr;
   /// Optional telemetry sink: shutdown() folds the service's ServeStats
   /// into profile->serve (and adapt stats into profile->adapt). Must
   /// outlive the service.

@@ -27,6 +27,8 @@
 
 #include "binning/binning.hpp"
 #include "exec/backend.hpp"
+#include "fmt/estimate.hpp"
+#include "fmt/layout.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/convert.hpp"
@@ -58,6 +60,29 @@ std::vector<std::shared_ptr<const exec::Backend>> test_backends() {
   }
   out.push_back(exec::shared_backend(exec::backend_from_name(s)));
   return out;
+}
+
+/// SPMV_TEST_FORMAT gates the per-bin layout sweep: "csr" skips it, "auto"
+/// or unset runs it. CI's fuzz leg exports SPMV_TEST_FORMAT=auto so the
+/// format coverage cannot be silently disabled there; an unknown name is a
+/// hard failure (format_mode_from_name throws).
+bool formats_enabled() {
+  const char* s = std::getenv("SPMV_TEST_FORMAT");
+  if (s == nullptr || *s == '\0') return true;
+  return fmt::format_mode_from_name(s) == fmt::FormatMode::Auto;
+}
+
+/// The covered actual row ids of a materialized layout (each payload
+/// carries its own copy).
+const std::vector<index_t>& layout_rows(const fmt::BinLayout<double>& l) {
+  switch (l.kind) {
+    case fmt::FormatKind::Ell:
+      return l.ell.rows;
+    case fmt::FormatKind::Coo:
+      return l.coo.rows;
+    default:
+      return l.dcsr.rows;
+  }
 }
 
 /// Per-matrix seed: decorrelate the base so adjacent indices do not share
@@ -241,6 +266,115 @@ TEST(Differential, RandomMatricesAllKernelsAllDispatchPaths) {
         differential_one<float>(*backend, a, base, i, seed);
       }
       if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+/// Per-bin physical layouts (spmv::fmt) against the exact reference: for
+/// each random matrix, every layout the estimator deems suitable for every
+/// occupied bin is materialized and executed on every format-capable
+/// backend — single-vector and batched — and must reproduce the exact
+/// product on the bin's covered rows while leaving the rest of y untouched
+/// (the composition contract execute_plan relies on). Builder rejections
+/// (std::length_error) are legitimate — the lazy layer negative-caches
+/// them — but any other failure mode is a bug.
+TEST(Differential, FormatLayoutsComposeExactly) {
+  if (!formats_enabled()) GTEST_SKIP() << "SPMV_TEST_FORMAT=csr";
+  std::vector<std::shared_ptr<const exec::Backend>> backends;
+  for (const auto& b : test_backends())
+    if (b->supports_formats()) backends.push_back(b);
+  if (backends.empty())
+    GTEST_SKIP() << "no format-capable backend selected";
+
+  const std::uint64_t base = base_seed();
+  constexpr int kFormatMatrices = 60;
+  constexpr double kSentinel = -12345.0;
+  for (int i = 0; i < kFormatMatrices; ++i) {
+    const std::uint64_t seed = matrix_seed(base, 200000 + i);
+    const auto a = random_csr(seed);
+    const auto m = static_cast<std::size_t>(a.rows());
+    const auto x =
+        random_x(static_cast<std::size_t>(a.cols()), seed ^ 0x5EEDULL);
+    const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
+
+    util::Xoshiro256 pick(seed ^ 0xF0F0ULL);
+    const index_t units[] = {1, 3, 10, 37, 100, 1000};
+    const index_t unit = units[pick.bounded(std::size(units))];
+    const auto bins = binning::bin_matrix(a, unit);
+    const int batch = 2 + static_cast<int>(pick.bounded(3));
+    std::vector<double> xb(static_cast<std::size_t>(batch) *
+                           static_cast<std::size_t>(a.cols()));
+    std::vector<std::vector<double>> exact_b(
+        static_cast<std::size_t>(batch));
+    for (int b = 0; b < batch; ++b) {
+      const auto col = random_x(static_cast<std::size_t>(a.cols()),
+                                seed + 2000 + static_cast<std::uint64_t>(b));
+      std::copy(col.begin(), col.end(),
+                xb.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(b) * col.size()));
+      exact_b[static_cast<std::size_t>(b)] =
+          kernels::spmv_exact(a, std::span<const double>(col));
+    }
+
+    for (const auto& backend : backends) {
+      const std::string bname = exec::backend_name(backend->kind()) + "/";
+      for (const int b : bins.occupied_bins()) {
+        const auto vspan = std::span<const index_t>(bins.bin(b));
+        const auto feat = fmt::compute_bin_features(a, vspan, bins.unit());
+        for (const fmt::FormatKind kind : fmt::suitable_formats(feat)) {
+          if (kind == fmt::FormatKind::Csr) continue;
+          fmt::BinLayout<double> layout;
+          try {
+            layout = fmt::build_bin_layout(a, vspan, bins.unit(), kind, b);
+          } catch (const std::length_error&) {
+            continue;  // unsuitable bin: the builder's documented refusal
+          }
+          const std::string where =
+              ctx(base, 200000 + i, seed,
+                  bname + "layout U=" + std::to_string(unit) + " bin " +
+                      std::to_string(b) + " " + fmt::format_name(kind));
+          std::vector<bool> covered(m, false);
+          for (const index_t r : layout_rows(layout))
+            covered[static_cast<std::size_t>(r)] = true;
+
+          std::vector<double> y(m, kSentinel);
+          backend->run_layout(a, layout, std::span<const double>(x),
+                              std::span<double>(y));
+          for (std::size_t r = 0; r < m; ++r) {
+            if (covered[r]) {
+              const double scale = std::abs(exact[r]) + 1.0;
+              ASSERT_NEAR(y[r], exact[r], 1e-9 * scale)
+                  << where << ", row " << r;
+            } else {
+              ASSERT_EQ(y[r], kSentinel)
+                  << where << ", uncovered row " << r << " was touched";
+            }
+          }
+
+          std::vector<double> yb(static_cast<std::size_t>(batch) * m,
+                                 kSentinel);
+          backend->run_layout_batch(a, layout, std::span<const double>(xb),
+                                    std::span<double>(yb), batch);
+          for (int bc = 0; bc < batch; ++bc) {
+            const auto col =
+                std::span<const double>(yb).subspan(
+                    static_cast<std::size_t>(bc) * m, m);
+            const auto& ex = exact_b[static_cast<std::size_t>(bc)];
+            for (std::size_t r = 0; r < m; ++r) {
+              if (covered[r]) {
+                const double scale = std::abs(ex[r]) + 1.0;
+                ASSERT_NEAR(col[r], ex[r], 1e-9 * scale)
+                    << where << ", batch col " << bc << ", row " << r;
+              } else {
+                ASSERT_EQ(col[r], kSentinel)
+                    << where << ", batch col " << bc << ", uncovered row "
+                    << r << " was touched";
+              }
+            }
+          }
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,492 @@
+// Tests for the per-bin physical-format subsystem (spmv::fmt): name
+// registry round trips, layout builders vs the exact CSR result (including
+// empty-covered-row zeroing and the batched variants), builder rejection of
+// unsuitable bins, the feature-based estimator's regime decisions, the
+// lazy/amortized PlanLayouts cache, and end-to-end execute_plan behaviour
+// on format-capable and format-blind backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "binning/binning.hpp"
+#include "core/predictor.hpp"
+#include "core/tuner.hpp"
+#include "exec/backend.hpp"
+#include "fmt/estimate.hpp"
+#include "fmt/format.hpp"
+#include "fmt/plan_layouts.hpp"
+#include "gen/generators.hpp"
+#include "kernels/reference.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spmv;
+
+template <typename T>
+std::vector<T> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Build a CSR matrix from per-row (col, val) lists.
+CsrMatrix<float> make_csr(index_t cols,
+                          const std::vector<std::vector<std::pair<index_t, float>>>& rows) {
+  std::vector<offset_t> rp = {0};
+  std::vector<index_t> ci;
+  std::vector<float> vals;
+  for (const auto& row : rows) {
+    for (const auto& [c, v] : row) {
+      ci.push_back(c);
+      vals.push_back(v);
+    }
+    rp.push_back(static_cast<offset_t>(ci.size()));
+  }
+  return CsrMatrix<float>(static_cast<index_t>(rows.size()), cols,
+                          std::move(rp), std::move(ci), std::move(vals));
+}
+
+/// The covered actual row ids of a materialized layout (each payload
+/// carries its own copy).
+template <typename T>
+const std::vector<index_t>& covered_rows(const fmt::BinLayout<T>& l) {
+  switch (l.kind) {
+    case fmt::FormatKind::Ell:
+      return l.ell.rows;
+    case fmt::FormatKind::Coo:
+      return l.coo.rows;
+    default:
+      return l.dcsr.rows;
+  }
+}
+
+/// Check one bin's layout execution against the exact result: covered rows
+/// (including empty ones) must match exactly-computed values, uncovered rows
+/// must keep the sentinel.
+void expect_layout_exact(const exec::Backend& backend,
+                         const CsrMatrix<float>& a,
+                         const fmt::BinLayout<float>& layout,
+                         std::span<const float> x) {
+  constexpr float kSentinel = 12345.0f;
+  const auto exact = kernels::spmv_exact(a, x);
+  std::vector<float> y(static_cast<std::size_t>(a.rows()), kSentinel);
+  backend.run_layout(a, layout, x, std::span<float>(y));
+  std::vector<bool> covered(static_cast<std::size_t>(a.rows()), false);
+  for (const index_t r : covered_rows(layout))
+    covered[static_cast<std::size_t>(r)] = true;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (covered[i]) {
+      ASSERT_NEAR(y[i], exact[i], 2e-4 * (std::abs(exact[i]) + 1.0))
+          << "row " << i << " kind " << fmt::format_cname(layout.kind);
+    } else {
+      ASSERT_EQ(y[i], kSentinel)
+          << "row " << i << " outside the bin was touched";
+    }
+  }
+}
+
+// --- name registry --------------------------------------------------------
+
+TEST(FormatNames, RoundTripAllKnownNames) {
+  ASSERT_EQ(fmt::all_formats().size(),
+            static_cast<std::size_t>(fmt::kFormatCount));
+  EXPECT_EQ(fmt::all_formats().front(), fmt::FormatKind::Csr);
+  for (const fmt::FormatKind k : fmt::all_formats()) {
+    fmt::FormatKind back;
+    ASSERT_TRUE(fmt::try_format_from_name(fmt::format_name(k), &back));
+    EXPECT_EQ(back, k);
+    EXPECT_EQ(fmt::format_from_name(fmt::format_name(k)), k);
+    EXPECT_STREQ(fmt::format_cname(k), fmt::format_name(k).c_str());
+  }
+}
+
+TEST(FormatNames, UnknownNamesAreRejectedWithoutClobbering) {
+  fmt::FormatKind out = fmt::FormatKind::Dcsr;
+  EXPECT_FALSE(fmt::try_format_from_name("hyb", &out));
+  EXPECT_EQ(out, fmt::FormatKind::Dcsr);  // untouched on failure
+  EXPECT_THROW((void)fmt::format_from_name("hyb"), std::invalid_argument);
+  EXPECT_THROW((void)fmt::format_mode_from_name("always"),
+               std::invalid_argument);
+  EXPECT_EQ(fmt::format_mode_from_name("csr"), fmt::FormatMode::Csr);
+  EXPECT_EQ(fmt::format_mode_from_name("auto"), fmt::FormatMode::Auto);
+}
+
+// --- layout builders vs exact ---------------------------------------------
+
+TEST(Layouts, EllMatchesExactIncludingEmptyCoveredRows) {
+  // Near-uniform short rows with a hole: row 3 is empty but covered, so the
+  // ELL launch must zero it, not skip it.
+  auto rows = std::vector<std::vector<std::pair<index_t, float>>>(64);
+  util::Xoshiro256 rng(5);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r == 3) continue;
+    for (index_t k = 0; k < 3 + static_cast<index_t>(r % 2); ++k)
+      rows[r].push_back({static_cast<index_t>((r * 7 + k * 11) % 64),
+                         static_cast<float>(rng.uniform(0.5, 1.5))});
+  }
+  const auto a = make_csr(64, rows);
+  const auto bins = binning::bin_matrix(a, 8);
+  const auto x = random_vector<float>(64, 7);
+  const auto backend = exec::shared_backend(exec::BackendKind::Native);
+  for (const int b : bins.occupied_bins()) {
+    const auto layout = fmt::build_bin_layout(
+        a, std::span<const index_t>(bins.bin(b)), bins.unit(),
+        fmt::FormatKind::Ell, b);
+    EXPECT_EQ(layout.kind, fmt::FormatKind::Ell);
+    EXPECT_EQ(layout.bin_id, b);
+    EXPECT_GT(layout.bytes, 0u);
+    expect_layout_exact(*backend, a, layout, x);
+  }
+}
+
+TEST(Layouts, CooMatchesExactOnScatterBins) {
+  const auto a = gen::power_law<float>(600, 600, 2.0, 60, 17);
+  const auto bins = binning::bin_matrix(a, 32);
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 19);
+  const auto backend = exec::shared_backend(exec::BackendKind::Native);
+  for (const int b : bins.occupied_bins()) {
+    const auto layout = fmt::build_bin_layout(
+        a, std::span<const index_t>(bins.bin(b)), bins.unit(),
+        fmt::FormatKind::Coo, b);
+    // Chunks never split a row (the no-atomics invariant).
+    ASSERT_GE(layout.coo.chunk_ptr.size(), 2u);
+    for (std::size_t c = 1; c + 1 < layout.coo.chunk_ptr.size(); ++c) {
+      const std::size_t at = layout.coo.chunk_ptr[c];
+      ASSERT_NE(layout.coo.entry_row[at], layout.coo.entry_row[at - 1])
+          << "chunk boundary " << c << " splits a row";
+    }
+    expect_layout_exact(*backend, a, layout, x);
+  }
+}
+
+TEST(Layouts, DcsrMatchesExactOnBandedBins) {
+  const auto a = gen::banded<float>(500, 12, 0.8, 23);
+  const auto bins = binning::bin_matrix(a, 25);
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 29);
+  const auto backend = exec::shared_backend(exec::BackendKind::Native);
+  for (const int b : bins.occupied_bins()) {
+    const auto layout = fmt::build_bin_layout(
+        a, std::span<const index_t>(bins.bin(b)), bins.unit(),
+        fmt::FormatKind::Dcsr, b);
+    expect_layout_exact(*backend, a, layout, x);
+  }
+}
+
+TEST(Layouts, BatchedExecutionMatchesSingleVector) {
+  const auto a = gen::fixed_degree<float>(400, 400, 5, 31);
+  const auto bins = binning::bin_matrix(a, 16);
+  const auto backend = exec::shared_backend(exec::BackendKind::Native);
+  constexpr int kBatch = 3;
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const auto x = random_vector<float>(n * kBatch, 37);
+  for (const fmt::FormatKind kind :
+       {fmt::FormatKind::Ell, fmt::FormatKind::Coo, fmt::FormatKind::Dcsr}) {
+    for (const int b : bins.occupied_bins()) {
+      const auto layout = fmt::build_bin_layout(
+          a, std::span<const index_t>(bins.bin(b)), bins.unit(), kind, b);
+      std::vector<float> y_batch(m * kBatch, -1.0f);
+      backend->run_layout_batch(a, layout, std::span<const float>(x),
+                                std::span<float>(y_batch), kBatch);
+      for (int col = 0; col < kBatch; ++col) {
+        std::vector<float> y(m, -1.0f);
+        backend->run_layout(
+            a, layout,
+            std::span<const float>(x).subspan(static_cast<std::size_t>(col) * n,
+                                              n),
+            std::span<float>(y));
+        for (const index_t r : covered_rows(layout)) {
+          const auto i = static_cast<std::size_t>(r);
+          ASSERT_NEAR(y_batch[static_cast<std::size_t>(col) * m + i], y[i],
+                      2e-4 * (std::abs(y[i]) + 1.0))
+              << "col " << col << " row " << i << " kind "
+              << fmt::format_cname(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(Layouts, BuildersRejectUnsuitableBins) {
+  const auto bins_of = [](const CsrMatrix<float>& a) {
+    return binning::bin_matrix(a, a.rows());  // one bin covering everything
+  };
+  // CSR is never materialized.
+  const auto uniform = gen::fixed_degree<float>(64, 64, 3, 41);
+  const auto ubins = bins_of(uniform);
+  const int ub = ubins.occupied_bins().front();
+  EXPECT_THROW((void)fmt::build_bin_layout(
+                   uniform, std::span<const index_t>(ubins.bin(ub)),
+                   ubins.unit(), fmt::FormatKind::Csr, ub),
+               std::invalid_argument);
+
+  // ELL expansion blow-up: one 200-long row amid 199 single-entry rows.
+  auto skew_rows = std::vector<std::vector<std::pair<index_t, float>>>(200);
+  for (index_t c = 0; c < 200; ++c) skew_rows[0].push_back({c, 1.0f});
+  for (std::size_t r = 1; r < 200; ++r)
+    skew_rows[r].push_back({static_cast<index_t>(r), 1.0f});
+  const auto skew = make_csr(200, skew_rows);
+  const auto sbins = bins_of(skew);
+  const int sb = sbins.occupied_bins().front();
+  EXPECT_THROW((void)fmt::build_bin_layout(
+                   skew, std::span<const index_t>(sbins.bin(sb)), sbins.unit(),
+                   fmt::FormatKind::Ell, sb),
+               std::length_error);
+
+  // Dcsr delta overflow: an intra-row column gap wider than 16 bits.
+  const auto wide = make_csr(
+      70000, {{{0, 1.0f}, {69999, 2.0f}}, {{1, 1.0f}, {2, 1.0f}}});
+  const auto wbins = bins_of(wide);
+  const int wb = wbins.occupied_bins().front();
+  EXPECT_THROW((void)fmt::build_bin_layout(
+                   wide, std::span<const index_t>(wbins.bin(wb)), wbins.unit(),
+                   fmt::FormatKind::Dcsr, wb),
+               std::length_error);
+}
+
+TEST(Layouts, FormatBlindBackendThrowsLogicError) {
+  const auto a = gen::fixed_degree<float>(64, 64, 3, 43);
+  const auto bins = binning::bin_matrix(a, 8);
+  const auto layout = fmt::build_bin_layout(
+      a, std::span<const index_t>(bins.bin(bins.occupied_bins().front())),
+      bins.unit(), fmt::FormatKind::Ell, bins.occupied_bins().front());
+  const auto clsim_backend = exec::shared_backend(exec::BackendKind::Clsim);
+  ASSERT_FALSE(clsim_backend->supports_formats());
+  const auto x = random_vector<float>(64, 47);
+  std::vector<float> y(64);
+  EXPECT_THROW(
+      clsim_backend->run_layout(a, layout, x, std::span<float>(y)),
+      std::logic_error);
+}
+
+// --- estimator ------------------------------------------------------------
+
+TEST(Estimator, PicksTheExpectedFormatPerRegime) {
+  // Near-uniform short rows -> ELL.
+  const auto uniform = gen::fixed_degree<float>(512, 512, 4, 53);
+  const auto ubins = binning::bin_matrix(uniform, 512);
+  const auto uf = fmt::compute_bin_features(
+      uniform, std::span<const index_t>(ubins.bin(ubins.occupied_bins().front())),
+      ubins.unit());
+  EXPECT_LE(uf.padding_ratio, 1.25);
+  EXPECT_EQ(fmt::estimate_bin_format(uf), fmt::FormatKind::Ell);
+
+  // Long banded rows (too wide for ELL, spans fit 16 bits) -> Dcsr.
+  auto banded_rows = std::vector<std::vector<std::pair<index_t, float>>>(64);
+  util::Xoshiro256 rng(59);
+  for (std::size_t r = 0; r < banded_rows.size(); ++r) {
+    const auto base = static_cast<index_t>(r * 4);
+    const index_t len = 40 + static_cast<index_t>(rng.bounded(60));  // >64 max
+    for (index_t k = 0; k < len; ++k)
+      banded_rows[r].push_back({base + k, 1.0f});
+  }
+  const auto banded = make_csr(64 * 4 + 100, banded_rows);
+  const auto bbins = binning::bin_matrix(banded, banded.rows());
+  const auto bf = fmt::compute_bin_features(
+      banded, std::span<const index_t>(bbins.bin(bbins.occupied_bins().front())),
+      bbins.unit());
+  EXPECT_GT(bf.max_len, 64);
+  EXPECT_EQ(fmt::estimate_bin_format(bf), fmt::FormatKind::Dcsr);
+
+  // Mostly-empty scatter -> COO.
+  auto scatter_rows = std::vector<std::vector<std::pair<index_t, float>>>(100);
+  scatter_rows[0] = {{0, 1.0f}, {90, 2.0f}, {17, 1.5f}, {55, 1.0f},
+                     {3, 1.0f}, {70, 2.0f}, {44, 1.5f}, {61, 1.0f},
+                     {8, 1.0f}, {29, 2.0f}};
+  scatter_rows[50] = {{7, 3.0f}};
+  const auto scatter = make_csr(100, scatter_rows);
+  const auto sbins = binning::bin_matrix(scatter, scatter.rows());
+  const auto sf = fmt::compute_bin_features(
+      scatter, std::span<const index_t>(sbins.bin(sbins.occupied_bins().front())),
+      sbins.unit());
+  EXPECT_GT(sf.empty_rows * 2, sf.rows);
+  EXPECT_EQ(fmt::estimate_bin_format(sf), fmt::FormatKind::Coo);
+
+  // An empty bin stays CSR (nothing to transform).
+  const fmt::BinFeatures empty;
+  EXPECT_EQ(fmt::estimate_bin_format(empty), fmt::FormatKind::Csr);
+}
+
+TEST(Estimator, SuitableFormatsAlwaysStartWithCsr) {
+  const auto a = gen::power_law<float>(400, 400, 2.0, 40, 61);
+  const auto bins = binning::bin_matrix(a, 32);
+  for (const int b : bins.occupied_bins()) {
+    const auto f = fmt::compute_bin_features(
+        a, std::span<const index_t>(bins.bin(b)), bins.unit());
+    const auto pool = fmt::suitable_formats(f);
+    ASSERT_FALSE(pool.empty());
+    EXPECT_EQ(pool.front(), fmt::FormatKind::Csr);
+    // No duplicates; every entry is a known kind.
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      for (std::size_t j = i + 1; j < pool.size(); ++j)
+        EXPECT_NE(pool[i], pool[j]);
+  }
+}
+
+// --- PlanLayouts (lazy amortized cache) -----------------------------------
+
+TEST(PlanLayoutsCache, DefersUntilReuseAmortizesThenBuildsOnce) {
+  const auto a = gen::fixed_degree<float>(300, 300, 4, 67);
+  const auto bins = binning::bin_matrix(a, 30);
+  const int b = bins.occupied_bins().front();
+  fmt::PlanLayouts<float> layouts({.min_reuse = 3});
+
+  // Below the threshold: acquire defers (returns null), counting deferrals.
+  EXPECT_EQ(layouts.note_run(a), 1u);
+  EXPECT_EQ(layouts.acquire(a, std::span<const index_t>(bins.bin(b)),
+                            bins.unit(), fmt::FormatKind::Ell, b),
+            nullptr);
+  EXPECT_EQ(layouts.note_run(a), 2u);
+  EXPECT_EQ(layouts.acquire(a, std::span<const index_t>(bins.bin(b)),
+                            bins.unit(), fmt::FormatKind::Ell, b),
+            nullptr);
+  EXPECT_EQ(layouts.stats().builds, 0u);
+  EXPECT_EQ(layouts.stats().deferrals, 2u);
+
+  // At the threshold: built exactly once, then served from cache.
+  EXPECT_EQ(layouts.note_run(a), 3u);
+  const auto first = layouts.acquire(a, std::span<const index_t>(bins.bin(b)),
+                                     bins.unit(), fmt::FormatKind::Ell, b);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->kind, fmt::FormatKind::Ell);
+  const auto second = layouts.acquire(a, std::span<const index_t>(bins.bin(b)),
+                                      bins.unit(), fmt::FormatKind::Ell, b);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(layouts.stats().builds, 1u);
+  EXPECT_GE(layouts.stats().hits, 1u);
+
+  // CSR never materializes, eager policy builds on first touch.
+  EXPECT_EQ(layouts.acquire(a, std::span<const index_t>(bins.bin(b)),
+                            bins.unit(), fmt::FormatKind::Csr, b),
+            nullptr);
+  fmt::PlanLayouts<float> eager({.eager = true});
+  EXPECT_NE(eager.acquire(a, std::span<const index_t>(bins.bin(b)),
+                          bins.unit(), fmt::FormatKind::Coo, b),
+            nullptr);
+}
+
+TEST(PlanLayoutsCache, FailedBuildsAreNegativelyCached) {
+  // One long row amid short ones: the ELL builder rejects the bin; the
+  // cache must attempt the build exactly once and remember the failure.
+  auto rows = std::vector<std::vector<std::pair<index_t, float>>>(200);
+  for (index_t c = 0; c < 200; ++c) rows[0].push_back({c, 1.0f});
+  for (std::size_t r = 1; r < 200; ++r)
+    rows[r].push_back({static_cast<index_t>(r), 1.0f});
+  const auto a = make_csr(200, rows);
+  const auto bins = binning::bin_matrix(a, a.rows());
+  const int b = bins.occupied_bins().front();
+  fmt::PlanLayouts<float> layouts({.eager = true});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(layouts.acquire(a, std::span<const index_t>(bins.bin(b)),
+                              bins.unit(), fmt::FormatKind::Ell, b),
+              nullptr);
+  }
+  EXPECT_EQ(layouts.stats().build_failures, 1u);
+  EXPECT_EQ(layouts.stats().builds, 0u);
+}
+
+// --- end-to-end through the tuner -----------------------------------------
+
+TEST(AutoFormats, NativeAutoPlanStampsFormatsAndStaysExact) {
+  const auto a = gen::fixed_degree<double>(2000, 2000, 6, 71);
+  core::HeuristicPredictor pred;
+  const auto spmv = core::Tuner(a)
+                        .predictor(pred)
+                        .backend(exec::BackendKind::Native)
+                        .formats(fmt::FormatMode::Auto)
+                        .build();
+  // Near-uniform short rows: the estimator stamps ELL somewhere.
+  EXPECT_TRUE(spmv.plan().uses_formats());
+  ASSERT_NE(spmv.layouts(), nullptr);
+
+  const auto x =
+      random_vector<double>(static_cast<std::size_t>(a.cols()), 73);
+  const auto exact = kernels::spmv_exact(a, std::span<const double>(x));
+  std::vector<double> y(static_cast<std::size_t>(a.rows()));
+  // Across the amortization threshold: early runs execute from CSR, later
+  // ones through materialized layouts — all must agree with exact.
+  for (int run = 0; run < 6; ++run) {
+    spmv.run(std::span<const double>(x), std::span<double>(y));
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], exact[i], 1e-9 * (std::abs(exact[i]) + 1.0))
+          << "run " << run << " row " << i;
+  }
+  EXPECT_GE(spmv.layouts()->stats().builds, 1u);
+  EXPECT_GE(spmv.layouts()->stats().deferrals, 1u);
+}
+
+TEST(AutoFormats, ClsimModeNeverStampsFormats) {
+  // The clsim backend is format-blind; Auto mode on it must leave every
+  // bin CSR (so the differential suite's reference side stays pure CSR).
+  const auto a = gen::fixed_degree<float>(1000, 1000, 5, 79);
+  core::HeuristicPredictor pred;
+  const auto spmv = core::Tuner(a)
+                        .predictor(pred)
+                        .formats(fmt::FormatMode::Auto)
+                        .build();
+  EXPECT_FALSE(spmv.plan().uses_formats());
+  EXPECT_EQ(spmv.layouts(), nullptr);
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 83);
+  const auto exact = kernels::spmv_exact(a, std::span<const float>(x));
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  spmv.run(std::span<const float>(x), std::span<float>(y));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], exact[i], 2e-4 * (std::abs(exact[i]) + 1.0));
+}
+
+TEST(AutoFormats, ForcedFormatsOnClsimPlanFallBackToCsr) {
+  // A plan hand-stamped with non-CSR formats but executed on a
+  // format-blind backend: execute_plan must take the CSR path (formats are
+  // an acceleration, never a requirement) and stay exact.
+  const auto a = gen::fixed_degree<float>(800, 800, 4, 89);
+  core::HeuristicPredictor pred;
+  auto spmv = core::Tuner(a).predictor(pred).build();
+  core::Plan plan = spmv.plan();
+  for (auto& bp : plan.bin_kernels) bp.format = fmt::FormatKind::Ell;
+  fmt::PlanLayouts<float> layouts({.eager = true});
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 97);
+  const auto exact = kernels::spmv_exact(a, std::span<const float>(x));
+  std::vector<float> y(static_cast<std::size_t>(a.rows()));
+  const auto backend = exec::shared_backend(exec::BackendKind::Clsim);
+  core::execute_plan(*backend, a, std::span<const float>(x),
+                     std::span<float>(y), spmv.bins(), plan, &layouts);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], exact[i], 2e-4 * (std::abs(exact[i]) + 1.0));
+  // The format-blind path never touched the layout cache.
+  EXPECT_EQ(layouts.stats().builds, 0u);
+}
+
+TEST(AutoFormats, BatchedExecutePlanWithLayoutsMatchesExact) {
+  const auto a = gen::fixed_degree<float>(900, 900, 5, 101);
+  core::HeuristicPredictor pred;
+  const auto spmv = core::Tuner(a)
+                        .predictor(pred)
+                        .backend(exec::BackendKind::Native)
+                        .formats(fmt::FormatMode::Auto)
+                        .format_policy({.eager = true})
+                        .build();
+  ASSERT_TRUE(spmv.plan().uses_formats());
+  constexpr int kBatch = 4;
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const auto x = random_vector<float>(n * kBatch, 103);
+  std::vector<float> y(m * kBatch);
+  spmv.run_batch(std::span<const float>(x), std::span<float>(y), kBatch);
+  for (int col = 0; col < kBatch; ++col) {
+    const auto exact = kernels::spmv_exact(
+        a, std::span<const float>(x).subspan(
+               static_cast<std::size_t>(col) * n, n));
+    for (std::size_t i = 0; i < m; ++i)
+      ASSERT_NEAR(y[static_cast<std::size_t>(col) * m + i], exact[i],
+                  2e-4 * (std::abs(exact[i]) + 1.0))
+          << "col " << col << " row " << i;
+  }
+  EXPECT_GE(spmv.layouts()->stats().builds, 1u);
+}
+
+}  // namespace

@@ -21,6 +21,7 @@
 #include "binning/binning.hpp"
 #include "core/plan_io.hpp"
 #include "exec/backend.hpp"
+#include "fmt/format.hpp"
 #include "kernels/registry.hpp"
 #include "util/rng.hpp"
 
@@ -71,13 +72,19 @@ core::Plan random_plan(util::Xoshiro256& rng) {
   p.backend = static_cast<exec::BackendKind>(
       rng.bounded(static_cast<std::uint64_t>(exec::kBackendCount)));
   const auto& pool = kernels::all_kernels();
+  const auto random_format = [&rng] {
+    return static_cast<fmt::FormatKind>(
+        rng.bounded(static_cast<std::uint64_t>(fmt::kFormatCount)));
+  };
   if (p.single_bin) {
-    p.bin_kernels.push_back({0, pool[rng.bounded(pool.size())]});
+    p.bin_kernels.push_back(
+        {0, pool[rng.bounded(pool.size())], random_format()});
   } else {
     int bin = 0;
     const int n = 1 + static_cast<int>(rng.bounded(8));
     for (int i = 0; i < n && bin < binning::kMaxBins; ++i) {
-      p.bin_kernels.push_back({bin, pool[rng.bounded(pool.size())]});
+      p.bin_kernels.push_back(
+          {bin, pool[rng.bounded(pool.size())], random_format()});
       bin += 1 + static_cast<int>(rng.bounded(12));
     }
   }
@@ -96,6 +103,7 @@ void expect_plans_equal(const core::Plan& a, const core::Plan& b,
   for (std::size_t i = 0; i < a.bin_kernels.size(); ++i) {
     EXPECT_EQ(a.bin_kernels[i].bin_id, b.bin_kernels[i].bin_id) << note;
     EXPECT_EQ(a.bin_kernels[i].kernel, b.bin_kernels[i].kernel) << note;
+    EXPECT_EQ(a.bin_kernels[i].format, b.bin_kernels[i].format) << note;
   }
 }
 
@@ -184,6 +192,65 @@ TEST(PlanIoFuzz, TypeConfusedPlanFieldsThrowCleanly) {
     j.set(key, value);
     EXPECT_THROW((void)core::plan_from_json(j), std::exception)
         << "field " << key << " = " << value.dump(0);
+  }
+}
+
+TEST(PlanIoFuzz, UnknownOrGarbageFormatNamesThrowCleanly) {
+  const std::uint64_t base = base_seed();
+  util::Xoshiro256 rng(util::SplitMix64(base ^ 0xF02).next());
+  const core::Plan p = random_plan(rng);
+  // Deterministic near-misses plus random byte soup: every name the format
+  // registry does not know must surface as the counted-skip runtime_error
+  // family — never crash, never silently load as some format.
+  std::vector<std::string> names = {"",     "ELL",  "csr ", "ell2",
+                                    "hyb",  "bsr",  "dcsr\n", "\xff\xfe"};
+  for (int i = 0; i < 50; ++i) {
+    std::string s;
+    const auto len = 1 + rng.bounded(12);
+    for (std::uint64_t c = 0; c < len; ++c)
+      s.push_back(static_cast<char>(rng.bounded(256)));
+    names.push_back(std::move(s));
+  }
+  for (const auto& name : names) {
+    fmt::FormatKind k;
+    if (fmt::try_format_from_name(name, &k))
+      continue;  // the soup hit a real name; round-trip tests cover those
+    prof::Json j = core::plan_to_json(p);
+    prof::Json bins = prof::Json::array();
+    bool first = true;
+    for (const prof::Json& b : j.at("bins").items()) {
+      prof::Json copy = b;
+      if (first) {
+        copy.set("format", prof::Json(name));
+        first = false;
+      }
+      bins.push_back(std::move(copy));
+    }
+    j.set("bins", std::move(bins));
+    EXPECT_THROW((void)core::plan_from_json(j), std::exception)
+        << "format name of " << name.size() << " bytes silently loaded";
+  }
+  // Wrong-typed format values fail the same way.
+  for (const prof::Json& bad :
+       {prof::Json(3), prof::Json(true), prof::Json::array()}) {
+    prof::Json j = core::plan_to_json(p);
+    prof::Json bins = prof::Json::array();
+    prof::Json bin = j.at("bins").at(std::size_t{0});
+    bin.set("format", bad);
+    bins.push_back(std::move(bin));
+    if (!p.single_bin) {
+      bool first = true;
+      for (const prof::Json& b : j.at("bins").items()) {
+        if (first) {
+          first = false;
+          continue;
+        }
+        bins.push_back(b);
+      }
+    }
+    j.set("bins", std::move(bins));
+    EXPECT_THROW((void)core::plan_from_json(j), std::exception)
+        << "format = " << bad.dump(0);
   }
 }
 
@@ -298,6 +365,74 @@ TEST(PlanStoreFuzz, TypeConfusedStoreFieldsAreSkippedAndCounted) {
     EXPECT_GT(stats.skipped_schema + stats.skipped_malformed, 0u) << c.name;
     EXPECT_EQ(store.size(), 0u) << c.name;
   }
+}
+
+TEST(PlanStoreFuzz, UnknownFormatNameIsCountedSkipAndStaysFlushable) {
+  // A store entry whose plan names a format this build does not know (a
+  // newer writer, or plain corruption) is a per-entry counted skip — the
+  // same contract as an unknown kernel or backend name.
+  ScopedFile f("fuzz_store_badformat.tmp.json");
+  write_valid_store(f.path, 314);
+  prof::Json doc = prof::Json::parse(read_text(f.path));
+  prof::Json entry = doc.at("entries").at(std::size_t{0});
+  prof::Json plan = entry.at("plan");
+  prof::Json bins = prof::Json::array();
+  bool first = true;
+  for (const prof::Json& b : plan.at("bins").items()) {
+    prof::Json copy = b;
+    if (first) {
+      copy.set("format", prof::Json("zebra-major"));
+      first = false;
+    }
+    bins.push_back(std::move(copy));
+  }
+  plan.set("bins", std::move(bins));
+  entry.set("plan", std::move(plan));
+  prof::Json entries = prof::Json::array();
+  entries.push_back(std::move(entry));
+  doc.set("entries", std::move(entries));
+  write_text(f.path, doc.dump(2));
+
+  adapt::PlanStore store(f.path, "dev-a", "model-a");
+  adapt::PlanStoreStats stats;
+  ASSERT_NO_THROW(stats = store.load());
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_EQ(stats.skipped_malformed, 1u);
+  EXPECT_EQ(store.size(), 0u);
+  ASSERT_NO_THROW(store.flush());
+}
+
+TEST(PlanStoreFuzz, V2SchemaWithoutFormatsLoadsAsCsr) {
+  // Pre-format artifacts (schema 2, bins with no format key) must keep
+  // loading: the schema gate accepts the supported range and every bin
+  // defaults to the CSR physical layout.
+  ScopedFile f("fuzz_store_v2.tmp.json");
+  const auto key = write_valid_store(f.path, 456).first;
+  prof::Json doc = prof::Json::parse(read_text(f.path));
+  doc.set("schema", prof::Json(2));
+  prof::Json entry = doc.at("entries").at(std::size_t{0});
+  prof::Json plan = entry.at("plan");
+  prof::Json bins = prof::Json::array();
+  for (const prof::Json& b : plan.at("bins").items()) {
+    prof::Json v2bin = prof::Json::object();
+    v2bin.set("bin", b.at("bin"));
+    v2bin.set("kernel", b.at("kernel"));
+    bins.push_back(std::move(v2bin));
+  }
+  plan.set("bins", std::move(bins));
+  entry.set("plan", std::move(plan));
+  prof::Json entries = prof::Json::array();
+  entries.push_back(std::move(entry));
+  doc.set("entries", std::move(entries));
+  write_text(f.path, doc.dump(2));
+
+  adapt::PlanStore store(f.path, "dev-a", "model-a");
+  const auto stats = store.load();
+  EXPECT_EQ(stats.loaded, 1u);
+  const auto got = store.lookup(key);
+  ASSERT_TRUE(got.has_value());
+  for (const auto& bp : got->plan.bin_kernels)
+    EXPECT_EQ(bp.format, fmt::FormatKind::Csr);
 }
 
 TEST(PlanStoreFuzz, V1SchemaWithoutBackendLoadsAsClsim) {

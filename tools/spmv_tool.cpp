@@ -81,6 +81,9 @@ int usage() {
                "               --family <corpus family> --rows N [--param P]\n"
                "  backend:     --backend clsim|native (run, tune,\n"
                "               serve-bench, adapt-bench; default clsim)\n"
+               "  format:      --format csr|auto (run, serve-bench,\n"
+               "               adapt-bench; per-bin physical layouts via\n"
+               "               the fmt estimator; default csr)\n"
                "  run flags:   --model model.txt --reps K --profile out.json\n"
                "               --trace out.trace.json\n"
                "  tune flags:  --profile out.json\n"
@@ -95,6 +98,7 @@ int usage() {
                "--profile out.json\n"
                "               --explore-u --unit-fraction F\n"
                "               --explore-backend --backend-fraction F\n"
+               "               --explore-format --format-fraction F\n"
                "  plan-store:  ls|gc --store store.json [--model-version V]\n"
                "               [--ttl-hours H]\n"
                "  compare-profiles: baseline.json current.json "
@@ -106,6 +110,24 @@ int usage() {
 /// adapt-bench and the fig benches all spell it the same way).
 exec::BackendKind backend_from_cli(const util::Cli& cli) {
   return exec::backend_from_name(cli.get("backend", "clsim"));
+}
+
+/// The uniform `--format csr|auto` flag (run, serve-bench, adapt-bench).
+fmt::FormatMode format_from_cli(const util::Cli& cli) {
+  return fmt::format_mode_from_name(cli.get("format", "csr"));
+}
+
+/// One-line per-bin format provenance: which bins left CSR and for what.
+void print_format_provenance(const core::Plan& plan) {
+  if (!plan.uses_formats()) return;
+  std::string desc;
+  for (const auto& bp : plan.bin_kernels) {
+    if (bp.format == fmt::FormatKind::Csr) continue;
+    if (!desc.empty()) desc += ", ";
+    desc += "bin " + std::to_string(bp.bin_id) + " -> " +
+            fmt::format_cname(bp.format);
+  }
+  std::printf("formats: %s (other bins stay csr)\n", desc.c_str());
 }
 
 gen::Family family_from_name(const std::string& name) {
@@ -238,11 +260,14 @@ int cmd_run(const util::Cli& cli) {
       core::Tuner(a)
           .predictor(*pred)
           .backend(backend_kind)
+          .formats(format_from_cli(cli))
           .profile(profile_path.empty() ? nullptr : &profile)
           .build();
-  std::printf("auto plan: %s (backend %s)\n\n",
+  std::printf("auto plan: %s (backend %s)\n",
               auto_spmv.plan().to_string().c_str(),
               exec::backend_cname(backend_kind));
+  print_format_provenance(auto_spmv.plan());
+  std::printf("\n");
 
   baseline::CsrAdaptive<float> adaptive(a, clsim::default_engine());
   struct Row {
@@ -383,6 +408,7 @@ int cmd_serve_bench(const util::Cli& cli) {
     const auto spmv = core::Tuner(*a)
                           .predictor(*pred)
                           .backend(backend_from_cli(cli))
+                          .formats(format_from_cli(cli))
                           .build();
     std::vector<float> y(static_cast<std::size_t>(a->rows()));
     spmv.run(xs[static_cast<std::size_t>(i)], std::span<float>(y));
@@ -395,6 +421,7 @@ int cmd_serve_bench(const util::Cli& cli) {
   opts.max_batch = max_batch;
   opts.queue_high_water = static_cast<std::size_t>(requests) + 16;
   opts.backend = backend_from_cli(cli);
+  opts.format = format_from_cli(cli);
   opts.profile = &profile;
   // --plan-store warm-starts the cache from disk (and flushes plans back
   // on shutdown), so a repeated bench run skips the planning pass.
@@ -419,6 +446,11 @@ int cmd_serve_bench(const util::Cli& cli) {
   {
     serve::SpmvService<float> service(*pred, opts);
     (void)service.run(a, xs.front());  // warm the plan cache off-clock
+    {
+      const auto entry = service.cache().get(a);
+      std::printf("served plan: %s\n", entry->runtime.plan().to_string().c_str());
+      print_format_provenance(entry->runtime.plan());
+    }
     // Pipelined clients: submit everything, then collect — queue depth is
     // what lets workers coalesce multi-vector batches.
     std::vector<std::future<std::vector<float>>> futs(
@@ -555,6 +587,7 @@ int cmd_adapt_bench(const util::Cli& cli) {
   serve::ServiceOptions opts;
   opts.workers = workers;
   opts.backend = backend_from_cli(cli);
+  opts.format = format_from_cli(cli);
   opts.profile = &profile;
   adapt::AdaptOptions aopts;
   aopts.trial_fraction = trial_fraction;
@@ -574,6 +607,13 @@ int cmd_adapt_bench(const util::Cli& cli) {
     aopts.backend_min_samples = 2;
     aopts.backend_hysteresis = 1.05;
     aopts.backend_cooldown = 4;
+  }
+  if (cli.get_bool("explore-format", false)) {
+    aopts.explore_formats = true;
+    aopts.format_trial_fraction = cli.get_double("format-fraction", 0.5);
+    aopts.format_min_samples = 2;
+    aopts.format_hysteresis = 1.05;
+    aopts.format_cooldown = 4;
   }
   opts.adapt = aopts;
   adapt::PlanStore store(store_path);
@@ -614,6 +654,10 @@ int cmd_adapt_bench(const util::Cli& cli) {
     std::printf("adapt backend: %llu trials, %llu promotions\n",
                 static_cast<unsigned long long>(ad.b_trials),
                 static_cast<unsigned long long>(ad.b_promotions));
+  if (ad.f_trials > 0 || ad.f_promotions > 0)
+    std::printf("adapt format: %llu trials, %llu promotions\n",
+                static_cast<unsigned long long>(ad.f_trials),
+                static_cast<unsigned long long>(ad.f_promotions));
 
   // What shipped to the store is the refined plan; time it oracle-style.
   adapt::PlanStore reread(store_path);
@@ -624,6 +668,7 @@ int cmd_adapt_bench(const util::Cli& cli) {
     std::printf("refined plan:      %s  (%.2f GFLOP/s, rev %llu)\n",
                 stored->plan.to_string().c_str(), refined_gf,
                 static_cast<unsigned long long>(stored->plan.revision));
+    print_format_provenance(stored->plan);
     std::printf("recovery: %.0f%% of oracle (mispredicted start was "
                 "%.0f%%)\n",
                 100.0 * refined_gf / oracle_gf, 100.0 * mis_gf / oracle_gf);
@@ -708,13 +753,20 @@ int cmd_plan_store(const util::Cli& cli) {
                      std::tie(r.first.rows, r.first.nnz, r.first.row_hash);
             });
   for (const auto& [key, sp] : entries) {
+    // Tuned-U provenance: "U<-U0" marks a granularity the online tuner
+    // promoted away from the predictor's original choice U0.
+    std::string tuned_u = "-";
+    if (sp.plan.unit_tuned)
+      tuned_u = std::to_string(sp.plan.unit) + "<-" +
+                std::to_string(sp.plan.predicted_unit);
     std::printf("  %8lld x %-8lld %10lld nnz  hash 0x%016llx  rev %-3llu "
-                "%6.2f GF  %4llu trials  %s\n",
+                "tuned-U %-12s %6.2f GF  %4llu trials  %s\n",
                 static_cast<long long>(key.rows),
                 static_cast<long long>(key.cols),
                 static_cast<long long>(key.nnz),
                 static_cast<unsigned long long>(key.row_hash),
-                static_cast<unsigned long long>(sp.plan.revision), sp.gflops,
+                static_cast<unsigned long long>(sp.plan.revision),
+                tuned_u.c_str(), sp.gflops,
                 static_cast<unsigned long long>(sp.trials),
                 sp.plan.to_string().c_str());
   }
