@@ -64,22 +64,32 @@ double whole_plan_gflops(const exec::Backend& backend, const CsrMatrix<T>& a,
 /// Timed execution of one bin under one physical format: CSR runs the
 /// bin's planned kernel, any other format builds the layout OUTSIDE the
 /// timed section and launches the backend's layout kernel. A layout the
-/// builder rejects (or a backend that cannot run it) earns a zero-reward
-/// sample — the bandit learns to avoid it instead of crashing the worker.
+/// builder rejects returns a negative sentinel — the caller negative-caches
+/// the format so the failing transformation is never re-attempted; a kernel
+/// that cannot run earns a zero-reward sample. Neither crashes the worker.
 template <typename T>
 double bin_format_gflops(const exec::Backend& backend, const CsrMatrix<T>& a,
                          std::span<const T> x, std::span<T> y,
                          std::span<const index_t> vrows, index_t unit,
                          kernels::KernelId kernel, fmt::FormatKind format,
                          int bin_id, double flops) {
+  fmt::BinLayout<T> layout;
+  if (format != fmt::FormatKind::Csr) {
+    try {
+      layout = fmt::build_bin_layout(a, vrows, unit, format, bin_id);
+    } catch (const std::exception& e) {
+      util::log_warn() << "adapt format trial: builder rejected bin "
+                       << bin_id << " as " << fmt::format_cname(format)
+                       << " (excluded from future trials): " << e.what();
+      return -1.0;
+    }
+  }
   try {
     if (format == fmt::FormatKind::Csr) {
       util::Timer t;
       backend.run_binned(kernel, a, x, y, vrows, unit);
       return flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
     }
-    const fmt::BinLayout<T> layout =
-        fmt::build_bin_layout(a, vrows, unit, format, bin_id);
     util::Timer t;
     backend.run_layout(a, layout, x, y);
     return flops / std::max(t.elapsed_s(), 1e-12) * 1e-9;
@@ -423,16 +433,20 @@ template <typename T>
 fmt::FormatKind BanditTuner<T>::pick_format_challenger(
     const FormatArms& fa, const std::vector<fmt::FormatKind>& pool,
     fmt::FormatKind incumbent) {
+  // Builder-rejected formats are negative-cached and never re-picked: a
+  // rejection is deterministic for a given bin (the build would just fail
+  // and re-log every time), so re-exploring it buys nothing.
   // Unexplored suitable formats first, in the estimator's priority order —
   // every plausible layout gets one sample before exploitation starts.
   for (fmt::FormatKind k : pool) {
-    if (k == incumbent) continue;
+    if (k == incumbent || fa.rejected[static_cast<std::size_t>(k)]) continue;
     if (fa.arms[static_cast<std::size_t>(k)].samples == 0) return k;
   }
   std::vector<fmt::FormatKind> candidates;
   candidates.reserve(pool.size());
   for (fmt::FormatKind k : pool)
-    if (k != incumbent) candidates.push_back(k);
+    if (k != incumbent && !fa.rejected[static_cast<std::size_t>(k)])
+      candidates.push_back(k);
   if (candidates.empty()) return incumbent;
   if (rng_.uniform() < opts_.epsilon)
     return candidates[rng_.bounded(candidates.size())];
@@ -498,6 +512,17 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::format_trial(
           bin_format_gflops(backend, a, x, std::span<T>(y), vspan,
                             bins.unit(), kernel, challenger, bin, flops);
     }
+  }
+  // A negative measurement is the builder-rejection sentinel: negative-cache
+  // the format (pick_format_challenger excludes it from now on) and record
+  // the trial as a zero-reward sample.
+  if (inc_gflops < 0.0) {
+    fa.rejected[static_cast<std::size_t>(incumbent)] = true;
+    inc_gflops = 0.0;
+  }
+  if (ch_gflops < 0.0) {
+    fa.rejected[static_cast<std::size_t>(challenger)] = true;
+    ch_gflops = 0.0;
   }
   fa.arms[static_cast<std::size_t>(incumbent)].add(inc_gflops);
   fa.arms[static_cast<std::size_t>(challenger)].add(ch_gflops);

@@ -56,7 +56,9 @@
 // `format_trial_fraction` share of trials shadow-measures ONE alternative
 // layout on one hot bin, back-to-back with the bin's incumbent format on
 // the same kernel. The challenger pool is fmt::suitable_formats() over the
-// bin's features, so obviously-hopeless layouts are never timed; the
+// bin's features, so obviously-hopeless layouts are never timed, and a
+// format whose layout build the builder rejects is negative-cached per bin
+// — the deterministic failure is attempted once, not on every trial; the
 // transformation itself runs OUTSIDE the timed section (arms compare
 // steady-state execution — PlanLayouts' amortization policy separately
 // decides when a build is worth paying at serving time). Format arms are
@@ -184,7 +186,10 @@ struct AdaptOptions {
   /// Trials to skip format exploration after a format promotion.
   int format_cooldown = 8;
   /// Test seam for format trials: when set, replaces the timed bin runs —
-  /// returns the "measured" GFLOP/s for (bin, format).
+  /// returns the "measured" GFLOP/s for (bin, format). A negative value is
+  /// the builder-rejection sentinel: the format is negative-cached for the
+  /// bin (excluded from future challenger picks) and the trial records a
+  /// zero-reward sample.
   std::function<double(int, fmt::FormatKind)> measure_format_override;
 };
 
@@ -240,6 +245,11 @@ class BanditTuner {
   /// Per-(bin, format) reward estimates (the fourth-level arm space).
   struct FormatArms {
     Arm arms[fmt::kFormatCount];
+    /// Negative cache of builder rejections: a format whose layout build
+    /// failed on this bin is deterministic dead weight (the build would
+    /// fail identically every time), so it is excluded from the challenger
+    /// pool instead of re-attempted.
+    bool rejected[fmt::kFormatCount] = {};
     std::uint64_t pulls = 0;
   };
 

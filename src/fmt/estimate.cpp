@@ -68,7 +68,11 @@ std::vector<FormatKind> suitable_formats(const BinFeatures& f) {
   if (f.padding_ratio <= 2.0 && f.max_len <= 256) out.push_back(FormatKind::Ell);
   if (f.max_row_span <= 65535 && f.avg_len >= 4.0)
     out.push_back(FormatKind::Dcsr);
-  out.push_back(FormatKind::Coo);
+  // Same scatter signals as the point estimate, at half strength: COO only
+  // enters the pool when the bin shows some emptiness or short rows — on a
+  // dense uniform bin it cannot beat CSR, so timing it is pure trial waste.
+  if (f.empty_rows * 4 >= f.rows || f.avg_len <= 4.0)
+    out.push_back(FormatKind::Coo);
   return out;
 }
 

@@ -6,7 +6,7 @@
 namespace spmv::fmt {
 
 template <typename T>
-typename PlanLayouts<T>::Slot& PlanLayouts<T>::slot_for(const void* key) {
+typename PlanLayouts<T>::Slot& PlanLayouts<T>::slot_for(std::uint64_t key) {
   tick_ += 1;
   for (auto& s : slots_) {
     if (s.key == key) {
@@ -36,7 +36,7 @@ typename PlanLayouts<T>::Slot& PlanLayouts<T>::slot_for(const void* key) {
 template <typename T>
 std::uint64_t PlanLayouts<T>::note_run(const CsrMatrix<T>& a) {
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slot_for(static_cast<const void*>(a.vals().data()));
+  Slot& s = slot_for(a.instance_id());
   s.uses += 1;
   return s.uses;
 }
@@ -47,7 +47,7 @@ std::shared_ptr<const BinLayout<T>> PlanLayouts<T>::acquire(
     FormatKind kind, int bin_id) {
   if (kind == FormatKind::Csr) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
-  Slot& s = slot_for(static_cast<const void*>(a.vals().data()));
+  Slot& s = slot_for(a.instance_id());
   const BinKey key{unit, bin_id, kind};
   if (const auto it = s.built.find(key); it != s.built.end()) {
     if (it->second != nullptr) stats_.hits += 1;

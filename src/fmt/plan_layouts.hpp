@@ -10,11 +10,16 @@
 // cannot recoup. Failed builds (the builder's unsuitability throws) are
 // negatively cached so a hopeless bin is attempted exactly once.
 //
-// Keying is by matrix *instance* (the values pointer): the serving layer
-// caches plans by structural fingerprint but executes each request against
-// the request's own matrix object, whose values may differ — a layout
-// embeds values, so it must be bound to the instance, not the fingerprint.
-// A small LRU of matrix slots bounds memory across instances.
+// Keying is by matrix *instance* (CsrMatrix::instance_id): the serving
+// layer caches plans by structural fingerprint but executes each request
+// against the request's own matrix object, whose values may differ — a
+// layout embeds values, so it must be bound to the instance, not the
+// fingerprint. The id is process-unique and never recycled (a raw buffer
+// address is not: a freed matrix's allocation can be handed to a later
+// same-shape matrix with different values, which would alias its slot and
+// serve a stale layout), and vals_mutable() re-issues it, so a slot can
+// never outlive the values it was built from. A small LRU of matrix slots
+// bounds memory across instances.
 #pragma once
 
 #include <cstdint>
@@ -78,7 +83,7 @@ class PlanLayouts {
     }
   };
   struct Slot {
-    const void* key = nullptr;  ///< a.vals().data() — instance identity
+    std::uint64_t key = 0;  ///< CsrMatrix::instance_id() — never recycled
     std::uint64_t uses = 0;
     std::uint64_t last_touch = 0;
     /// Built layouts; a present-but-null entry is a negative cache (the
@@ -88,7 +93,7 @@ class PlanLayouts {
 
   static constexpr std::size_t kMaxSlots = 4;
 
-  Slot& slot_for(const void* key);  // callers hold mu_
+  Slot& slot_for(std::uint64_t key);  // callers hold mu_
 
   AmortizationPolicy policy_;
   mutable std::mutex mu_;

@@ -1,8 +1,16 @@
 #include "sparse/csr.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace spmv {
+
+namespace detail {
+std::uint64_t next_matrix_instance_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace detail
 
 template <typename T>
 CsrMatrix<T>::CsrMatrix(index_t rows, index_t cols,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -10,6 +11,12 @@
 #include "sparse/types.hpp"
 
 namespace spmv {
+
+namespace detail {
+/// Process-unique, never-recycled id source for CsrMatrix::instance_id().
+/// Thread-safe; starts at 1 so 0 can mean "no instance".
+std::uint64_t next_matrix_instance_id();
+}  // namespace detail
 
 /// CSR sparse matrix.
 ///
@@ -31,6 +38,49 @@ class CsrMatrix {
   CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
             std::vector<index_t> col_idx, std::vector<T> vals);
 
+  // The instance id identifies "these values in this object". A copy is a
+  // new instance (its values can diverge after the copy); a move carries
+  // the buffers, so the id travels with them and the moved-from shell is
+  // re-issued a fresh one. Ids are never recycled, so — unlike a buffer
+  // address — an id observed once can never later denote different values.
+  CsrMatrix(const CsrMatrix& o)
+      : rows_(o.rows_),
+        cols_(o.cols_),
+        row_ptr_(o.row_ptr_),
+        col_idx_(o.col_idx_),
+        vals_(o.vals_) {}
+  CsrMatrix& operator=(const CsrMatrix& o) {
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    row_ptr_ = o.row_ptr_;
+    col_idx_ = o.col_idx_;
+    vals_ = o.vals_;
+    instance_id_ = detail::next_matrix_instance_id();
+    return *this;
+  }
+  CsrMatrix(CsrMatrix&& o) noexcept
+      : rows_(o.rows_),
+        cols_(o.cols_),
+        row_ptr_(std::move(o.row_ptr_)),
+        col_idx_(std::move(o.col_idx_)),
+        vals_(std::move(o.vals_)),
+        instance_id_(o.instance_id_) {
+    o.instance_id_ = detail::next_matrix_instance_id();
+  }
+  CsrMatrix& operator=(CsrMatrix&& o) noexcept {
+    if (this != &o) {
+      rows_ = o.rows_;
+      cols_ = o.cols_;
+      row_ptr_ = std::move(o.row_ptr_);
+      col_idx_ = std::move(o.col_idx_);
+      vals_ = std::move(o.vals_);
+      instance_id_ = o.instance_id_;
+      o.instance_id_ = detail::next_matrix_instance_id();
+    }
+    return *this;
+  }
+  ~CsrMatrix() = default;
+
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] offset_t nnz() const { return row_ptr_.back(); }
@@ -38,7 +88,20 @@ class CsrMatrix {
   [[nodiscard]] std::span<const offset_t> row_ptr() const { return row_ptr_; }
   [[nodiscard]] std::span<const index_t> col_idx() const { return col_idx_; }
   [[nodiscard]] std::span<const T> vals() const { return vals_; }
-  [[nodiscard]] std::span<T> vals_mutable() { return vals_; }
+  /// Mutable values. Anything keyed to instance_id() embeds the values it
+  /// saw (e.g. a materialized fmt layout), so handing out write access
+  /// re-issues the id — the caller is free to diverge the buffer.
+  [[nodiscard]] std::span<T> vals_mutable() {
+    instance_id_ = detail::next_matrix_instance_id();
+    return vals_;
+  }
+
+  /// Process-unique identity of this (object, values) pairing — stable
+  /// across const reads, re-issued by copies/moves and vals_mutable().
+  /// Never recycled, so it is safe to key caches of values-derived data by
+  /// it even after the matrix dies (a buffer address is not: allocators
+  /// reuse addresses).
+  [[nodiscard]] std::uint64_t instance_id() const { return instance_id_; }
 
   /// Number of non-zeros in row i.
   [[nodiscard]] offset_t row_nnz(index_t i) const {
@@ -67,6 +130,7 @@ class CsrMatrix {
   std::vector<offset_t> row_ptr_;
   std::vector<index_t> col_idx_;
   std::vector<T> vals_;
+  std::uint64_t instance_id_ = detail::next_matrix_instance_id();
 };
 
 extern template class CsrMatrix<float>;

@@ -491,6 +491,53 @@ TEST(BanditTuner, FormatHysteresisAndCooldownPreventFlapping) {
   EXPECT_EQ(cool.stats().f_promotions, 1u);
 }
 
+TEST(BanditTuner, RejectedFormatsAreNegativeCachedNotRetried) {
+  // A builder rejection is deterministic for a given bin: re-picking the
+  // format would just re-run the failing transformation and re-log the
+  // warning on every epsilon-greedy draw. The rejection sentinel (negative
+  // measurement) must exclude the format after exactly one attempt, while
+  // the surviving challengers keep exploring and can still promote.
+  const auto a = gen::fixed_degree<float>(1500, 1500, 6, 107);
+  core::Plan plan;
+  plan.unit = 100;
+  plan.backend = exec::BackendKind::Native;
+  const auto bins = binning::bin_matrix(a, 100);
+  for (int b : bins.occupied_bins())
+    plan.bin_kernels.push_back({b, kernels::KernelId::Serial});
+  const auto x = random_vector<float>(static_cast<std::size_t>(a.cols()), 109);
+  const auto key = serve::fingerprint_of(a);
+
+  // fixed_degree(6) pool per bin: {Csr, Ell, Dcsr} (COO is gated out by
+  // the scatter signals). Rig Ell as builder-rejected, Dcsr as the winner.
+  int ell_attempts = 0;
+  AdaptOptions opts;
+  opts.trial_fraction = 1.0;
+  opts.explore_formats = true;
+  opts.format_trial_fraction = 1.0;
+  opts.format_min_samples = 2;
+  opts.format_hysteresis = 1.10;
+  opts.hot_bins = 1;
+  opts.epsilon = 0.5;  // heavy exploration: a non-cached reject WOULD recur
+  opts.measure_format_override = [&ell_attempts](int /*bin*/,
+                                                 fmt::FormatKind k) {
+    if (k == fmt::FormatKind::Ell) {
+      ell_attempts += 1;
+      return -1.0;  // builder rejection sentinel
+    }
+    return k == fmt::FormatKind::Dcsr ? 10.0 : 1.0;
+  };
+  BanditTuner<float> tuner(clsim::default_engine(), opts);
+
+  std::optional<BanditTuner<float>::Promotion> promo;
+  for (int i = 0; i < 100 && !promo.has_value(); ++i)
+    promo = tuner.observe(key, plan, bins, a, x);
+  ASSERT_TRUE(promo.has_value());
+  EXPECT_EQ(ell_attempts, 1) << "rejected format was re-tried";
+  for (const core::BinPlan& bp : promo->plan.bin_kernels)
+    EXPECT_NE(bp.format, fmt::FormatKind::Ell);
+  EXPECT_EQ(tuner.stats().f_promotions, 1u);
+}
+
 TEST(BanditTuner, FormatTrialsSkipFormatBlindBackends) {
   // A clsim-stamped plan cannot execute layouts, so the fourth arm level
   // must never divert — the trial budget stays with the kernel arms.

@@ -6,6 +6,7 @@
 // on format-capable and format-blind backends.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -328,6 +329,34 @@ TEST(Estimator, SuitableFormatsAlwaysStartWithCsr) {
   }
 }
 
+TEST(Estimator, SuitablePoolGatesCooOnScatterSignals) {
+  // Dense uniform bin (no empty rows, avg length well above the scatter
+  // bar): COO cannot beat CSR there, so it must not cost a shadow trial.
+  const auto dense = gen::fixed_degree<float>(200, 800, 8, 43);
+  const auto dbins = binning::bin_matrix(dense, dense.rows());
+  const auto df = fmt::compute_bin_features(
+      dense,
+      std::span<const index_t>(dbins.bin(dbins.occupied_bins().front())),
+      dbins.unit());
+  EXPECT_EQ(df.empty_rows, 0u);
+  EXPECT_GT(df.avg_len, 4.0);
+  const auto dpool = fmt::suitable_formats(df);
+  EXPECT_EQ(std::count(dpool.begin(), dpool.end(), fmt::FormatKind::Coo), 0);
+
+  // Mostly-empty scatter bin: COO stays in the pool.
+  auto rows = std::vector<std::vector<std::pair<index_t, float>>>(100);
+  rows[0] = {{0, 1.0f}, {90, 2.0f}, {17, 1.5f}};
+  rows[50] = {{7, 3.0f}};
+  const auto scatter = make_csr(100, rows);
+  const auto sbins = binning::bin_matrix(scatter, scatter.rows());
+  const auto sf = fmt::compute_bin_features(
+      scatter,
+      std::span<const index_t>(sbins.bin(sbins.occupied_bins().front())),
+      sbins.unit());
+  const auto spool = fmt::suitable_formats(sf);
+  EXPECT_EQ(std::count(spool.begin(), spool.end(), fmt::FormatKind::Coo), 1);
+}
+
 // --- PlanLayouts (lazy amortized cache) -----------------------------------
 
 TEST(PlanLayoutsCache, DefersUntilReuseAmortizesThenBuildsOnce) {
@@ -388,6 +417,50 @@ TEST(PlanLayoutsCache, FailedBuildsAreNegativelyCached) {
   }
   EXPECT_EQ(layouts.stats().build_failures, 1u);
   EXPECT_EQ(layouts.stats().builds, 0u);
+}
+
+TEST(PlanLayoutsCache, DistinctInstancesNeverAliasEvenWithEqualStructure) {
+  // Regression: slots used to key by the values-buffer address, so a freed
+  // matrix's allocation handed to a later same-shape matrix aliased the
+  // dead instance's slot and silently served a layout embedding the OLD
+  // values. Slots now key by CsrMatrix::instance_id(), which is never
+  // recycled, so distinct instances — same structure, possibly the same
+  // reused buffer address — are provably disjoint.
+  const auto a = gen::fixed_degree<float>(300, 300, 4, 67);
+  auto b = a;  // identical structure, distinct instance; diverge the values
+  for (auto& v : b.vals_mutable()) v *= 2.0f;
+  const auto bins = binning::bin_matrix(a, 30);
+  const int bin = bins.occupied_bins().front();
+  const auto vspan = std::span<const index_t>(bins.bin(bin));
+
+  fmt::PlanLayouts<float> layouts({.min_reuse = 2});
+  EXPECT_EQ(layouts.note_run(a), 1u);
+  EXPECT_EQ(layouts.note_run(a), 2u);
+  const auto la =
+      layouts.acquire(a, vspan, bins.unit(), fmt::FormatKind::Ell, bin);
+  ASSERT_NE(la, nullptr);
+
+  // b must not inherit a's reuse count, and before it amortizes acquire()
+  // must defer — never hand back a's layout.
+  EXPECT_EQ(layouts.note_run(b), 1u);
+  EXPECT_EQ(layouts.acquire(b, vspan, bins.unit(), fmt::FormatKind::Ell, bin),
+            nullptr);
+  EXPECT_EQ(layouts.note_run(b), 2u);
+  const auto lb =
+      layouts.acquire(b, vspan, bins.unit(), fmt::FormatKind::Ell, bin);
+  ASSERT_NE(lb, nullptr);
+  EXPECT_NE(lb.get(), la.get());
+  // The second build embeds b's values, not a's.
+  ASSERT_EQ(la->ell.val.size(), lb->ell.val.size());
+  for (std::size_t i = 0; i < la->ell.val.size(); ++i)
+    ASSERT_FLOAT_EQ(lb->ell.val[i], 2.0f * la->ell.val[i]) << "entry " << i;
+  EXPECT_EQ(layouts.stats().builds, 2u);
+
+  // In-place mutation re-issues the instance id, so the now-stale layout
+  // is unreachable through the mutated matrix too (fresh slot, deferred).
+  for (auto& v : b.vals_mutable()) v += 1.0f;
+  EXPECT_EQ(layouts.acquire(b, vspan, bins.unit(), fmt::FormatKind::Ell, bin),
+            nullptr);
 }
 
 // --- end-to-end through the tuner -----------------------------------------

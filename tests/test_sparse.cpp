@@ -129,6 +129,36 @@ TEST(Csr, EmptyMatrix) {
   EXPECT_TRUE(empty.validate());
 }
 
+TEST(Csr, InstanceIdIdentifiesValuesBinding) {
+  // The id binds "this object with these values". Layout caches key by it,
+  // so it must be unique per instance, survive moves (the buffers travel),
+  // and be re-issued whenever the values could diverge (copies, mutable
+  // access) — and never be recycled, unlike a freed buffer's address.
+  CsrMatrix<double> a(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0});
+  CsrMatrix<double> b(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0});
+  EXPECT_NE(a.instance_id(), 0u);
+  EXPECT_NE(a.instance_id(), b.instance_id());  // same content, distinct ids
+
+  const auto stable = a.instance_id();
+  EXPECT_EQ(a.instance_id(), stable);  // const reads never change it
+  (void)a.vals();
+  EXPECT_EQ(a.instance_id(), stable);
+
+  CsrMatrix<double> copy = a;  // a copy's values can diverge later
+  EXPECT_NE(copy.instance_id(), stable);
+  b = a;
+  EXPECT_NE(b.instance_id(), stable);
+  EXPECT_NE(b.instance_id(), copy.instance_id());
+
+  CsrMatrix<double> moved = std::move(copy);  // buffers move, id follows
+  const auto copy_id = moved.instance_id();
+  EXPECT_NE(copy_id, stable);
+  EXPECT_NE(copy.instance_id(), copy_id);  // moved-from shell is re-issued
+
+  (void)a.vals_mutable();  // write access: values may have changed
+  EXPECT_NE(a.instance_id(), stable);
+}
+
 TEST(Csr, BytesAccountsArrays) {
   const auto csr = coo_to_csr(example_coo());
   EXPECT_EQ(csr.bytes(), 5 * sizeof(offset_t) + 8 * sizeof(index_t) +
