@@ -11,7 +11,8 @@
 //   serve_throughput [--rows N] [--requests R] [--clients C] [--workers W]
 //                    [--max-batch B] [--reps K] [--backend clsim|native]
 //                    [--format csr|auto] [--short-rows] [--profile out.json]
-//                    [--json BENCH_serve.json]
+//                    [--json BENCH_serve.json] [--metrics-out metrics.txt]
+//                    [--obs-dir dir]
 //
 // --backend selects the execution backend every plan is stamped with
 // (exec/backend.hpp); --format auto lets the fmt estimator stamp per-bin
@@ -24,6 +25,10 @@
 // request-latency percentiles) for CI artifact upload — the CI job runs it
 // once per backend (and, on native, once per format mode) and uploads the
 // set for comparison — alongside the full --profile RunProfile.
+// --metrics-out writes the Prometheus exposition (latency histograms carry
+// exemplars); --obs-dir streams spans/stats into rotating JSONL segments
+// (spmv::obs) while the bench runs — either flag turns tracing on so the
+// exemplars and segments have spans to point at.
 #include <atomic>
 #include <fstream>
 #include <future>
@@ -72,6 +77,19 @@ int main(int argc, char** argv) {
   const exec::BackendKind backend = backend_from_cli(cli);
   const fmt::FormatMode format = format_from_cli(cli);
   const bool short_rows = cli.get_bool("short-rows", false);
+  const std::string metrics_path = cli.get("metrics-out");
+  const std::string obs_dir = cli.get("obs-dir");
+
+  // Telemetry wants trace ids: exemplars in --metrics-out and segment
+  // files under --obs-dir both resolve through them.
+  if (!metrics_path.empty() || !obs_dir.empty()) trace::start();
+  std::unique_ptr<obs::StreamingSink> sink;
+  if (!obs_dir.empty()) {
+    obs::SinkOptions sopts;
+    sopts.directory = obs_dir;
+    sink = std::make_unique<obs::StreamingSink>(sopts);
+    sink->attach();
+  }
 
   // Three recurring matrix structures, as a serving workload would see
   // (e.g. the same operators queried by many clients). --short-rows keeps
@@ -141,6 +159,7 @@ int main(int argc, char** argv) {
     prof::RunProfile rep_profile;
     serve::ServiceOptions rep_opts = opts;
     rep_opts.profile = &rep_profile;
+    rep_opts.obs_sink = sink.get();
     serve::SpmvService<float> service(pred, rep_opts);
     // Warm the cache: planning cost is paid once per structure, off-clock
     // (a steady-state serving process has a warm cache).
@@ -163,6 +182,23 @@ int main(int argc, char** argv) {
       serve_s = wall_s;
       profile.serve = rep_profile.serve;
     }
+  }
+
+  if (!metrics_path.empty() || !obs_dir.empty()) {
+    trace::stop();
+    const auto snap = trace::snapshot();
+    profile.trace_stats.events = snap.events.size();
+    profile.trace_stats.dropped_spans = snap.dropped;
+    profile.trace_stats.threads = snap.threads;
+  }
+  if (sink != nullptr) {
+    sink->detach();  // workers joined, tracing stopped — no racing emits
+    sink->close();
+    const auto ss = sink->stats();
+    std::printf("obs sink %s: %llu flushed, %llu dropped, %zu segment(s)\n",
+                obs_dir.c_str(), static_cast<unsigned long long>(ss.flushed),
+                static_cast<unsigned long long>(ss.dropped),
+                sink->segment_files().size());
   }
 
   const double naive_rps = requests / naive_s;
@@ -218,6 +254,16 @@ int main(int argc, char** argv) {
   }
 
   write_profile(cli, profile);
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << prof::prometheus_text(profile);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
 
   // --json: the machine-readable summary CI uploads and the regression gate
   // can diff across commits.

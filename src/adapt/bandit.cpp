@@ -347,6 +347,7 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::unit_trial(
   promo.plan.bin_kernels = std::move(ckernels);
   promo.gflops = ch_arm.mean_gflops;
   promo.rebinned = true;
+  promo.level = 2;
   stats_.promotions += 1;
   stats_.u_promotions += 1;
   st.unit_cooldown = opts_.unit_cooldown;
@@ -416,6 +417,7 @@ BanditTuner<T>::backend_trial(KeyState& st, const core::Plan& plan,
   promo.plan.backend = challenger_b;
   promo.plan.revision = plan.revision + 1;
   promo.gflops = ch_arm.mean_gflops;
+  promo.level = 3;
   stats_.promotions += 1;
   stats_.b_promotions += 1;
   st.backend_cooldown = opts_.backend_cooldown;
@@ -548,6 +550,7 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::format_trial(
   for (core::BinPlan& bp : promo.plan.bin_kernels)
     if (bp.bin_id == bin) bp.format = challenger;
   promo.gflops = ch_arm.mean_gflops;
+  promo.level = 4;
   stats_.promotions += 1;
   stats_.f_promotions += 1;
   st.format_cooldown = opts_.format_cooldown;

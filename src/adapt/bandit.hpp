@@ -207,6 +207,10 @@ class BanditTuner {
     /// kernel on one bin. Backend promotions keep the bins and leave this
     /// false.
     bool rebinned = false;
+    /// Which arm level won: 1 kernel, 2 unit (U), 3 backend, 4 format —
+    /// matching prof::Exemplar::promo_level, so a latency exemplar can
+    /// name the provenance of the plan change that preceded it.
+    std::uint8_t level = 1;
   };
 
   BanditTuner(const clsim::Engine& engine, AdaptOptions opts);

@@ -62,11 +62,13 @@
 #include "ml/decision_tree.hpp"         // C4.5/C5.0-style tree learner
 #include "ml/features.hpp"              // Table-I feature extraction
 #include "ml/ruleset.hpp"               // if-then rule sets
+#include "obs/sink.hpp"                 // streaming telemetry sink
 #include "prof/compare.hpp"             // profile regression gate
 #include "prof/counters.hpp"            // telemetry flag & engine counters
 #include "prof/histogram.hpp"           // log-bucketed latency histograms
 #include "prof/json.hpp"                // minimal JSON value type
 #include "prof/profile.hpp"             // RunProfile telemetry aggregate
+#include "prof/trajectory.hpp"          // perf-trajectory history & gate
 #include "serve/fingerprint.hpp"        // structural matrix fingerprints
 #include "serve/plan_cache.hpp"         // LRU cache of built runtimes
 #include "serve/service.hpp"            // concurrent serving layer

@@ -46,14 +46,22 @@ CompareResult compare_profiles(const RunProfile& baseline,
   if (baseline.runs > 0 && current.runs > 0)
     add_metric(result, "run_mean_s", mean_run_s(baseline), mean_run_s(current),
                threshold);
-  if (baseline.plan_timing.total_s() > 0.0 &&
-      current.plan_timing.total_s() > 0.0)
-    add_metric(result, "plan_total_s", baseline.plan_timing.total_s(),
-               current.plan_timing.total_s(), threshold);
+  else if (baseline.runs > 0)
+    result.missing.push_back("run_mean_s");
+  if (baseline.plan_timing.total_s() > 0.0) {
+    if (current.plan_timing.total_s() > 0.0)
+      add_metric(result, "plan_total_s", baseline.plan_timing.total_s(),
+                 current.plan_timing.total_s(), threshold);
+    else
+      result.missing.push_back("plan_total_s");
+  }
 
-  // Per-bin kernel time, matched by (bin id, kernel). Bins present on only
-  // one side (a different plan was chosen) are skipped — the end-to-end
-  // run_mean_s metric is the arbiter of whether the new plan is a loss.
+  // Per-bin kernel time, matched by (bin id, kernel). A bin only the
+  // CURRENT side has is informational (a different plan was chosen; the
+  // end-to-end run_mean_s metric arbitrates whether that plan is a loss) —
+  // but a baseline bin the current profile lost is a schema mismatch: the
+  // bin or kernel was renamed/removed and its history is no longer
+  // comparable.
   for (const BinRunSample& cur : current.bins) {
     const BinRunSample* base = find_bin(baseline, cur.bin_id, cur.kernel);
     if (base == nullptr) continue;
@@ -61,23 +69,43 @@ CompareResult compare_profiles(const RunProfile& baseline,
                "bin" + std::to_string(cur.bin_id) + "_" + cur.kernel + "_s",
                mean_bin_s(*base), mean_bin_s(cur), threshold);
   }
+  for (const BinRunSample& base : baseline.bins) {
+    if (find_bin(current, base.bin_id, base.kernel) == nullptr)
+      result.missing.push_back("bin" + std::to_string(base.bin_id) + "_" +
+                               base.kernel + "_s");
+  }
 
   const ServeStats& bs = baseline.serve;
   const ServeStats& cs = current.serve;
-  if (!bs.request_latency.empty() && !cs.request_latency.empty()) {
-    add_metric(result, "serve_request_p50_s", bs.request_latency.percentile(50),
-               cs.request_latency.percentile(50), threshold);
-    add_metric(result, "serve_request_p95_s", bs.request_latency.percentile(95),
-               cs.request_latency.percentile(95), threshold);
-    add_metric(result, "serve_request_p99_s", bs.request_latency.percentile(99),
-               cs.request_latency.percentile(99), threshold);
+  if (!bs.request_latency.empty()) {
+    if (!cs.request_latency.empty()) {
+      add_metric(result, "serve_request_p50_s",
+                 bs.request_latency.percentile(50),
+                 cs.request_latency.percentile(50), threshold);
+      add_metric(result, "serve_request_p95_s",
+                 bs.request_latency.percentile(95),
+                 cs.request_latency.percentile(95), threshold);
+      add_metric(result, "serve_request_p99_s",
+                 bs.request_latency.percentile(99),
+                 cs.request_latency.percentile(99), threshold);
+    } else {
+      result.missing.push_back("serve_request_latency");
+    }
   }
-  if (!bs.queue_wait.empty() && !cs.queue_wait.empty())
-    add_metric(result, "serve_queue_wait_p95_s", bs.queue_wait.percentile(95),
-               cs.queue_wait.percentile(95), threshold);
-  if (!bs.batch_exec.empty() && !cs.batch_exec.empty())
-    add_metric(result, "serve_batch_exec_p50_s", bs.batch_exec.percentile(50),
-               cs.batch_exec.percentile(50), threshold);
+  if (!bs.queue_wait.empty()) {
+    if (!cs.queue_wait.empty())
+      add_metric(result, "serve_queue_wait_p95_s", bs.queue_wait.percentile(95),
+                 cs.queue_wait.percentile(95), threshold);
+    else
+      result.missing.push_back("serve_queue_wait");
+  }
+  if (!bs.batch_exec.empty()) {
+    if (!cs.batch_exec.empty())
+      add_metric(result, "serve_batch_exec_p50_s", bs.batch_exec.percentile(50),
+                 cs.batch_exec.percentile(50), threshold);
+    else
+      result.missing.push_back("serve_batch_exec");
+  }
   return result;
 }
 

@@ -25,6 +25,11 @@ struct MetricDelta {
 
 struct CompareResult {
   std::vector<MetricDelta> metrics;
+  /// Metric sections the baseline carries but the current profile lacks —
+  /// a schema mismatch (renamed bin/kernel, dropped histogram), not a
+  /// regression. The CLI gate reports these with a distinct exit code so a
+  /// renamed metric can never masquerade as "no regression".
+  std::vector<std::string> missing;
 
   [[nodiscard]] bool regressed() const {
     for (const MetricDelta& m : metrics) {
@@ -32,6 +37,8 @@ struct CompareResult {
     }
     return false;
   }
+
+  [[nodiscard]] bool schema_mismatch() const { return !missing.empty(); }
 };
 
 /// Compare `current` against `baseline` with a multiplicative `threshold`
@@ -39,7 +46,9 @@ struct CompareResult {
 /// profiles carry it: mean run time, plan-construction time, per-bin mean
 /// kernel time (matched by bin id + kernel name), and the serve latency
 /// percentiles (request p50/p95/p99, queue-wait p95, batch-exec p50).
-/// Throws std::invalid_argument when threshold <= 0.
+/// A section the baseline has but the current profile lost (runs, plan
+/// timing, a bin, a latency histogram) is recorded in `missing` instead of
+/// being silently skipped. Throws std::invalid_argument when threshold <= 0.
 CompareResult compare_profiles(const RunProfile& baseline,
                                const RunProfile& current, double threshold);
 

@@ -1,9 +1,43 @@
 #include "prof/histogram.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace spmv::prof {
+
+namespace {
+
+/// Process-wide recency order for exemplars. Histograms merged from many
+/// shards (per-worker ServeStats) need a total order to pick "most recent"
+/// without comparing wall clocks; a single relaxed counter gives one.
+std::atomic<std::uint64_t> g_exemplar_seq{0};
+
+/// `b` wins over `a` when `a` is empty, when `b` is traced and `a` is not,
+/// or — at equal tracedness — when `b` is newer.
+bool exemplar_wins(const Exemplar& a, const Exemplar& b) {
+  if (!b.valid()) return false;
+  if (!a.valid()) return true;
+  const bool a_traced = a.trace_id != 0;
+  const bool b_traced = b.trace_id != 0;
+  if (a_traced != b_traced) return b_traced;
+  return b.seq > a.seq;
+}
+
+std::string u64_hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t u64_from_hex(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+}  // namespace
 
 int LatencyHistogram::bucket_index(double seconds) {
   if (!(seconds > kMinSeconds)) return 0;  // also catches NaN / negatives
@@ -30,11 +64,31 @@ void LatencyHistogram::add(double seconds) {
   total_s_ += seconds;
 }
 
+void LatencyHistogram::add(double seconds, Exemplar exemplar) {
+  add(seconds);
+  exemplar.value_s = seconds > 0.0 ? seconds : 0.0;
+  exemplar.seq = g_exemplar_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Exemplar& slot =
+      exemplars_[static_cast<std::size_t>(bucket_index(exemplar.value_s))];
+  if (exemplar_wins(slot, exemplar)) slot = exemplar;
+}
+
+bool LatencyHistogram::has_exemplars() const {
+  for (const Exemplar& e : exemplars_)
+    if (e.valid()) return true;
+  return false;
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   if (other.count_ == 0) return;
   for (int i = 0; i < kBuckets; ++i)
     buckets_[static_cast<std::size_t>(i)] +=
         other.buckets_[static_cast<std::size_t>(i)];
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (exemplar_wins(exemplars_[idx], other.exemplars_[idx]))
+      exemplars_[idx] = other.exemplars_[idx];
+  }
   if (count_ == 0 || other.min_s_ < min_s_) min_s_ = other.min_s_;
   max_s_ = std::max(max_s_, other.max_s_);
   count_ += other.count_;
@@ -78,6 +132,29 @@ Json LatencyHistogram::to_json() const {
     buckets.push_back(std::move(pair));
   }
   j.set("buckets", buckets);
+  if (has_exemplars()) {
+    Json exemplars = Json::array();
+    for (int i = 0; i < kBuckets; ++i) {
+      const Exemplar& e = exemplars_[static_cast<std::size_t>(i)];
+      if (!e.valid()) continue;
+      Json ej = Json::object();
+      ej.set("trace_id", e.trace_id);
+      ej.set("value_s", e.value_s);
+      ej.set("seq", e.seq);
+      // Hashes are serialized as hex strings: Json numbers are doubles and
+      // would silently round 64-bit hashes.
+      ej.set("fingerprint", u64_hex(e.fingerprint));
+      ej.set("plan_revision", e.plan_revision);
+      ej.set("backend", static_cast<std::int64_t>(e.backend));
+      ej.set("formats", e.formats);
+      ej.set("promo_level", static_cast<std::int64_t>(e.promo_level));
+      Json pair = Json::array();
+      pair.push_back(i);
+      pair.push_back(std::move(ej));
+      exemplars.push_back(std::move(pair));
+    }
+    j.set("exemplars", exemplars);
+  }
   return j;
 }
 
@@ -91,6 +168,23 @@ LatencyHistogram LatencyHistogram::from_json(const Json& j) {
     const auto i = static_cast<std::size_t>(pair.at(0).as_int());
     if (i < static_cast<std::size_t>(kBuckets))
       h.buckets_[i] = pair.at(1).as_uint();
+  }
+  if (const Json* exemplars = j.find("exemplars")) {
+    for (const Json& pair : exemplars->items()) {
+      const auto i = static_cast<std::size_t>(pair.at(0).as_int());
+      if (i >= static_cast<std::size_t>(kBuckets)) continue;
+      const Json& ej = pair.at(1);
+      Exemplar e;
+      e.trace_id = ej.at("trace_id").as_uint();
+      e.value_s = ej.at("value_s").as_number();
+      e.seq = ej.at("seq").as_uint();
+      e.fingerprint = u64_from_hex(ej.at("fingerprint").as_string());
+      e.plan_revision = ej.at("plan_revision").as_uint();
+      e.backend = static_cast<std::uint8_t>(ej.at("backend").as_int());
+      e.formats = ej.at("formats").as_bool();
+      e.promo_level = static_cast<std::uint8_t>(ej.at("promo_level").as_int());
+      h.exemplars_[i] = e;
+    }
   }
   return h;
 }

@@ -13,6 +13,27 @@
 
 namespace spmv::prof {
 
+/// One bucket's exemplar: the most recent sample that landed in the
+/// bucket, carrying the request's trace id and the provenance of the plan
+/// that served it — enough to resolve a p99 bucket directly to a
+/// replayable trace span (obs::StreamingSink segment files) and to the arm
+/// state that produced the plan. Kept POD (no strings) so histograms stay
+/// cheap to copy under stats locks.
+struct Exemplar {
+  std::uint64_t trace_id = 0;     ///< 0 = the request was not traced
+  double value_s = 0.0;           ///< the exemplar sample itself
+  std::uint64_t seq = 0;          ///< process-wide recency order (0 = empty)
+  std::uint64_t fingerprint = 0;  ///< request matrix row_hash
+  std::uint64_t plan_revision = 0;
+  std::uint8_t backend = 0;       ///< exec::BackendKind of the plan
+  bool formats = false;           ///< plan carried non-CSR bin layouts
+  /// Arm level of the latest adapt promotion applied before this sample:
+  /// 0 none, 1 kernel, 2 unit (U), 3 backend, 4 format.
+  std::uint8_t promo_level = 0;
+
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 96;
@@ -22,7 +43,15 @@ class LatencyHistogram {
   /// Record one sample (negative values clamp to 0).
   void add(double seconds);
 
-  /// Fold another histogram in: counts add, min/max widen.
+  /// Record one sample plus its exemplar. The bucket retains the most
+  /// recent exemplar, except that a traced exemplar (trace_id != 0) is
+  /// never displaced by an untraced one — under request sampling the
+  /// bucket keeps a resolvable trace id as long as any sample carried one.
+  /// `exemplar.value_s` and `.seq` are stamped here.
+  void add(double seconds, Exemplar exemplar);
+
+  /// Fold another histogram in: counts add, min/max widen, and each bucket
+  /// keeps the winning exemplar (traced beats untraced, then recency).
   void merge(const LatencyHistogram& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
@@ -50,14 +79,23 @@ class LatencyHistogram {
     return buckets_;
   }
 
+  /// The exemplar retained for bucket `i` (check .valid()).
+  [[nodiscard]] const Exemplar& exemplar(int i) const {
+    return exemplars_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] bool has_exemplars() const;
+
   /// JSON: {count, total_s, min_s, max_s, p50_s, p95_s, p99_s,
-  /// buckets: [[index, count], ...]} — percentiles are written for human
-  /// readers and recomputed from the buckets on load.
+  /// buckets: [[index, count], ...],
+  /// exemplars: [[index, {trace_id, value_s, ...}], ...] (when any)} —
+  /// percentiles are written for human readers and recomputed from the
+  /// buckets on load.
   [[nodiscard]] Json to_json() const;
   static LatencyHistogram from_json(const Json& j);
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
+  std::array<Exemplar, kBuckets> exemplars_{};
   std::uint64_t count_ = 0;
   double total_s_ = 0.0;
   double min_s_ = 0.0;

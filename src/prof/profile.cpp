@@ -183,6 +183,14 @@ Json RunProfile::to_json() const {
     ad.set("f_promotions", adapt.f_promotions);
     j.set("adapt", ad);
   }
+
+  if (!trace_stats.empty()) {
+    Json tr = Json::object();
+    tr.set("events", trace_stats.events);
+    tr.set("dropped_spans", trace_stats.dropped_spans);
+    tr.set("threads", trace_stats.threads);
+    j.set("trace", tr);
+  }
   return j;
 }
 
@@ -289,6 +297,13 @@ RunProfile RunProfile::from_json(const Json& j) {
     if (const Json* v = ad->find("f_promotions"); v != nullptr)
       p.adapt.f_promotions = v->as_uint();
   }
+
+  // Optional: only present when tracing ran alongside the profiled work.
+  if (const Json* tr = j.find("trace"); tr != nullptr) {
+    p.trace_stats.events = tr->at("events").as_uint();
+    p.trace_stats.dropped_spans = tr->at("dropped_spans").as_uint();
+    p.trace_stats.threads = tr->at("threads").as_int();
+  }
   return p;
 }
 
@@ -311,19 +326,35 @@ RunProfile read_profile_file(const std::string& path) {
   return RunProfile::from_json(Json::parse(text.str()));
 }
 
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void metric(std::string& out, const std::string& name, const char* type,
-            double value) {
+            const char* help, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += "# HELP " + name + " " + help + "\n";
   out += "# TYPE " + name + " " + type + "\n";
   out += name + " " + buf + "\n";
 }
 
 /// A latency distribution as a Prometheus summary: quantiles + _sum/_count.
-void summary(std::string& out, const std::string& name,
+void summary(std::string& out, const std::string& name, const char* help,
              const LatencyHistogram& h) {
+  out += "# HELP " + name + " " + help + "\n";
   out += "# TYPE " + name + " summary\n";
   const struct {
     const char* label;
@@ -339,62 +370,174 @@ void summary(std::string& out, const std::string& name,
   out += name + "_count " + std::to_string(h.count()) + "\n";
 }
 
+/// Exemplar label values. Backend numbers follow exec::BackendKind (not
+/// included here — prof sits below exec in the layering).
+const char* backend_label(std::uint8_t backend) {
+  switch (backend) {
+    case 0: return "clsim";
+    case 1: return "native";
+    default: return "unknown";
+  }
+}
+
+const char* promo_label(std::uint8_t level) {
+  switch (level) {
+    case 1: return "kernel";
+    case 2: return "unit";
+    case 3: return "backend";
+    case 4: return "format";
+    default: return "none";
+  }
+}
+
+std::string exemplar_text(const Exemplar& e) {
+  char tid[32];
+  std::snprintf(tid, sizeof(tid), "%016llx",
+                static_cast<unsigned long long>(e.trace_id));
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(e.fingerprint));
+  char val[64];
+  std::snprintf(val, sizeof(val), "%.9g", e.value_s);
+  std::string out = " # {trace_id=\"";
+  out += tid;
+  out += "\",fingerprint=\"";
+  out += fp;
+  out += "\",plan_revision=\"";
+  out += std::to_string(e.plan_revision);
+  out += "\",backend=\"";
+  out += backend_label(e.backend);
+  out += "\",formats=\"";
+  out += e.formats ? "1" : "0";
+  out += "\",promo_level=\"";
+  out += promo_label(e.promo_level);
+  out += "\"} ";
+  out += val;
+  return out;
+}
+
+/// A latency distribution as a full Prometheus histogram: cumulative
+/// `le`-labelled bucket counts (non-empty buckets plus +Inf), _sum and
+/// _count — and, OpenMetrics-style, each non-empty bucket's retained
+/// exemplar appended after `#`.
+void histogram(std::string& out, const std::string& name, const char* help,
+               const LatencyHistogram& h) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " histogram\n";
+  char buf[64];
+  std::uint64_t cum = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t n = h.buckets()[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    cum += n;
+    std::snprintf(buf, sizeof(buf), "%.9g",
+                  LatencyHistogram::bucket_upper_bound(i));
+    out += name + "_bucket{le=\"" + buf + "\"} " + std::to_string(cum);
+    const Exemplar& e = h.exemplar(i);
+    if (e.valid()) out += exemplar_text(e);
+    out += "\n";
+  }
+  out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+  std::snprintf(buf, sizeof(buf), "%.9g", h.total_s());
+  out += name + "_sum " + buf + "\n";
+  out += name + "_count " + std::to_string(h.count()) + "\n";
+}
+
 }  // namespace
 
 std::string prometheus_text(const RunProfile& profile) {
   std::string out;
-  metric(out, "spmv_runs_total", "counter",
+  if (!profile.label.empty()) {
+    out += "# HELP spmv_profile_info Profile identity (value is always 1)\n";
+    out += "# TYPE spmv_profile_info gauge\n";
+    out += "spmv_profile_info{label=\"" +
+           prometheus_escape_label(profile.label) + "\"} 1\n";
+  }
+  metric(out, "spmv_runs_total", "counter", "SpMV executions recorded",
          static_cast<double>(profile.runs));
-  metric(out, "spmv_run_seconds_total", "counter", profile.run_total_s);
-  metric(out, "spmv_plan_seconds", "gauge", profile.plan_timing.total_s());
+  metric(out, "spmv_run_seconds_total", "counter",
+         "Summed wall time of recorded executions", profile.run_total_s);
+  metric(out, "spmv_plan_seconds", "gauge",
+         "Plan construction time (features + predict + binning)",
+         profile.plan_timing.total_s());
   metric(out, "spmv_engine_launches_total", "counter",
-         static_cast<double>(profile.engine.launches));
+         "Engine kernel launches", static_cast<double>(profile.engine.launches));
   metric(out, "spmv_engine_groups_total", "counter",
+         "Engine parallel group dispatches",
          static_cast<double>(profile.engine.groups));
   const ServeStats& s = profile.serve;
   if (!s.empty()) {
     metric(out, "spmv_serve_requests_total", "counter",
+           "Requests accepted into the serving queue",
            static_cast<double>(s.requests));
     metric(out, "spmv_serve_rejected_total", "counter",
-           static_cast<double>(s.rejected));
+           "Requests bounced by backpressure", static_cast<double>(s.rejected));
     metric(out, "spmv_serve_batches_total", "counter",
-           static_cast<double>(s.batches));
+           "Batches dispatched to execution", static_cast<double>(s.batches));
     metric(out, "spmv_serve_cache_hits_total", "counter",
-           static_cast<double>(s.cache_hits));
+           "Plan-cache hits", static_cast<double>(s.cache_hits));
     metric(out, "spmv_serve_cache_misses_total", "counter",
-           static_cast<double>(s.cache_misses));
+           "Plan-cache misses", static_cast<double>(s.cache_misses));
     metric(out, "spmv_serve_cache_evictions_total", "counter",
-           static_cast<double>(s.cache_evictions));
-    metric(out, "spmv_serve_cache_hit_rate", "gauge", s.cache_hit_rate());
+           "Plan-cache evictions", static_cast<double>(s.cache_evictions));
+    metric(out, "spmv_serve_cache_hit_rate", "gauge",
+           "Plan-cache hit fraction", s.cache_hit_rate());
     metric(out, "spmv_serve_cache_warm_hits_total", "counter",
+           "Cache misses satisfied from a warm PlanStore",
            static_cast<double>(s.cache_warm_hits));
     metric(out, "spmv_serve_planning_passes_total", "counter",
+           "Full predictor-driven planning passes",
            static_cast<double>(s.planning_passes));
     metric(out, "spmv_serve_cache_rebin_promotions_total", "counter",
+           "Promotions that re-binned a cached plan",
            static_cast<double>(s.cache_rebin_promotions));
-    summary(out, "spmv_serve_request_latency_seconds", s.request_latency);
-    summary(out, "spmv_serve_queue_wait_seconds", s.queue_wait);
-    summary(out, "spmv_serve_batch_exec_seconds", s.batch_exec);
+    summary(out, "spmv_serve_request_latency_seconds",
+            "End-to-end request latency quantiles", s.request_latency);
+    summary(out, "spmv_serve_queue_wait_seconds",
+            "Submit-to-dispatch wait quantiles", s.queue_wait);
+    summary(out, "spmv_serve_batch_exec_seconds",
+            "Batch execution wall-time quantiles", s.batch_exec);
+    histogram(out, "spmv_serve_request_latency_hist_seconds",
+              "End-to-end request latency distribution", s.request_latency);
+    histogram(out, "spmv_serve_queue_wait_hist_seconds",
+              "Submit-to-dispatch wait distribution", s.queue_wait);
+    histogram(out, "spmv_serve_batch_exec_hist_seconds",
+              "Batch execution wall-time distribution", s.batch_exec);
   }
   const AdaptStats& a = profile.adapt;
   if (!a.empty()) {
     metric(out, "spmv_adapt_trials_total", "counter",
-           static_cast<double>(a.trials));
+           "Shadow-measurement trials", static_cast<double>(a.trials));
     metric(out, "spmv_adapt_promotions_total", "counter",
+           "Plan promotions into the cache",
            static_cast<double>(a.promotions));
-    metric(out, "spmv_adapt_regret_seconds_total", "counter", a.regret_s);
+    metric(out, "spmv_adapt_regret_seconds_total", "counter",
+           "Wall time lost to losing challengers", a.regret_s);
     metric(out, "spmv_adapt_u_trials_total", "counter",
+           "Binning-unit (U) exploration trials",
            static_cast<double>(a.u_trials));
     metric(out, "spmv_adapt_u_promotions_total", "counter",
-           static_cast<double>(a.u_promotions));
+           "Binning-unit (U) promotions", static_cast<double>(a.u_promotions));
     metric(out, "spmv_adapt_b_trials_total", "counter",
-           static_cast<double>(a.b_trials));
+           "Backend exploration trials", static_cast<double>(a.b_trials));
     metric(out, "spmv_adapt_b_promotions_total", "counter",
-           static_cast<double>(a.b_promotions));
+           "Backend promotions", static_cast<double>(a.b_promotions));
     metric(out, "spmv_adapt_f_trials_total", "counter",
+           "Per-bin format exploration trials",
            static_cast<double>(a.f_trials));
     metric(out, "spmv_adapt_f_promotions_total", "counter",
-           static_cast<double>(a.f_promotions));
+           "Per-bin format promotions", static_cast<double>(a.f_promotions));
+  }
+  const TraceStats& t = profile.trace_stats;
+  if (!t.empty()) {
+    metric(out, "spmv_trace_events_total", "counter",
+           "Trace spans surviving in the per-thread rings",
+           static_cast<double>(t.events));
+    metric(out, "spmv_trace_dropped_spans_total", "counter",
+           "Trace spans lost to ring wrap-around",
+           static_cast<double>(t.dropped_spans));
+    metric(out, "spmv_trace_threads", "gauge",
+           "Distinct recording threads", static_cast<double>(t.threads));
   }
   return out;
 }

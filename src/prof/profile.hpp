@@ -174,6 +174,20 @@ struct ServeStats {
   }
 };
 
+/// Tracing-layer accounting for the run (spmv::trace): how many spans were
+/// recorded and — critically — how many were lost to ring wrap-around, so
+/// a trace with holes is never mistaken for a complete one. Empty by
+/// default and omitted from the JSON artifact unless tracing ran.
+struct TraceStats {
+  std::uint64_t events = 0;         ///< spans surviving in the rings
+  std::uint64_t dropped_spans = 0;  ///< spans overwritten by wrap-around
+  std::int64_t threads = 0;         ///< distinct recording threads
+
+  [[nodiscard]] bool empty() const {
+    return events == 0 && dropped_spans == 0 && threads == 0;
+  }
+};
+
 /// The aggregate profile. One RunProfile typically describes one matrix +
 /// plan; run() calls accumulate into it, so repeated executions average
 /// naturally (divide by `runs`).
@@ -193,6 +207,10 @@ struct RunProfile {
   double tuning_total_s = 0.0;
   ServeStats serve;  ///< serving-layer stats; empty unless a service ran
   AdaptStats adapt;  ///< online-tuning stats; empty unless a tuner ran
+  /// Tracing accounting ("trace" in JSON); empty unless tracing ran. Named
+  /// trace_stats, not trace, so files using both layers can keep the
+  /// spmv::trace namespace unqualified.
+  TraceStats trace_stats;
 
   /// Merge one bin execution: accumulates seconds/launches into the
   /// matching (bin_id, kernel) sample or appends a new one.
@@ -224,8 +242,15 @@ void write_profile_file(const std::string& path, const RunProfile& profile);
 RunProfile read_profile_file(const std::string& path);
 
 /// Prometheus text exposition (text/plain; version 0.0.4) of the profile:
-/// run/engine counters plus — when a service recorded — serve counters and
-/// the latency summaries with p50/p95/p99 quantiles.
+/// run/engine counters plus — when the respective layers recorded — serve
+/// counters, latency summaries with p50/p95/p99 quantiles, full latency
+/// histograms (`*_hist_seconds` with cumulative `le` buckets) whose
+/// non-empty buckets carry OpenMetrics-style `# {...}` exemplars, adapt
+/// counters, and trace span/drop accounting.
 [[nodiscard]] std::string prometheus_text(const RunProfile& profile);
+
+/// Escape a Prometheus label value: backslash, double-quote, and newline
+/// become \\, \", and \n per the text-exposition grammar.
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
 
 }  // namespace spmv::prof

@@ -1,0 +1,110 @@
+// Perf trajectory — the time axis of the regression gate. Where
+// compare_profiles() answers "is this run slower than ONE saved baseline?",
+// a Trajectory accumulates per-run benchmark snapshots (BENCH_*.json
+// documents) into a committed history file, renders a sparkline dashboard
+// of every tracked metric, and gates on the HEAD entry versus the rolling
+// mean of the previous W entries — so a slow drift that never trips a
+// single pairwise threshold still gets caught, and one noisy baseline run
+// cannot whipsaw CI.
+//
+//   Trajectory t = Trajectory::load_file("PERF_TRAJECTORY.json");
+//   t.append(Json::parse(bench_text), "pr-123");
+//   TrajectoryCheck c = t.check(/*window=*/5, /*threshold=*/1.25);
+//   if (c.regressed()) ...;
+//   t.save_file("PERF_TRAJECTORY.json");
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "prof/json.hpp"
+
+namespace spmv::prof {
+
+/// One appended benchmark snapshot: the numeric leaves of the source JSON
+/// document, flattened depth-first with dot-joined keys
+/// ("request_latency.p95_s"), in source order.
+struct TrajectoryEntry {
+  std::uint64_t seq = 0;  ///< 1-based append order (stable across prunes)
+  std::string label;      ///< e.g. commit SHA or CI run id
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// The metric's value, or nullptr when this entry lacks it.
+  [[nodiscard]] const double* find(const std::string& name) const;
+};
+
+/// One metric's verdict from Trajectory::check().
+struct TrajectoryMetric {
+  std::string name;
+  double head = 0.0;     ///< the newest entry's value
+  double window = 0.0;   ///< rolling mean over the previous W entries
+  double ratio = 1.0;    ///< head/window (direction-normalized: >1 = worse)
+  bool higher_is_better = false;
+  bool regressed = false;
+};
+
+struct TrajectoryCheck {
+  std::vector<TrajectoryMetric> metrics;
+  /// Metrics the window has but the head entry lost (schema drift).
+  std::vector<std::string> missing;
+
+  [[nodiscard]] bool regressed() const {
+    for (const TrajectoryMetric& m : metrics) {
+      if (m.regressed) return true;
+    }
+    return false;
+  }
+};
+
+class Trajectory {
+ public:
+  /// Load a trajectory file; a missing file is an empty trajectory (the
+  /// first CI run bootstraps it). Throws std::runtime_error on a present
+  /// but unparseable file — history corruption must not pass silently.
+  static Trajectory load_file(const std::string& path);
+
+  /// Parse from JSON text / serialize back ({"version":1,"entries":[...]}).
+  static Trajectory from_json(const Json& j);
+  [[nodiscard]] Json to_json() const;
+
+  /// Write atomically (temp file + rename) so an interrupted CI run never
+  /// leaves a torn history behind.
+  void save_file(const std::string& path) const;
+
+  /// Flatten `bench`'s numeric leaves and append them as one entry tagged
+  /// `label`. Entries beyond `max_entries` are pruned oldest-first (seq
+  /// numbers keep counting). Non-numeric leaves are skipped.
+  void append(const Json& bench, const std::string& label,
+              std::size_t max_entries = 200);
+
+  /// Gate the newest entry against the rolling mean of the `window`
+  /// entries before it. A metric regresses when its direction-normalized
+  /// head/window ratio exceeds `threshold` (throughput-like metrics invert:
+  /// lower is worse). With fewer than 2 entries, or an empty window for a
+  /// metric, nothing regresses — a young trajectory only observes.
+  /// "config.*" metrics are never gated (they describe the bench setup).
+  /// Throws std::invalid_argument when window < 1 or threshold <= 0.
+  [[nodiscard]] TrajectoryCheck check(std::size_t window,
+                                      double threshold) const;
+
+  /// Markdown dashboard: one table row per metric with a unicode sparkline
+  /// over the last `window` entries (newest right), head value, rolling
+  /// mean, and verdict.
+  [[nodiscard]] std::string render_markdown(std::size_t window = 20) const;
+
+  [[nodiscard]] const std::vector<TrajectoryEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Is this metric one where larger values mean better (throughput,
+  /// speedup, hit rate) rather than worse (latency, seconds)?
+  static bool higher_is_better(const std::string& name);
+
+ private:
+  std::vector<TrajectoryEntry> entries_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace spmv::prof

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/exhaustive.hpp"
+#include "obs/sink.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -33,6 +34,10 @@ struct SpmvService<T>::Queue {
   std::vector<std::thread> workers;
   prof::ServeStats stats;  ///< guarded by mutex (cache counters excluded)
   bool profile_flushed = false;
+  /// Arm level of the latest adapt promotion (prof::Exemplar::promo_level
+  /// encoding; 0 until one lands). Guarded by mutex; stamped onto latency
+  /// exemplars so a slow bucket names the plan change that preceded it.
+  std::uint8_t last_promo_level = 0;
 };
 
 template <typename T>
@@ -194,10 +199,12 @@ void SpmvService<T>::worker_loop() {
     const auto rows = static_cast<std::size_t>(a.rows());
     const auto cols = static_cast<std::size_t>(a.cols());
     util::Timer exec;
-    std::vector<double> latencies;
+    // (latency, trace_id) per completed request: the id rides along so the
+    // latency exemplar recorded below can point back into the trace stream.
+    std::vector<std::pair<double, std::uint64_t>> latencies;
     latencies.reserve(batch.size());
     const auto complete = [&](Request& r, std::vector<T> y) {
-      latencies.push_back(r.queued.elapsed_s());
+      latencies.emplace_back(r.queued.elapsed_s(), r.trace_id);
       if (r.trace_id != 0) {
         // Claim-to-completion under the request's own id, so together with
         // its queue-wait span the request's lifetime is fully covered.
@@ -253,8 +260,25 @@ void SpmvService<T>::worker_loop() {
       q.stats.queue_wait_max_s = std::max(q.stats.queue_wait_max_s, wait_max);
       q.stats.exec_total_s += exec_s;
       for (const double w : waits) q.stats.queue_wait.add(w);
-      for (const double lat : latencies) q.stats.request_latency.add(lat);
-      q.stats.batch_exec.add(exec_s);
+      // Every latency sample carries full provenance, so any histogram
+      // bucket can answer "which request, through which plan, was that?".
+      prof::Exemplar ex;
+      ex.fingerprint = entry->key.row_hash;
+      ex.plan_revision = rt.plan().revision;
+      ex.backend = static_cast<std::uint8_t>(rt.plan().backend);
+      ex.formats = rt.plan().uses_formats();
+      ex.promo_level = q.last_promo_level;
+      for (const auto& [lat, trace_id] : latencies) {
+        ex.trace_id = trace_id;
+        q.stats.request_latency.add(lat, ex);
+      }
+      ex.trace_id = batch.front().trace_id;
+      q.stats.batch_exec.add(exec_s, ex);
+    }
+    if (opts_.obs_sink != nullptr) {
+      opts_.obs_sink->push_stat("serve.batch_width", width);
+      opts_.obs_sink->push_stat("serve.batch_exec_s", exec_s);
+      opts_.obs_sink->push_stat("serve.queue_wait_max_s", wait_max);
     }
 
     // Online adaptation: offer this request to the bandit as a shadow-trial
@@ -266,8 +290,16 @@ void SpmvService<T>::worker_loop() {
       const auto promo =
           tuner_->observe(entry->key, rt.plan(), rt.bins(), a,
                           std::span<const T>(batch.front().x));
-      if (promo.has_value())
+      if (promo.has_value()) {
         cache_.promote(entry->key, promo->plan, promo->gflops);
+        {
+          std::lock_guard<std::mutex> lock(q.mutex);
+          q.last_promo_level = promo->level;
+        }
+        if (opts_.obs_sink != nullptr)
+          opts_.obs_sink->push_stat("adapt.promotion_level",
+                                    static_cast<double>(promo->level));
+      }
     }
   }
 }

@@ -41,6 +41,10 @@
 #include "serve/plan_cache.hpp"
 #include "sparse/csr.hpp"
 
+namespace spmv::obs {
+class StreamingSink;
+}
+
 namespace spmv::serve {
 
 /// Thrown by submit()/run() when the admission queue is at its high-water
@@ -81,6 +85,12 @@ struct ServiceOptions {
   /// Enable online adaptive tuning: workers shadow-measure alternative
   /// kernels per AdaptOptions and promote improved plans into the cache.
   std::optional<adapt::AdaptOptions> adapt;
+  /// Optional streaming sink (spmv::obs): workers push per-batch stat
+  /// deltas (width, exec time) and promotion markers as they happen, so
+  /// telemetry leaves a long-lived service continuously instead of only at
+  /// shutdown. Trace spans reach the sink separately via sink.attach().
+  /// Must outlive the service.
+  obs::StreamingSink* obs_sink = nullptr;
 };
 
 template <typename T>

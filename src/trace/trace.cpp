@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "prof/json.hpp"
+#include "util/log.hpp"
 
 namespace spmv::trace {
 
@@ -16,6 +17,19 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_next_request{0};
+/// Once-per-recording flag for the shutdown loss warning (see stop()).
+std::atomic<bool> g_drop_warned{false};
+
+/// Streaming-observer registration. Swapped atomically as one pointer so a
+/// racing emit() can never see a torn (fn, ctx) pair; replaced
+/// registrations are intentionally leaked — attach/detach is rare (a
+/// handful per process) and a racing emit may still be dereferencing the
+/// old one.
+struct ObserverReg {
+  EventObserver fn = nullptr;
+  void* ctx = nullptr;
+};
+std::atomic<ObserverReg*> g_observer{nullptr};
 std::atomic<std::uint64_t> g_sample_every{1};
 std::atomic<std::uint64_t> g_sample_counter{0};
 /// steady_clock time_since_epoch at start(); event timestamps subtract it.
@@ -75,11 +89,20 @@ ThreadBuffer& local_buffer() {
 void emit(TraceEvent ev) {
   ThreadBuffer& buf = local_buffer();
   ev.tid = buf.tid;
-  std::lock_guard<std::mutex> lock(buf.mutex);
-  if (buf.ring.empty()) return;
-  buf.ring[buf.head] = ev;
-  buf.head = (buf.head + 1) % buf.ring.size();
-  buf.recorded += 1;
+  {
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    if (!buf.ring.empty()) {
+      buf.ring[buf.head] = ev;
+      buf.head = (buf.head + 1) % buf.ring.size();
+      buf.recorded += 1;
+    }
+  }
+  // Stream a copy to the observer (outside the ring lock — the observer's
+  // push must never extend the critical section other recorders contend on).
+  if (ObserverReg* obs = g_observer.load(std::memory_order_acquire);
+      obs != nullptr && obs->fn != nullptr) {
+    obs->fn(obs->ctx, ev);
+  }
 }
 
 void emit_point(const char* name, const char* category, char phase,
@@ -118,7 +141,15 @@ void start(const TraceConfig& config) {
                        std::memory_order_relaxed);
   g_sample_counter.store(0, std::memory_order_relaxed);
   g_epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  g_drop_warned.store(false, std::memory_order_relaxed);
   g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void set_event_observer(EventObserver observer, void* ctx) {
+  ObserverReg* reg =
+      observer != nullptr ? new ObserverReg{observer, ctx} : nullptr;
+  // The old registration leaks by design — see ObserverReg.
+  (void)g_observer.exchange(reg, std::memory_order_acq_rel);
 }
 
 bool sample_request() {
@@ -128,7 +159,27 @@ bool sample_request() {
   return g_sample_counter.fetch_add(1, std::memory_order_relaxed) % every == 0;
 }
 
-void stop() { g_enabled.store(false, std::memory_order_relaxed); }
+void stop() {
+  const bool was_on = g_enabled.exchange(false, std::memory_order_relaxed);
+  if (!was_on) return;
+  // Ring wrap-around is silent while recording (the hot path must not
+  // log); surface the total loss exactly once per recording at shutdown
+  // so a trace with holes is never mistaken for a complete one.
+  std::uint64_t dropped = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& buf : r.buffers) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      const std::size_t cap = buf->ring.size();
+      if (cap != 0 && buf->recorded > cap) dropped += buf->recorded - cap;
+    }
+  }
+  if (dropped != 0 && !g_drop_warned.exchange(true, std::memory_order_relaxed))
+    util::log_warn() << "trace: " << dropped
+                     << " span(s) overwritten by ring wrap-around "
+                        "(raise per_thread_capacity or sample_every_n)";
+}
 
 void clear() {
   Registry& r = registry();
@@ -225,6 +276,7 @@ Snapshot snapshot() {
     if (cap == 0 || buf->recorded == 0) continue;
     if (buf->recorded > cap) {
       snap.dropped += buf->recorded - cap;
+      snap.dropped_by_thread.push_back({buf->tid, buf->recorded - cap});
       // Ring wrapped: oldest surviving event sits at head.
       for (std::size_t i = 0; i < cap; ++i)
         snap.events.push_back(buf->ring[(buf->head + i) % cap]);

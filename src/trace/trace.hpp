@@ -140,11 +140,30 @@ void emit_async_end(const char* name, const char* category, std::uint64_t id);
 void emit_async_instant(const char* name, const char* category,
                         std::uint64_t id);
 
+/// Streaming event observer (spmv::obs): invoked inline on the recording
+/// thread for every event recorded while tracing is enabled, after the
+/// event lands in the thread's ring. The callback must be cheap and
+/// non-blocking (it runs on kernel-launch and serve hot paths) — the
+/// intended implementation is a bounded ring push that drops on overflow
+/// (obs::StreamingSink). Passing nullptr detaches. The previous
+/// registration is intentionally leaked (a racing emit may still be
+/// reading it); detach while other threads may be emitting only if the
+/// observer's context outlives them.
+using EventObserver = void (*)(void* ctx, const TraceEvent& ev);
+void set_event_observer(EventObserver observer, void* ctx);
+
 /// Merged view of every thread's ring, sorted by timestamp.
 struct Snapshot {
+  /// One recording thread's wrap-around loss (only threads that lost
+  /// events appear).
+  struct ThreadDrops {
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;
+  };
   std::vector<TraceEvent> events;
   std::uint64_t dropped = 0;  ///< events overwritten by ring wrap-around
   int threads = 0;            ///< distinct recording threads seen
+  std::vector<ThreadDrops> dropped_by_thread;  ///< per-thread loss accounting
 };
 [[nodiscard]] Snapshot snapshot();
 

@@ -2,7 +2,13 @@
 // round-tripping of a RunProfile, and the Tuner facade's telemetry wiring.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -396,6 +402,36 @@ TEST(ProfCompare, SkipsMetricsMissingOnEitherSide) {
   ASSERT_EQ(result.metrics.size(), 1u);  // only run_mean_s is comparable
   EXPECT_EQ(result.metrics[0].name, "run_mean_s");
   EXPECT_FALSE(result.regressed());
+  // The baseline bin the current profile lost is reported as schema drift
+  // (compare-profiles exits 2 on this), not silently skipped.
+  EXPECT_TRUE(result.schema_mismatch());
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0], "bin0_serial_s");
+}
+
+TEST(ProfCompare, ReportsEveryMissingMetricFamilyAsSchemaMismatch) {
+  prof::RunProfile baseline;
+  baseline.runs = 5;
+  baseline.run_total_s = 0.05;
+  baseline.plan_timing = {.features_s = 1e-3, .predict_s = 0, .binning_s = 0};
+  baseline.serve.request_latency.add(1e-3);
+  baseline.serve.queue_wait.add(1e-4);
+  baseline.serve.batch_exec.add(5e-4);
+
+  // An empty current profile lost everything the baseline tracked.
+  const auto result =
+      prof::compare_profiles(baseline, prof::RunProfile{}, 1.15);
+  EXPECT_TRUE(result.metrics.empty());
+  EXPECT_FALSE(result.regressed());
+  ASSERT_TRUE(result.schema_mismatch());
+  const std::vector<std::string> want = {
+      "run_mean_s", "plan_total_s", "serve_request_latency",
+      "serve_queue_wait", "serve_batch_exec"};
+  EXPECT_EQ(result.missing, want);
+
+  // Identical sides report no mismatch.
+  EXPECT_FALSE(prof::compare_profiles(baseline, baseline, 1.15)
+                   .schema_mismatch());
 }
 
 TEST(ProfPrometheus, ExposesCountersAndQuantiles) {
@@ -423,6 +459,364 @@ TEST(ProfPrometheus, ExposesCountersAndQuantiles) {
   const auto bare = prof::prometheus_text(prof::RunProfile{});
   EXPECT_NE(bare.find("spmv_runs_total 0"), std::string::npos);
   EXPECT_EQ(bare.find("spmv_serve_requests_total"), std::string::npos);
+}
+
+TEST(ProfHistogram, ExemplarTracedBeatsUntracedThenRecencyWins) {
+  prof::LatencyHistogram h;
+  const int bucket = prof::LatencyHistogram::bucket_index(1e-3);
+
+  prof::Exemplar untraced;  // trace_id == 0: a sampled-out request
+  untraced.fingerprint = 11;
+  h.add(1e-3, untraced);
+  ASSERT_TRUE(h.exemplar(bucket).valid());
+  EXPECT_EQ(h.exemplar(bucket).trace_id, 0u);
+  EXPECT_DOUBLE_EQ(h.exemplar(bucket).value_s, 1e-3);
+  EXPECT_TRUE(h.has_exemplars());
+
+  prof::Exemplar traced;
+  traced.trace_id = 77;
+  traced.fingerprint = 22;
+  h.add(1e-3, traced);  // same bucket
+  EXPECT_EQ(h.exemplar(bucket).trace_id, 77u);
+
+  // A later untraced sample must NOT displace the resolvable exemplar...
+  h.add(1e-3, untraced);
+  EXPECT_EQ(h.exemplar(bucket).trace_id, 77u);
+  EXPECT_EQ(h.exemplar(bucket).fingerprint, 22u);
+  // ...but a later traced one replaces it (recency among equals).
+  prof::Exemplar newer;
+  newer.trace_id = 78;
+  h.add(1e-3, newer);
+  EXPECT_EQ(h.exemplar(bucket).trace_id, 78u);
+
+  // Other buckets are untouched; counts include every add.
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_FALSE(h.exemplar(bucket + 5).valid());
+}
+
+TEST(ProfHistogram, ExemplarsMergeAndSurviveJsonRoundTrip) {
+  prof::LatencyHistogram a;
+  prof::Exemplar ea;
+  ea.trace_id = 1;
+  ea.fingerprint = 0xdeadbeefcafef00dULL;
+  ea.plan_revision = 3;
+  ea.backend = 1;
+  ea.formats = true;
+  ea.promo_level = 4;
+  a.add(1e-3, ea);
+
+  prof::LatencyHistogram b;
+  prof::Exemplar eb;
+  eb.trace_id = 0;  // untraced: loses the merge for the shared bucket
+  b.add(1e-3, eb);
+  prof::Exemplar eb2;
+  eb2.trace_id = 9;
+  b.add(2.0, eb2);  // a bucket only b populates
+
+  a.merge(b);
+  const int shared = prof::LatencyHistogram::bucket_index(1e-3);
+  const int slow = prof::LatencyHistogram::bucket_index(2.0);
+  EXPECT_EQ(a.exemplar(shared).trace_id, 1u);
+  EXPECT_EQ(a.exemplar(slow).trace_id, 9u);
+
+  const auto restored = prof::LatencyHistogram::from_json(
+      prof::Json::parse(a.to_json().dump()));
+  const auto& ex = restored.exemplar(shared);
+  EXPECT_EQ(ex.trace_id, 1u);
+  EXPECT_EQ(ex.fingerprint, 0xdeadbeefcafef00dULL);  // hex string in JSON
+  EXPECT_EQ(ex.plan_revision, 3u);
+  EXPECT_EQ(ex.backend, 1);
+  EXPECT_TRUE(ex.formats);
+  EXPECT_EQ(ex.promo_level, 4);
+  EXPECT_DOUBLE_EQ(ex.value_s, 1e-3);
+  EXPECT_EQ(restored.exemplar(slow).trace_id, 9u);
+
+  // Histograms without exemplars serialize without the key and load clean.
+  prof::LatencyHistogram plain;
+  plain.add(1e-3);
+  EXPECT_FALSE(plain.has_exemplars());
+  EXPECT_EQ(plain.to_json().find("exemplars"), nullptr);
+  const auto replain = prof::LatencyHistogram::from_json(
+      prof::Json::parse(plain.to_json().dump()));
+  EXPECT_FALSE(replain.has_exemplars());
+}
+
+TEST(ProfPrometheus, EscapesLabelValues) {
+  EXPECT_EQ(prof::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prof::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prof::prometheus_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prof::prometheus_escape_label("line1\nline2"), "line1\\nline2");
+
+  prof::RunProfile p;
+  p.label = "web\"graph\\v2\n(test)";
+  const auto text = prof::prometheus_text(p);
+  EXPECT_NE(text.find("spmv_profile_info{label=\"web\\\"graph\\\\v2\\n"
+                      "(test)\"} 1"),
+            std::string::npos);
+}
+
+TEST(ProfPrometheus, ExpositionIsConformant) {
+  prof::RunProfile p;
+  p.label = "conformance";
+  p.runs = 2;
+  p.run_total_s = 0.01;
+  p.serve.requests = 8;
+  p.serve.batches = 2;
+  p.serve.cache_hits = 8;
+  prof::Exemplar ex;
+  ex.trace_id = 0xabcULL;
+  ex.fingerprint = 0x123ULL;
+  ex.plan_revision = 2;
+  ex.backend = 1;
+  ex.promo_level = 2;
+  for (int i = 0; i < 8; ++i) p.serve.request_latency.add(1e-3, ex);
+  p.serve.request_latency.add(0.5, ex);
+  p.trace_stats.events = 40;
+  p.trace_stats.dropped_spans = 2;
+  p.trace_stats.threads = 3;
+
+  const auto text = prof::prometheus_text(p);
+  std::istringstream lines(text);
+  std::string line;
+  std::set<std::string> helped;
+  std::set<std::string> typed;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const auto name = line.substr(7, line.find(' ', 7) - 7);
+      // HELP precedes TYPE precedes samples, once per family.
+      EXPECT_TRUE(helped.insert(name).second) << "duplicate HELP " << name;
+      EXPECT_EQ(typed.count(name), 0u) << "TYPE before HELP for " << name;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(typed.insert(name).second) << "duplicate TYPE " << name;
+      EXPECT_EQ(helped.count(name), 1u) << "TYPE without HELP for " << name;
+      continue;
+    }
+    // Sample lines: a valid metric name, then either a value or labels.
+    const auto brace = line.find('{');
+    const auto name_end = std::min(brace, line.find(' '));
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const auto name = line.substr(0, name_end);
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name[0])) ||
+                name[0] == '_')
+        << name;
+    for (char c : name)
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric name char in " << name;
+    // Every sample belongs to a HELPed+TYPEd family (modulo the
+    // _bucket/_sum/_count suffixes of summaries and histograms).
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          typed.count(family) == 0)
+        family = family.substr(0, family.size() - s.size());
+    }
+    EXPECT_EQ(typed.count(family), 1u) << "sample without TYPE: " << line;
+  }
+
+  // Histogram conformance: cumulative le buckets ending at +Inf == _count.
+  const auto hist_pos =
+      text.find("# TYPE spmv_serve_request_latency_hist_seconds histogram");
+  ASSERT_NE(hist_pos, std::string::npos);
+  EXPECT_NE(
+      text.find("spmv_serve_request_latency_hist_seconds_bucket{le=\"+Inf\"} "
+                "9"),
+      std::string::npos);
+  EXPECT_NE(text.find("spmv_serve_request_latency_hist_seconds_count 9"),
+            std::string::npos);
+
+  // OpenMetrics exemplar syntax on the non-empty buckets: `# {labels} value`
+  // with fixed-width hex ids and decoded provenance labels.
+  EXPECT_NE(text.find("# {trace_id=\"0000000000000abc\",fingerprint=\""
+                      "0000000000000123\",plan_revision=\"2\",backend=\""
+                      "native\",formats=\"0\",promo_level=\"unit\"} "),
+            std::string::npos);
+
+  // The trace family rides along when trace stats are present.
+  EXPECT_NE(text.find("spmv_trace_events_total 40"), std::string::npos);
+  EXPECT_NE(text.find("spmv_trace_dropped_spans_total 2"), std::string::npos);
+  EXPECT_NE(text.find("spmv_trace_threads 3"), std::string::npos);
+}
+
+TEST(ProfRunProfile, TraceStatsRoundTripThroughJson) {
+  prof::RunProfile p;
+  EXPECT_TRUE(p.trace_stats.empty());
+  // Absent from JSON while empty, so old artifacts stay byte-identical.
+  EXPECT_EQ(prof::Json::parse(p.to_json_text()).find("trace"), nullptr);
+
+  p.trace_stats.events = 123;
+  p.trace_stats.dropped_spans = 7;
+  p.trace_stats.threads = 4;
+  const auto restored =
+      prof::RunProfile::from_json(prof::Json::parse(p.to_json_text()));
+  EXPECT_EQ(restored.trace_stats.events, 123u);
+  EXPECT_EQ(restored.trace_stats.dropped_spans, 7u);
+  EXPECT_EQ(restored.trace_stats.threads, 4);
+}
+
+TEST(ProfTrajectory, AppendFlattensNumericLeavesWithDottedNames) {
+  prof::Json bench = prof::Json::parse(R"({
+    "bench": "serve_throughput",
+    "config": {"rows": 20000, "requests": 512},
+    "serve_rps": 1500.5,
+    "request_latency": {"p50_s": 0.001, "p95_s": 0.004},
+    "bins": [1, 2, 3]
+  })");
+  prof::Trajectory t;
+  EXPECT_TRUE(t.empty());
+  t.append(bench, "run-1");
+  ASSERT_EQ(t.entries().size(), 1u);
+  const auto& e = t.entries()[0];
+  EXPECT_EQ(e.seq, 1u);
+  EXPECT_EQ(e.label, "run-1");
+  ASSERT_NE(e.find("config.rows"), nullptr);
+  EXPECT_DOUBLE_EQ(*e.find("config.rows"), 20000.0);
+  ASSERT_NE(e.find("request_latency.p95_s"), nullptr);
+  EXPECT_DOUBLE_EQ(*e.find("request_latency.p95_s"), 0.004);
+  EXPECT_DOUBLE_EQ(*e.find("serve_rps"), 1500.5);
+  // Strings and arrays are not metrics.
+  EXPECT_EQ(e.find("bench"), nullptr);
+  EXPECT_EQ(e.find("bins"), nullptr);
+
+  // Pruning keeps the newest entries; seq keeps counting.
+  for (int i = 2; i <= 10; ++i)
+    t.append(bench, "run-" + std::to_string(i), /*max_entries=*/4);
+  ASSERT_EQ(t.entries().size(), 4u);
+  EXPECT_EQ(t.entries().front().label, "run-7");
+  EXPECT_EQ(t.entries().back().seq, 10u);
+}
+
+TEST(ProfTrajectory, CheckGatesHeadAgainstRollingWindow) {
+  auto bench = [](double rps, double p95) {
+    prof::Json j = prof::Json::object();
+    j.set("serve_rps", rps);
+    j.set("p95_s", p95);
+    prof::Json config = prof::Json::object();
+    config.set("requests", 512);
+    j.set("config", config);
+    return j;
+  };
+
+  prof::Trajectory t;
+  t.append(bench(1000, 1e-3), "a");
+  // One entry: a young trajectory only observes.
+  EXPECT_TRUE(t.check(5, 1.25).metrics.empty());
+
+  for (const char* label : {"b", "c", "d"})
+    t.append(bench(1000, 1e-3), label);
+  EXPECT_FALSE(t.check(5, 1.25).regressed());
+
+  // Latency-like metrics regress upward...
+  t.append(bench(1000, 2e-3), "slow");
+  auto check = t.check(5, 1.25);
+  ASSERT_TRUE(check.regressed());
+  bool p95_flagged = false;
+  for (const auto& m : check.metrics) {
+    if (m.name == "p95_s") {
+      p95_flagged = true;
+      EXPECT_FALSE(m.higher_is_better);
+      EXPECT_NEAR(m.ratio, 2.0, 1e-9);
+      EXPECT_TRUE(m.regressed);
+    }
+    if (m.name == "serve_rps") {
+      EXPECT_FALSE(m.regressed);
+    }
+  }
+  EXPECT_TRUE(p95_flagged);
+
+  // ...throughput-like metrics regress downward (direction-normalized).
+  prof::Trajectory t2;
+  for (const char* label : {"a", "b", "c"}) t2.append(bench(1000, 1e-3), label);
+  t2.append(bench(600, 1e-3), "throttled");
+  check = t2.check(5, 1.25);
+  ASSERT_TRUE(check.regressed());
+  for (const auto& m : check.metrics) {
+    if (m.name == "serve_rps") {
+      EXPECT_TRUE(m.higher_is_better);
+      EXPECT_GT(m.ratio, 1.25);
+      EXPECT_TRUE(m.regressed);
+    }
+  }
+
+  // config.* never gates, even on a big deliberate change.
+  prof::Trajectory t3;
+  t3.append(bench(1000, 1e-3), "a");
+  auto big = bench(1000, 1e-3);
+  prof::Json big_config = prof::Json::object();
+  big_config.set("requests", 4096);
+  big.set("config", big_config);
+  t3.append(big, "bigger-bench");
+  check = t3.check(5, 1.25);
+  for (const auto& m : check.metrics) {
+    if (m.name == "config.requests") {
+      EXPECT_GT(m.ratio, 1.25);
+      EXPECT_FALSE(m.regressed);
+    }
+  }
+  EXPECT_FALSE(check.regressed());
+
+  // A metric the previous entry had but the head lost is schema drift.
+  prof::Json partial = prof::Json::object();
+  partial.set("serve_rps", 1000.0);
+  t3.append(partial, "lost-p95");
+  check = t3.check(5, 1.25);
+  ASSERT_FALSE(check.missing.empty());
+  bool lost_p95 = false;
+  for (const auto& name : check.missing) lost_p95 |= name == "p95_s";
+  EXPECT_TRUE(lost_p95);
+
+  EXPECT_THROW(t3.check(0, 1.25), std::invalid_argument);
+  EXPECT_THROW(t3.check(5, 0.0), std::invalid_argument);
+}
+
+TEST(ProfTrajectory, SaveLoadRoundTripAndMarkdownDashboard) {
+  const std::string path =
+      ::testing::TempDir() + "/autospmv_trajectory_test.json";
+  std::remove(path.c_str());
+
+  // A missing file bootstraps an empty trajectory.
+  auto t = prof::Trajectory::load_file(path);
+  EXPECT_TRUE(t.empty());
+
+  prof::Json bench = prof::Json::object();
+  bench.set("serve_rps", 1200.0);
+  bench.set("p95_s", 2e-3);
+  t.append(bench, "commit-1");
+  bench.set("serve_rps", 1300.0);
+  t.append(bench, "commit-2");
+  t.save_file(path);
+
+  const auto loaded = prof::Trajectory::load_file(path);
+  ASSERT_EQ(loaded.entries().size(), 2u);
+  EXPECT_EQ(loaded.entries()[0].label, "commit-1");
+  EXPECT_EQ(loaded.entries()[1].seq, 2u);
+  EXPECT_DOUBLE_EQ(*loaded.entries()[1].find("serve_rps"), 1300.0);
+  // Appending after a reload keeps the sequence monotonic.
+  auto more = loaded;
+  more.append(bench, "commit-3");
+  EXPECT_EQ(more.entries().back().seq, 3u);
+
+  const auto md = loaded.render_markdown();
+  EXPECT_NE(md.find("# Perf trajectory"), std::string::npos);
+  EXPECT_NE(md.find("`commit-2`"), std::string::npos);
+  EXPECT_NE(md.find("| `serve_rps` |"), std::string::npos);
+  EXPECT_NE(md.find("▁"), std::string::npos);  // sparkline rendered
+  EXPECT_NE(md.find("1300"), std::string::npos);
+
+  // A corrupt history must not pass silently.
+  {
+    std::ofstream out(path);
+    out << "not json";
+  }
+  EXPECT_THROW(prof::Trajectory::load_file(path), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 TEST(ProfRunProfile, BinSamplesStaySortedByBinId) {

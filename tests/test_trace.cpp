@@ -133,6 +133,33 @@ TEST_F(TraceTest, RingOverflowKeepsNewestAndCountsDropped) {
               static_cast<std::int64_t>(12 + i));
 }
 
+TEST_F(TraceTest, SnapshotAttributesDropsToTheThreadThatWrapped) {
+  trace::start(/*per_thread_capacity=*/8);
+  std::thread wrapper([] {
+    for (int i = 0; i < 20; ++i) {
+      trace::TraceSpan span("wrapping", "test");
+      span.arg("i", i);
+    }
+  });
+  std::thread quiet([] { trace::TraceSpan span("quiet", "test"); });
+  wrapper.join();
+  quiet.join();
+  trace::stop();
+
+  const auto snap = trace::snapshot();
+  EXPECT_EQ(snap.dropped, 12u);
+  // Only the thread that wrapped appears, carrying the whole loss — the
+  // quiet thread's ring never overflowed.
+  ASSERT_EQ(snap.dropped_by_thread.size(), 1u);
+  EXPECT_EQ(snap.dropped_by_thread[0].dropped, 12u);
+  const auto wrapped = events_named(snap, "wrapping");
+  ASSERT_FALSE(wrapped.empty());
+  EXPECT_EQ(snap.dropped_by_thread[0].tid, wrapped[0].tid);
+  const auto quiet_spans = events_named(snap, "quiet");
+  ASSERT_EQ(quiet_spans.size(), 1u);
+  EXPECT_NE(quiet_spans[0].tid, snap.dropped_by_thread[0].tid);
+}
+
 TEST_F(TraceTest, ChromeJsonParsesAndPairsAsyncEvents) {
   trace::start();
   const std::uint64_t rid = trace::next_request_id();

@@ -14,14 +14,17 @@
 //   serve-bench  (same inputs) [--requests R] [--clients C] [--workers W]
 //            [--max-batch B] [--profile out.json] [--trace out.trace.json]
 //            [--trace-sample N] [--metrics-out metrics.txt]
-//            [--plan-store store.json]
+//            [--plan-store store.json] [--obs-dir dir]
 //            drive an SpmvService with concurrent clients and compare its
 //            throughput against naive per-request plan-and-run; --trace
 //            writes a Chrome trace-event file (chrome://tracing/Perfetto)
 //            of the traced requests (--trace-sample N traces one request
 //            in N), --metrics-out a Prometheus text exposition of the
-//            serve stats, --plan-store warm-starts the plan cache from a
-//            persistent store and flushes tuned plans back on shutdown
+//            serve stats (latency histograms carry exemplars),
+//            --plan-store warm-starts the plan cache from a persistent
+//            store and flushes tuned plans back on shutdown, --obs-dir
+//            streams completed spans and stat deltas into rotating JSONL
+//            segment files (spmv::obs) as the bench runs
 //   adapt-bench  (same inputs) [--requests R] [--trial-fraction F]
 //            [--workers W] [--store store.json] [--profile out.json]
 //            [--explore-u] [--unit-fraction F]
@@ -42,7 +45,17 @@
 //   compare-profiles  baseline.json current.json [--threshold 1.15]
 //            diff two RunProfile artifacts (run time, per-bin kernel time,
 //            serve percentiles); exits 1 when current regresses past the
-//            threshold — the CI perf gate
+//            threshold, 2 when the baseline carries metric sections the
+//            current profile lost (schema mismatch — a renamed metric must
+//            not read as "no regression") — the CI perf gate
+//   perf-trajectory  append|check|render --file trajectory.json
+//            append: --bench BENCH_x.json --label L  fold one benchmark
+//            snapshot's numeric leaves into the committed trajectory file
+//            check:  [--window 5] [--threshold 1.25]  gate the newest
+//            entry against the rolling window mean; exits 1 on regression,
+//            2 on schema drift (head entry lost metrics)
+//            render: [--out dashboard.md] [--window 20]  markdown +
+//            sparkline dashboard of every tracked metric
 //
 // Examples:
 //   spmv_tool train --matrices 120 --out model.txt
@@ -62,6 +75,7 @@
 #include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -76,7 +90,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: spmv_tool "
                "<info|tune|run|train|gen|serve-bench|adapt-bench|"
-               "plan-store|compare-profiles> [flags]\n"
+               "plan-store|compare-profiles|perf-trajectory> [flags]\n"
                "  input flags: --mtx file.mtx | --matrix <table2 name> |\n"
                "               --family <corpus family> --rows N [--param P]\n"
                "  backend:     --backend clsim|native (run, tune,\n"
@@ -93,6 +107,7 @@ int usage() {
                "               --max-batch B --profile out.json\n"
                "               --trace out.trace.json --trace-sample N\n"
                "               --metrics-out m.txt --plan-store store.json\n"
+               "               --obs-dir dir\n"
                "  adapt-bench flags: --requests R --trial-fraction F\n"
                "               --workers W --store store.json "
                "--profile out.json\n"
@@ -102,7 +117,12 @@ int usage() {
                "  plan-store:  ls|gc --store store.json [--model-version V]\n"
                "               [--ttl-hours H]\n"
                "  compare-profiles: baseline.json current.json "
-               "[--threshold 1.15]\n");
+               "[--threshold 1.15]\n"
+               "  perf-trajectory: append|check|render --file t.json\n"
+               "               append: --bench BENCH.json --label L\n"
+               "               [--max-entries N]\n"
+               "               check: [--window 5] [--threshold 1.25]\n"
+               "               render: [--out dashboard.md] [--window 20]\n");
   return 2;
 }
 
@@ -435,12 +455,24 @@ int cmd_serve_bench(const util::Cli& cli) {
   // batch-claim -> execute -> complete, request-id-correlated across the
   // worker threads) as a Chrome trace-event file. --trace-sample N keeps
   // one request in N so long benches stay within the ring buffers.
+  // --obs-dir streams spans/stats continuously. The sink needs tracing on
+  // to see spans, so it implies --trace-style recording even without a
+  // Chrome-trace output path.
+  const std::string obs_dir = cli.get("obs-dir");
   const std::string trace_path = cli.get("trace");
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() || !obs_dir.empty()) {
     trace::TraceConfig tconfig;
     tconfig.sample_every_n =
         static_cast<std::uint64_t>(cli.get_int("trace-sample", 1));
     trace::start(tconfig);
+  }
+  std::unique_ptr<obs::StreamingSink> sink;
+  if (!obs_dir.empty()) {
+    obs::SinkOptions sopts;
+    sopts.directory = obs_dir;
+    sink = std::make_unique<obs::StreamingSink>(sopts);
+    sink->attach();
+    opts.obs_sink = sink.get();
   }
   double serve_s = 0.0;
   {
@@ -464,7 +496,25 @@ int cmd_serve_bench(const util::Cli& cli) {
     serve_s = wall.elapsed_s();
     service.shutdown();
   }
-  if (!trace_path.empty()) trace::stop();
+  if (!trace_path.empty() || !obs_dir.empty()) {
+    trace::stop();
+    // Account the trace stream into the profile: span counts AND the spans
+    // lost to ring wrap-around, so the artifact records its own holes.
+    const auto snap = trace::snapshot();
+    profile.trace_stats.events = snap.events.size();
+    profile.trace_stats.dropped_spans = snap.dropped;
+    profile.trace_stats.threads = snap.threads;
+  }
+  if (sink != nullptr) {
+    sink->detach();  // safe: the service's workers joined, tracing stopped
+    sink->close();
+    const auto ss = sink->stats();
+    std::printf("obs sink %s: %llu record(s) flushed into %zu segment(s), "
+                "%llu dropped\n",
+                obs_dir.c_str(), static_cast<unsigned long long>(ss.flushed),
+                sink->segment_files().size(),
+                static_cast<unsigned long long>(ss.dropped));
+  }
 
   const auto& s = profile.serve;
   std::printf("\n%-24s %12s %14s\n", "strategy", "wall[ms]", "requests/s");
@@ -773,9 +823,12 @@ int cmd_plan_store(const util::Cli& cli) {
   return 0;
 }
 
-// The CI perf gate: diff two RunProfile artifacts and fail when any
-// comparable metric in `current` is more than `threshold` times its
-// baseline value.
+// The CI perf gate: diff two RunProfile artifacts. Exit codes are a
+// three-way contract: 1 = a metric regressed past the threshold, 2 = the
+// profiles no longer speak the same schema (baseline sections missing from
+// current — renamed bins/kernels, dropped histograms), 0 = clean. Keeping
+// the two failure modes distinct stops a renamed metric from silently
+// passing as "nothing regressed".
 int cmd_compare_profiles(const util::Cli& cli) {
   const auto& pos = cli.positional();
   if (pos.size() != 2) {
@@ -788,23 +841,123 @@ int cmd_compare_profiles(const util::Cli& cli) {
   const auto current = prof::read_profile_file(pos[1]);
   const auto result = prof::compare_profiles(baseline, current, threshold);
 
-  if (result.metrics.empty()) {
+  if (!result.metrics.empty()) {
+    std::printf("%-28s %12s %12s %8s\n", "metric", "baseline[ms]",
+                "current[ms]", "ratio");
+    for (const auto& m : result.metrics) {
+      std::printf("%-28s %12.4f %12.4f %7.2fx%s\n", m.name.c_str(),
+                  1e3 * m.baseline, 1e3 * m.current, m.ratio,
+                  m.regressed ? "  REGRESSED" : "");
+    }
+  } else {
     std::printf("no comparable metrics between %s and %s\n", pos[0].c_str(),
                 pos[1].c_str());
-    return 0;
   }
-  std::printf("%-28s %12s %12s %8s\n", "metric", "baseline[ms]",
-              "current[ms]", "ratio");
-  for (const auto& m : result.metrics) {
-    std::printf("%-28s %12.4f %12.4f %7.2fx%s\n", m.name.c_str(),
-                1e3 * m.baseline, 1e3 * m.current, m.ratio,
-                m.regressed ? "  REGRESSED" : "");
+  if (result.schema_mismatch()) {
+    std::printf("\nSCHEMA MISMATCH: baseline metric section(s) missing from "
+                "current:\n");
+    for (const auto& name : result.missing)
+      std::printf("  %s\n", name.c_str());
+    std::printf("(exit 2: re-baseline or fix the rename — this is not a "
+                "perf verdict)\n");
+    return 2;
   }
   if (result.regressed()) {
     std::printf("\nFAIL: regression past %.2fx threshold\n", threshold);
     return 1;
   }
   std::printf("\nOK: no metric regressed past %.2fx threshold\n", threshold);
+  return 0;
+}
+
+// Perf trajectory: the regression gate's time axis. `append` folds one
+// BENCH_*.json snapshot into the committed history, `check` gates the
+// newest entry against the rolling window (exit 1 regression, 2 schema
+// drift), `render` writes the sparkline dashboard.
+int cmd_perf_trajectory(const util::Cli& cli) {
+  const auto& pos = cli.positional();
+  if (pos.empty() ||
+      (pos[0] != "append" && pos[0] != "check" && pos[0] != "render")) {
+    std::fprintf(stderr,
+                 "perf-trajectory: expected append|check|render "
+                 "--file trajectory.json\n");
+    return 2;
+  }
+  const std::string file = cli.get("file");
+  if (file.empty()) {
+    std::fprintf(stderr, "perf-trajectory: --file trajectory.json required\n");
+    return 2;
+  }
+  prof::Trajectory traj = prof::Trajectory::load_file(file);
+
+  if (pos[0] == "append") {
+    const std::string bench_path = cli.get("bench");
+    if (bench_path.empty()) {
+      std::fprintf(stderr, "perf-trajectory append: --bench BENCH.json "
+                           "required\n");
+      return 2;
+    }
+    std::ifstream in(bench_path);
+    if (!in) throw std::runtime_error("cannot read " + bench_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto max_entries =
+        static_cast<std::size_t>(cli.get_int("max-entries", 200));
+    traj.append(prof::Json::parse(text.str()), cli.get("label", "unlabeled"),
+                max_entries);
+    traj.save_file(file);
+    std::printf("appended %s as entry %llu (%zu total) to %s\n",
+                bench_path.c_str(),
+                static_cast<unsigned long long>(traj.entries().back().seq),
+                traj.entries().size(), file.c_str());
+    return 0;
+  }
+
+  if (pos[0] == "check") {
+    const auto window = static_cast<std::size_t>(cli.get_int("window", 5));
+    const double threshold = cli.get_double("threshold", 1.25);
+    const auto check = traj.check(window, threshold);
+    if (check.metrics.empty()) {
+      std::printf("trajectory %s: %zu entr%s — not enough history to gate\n",
+                  file.c_str(), traj.entries().size(),
+                  traj.entries().size() == 1 ? "y" : "ies");
+      return 0;
+    }
+    std::printf("%-36s %12s %12s %8s\n", "metric", "head", "window", "ratio");
+    for (const auto& m : check.metrics) {
+      std::printf("%-36s %12.6g %12.6g %7.2fx%s\n", m.name.c_str(), m.head,
+                  m.window, m.ratio, m.regressed ? "  REGRESSED" : "");
+    }
+    if (!check.missing.empty()) {
+      std::printf("\nSCHEMA DRIFT: head entry lost metric(s):\n");
+      for (const auto& name : check.missing)
+        std::printf("  %s\n", name.c_str());
+      return 2;
+    }
+    if (check.regressed()) {
+      std::printf("\nFAIL: head regressed past %.2fx vs the %zu-entry "
+                  "window\n",
+                  threshold, window);
+      return 1;
+    }
+    std::printf("\nOK: head within %.2fx of the %zu-entry window\n",
+                threshold, window);
+    return 0;
+  }
+
+  // render
+  const auto window = static_cast<std::size_t>(cli.get_int("window", 20));
+  const std::string md = traj.render_markdown(window);
+  const std::string out_path = cli.get("out");
+  if (out_path.empty()) {
+    std::printf("%s", md.c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot write " + out_path);
+    out << md;
+    std::printf("dashboard written to %s (%zu entries)\n", out_path.c_str(),
+                traj.entries().size());
+  }
   return 0;
 }
 
@@ -824,6 +977,7 @@ int main(int argc, char** argv) {
     if (cmd == "adapt-bench") return cmd_adapt_bench(cli);
     if (cmd == "plan-store") return cmd_plan_store(cli);
     if (cmd == "compare-profiles") return cmd_compare_profiles(cli);
+    if (cmd == "perf-trajectory") return cmd_perf_trajectory(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "spmv_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;
