@@ -72,6 +72,9 @@
 #include "serve/fingerprint.hpp"        // structural matrix fingerprints
 #include "serve/plan_cache.hpp"         // LRU cache of built runtimes
 #include "serve/service.hpp"            // concurrent serving layer
+#include "shard/fair_queue.hpp"         // tenant-weighted fair admission
+#include "shard/partition.hpp"          // nnz-balanced row partitioning
+#include "shard/sharded_service.hpp"    // row-sharded serving layer
 #include "sparse/convert.hpp"           // COO<->CSR, transpose
 #include "sparse/coo.hpp"               // COO container
 #include "sparse/csr.hpp"               // CSR container

@@ -53,6 +53,15 @@ struct Plan {
   /// services resume on the backend that won. Plans from pre-backend
   /// artifacts load as Clsim.
   exec::BackendKind backend = exec::BackendKind::Clsim;
+  /// Sharded-plan provenance (spmv::shard): which row shard of which parent
+  /// matrix this plan was tuned for. shard_index -1 (the default) marks an
+  /// unsharded plan; sharded services stamp index/count and the parent's
+  /// structural row hash so `plan-store ls` and profile artifacts can tell
+  /// "shard 2 of 4 of matrix 0xABC" apart from a standalone matrix that
+  /// happens to share the shard's structure.
+  int shard_index = -1;
+  int shard_count = 0;
+  std::uint64_t shard_parent = 0;
   /// Kernel per occupied bin, ascending bin_id. For single_bin plans this
   /// has exactly one entry with bin_id 0.
   std::vector<BinPlan> bin_kernels;
@@ -121,6 +130,9 @@ struct Plan {
       s += " @";
       s += exec::backend_cname(backend);
     }
+    if (shard_index >= 0)
+      s += " shard " + std::to_string(shard_index) + "/" +
+           std::to_string(shard_count);
     return s;
   }
 };

@@ -1,6 +1,8 @@
 #include "core/plan_io.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -38,6 +40,18 @@ prof::Json plan_to_json(const Plan& plan) {
   j.set("unit_tuned", plan.unit_tuned);
   j.set("predicted_unit", static_cast<std::int64_t>(plan.predicted_unit));
   j.set("backend", exec::backend_name(plan.backend));
+  // Sharded-plan provenance (spmv::shard), only for plans that carry it —
+  // unsharded plans keep the pre-shard artifact shape byte-for-byte. The
+  // parent hash travels as a hex string: Json numbers are doubles and
+  // would silently round a 64-bit hash.
+  if (plan.shard_index >= 0) {
+    j.set("shard_index", static_cast<std::int64_t>(plan.shard_index));
+    j.set("shard_count", static_cast<std::int64_t>(plan.shard_count));
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(plan.shard_parent));
+    j.set("shard_parent", std::string(hex));
+  }
   prof::Json bins = prof::Json::array();
   for (const BinPlan& bp : plan.bin_kernels) {
     prof::Json b = prof::Json::object();
@@ -75,6 +89,17 @@ Plan plan_from_json(const prof::Json& j) {
     if (!kind.has_value())
       throw std::runtime_error("plan: unknown backend " + v->as_string());
     plan.backend = *kind;
+  }
+  // Optional shard provenance; pre-shard artifacts omit it (-1 default).
+  if (const prof::Json* v = j.find("shard_index"); v != nullptr) {
+    plan.shard_index =
+        static_cast<int>(checked_int(*v, "shard_index", 0, 1'000'000));
+    plan.shard_count = static_cast<int>(checked_int(
+        j.at("shard_count"), "shard_count", 1, 1'000'000));
+    if (plan.shard_index >= plan.shard_count)
+      throw std::runtime_error("plan: shard_index beyond shard_count");
+    plan.shard_parent =
+        std::strtoull(j.at("shard_parent").as_string().c_str(), nullptr, 16);
   }
   for (const prof::Json& b : j.at("bins").items()) {
     const std::string kname = b.at("kernel").as_string();

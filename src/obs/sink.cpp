@@ -18,6 +18,11 @@ std::size_t round_up_pow2(std::size_t n) {
   return p;
 }
 
+/// The calling thread's producer-group routing hint (set_producer_group).
+/// Process-wide, not per-sink: a shard worker thread belongs to one
+/// partition for its whole life, whichever sink is attached.
+thread_local std::size_t t_producer_group = 0;
+
 /// One record as a single-line JSON document (the flusher's serializer —
 /// never on a producer thread).
 std::string to_jsonl(const Record& r) {
@@ -40,6 +45,13 @@ std::string to_jsonl(const Record& r) {
   } else {
     j.set("ts_ns", r.ts_ns);
     j.set("value", r.value);
+    if (r.arg_keys[0] != nullptr) {
+      prof::Json attrs = prof::Json::object();
+      for (int i = 0; i < 2; ++i) {
+        if (r.arg_keys[i] != nullptr) attrs.set(r.arg_keys[i], r.arg_vals[i]);
+      }
+      j.set("attrs", std::move(attrs));
+    }
   }
   return j.dump(0) + "\n";
 }
@@ -57,9 +69,15 @@ StreamingSink::StreamingSink(SinkOptions opts) : opts_(std::move(opts)) {
   const std::size_t cap =
       round_up_pow2(std::max<std::size_t>(2, opts_.ring_capacity));
   mask_ = cap - 1;
-  slots_ = std::vector<Slot>(cap);
-  for (std::size_t i = 0; i < cap; ++i)
-    slots_[i].seq.store(i, std::memory_order_relaxed);
+  const std::size_t groups = std::max<std::size_t>(1, opts_.producer_groups);
+  rings_.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots = std::vector<Slot>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      ring->slots[i].seq.store(i, std::memory_order_relaxed);
+    rings_.push_back(std::move(ring));
+  }
   paused_ = opts_.start_paused;
   flusher_ = std::thread([this] { flusher_main(); });
 }
@@ -95,20 +113,23 @@ bool StreamingSink::push(const Record& r) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Route to the calling thread's producer-group ring; threads that never
+  // called set_producer_group share ring 0 (the single-ring behaviour).
+  Ring& ring = *rings_[t_producer_group % rings_.size()];
   // Vyukov bounded-queue claim: each slot carries a sequence number; a
   // producer owns slot (pos & mask_) when seq == pos, publishes with
   // seq = pos + 1. A lagging seq means the consumer has not freed the slot
   // a full lap behind — the ring is full, so drop (never block, never
   // allocate: this runs inside trace emission on serving threads).
-  std::size_t pos = head_.load(std::memory_order_relaxed);
+  std::size_t pos = ring.head.load(std::memory_order_relaxed);
   for (;;) {
-    Slot& slot = slots_[pos & mask_];
+    Slot& slot = ring.slots[pos & mask_];
     const std::size_t seq = slot.seq.load(std::memory_order_acquire);
     const auto dif = static_cast<std::intptr_t>(seq) -
                      static_cast<std::intptr_t>(pos);
     if (dif == 0) {
-      if (head_.compare_exchange_weak(pos, pos + 1,
-                                      std::memory_order_relaxed)) {
+      if (ring.head.compare_exchange_weak(pos, pos + 1,
+                                          std::memory_order_relaxed)) {
         slot.rec = r;
         slot.seq.store(pos + 1, std::memory_order_release);
         pushed_.fetch_add(1, std::memory_order_relaxed);
@@ -116,10 +137,11 @@ bool StreamingSink::push(const Record& r) {
       }
       // CAS reloaded pos; retry.
     } else if (dif < 0) {
+      ring.dropped.fetch_add(1, std::memory_order_relaxed);
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     } else {
-      pos = head_.load(std::memory_order_relaxed);
+      pos = ring.head.load(std::memory_order_relaxed);
     }
   }
 }
@@ -131,6 +153,22 @@ bool StreamingSink::push_stat(const char* name, double value) {
   r.ts_ns = trace::now_ns();
   r.value = value;
   return push(r);
+}
+
+bool StreamingSink::push_stat(const char* name, double value,
+                              std::int64_t shard) {
+  Record r;
+  r.kind = Record::Kind::Stat;
+  r.name = name;
+  r.ts_ns = trace::now_ns();
+  r.value = value;
+  r.arg_keys[0] = "shard";
+  r.arg_vals[0] = shard;
+  return push(r);
+}
+
+void StreamingSink::set_producer_group(std::size_t group) {
+  t_producer_group = group;
 }
 
 void StreamingSink::pause() {
@@ -181,28 +219,32 @@ void StreamingSink::ensure_stream_locked() {
 void StreamingSink::drain_locked() {
   const std::size_t cap = mask_ + 1;
   Record rec;
-  for (;;) {
-    Slot& slot = slots_[tail_ & mask_];
-    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
-    if (static_cast<std::intptr_t>(seq) -
-            static_cast<std::intptr_t>(tail_ + 1) < 0)
-      break;  // next slot not yet published — ring drained
-    rec = slot.rec;
-    slot.seq.store(tail_ + cap, std::memory_order_release);
-    ++tail_;
-    const std::string line = to_jsonl(rec);
-    // (Re)open lazily, per record: a rotation inside this loop closes the
-    // stream, and an empty drain must not leave a stray .part file behind.
-    ensure_stream_locked();
-    if (stream_.is_open()) {
-      stream_ << line;
-      segment_bytes_ += line.size();
-      bytes_written_ += line.size();
-      flushed_ += 1;
-    } else {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& ring_ptr : rings_) {
+    Ring& ring = *ring_ptr;
+    for (;;) {
+      Slot& slot = ring.slots[ring.tail & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      if (static_cast<std::intptr_t>(seq) -
+              static_cast<std::intptr_t>(ring.tail + 1) < 0)
+        break;  // next slot not yet published — this ring drained
+      rec = slot.rec;
+      slot.seq.store(ring.tail + cap, std::memory_order_release);
+      ++ring.tail;
+      const std::string line = to_jsonl(rec);
+      // (Re)open lazily, per record: a rotation inside this loop closes the
+      // stream, and an empty drain must not leave a stray .part file behind.
+      ensure_stream_locked();
+      if (stream_.is_open()) {
+        stream_ << line;
+        segment_bytes_ += line.size();
+        bytes_written_ += line.size();
+        flushed_ += 1;
+      } else {
+        ring.dropped.fetch_add(1, std::memory_order_relaxed);
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (segment_bytes_ >= opts_.segment_max_bytes) rotate_locked();
     }
-    if (segment_bytes_ >= opts_.segment_max_bytes) rotate_locked();
   }
   if (stream_.is_open()) stream_.flush();
 }
@@ -255,6 +297,10 @@ SinkStats StreamingSink::stats() const {
   SinkStats s;
   s.pushed = pushed_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.dropped_by_ring.reserve(rings_.size());
+  for (const auto& ring : rings_)
+    s.dropped_by_ring.push_back(
+        ring->dropped.load(std::memory_order_relaxed));
   std::lock_guard<std::mutex> lock(io_mutex_);
   s.flushed = flushed_;
   s.rotations = rotations_;

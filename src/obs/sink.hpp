@@ -41,6 +41,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -71,9 +72,17 @@ struct Record {
 struct SinkOptions {
   /// Segment directory (created if missing). Required.
   std::string directory;
-  /// Ring capacity in records (rounded up to a power of two). This IS the
-  /// sink's memory bound: producers beyond it drop, never queue.
+  /// Ring capacity in records (rounded up to a power of two), PER producer
+  /// group. Each group's ring is an independent memory bound: producers
+  /// beyond it drop, never queue.
   std::size_t ring_capacity = 4096;
+  /// Number of producer-group rings. One ring (the default) is the original
+  /// global MPSC. A sharded service sets this to its partition count + 1 and
+  /// routes each shard's worker threads to their own ring via
+  /// set_producer_group(), so shard partitions stop contending on one CAS
+  /// head at high span rates; the single flusher drains all rings. Drops
+  /// are accounted per ring (SinkStats::dropped_by_ring).
+  std::size_t producer_groups = 1;
   /// Active segment rotates once it exceeds this many bytes.
   std::size_t segment_max_bytes = 4u << 20;
   /// Completed segments beyond this are deleted oldest-first.
@@ -85,11 +94,14 @@ struct SinkOptions {
 };
 
 struct SinkStats {
-  std::uint64_t pushed = 0;    ///< records accepted into the ring
+  std::uint64_t pushed = 0;    ///< records accepted into any ring
   std::uint64_t dropped = 0;   ///< records rejected (ring full / closed)
   std::uint64_t flushed = 0;   ///< records written to segment files
   std::uint64_t rotations = 0; ///< completed-segment renames
   std::uint64_t bytes_written = 0;
+  /// Per-producer-group drop accounting (size == producer_groups): which
+  /// partition outran the flusher, not just that someone did.
+  std::vector<std::uint64_t> dropped_by_ring;
 };
 
 class StreamingSink {
@@ -114,13 +126,23 @@ class StreamingSink {
   /// trace::stop() and after joining/quiescing producer threads).
   void detach();
 
-  /// MPSC producer: O(1), lock-free, never blocks. Returns false when the
-  /// record was dropped (ring full or sink closed) — the loss is counted
-  /// in stats().dropped either way.
+  /// MPSC producer: O(1), lock-free, never blocks. Routes to the calling
+  /// thread's producer-group ring (set_producer_group; group 0 when unset).
+  /// Returns false when the record was dropped (ring full or sink closed) —
+  /// the loss is counted in stats().dropped (and per ring) either way.
   bool push(const Record& r);
 
   /// Convenience producer for a stat delta (timestamped now).
   bool push_stat(const char* name, double value);
+
+  /// A stat delta tagged with its shard partition (an extra "shard" attr in
+  /// the JSONL record).
+  bool push_stat(const char* name, double value, std::int64_t shard);
+
+  /// Route this THREAD's pushes to producer-group ring `group` (modulo the
+  /// sink's producer_groups). Process-wide thread-local: a shard worker
+  /// calls it once at thread start; threads that never call it use ring 0.
+  static void set_producer_group(std::size_t group);
 
   /// Suspend / resume the flusher (tests; quiescing around a fork). While
   /// paused, producers keep pushing until the ring fills, then drop — the
@@ -151,10 +173,19 @@ class StreamingSink {
     Record rec;
   };
 
+  /// One producer group's Vyukov ring. Atomics make it immovable, so rings
+  /// live behind unique_ptr in a fixed-size vector built at construction.
+  struct Ring {
+    std::vector<Slot> slots;
+    std::atomic<std::size_t> head{0};  ///< producers claim slots here
+    std::size_t tail = 0;              ///< consumer cursor (io_mutex_)
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
   static void on_trace_event(void* ctx, const trace::TraceEvent& ev);
 
   void flusher_main();
-  /// Drain + write; caller must hold io_mutex_.
+  /// Drain + write all rings; caller must hold io_mutex_.
   void drain_locked();
   /// Close the active stream and rename it to a numbered segment; caller
   /// must hold io_mutex_.
@@ -162,15 +193,13 @@ class StreamingSink {
   void ensure_stream_locked();
 
   SinkOptions opts_;
-  std::size_t mask_ = 0;  ///< ring_capacity (power of two) - 1
+  std::size_t mask_ = 0;  ///< per-ring capacity (power of two) - 1
 
-  std::vector<Slot> slots_;
-  std::atomic<std::size_t> head_{0};  ///< producers claim slots here
-  std::size_t tail_ = 0;              ///< consumer cursor (io_mutex_)
+  std::vector<std::unique_ptr<Ring>> rings_;  ///< one per producer group
 
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> pushed_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> dropped_{0};  ///< total across rings
 
   mutable std::mutex io_mutex_;  ///< consumer side: drain, rotate, stats
   std::ofstream stream_;

@@ -148,6 +148,7 @@ Json LatencyHistogram::to_json() const {
       ej.set("backend", static_cast<std::int64_t>(e.backend));
       ej.set("formats", e.formats);
       ej.set("promo_level", static_cast<std::int64_t>(e.promo_level));
+      ej.set("shard", static_cast<std::int64_t>(e.shard));
       Json pair = Json::array();
       pair.push_back(i);
       pair.push_back(std::move(ej));
@@ -183,6 +184,9 @@ LatencyHistogram LatencyHistogram::from_json(const Json& j) {
       e.backend = static_cast<std::uint8_t>(ej.at("backend").as_int());
       e.formats = ej.at("formats").as_bool();
       e.promo_level = static_cast<std::uint8_t>(ej.at("promo_level").as_int());
+      // Optional: artifacts written before the shard layer lack the field.
+      if (const Json* shard = ej.find("shard"))
+        e.shard = static_cast<std::int16_t>(shard->as_int());
       h.exemplars_[i] = e;
     }
   }

@@ -30,6 +30,9 @@ struct Exemplar {
   /// Arm level of the latest adapt promotion applied before this sample:
   /// 0 none, 1 kernel, 2 unit (U), 3 backend, 4 format.
   std::uint8_t promo_level = 0;
+  /// Shard partition that produced the sample (spmv::shard); -1 = the
+  /// sample did not come from a sharded service.
+  std::int16_t shard = -1;
 
   [[nodiscard]] bool valid() const { return seq != 0; }
 };

@@ -29,6 +29,38 @@ void ServeStats::merge(const ServeStats& other) {
   request_latency.merge(other.request_latency);
   queue_wait.merge(other.queue_wait);
   batch_exec.merge(other.batch_exec);
+  // Tenant blocks match by name, shard blocks by index; unseen ones append
+  // (two sharded runs over different partitions still merge losslessly).
+  for (const TenantStats& ot : other.tenants) {
+    const auto it =
+        std::find_if(tenants.begin(), tenants.end(),
+                     [&](const TenantStats& t) { return t.name == ot.name; });
+    if (it == tenants.end()) {
+      tenants.push_back(ot);
+      continue;
+    }
+    it->weight = ot.weight;
+    it->requests += ot.requests;
+    it->rejected += ot.rejected;
+    it->dispatched += ot.dispatched;
+    it->latency.merge(ot.latency);
+  }
+  for (const ShardStats& os : other.shards) {
+    const auto it =
+        std::find_if(shards.begin(), shards.end(),
+                     [&](const ShardStats& sh) { return sh.shard == os.shard; });
+    if (it == shards.end()) {
+      shards.push_back(os);
+      continue;
+    }
+    it->row_begin = os.row_begin;
+    it->row_end = os.row_end;
+    it->nnz = os.nnz;
+    it->plan = os.plan;
+    it->executions += os.executions;
+    it->exec_total_s += os.exec_total_s;
+    it->promotions += os.promotions;
+  }
 }
 
 void RunProfile::add_bin_run(int bin_id, const std::string& kernel,
@@ -167,6 +199,39 @@ Json RunProfile::to_json() const {
       sv.set("queue_wait", serve.queue_wait.to_json());
     if (!serve.batch_exec.empty())
       sv.set("batch_exec", serve.batch_exec.to_json());
+    // Sharded-serving blocks (arrays: the perf-trajectory flattener skips
+    // arrays, so variable tenant/shard counts never churn the gated metric
+    // schema).
+    if (!serve.tenants.empty()) {
+      Json tenants = Json::array();
+      for (const TenantStats& t : serve.tenants) {
+        Json tj = Json::object();
+        tj.set("name", t.name);
+        tj.set("weight", t.weight);
+        tj.set("requests", t.requests);
+        tj.set("rejected", t.rejected);
+        tj.set("dispatched", t.dispatched);
+        if (!t.latency.empty()) tj.set("latency", t.latency.to_json());
+        tenants.push_back(std::move(tj));
+      }
+      sv.set("tenants", tenants);
+    }
+    if (!serve.shards.empty()) {
+      Json shards = Json::array();
+      for (const ShardStats& sh : serve.shards) {
+        Json sj = Json::object();
+        sj.set("shard", sh.shard);
+        sj.set("row_begin", sh.row_begin);
+        sj.set("row_end", sh.row_end);
+        sj.set("nnz", sh.nnz);
+        sj.set("plan", sh.plan);
+        sj.set("executions", sh.executions);
+        sj.set("exec_total_s", sh.exec_total_s);
+        sj.set("promotions", sh.promotions);
+        shards.push_back(std::move(sj));
+      }
+      sv.set("shards", shards);
+    }
     j.set("serve", sv);
   }
 
@@ -274,6 +339,34 @@ RunProfile RunProfile::from_json(const Json& j) {
       p.serve.queue_wait = LatencyHistogram::from_json(*h);
     if (const Json* h = sv->find("batch_exec"); h != nullptr)
       p.serve.batch_exec = LatencyHistogram::from_json(*h);
+    // Sharded-serving blocks (spmv::shard); older artifacts omit them.
+    if (const Json* tenants = sv->find("tenants"); tenants != nullptr) {
+      for (const Json& tj : tenants->items()) {
+        TenantStats t;
+        t.name = tj.at("name").as_string();
+        t.weight = tj.at("weight").as_number();
+        t.requests = tj.at("requests").as_uint();
+        t.rejected = tj.at("rejected").as_uint();
+        t.dispatched = tj.at("dispatched").as_uint();
+        if (const Json* h = tj.find("latency"); h != nullptr)
+          t.latency = LatencyHistogram::from_json(*h);
+        p.serve.tenants.push_back(std::move(t));
+      }
+    }
+    if (const Json* shards = sv->find("shards"); shards != nullptr) {
+      for (const Json& sj : shards->items()) {
+        ShardStats sh;
+        sh.shard = static_cast<int>(sj.at("shard").as_int());
+        sh.row_begin = sj.at("row_begin").as_int();
+        sh.row_end = sj.at("row_end").as_int();
+        sh.nnz = sj.at("nnz").as_int();
+        sh.plan = sj.at("plan").as_string();
+        sh.executions = sj.at("executions").as_uint();
+        sh.exec_total_s = sj.at("exec_total_s").as_number();
+        sh.promotions = sj.at("promotions").as_uint();
+        p.serve.shards.push_back(std::move(sh));
+      }
+    }
   }
 
   // Optional: only present when an online tuner recorded into the profile.
@@ -411,9 +504,22 @@ std::string exemplar_text(const Exemplar& e) {
   out += e.formats ? "1" : "0";
   out += "\",promo_level=\"";
   out += promo_label(e.promo_level);
+  if (e.shard >= 0) {
+    out += "\",shard=\"";
+    out += std::to_string(e.shard);
+  }
   out += "\"} ";
   out += val;
   return out;
+}
+
+/// One labelled sample line (no HELP/TYPE header — callers emit the header
+/// once and then one line per tenant/shard label set).
+void labelled(std::string& out, const std::string& name,
+              const std::string& labels, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += name + "{" + labels + "} " + buf + "\n";
 }
 
 /// A latency distribution as a full Prometheus histogram: cumulative
@@ -503,6 +609,59 @@ std::string prometheus_text(const RunProfile& profile) {
               "Submit-to-dispatch wait distribution", s.queue_wait);
     histogram(out, "spmv_serve_batch_exec_hist_seconds",
               "Batch execution wall-time distribution", s.batch_exec);
+    if (!s.tenants.empty()) {
+      out += "# HELP spmv_serve_tenant_requests_total Requests accepted per"
+             " tenant\n# TYPE spmv_serve_tenant_requests_total counter\n";
+      for (const TenantStats& t : s.tenants)
+        labelled(out, "spmv_serve_tenant_requests_total",
+                 "tenant=\"" + prometheus_escape_label(t.name) + "\"",
+                 static_cast<double>(t.requests));
+      out += "# HELP spmv_serve_tenant_rejected_total Admission bounces per"
+             " tenant (global bound or fair-queue quota)\n"
+             "# TYPE spmv_serve_tenant_rejected_total counter\n";
+      for (const TenantStats& t : s.tenants)
+        labelled(out, "spmv_serve_tenant_rejected_total",
+                 "tenant=\"" + prometheus_escape_label(t.name) + "\"",
+                 static_cast<double>(t.rejected));
+      out += "# HELP spmv_serve_tenant_latency_seconds Per-tenant end-to-end"
+             " latency quantiles\n"
+             "# TYPE spmv_serve_tenant_latency_seconds summary\n";
+      for (const TenantStats& t : s.tenants) {
+        const std::string tl =
+            "tenant=\"" + prometheus_escape_label(t.name) + "\"";
+        labelled(out, "spmv_serve_tenant_latency_seconds",
+                 tl + ",quantile=\"0.5\"", t.latency.percentile(50.0));
+        labelled(out, "spmv_serve_tenant_latency_seconds",
+                 tl + ",quantile=\"0.95\"", t.latency.percentile(95.0));
+        labelled(out, "spmv_serve_tenant_latency_seconds",
+                 tl + ",quantile=\"0.99\"", t.latency.percentile(99.0));
+        labelled(out, "spmv_serve_tenant_latency_seconds_sum", tl,
+                 t.latency.total_s());
+        labelled(out, "spmv_serve_tenant_latency_seconds_count", tl,
+                 static_cast<double>(t.latency.count()));
+      }
+    }
+    if (!s.shards.empty()) {
+      out += "# HELP spmv_serve_shard_executions_total Kernel dispatches per"
+             " row shard\n# TYPE spmv_serve_shard_executions_total counter\n";
+      for (const ShardStats& sh : s.shards)
+        labelled(out, "spmv_serve_shard_executions_total",
+                 "shard=\"" + std::to_string(sh.shard) + "\"",
+                 static_cast<double>(sh.executions));
+      out += "# HELP spmv_serve_shard_exec_seconds_total Execution wall time"
+             " per row shard\n"
+             "# TYPE spmv_serve_shard_exec_seconds_total counter\n";
+      for (const ShardStats& sh : s.shards)
+        labelled(out, "spmv_serve_shard_exec_seconds_total",
+                 "shard=\"" + std::to_string(sh.shard) + "\"",
+                 sh.exec_total_s);
+      out += "# HELP spmv_serve_shard_promotions_total Bandit promotions per"
+             " row shard\n# TYPE spmv_serve_shard_promotions_total counter\n";
+      for (const ShardStats& sh : s.shards)
+        labelled(out, "spmv_serve_shard_promotions_total",
+                 "shard=\"" + std::to_string(sh.shard) + "\"",
+                 static_cast<double>(sh.promotions));
+    }
   }
   const AdaptStats& a = profile.adapt;
   if (!a.empty()) {

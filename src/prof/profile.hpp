@@ -115,6 +115,32 @@ struct AdaptStats {
   [[nodiscard]] bool empty() const { return trials == 0 && promotions == 0; }
 };
 
+/// Per-tenant serving statistics (spmv::shard fair admission): accounting
+/// per admission identity, so a flooding tenant's rejections and a light
+/// tenant's p99 are separable in every artifact.
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t requests = 0;    ///< submissions accepted into the queue
+  std::uint64_t rejected = 0;    ///< submissions bounced (global or quota)
+  std::uint64_t dispatched = 0;  ///< requests handed to the shard pool
+  /// End-to-end submit→complete latency for this tenant's requests.
+  LatencyHistogram latency;
+};
+
+/// Per-shard serving statistics (spmv::shard): one row partition's load
+/// and tuning provenance.
+struct ShardStats {
+  int shard = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t nnz = 0;
+  std::string plan;  ///< current Plan::to_string() (carries provenance)
+  std::uint64_t executions = 0;  ///< per-shard kernel dispatches
+  double exec_total_s = 0.0;
+  std::uint64_t promotions = 0;  ///< bandit promotions applied to the shard
+};
+
 /// Serving-layer statistics (spmv::serve): request/batch accounting, queue
 /// wait, and plan-cache effectiveness. A default-constructed ServeStats is
 /// "empty" and is omitted from the JSON artifact.
@@ -146,6 +172,12 @@ struct ServeStats {
   LatencyHistogram request_latency;
   LatencyHistogram queue_wait;
   LatencyHistogram batch_exec;
+  /// Per-tenant blocks (spmv::shard fair admission); empty unless a
+  /// sharded service ran. merge() matches tenants by name.
+  std::vector<TenantStats> tenants;
+  /// Per-shard blocks (spmv::shard); empty unless a sharded service ran.
+  /// merge() matches shards by index.
+  std::vector<ShardStats> shards;
 
   /// Count one dispatched batch of `width` requests.
   void add_batch(int width) {

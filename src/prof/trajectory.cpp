@@ -79,6 +79,7 @@ Trajectory Trajectory::from_json(const Json& j) {
     TrajectoryEntry e;
     e.seq = ej.at("seq").as_uint();
     e.label = ej.at("label").as_string();
+    if (const Json* s = ej.find("stream")) e.stream = s->as_string();
     for (const auto& [key, value] : ej.at("metrics").members())
       e.metrics.emplace_back(key, value.as_number());
     t.next_seq_ = std::max(t.next_seq_, e.seq + 1);
@@ -95,6 +96,7 @@ Json Trajectory::to_json() const {
     Json ej = Json::object();
     ej.set("seq", e.seq);
     ej.set("label", e.label);
+    if (!e.stream.empty()) ej.set("stream", e.stream);
     Json metrics = Json::object();
     for (const auto& [key, value] : e.metrics) metrics.set(key, value);
     ej.set("metrics", std::move(metrics));
@@ -139,14 +141,24 @@ void Trajectory::append(const Json& bench, const std::string& label,
   TrajectoryEntry e;
   e.seq = next_seq_++;
   e.label = label;
+  // Stream identity: the bench's own name (+ mode), so one history file
+  // can carry e.g. the standard and the sharded serve snapshots without
+  // either gating against the other's schema.
+  if (const Json* b = bench.find("bench");
+      b && b->type() == Json::Type::String) {
+    e.stream = b->as_string();
+    if (const Json* m = bench.find("mode");
+        m && m->type() == Json::Type::String)
+      e.stream += "/" + m->as_string();
+  }
   flatten(bench, "", e.metrics);
   entries_.push_back(std::move(e));
   const std::size_t cap = std::max<std::size_t>(1, max_entries);
   while (entries_.size() > cap) entries_.erase(entries_.begin());
 }
 
-TrajectoryCheck Trajectory::check(std::size_t window,
-                                  double threshold) const {
+TrajectoryCheck Trajectory::check(std::size_t window, double threshold,
+                                  bool learned) const {
   if (window < 1)
     throw std::invalid_argument("Trajectory::check: window must be >= 1");
   if (threshold <= 0.0)
@@ -154,15 +166,24 @@ TrajectoryCheck Trajectory::check(std::size_t window,
   TrajectoryCheck result;
   if (entries_.size() < 2) return result;  // young trajectory: observe only
   const TrajectoryEntry& head = entries_.back();
-  const std::size_t first =
-      entries_.size() - 1 > window ? entries_.size() - 1 - window : 0;
+  // The window is the last `window` entries of the HEAD'S OWN STREAM —
+  // entries appended from a different bench document (other `stream` tag)
+  // neither pollute the means nor read as schema drift.
+  std::vector<const TrajectoryEntry*> prior;
+  for (std::size_t i = 0; i + 1 < entries_.size(); ++i) {
+    if (entries_[i].stream == head.stream) prior.push_back(&entries_[i]);
+  }
+  if (prior.empty()) return result;  // young stream: observe only
+  const std::size_t first = prior.size() > window ? prior.size() - window : 0;
 
   for (const auto& [name, head_value] : head.metrics) {
     double sum = 0.0;
+    double sum_sq = 0.0;
     std::size_t n = 0;
-    for (std::size_t i = first; i + 1 < entries_.size(); ++i) {
-      if (const double* v = entries_[i].find(name)) {
+    for (std::size_t i = first; i < prior.size(); ++i) {
+      if (const double* v = prior[i]->find(name)) {
         sum += *v;
+        sum_sq += *v * *v;
         n += 1;
       }
     }
@@ -176,14 +197,26 @@ TrajectoryCheck Trajectory::check(std::size_t window,
     // window". Non-positive sides defeat a ratio test; treat as neutral.
     if (m.head > 0.0 && m.window > 0.0)
       m.ratio = m.higher_is_better ? m.window / m.head : m.head / m.window;
+    m.threshold = threshold;
+    if (learned && m.window > 0.0 && n >= 2) {
+      // Per-metric noise-derived gate: a head value beyond mean + 3σ of
+      // its own window is an outlier regardless of what a one-size fixed
+      // ratio says; the fixed `threshold` stays as the floor so a
+      // low-noise metric cannot tighten into gating on measurement jitter.
+      const double variance = std::max(
+          0.0, sum_sq / static_cast<double>(n) - m.window * m.window);
+      const double sigma = std::sqrt(variance);
+      m.threshold = std::max(threshold, (m.window + 3.0 * sigma) / m.window);
+    }
     // config.* describes the bench setup (rows, requests, threads) — a
     // deliberate change must not read as a perf regression.
-    m.regressed = m.ratio > threshold && name.rfind("config.", 0) != 0;
+    m.regressed = m.ratio > m.threshold && name.rfind("config.", 0) != 0;
     result.metrics.push_back(std::move(m));
   }
 
-  // Schema drift: a metric every window entry carried but the head lost.
-  const TrajectoryEntry& prev = entries_[entries_.size() - 2];
+  // Schema drift: a metric the most recent same-stream entry carried but
+  // the head lost.
+  const TrajectoryEntry& prev = *prior.back();
   for (const auto& [name, value] : prev.metrics) {
     (void)value;
     if (head.find(name) == nullptr) result.missing.push_back(name);

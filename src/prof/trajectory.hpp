@@ -28,6 +28,13 @@ namespace spmv::prof {
 struct TrajectoryEntry {
   std::uint64_t seq = 0;  ///< 1-based append order (stable across prunes)
   std::string label;      ///< e.g. commit SHA or CI run id
+  /// Which bench produced this entry, derived from the source JSON's
+  /// "bench" (+ "/mode") string fields — e.g. "serve_throughput" or
+  /// "serve_throughput/sharded". One history file can interleave several
+  /// streams; check() gates each head only against its own stream, so a
+  /// sharded snapshot never reads as schema drift against an unsharded
+  /// one. Legacy entries (no "bench" field) share the "" stream.
+  std::string stream;
   std::vector<std::pair<std::string, double>> metrics;
 
   /// The metric's value, or nullptr when this entry lacks it.
@@ -40,6 +47,9 @@ struct TrajectoryMetric {
   double head = 0.0;     ///< the newest entry's value
   double window = 0.0;   ///< rolling mean over the previous W entries
   double ratio = 1.0;    ///< head/window (direction-normalized: >1 = worse)
+  /// The threshold this metric was actually gated against: the fixed one,
+  /// or — under a learned check — the variance-derived per-metric bound.
+  double threshold = 0.0;
   bool higher_is_better = false;
   bool regressed = false;
 };
@@ -79,14 +89,25 @@ class Trajectory {
               std::size_t max_entries = 200);
 
   /// Gate the newest entry against the rolling mean of the `window`
-  /// entries before it. A metric regresses when its direction-normalized
-  /// head/window ratio exceeds `threshold` (throughput-like metrics invert:
-  /// lower is worse). With fewer than 2 entries, or an empty window for a
-  /// metric, nothing regresses — a young trajectory only observes.
+  /// same-stream entries before it (entries appended from a different
+  /// bench document are invisible to this head — both for the means and
+  /// for the schema-drift scan). A metric regresses when its
+  /// direction-normalized head/window ratio exceeds `threshold`
+  /// (throughput-like metrics invert: lower is worse). With no prior
+  /// same-stream entry, or an empty window for a metric, nothing
+  /// regresses — a young trajectory (or stream) only observes.
   /// "config.*" metrics are never gated (they describe the bench setup).
   /// Throws std::invalid_argument when window < 1 or threshold <= 0.
-  [[nodiscard]] TrajectoryCheck check(std::size_t window,
-                                      double threshold) const;
+  ///
+  /// With `learned` set, each metric's threshold is derived from its own
+  /// window noise instead of applied uniformly: the gate becomes
+  /// max(threshold, (μ + 3σ) / μ) over the window values — a metric whose
+  /// history is noisy earns headroom proportional to that noise, while a
+  /// historically flat metric tightens to the floor. `threshold` then acts
+  /// as the floor, so the learned gate is never laxer than 3σ nor stricter
+  /// than the fixed gate it replaces.
+  [[nodiscard]] TrajectoryCheck check(std::size_t window, double threshold,
+                                      bool learned = false) const;
 
   /// Markdown dashboard: one table row per metric with a unicode sparkline
   /// over the last `window` entries (newest right), head value, rolling

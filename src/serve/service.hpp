@@ -21,6 +21,10 @@
 // the predictor) and flushes it at shutdown. Set ServiceOptions::adapt and
 // workers additionally shadow-measure alternative kernels on a fraction of
 // requests, promoting improved plan revisions into the cache live.
+//
+// For serving ONE large matrix split into row partitions — per-shard plans
+// and tuning plus tenant-weighted fair admission instead of this single
+// FIFO — see spmv::shard::ShardedService (shard/sharded_service.hpp).
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,193 @@
+// Tenant-weighted fair admission for the sharded serving layer: per-tenant
+// bounded queues in front of the dispatcher, drained in deficit-round-robin
+// (DRR) order so a flooding tenant cannot starve a light one, plus a Fifo
+// policy that reproduces the single global queue (the baseline the fairness
+// acceptance test compares against).
+//
+// Admission is double-bounded: the global size is capped at high_water
+// (matching serve::ServiceOptions::queue_high_water semantics), and under
+// the Fair policy each tenant additionally owns a quota proportional to its
+// weight — a flooder fills its own quota and starts bouncing while other
+// tenants' slots stay free. Dispatch under Fair is classic DRR with unit
+// item cost: each visit credits a tenant weight/max_weight of a quantum;
+// a tenant serves when its deficit reaches 1, so service rates converge to
+// the weight ratio whenever queues are backlogged.
+//
+// The queue is externally synchronized — the owning service already holds
+// one mutex across admission and dispatch, so the queue itself stays
+// lock-free-by-construction simple.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spmv::shard {
+
+enum class QueuePolicy : std::uint8_t {
+  Fair,  ///< per-tenant quotas + deficit round-robin
+  Fifo,  ///< one global queue, arrival order (the pre-shard baseline)
+};
+
+/// "fair" | "fifo" (CLI surface). Unknown names throw std::invalid_argument.
+inline QueuePolicy queue_policy_from_name(const std::string& name) {
+  if (name == "fair") return QueuePolicy::Fair;
+  if (name == "fifo") return QueuePolicy::Fifo;
+  throw std::invalid_argument("unknown queue policy: " + name +
+                              " (expected fair|fifo)");
+}
+
+inline const char* queue_policy_name(QueuePolicy p) {
+  return p == QueuePolicy::Fair ? "fair" : "fifo";
+}
+
+/// A tenant's admission identity: name (stats/metrics label) and weight
+/// (relative service share; clamped to >= 0.01 so every tenant makes
+/// progress within a bounded number of DRR rounds).
+struct TenantSpec {
+  std::string name;
+  double weight = 1.0;
+};
+
+struct TenantCounters {
+  std::uint64_t submitted = 0;   ///< accepted into the queue
+  std::uint64_t rejected = 0;    ///< bounced (global or quota bound)
+  std::uint64_t dispatched = 0;  ///< handed to the execution layer
+};
+
+template <typename Item>
+class FairQueue {
+ public:
+  FairQueue(std::vector<TenantSpec> tenants, QueuePolicy policy,
+            std::size_t high_water)
+      : policy_(policy), high_water_(high_water) {
+    if (tenants.empty()) tenants.push_back({"default", 1.0});
+    double total = 0.0;
+    tenants_.reserve(tenants.size());
+    for (TenantSpec& t : tenants) {
+      Tenant state;
+      state.spec = std::move(t);
+      if (!(state.spec.weight > 0.01)) state.spec.weight = 0.01;
+      total += state.spec.weight;
+      max_weight_ = std::max(max_weight_, state.spec.weight);
+      tenants_.push_back(std::move(state));
+    }
+    for (Tenant& t : tenants_) {
+      // Quota: this tenant's proportional slice of the shared high water.
+      // At least 1 so a tiny weight can still queue something.
+      t.quota = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(high_water_) *
+                                      t.spec.weight / total));
+    }
+  }
+
+  [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+
+  /// Index for a tenant name; throws std::invalid_argument when unknown
+  /// (admission of an unregistered tenant is a caller bug, not load).
+  [[nodiscard]] std::size_t tenant_index(const std::string& name) const {
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+      if (tenants_[i].spec.name == name) return i;
+    throw std::invalid_argument("FairQueue: unknown tenant " + name);
+  }
+
+  /// Admit one item for `tenant`. Returns false (and counts the rejection)
+  /// when the global high water, or — under Fair — the tenant's quota, is
+  /// already reached.
+  bool push(std::size_t tenant, Item item) {
+    Tenant& t = tenants_.at(tenant);
+    const bool over_quota =
+        policy_ == QueuePolicy::Fair && t.queue.size() >= t.quota;
+    if (size_ >= high_water_ || over_quota) {
+      t.counters.rejected += 1;
+      return false;
+    }
+    if (policy_ == QueuePolicy::Fifo) {
+      fifo_.emplace_back(tenant, std::move(item));
+    } else {
+      t.queue.push_back(std::move(item));
+    }
+    t.counters.submitted += 1;
+    size_ += 1;
+    return true;
+  }
+
+  /// Dispatch the next item (DRR order under Fair, arrival order under
+  /// Fifo). Returns false when empty.
+  bool pop(Item* out, std::size_t* tenant_out = nullptr) {
+    if (size_ == 0) return false;
+    if (policy_ == QueuePolicy::Fifo) {
+      auto& [tenant, item] = fifo_.front();
+      *out = std::move(item);
+      if (tenant_out != nullptr) *tenant_out = tenant;
+      tenants_[tenant].counters.dispatched += 1;
+      fifo_.pop_front();
+      size_ -= 1;
+      return true;
+    }
+    // DRR: visit tenants round-robin; each visit credits weight/max_weight,
+    // a tenant serves once its deficit reaches one item. The max-weight
+    // tenant reaches 1 within a single lap, so the loop terminates in at
+    // most tenants * (max_weight / min_weight) visits.
+    for (;;) {
+      Tenant& t = tenants_[cursor_];
+      if (t.queue.empty()) {
+        t.deficit = 0.0;  // an idle tenant does not bank credit
+        advance();
+        continue;
+      }
+      t.deficit += t.spec.weight / max_weight_;
+      if (t.deficit >= 1.0) {
+        t.deficit -= 1.0;
+        *out = std::move(t.queue.front());
+        t.queue.pop_front();
+        if (tenant_out != nullptr) *tenant_out = cursor_;
+        t.counters.dispatched += 1;
+        size_ -= 1;
+        if (t.deficit < 1.0 || t.queue.empty()) advance();
+        return true;
+      }
+      advance();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] QueuePolicy policy() const { return policy_; }
+  [[nodiscard]] const TenantSpec& spec(std::size_t tenant) const {
+    return tenants_.at(tenant).spec;
+  }
+  [[nodiscard]] std::size_t quota(std::size_t tenant) const {
+    return tenants_.at(tenant).quota;
+  }
+  [[nodiscard]] const TenantCounters& counters(std::size_t tenant) const {
+    return tenants_.at(tenant).counters;
+  }
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    std::size_t quota = 0;
+    double deficit = 0.0;
+    std::deque<Item> queue;  ///< Fair policy only
+    TenantCounters counters;
+  };
+
+  void advance() { cursor_ = (cursor_ + 1) % tenants_.size(); }
+
+  QueuePolicy policy_;
+  std::size_t high_water_;
+  double max_weight_ = 0.01;
+  std::size_t size_ = 0;
+  std::size_t cursor_ = 0;
+  std::vector<Tenant> tenants_;
+  std::deque<std::pair<std::size_t, Item>> fifo_;  ///< Fifo policy only
+};
+
+}  // namespace spmv::shard

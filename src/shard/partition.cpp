@@ -1,0 +1,149 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spmv::shard {
+
+namespace {
+
+/// Locality penalty for cutting between rows c-1 and c: 1.0 when the cut
+/// lands inside a coherent run of dense rows (both neighbours well above
+/// the mean row length and within 2x of each other), else 0. A binned
+/// tuner treats such a run as one regime; splitting it across shards
+/// makes both halves re-tune from a weaker signal.
+double cut_penalty(std::span<const offset_t> row_ptr, index_t c,
+                   double mean_nnz) {
+  const auto rows = static_cast<index_t>(row_ptr.size()) - 1;
+  if (c <= 0 || c >= rows) return 0.0;
+  const auto ci = static_cast<std::size_t>(c);
+  const auto above = static_cast<double>(row_ptr[ci + 1] - row_ptr[ci]);
+  const auto below = static_cast<double>(row_ptr[ci] - row_ptr[ci - 1]);
+  const double dense = std::max(4.0, 2.0 * mean_nnz);
+  if (below < dense || above < dense) return 0.0;
+  const double lo = std::min(below, above);
+  const double hi = std::max(below, above);
+  return hi <= 2.0 * lo ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+std::vector<ShardRange> partition_rows(std::span<const offset_t> row_ptr,
+                                       const PartitionOptions& opts) {
+  if (row_ptr.empty())
+    throw std::invalid_argument("partition_rows: empty row_ptr");
+  if (opts.shards < 1)
+    throw std::invalid_argument("partition_rows: shards must be >= 1");
+  const auto rows = static_cast<index_t>(row_ptr.size()) - 1;
+  const offset_t total = row_ptr[static_cast<std::size_t>(rows)];
+
+  const int k = static_cast<int>(
+      std::clamp<index_t>(static_cast<index_t>(opts.shards), 1,
+                          std::max<index_t>(1, rows)));
+  const double mean_nnz =
+      rows > 0 ? static_cast<double>(total) / static_cast<double>(rows) : 0.0;
+  // Imbalance normalizer: one shard's ideal nnz share.
+  const double share =
+      std::max(1.0, static_cast<double>(total) / static_cast<double>(k));
+
+  std::vector<index_t> cuts(static_cast<std::size_t>(k) + 1);
+  cuts.front() = 0;
+  cuts.back() = rows;
+  for (int s = 1; s < k; ++s) {
+    const double target = static_cast<double>(total) *
+                          static_cast<double>(s) / static_cast<double>(k);
+    // Cuts must stay strictly increasing and leave at least one row for
+    // every shard after this one.
+    const index_t lo = cuts[static_cast<std::size_t>(s) - 1] + 1;
+    const index_t hi = rows - static_cast<index_t>(k - s);
+    // First row whose prefix nnz reaches the target.
+    const auto it = std::lower_bound(
+        row_ptr.begin(), row_ptr.end(),
+        static_cast<offset_t>(std::llround(std::ceil(target))));
+    index_t ideal = static_cast<index_t>(it - row_ptr.begin());
+    ideal = std::clamp(ideal, lo, hi);
+
+    index_t best = ideal;
+    if (opts.locality_weight > 0.0 && opts.search_window > 0) {
+      double best_cost = -1.0;
+      const index_t from = std::max(lo, ideal - opts.search_window);
+      const index_t to = std::min(hi, ideal + opts.search_window);
+      for (index_t c = from; c <= to; ++c) {
+        const double imbalance =
+            std::abs(static_cast<double>(
+                         row_ptr[static_cast<std::size_t>(c)]) -
+                     target) /
+            share;
+        const double cost =
+            imbalance + opts.locality_weight * cut_penalty(row_ptr, c,
+                                                           mean_nnz);
+        // Ties go to the cut nearest the ideal position.
+        if (best_cost < 0.0 || cost < best_cost ||
+            (cost == best_cost &&
+             std::abs(static_cast<long long>(c) - ideal) <
+                 std::abs(static_cast<long long>(best) - ideal))) {
+          best_cost = cost;
+          best = c;
+        }
+      }
+    }
+    cuts[static_cast<std::size_t>(s)] = best;
+  }
+
+  std::vector<ShardRange> out(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    ShardRange& r = out[static_cast<std::size_t>(s)];
+    r.row_begin = cuts[static_cast<std::size_t>(s)];
+    r.row_end = cuts[static_cast<std::size_t>(s) + 1];
+    r.nnz = row_ptr[static_cast<std::size_t>(r.row_end)] -
+            row_ptr[static_cast<std::size_t>(r.row_begin)];
+  }
+  return out;
+}
+
+template <typename T>
+CsrMatrix<T> extract_shard(const CsrMatrix<T>& a, const ShardRange& range) {
+  if (range.row_begin < 0 || range.row_end < range.row_begin ||
+      range.row_end > a.rows())
+    throw std::invalid_argument("extract_shard: range outside matrix");
+  const auto rp = a.row_ptr();
+  const auto b = static_cast<std::size_t>(range.row_begin);
+  const auto e = static_cast<std::size_t>(range.row_end);
+  const offset_t first = rp[b];
+  const offset_t last = rp[e];
+  std::vector<offset_t> row_ptr(e - b + 1);
+  for (std::size_t i = 0; i <= e - b; ++i) row_ptr[i] = rp[b + i] - first;
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  std::vector<index_t> col_idx(ci.begin() + first, ci.begin() + last);
+  std::vector<T> vals(va.begin() + first, va.begin() + last);
+  return CsrMatrix<T>(range.rows(), a.cols(), std::move(row_ptr),
+                      std::move(col_idx), std::move(vals));
+}
+
+template <typename T>
+ShardSet<T> plan_shards(const CsrMatrix<T>& a, const PartitionOptions& opts) {
+  ShardSet<T> set;
+  set.ranges = partition_rows(a.row_ptr(), opts);
+  set.parent_hash = serve::fingerprint_of(a).row_hash;
+  set.matrices.reserve(set.ranges.size());
+  set.fingerprints.reserve(set.ranges.size());
+  for (const ShardRange& r : set.ranges) {
+    auto sub = std::make_shared<const CsrMatrix<T>>(extract_shard(a, r));
+    set.fingerprints.push_back(serve::fingerprint_of(*sub));
+    set.matrices.push_back(std::move(sub));
+  }
+  return set;
+}
+
+template CsrMatrix<float> extract_shard<float>(const CsrMatrix<float>&,
+                                               const ShardRange&);
+template CsrMatrix<double> extract_shard<double>(const CsrMatrix<double>&,
+                                                 const ShardRange&);
+template ShardSet<float> plan_shards<float>(const CsrMatrix<float>&,
+                                            const PartitionOptions&);
+template ShardSet<double> plan_shards<double>(const CsrMatrix<double>&,
+                                              const PartitionOptions&);
+
+}  // namespace spmv::shard

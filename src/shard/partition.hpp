@@ -1,0 +1,96 @@
+// spmv::shard — row-wise partitioning of a CSR matrix into K contiguous
+// shards balanced by nnz. The partitioner is the planning half of the
+// sharded serving layer (see sharded_service.hpp): each shard becomes its
+// own sub-matrix with its own structural fingerprint, so the plan cache,
+// the bandit's arm state, and the persistent PlanStore all key per shard —
+// a shard of short scattered rows can tune to a different kernel/U/
+// backend/format than a dense banded shard of the same matrix.
+//
+// Cut placement: ideal cuts fall on the nnz prefix sum at total*k/K; an
+// optional locality-aware local search then nudges each cut within a small
+// row window to avoid splitting a run of similarly-dense rows (the "dense
+// row block" a banded or power-law head region forms). Splitting such a
+// run puts the two halves in different shards where they bin — and
+// therefore tune — separately, wasting the structural coherence the
+// binning layer exploits; the cost model trades a bounded amount of nnz
+// imbalance to keep those runs whole.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/fingerprint.hpp"
+#include "sparse/csr.hpp"
+
+namespace spmv::shard {
+
+/// One shard's row interval [row_begin, row_end) and its nnz load.
+struct ShardRange {
+  index_t row_begin = 0;
+  index_t row_end = 0;
+  offset_t nnz = 0;
+
+  [[nodiscard]] index_t rows() const { return row_end - row_begin; }
+};
+
+struct PartitionOptions {
+  /// Number of shards K (clamped to [1, rows]).
+  int shards = 1;
+  /// Weight of the locality term in the cut cost. 0 disables the local
+  /// search entirely (pure nnz balance at the ideal prefix-sum cuts).
+  double locality_weight = 0.25;
+  /// Local-search window: each cut may move up to this many rows from its
+  /// ideal position in either direction.
+  index_t search_window = 64;
+};
+
+/// Row-partition by nnz prefix sum with the optional locality search.
+/// `row_ptr` is the CSR row-pointer array (rows + 1 entries). Returned
+/// ranges are contiguous, cover [0, rows) exactly, and are non-empty
+/// except when rows < K.
+std::vector<ShardRange> partition_rows(std::span<const offset_t> row_ptr,
+                                       const PartitionOptions& opts);
+
+template <typename T>
+std::vector<ShardRange> partition_rows(const CsrMatrix<T>& a,
+                                       const PartitionOptions& opts) {
+  return partition_rows(a.row_ptr(), opts);
+}
+
+/// Materialize one shard as a standalone CSR matrix: row_ptr rebased to
+/// the shard's first entry, col_idx/vals sliced, column count preserved
+/// (every shard multiplies the full x).
+template <typename T>
+CsrMatrix<T> extract_shard(const CsrMatrix<T>& a, const ShardRange& range);
+
+/// The planner's product: ranges, materialized sub-matrices, and each
+/// shard's own structural fingerprint (of the sub-matrix, not the parent —
+/// two structurally identical shards intentionally share plan state).
+template <typename T>
+struct ShardSet {
+  std::vector<ShardRange> ranges;
+  std::vector<std::shared_ptr<const CsrMatrix<T>>> matrices;
+  std::vector<serve::Fingerprint> fingerprints;
+  /// Parent-matrix structural hash — the provenance link stamped onto
+  /// per-shard plans (core::Plan::shard_parent).
+  std::uint64_t parent_hash = 0;
+
+  [[nodiscard]] int count() const { return static_cast<int>(ranges.size()); }
+};
+
+/// Partition + extract + fingerprint in one pass.
+template <typename T>
+ShardSet<T> plan_shards(const CsrMatrix<T>& a, const PartitionOptions& opts);
+
+extern template CsrMatrix<float> extract_shard<float>(
+    const CsrMatrix<float>&, const ShardRange&);
+extern template CsrMatrix<double> extract_shard<double>(
+    const CsrMatrix<double>&, const ShardRange&);
+extern template ShardSet<float> plan_shards<float>(const CsrMatrix<float>&,
+                                                   const PartitionOptions&);
+extern template ShardSet<double> plan_shards<double>(const CsrMatrix<double>&,
+                                                     const PartitionOptions&);
+
+}  // namespace spmv::shard

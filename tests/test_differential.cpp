@@ -26,11 +26,14 @@
 #include <vector>
 
 #include "binning/binning.hpp"
+#include "core/predictor.hpp"
+#include "core/tuner.hpp"
 #include "exec/backend.hpp"
 #include "fmt/estimate.hpp"
 #include "fmt/layout.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/registry.hpp"
+#include "shard/sharded_service.hpp"
 #include "sparse/convert.hpp"
 #include "util/rng.hpp"
 
@@ -375,6 +378,71 @@ TEST(Differential, FormatLayoutsComposeExactly) {
           if (::testing::Test::HasFatalFailure()) return;
         }
       }
+    }
+  }
+}
+
+/// Sharded serving vs unsharded execution over the randomized corpus: for
+/// each matrix, a ShardedService at a random K must (a) track the exact
+/// reference within kernel tolerance and (b) assemble each shard's output
+/// rows BIT-identically to a standalone runtime built from that shard's own
+/// sub-matrix and plan — the scatter-gather path may transport results but
+/// never touch them. Runs on every selected backend; with formats enabled,
+/// half the corpus also plans with --format auto so per-bin layouts ride
+/// through the sharded path.
+TEST(Differential, ShardedScatterGatherMatchesStandaloneShards) {
+  const std::uint64_t base = base_seed();
+  const auto backends = test_backends();
+  const bool formats = formats_enabled();
+  const core::HeuristicPredictor pred;
+  constexpr int kShardMatrices = 24;
+  for (int i = 0; i < kShardMatrices; ++i) {
+    const std::uint64_t seed = matrix_seed(base, 300000 + i);
+    const auto ad = random_csr(seed);
+    const auto a = std::make_shared<const CsrMatrix<float>>(as_type<float>(ad));
+    util::Xoshiro256 pick(seed ^ 0x5AA5ULL);
+    const int shards = 2 + static_cast<int>(pick.bounded(3));  // 2..4
+    const bool use_auto = formats && i % 2 == 1;
+
+    const auto xd =
+        random_x(static_cast<std::size_t>(ad.cols()), seed ^ 0x7E57ULL);
+    const std::vector<float> x(xd.begin(), xd.end());
+    const auto exact = kernels::spmv_exact(ad, std::span<const double>(xd));
+
+    for (const auto& backend : backends) {
+      if (use_auto && !backend->supports_formats()) continue;
+      const std::string where =
+          ctx(base, 300000 + i, seed,
+              exec::backend_name(backend->kind()) + "/sharded K=" +
+                  std::to_string(shards) +
+                  (use_auto ? " format=auto" : " format=csr"));
+      shard::ShardedOptions opts;
+      opts.partition.shards = shards;
+      opts.backend = backend->kind();
+      opts.format = use_auto ? fmt::FormatMode::Auto : fmt::FormatMode::Csr;
+      shard::ShardedService<float> service(a, pred, opts);
+      const std::vector<float> y = service.run("default", x);
+
+      ASSERT_EQ(y.size(), static_cast<std::size_t>(a->rows())) << where;
+      expect_close<float>(y, exact, where);
+
+      const auto infos = service.shard_infos();
+      for (const auto& info : infos) {
+        const auto& sub = *service.shards().matrices[static_cast<std::size_t>(
+            info.index)];
+        const auto rt = core::Tuner<float>(sub).plan(info.plan).build();
+        std::vector<float> ys(static_cast<std::size_t>(sub.rows()));
+        rt.run(std::span<const float>(x), std::span<float>(ys));
+        for (std::size_t r = 0; r < ys.size(); ++r) {
+          ASSERT_EQ(y[static_cast<std::size_t>(info.range.row_begin) + r],
+                    ys[r])
+              << where << ", shard " << info.index << " local row " << r
+              << " not bit-identical";
+        }
+        if (::testing::Test::HasFatalFailure()) break;
+      }
+      service.shutdown();
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
 }

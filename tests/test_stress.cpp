@@ -25,6 +25,7 @@
 #include "gen/generators.hpp"
 #include "kernels/reference.hpp"
 #include "serve/service.hpp"
+#include "shard/sharded_service.hpp"
 #include "sparse/convert.hpp"
 #include "util/rng.hpp"
 
@@ -229,6 +230,142 @@ TEST(StressServe, PromotionsUnderLoadNeverTearResults) {
   EXPECT_EQ(profile2.serve.planning_passes, 0u)
       << "restart must warm-start from the plan store" << note;
   EXPECT_GT(profile2.serve.cache_warm_hits, 0u) << note;
+}
+
+// Sharded serving under the same rigged promotion landscape: multi-tenant
+// clients hammer a ShardedService while every shard's bandit keeps
+// promoting (kernel swaps AND structural U rebins rebuilt per shard), and
+// the service restarts mid-test from its PlanStore. Invariants under load:
+//   - every scatter-gathered result equals the serial reference (a request
+//     must never see a half-swapped per-shard runtime)
+//   - promoted plans keep their shard provenance stamps
+//   - the restarted service warm-starts every shard (no planning pass)
+// This is the tsan target for the concurrent multi-tenant submission path.
+TEST(StressShard, MultiTenantSubmissionDuringPerShardPromotions) {
+  const std::uint64_t base = base_seed();
+  const std::string note =
+      " (replay with SPMV_TEST_SEED=" + std::to_string(base) + ")";
+  ScopedFile f("stress_shard_store.tmp.json");
+
+  const auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::mixed_regime<float>(900, 900, 0.6, 0.32, 4, 24, 48, 32,
+                               base & 0xffff));
+  const auto ad = convert_values<double>(*a);
+  constexpr int kShards = 3;
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 60;
+  const std::vector<shard::TenantSpec> tenants = {
+      {"t0", 3.0}, {"t1", 1.0}, {"t2", 1.0}};
+
+  std::vector<std::vector<std::vector<float>>> xs(kClients);
+  std::vector<std::vector<std::vector<double>>> exacts(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      auto x = random_x(static_cast<std::size_t>(a->cols()),
+                        util::SplitMix64(base + 5000 * c + r).next());
+      const std::vector<double> xd(x.begin(), x.end());
+      exacts[c].push_back(
+          kernels::spmv_exact(ad, std::span<const double>(xd)));
+      xs[c].push_back(std::move(x));
+    }
+  }
+
+  adapt::AdaptOptions aopts;
+  aopts.trial_fraction = 0.5;
+  aopts.min_samples = 2;
+  aopts.hysteresis = 1.05;
+  aopts.seed = base;
+  aopts.measure_override = rigged_kernel_gflops;
+  aopts.explore_units = true;
+  aopts.unit_trial_fraction = 0.5;
+  aopts.unit_min_samples = 2;
+  aopts.unit_hysteresis = 1.05;
+  aopts.unit_cooldown = 0;
+  aopts.unit_pool = {10, kFavoredUnit, 100000};
+  aopts.measure_unit_override = rigged_unit_gflops;
+
+  auto run_phase = [&](shard::ShardedService<float>& service, int half) {
+    std::vector<std::thread> clients;
+    const int lo = half * (kRequestsPerClient / 2);
+    const int hi = lo + kRequestsPerClient / 2;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const std::string tenant = "t" + std::to_string(c % 3);
+        for (int r = lo; r < hi; ++r) {
+          std::vector<float> y;
+          try {
+            y = service.run(tenant, xs[c][r]);
+          } catch (const serve::QueueFullError&) {
+            r -= 1;  // backpressure: retry the same request
+            std::this_thread::yield();
+            continue;
+          }
+          expect_result_exact(y, exacts[c][r],
+                              "client " + std::to_string(c) + " request " +
+                                  std::to_string(r) + note);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  };
+
+  const core::HeuristicPredictor predictor;
+  prof::RunProfile profile1;
+  std::uint64_t parent = 0;
+  {
+    adapt::PlanStore store(f.path);
+    shard::ShardedOptions opts;
+    opts.partition.shards = kShards;
+    opts.tenants = tenants;
+    opts.workers_per_shard = 1;
+    opts.plan_store = &store;
+    opts.profile = &profile1;
+    opts.adapt = aopts;
+    shard::ShardedService<float> service(a, predictor, opts);
+    parent = service.shards().parent_hash;
+    run_phase(service, 0);
+    service.shutdown();
+    // Promotions landed and kept their provenance, in the live service and
+    // in the store.
+    for (const auto& info : service.shard_infos()) {
+      EXPECT_EQ(info.plan.shard_index, info.index) << note;
+      EXPECT_EQ(info.plan.shard_count, kShards) << note;
+      EXPECT_EQ(info.plan.shard_parent, parent) << note;
+    }
+    for (const auto& fp : service.shards().fingerprints) {
+      const auto sp = store.lookup(fp);
+      ASSERT_TRUE(sp.has_value()) << note;
+      EXPECT_EQ(sp->plan.shard_parent, parent) << note;
+    }
+  }
+  if (::testing::Test::HasFatalFailure()) return;
+  std::printf("sharded phase 1: %llu trials, %llu promotions\n",
+              static_cast<unsigned long long>(profile1.adapt.trials),
+              static_cast<unsigned long long>(profile1.adapt.promotions));
+  EXPECT_GT(profile1.adapt.promotions, 0u)
+      << "rigged rewards should force per-shard promotions" << note;
+
+  prof::RunProfile profile2;
+  {
+    adapt::PlanStore store(f.path);
+    shard::ShardedOptions opts;
+    opts.partition.shards = kShards;
+    opts.tenants = tenants;
+    opts.workers_per_shard = 1;
+    opts.plan_store = &store;
+    opts.profile = &profile2;
+    opts.adapt = aopts;
+    shard::ShardedService<float> service(a, predictor, opts);
+    run_phase(service, 1);
+    service.shutdown();
+  }
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(profile2.serve.planning_passes, 0u)
+      << "restart must warm-start every shard from the store" << note;
+  EXPECT_EQ(profile2.serve.cache_warm_hits,
+            static_cast<std::uint64_t>(kShards))
+      << note;
 }
 
 }  // namespace

@@ -24,7 +24,13 @@
 //            --plan-store warm-starts the plan cache from a persistent
 //            store and flushes tuned plans back on shutdown, --obs-dir
 //            streams completed spans and stat deltas into rotating JSONL
-//            segment files (spmv::obs) as the bench runs
+//            segment files (spmv::obs) as the bench runs.
+//            With --shards K [--tenants T] the bench drives the row-sharded
+//            ShardedService instead: K nnz-balanced shards each with its
+//            own plan/arms/store entry, T tenants admitted through the
+//            fair queue (--queue-policy fair|fifo, --tenant-weights 4,1,
+//            --queue-high-water N); prints per-shard GFLOP/s and a
+//            per-tenant table including queue-full rejections
 //   adapt-bench  (same inputs) [--requests R] [--trial-fraction F]
 //            [--workers W] [--store store.json] [--profile out.json]
 //            [--explore-u] [--unit-fraction F]
@@ -51,9 +57,12 @@
 //   perf-trajectory  append|check|render --file trajectory.json
 //            append: --bench BENCH_x.json --label L  fold one benchmark
 //            snapshot's numeric leaves into the committed trajectory file
-//            check:  [--window 5] [--threshold 1.25]  gate the newest
-//            entry against the rolling window mean; exits 1 on regression,
-//            2 on schema drift (head entry lost metrics)
+//            check:  [--window 5] [--threshold 1.25] [--learned]  gate the
+//            newest entry against the rolling window mean; exits 1 on
+//            regression, 2 on schema drift (head entry lost metrics).
+//            --learned gates each metric at max(threshold, (mean+3sigma)/
+//            mean) of its own window — noisy metrics earn headroom, flat
+//            ones tighten to the floor
 //            render: [--out dashboard.md] [--window 20]  markdown +
 //            sparkline dashboard of every tracked metric
 //
@@ -108,6 +117,10 @@ int usage() {
                "               --trace out.trace.json --trace-sample N\n"
                "               --metrics-out m.txt --plan-store store.json\n"
                "               --obs-dir dir\n"
+               "               sharded: --shards K --tenants T\n"
+               "               --queue-policy fair|fifo --tenant-weights "
+               "4,1\n"
+               "               --queue-high-water N\n"
                "  adapt-bench flags: --requests R --trial-fraction F\n"
                "               --workers W --store store.json "
                "--profile out.json\n"
@@ -122,6 +135,7 @@ int usage() {
                "               append: --bench BENCH.json --label L\n"
                "               [--max-entries N]\n"
                "               check: [--window 5] [--threshold 1.25]\n"
+               "               [--learned]\n"
                "               render: [--out dashboard.md] [--window 20]\n");
   return 2;
 }
@@ -380,7 +394,211 @@ int cmd_gen(const util::Cli& cli) {
   return 0;
 }
 
+// serve-bench --shards K [--tenants T]: the row-sharded serving mode. One
+// matrix split into K nnz-balanced shards (each with its own plan, arms,
+// and store entry), T admission tenants in front of the shard pool under
+// the fair (or fifo) queue. Prints per-shard plans/GFLOP/s and a
+// per-tenant table including queue-full rejections.
+int cmd_serve_bench_sharded(const util::Cli& cli, int shards) {
+  auto a = std::make_shared<const CsrMatrix<float>>(load_input(cli));
+  const int requests = static_cast<int>(cli.get_int("requests", 64));
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int tenants = std::max(1, static_cast<int>(cli.get_int("tenants", 1)));
+
+  std::unique_ptr<core::Predictor> pred;
+  const std::string model_path = cli.get("model");
+  if (!model_path.empty()) {
+    pred = std::make_unique<core::ModelPredictor>(
+        core::load_model_file(model_path));
+  } else {
+    pred = std::make_unique<core::HeuristicPredictor>();
+  }
+
+  prof::RunProfile profile;
+  profile.label = cli.get("matrix", cli.get("mtx", cli.get("family", "")));
+  shard::ShardedOptions opts;
+  opts.partition.shards = shards;
+  // --tenant-weights 4,1,1 — weights in tenant order; missing entries
+  // default to 1 (equal share).
+  {
+    std::istringstream weights(cli.get("tenant-weights"));
+    for (int t = 0; t < tenants; ++t) {
+      double w = 1.0;
+      std::string tok;
+      if (std::getline(weights, tok, ',') && !tok.empty()) w = std::stod(tok);
+      opts.tenants.push_back({"tenant" + std::to_string(t), w});
+    }
+  }
+  opts.queue_policy =
+      shard::queue_policy_from_name(cli.get("queue-policy", "fair"));
+  opts.queue_high_water = static_cast<std::size_t>(
+      cli.get_int("queue-high-water", requests + 16));
+  opts.workers_per_shard = static_cast<int>(cli.get_int("workers", 1));
+  opts.backend = backend_from_cli(cli);
+  opts.format = format_from_cli(cli);
+  opts.profile = &profile;
+  std::unique_ptr<adapt::PlanStore> store;
+  const std::string store_path = cli.get("plan-store");
+  if (!store_path.empty()) {
+    store = std::make_unique<adapt::PlanStore>(store_path);
+    opts.plan_store = store.get();
+  }
+  const std::string obs_dir = cli.get("obs-dir");
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty() || !obs_dir.empty()) {
+    trace::TraceConfig tconfig;
+    tconfig.sample_every_n =
+        static_cast<std::uint64_t>(cli.get_int("trace-sample", 1));
+    trace::start(tconfig);
+  }
+  std::unique_ptr<obs::StreamingSink> sink;
+  if (!obs_dir.empty()) {
+    obs::SinkOptions sopts;
+    sopts.directory = obs_dir;
+    // One ring per shard partition plus ring 0 for non-shard threads.
+    sopts.producer_groups = static_cast<std::size_t>(shards) + 1;
+    sink = std::make_unique<obs::StreamingSink>(sopts);
+    sink->attach();
+    opts.obs_sink = sink.get();
+  }
+
+  std::vector<std::vector<float>> xs;
+  xs.reserve(static_cast<std::size_t>(requests));
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < requests; ++i) {
+    std::vector<float> x(static_cast<std::size_t>(a->cols()));
+    for (auto& v : x) v = static_cast<float>(rng.uniform(0.5, 1.5));
+    xs.push_back(std::move(x));
+  }
+
+  double serve_s = 0.0;
+  prof::ServeStats live;
+  {
+    shard::ShardedService<float> service(a, *pred, opts);
+    std::printf("\npartition: %d shard(s) over %lld rows / %lld nnz\n",
+                service.shard_count(), static_cast<long long>(a->rows()),
+                static_cast<long long>(a->nnz()));
+    for (const auto& info : service.shard_infos()) {
+      std::printf("  shard %d: rows [%d, %d)  %10lld nnz%s  %s\n", info.index,
+                  info.range.row_begin, info.range.row_end,
+                  static_cast<long long>(info.range.nnz),
+                  info.warm_start ? "  (warm)" : "", info.plan.to_string().c_str());
+    }
+
+    std::atomic<int> next{0};
+    std::vector<std::future<std::vector<float>>> futs(
+        static_cast<std::size_t>(requests));
+    std::vector<char> ok(static_cast<std::size_t>(requests), 0);
+    util::Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests) return;
+          const std::string tenant = "tenant" + std::to_string(i % tenants);
+          try {
+            futs[static_cast<std::size_t>(i)] =
+                service.submit(tenant, xs[static_cast<std::size_t>(i)]);
+            ok[static_cast<std::size_t>(i)] = 1;
+          } catch (const serve::QueueFullError&) {
+            // Bounced by admission (global or tenant quota) — counted in
+            // the tenant's stats block; the bench just sheds it.
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::size_t i = 0; i < futs.size(); ++i)
+      if (ok[i] != 0) (void)futs[i].get();
+    serve_s = wall.elapsed_s();
+    live = service.stats();
+    service.shutdown();
+  }
+  if (!trace_path.empty() || !obs_dir.empty()) {
+    trace::stop();
+    const auto snap = trace::snapshot();
+    profile.trace_stats.events = snap.events.size();
+    profile.trace_stats.dropped_spans = snap.dropped;
+    profile.trace_stats.threads = snap.threads;
+  }
+  if (sink != nullptr) {
+    sink->detach();
+    sink->close();
+    const auto ss = sink->stats();
+    std::string per_ring;
+    for (std::size_t r = 0; r < ss.dropped_by_ring.size(); ++r)
+      per_ring += (r == 0 ? "" : "/") + std::to_string(ss.dropped_by_ring[r]);
+    std::printf("obs sink %s: %llu record(s) flushed into %zu segment(s), "
+                "%llu dropped (per ring: %s)\n",
+                obs_dir.c_str(), static_cast<unsigned long long>(ss.flushed),
+                sink->segment_files().size(),
+                static_cast<unsigned long long>(ss.dropped), per_ring.c_str());
+  }
+
+  std::printf("\n%d request(s) in %.1f ms — %.1f requests/s "
+              "(%d tenant(s), %s queue)\n",
+              static_cast<int>(live.requests), 1e3 * serve_s,
+              static_cast<double>(live.requests) / serve_s, tenants,
+              shard::queue_policy_name(opts.queue_policy));
+  std::printf("\n%-10s %14s %12s %10s %8s\n", "shard", "nnz", "execs",
+              "GFLOP/s", "promos");
+  for (const auto& sh : live.shards) {
+    const double gf =
+        sh.exec_total_s > 0.0
+            ? 2.0 * static_cast<double>(sh.nnz) *
+                  static_cast<double>(sh.executions) / sh.exec_total_s * 1e-9
+            : 0.0;
+    std::printf("%-10d %14lld %12llu %10.2f %8llu\n", sh.shard,
+                static_cast<long long>(sh.nnz),
+                static_cast<unsigned long long>(sh.executions), gf,
+                static_cast<unsigned long long>(sh.promotions));
+  }
+  std::printf("\n%-12s %8s %10s %10s %12s %12s %12s\n", "tenant", "weight",
+              "accepted", "rejected", "p50[ms]", "p95[ms]", "p99[ms]");
+  for (const auto& t : live.tenants) {
+    std::printf("%-12s %8.2f %10llu %10llu %12.3f %12.3f %12.3f\n",
+                t.name.c_str(), t.weight,
+                static_cast<unsigned long long>(t.requests),
+                static_cast<unsigned long long>(t.rejected),
+                1e3 * t.latency.percentile(50), 1e3 * t.latency.percentile(95),
+                1e3 * t.latency.percentile(99));
+  }
+  if (store != nullptr) {
+    std::printf("\nplan store %s: %llu warm start(s), %llu planning "
+                "pass(es)\n",
+                store_path.c_str(),
+                static_cast<unsigned long long>(live.cache_warm_hits),
+                static_cast<unsigned long long>(live.planning_passes));
+  }
+  const std::string profile_path = cli.get("profile");
+  if (!profile_path.empty()) {
+    prof::write_profile_file(profile_path, profile);
+    std::printf("serve profile written to %s\n", profile_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    const auto snap = trace::snapshot();
+    trace::write_chrome_trace_file(trace_path);
+    std::printf("trace written to %s (%zu events across %d threads, %llu "
+                "dropped)\n",
+                trace_path.c_str(), snap.events.size(), snap.threads,
+                static_cast<unsigned long long>(snap.dropped));
+  }
+  const std::string metrics_path = cli.get("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot open " + metrics_path);
+    out << prof::prometheus_text(profile);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_serve_bench(const util::Cli& cli) {
+  if (const int shards = static_cast<int>(cli.get_int("shards", 1));
+      shards > 1 || cli.has("tenants"))
+    return cmd_serve_bench_sharded(cli, std::max(1, shards));
   auto a = std::make_shared<const CsrMatrix<float>>(load_input(cli));
   const int requests = static_cast<int>(cli.get_int("requests", 64));
   const int clients = static_cast<int>(cli.get_int("clients", 4));
@@ -809,14 +1027,24 @@ int cmd_plan_store(const util::Cli& cli) {
     if (sp.plan.unit_tuned)
       tuned_u = std::to_string(sp.plan.unit) + "<-" +
                 std::to_string(sp.plan.predicted_unit);
+    // Sharded-plan provenance: which slice of which parent matrix this
+    // plan was tuned for (spmv::shard).
+    std::string shard_col = "-";
+    if (sp.plan.shard_index >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%d/%d of %016llx",
+                    sp.plan.shard_index, sp.plan.shard_count,
+                    static_cast<unsigned long long>(sp.plan.shard_parent));
+      shard_col = buf;
+    }
     std::printf("  %8lld x %-8lld %10lld nnz  hash 0x%016llx  rev %-3llu "
-                "tuned-U %-12s %6.2f GF  %4llu trials  %s\n",
+                "tuned-U %-12s shard %-22s %6.2f GF  %4llu trials  %s\n",
                 static_cast<long long>(key.rows),
                 static_cast<long long>(key.cols),
                 static_cast<long long>(key.nnz),
                 static_cast<unsigned long long>(key.row_hash),
                 static_cast<unsigned long long>(sp.plan.revision),
-                tuned_u.c_str(), sp.gflops,
+                tuned_u.c_str(), shard_col.c_str(), sp.gflops,
                 static_cast<unsigned long long>(sp.trials),
                 sp.plan.to_string().c_str());
   }
@@ -916,17 +1144,22 @@ int cmd_perf_trajectory(const util::Cli& cli) {
   if (pos[0] == "check") {
     const auto window = static_cast<std::size_t>(cli.get_int("window", 5));
     const double threshold = cli.get_double("threshold", 1.25);
-    const auto check = traj.check(window, threshold);
+    // --learned derives each metric's gate from its own window noise
+    // (mean + 3 sigma, floored at --threshold) instead of one fixed ratio.
+    const bool learned = cli.get_bool("learned", false);
+    const auto check = traj.check(window, threshold, learned);
     if (check.metrics.empty()) {
       std::printf("trajectory %s: %zu entr%s — not enough history to gate\n",
                   file.c_str(), traj.entries().size(),
                   traj.entries().size() == 1 ? "y" : "ies");
       return 0;
     }
-    std::printf("%-36s %12s %12s %8s\n", "metric", "head", "window", "ratio");
+    std::printf("%-36s %12s %12s %8s %8s\n", "metric", "head", "window",
+                "ratio", "gate");
     for (const auto& m : check.metrics) {
-      std::printf("%-36s %12.6g %12.6g %7.2fx%s\n", m.name.c_str(), m.head,
-                  m.window, m.ratio, m.regressed ? "  REGRESSED" : "");
+      std::printf("%-36s %12.6g %12.6g %7.2fx %7.2fx%s\n", m.name.c_str(),
+                  m.head, m.window, m.ratio, m.threshold,
+                  m.regressed ? "  REGRESSED" : "");
     }
     if (!check.missing.empty()) {
       std::printf("\nSCHEMA DRIFT: head entry lost metric(s):\n");
@@ -934,14 +1167,15 @@ int cmd_perf_trajectory(const util::Cli& cli) {
         std::printf("  %s\n", name.c_str());
       return 2;
     }
+    const char* gate_kind = learned ? "learned gate (floor" : "gate (fixed";
     if (check.regressed()) {
-      std::printf("\nFAIL: head regressed past %.2fx vs the %zu-entry "
-                  "window\n",
-                  threshold, window);
+      std::printf("\nFAIL: head regressed past the %s %.2fx) vs the "
+                  "%zu-entry window\n",
+                  gate_kind, threshold, window);
       return 1;
     }
-    std::printf("\nOK: head within %.2fx of the %zu-entry window\n",
-                threshold, window);
+    std::printf("\nOK: head within the %s %.2fx) of the %zu-entry window\n",
+                gate_kind, threshold, window);
     return 0;
   }
 
