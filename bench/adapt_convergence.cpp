@@ -10,6 +10,7 @@
 //                     [--recovery-floor 0.9] [--check] [--json out.json]
 //                     [--misbin] [--misbin-unit U]
 //                     [--formats] [--format-floor 0.95]
+//                     [--iter] [--iters N] [--width W] [--iter-floor 0.7]
 //
 // Default mode mispredicts the per-bin kernels at the oracle's own
 // granularity (the first-level bandit's recovery story). --misbin instead
@@ -33,6 +34,16 @@
 //   4. (--formats only) format trials ran, the uniform corpus's stored
 //      plan carries an ELL bin, and each corpus's refined throughput is
 //      >= format-floor * its CSR-only native baseline
+//
+// --iter is the solver-loop gate: drive an iter::IterativeSession power
+// iteration (block width W) from the same Serial-everywhere misprediction
+// with latency-feedback tuning — every iteration IS the measurement, so
+// the tuner must converge on the oracle plan with ZERO shadow launches
+// (adapt.trials == 0; the latency path counts l_trials / l_promotions
+// instead). --check then also requires the flushed plan to carry the
+// serving width (Plan::spmm_width == W, the provenance the PlanStore
+// round-trips) and a restarted session to warm-start from it without a
+// planning pass.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -262,11 +273,216 @@ int run_formats_gate(const util::Cli& cli) {
   return 0;
 }
 
+/// Blocked iteration throughput of `plan`: best-of-3 Y = A·X at `width`
+/// through the true-SpMM path — the number a solver loop actually sees.
+double iter_gflops(const CsrMatrix<float>& a, const core::Plan& plan,
+                   std::span<const float> xb, int width) {
+  const auto rt = core::Tuner(a)
+                      .plan(plan)
+                      .format_policy({.min_reuse = 0, .eager = true})
+                      .build();
+  std::vector<float> y(static_cast<std::size_t>(a.rows()) *
+                       static_cast<std::size_t>(width));
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i)
+    best = std::max(
+        best, gflops(a.nnz() * width, time_spmv([&] {
+          rt.run_spmm(xb, std::span<float>(y), width);
+        })));
+  return best;
+}
+
+/// The --iter gate: latency-feedback convergence inside a solver loop.
+int run_iter_gate(const util::Cli& cli) {
+  // Default rows keeps the working set cache-resident: in the streaming
+  // regime (~20k+ rows here) every kernel hits the same memory ceiling,
+  // serial measures even with the oracle, and there is nothing for the
+  // latency bandit to promote — the gate needs a corpus where kernel
+  // choice is visible in the per-iteration latencies.
+  const auto rows = static_cast<index_t>(cli.get_int("rows", 12000));
+  const int iters = static_cast<int>(cli.get_int("iters", 400));
+  const int width = static_cast<int>(cli.get_int("width", 4));
+  const double floor = cli.get_double("iter-floor", 0.7);
+  const bool check = cli.get_bool("check", false);
+  const std::string store_path = "adapt_iter_store.tmp.json";
+  std::remove(store_path.c_str());
+
+  std::printf("=== bench adapt_convergence --iter (rows=%d, iters=%d, "
+              "width=%d) ===\n\n",
+              rows, iters, width);
+
+  // Same long-tailed corpus as the request/response gate: the bins want
+  // different kernels, so Serial-everywhere leaves throughput on the table.
+  auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(rows, rows, 2.0, 300, 1));
+  const auto n = static_cast<std::size_t>(a->cols());
+  std::vector<float> xb(n * static_cast<std::size_t>(width));
+  for (int c = 0; c < width; ++c) {
+    const auto col = random_x(n, 4242 + static_cast<std::uint64_t>(c));
+    std::copy(col.begin(), col.end(),
+              xb.begin() + static_cast<std::size_t>(c) * n);
+  }
+
+  // Oracle: exhaustively tuned on the native backend (the session's
+  // engine), scored at the serving width.
+  const auto nat = exec::shared_backend(exec::BackendKind::Native);
+  const auto tuned = oracle_plan(*a, std::span<const float>(xb).subspan(0, n),
+                                 bench_pools(), *nat);
+  const double oracle_gf = iter_gflops(*a, tuned, xb, width);
+
+  MispredictPredictor mis(tuned.unit);
+  const auto mis_plan = core::Tuner(*a)
+                            .predictor(mis)
+                            .backend(exec::BackendKind::Native)
+                            .build()
+                            .plan();
+  const double mis_gf = iter_gflops(*a, mis_plan, xb, width);
+
+  // The solver loop: power iteration at the block width, every iteration
+  // timed and fed back. No shadow launches anywhere on this path.
+  prof::RunProfile profile;
+  profile.label = "adapt_convergence_iter";
+  iter::SessionOptions sopts;
+  sopts.spmm_width = width;
+  sopts.backend = exec::BackendKind::Native;
+  sopts.profile = &profile;
+  adapt::AdaptOptions aopts;
+  aopts.min_samples = 2;
+  aopts.hysteresis = 1.05;
+  aopts.hot_bins = static_cast<int>(mis_plan.bin_kernels.size());
+  sopts.adapt = aopts;
+  adapt::PlanStore store(store_path);
+  sopts.plan_store = &store;
+  std::uint64_t iterations = 0;
+  {
+    iter::IterativeSession<float> session(a, mis, sopts);
+    session.seed(std::span<const float>(xb));
+    for (int i = 0; i < iters; ++i) {
+      (void)session.step();
+      // Per-column inf-norm normalization keeps the iterate finite — the
+      // standard power-iteration step, and it keeps every timed launch
+      // numerically comparable.
+      auto it = session.iterate();
+      for (int c = 0; c < width; ++c) {
+        auto col = it.subspan(static_cast<std::size_t>(c) * n, n);
+        float norm = 0.0f;
+        for (const float v : col) norm = std::max(norm, std::abs(v));
+        if (norm > 0.0f)
+          for (float& v : col) v /= norm;
+      }
+    }
+    session.flush();
+    iterations = session.stats().iterations;
+  }
+
+  adapt::PlanStore reread(store_path);
+  (void)reread.load();
+  const auto stored = reread.lookup(serve::fingerprint_of(*a));
+  const core::Plan refined = stored.has_value() ? stored->plan : mis_plan;
+  const double refined_gf = iter_gflops(*a, refined, xb, width);
+  const double recovery = refined_gf / oracle_gf;
+
+  std::printf("%-14s %10s %10s   %s\n", "plan", "GFLOP/s", "recovery",
+              "detail");
+  std::printf("%-14s %10.2f %9.0f%%   %s\n", "oracle", oracle_gf, 100.0,
+              tuned.to_string().c_str());
+  std::printf("%-14s %10.2f %9.0f%%   %s\n", "mispredicted", mis_gf,
+              100.0 * mis_gf / oracle_gf, mis_plan.to_string().c_str());
+  std::printf("%-14s %10.2f %9.0f%%   %s\n", "refined", refined_gf,
+              100.0 * recovery, refined.to_string().c_str());
+  std::printf("\nadapt: %llu latency trials, %llu latency promotions over "
+              "%llu iterations; %llu shadow trials\n",
+              static_cast<unsigned long long>(profile.adapt.l_trials),
+              static_cast<unsigned long long>(profile.adapt.l_promotions),
+              static_cast<unsigned long long>(iterations),
+              static_cast<unsigned long long>(profile.adapt.trials));
+
+  // Warm restart: a fresh session over the same store must adopt the
+  // refined plan (width provenance and all) without a planning pass.
+  std::uint64_t warm_starts = 0, planning_passes = 0;
+  {
+    iter::SessionOptions ropts;
+    ropts.spmm_width = width;
+    ropts.backend = exec::BackendKind::Native;
+    adapt::PlanStore rstore(store_path);
+    ropts.plan_store = &rstore;
+    iter::IterativeSession<float> restarted(a, mis, ropts);
+    restarted.seed(std::span<const float>(xb));
+    (void)restarted.step();
+    warm_starts = restarted.stats().warm_starts;
+    planning_passes = restarted.stats().planning_passes;
+  }
+  std::printf("warm restart: %llu warm start(s), %llu planning pass(es)\n",
+              static_cast<unsigned long long>(warm_starts),
+              static_cast<unsigned long long>(planning_passes));
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    prof::Json j = prof::Json::object();
+    j.set("bench", "iter");
+    j.set("rows", static_cast<double>(rows));
+    j.set("iters", static_cast<double>(iters));
+    j.set("width", static_cast<double>(width));
+    j.set("oracle_gflops", oracle_gf);
+    j.set("mispredicted_gflops", mis_gf);
+    j.set("refined_gflops", refined_gf);
+    j.set("recovery", recovery);
+    j.set("l_trials", static_cast<double>(profile.adapt.l_trials));
+    j.set("l_promotions", static_cast<double>(profile.adapt.l_promotions));
+    j.set("shadow_trials", static_cast<double>(profile.adapt.trials));
+    j.set("stored_spmm_width",
+          static_cast<double>(stored.has_value() ? stored->plan.spmm_width
+                                                 : 0));
+    j.set("warm_starts", static_cast<double>(warm_starts));
+    std::ofstream out(json_path);
+    out << j.dump(2) << "\n";
+    std::printf("summary written to %s\n", json_path.c_str());
+  }
+  std::remove(store_path.c_str());
+
+  if (!check) return 0;
+  bool ok = true;
+  if (profile.adapt.l_trials == 0) {
+    std::printf("FAIL: no latency-feedback trials ran\n");
+    ok = false;
+  }
+  if (profile.adapt.l_promotions == 0) {
+    std::printf("FAIL: latency feedback never promoted a plan\n");
+    ok = false;
+  }
+  if (profile.adapt.trials != 0) {
+    std::printf("FAIL: %llu shadow trials ran in a latency-only session\n",
+                static_cast<unsigned long long>(profile.adapt.trials));
+    ok = false;
+  }
+  if (recovery < floor) {
+    std::printf("FAIL: recovery %.0f%% below floor %.0f%%\n",
+                100.0 * recovery, 100.0 * floor);
+    ok = false;
+  }
+  if (!stored.has_value() || stored->plan.spmm_width != width) {
+    std::printf("FAIL: stored plan missing spmm_width == %d provenance\n",
+                width);
+    ok = false;
+  }
+  if (warm_starts == 0 || planning_passes != 0) {
+    std::printf("FAIL: warm restart expected warm starts > 0 and planning "
+                "passes == 0\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("OK: latency feedback recovered %.0f%% of oracle with zero "
+              "shadow launches; width-%d provenance persisted\n",
+              100.0 * recovery, width);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   if (cli.get_bool("formats", false)) return run_formats_gate(cli);
+  if (cli.get_bool("iter", false)) return run_iter_gate(cli);
   const auto rows = static_cast<index_t>(cli.get_int("rows", 20000));
   const bool misbin = cli.get_bool("misbin", false);
   const auto misbin_unit =

@@ -564,21 +564,9 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::format_trial(
 }
 
 template <typename T>
-std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
-    const serve::Fingerprint& key, const core::Plan& plan,
-    const binning::BinSet& bins, const CsrMatrix<T>& a,
-    std::span<const T> x) {
-  if (plan.bin_kernels.empty() || opts_.kernel_pool.size() < 2)
-    return std::nullopt;
-
-  // The mutex covers the whole trial (state + rng + the measurement
-  // itself): trials are rare (trial_fraction of requests) and cheap (two
-  // single-bin launches), and serializing them keeps back-to-back pairs
-  // honest — two concurrent trials would time each other's contention.
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (rng_.uniform() >= opts_.trial_fraction) return std::nullopt;
-
-  KeyState& st = states_[key];
+bool BanditTuner<T>::ensure_state(KeyState& st, const core::Plan& plan,
+                                  const binning::BinSet& bins,
+                                  const CsrMatrix<T>& a) {
   if (st.hot.empty() || st.unit != bins.unit() ||
       st.backend != static_cast<int>(plan.backend) ||
       st.plan_revision != plan.revision) {
@@ -623,8 +611,27 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
          i < static_cast<std::size_t>(opts_.hot_bins);
          ++i)
       st.hot.push_back(by_nnz[i].second);
-    if (st.hot.empty()) return std::nullopt;
   }
+  return !st.hot.empty();
+}
+
+template <typename T>
+std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
+    const serve::Fingerprint& key, const core::Plan& plan,
+    const binning::BinSet& bins, const CsrMatrix<T>& a,
+    std::span<const T> x) {
+  if (plan.bin_kernels.empty() || opts_.kernel_pool.size() < 2)
+    return std::nullopt;
+
+  // The mutex covers the whole trial (state + rng + the measurement
+  // itself): trials are rare (trial_fraction of requests) and cheap (two
+  // single-bin launches), and serializing them keeps back-to-back pairs
+  // honest — two concurrent trials would time each other's contention.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rng_.uniform() >= opts_.trial_fraction) return std::nullopt;
+
+  KeyState& st = states_[key];
+  if (!ensure_state(st, plan, bins, a)) return std::nullopt;
 
   // Second level: divert a share of trials to whole-plan U exploration.
   // The cooldown after a U switch ticks down on kernel trials, so a fresh
@@ -743,6 +750,97 @@ std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::observe(
   // means survive the revision bump, and the old incumbent's mean trails
   // the new one by at least the hysteresis factor, so it cannot flap
   // straight back.
+  return promo;
+}
+
+template <typename T>
+typename BanditTuner<T>::LatencyVariant BanditTuner<T>::next_variant(
+    const serve::Fingerprint& key, const core::Plan& plan,
+    const binning::BinSet& bins, const CsrMatrix<T>& a) {
+  LatencyVariant v;
+  v.plan = plan;
+  if (plan.bin_kernels.empty() || opts_.kernel_pool.size() < 2) return v;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  KeyState& st = states_[key];
+  if (!ensure_state(st, plan, bins, a)) return v;
+
+  const int bin = st.hot[st.next_hot % st.hot.size()];
+  v.bin = bin;
+  if (!st.l_challenge_next) {
+    // Incumbent iteration: execute the plan verbatim and credit its own
+    // kernel on the rotated hot bin. The paired challenger iteration that
+    // follows differs only on that bin, so the whole-plan latencies are an
+    // apples-to-apples comparison of the two kernels.
+    v.kernel = plan.kernel_for(bin);
+    v.incumbent = v.kernel;
+    st.l_challenge_next = true;
+    return v;
+  }
+  st.l_challenge_next = false;
+  st.next_hot += 1;  // move to the next hot bin after each paired round
+  BinArms& ba = st.bins[bin];
+  ba.pulls += 1;
+  const kernels::KernelId incumbent = plan.kernel_for(bin);
+  v.kernel = incumbent;
+  v.incumbent = incumbent;
+  const kernels::KernelId challenger = pick_challenger(ba, incumbent);
+  if (challenger == incumbent) return v;
+  v.kernel = challenger;
+  v.challenger = true;
+  for (core::BinPlan& bp : v.plan.bin_kernels)
+    if (bp.bin_id == bin) bp.kernel = challenger;
+  return v;
+}
+
+template <typename T>
+std::optional<typename BanditTuner<T>::Promotion> BanditTuner<T>::feedback(
+    const serve::Fingerprint& key, const LatencyVariant& variant,
+    double seconds, std::int64_t nnz) {
+  if (variant.bin < 0) return std::nullopt;
+  const double flops =
+      2.0 * static_cast<double>(std::max<std::int64_t>(1, nnz));
+  const double gflops = flops / std::max(seconds, 1e-12) * 1e-9;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  KeyState& st = states_[key];
+  BinArms& ba = st.bins[variant.bin];
+  ba.arms[static_cast<std::size_t>(variant.kernel)].add(gflops);
+  if (!variant.challenger) return std::nullopt;
+  stats_.l_trials += 1;
+
+  const kernels::KernelId incumbent = variant.incumbent;
+  if (incumbent == variant.kernel) return std::nullopt;
+  const Arm& inc_arm = ba.arms[static_cast<std::size_t>(incumbent)];
+  const Arm& ch_arm = ba.arms[static_cast<std::size_t>(variant.kernel)];
+  // Regret: wall time this iteration lost relative to the incumbent's
+  // running mean (exploration cost of serving the challenger for real).
+  if (gflops > 0.0 && inc_arm.mean_gflops > gflops)
+    stats_.regret_s +=
+        flops * 1e-9 / gflops - flops * 1e-9 / inc_arm.mean_gflops;
+  const auto min_n = static_cast<std::uint64_t>(opts_.min_samples);
+  if (inc_arm.samples < min_n || ch_arm.samples < min_n) return std::nullopt;
+  if (ch_arm.mean_gflops <= inc_arm.mean_gflops * opts_.hysteresis)
+    return std::nullopt;
+
+  // Promote: the variant plan already carries the challenger on the bin —
+  // stamp it as a new revision. The session applies it (and its SpMM width
+  // provenance) exactly like a shadow promotion.
+  Promotion promo;
+  promo.plan = variant.plan;
+  promo.plan.revision += 1;
+  promo.gflops = ch_arm.mean_gflops;
+  promo.level = 1;
+  stats_.promotions += 1;
+  stats_.l_promotions += 1;
+  st.plan_revision = promo.plan.revision;
+  trace::emit_instant("adapt-promote-latency", "adapt");
+  util::log_info() << "adapt: latency-feedback promoting bin " << variant.bin
+                   << " " << kernels::kernel_name(incumbent) << " -> "
+                   << kernels::kernel_name(variant.kernel) << " ("
+                   << inc_arm.mean_gflops << " -> " << ch_arm.mean_gflops
+                   << " GFLOP/s whole-plan, revision " << promo.plan.revision
+                   << ")";
   return promo;
 }
 

@@ -68,13 +68,28 @@
 // alongside kernel arms on a unit or backend change — they were timed on
 // that bin structure and engine.
 //
+// Latency-feedback path (solver loops — spmv::iter): a workload that runs
+// the SAME plan hundreds of times back-to-back (power iteration, CG) does
+// not need shadow launches at all — every iteration IS a measurement. The
+// session asks next_variant() which plan to execute this iteration (the
+// incumbent, or a copy with ONE hot bin's kernel swapped to a challenger,
+// alternating so both arms accumulate paired whole-plan samples under
+// identical loop conditions), times the real iteration, and reports the
+// wall time through feedback(). feedback() scores the variant in whole-plan
+// GFLOP/s and feeds the same per-bin kernel arms the shadow path uses, so
+// the min_samples + hysteresis promotion machinery is shared — a promotion
+// from feedback() is provenance-stamped like a shadow promotion but counted
+// separately (adapt.l_trials / adapt.l_promotions; l_trials is NOT folded
+// into adapt.trials, so a pure latency-feedback session reports trials ==
+// 0 == "no shadow launches").
+//
 // Everything is recorded: prof counters (adapt.trials / adapt.promotions /
 // adapt.regret plus adapt.u_trials / adapt.u_promotions, adapt.b_trials /
-// adapt.b_promotions and adapt.f_trials / adapt.f_promotions) via
-// stats(), and trace spans "adapt-trial"/"adapt-promote" plus
-// "adapt-trial-u"/"adapt-promote-u", "adapt-trial-backend"/
-// "adapt-promote-backend" and "adapt-trial-format"/"adapt-promote-format"
-// in category "adapt".
+// adapt.b_promotions, adapt.f_trials / adapt.f_promotions and
+// adapt.l_trials / adapt.l_promotions) via stats(), and trace spans
+// "adapt-trial"/"adapt-promote" plus "adapt-trial-u"/"adapt-promote-u",
+// "adapt-trial-backend"/"adapt-promote-backend", "adapt-trial-format"/
+// "adapt-promote-format" and "adapt-promote-latency" in category "adapt".
 #pragma once
 
 #include <cstdint>
@@ -228,6 +243,42 @@ class BanditTuner {
                                    const CsrMatrix<T>& a,
                                    std::span<const T> x);
 
+  /// One iteration's execution recipe for the latency-feedback path. The
+  /// caller executes `plan` (the incumbent verbatim, or a copy with bin
+  /// `bin`'s kernel swapped to `kernel` when `challenger` is true), times
+  /// the iteration, and reports the wall time through feedback(). `bin` is
+  /// -1 when the tuner has nothing to learn on this key (empty plan, no
+  /// occupied bins, a one-kernel pool) — execute the plan and skip the
+  /// feedback() call.
+  struct LatencyVariant {
+    core::Plan plan;
+    int bin = -1;
+    kernels::KernelId kernel = kernels::KernelId::Serial;
+    /// The plan's own kernel on `bin` (== `kernel` on incumbent
+    /// iterations); feedback() compares the two arms against it.
+    kernels::KernelId incumbent = kernels::KernelId::Serial;
+    bool challenger = false;
+  };
+
+  /// Pick which plan variant the next solver iteration should execute.
+  /// Alternates incumbent / one-bin-challenger over the key's hottest bins
+  /// so both arms accumulate paired whole-plan samples; never launches
+  /// anything itself (trial_fraction does not apply — every iteration is a
+  /// free measurement).
+  LatencyVariant next_variant(const serve::Fingerprint& key,
+                              const core::Plan& plan,
+                              const binning::BinSet& bins,
+                              const CsrMatrix<T>& a);
+
+  /// Report a timed iteration of `variant`. Scores it as whole-plan
+  /// GFLOP/s (2 * max(1, nnz) / seconds) into the (bin, kernel) arm and
+  /// runs the shared min_samples + hysteresis promotion check. Returns a
+  /// Promotion (level 1, revision bumped) when this sample tipped the
+  /// challenger past the bar; the caller owns applying it.
+  std::optional<Promotion> feedback(const serve::Fingerprint& key,
+                                    const LatencyVariant& variant,
+                                    double seconds, std::int64_t nnz);
+
   [[nodiscard]] prof::AdaptStats stats() const;
 
  private:
@@ -288,7 +339,17 @@ class BanditTuner {
     std::unordered_map<int, FormatArms> formats;
     /// Remaining trials before the next format trial is allowed.
     int format_cooldown = 0;
+    /// Latency-feedback phase: next_variant() alternates incumbent and
+    /// challenger iterations so the arms accumulate paired samples.
+    bool l_challenge_next = false;
   };
+
+  /// Seed / revalidate a key's bandit state against the current plan and
+  /// bins (hot-bin list, arm resets on unit/backend change). Shared by
+  /// observe() and next_variant(); callers hold mutex_. Returns false when
+  /// the plan has no occupied bins to learn on.
+  bool ensure_state(KeyState& st, const core::Plan& plan,
+                    const binning::BinSet& bins, const CsrMatrix<T>& a);
 
   kernels::KernelId pick_challenger(const BinArms& ba,
                                     kernels::KernelId incumbent);

@@ -53,6 +53,8 @@
 #include "exec/clsim_backend.hpp"       // clsim-engine backend
 #include "exec/native_backend.hpp"      // native OpenMP/SIMD backend
 #include "gen/corpus.hpp"               // UF-like training corpus
+#include "iter/dense_block.hpp"         // column-major dense vector blocks
+#include "iter/session.hpp"             // solver-loop serving sessions
 #include "gen/generators.hpp"           // synthetic matrix generators
 #include "gen/representative.hpp"       // the 16 Table-II matrices
 #include "kernels/reference.hpp"        // Algorithm-1 reference kernels

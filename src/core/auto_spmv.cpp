@@ -112,6 +112,13 @@ void AutoSpmv<T>::run_batch(std::span<const T> x, std::span<T> y, int batch,
                      layouts_.get());
 }
 
+template <typename T>
+void AutoSpmv<T>::run_spmm(std::span<const T> x, std::span<T> y, int width,
+                           prof::RunProfile* profile) const {
+  execute_plan_spmm(ctx_.backend(), a_, x, y, width, bins_, plan_, profile,
+                    layouts_.get());
+}
+
 template class AutoSpmv<float>;
 template class AutoSpmv<double>;
 

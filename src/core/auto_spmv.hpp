@@ -61,6 +61,21 @@ class AutoSpmv {
   void run_batch(std::span<const T> x, std::span<T> y, int batch,
                  prof::RunProfile* profile) const;
 
+  /// True SpMM Y = A·X for `width` dense right-hand sides (column-major,
+  /// same vector layout as run_batch). CSR bins go through the backend's
+  /// blocked one-traversal run_spmm kernels — or its counted per-column
+  /// fallback when the backend has none — instead of run_batch's capped
+  /// batched variants; per output column the result is bit-identical to
+  /// `width` run() calls (see core::execute_plan_spmm).
+  void run_spmm(std::span<const T> x, std::span<T> y, int width) const {
+    run_spmm(x, y, width, profile_);
+  }
+
+  /// SpMM recording telemetry into `profile` (one run() sample for the
+  /// whole block, plus the prof::spmm_fallback_columns delta).
+  void run_spmm(std::span<const T> x, std::span<T> y, int width,
+                prof::RunProfile* profile) const;
+
   [[nodiscard]] const Plan& plan() const { return plan_; }
   [[nodiscard]] const binning::BinSet& bins() const { return bins_; }
   [[nodiscard]] const RowStats& stats() const { return stats_; }

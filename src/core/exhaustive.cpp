@@ -9,6 +9,7 @@
 
 #include "exec/clsim_backend.hpp"
 #include "fmt/plan_layouts.hpp"
+#include "prof/counters.hpp"
 
 namespace spmv::core {
 
@@ -154,6 +155,7 @@ void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
   const clsim::Engine* engine = backend.engine();
   std::optional<EngineSnapshot> before;
   if (engine != nullptr) before = engine->counters().snapshot();
+  const std::uint64_t fallback_before = prof::spmm_fallback_columns();
   util::Timer total;
   for (const BinPlan& bp : plan.bin_kernels) {
     const auto& vrows = bins.bin(bp.bin_id);
@@ -176,6 +178,63 @@ void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
   }
   profile->runs += 1;
   profile->run_total_s += total.elapsed_s();
+  profile->spmm_fallback_columns +=
+      prof::spmm_fallback_columns() - fallback_before;
+  if (engine != nullptr)
+    profile->merge_engine_delta(
+        engine->counters().snapshot().delta_since(*before));
+}
+
+template <typename T>
+void execute_plan_spmm(const exec::Backend& backend, const CsrMatrix<T>& a,
+                       std::span<const T> x, std::span<T> y, int width,
+                       const binning::BinSet& bins, const Plan& plan,
+                       prof::RunProfile* profile,
+                       fmt::PlanLayouts<T>* layouts) {
+  if (bins.unit() != plan.unit)
+    throw std::invalid_argument("execute_plan_spmm: bins/plan unit mismatch");
+  note_layout_run(layouts, a, plan);
+  if (profile == nullptr) {
+    for (const BinPlan& bp : plan.bin_kernels) {
+      const auto& vrows = bins.bin(bp.bin_id);
+      if (vrows.empty()) continue;
+      if (const auto l = resolve_layout(backend, layouts, a, vrows,
+                                        bins.unit(), bp)) {
+        backend.run_layout_batch(a, *l, x, y, width);
+        continue;
+      }
+      backend.run_spmm(bp.kernel, a, x, y, width, vrows, bins.unit());
+    }
+    return;
+  }
+  const clsim::Engine* engine = backend.engine();
+  std::optional<EngineSnapshot> before;
+  if (engine != nullptr) before = engine->counters().snapshot();
+  const std::uint64_t fallback_before = prof::spmm_fallback_columns();
+  util::Timer total;
+  for (const BinPlan& bp : plan.bin_kernels) {
+    const auto& vrows = bins.bin(bp.bin_id);
+    if (vrows.empty()) continue;
+    util::Timer t;
+    std::string label = kernels::kernel_name(bp.kernel);
+    if (const auto l = resolve_layout(backend, layouts, a, vrows, bins.unit(),
+                                      bp)) {
+      backend.run_layout_batch(a, *l, x, y, width);
+      label += std::string("+") + fmt::format_cname(bp.format);
+    } else {
+      backend.run_spmm(bp.kernel, a, x, y, width, vrows, bins.unit());
+    }
+    profile->add_bin_run(bp.bin_id, label,
+                         static_cast<std::int64_t>(vrows.size()),
+                         bins.rows_in_bin(bp.bin_id),
+                         bin_nnz(a, std::span<const index_t>(vrows),
+                                 bins.unit()),
+                         t.elapsed_s());
+  }
+  profile->runs += 1;
+  profile->run_total_s += total.elapsed_s();
+  profile->spmm_fallback_columns +=
+      prof::spmm_fallback_columns() - fallback_before;
   if (engine != nullptr)
     profile->merge_engine_delta(
         engine->counters().snapshot().delta_since(*before));
@@ -338,6 +397,10 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
                                    const binning::BinSet&, const Plan&,      \
                                    prof::RunProfile*,                        \
                                    fmt::PlanLayouts<T>*);                    \
+  template void execute_plan_spmm(const exec::Backend&, const CsrMatrix<T>&, \
+                                  std::span<const T>, std::span<T>, int,     \
+                                  const binning::BinSet&, const Plan&,       \
+                                  prof::RunProfile*, fmt::PlanLayouts<T>*);  \
   template TuneResult exhaustive_tune(const exec::Backend&,                  \
                                       const CsrMatrix<T>&,                   \
                                       std::span<const T>,                    \

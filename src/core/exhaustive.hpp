@@ -69,6 +69,23 @@ void execute_plan_batch(const exec::Backend& backend, const CsrMatrix<T>& a,
                         prof::RunProfile* profile = nullptr,
                         fmt::PlanLayouts<T>* layouts = nullptr);
 
+/// True SpMM through `plan`: Y = A·X for `width` dense right-hand sides
+/// (column-major, kernels::batch_column layout). Differs from
+/// execute_plan_batch in which backend entry carries CSR bins: run_spmm's
+/// blocked one-traversal kernels (or its counted per-column fallback on
+/// backends without them) instead of the batch dispatcher's capped native
+/// variants. Layout bins go through run_layout_batch either way — the
+/// native layout batch kernels are already one-traversal at any width. Per
+/// output column the result is bit-identical to `width` single-vector
+/// execute_plan runs. The profiled variant additionally records the
+/// prof::spmm_fallback_columns delta this execution caused.
+template <typename T>
+void execute_plan_spmm(const exec::Backend& backend, const CsrMatrix<T>& a,
+                       std::span<const T> x, std::span<T> y, int width,
+                       const binning::BinSet& bins, const Plan& plan,
+                       prof::RunProfile* profile = nullptr,
+                       fmt::PlanLayouts<T>* layouts = nullptr);
+
 /// Tuning result for one candidate granularity.
 struct UnitResult {
   index_t unit = 1;
@@ -151,6 +168,12 @@ TuneResult exhaustive_tune(const clsim::Engine& engine, const CsrMatrix<T>& a,
                                           int, const binning::BinSet&,       \
                                           const Plan&, prof::RunProfile*,    \
                                           fmt::PlanLayouts<T>*);             \
+  extern template void execute_plan_spmm(const exec::Backend&,               \
+                                         const CsrMatrix<T>&,                \
+                                         std::span<const T>, std::span<T>,   \
+                                         int, const binning::BinSet&,        \
+                                         const Plan&, prof::RunProfile*,     \
+                                         fmt::PlanLayouts<T>*);              \
   extern template TuneResult exhaustive_tune(                                \
       const exec::Backend&, const CsrMatrix<T>&, std::span<const T>,         \
       const CandidatePools&, const ExhaustiveOptions&);                      \

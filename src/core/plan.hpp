@@ -62,6 +62,13 @@ struct Plan {
   int shard_index = -1;
   int shard_count = 0;
   std::uint64_t shard_parent = 0;
+  /// SpMM-serving provenance (spmv::iter): the dense right-hand-side width
+  /// this plan's tuning observed. 0 (the default) marks a plan shaped by
+  /// single-vector or shadow measurements; an IterativeSession stamps its
+  /// serving width onto latency-feedback promotions, so a warm-started
+  /// session can tell "tuned under width-8 SpMM" from "tuned one-shot"
+  /// the same way shard provenance travels.
+  int spmm_width = 0;
   /// Kernel per occupied bin, ascending bin_id. For single_bin plans this
   /// has exactly one entry with bin_id 0.
   std::vector<BinPlan> bin_kernels;
@@ -133,6 +140,7 @@ struct Plan {
     if (shard_index >= 0)
       s += " shard " + std::to_string(shard_index) + "/" +
            std::to_string(shard_count);
+    if (spmm_width > 0) s += " spmm=" + std::to_string(spmm_width);
     return s;
   }
 };

@@ -52,6 +52,10 @@ prof::Json plan_to_json(const Plan& plan) {
                   static_cast<unsigned long long>(plan.shard_parent));
     j.set("shard_parent", std::string(hex));
   }
+  // SpMM-width provenance (spmv::iter), only for plans that carry it —
+  // one-shot plans keep the pre-iter artifact shape byte-for-byte.
+  if (plan.spmm_width > 0)
+    j.set("spmm_width", static_cast<std::int64_t>(plan.spmm_width));
   prof::Json bins = prof::Json::array();
   for (const BinPlan& bp : plan.bin_kernels) {
     prof::Json b = prof::Json::object();
@@ -101,6 +105,10 @@ Plan plan_from_json(const prof::Json& j) {
     plan.shard_parent =
         std::strtoull(j.at("shard_parent").as_string().c_str(), nullptr, 16);
   }
+  // Optional SpMM-width provenance; pre-iter artifacts omit it (0 default).
+  if (const prof::Json* v = j.find("spmm_width"); v != nullptr)
+    plan.spmm_width =
+        static_cast<int>(checked_int(*v, "spmm_width", 1, 1'000'000));
   for (const prof::Json& b : j.at("bins").items()) {
     const std::string kname = b.at("kernel").as_string();
     const auto kid = kernels::try_kernel_from_name(kname);

@@ -6,6 +6,8 @@
 #include "exec/clsim_backend.hpp"
 #include "exec/native_backend.hpp"
 #include "fmt/layout.hpp"
+#include "kernels/binned_common.hpp"
+#include "prof/counters.hpp"
 #include "trace/trace.hpp"
 
 namespace spmv::exec {
@@ -116,6 +118,67 @@ void Backend::run_binned_batch(kernels::KernelId id,
                                int batch, std::span<const index_t> vrows,
                                index_t unit) const {
   run_binned_batch_impl<double>(id, a, x, y, batch, vrows, unit);
+}
+
+template <typename T>
+void Backend::run_spmm_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                            std::span<const T> x, std::span<T> y, int width,
+                            std::span<const index_t> vrows,
+                            index_t unit) const {
+  if (width <= 0)
+    throw std::invalid_argument("run_spmm: width must be positive");
+  if (x.size() != static_cast<std::size_t>(a.cols()) *
+                      static_cast<std::size_t>(width) ||
+      y.size() != static_cast<std::size_t>(a.rows()) *
+                      static_cast<std::size_t>(width))
+    throw std::invalid_argument("run_spmm: X/Y extents do not match "
+                                "cols*width / rows*width");
+  if (width == 1) return run_binned_impl<T>(id, a, x, y, vrows, unit);
+  trace::TraceSpan span(kernels::kernel_cname(id), "spmm");
+  span.arg("width", width);
+  span.arg("virtual_rows", static_cast<std::int64_t>(vrows.size()));
+  do_run_spmm(id, a, x, y, width, vrows, unit);
+}
+
+template <typename T>
+void Backend::fallback_spmm_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                                 std::span<const T> x, std::span<T> y,
+                                 int width, std::span<const index_t> vrows,
+                                 index_t unit) const {
+  // No blocked SpMM on this backend: every column is one single-vector
+  // launch, and every one of them is a fallback column worth counting.
+  prof::add_spmm_fallback_columns(static_cast<std::uint64_t>(width));
+  for (int b = 0; b < width; ++b) {
+    do_run_binned(id, a, kernels::batch_column(x, a.cols(), b),
+                  kernels::batch_column(y, a.rows(), b), vrows, unit);
+  }
+}
+
+void Backend::do_run_spmm(kernels::KernelId id, const CsrMatrix<float>& a,
+                          std::span<const float> x, std::span<float> y,
+                          int width, std::span<const index_t> vrows,
+                          index_t unit) const {
+  fallback_spmm_impl<float>(id, a, x, y, width, vrows, unit);
+}
+
+void Backend::do_run_spmm(kernels::KernelId id, const CsrMatrix<double>& a,
+                          std::span<const double> x, std::span<double> y,
+                          int width, std::span<const index_t> vrows,
+                          index_t unit) const {
+  fallback_spmm_impl<double>(id, a, x, y, width, vrows, unit);
+}
+
+void Backend::run_spmm(kernels::KernelId id, const CsrMatrix<float>& a,
+                       std::span<const float> x, std::span<float> y, int width,
+                       std::span<const index_t> vrows, index_t unit) const {
+  run_spmm_impl<float>(id, a, x, y, width, vrows, unit);
+}
+
+void Backend::run_spmm(kernels::KernelId id, const CsrMatrix<double>& a,
+                       std::span<const double> x, std::span<double> y,
+                       int width, std::span<const index_t> vrows,
+                       index_t unit) const {
+  run_spmm_impl<double>(id, a, x, y, width, vrows, unit);
 }
 
 template <typename T>

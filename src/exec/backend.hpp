@@ -119,6 +119,31 @@ class Backend {
                         int batch, std::span<const index_t> vrows,
                         index_t unit) const;
 
+  /// True SpMM over the bin's rows: Y = A·X for `width` dense right-hand
+  /// sides stored column-major (kernels::batch_column layout, like
+  /// run_binned_batch). Unlike run_binned_batch — whose per-backend batch
+  /// kernels may cap the width they traverse in one pass and whose shapes
+  /// follow the simulated execution model — run_spmm is the solver-facing
+  /// entry: backends with a native SpMM (supports_spmm() true) share one
+  /// CSR traversal across a register/cache-blocked column tile at any
+  /// width, and guarantee that per output column the products accumulate in
+  /// exactly the order the single-vector kernel `id` would use, so a
+  /// width-N run is bit-identical to N single-vector runs. Backends without
+  /// one lower width-N to N single-vector launches (counted in
+  /// prof::spmm_fallback_columns), which satisfies the same contract
+  /// trivially. width == 1 routes through run_binned.
+  void run_spmm(kernels::KernelId id, const CsrMatrix<float>& a,
+                std::span<const float> x, std::span<float> y, int width,
+                std::span<const index_t> vrows, index_t unit) const;
+  void run_spmm(kernels::KernelId id, const CsrMatrix<double>& a,
+                std::span<const double> x, std::span<double> y, int width,
+                std::span<const index_t> vrows, index_t unit) const;
+
+  /// Whether this backend has a blocked one-traversal SpMM (do_run_spmm
+  /// override). False means run_spmm falls back to per-column
+  /// single-vector launches.
+  [[nodiscard]] virtual bool supports_spmm() const { return false; }
+
   /// Whether this backend executes materialized bin layouts (spmv::fmt).
   /// Backends that return false always execute bins from the shared CSR
   /// arrays — core::execute_plan only takes the layout path when the
@@ -171,6 +196,21 @@ class Backend {
                                    std::span<const index_t> vrows,
                                    index_t unit) const = 0;
 
+  /// SpMM hooks. Not pure: the base implementations execute the width
+  /// columns one by one through do_run_binned (counting each column in
+  /// prof::spmm_fallback_columns), so only backends with a real blocked
+  /// SpMM (supports_spmm() true) need to override them. Only called with
+  /// width >= 2 and validated extents; width == 1 routes through
+  /// do_run_binned.
+  virtual void do_run_spmm(kernels::KernelId id, const CsrMatrix<float>& a,
+                           std::span<const float> x, std::span<float> y,
+                           int width, std::span<const index_t> vrows,
+                           index_t unit) const;
+  virtual void do_run_spmm(kernels::KernelId id, const CsrMatrix<double>& a,
+                           std::span<const double> x, std::span<double> y,
+                           int width, std::span<const index_t> vrows,
+                           index_t unit) const;
+
   /// Layout execution hooks. Not pure: the base implementations throw
   /// std::logic_error, so only format-capable backends (supports_formats()
   /// true) need to override them.
@@ -204,6 +244,14 @@ class Backend {
                              std::span<const T> x, std::span<T> y, int batch,
                              std::span<const index_t> vrows,
                              index_t unit) const;
+  template <typename T>
+  void run_spmm_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                     std::span<const T> x, std::span<T> y, int width,
+                     std::span<const index_t> vrows, index_t unit) const;
+  template <typename T>
+  void fallback_spmm_impl(kernels::KernelId id, const CsrMatrix<T>& a,
+                          std::span<const T> x, std::span<T> y, int width,
+                          std::span<const index_t> vrows, index_t unit) const;
   template <typename T>
   void run_layout_impl(const CsrMatrix<T>& a, const fmt::BinLayout<T>& l,
                        std::span<const T> x, std::span<T> y) const;

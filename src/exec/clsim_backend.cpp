@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "kernels/binned_common.hpp"
+#include "prof/counters.hpp"
 
 namespace spmv::exec {
 
@@ -136,7 +137,10 @@ void dispatch_binned_batch(const ClsimBackend& self, KernelId id,
     }
     return;
   }
-  // Fallback: one single-vector launch per batch column.
+  // Fallback: one single-vector launch per batch column. Used to be
+  // silent — every column that misses the blocked path is now counted so
+  // profiled runs can see the batch widths the native variants truncate.
+  prof::add_spmm_fallback_columns(static_cast<std::uint64_t>(batch));
   for (int b = 0; b < batch; ++b) {
     self.run_binned(id, a, kernels::batch_column(x, a.cols(), b),
                     kernels::batch_column(y, a.rows(), b), vrows, unit);

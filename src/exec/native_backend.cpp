@@ -1,6 +1,7 @@
 #include "exec/native_backend.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <stdexcept>
 
@@ -27,6 +28,15 @@ constexpr std::int64_t kInlineSlots = 256;
 // Every shape computes the same sum over one row's nonzeros; the id only
 // changes how the stream is organized, mirroring how the clsim kernels
 // differ only in thread organization.
+//
+// The CSR-path kernels (scalar, batched, and SpMM) spell every
+// multiply-add as std::fma rather than `acc += a * b`: with
+// -ffp-contract=fast the compiler may contract one inlined copy of a loop
+// to FMA and leave another as mul+add, which silently breaks the
+// bit-identity contracts between the single-vector, batched, and SpMM
+// paths. An explicit fma is one correctly-rounded operation everywhere,
+// so identical accumulation order in the source guarantees identical bits
+// in the output regardless of inline site or optimization level.
 
 /// Serial: plain scalar loop.
 template <typename T>
@@ -37,7 +47,7 @@ T dot_plain(std::span<const offset_t> rp, std::span<const index_t> ci,
       static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
   T acc{};
   for (std::size_t k = lo; k < hi; ++k)
-    acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+    acc = std::fma(v[k], x[static_cast<std::size_t>(ci[k])], acc);
   return acc;
 }
 
@@ -53,15 +63,25 @@ T dot_lanes(std::span<const offset_t> rp, std::span<const index_t> ci,
   std::size_t k = lo;
   for (; k + X <= hi; k += X)
     for (int l = 0; l < X; ++l)
-      part[l] += v[k + l] * x[static_cast<std::size_t>(ci[k + l])];
+      part[l] =
+          std::fma(v[k + l], x[static_cast<std::size_t>(ci[k + l])], part[l]);
   T acc{};
   for (int l = 0; l < X; ++l) acc += part[l];
-  for (; k < hi; ++k) acc += v[k] * x[static_cast<std::size_t>(ci[k])];
+  for (; k < hi; ++k)
+    acc = std::fma(v[k], x[static_cast<std::size_t>(ci[k])], acc);
   return acc;
 }
 
-/// Vector: whole-row simd reduction.
+/// Vector: whole-row simd reduction. noinline: the simd pragma lets the
+/// vectorizer pick the reduction shape, and two inlined copies of this
+/// loop could legally vectorize differently. Keeping one out-of-line
+/// instantiation per T means the single-vector path and the SpMM path
+/// (which reuses this function per column) execute the same machine code,
+/// so their bits cannot diverge.
 template <typename T>
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
 T dot_simd(std::span<const offset_t> rp, std::span<const index_t> ci,
            std::span<const T> v, std::span<const T> x, index_t r) {
   const auto lo = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
@@ -183,13 +203,234 @@ void native_binned_batch(int threads, const CsrMatrix<T>& a,
         const T av = v[k];
         const auto c = static_cast<std::size_t>(ci[k]);
         for (int b = 0; b < w; ++b)
-          acc[b] += av * x[xoff + static_cast<std::size_t>(b) * n + c];
+          acc[b] = std::fma(
+              av, x[xoff + static_cast<std::size_t>(b) * n + c], acc[b]);
       }
       for (int b = 0; b < w; ++b)
         y[yoff + static_cast<std::size_t>(b) * m +
           static_cast<std::size_t>(r)] = acc[b];
     }
   }
+}
+
+// --- true SpMM (blocked multi-vector traversal) -----------------------
+//
+// One CSR traversal of the bin's rows feeds a register tile of output
+// columns: each row's (val, col) stream is read once per column tile
+// instead of once per column, which is where the memory-bound ceiling
+// lifts for solver workloads. Per output column the products accumulate in
+// exactly the order the single-vector kernel of the same shape uses
+// (dot_plain / dot_lanes<X> / dot_simd), so a width-N SpMM is
+// bit-identical to N single-vector runs — the contract run_spmm promises
+// and tests/test_differential.cpp enforces.
+
+/// Column-tile width for Sub<X>: the tile keeps X*W partial accumulators
+/// on the stack, so wider lane counts take narrower tiles (X*W <= 256
+/// scalars — half a 4 KiB page of doubles), capped at the batch blocking
+/// the other multi-vector paths use.
+constexpr int spmm_tile_width(int lanes) {
+  const int w = 256 / lanes;
+  return w > kernels::kMaxNativeBatch
+             ? kernels::kMaxNativeBatch
+             : (w < 1 ? 1 : w);
+}
+
+/// Sampled average column span of the bin's rows: the slice of one X
+/// column a traversal actually touches per row. For banded/stencil
+/// structures this is a narrow sliding window no matter how tall the
+/// vectors are, so the span — not the vector length — bounds how many
+/// columns can share one pass over A.
+std::size_t sampled_span(std::span<const offset_t> rp,
+                         std::span<const index_t> ci, const RowMap& map) {
+  const std::int64_t slots = map.total_slots();
+  const std::int64_t stride = std::max<std::int64_t>(1, slots / 64);
+  std::size_t total = 0, rows = 0;
+  for (std::int64_t s = 0; s < slots; s += stride) {
+    const index_t r = map.slot_to_row(s);
+    if (r < 0) continue;
+    const auto lo = static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+    const auto hi =
+        static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+    if (hi <= lo) continue;
+    index_t cmin = ci[lo], cmax = ci[lo];
+    for (std::size_t k = lo + 1; k < hi; ++k) {
+      cmin = std::min(cmin, ci[k]);
+      cmax = std::max(cmax, ci[k]);
+    }
+    total += static_cast<std::size_t>(cmax - cmin) + 1;
+    ++rows;
+  }
+  return rows > 0 ? std::max<std::size_t>(total / rows, 1) : 1;
+}
+
+/// Runtime column-block step: the columns traversed together must keep
+/// their gathered X working set (columns x per-row span) cache-resident,
+/// or each nonzero gathers `w` lines a full vector apart and the blocked
+/// traversal loses more on X than it saves on A. Half an 8 MiB LLC share
+/// is the budget; scattered rows (span ~ cols) take narrower blocks,
+/// banded rows take the whole register tile.
+template <typename T>
+int spmm_block_step(int tile_w, std::size_t span) {
+  constexpr std::size_t kXBudgetBytes = std::size_t{4} << 20;
+  const std::size_t fit = kXBudgetBytes / (std::max<std::size_t>(span, 1) *
+                                           sizeof(T));
+  return std::clamp(static_cast<int>(std::min<std::size_t>(
+                        fit, static_cast<std::size_t>(tile_w))),
+                    1, tile_w);
+}
+
+/// Drive `tile` over every slot for each `step`-wide block of output
+/// columns (step <= W, the tile's compile-time accumulator capacity).
+/// `tile(r, xoff, w, out)` must fill out[0..w) with row r's dot products
+/// against columns [xoff/n, xoff/n + w); out arrives zero-initialized for
+/// exactly those w entries. Per output column the traversal order is
+/// independent of `step` — blocking only decides which columns share one
+/// pass over A, so the bit-identity contract is unaffected.
+template <typename T, int W, typename Tile>
+void spmm_loop(int threads, std::span<T> y, const RowMap& map, int width,
+               std::size_t m, int step, Tile tile) {
+  const std::int64_t slots = map.total_slots();
+#ifndef _OPENMP
+  (void)threads;
+#endif
+  for (int b0 = 0; b0 < width; b0 += step) {
+    const int w = std::min(step, width - b0);
+    const std::size_t yoff = static_cast<std::size_t>(b0) * m;
+#ifdef _OPENMP
+    const int nt = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt) \
+    if (slots > kInlineSlots)
+#endif
+    for (std::int64_t s = 0; s < slots; ++s) {
+      const index_t r = map.slot_to_row(s);
+      if (r < 0) continue;
+      T out[W];
+      for (int b = 0; b < w; ++b) out[b] = T{};
+      tile(r, b0, w, out);
+      for (int b = 0; b < w; ++b)
+        y[yoff + static_cast<std::size_t>(b) * m +
+          static_cast<std::size_t>(r)] = out[b];
+    }
+  }
+}
+
+/// Sub<X> tile: column-outer over W*X partials. For each output column the
+/// inner loops are the exact dot_lanes<T, X> shape — X-wide unrolled main
+/// loop, ascending lane sum, ascending-k tail — so per column the bits
+/// match by construction AND the compiler vectorizes the lane loop the
+/// same way it does in the single-vector kernel. The column loop outside
+/// means the row's (val, col) stream is re-read per column from L1 instead
+/// of from memory: cache blocking on A, register blocking per column.
+template <typename T, int X, int W>
+void spmm_lanes(int threads, const CsrMatrix<T>& a, std::span<const T> x,
+                std::span<T> y, int width, const RowMap& map,
+                std::size_t span) {
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.vals();
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const int step = spmm_block_step<T>(W, span);
+  spmm_loop<T, W>(
+      threads, y, map, width, m, step,
+      [&](index_t r, int b0, int w, T* out) {
+        const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+        const auto lo =
+            static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+        const auto hi =
+            static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+        for (int b = 0; b < w; ++b) {
+          const std::size_t xcol = xoff + static_cast<std::size_t>(b) * n;
+          T part[X] = {};
+          std::size_t k = lo;
+          for (; k + X <= hi; k += X)
+            for (int l = 0; l < X; ++l)
+              part[l] = std::fma(
+                  v[k + l],
+                  x[xcol + static_cast<std::size_t>(ci[k + l])], part[l]);
+          T acc{};
+          for (int l = 0; l < X; ++l) acc += part[l];
+          for (; k < hi; ++k)
+            acc = std::fma(v[k], x[xcol + static_cast<std::size_t>(ci[k])],
+                           acc);
+          out[b] = acc;
+        }
+      });
+}
+
+template <typename T>
+void native_spmm(int threads, KernelId id, const CsrMatrix<T>& a,
+                 std::span<const T> x, std::span<T> y, int width,
+                 std::span<const index_t> vrows, index_t unit) {
+  const RowMap map{vrows, unit, a.rows()};
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.vals();
+  const auto n = static_cast<std::size_t>(a.cols());
+  const auto m = static_cast<std::size_t>(a.rows());
+  const std::size_t span = sampled_span(rp, ci, map);
+  switch (id) {
+    case KernelId::Serial:
+      // Column-outer, ascending-k inner: per column exactly dot_plain,
+      // with the row's stream L1-resident across the column block.
+      return spmm_loop<T, kernels::kMaxNativeBatch>(
+          threads, y, map, width, m,
+          spmm_block_step<T>(kernels::kMaxNativeBatch, span),
+          [&](index_t r, int b0, int w, T* out) {
+            const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+            const auto lo =
+                static_cast<std::size_t>(rp[static_cast<std::size_t>(r)]);
+            const auto hi =
+                static_cast<std::size_t>(rp[static_cast<std::size_t>(r) + 1]);
+            for (int b = 0; b < w; ++b) {
+              const std::size_t xcol =
+                  xoff + static_cast<std::size_t>(b) * n;
+              T acc{};
+              for (std::size_t k = lo; k < hi; ++k)
+                acc = std::fma(
+                    v[k], x[xcol + static_cast<std::size_t>(ci[k])], acc);
+              out[b] = acc;
+            }
+          });
+    case KernelId::Sub2:
+      return spmm_lanes<T, 2, spmm_tile_width(2)>(threads, a, x, y, width,
+                                                  map, span);
+    case KernelId::Sub4:
+      return spmm_lanes<T, 4, spmm_tile_width(4)>(threads, a, x, y, width,
+                                                  map, span);
+    case KernelId::Sub8:
+      return spmm_lanes<T, 8, spmm_tile_width(8)>(threads, a, x, y, width,
+                                                  map, span);
+    case KernelId::Sub16:
+      return spmm_lanes<T, 16, spmm_tile_width(16)>(threads, a, x, y, width,
+                                                    map, span);
+    case KernelId::Sub32:
+      return spmm_lanes<T, 32, spmm_tile_width(32)>(threads, a, x, y, width,
+                                                    map, span);
+    case KernelId::Sub64:
+      return spmm_lanes<T, 64, spmm_tile_width(64)>(threads, a, x, y, width,
+                                                    map, span);
+    case KernelId::Sub128:
+      return spmm_lanes<T, 128, spmm_tile_width(128)>(threads, a, x, y,
+                                                      width, map, span);
+    case KernelId::Vector:
+      // dot_simd's association is whatever the compiler vectorized for the
+      // single-vector kernel, so the only way to match it bit-for-bit is
+      // to reuse the function itself per column. The row's (val, col)
+      // stream still stays L1-resident across the tile — cache blocking
+      // rather than register blocking.
+      return spmm_loop<T, kernels::kMaxNativeBatch>(
+          threads, y, map, width, m,
+          spmm_block_step<T>(kernels::kMaxNativeBatch, span),
+          [&](index_t r, int b0, int w, T* out) {
+            const std::size_t xoff = static_cast<std::size_t>(b0) * n;
+            for (int b = 0; b < w; ++b)
+              out[b] = dot_simd(
+                  rp, ci, v,
+                  x.subspan(xoff + static_cast<std::size_t>(b) * n, n), r);
+          });
+  }
+  throw std::invalid_argument("NativeBackend: bad kernel id");
 }
 
 // --- layout kernels (spmv::fmt) ---------------------------------------
@@ -472,6 +713,22 @@ void NativeBackend::do_run_binned_batch(kernels::KernelId id,
                                         index_t unit) const {
   (void)id;
   native_binned_batch(options_.threads, a, x, y, batch, vrows, unit);
+}
+
+void NativeBackend::do_run_spmm(kernels::KernelId id, const CsrMatrix<float>& a,
+                                std::span<const float> x, std::span<float> y,
+                                int width, std::span<const index_t> vrows,
+                                index_t unit) const {
+  native_spmm(options_.threads, id, a, x, y, width, vrows, unit);
+}
+
+void NativeBackend::do_run_spmm(kernels::KernelId id,
+                                const CsrMatrix<double>& a,
+                                std::span<const double> x,
+                                std::span<double> y, int width,
+                                std::span<const index_t> vrows,
+                                index_t unit) const {
+  native_spmm(options_.threads, id, a, x, y, width, vrows, unit);
 }
 
 void NativeBackend::do_run_layout(const CsrMatrix<float>& a,

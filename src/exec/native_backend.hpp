@@ -38,6 +38,11 @@ class NativeBackend final : public Backend {
   /// walks, COO triple chunks, delta-decoded CSR — each scalar + batched.
   [[nodiscard]] bool supports_formats() const override { return true; }
 
+  /// Native has true blocked SpMM: one CSR traversal feeds a register tile
+  /// of output columns at any width, per-column bit-identical to the
+  /// single-vector kernel of the same shape.
+  [[nodiscard]] bool supports_spmm() const override { return true; }
+
  protected:
   void do_run_binned(kernels::KernelId id, const CsrMatrix<float>& a,
                      std::span<const float> x, std::span<float> y,
@@ -55,6 +60,14 @@ class NativeBackend final : public Backend {
                            std::span<const double> x, std::span<double> y,
                            int batch, std::span<const index_t> vrows,
                            index_t unit) const override;
+  void do_run_spmm(kernels::KernelId id, const CsrMatrix<float>& a,
+                   std::span<const float> x, std::span<float> y, int width,
+                   std::span<const index_t> vrows,
+                   index_t unit) const override;
+  void do_run_spmm(kernels::KernelId id, const CsrMatrix<double>& a,
+                   std::span<const double> x, std::span<double> y, int width,
+                   std::span<const index_t> vrows,
+                   index_t unit) const override;
   void do_run_layout(const CsrMatrix<float>& a, const fmt::BinLayout<float>& l,
                      std::span<const float> x,
                      std::span<float> y) const override;

@@ -191,11 +191,94 @@ BinLayout<T> build_bin_layout(const CsrMatrix<T>& a,
   return out;
 }
 
+template <typename T>
+BinLayout<T> refresh_layout_values(const CsrMatrix<T>& a,
+                                   const BinLayout<T>& old) {
+  if (old.kind == FormatKind::Csr)
+    throw std::invalid_argument(
+        "fmt: CSR bins execute from the shared arrays; nothing to refresh");
+  BinLayout<T> out = old;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto va = a.vals();
+  const auto row_len = [&](index_t r) {
+    return rp[static_cast<std::size_t>(r) + 1] -
+           rp[static_cast<std::size_t>(r)];
+  };
+  switch (old.kind) {
+    case FormatKind::Ell: {
+      auto& e = out.ell;
+      const std::size_t nrows = e.rows.size();
+      for (std::size_t pr = 0; pr < nrows; ++pr) {
+        const index_t r = e.rows[pr];
+        if (r < 0 || r >= a.rows() || row_len(r) > e.width)
+          throw std::length_error("fmt: ELL refresh structure mismatch");
+        const offset_t beg = rp[static_cast<std::size_t>(r)];
+        const offset_t end = rp[static_cast<std::size_t>(r) + 1];
+        for (offset_t j = beg; j < end; ++j)
+          e.val[static_cast<std::size_t>(j - beg) * nrows + pr] =
+              va[static_cast<std::size_t>(j)];
+      }
+      break;
+    }
+    case FormatKind::Coo: {
+      auto& c = out.coo;
+      std::size_t i = 0;
+      for (const index_t r : c.rows) {
+        if (r < 0 || r >= a.rows())
+          throw std::length_error("fmt: Coo refresh structure mismatch");
+        const offset_t beg = rp[static_cast<std::size_t>(r)];
+        const offset_t end = rp[static_cast<std::size_t>(r) + 1];
+        for (offset_t j = beg; j < end; ++j, ++i) {
+          if (i >= c.entry_val.size() || c.entry_row[i] != r)
+            throw std::length_error("fmt: Coo refresh structure mismatch");
+          c.entry_val[i] = va[static_cast<std::size_t>(j)];
+        }
+      }
+      if (i != c.entry_val.size())
+        throw std::length_error("fmt: Coo refresh structure mismatch");
+      break;
+    }
+    case FormatKind::Dcsr: {
+      // The delta stream stores each row's entries sorted by column; redo
+      // the builder's sort on the fresh values (columns per row are unique
+      // in well-formed CSR, so the permutation matches the original).
+      auto& d = out.dcsr;
+      std::vector<std::pair<index_t, T>> entries;
+      for (std::size_t pr = 0; pr < d.rows.size(); ++pr) {
+        const index_t r = d.rows[pr];
+        const offset_t beg = rp[static_cast<std::size_t>(r)];
+        const offset_t end = rp[static_cast<std::size_t>(r) + 1];
+        if (r < 0 || r >= a.rows() ||
+            end - beg != d.row_ptr[pr + 1] - d.row_ptr[pr])
+          throw std::length_error("fmt: Dcsr refresh structure mismatch");
+        entries.clear();
+        for (offset_t j = beg; j < end; ++j)
+          entries.emplace_back(ci[static_cast<std::size_t>(j)],
+                               va[static_cast<std::size_t>(j)]);
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto& x, const auto& y) {
+                    return x.first < y.first;
+                  });
+        for (std::size_t k = 0; k < entries.size(); ++k)
+          d.vals[static_cast<std::size_t>(d.row_ptr[pr]) + k] =
+              entries[k].second;
+      }
+      break;
+    }
+    case FormatKind::Csr:
+      break;  // unreachable
+  }
+  return out;
+}
+
 #define SPMV_FMT_LAYOUT_INSTANTIATE(T)                                    \
   template struct BinLayout<T>;                                           \
   template BinLayout<T> build_bin_layout(                                 \
       const CsrMatrix<T>&, std::span<const index_t>, index_t, FormatKind, \
-      int, const BuildLimits&);
+      int, const BuildLimits&);                                           \
+  template BinLayout<T> refresh_layout_values(const CsrMatrix<T>&,        \
+                                              const BinLayout<T>&);
 SPMV_FMT_LAYOUT_INSTANTIATE(float)
 SPMV_FMT_LAYOUT_INSTANTIATE(double)
 #undef SPMV_FMT_LAYOUT_INSTANTIATE

@@ -91,11 +91,25 @@ template <typename T>
                                             int bin_id,
                                             const BuildLimits& limits = {});
 
+/// Value-refreshed copy of `old`: identical structure (row list, column
+/// stream, chunking, byte footprint) with every stored value re-read from
+/// `a`. Used after CsrMatrix::update_values so a structurally unchanged
+/// matrix keeps its materialized layouts instead of paying a rebuild.
+/// Returns a fresh object — the old layout is never mutated, because
+/// in-flight launches may still hold shared_ptrs to it. Throws
+/// std::length_error when `a`'s structure no longer matches the layout
+/// (callers treat that as "drop and rebuild lazily").
+template <typename T>
+[[nodiscard]] BinLayout<T> refresh_layout_values(const CsrMatrix<T>& a,
+                                                 const BinLayout<T>& old);
+
 #define SPMV_FMT_LAYOUT_EXTERN(T)                                         \
   extern template struct BinLayout<T>;                                    \
   extern template BinLayout<T> build_bin_layout(                          \
       const CsrMatrix<T>&, std::span<const index_t>, index_t, FormatKind, \
-      int, const BuildLimits&);
+      int, const BuildLimits&);                                           \
+  extern template BinLayout<T> refresh_layout_values(const CsrMatrix<T>&, \
+                                                     const BinLayout<T>&);
 SPMV_FMT_LAYOUT_EXTERN(float)
 SPMV_FMT_LAYOUT_EXTERN(double)
 #undef SPMV_FMT_LAYOUT_EXTERN

@@ -75,6 +75,39 @@ std::shared_ptr<const BinLayout<T>> PlanLayouts<T>::acquire(
 }
 
 template <typename T>
+std::uint64_t PlanLayouts<T>::refresh_values(const CsrMatrix<T>& a,
+                                             std::uint64_t old_instance_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot* slot = nullptr;
+  for (auto& s : slots_) {
+    if (s.key == old_instance_id) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) return 0;
+  slot->key = a.instance_id();
+  std::uint64_t refreshed = 0;
+  for (auto it = slot->built.begin(); it != slot->built.end();) {
+    if (it->second == nullptr) {
+      ++it;  // negative cache: still hopeless after a values-only change
+      continue;
+    }
+    try {
+      it->second = std::make_shared<const BinLayout<T>>(
+          refresh_layout_values(a, *it->second));
+      refreshed += 1;
+      ++it;
+    } catch (const std::exception&) {
+      // Structure mismatch — drop so acquire() rebuilds lazily.
+      it = slot->built.erase(it);
+    }
+  }
+  stats_.value_refreshes += refreshed;
+  return refreshed;
+}
+
+template <typename T>
 LayoutStats PlanLayouts<T>::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

@@ -47,6 +47,8 @@ struct LayoutStats {
   std::uint64_t build_failures = 0; ///< builder rejections (negative-cached)
   std::uint64_t hits = 0;           ///< acquire() served a built layout
   std::uint64_t deferrals = 0;      ///< acquire() deferred: not yet amortized
+  std::uint64_t value_refreshes = 0; ///< layouts value-refreshed in place of
+                                     ///< a rebuild (refresh_values)
   double build_s = 0.0;             ///< total wall-clock spent building
 };
 
@@ -68,6 +70,18 @@ class PlanLayouts {
                                               std::span<const index_t> vrows,
                                               index_t unit, FormatKind kind,
                                               int bin_id);
+
+  /// Carry the layouts built for instance `old_instance_id` over to `a`
+  /// after a values-only mutation (CsrMatrix::update_values re-issues the
+  /// instance id but keeps the structure). The slot is re-keyed to
+  /// a.instance_id() with its reuse count, LRU position, and negative
+  /// caches intact; every built layout is replaced by a value-refreshed
+  /// *copy* (in-flight launches may still hold the old shared_ptrs). A
+  /// layout whose structure no longer matches `a` is dropped so acquire()
+  /// rebuilds it lazily. Returns the number of layouts refreshed; 0 when
+  /// the old instance has no slot (nothing was materialized).
+  std::uint64_t refresh_values(const CsrMatrix<T>& a,
+                               std::uint64_t old_instance_id);
 
   [[nodiscard]] LayoutStats stats() const;
 

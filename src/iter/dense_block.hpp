@@ -1,0 +1,71 @@
+// DenseBlock — a column-major block of dense vectors, the multi-vector
+// operand shape of the SpMM path (core::execute_plan_spmm and
+// kernels::batch_column): column b of a length-L block occupies entries
+// [b*L, (b+1)*L). A solver loop holds two blocks (iterate and product) and
+// swaps them each step; the serving layer flattens request vectors into
+// one before a batched launch.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace spmv::iter {
+
+template <typename T>
+class DenseBlock {
+ public:
+  DenseBlock() = default;
+  DenseBlock(index_t length, int width, T fill = T(0))
+      : length_(length), width_(width) {
+    if (length < 0 || width <= 0)
+      throw std::invalid_argument("DenseBlock: length " +
+                                  std::to_string(length) + " x width " +
+                                  std::to_string(width) + " is not a block");
+    data_.assign(static_cast<std::size_t>(length) *
+                     static_cast<std::size_t>(width),
+                 fill);
+  }
+
+  [[nodiscard]] index_t length() const { return length_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] std::span<T> data() { return data_; }
+  [[nodiscard]] std::span<const T> data() const { return data_; }
+
+  [[nodiscard]] std::span<T> column(int b) {
+    check_column(b);
+    return std::span<T>(data_).subspan(
+        static_cast<std::size_t>(b) * static_cast<std::size_t>(length_),
+        static_cast<std::size_t>(length_));
+  }
+  [[nodiscard]] std::span<const T> column(int b) const {
+    check_column(b);
+    return std::span<const T>(data_).subspan(
+        static_cast<std::size_t>(b) * static_cast<std::size_t>(length_),
+        static_cast<std::size_t>(length_));
+  }
+
+  friend void swap(DenseBlock& a, DenseBlock& b) noexcept {
+    std::swap(a.length_, b.length_);
+    std::swap(a.width_, b.width_);
+    a.data_.swap(b.data_);
+  }
+
+ private:
+  void check_column(int b) const {
+    if (b < 0 || b >= width_)
+      throw std::out_of_range("DenseBlock: column " + std::to_string(b) +
+                              " of " + std::to_string(width_));
+  }
+
+  index_t length_ = 0;
+  int width_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace spmv::iter

@@ -1,0 +1,329 @@
+#include "iter/session.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/exhaustive.hpp"
+#include "fmt/estimate.hpp"
+#include "sparse/matrix_stats.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace spmv::iter {
+
+namespace {
+
+void check_block(std::int64_t have, std::int64_t vec_len, int width,
+                 const char* what) {
+  if (width <= 0)
+    throw std::invalid_argument("IterativeSession: width must be positive");
+  if (have != vec_len * width)
+    throw std::invalid_argument(
+        std::string("IterativeSession: ") + what + " has " +
+        std::to_string(have) + " entries, expected " +
+        std::to_string(vec_len * width) + " (" + std::to_string(width) +
+        " columns of " + std::to_string(vec_len) + ")");
+}
+
+}  // namespace
+
+template <typename T>
+IterativeSession<T>::IterativeSession(std::shared_ptr<const CsrMatrix<T>> a,
+                                      const core::Predictor& predictor,
+                                      SessionOptions opts)
+    : predictor_(predictor), opts_(std::move(opts)) {
+  if (a == nullptr)
+    throw std::invalid_argument("IterativeSession: null matrix");
+  opts_.spmm_width = std::max(1, opts_.spmm_width);
+  if (opts_.backend == exec::BackendKind::Clsim && opts_.engine != nullptr)
+    backend_ = exec::wrap_engine(*opts_.engine);
+  else
+    backend_ = exec::shared_backend(opts_.backend);
+  if (opts_.adapt.has_value()) {
+    const clsim::Engine& engine =
+        opts_.engine != nullptr ? *opts_.engine : clsim::default_engine();
+    tuner_ = std::make_unique<adapt::BanditTuner<T>>(engine, *opts_.adapt);
+  }
+  if (opts_.plan_store != nullptr) opts_.plan_store->load();
+  state_ = build_state(std::move(a));
+}
+
+template <typename T>
+IterativeSession<T>::~IterativeSession() {
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    util::log_warn() << "iter session: flush at destruction failed: "
+                     << e.what();
+  }
+}
+
+template <typename T>
+std::shared_ptr<const typename IterativeSession<T>::State>
+IterativeSession<T>::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+template <typename T>
+std::shared_ptr<typename IterativeSession<T>::State>
+IterativeSession<T>::build_state(std::shared_ptr<const CsrMatrix<T>> a) {
+  auto st = std::make_shared<State>();
+  st->key = serve::fingerprint_of(*a);
+  std::optional<adapt::StoredPlan> stored;
+  if (opts_.plan_store != nullptr) stored = opts_.plan_store->lookup(st->key);
+  if (stored.has_value()) {
+    // Warm start: the stored plan skips the predictor pass entirely. The
+    // session owns one execution context, so the plan is re-stamped with
+    // it (same contract as AutoSpmv's external-plan constructor).
+    st->plan = std::move(stored->plan);
+    st->plan.normalize();
+    st->plan.backend = backend_->kind();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.warm_starts += 1;
+  } else {
+    const RowStats rstats = compute_row_stats(*a);
+    const core::Predictor::UnitChoice choice = predictor_.predict_unit(rstats);
+    st->plan.unit = choice.unit;
+    st->plan.single_bin = choice.single_bin;
+    st->plan.backend = backend_->kind();
+    const binning::BinSet bins = core::bins_for_plan(*a, st->plan);
+    for (int b : bins.occupied_bins())
+      st->plan.bin_kernels.push_back(
+          {b, predictor_.predict_kernel(rstats, st->plan.unit, b)});
+    if (opts_.format == fmt::FormatMode::Auto &&
+        backend_->supports_formats()) {
+      for (core::BinPlan& bp : st->plan.bin_kernels) {
+        const auto f =
+            fmt::compute_bin_features(*a, bins.bin(bp.bin_id), st->plan.unit);
+        bp.format = fmt::estimate_bin_format(f);
+      }
+    }
+    if (opts_.plan_store != nullptr)
+      opts_.plan_store->put(st->key, adapt::StoredPlan{st->plan});
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.planning_passes += 1;
+  }
+  st->bins = std::make_shared<const binning::BinSet>(
+      core::bins_for_plan(*a, st->plan));
+  if (st->plan.uses_formats() && backend_->supports_formats())
+    st->layouts = std::make_shared<fmt::PlanLayouts<T>>(opts_.format_policy);
+  st->a = std::move(a);
+  return st;
+}
+
+template <typename T>
+void IterativeSession<T>::execute(const std::shared_ptr<const State>& st,
+                                  std::span<const T> x, std::span<T> y,
+                                  int width) {
+  const core::Plan* plan = &st->plan;
+  std::optional<typename adapt::BanditTuner<T>::LatencyVariant> variant;
+  if (tuner_ != nullptr) {
+    variant = tuner_->next_variant(st->key, st->plan, *st->bins, *st->a);
+    plan = &variant->plan;
+  }
+  util::Timer t;
+  if (width == 1)
+    core::execute_plan(*backend_, *st->a, x, y, *st->bins, *plan,
+                       opts_.profile, st->layouts.get());
+  else
+    core::execute_plan_spmm(*backend_, *st->a, x, y, width, *st->bins, *plan,
+                            opts_.profile, st->layouts.get());
+  const double seconds = t.elapsed_s();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.iterations += 1;
+    stats_.exec_total_s += seconds;
+  }
+  if (tuner_ != nullptr && variant->bin >= 0) {
+    // One iteration moved 2*nnz flops per column; the whole-block latency
+    // scores the variant's arm.
+    auto promo = tuner_->feedback(
+        st->key, *variant, seconds,
+        static_cast<std::int64_t>(st->a->nnz()) * width);
+    if (promo.has_value()) {
+      promo->plan.spmm_width = width;  // serving-width provenance
+      apply_promotion(st, std::move(*promo));
+    }
+  }
+}
+
+template <typename T>
+void IterativeSession<T>::apply_promotion(
+    const std::shared_ptr<const State>& st,
+    typename adapt::BanditTuner<T>::Promotion promo) {
+  std::shared_ptr<State> ns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The snapshot this promotion was measured against must still be the
+    // live state — an update_values/replace_matrix/another promotion in
+    // between invalidates it (the tuner will re-derive on the next
+    // iteration; arms persist, so nothing is lost).
+    if (state_ != st) return;
+    ns = std::make_shared<State>(*st);
+    ns->plan = std::move(promo.plan);
+    state_ = ns;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.promotions += 1;
+  }
+  store_put(*ns, promo.gflops);
+}
+
+template <typename T>
+void IterativeSession<T>::store_put(const State& st, double gflops) {
+  if (opts_.plan_store == nullptr) return;
+  adapt::StoredPlan sp{st.plan, gflops};
+  // Serving-width provenance even when no promotion ran: a block session's
+  // flushed plan records the width it actually served (promotions stamp
+  // the execute-time width themselves and may override this).
+  if (sp.plan.spmm_width == 0 && opts_.spmm_width > 1)
+    sp.plan.spmm_width = opts_.spmm_width;
+  if (tuner_ != nullptr) sp.trials = tuner_->stats().l_trials;
+  opts_.plan_store->put(st.key, sp);
+}
+
+template <typename T>
+void IterativeSession<T>::run(std::span<const T> x, std::span<T> y) {
+  run_block(x, y, 1);
+}
+
+template <typename T>
+void IterativeSession<T>::run_block(std::span<const T> x, std::span<T> y,
+                                    int width) {
+  const auto st = snapshot();
+  check_block(static_cast<std::int64_t>(x.size()), st->a->cols(), width, "x");
+  check_block(static_cast<std::int64_t>(y.size()), st->a->rows(), width, "y");
+  execute(st, x, y, width);
+}
+
+template <typename T>
+void IterativeSession<T>::seed(std::span<const T> x0) {
+  const auto st = snapshot();
+  if (st->a->rows() != st->a->cols())
+    throw std::invalid_argument(
+        "IterativeSession: step() feedback needs a square matrix (" +
+        std::to_string(st->a->rows()) + "x" + std::to_string(st->a->cols()) +
+        ")");
+  check_block(static_cast<std::int64_t>(x0.size()), st->a->cols(),
+              opts_.spmm_width, "seed");
+  std::lock_guard<std::mutex> lock(iter_mu_);
+  iterate_ = DenseBlock<T>(st->a->cols(), opts_.spmm_width);
+  product_ = DenseBlock<T>(st->a->rows(), opts_.spmm_width);
+  std::copy(x0.begin(), x0.end(), iterate_.data().begin());
+}
+
+template <typename T>
+std::span<const T> IterativeSession<T>::step() {
+  std::lock_guard<std::mutex> lock(iter_mu_);
+  if (iterate_.size() == 0)
+    throw std::logic_error("IterativeSession: seed() before step()");
+  const auto st = snapshot();
+  execute(st, iterate_.data(), product_.data(), opts_.spmm_width);
+  swap(iterate_, product_);
+  return iterate_.data();
+}
+
+template <typename T>
+std::span<T> IterativeSession<T>::iterate() {
+  std::lock_guard<std::mutex> lock(iter_mu_);
+  return iterate_.data();
+}
+
+template <typename T>
+void IterativeSession<T>::update_values(std::span<const T> new_vals) {
+  std::uint64_t refreshed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::shared_ptr<const State> old = state_;
+    auto m = std::make_shared<CsrMatrix<T>>(*old->a);
+    m->update_values(new_vals);
+    auto ns = std::make_shared<State>(*old);
+    if (ns->layouts != nullptr)
+      refreshed = ns->layouts->refresh_values(*m, old->a->instance_id());
+    ns->a = std::move(m);
+    state_ = std::move(ns);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.value_updates += 1;
+  stats_.layout_refreshes += refreshed;
+}
+
+template <typename T>
+void IterativeSession<T>::replace_matrix(
+    std::shared_ptr<const CsrMatrix<T>> a) {
+  if (a == nullptr)
+    throw std::invalid_argument("IterativeSession: null matrix");
+  const serve::Fingerprint key = serve::fingerprint_of(*a);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (key == state_->key) {
+      // Structurally identical (the cheap structural-delta check): values
+      // may differ, but plans are value-independent — keep the plan, bins,
+      // and arm state, and carry the layouts over by value refresh.
+      const std::shared_ptr<const State> old = state_;
+      auto ns = std::make_shared<State>(*old);
+      std::uint64_t refreshed = 0;
+      if (ns->layouts != nullptr)
+        refreshed = ns->layouts->refresh_values(*a, old->a->instance_id());
+      ns->a = std::move(a);
+      state_ = std::move(ns);
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.value_updates += 1;
+      stats_.layout_refreshes += refreshed;
+      return;
+    }
+  }
+  // Structural change: full re-bin + re-plan (outside mu_ — planning can
+  // be slow and in-flight runs keep executing the old state meanwhile).
+  auto ns = build_state(std::move(a));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = std::move(ns);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.structure_rebinds += 1;
+}
+
+template <typename T>
+void IterativeSession<T>::flush() {
+  const auto st = snapshot();
+  store_put(*st, 0.0);
+  if (opts_.plan_store != nullptr) opts_.plan_store->flush();
+  if (opts_.profile != nullptr && tuner_ != nullptr) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!profile_folded_) {
+      opts_.profile->adapt.merge(tuner_->stats());
+      profile_folded_ = true;
+    }
+  }
+}
+
+template <typename T>
+SessionStats IterativeSession<T>::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+template <typename T>
+core::Plan IterativeSession<T>::plan() const {
+  return snapshot()->plan;
+}
+
+template <typename T>
+std::shared_ptr<const CsrMatrix<T>> IterativeSession<T>::matrix() const {
+  return snapshot()->a;
+}
+
+template <typename T>
+prof::AdaptStats IterativeSession<T>::adapt_stats() const {
+  return tuner_ != nullptr ? tuner_->stats() : prof::AdaptStats{};
+}
+
+template class IterativeSession<float>;
+template class IterativeSession<double>;
+
+}  // namespace spmv::iter

@@ -4,10 +4,24 @@ namespace spmv::prof {
 
 namespace {
 std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_spmm_fallback_columns{0};
 }  // namespace
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t spmm_fallback_columns() {
+  return g_spmm_fallback_columns.load(std::memory_order_relaxed);
+}
+
+void add_spmm_fallback_columns(std::uint64_t n) {
+  if (enabled())
+    g_spmm_fallback_columns.fetch_add(n, std::memory_order_relaxed);
+}
+
+void reset_spmm_fallback_columns() {
+  g_spmm_fallback_columns.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace spmv::prof

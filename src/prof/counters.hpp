@@ -31,6 +31,25 @@ class ScopedEnable {
   bool prev_;
 };
 
+/// Process-wide count of dense right-hand-side columns that were executed
+/// through a per-column single-vector fallback instead of a true blocked
+/// multi-vector traversal — the `spmm.fallback_columns` telemetry. Two code
+/// paths feed it: the base Backend::do_run_spmm default (a backend with no
+/// native SpMM lowers width-N to N single-vector launches) and the clsim
+/// batch dispatcher when a kernel shape has no batched variant or its
+/// simulated local-memory arena cannot fit even two columns. Before this
+/// counter existed those fallbacks were silent; profiled runs now surface
+/// the columns that missed the blocked path (RunProfile
+/// spmm_fallback_columns). Mutation is gated by enabled() like every other
+/// counter; reads are always live.
+std::uint64_t spmm_fallback_columns();
+
+/// Add `n` fallback columns (no-op unless enabled()).
+void add_spmm_fallback_columns(std::uint64_t n);
+
+/// Reset the process-wide fallback-column count (tests).
+void reset_spmm_fallback_columns();
+
 /// Point-in-time copy of an engine's counters. Cumulative fields subtract
 /// to form deltas; the arena high-water mark is a level, not a flow, so a
 /// delta carries the later value unchanged.

@@ -134,6 +134,10 @@ Json RunProfile::to_json() const {
   Json runs_j = Json::object();
   runs_j.set("count", runs);
   runs_j.set("total_s", run_total_s);
+  // Only multi-vector runs that missed a blocked path record this; absent
+  // from (and ignored in) pre-iter artifacts.
+  if (spmm_fallback_columns != 0)
+    runs_j.set("spmm_fallback_columns", spmm_fallback_columns);
   j.set("runs", runs_j);
 
   Json bins_j = Json::array();
@@ -246,6 +250,8 @@ Json RunProfile::to_json() const {
     ad.set("b_promotions", adapt.b_promotions);
     ad.set("f_trials", adapt.f_trials);
     ad.set("f_promotions", adapt.f_promotions);
+    ad.set("l_trials", adapt.l_trials);
+    ad.set("l_promotions", adapt.l_promotions);
     j.set("adapt", ad);
   }
 
@@ -276,6 +282,9 @@ RunProfile RunProfile::from_json(const Json& j) {
 
   p.runs = j.at("runs").at("count").as_uint();
   p.run_total_s = j.at("runs").at("total_s").as_number();
+  if (const Json* v = j.at("runs").find("spmm_fallback_columns");
+      v != nullptr)
+    p.spmm_fallback_columns = v->as_uint();
 
   for (const Json& b : j.at("bins").items()) {
     BinRunSample s;
@@ -389,6 +398,10 @@ RunProfile RunProfile::from_json(const Json& j) {
       p.adapt.f_trials = v->as_uint();
     if (const Json* v = ad->find("f_promotions"); v != nullptr)
       p.adapt.f_promotions = v->as_uint();
+    if (const Json* v = ad->find("l_trials"); v != nullptr)
+      p.adapt.l_trials = v->as_uint();
+    if (const Json* v = ad->find("l_promotions"); v != nullptr)
+      p.adapt.l_promotions = v->as_uint();
   }
 
   // Optional: only present when tracing ran alongside the profiled work.
@@ -571,6 +584,10 @@ std::string prometheus_text(const RunProfile& profile) {
   metric(out, "spmv_engine_groups_total", "counter",
          "Engine parallel group dispatches",
          static_cast<double>(profile.engine.groups));
+  if (profile.spmm_fallback_columns != 0)
+    metric(out, "spmv_spmm_fallback_columns_total", "counter",
+           "Dense RHS columns executed via per-column fallback",
+           static_cast<double>(profile.spmm_fallback_columns));
   const ServeStats& s = profile.serve;
   if (!s.empty()) {
     metric(out, "spmv_serve_requests_total", "counter",
@@ -686,6 +703,11 @@ std::string prometheus_text(const RunProfile& profile) {
            static_cast<double>(a.f_trials));
     metric(out, "spmv_adapt_f_promotions_total", "counter",
            "Per-bin format promotions", static_cast<double>(a.f_promotions));
+    metric(out, "spmv_adapt_l_trials_total", "counter",
+           "Latency-feedback challenger iterations observed",
+           static_cast<double>(a.l_trials));
+    metric(out, "spmv_adapt_l_promotions_total", "counter",
+           "Latency-feedback promotions", static_cast<double>(a.l_promotions));
   }
   const TraceStats& t = profile.trace_stats;
   if (!t.empty()) {

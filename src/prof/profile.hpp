@@ -99,6 +99,15 @@ struct AdaptStats {
   /// too).
   std::uint64_t f_trials = 0;
   std::uint64_t f_promotions = 0;
+  /// Latency-feedback arm path (spmv::iter): kernel arms fed from measured
+  /// per-iteration serve latencies instead of dedicated shadow launches.
+  /// l_trials counts challenger iterations observed this way — NOT counted
+  /// inside `trials`, which remains "shadow measurements performed", so a
+  /// pure latency-feedback session reports trials == 0. l_promotions (the
+  /// promotions those observations produced) IS counted inside
+  /// `promotions` like every other level's.
+  std::uint64_t l_trials = 0;
+  std::uint64_t l_promotions = 0;
 
   void merge(const AdaptStats& other) {
     trials += other.trials;
@@ -110,9 +119,13 @@ struct AdaptStats {
     b_promotions += other.b_promotions;
     f_trials += other.f_trials;
     f_promotions += other.f_promotions;
+    l_trials += other.l_trials;
+    l_promotions += other.l_promotions;
   }
 
-  [[nodiscard]] bool empty() const { return trials == 0 && promotions == 0; }
+  [[nodiscard]] bool empty() const {
+    return trials == 0 && promotions == 0 && l_trials == 0;
+  }
 };
 
 /// Per-tenant serving statistics (spmv::shard fair admission): accounting
@@ -235,6 +248,11 @@ struct RunProfile {
   std::uint64_t runs = 0;          ///< run() calls recorded
   double run_total_s = 0.0;        ///< summed wall time of those calls
   EngineCountersSnapshot engine;   ///< accumulated launch-counter deltas
+  /// Dense right-hand-side columns this profile's batched/SpMM executions
+  /// pushed through a per-column single-vector fallback (delta of
+  /// prof::spmm_fallback_columns, so it needs counters enabled). 0 when
+  /// every multi-vector run took a blocked path.
+  std::uint64_t spmm_fallback_columns = 0;
   std::vector<CandidateCost> tuning;
   double tuning_total_s = 0.0;
   ServeStats serve;  ///< serving-layer stats; empty unless a service ran

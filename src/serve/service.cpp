@@ -19,6 +19,10 @@ template <typename T>
 struct SpmvService<T>::Request {
   std::shared_ptr<const CsrMatrix<T>> matrix;
   std::vector<T> x;
+  /// Dense right-hand-side columns in `x`. 1 = an ordinary SpMV request
+  /// (coalescable with same-matrix neighbours); >1 = a true-SpMM request
+  /// that executes alone through core::execute_plan_spmm.
+  int width = 1;
   std::promise<std::vector<T>> result;
   util::Timer queued;  ///< started at submit; read at dispatch
   std::uint64_t trace_id = 0;        ///< nonzero only while tracing is on
@@ -71,11 +75,20 @@ SpmvService<T>::~SpmvService() {
 template <typename T>
 std::future<std::vector<T>> SpmvService<T>::submit(
     std::shared_ptr<const CsrMatrix<T>> a, std::vector<T> x) {
+  return submit_spmm(std::move(a), std::move(x), 1);
+}
+
+template <typename T>
+std::future<std::vector<T>> SpmvService<T>::submit_spmm(
+    std::shared_ptr<const CsrMatrix<T>> a, std::vector<T> x, int width) {
   if (a == nullptr)
     throw std::invalid_argument("SpmvService::submit: null matrix");
-  if (x.size() != static_cast<std::size_t>(a->cols()))
+  if (width < 1)
+    throw std::invalid_argument("SpmvService::submit_spmm: width must be >= 1");
+  if (x.size() != static_cast<std::size_t>(a->cols()) *
+                      static_cast<std::size_t>(width))
     throw std::invalid_argument(
-        "SpmvService::submit: x length does not match matrix cols");
+        "SpmvService::submit: x length does not match matrix cols * width");
 
   // The request's trace lifetime opens at submission; spans recorded on
   // whichever worker thread executes it carry the same id. Under 1-in-N
@@ -104,6 +117,7 @@ std::future<std::vector<T>> SpmvService<T>::submit(
     Request r;
     r.matrix = std::move(a);
     r.x = std::move(x);
+    r.width = width;
     r.trace_id = trace_id;
     r.trace_submit_ns = trace_submit_ns;
     fut = r.result.get_future();
@@ -121,6 +135,12 @@ std::vector<T> SpmvService<T>::run(std::shared_ptr<const CsrMatrix<T>> a,
 }
 
 template <typename T>
+std::vector<T> SpmvService<T>::run_spmm(std::shared_ptr<const CsrMatrix<T>> a,
+                                        std::vector<T> x, int width) {
+  return submit_spmm(std::move(a), std::move(x), width).get();
+}
+
+template <typename T>
 void SpmvService<T>::worker_loop() {
   Queue& q = *queue_;
   for (;;) {
@@ -135,19 +155,25 @@ void SpmvService<T>::worker_loop() {
       batch.push_back(std::move(q.pending.front()));
       q.pending.pop_front();
       const CsrMatrix<T>* m = batch.front().matrix.get();
-      for (auto it = q.pending.begin();
-           it != q.pending.end() &&
-           batch.size() < static_cast<std::size_t>(opts_.max_batch);) {
-        if (it->matrix.get() == m) {
-          batch.push_back(std::move(*it));
-          it = q.pending.erase(it);
-        } else {
-          ++it;
+      // An SpMM request owns its whole execution; only single-vector
+      // requests coalesce (and only with each other).
+      if (batch.front().width == 1) {
+        for (auto it = q.pending.begin();
+             it != q.pending.end() &&
+             batch.size() < static_cast<std::size_t>(opts_.max_batch);) {
+          if (it->matrix.get() == m && it->width == 1) {
+            batch.push_back(std::move(*it));
+            it = q.pending.erase(it);
+          } else {
+            ++it;
+          }
         }
       }
     }
 
-    const int width = static_cast<int>(batch.size());
+    const bool spmm = batch.front().width > 1;
+    const int width =
+        spmm ? batch.front().width : static_cast<int>(batch.size());
     // All of the batch's worker-side spans adopt the head request's id —
     // the claimed-instants below tie the other batch members to it. Each
     // request also gets a queue-wait span (begin stamped at submit, on the
@@ -217,7 +243,16 @@ void SpmvService<T>::worker_loop() {
     try {
       trace::TraceSpan span("execute-batch", "serve");
       span.arg("width", width);
-      if (width == 1) {
+      if (spmm) {
+        // True SpMM: one blocked execution, the result block delivered
+        // whole to the single owning request.
+        std::vector<T> ys(rows * static_cast<std::size_t>(width));
+        core::execute_plan_spmm(rt.backend(), a,
+                                std::span<const T>(batch.front().x),
+                                std::span<T>(ys), width, rt.bins(), rt.plan(),
+                                nullptr, rt.layouts());
+        complete(batch.front(), std::move(ys));
+      } else if (width == 1) {
         std::vector<T> y(rows);
         // Per-plan execution: the runtime's resolved backend, not a
         // service-wide one, so mixed-backend plans coexist in one cache.

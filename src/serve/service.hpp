@@ -122,6 +122,20 @@ class SpmvService {
   [[nodiscard]] std::vector<T> run(std::shared_ptr<const CsrMatrix<T>> a,
                                    std::vector<T> x);
 
+  /// Enqueue a true-SpMM request: Y = (*a)·X for `width` dense right-hand
+  /// sides stored column-major in `x` (width columns of a.cols() entries).
+  /// The future yields the column-major result block (a.rows()*width
+  /// entries). An SpMM request executes alone through
+  /// core::execute_plan_spmm (one CSR traversal for the whole block) — it
+  /// is never coalesced with queued single-vector requests, and they never
+  /// join it. Same admission errors as submit(); width must be positive.
+  [[nodiscard]] std::future<std::vector<T>> submit_spmm(
+      std::shared_ptr<const CsrMatrix<T>> a, std::vector<T> x, int width);
+
+  /// Blocking convenience wrapper: submit_spmm() + get().
+  [[nodiscard]] std::vector<T> run_spmm(std::shared_ptr<const CsrMatrix<T>> a,
+                                        std::vector<T> x, int width);
+
   /// Stop accepting work, drain the queue, join the workers — which also
   /// drains any in-flight adapt trials (trials run synchronously on the
   /// workers) — THEN flush the plan store, then fold stats into

@@ -2,9 +2,11 @@
 // therefore this library) is built around (Figure 1 of the paper).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -94,6 +96,23 @@ class CsrMatrix {
   [[nodiscard]] std::span<T> vals_mutable() {
     instance_id_ = detail::next_matrix_instance_id();
     return vals_;
+  }
+
+  /// Replace the nonzero values in place, keeping the structure (row_ptr /
+  /// col_idx) untouched. `new_vals` must hold exactly nnz() entries in CSR
+  /// order, else std::invalid_argument. A value-only mutation: plans and
+  /// bins stay valid (they are structure-derived), but anything keyed to
+  /// instance_id() embeds the old values, so the id is re-issued — layout
+  /// caches revalidate via fmt::PlanLayouts::refresh_values instead of
+  /// rebuilding from scratch.
+  void update_values(std::span<const T> new_vals) {
+    if (new_vals.size() != vals_.size())
+      throw std::invalid_argument(
+          "CsrMatrix::update_values: expected " +
+          std::to_string(vals_.size()) + " values, got " +
+          std::to_string(new_vals.size()));
+    std::copy(new_vals.begin(), new_vals.end(), vals_.begin());
+    instance_id_ = detail::next_matrix_instance_id();
   }
 
   /// Process-unique identity of this (object, values) pairing — stable

@@ -31,8 +31,11 @@
 #include "exec/backend.hpp"
 #include "fmt/estimate.hpp"
 #include "fmt/layout.hpp"
+#include "iter/session.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/registry.hpp"
+#include "prof/counters.hpp"
+#include "prof/profile.hpp"
 #include "shard/sharded_service.hpp"
 #include "sparse/convert.hpp"
 #include "util/rng.hpp"
@@ -483,6 +486,197 @@ TEST(Differential, DegenerateShapesEverySeed) {
       }
     }
     index += 1;
+  }
+}
+
+/// The true-SpMM sweep for one scalar type over one matrix, one backend,
+/// and one format mode: Y = A·X through run_spmm must be BIT-identical,
+/// per output column, to `width` single-vector run() calls on the same
+/// runtime (same plan, same materialized layouts) — the contract
+/// core::execute_plan_spmm documents. Widths cross the native register-
+/// tile width and the kMaxNativeBatch cap.
+template <typename T>
+void spmm_differential_one(const exec::Backend& backend,
+                           const CsrMatrix<double>& ad, bool use_auto,
+                           std::uint64_t base, int index,
+                           std::uint64_t seed) {
+  const std::string bname = exec::backend_name(backend.kind()) +
+                            (use_auto ? "/auto/" : "/csr/");
+  const auto a = as_type<T>(ad);
+  const core::HeuristicPredictor pred;
+  // Eager layouts: both paths must execute the same physical formats, so
+  // the sweep never hands the amortization policy a way to diverge them.
+  const auto rt = core::Tuner(a)
+                      .predictor(pred)
+                      .backend(backend)
+                      .formats(use_auto ? fmt::FormatMode::Auto
+                                        : fmt::FormatMode::Csr)
+                      .format_policy({.min_reuse = 0, .eager = true})
+                      .build();
+  const auto m = static_cast<std::size_t>(a.rows());
+  const auto n = static_cast<std::size_t>(a.cols());
+  for (const int width : {1, 3, 8, 32, 64}) {
+    const auto w = static_cast<std::size_t>(width);
+    std::vector<T> xb(n * w);
+    for (std::size_t c = 0; c < w; ++c) {
+      const auto col = random_x(n, seed + 3000 + c * 17 +
+                                       static_cast<std::uint64_t>(width));
+      for (std::size_t j = 0; j < n; ++j)
+        xb[c * n + j] = static_cast<T>(col[j]);
+    }
+    std::vector<T> yb(m * w, T(-12345));
+    rt.run_spmm(std::span<const T>(xb), std::span<T>(yb), width);
+    std::vector<T> yref(m, T(-54321));
+    for (std::size_t c = 0; c < w; ++c) {
+      rt.run(std::span<const T>(xb).subspan(c * n, n), std::span<T>(yref));
+      for (std::size_t r = 0; r < m; ++r) {
+        ASSERT_EQ(yb[c * m + r], yref[r])
+            << ctx(base, index, seed,
+                   bname + "spmm width=" + std::to_string(width)) +
+                   ", column " + std::to_string(c) + ", row " +
+                   std::to_string(r) + " not bit-identical";
+      }
+    }
+  }
+}
+
+TEST(Differential, SpmmBitIdenticalToPerColumnRuns) {
+  const std::uint64_t base = base_seed();
+  const auto backends = test_backends();
+  const bool formats = formats_enabled();
+  constexpr int kSpmmMatrices = 40;
+  for (int i = 0; i < kSpmmMatrices; ++i) {
+    const std::uint64_t seed = matrix_seed(base, 400000 + i);
+    const auto ad = random_csr(seed);
+    for (const auto& backend : backends) {
+      for (const bool use_auto : {false, true}) {
+        if (use_auto && (!formats || !backend->supports_formats())) continue;
+        if (i % 2 == 0)
+          spmm_differential_one<double>(*backend, ad, use_auto, base,
+                                        400000 + i, seed);
+        else
+          spmm_differential_one<float>(*backend, ad, use_auto, base,
+                                       400000 + i, seed);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+/// spmm.fallback_columns regression: a backend without a blocked SpMM
+/// (supports_spmm() false — clsim) must count every column it serves
+/// through the per-column fallback, and the profiled execute_plan_spmm
+/// must attribute exactly that delta to the run; a backend with native
+/// blocked kernels (supports_spmm() true) must count nothing.
+TEST(Differential, SpmmFallbackColumnsCounted) {
+  const std::uint64_t base = base_seed();
+  const std::uint64_t seed = matrix_seed(base, 500000);
+  const auto a = random_csr(seed);
+  const core::HeuristicPredictor pred;
+  const prof::ScopedEnable counters_on;
+  constexpr int kWidth = 4;
+  const auto x = random_x(static_cast<std::size_t>(a.cols()) * kWidth,
+                          seed ^ 0xFA11ULL);
+  for (const auto& backend : test_backends()) {
+    const std::string where =
+        ctx(base, 500000, seed,
+            exec::backend_name(backend->kind()) + "/spmm-fallback");
+    const auto rt = core::Tuner(a).predictor(pred).backend(*backend).build();
+    std::vector<double> y(static_cast<std::size_t>(a.rows()) * kWidth);
+    prof::RunProfile profile;
+    const std::uint64_t before = prof::spmm_fallback_columns();
+    rt.run_spmm(std::span<const double>(x), std::span<double>(y), kWidth,
+                &profile);
+    const std::uint64_t delta = prof::spmm_fallback_columns() - before;
+    if (backend->supports_spmm()) {
+      EXPECT_EQ(delta, 0u) << where << ": blocked SpMM fell back";
+      EXPECT_EQ(profile.spmm_fallback_columns, 0u) << where;
+    } else {
+      // One per-column fallback per CSR bin launch, `width` columns each.
+      EXPECT_GE(delta, static_cast<std::uint64_t>(kWidth)) << where;
+      EXPECT_EQ(profile.spmm_fallback_columns, delta)
+          << where << ": profiled delta disagrees with the counter";
+    }
+  }
+}
+
+/// 200 iterations of normalized (block) power iteration through an
+/// IterativeSession, bit-compared every step against a hand-rolled loop
+/// that runs the per-column single-vector reference with the identical
+/// normalization. The session serves width 2, so the solver loop rides the
+/// true-SpMM path while the hand loop exercises the bit-identity contract
+/// column by column.
+TEST(Differential, PowerIterationSessionBitIdenticalToHandRolledLoop) {
+  const std::uint64_t base = base_seed();
+  const std::uint64_t seed = matrix_seed(base, 600000);
+  util::Xoshiro256 rng(seed);
+  constexpr index_t kN = 96;
+  constexpr int kWidth = 2;
+  constexpr int kIters = 200;
+  CooMatrix<double> coo(kN, kN);
+  for (index_t r = 0; r < kN; ++r) {
+    coo.add(r, r, 1.0 + rng.uniform());  // dominant diagonal keeps it tame
+    for (index_t c = 0; c < kN; ++c)
+      if (c != r && rng.uniform() < 0.06)
+        coo.add(r, c, rng.uniform(-1.0, 1.0));
+  }
+  const auto a =
+      std::make_shared<const CsrMatrix<double>>(coo_to_csr(std::move(coo)));
+  const auto n = static_cast<std::size_t>(kN);
+  const core::HeuristicPredictor pred;
+
+  for (const auto& backend : test_backends()) {
+    const std::string where =
+        ctx(base, 600000, seed,
+            exec::backend_name(backend->kind()) + "/power-iteration");
+    iter::SessionOptions sopts;
+    sopts.spmm_width = kWidth;
+    sopts.backend = backend->kind();
+    iter::IterativeSession<double> session(a, pred, sopts);
+    // The hand loop plans through the same predictor on the same backend
+    // kind, so both sides execute the same plan.
+    const auto rt =
+        core::Tuner(*a).predictor(pred).backend(backend->kind()).build();
+
+    std::vector<double> x0(n * kWidth);
+    for (std::size_t i = 0; i < x0.size(); ++i)
+      x0[i] = 1.0 + 0.001 * static_cast<double>(i % 7);
+    session.seed(std::span<const double>(x0));
+    std::vector<double> hx = x0;
+    std::vector<double> hy(n * kWidth);
+
+    for (int it = 0; it < kIters; ++it) {
+      (void)session.step();
+      const std::span<double> iterate = session.iterate();
+      for (int c = 0; c < kWidth; ++c) {
+        const auto off = static_cast<std::size_t>(c) * n;
+        rt.run(std::span<const double>(hx).subspan(off, n),
+               std::span<double>(hy).subspan(off, n));
+      }
+      // Identical per-column inf-norm normalization on both sides; the
+      // comparison is AFTER normalizing, so drift cannot hide in scale.
+      for (int c = 0; c < kWidth; ++c) {
+        const auto off = static_cast<std::size_t>(c) * n;
+        double snorm = 0.0;
+        double hnorm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          snorm = std::max(snorm, std::abs(iterate[off + i]));
+          hnorm = std::max(hnorm, std::abs(hy[off + i]));
+        }
+        ASSERT_NE(hnorm, 0.0) << where << ": iterate collapsed to zero";
+        for (std::size_t i = 0; i < n; ++i) {
+          iterate[off + i] /= snorm;
+          hy[off + i] /= hnorm;
+          ASSERT_EQ(iterate[off + i], hy[off + i])
+              << where << ", iteration " << it << ", column " << c
+              << ", row " << i << " not bit-identical";
+        }
+      }
+      hx.swap(hy);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    const auto st = session.stats();
+    EXPECT_EQ(st.iterations, static_cast<std::uint64_t>(kIters)) << where;
   }
 }
 

@@ -23,6 +23,7 @@
 
 #include "adapt/plan_store.hpp"
 #include "gen/generators.hpp"
+#include "iter/session.hpp"
 #include "kernels/reference.hpp"
 #include "serve/service.hpp"
 #include "shard/sharded_service.hpp"
@@ -366,6 +367,147 @@ TEST(StressShard, MultiTenantSubmissionDuringPerShardPromotions) {
   EXPECT_EQ(profile2.serve.cache_warm_hits,
             static_cast<std::uint64_t>(kShards))
       << note;
+}
+
+/// Solver-loop stress (spmv::iter): one IterativeSession with latency-
+/// feedback tuning enabled, hammered concurrently by a step() power-
+/// iteration thread, run() client threads, and an update_values() mutator
+/// cycling between two value sets. Invariants under tsan and load:
+///   - every run() result equals the reference for ONE of the two value
+///     sets (each execution sees a consistent snapshot — never torn values
+///     mid-swap)
+///   - the step() feedback loop never yields a non-finite entry
+///   - latency promotions racing the mutator never run a shadow launch
+///     (adapt.trials stays 0) and never re-plan (planning_passes == 1)
+///   - a restarted session over the flushed store warm-starts: zero
+///     planning passes
+TEST(StressIter, ConcurrentStepsRunsAndValueMutations) {
+  const std::uint64_t base = base_seed();
+  const std::string note =
+      " (replay with SPMV_TEST_SEED=" + std::to_string(base) + ")";
+  ScopedFile f("stress_iter_store.tmp.json");
+
+  const auto a = std::make_shared<const CsrMatrix<float>>(
+      gen::power_law<float>(400, 400, 2.0, 60, base & 0xffff));
+  const auto n = static_cast<std::size_t>(a->cols());
+
+  // Two value sets the mutator flips between; references for both.
+  std::vector<float> vals_b(a->vals().begin(), a->vals().end());
+  for (auto& v : vals_b) v *= 2.0f;
+  auto a_b = std::make_shared<CsrMatrix<float>>(*a);
+  a_b->update_values(std::span<const float>(vals_b));
+  const auto ad_a = convert_values<double>(*a);
+  const auto ad_b = convert_values<double>(*a_b);
+
+  const auto x = random_x(n, base ^ 0x17E4ULL);
+  const std::vector<double> xd(x.begin(), x.end());
+  const auto exact_a = kernels::spmv_exact(ad_a, std::span<const double>(xd));
+  const auto exact_b = kernels::spmv_exact(ad_b, std::span<const double>(xd));
+
+  const core::HeuristicPredictor pred;
+  adapt::AdaptOptions aopts;
+  aopts.min_samples = 2;
+  aopts.hysteresis = 1.02;
+  aopts.hot_bins = 4;
+  aopts.seed = base;
+
+  {
+    adapt::PlanStore store(f.path);
+    iter::SessionOptions opts;
+    opts.plan_store = &store;
+    opts.adapt = aopts;
+    iter::IterativeSession<float> session(a, pred, opts);
+
+    constexpr int kSteps = 150;
+    constexpr int kRunsPerClient = 150;
+    constexpr int kMutations = 200;
+    std::atomic<int> failures{0};
+
+    // Power-iteration thread: the feedback loop must stay finite while
+    // values and plans swap underneath it.
+    std::thread stepper([&] {
+      std::vector<float> x0(n, 1.0f);
+      session.seed(std::span<const float>(x0));
+      for (int i = 0; i < kSteps; ++i) {
+        const auto it = session.step();
+        float norm = 0.0f;
+        for (const float v : it) norm = std::max(norm, std::abs(v));
+        if (!std::isfinite(norm) || norm == 0.0f) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        const auto mut = session.iterate();
+        for (auto& v : mut) v /= norm;
+      }
+    });
+
+    // Client threads: every result must match one of the two value sets
+    // exactly (snapshot consistency — a torn matrix would match neither).
+    auto client = [&] {
+      std::vector<float> y(static_cast<std::size_t>(a->rows()));
+      for (int i = 0; i < kRunsPerClient; ++i) {
+        session.run(std::span<const float>(x), std::span<float>(y));
+        bool match_a = true;
+        bool match_b = true;
+        for (std::size_t r = 0; r < y.size(); ++r) {
+          const double v = static_cast<double>(y[r]);
+          if (std::abs(v - exact_a[r]) > 2e-4 * (std::abs(exact_a[r]) + 1.0))
+            match_a = false;
+          if (std::abs(v - exact_b[r]) > 2e-4 * (std::abs(exact_b[r]) + 1.0))
+            match_b = false;
+          if (!match_a && !match_b) break;
+        }
+        if (!match_a && !match_b) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+    std::thread c1(client), c2(client);
+
+    // Mutator: flip the whole value set back and forth while everything
+    // else runs.
+    std::thread mutator([&] {
+      for (int i = 0; i < kMutations; ++i) {
+        session.update_values(
+            i % 2 == 0 ? std::span<const float>(vals_b)
+                       : std::span<const float>(a->vals()));
+      }
+    });
+
+    stepper.join();
+    c1.join();
+    c2.join();
+    mutator.join();
+    EXPECT_EQ(failures.load(), 0) << note;
+
+    const auto st = session.stats();
+    EXPECT_EQ(st.planning_passes, 1u)
+        << "value mutations must never re-plan" << note;
+    EXPECT_EQ(st.structure_rebinds, 0u) << note;
+    EXPECT_EQ(st.value_updates, static_cast<std::uint64_t>(kMutations))
+        << note;
+    EXPECT_EQ(st.iterations,
+              static_cast<std::uint64_t>(kSteps + 2 * kRunsPerClient))
+        << note;
+    EXPECT_EQ(session.adapt_stats().trials, 0u)
+        << "latency path must never shadow-launch" << note;
+    session.flush();
+  }
+
+  // Restarted session over the flushed store: warm start, no predictor.
+  {
+    adapt::PlanStore store(f.path);
+    iter::SessionOptions opts;
+    opts.plan_store = &store;
+    iter::IterativeSession<float> warmed(a, pred, opts);
+    EXPECT_EQ(warmed.stats().planning_passes, 0u)
+        << "restart must warm-start from the store" << note;
+    EXPECT_EQ(warmed.stats().warm_starts, 1u) << note;
+    std::vector<float> y(static_cast<std::size_t>(a->rows()));
+    warmed.run(std::span<const float>(x), std::span<float>(y));
+    expect_result_exact(y, exact_a, "warm-started run" + note);
+  }
 }
 
 }  // namespace

@@ -1037,15 +1037,21 @@ int cmd_plan_store(const util::Cli& cli) {
                     static_cast<unsigned long long>(sp.plan.shard_parent));
       shard_col = buf;
     }
+    // Solver-loop provenance: the serving block width an IterativeSession
+    // stamped when it promoted/flushed this plan (spmv::iter).
+    std::string spmm_col = "-";
+    if (sp.plan.spmm_width > 0)
+      spmm_col = "w" + std::to_string(sp.plan.spmm_width);
     std::printf("  %8lld x %-8lld %10lld nnz  hash 0x%016llx  rev %-3llu "
-                "tuned-U %-12s shard %-22s %6.2f GF  %4llu trials  %s\n",
+                "tuned-U %-12s shard %-22s spmm %-4s %6.2f GF  %4llu "
+                "trials  %s\n",
                 static_cast<long long>(key.rows),
                 static_cast<long long>(key.cols),
                 static_cast<long long>(key.nnz),
                 static_cast<unsigned long long>(key.row_hash),
                 static_cast<unsigned long long>(sp.plan.revision),
-                tuned_u.c_str(), shard_col.c_str(), sp.gflops,
-                static_cast<unsigned long long>(sp.trials),
+                tuned_u.c_str(), shard_col.c_str(), spmm_col.c_str(),
+                sp.gflops, static_cast<unsigned long long>(sp.trials),
                 sp.plan.to_string().c_str());
   }
   return 0;
